@@ -1,0 +1,97 @@
+//! E1 — CLA compression ratios by data structure, with a co-coding ablation.
+//!
+//! Regenerates the canonical compression-ratio table: low-cardinality and
+//! clustered data compress by an order of magnitude, correlated columns gain
+//! further from co-coding, and incompressible random data falls back to ~1x.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dm_compress::{planner::CompressionConfig, CompressedMatrix};
+use dm_matrix::Dense;
+
+const N: usize = 50_000;
+const D: usize = 6;
+
+fn datasets() -> Vec<(&'static str, Dense)> {
+    vec![
+        ("dense-random", dm_data::matgen::dense_uniform(N, D, -1.0, 1.0, 1)),
+        ("low-card-8", dm_data::matgen::low_cardinality(N, D, 8, 2)),
+        ("clustered", dm_data::matgen::clustered(N, D, 8, 1024, 3)),
+        ("sparse-1pct", dm_data::matgen::sparse_uniform(N, D, 0.01, 4)),
+        ("correlated", dm_data::matgen::correlated(N, D, 16, 5)),
+    ]
+}
+
+fn print_table() {
+    println!("\n=== E1: compression ratio (uncompressed bytes / compressed bytes) ===");
+    println!("{:<14} {:>12} {:>12} {:>14}", "dataset", "cocode-on", "cocode-off", "plan-groups");
+    for (name, m) in datasets() {
+        let on = CompressedMatrix::compress(&m, &CompressionConfig::default());
+        let off = CompressedMatrix::compress(
+            &m,
+            &CompressionConfig { cocode: false, ..CompressionConfig::default() },
+        );
+        println!(
+            "{:<14} {:>11.1}x {:>11.1}x {:>14}",
+            name,
+            on.compression_ratio(),
+            off.compression_ratio(),
+            on.groups().len()
+        );
+        // Shape assertions so a regression fails the harness loudly.
+        assert!(on.decompress().approx_eq(&m, 0.0), "lossless");
+    }
+    println!();
+}
+
+/// Ablation: how much does the planner's sample size matter? Compare the
+/// compressed size achieved when planning from 1%, 5%, and 25% samples
+/// against planning from the full data.
+fn print_sampling_ablation() {
+    println!("--- E1 ablation: planner sampling fraction (achieved bytes) ---");
+    println!("{:<14} {:>10} {:>10} {:>10} {:>10}", "dataset", "1%", "5%", "25%", "100%");
+    for (name, m) in datasets() {
+        let sizes: Vec<usize> = [0.01, 0.05, 0.25, 1.0]
+            .iter()
+            .map(|&f| {
+                let cfg = CompressionConfig {
+                    sample_fraction: f,
+                    min_sample_rows: 64,
+                    ..CompressionConfig::default()
+                };
+                CompressedMatrix::compress(&m, &cfg).size_bytes()
+            })
+            .collect();
+        println!(
+            "{:<14} {:>10} {:>10} {:>10} {:>10}",
+            name, sizes[0], sizes[1], sizes[2], sizes[3]
+        );
+        // A 5% sample should land near the full-data plan: within 30%
+        // relative, or within a few KiB absolute for plans that are already
+        // tiny (where co-coding coin flips dominate the relative number).
+        let abs = (sizes[1] as f64 - sizes[3] as f64).abs();
+        let drift = abs / sizes[3] as f64;
+        assert!(
+            drift < 0.30 || abs < 4096.0,
+            "{name}: 5% sample plan drifts {drift:.2} ({abs} bytes) from full plan"
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    print_sampling_ablation();
+    let mut g = c.benchmark_group("e01_compress");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, m) in datasets() {
+        g.bench_function(name, |b| {
+            b.iter(|| CompressedMatrix::compress(&m, &CompressionConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

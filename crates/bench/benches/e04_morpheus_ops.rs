@@ -1,0 +1,88 @@
+//! E4 — normalized (pushed-through-the-join) linear algebra operator
+//! speedups over the materialized baseline.
+//!
+//! The canonical per-operator shape: gemv/vecmat/rowsums win roughly by the
+//! redundancy ratio; crossprod wins even more because the quadratic blocks
+//! shrink from `n` rows to `n_dim` rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dm_factorized::{DimTable, NormalizedMatrix};
+use dm_matrix::ops;
+
+fn build() -> NormalizedMatrix {
+    let d = dm_data::star::generate(&dm_data::star::StarConfig {
+        fact_rows: 50_000,
+        dim_rows: 200,
+        fact_features: 2,
+        dim_features: 20,
+        noise: 0.0,
+        seed: 31,
+    });
+    NormalizedMatrix::new(
+        d.fact.clone(),
+        vec![DimTable::new(d.dim.clone(), d.fk.clone()).expect("valid keys")],
+    )
+    .expect("valid schema")
+}
+
+fn print_table(nm: &NormalizedMatrix) {
+    let x = nm.materialize();
+    let w: Vec<f64> = (0..nm.cols()).map(|i| (i as f64) * 0.01 - 0.1).collect();
+    let v: Vec<f64> = (0..nm.rows()).map(|i| ((i % 23) as f64) * 0.05).collect();
+
+    println!("\n=== E4: normalized vs materialized operators (redundancy {:.1}x) ===", nm.redundancy_ratio());
+    println!("{:>12} {:>14} {:>14} {:>9}", "operator", "normalized(ms)", "material.(ms)", "speedup");
+    let rows: Vec<(&str, f64, f64)> = vec![
+        (
+            "gemv",
+            dm_bench::time_mean(10, || nm.gemv(&w)),
+            dm_bench::time_mean(10, || ops::gemv(&x, &w)),
+        ),
+        (
+            "vecmat",
+            dm_bench::time_mean(10, || nm.vecmat(&v)),
+            dm_bench::time_mean(10, || ops::gevm(&v, &x)),
+        ),
+        (
+            "crossprod",
+            dm_bench::time_mean(3, || nm.crossprod()),
+            dm_bench::time_mean(3, || ops::crossprod(&x)),
+        ),
+        (
+            "rowsums",
+            dm_bench::time_mean(10, || nm.row_sums()),
+            dm_bench::time_mean(10, || ops::row_sums(&x)),
+        ),
+        (
+            "colsums",
+            dm_bench::time_mean(10, || nm.col_sums()),
+            dm_bench::time_mean(10, || ops::col_sums(&x)),
+        ),
+    ];
+    for (name, tn, tm) in rows {
+        println!("{name:>12} {:>14.3} {:>14.3} {:>8.1}x", tn * 1e3, tm * 1e3, tm / tn.max(1e-12));
+    }
+    // Correctness spot checks.
+    assert!(nm.crossprod().approx_eq(&ops::crossprod(&x), 1e-6));
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let nm = build();
+    print_table(&nm);
+    let x = nm.materialize();
+    let w: Vec<f64> = (0..nm.cols()).map(|i| (i as f64) * 0.01 - 0.1).collect();
+
+    let mut g = c.benchmark_group("e04_morpheus");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("gemv_normalized", |b| b.iter(|| nm.gemv(&w)));
+    g.bench_function("gemv_materialized", |b| b.iter(|| ops::gemv(&x, &w)));
+    g.bench_function("crossprod_normalized", |b| b.iter(|| nm.crossprod()));
+    g.bench_function("crossprod_materialized", |b| b.iter(|| ops::crossprod(&x)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! E5 — logical rewrite wins: matrix-chain reordering, crossprod fusion, and
+//! sum-of-squares fusion, measured both in flops (deterministic) and wall
+//! time.
+//!
+//! The canonical shape: chain reordering turns an O(n·m·n) plan into
+//! O(n·m) when a vector terminates the chain; the fused ops roughly halve
+//! the work of their unfused forms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dm_lang::exec::{Env, Executor};
+use dm_lang::parser;
+use dm_lang::rewrite::optimize;
+use dm_lang::size::InputSizes;
+use dm_matrix::{Dense, Matrix};
+
+const N: usize = 2000;
+const K: usize = 40;
+
+fn setup() -> (Env, InputSizes) {
+    let mut env = Env::new();
+    env.bind("X", Matrix::Dense(dm_data::matgen::dense_uniform(N, K, -1.0, 1.0, 5)));
+    env.bind("Y", Matrix::Dense(dm_data::matgen::dense_uniform(K, N, -1.0, 1.0, 6)));
+    let u: Vec<f64> = (0..N).map(|i| (i as f64) * 1e-4).collect();
+    env.bind("u", Matrix::Dense(Dense::column(&u)));
+    let mut sizes = InputSizes::new();
+    sizes.declare("X", N, K, 1.0);
+    sizes.declare("Y", K, N, 1.0);
+    sizes.declare("u", N, 1, 1.0);
+    (env, sizes)
+}
+
+const CASES: [(&str, &str); 3] = [
+    ("mmchain", "X %*% Y %*% u"),
+    ("crossprod", "sum(t(X) %*% X)"),
+    ("sumsq", "sum(X * X) + sum(X * X)"),
+];
+
+fn print_table(env: &Env, sizes: &InputSizes) {
+    println!("\n=== E5: rewrite flop reduction (n={N}, k={K}) ===");
+    println!("{:<12} {:>14} {:>14} {:>9} {:>10}", "expression", "naive-flops", "opt-flops", "ratio", "rewrites");
+    for (name, src) in CASES {
+        let (g, root) = parser::parse(src).expect("parses");
+        let mut naive = Executor::new(&g);
+        let nv = naive.eval(root, env).expect("naive runs");
+        let (og, oroot, stats) = optimize(&g, root, sizes).expect("optimizes");
+        let mut opt = Executor::new(&og);
+        let ov = opt.eval(oroot, env).expect("optimized runs");
+        // Results must agree.
+        match (nv.as_scalar(), ov.as_scalar()) {
+            (Some(a), Some(b)) => assert!((a - b).abs() <= 1e-6 * (1.0 + a.abs())),
+            _ => {
+                let (a, b) = (nv.as_dense().unwrap(), ov.as_dense().unwrap());
+                assert!(a.approx_eq(&b, 1e-6));
+            }
+        }
+        println!(
+            "{:<12} {:>14} {:>14} {:>8.1}x {:>10}",
+            name,
+            naive.stats().flops,
+            opt.stats().flops,
+            naive.stats().flops as f64 / opt.stats().flops.max(1) as f64,
+            stats.total()
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let (env, sizes) = setup();
+    print_table(&env, &sizes);
+
+    let mut g = c.benchmark_group("e05_rewrites");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (name, src) in CASES {
+        let (graph, root) = parser::parse(src).expect("parses");
+        let (og, oroot, _) = optimize(&graph, root, &sizes).expect("optimizes");
+        g.bench_function(format!("{name}_naive"), |b| {
+            b.iter(|| {
+                let mut ex = Executor::new(&graph);
+                ex.eval(root, &env).expect("runs")
+            })
+        });
+        g.bench_function(format!("{name}_optimized"), |b| {
+            b.iter(|| {
+                let mut ex = Executor::new(&og);
+                ex.eval(oroot, &env).expect("runs")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E6 — dense vs sparse kernel crossover across input sparsity.
+//!
+//! The canonical shape: CSR gemv wins below some density (index overhead is
+//! amortized by skipped zeros), dense wins above it; the crossover on this
+//! code base calibrates the physical planner's `SPARSE_THRESHOLD`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dm_lang::physical::SPARSE_THRESHOLD;
+use dm_matrix::{ops, sparse, Csr};
+
+const N: usize = 20_000;
+const D: usize = 100;
+
+fn print_table() {
+    println!("\n=== E6: gemv dense vs CSR across density ({N}x{D}) ===");
+    println!("{:>9} {:>12} {:>12} {:>12} {:>8}", "density", "dense(ms)", "csr(ms)", "csr/dense", "winner");
+    let v: Vec<f64> = (0..D).map(|i| (i as f64) * 0.02 - 1.0).collect();
+    let mut crossover_seen = false;
+    for &density in &[0.001, 0.005, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0] {
+        let m = dm_data::matgen::sparse_uniform(N, D, density, 17);
+        let s = Csr::from_dense(&m);
+        let td = dm_bench::time_mean(10, || ops::gemv(&m, &v));
+        let ts = dm_bench::time_mean(10, || sparse::spmv(&s, &v));
+        let winner = if ts < td { "csr" } else { "dense" };
+        if winner == "dense" {
+            crossover_seen = true;
+        }
+        println!(
+            "{density:>9.3} {:>12.3} {:>12.3} {:>12.2} {:>8}",
+            td * 1e3,
+            ts * 1e3,
+            ts / td.max(1e-12),
+            winner
+        );
+    }
+    println!("planner threshold: density < {SPARSE_THRESHOLD} -> sparse kernel");
+    assert!(crossover_seen, "dense must win at full density");
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let v: Vec<f64> = (0..D).map(|i| (i as f64) * 0.02 - 1.0).collect();
+    let mut g = c.benchmark_group("e06_crossover");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for &density in &[0.01, 0.2, 1.0] {
+        let m = dm_data::matgen::sparse_uniform(N, D, density, 17);
+        let s = Csr::from_dense(&m);
+        g.bench_function(format!("dense_d{density}"), |b| b.iter(|| ops::gemv(&m, &v)));
+        g.bench_function(format!("csr_d{density}"), |b| b.iter(|| sparse::spmv(&s, &v)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! E7 — search-strategy comparison: quality reached per unit of training
+//! budget, with an η-ablation for successive halving.
+//!
+//! The canonical shape: random ≥ grid at equal budget on continuous spaces;
+//! successive halving / Hyperband reach comparable quality for a small
+//! fraction of the full-budget cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dm_ml::logreg::{LogRegConfig, LogisticRegression};
+use dm_modelsel::search::{grid_search, hyperband, random_search, successive_halving, ParamSpace, Params};
+
+fn data() -> (dm_matrix::Dense, Vec<f64>, dm_matrix::Dense, Vec<f64>) {
+    let d = dm_data::labeled::classification(2000, 6, 3.0, 77);
+    let split = dm_pipeline::split::train_test_split(d.x.rows(), 0.3, 9).expect("split");
+    (
+        d.x.select_rows(&split.train),
+        split.train.iter().map(|&i| d.y[i]).collect(),
+        d.x.select_rows(&split.test),
+        split.test.iter().map(|&i| d.y[i]).collect(),
+    )
+}
+
+fn print_table() {
+    let (xt, yt, xv, yv) = data();
+    let full_epochs = 400usize;
+    let trainer = |p: &Params, budget: f64| -> f64 {
+        let cfg = LogRegConfig {
+            learning_rate: p.get("lr"),
+            l2: p.try_get("l2").unwrap_or(0.0),
+            max_iter: ((full_epochs as f64 * budget).ceil() as usize).max(1),
+            tol: 0.0,
+        };
+        LogisticRegression::fit(&xt, &yt, &cfg).map_or(0.0, |m| m.accuracy(&xv, &yv))
+    };
+
+    println!("\n=== E7: search strategies (budget = full-training equivalents) ===");
+    println!("{:<22} {:>6} {:>8} {:>8}", "strategy", "evals", "budget", "val-acc");
+    let grid_space = ParamSpace::new()
+        .grid("lr", &[0.001, 0.01, 0.1, 1.0])
+        .grid("l2", &[0.0, 0.01, 0.1]);
+    let cont = ParamSpace::new().log_uniform("lr", 1e-3, 5.0).log_uniform("l2", 1e-5, 0.5);
+
+    let g = grid_search(&grid_space, trainer);
+    println!("{:<22} {:>6} {:>8.1} {:>8.3}", "grid 4x3", g.evaluations.len(), g.total_budget, g.best_score);
+    let r = random_search(&cont, 12, 3, trainer);
+    println!("{:<22} {:>6} {:>8.1} {:>8.3}", "random 12", r.evaluations.len(), r.total_budget, r.best_score);
+    for eta in [2usize, 3, 4] {
+        let s = successive_halving(&cont, 16, eta, 3, trainer);
+        println!(
+            "{:<22} {:>6} {:>8.1} {:>8.3}",
+            format!("succ-halving eta={eta}"),
+            s.evaluations.len(),
+            s.total_budget,
+            s.best_score
+        );
+        assert!(s.total_budget < g.total_budget, "early stopping must be cheaper than the grid");
+    }
+    let h = hyperband(&cont, 8, 2, 3, trainer);
+    println!("{:<22} {:>6} {:>8.1} {:>8.3}", "hyperband", h.evaluations.len(), h.total_budget, h.best_score);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let (xt, yt, xv, yv) = data();
+    let trainer = move |p: &Params, budget: f64| -> f64 {
+        let cfg = LogRegConfig {
+            learning_rate: p.get("lr"),
+            l2: 0.0,
+            max_iter: ((100.0 * budget).ceil() as usize).max(1),
+            tol: 0.0,
+        };
+        LogisticRegression::fit(&xt, &yt, &cfg).map_or(0.0, |m| m.accuracy(&xv, &yv))
+    };
+    let cont = ParamSpace::new().log_uniform("lr", 1e-3, 5.0);
+
+    let mut g = c.benchmark_group("e07_search");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("random_8", |b| b.iter(|| random_search(&cont, 8, 1, &trainer)));
+    g.bench_function("succ_halving_8", |b| b.iter(|| successive_halving(&cont, 8, 2, 1, &trainer)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

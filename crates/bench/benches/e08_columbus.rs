@@ -1,0 +1,79 @@
+//! E8 — batched feature-subset exploration vs naive refitting.
+//!
+//! The canonical shape: the naive approach re-reads the data per subset, so
+//! its cost grows linearly in the number of subsets R; the batched approach
+//! pays one shared Gram pass plus O(k^3) per subset, so its marginal cost is
+//! data-independent and the speedup grows with R.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dm_modelsel::columbus::{batched_explore, naive_explore, SharedGram};
+
+const N: usize = 20_000;
+const D: usize = 24;
+
+fn data() -> (dm_matrix::Dense, Vec<f64>) {
+    let d = dm_data::labeled::regression(N, D, 0.05, 61);
+    (d.x, d.y)
+}
+
+/// R deterministic subsets of size 4..=8 over D features.
+fn subsets(r: usize) -> Vec<Vec<usize>> {
+    (0..r)
+        .map(|i| {
+            let k = 4 + i % 5;
+            (0..k).map(|j| (i * 7 + j * 3) % D).collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect()
+        })
+        .collect()
+}
+
+fn print_table() {
+    let (x, y) = data();
+    println!("\n=== E8: feature-subset exploration, naive vs batched (n={N}, d={D}) ===");
+    println!("{:>6} {:>12} {:>12} {:>9}", "R", "naive(ms)", "batched(ms)", "speedup");
+    for &r in &[5usize, 20, 50, 100] {
+        let ss = subsets(r);
+        let tn = dm_bench::time_mean(3, || naive_explore(&x, &y, &ss, 0.01).expect("naive"));
+        let tb = dm_bench::time_mean(3, || batched_explore(&x, &y, &ss, 0.01).expect("batched"));
+        println!("{r:>6} {:>12.2} {:>12.2} {:>8.1}x", tn * 1e3, tb * 1e3, tn / tb.max(1e-12));
+    }
+    // Correctness at one configuration.
+    let ss = subsets(10);
+    let a = naive_explore(&x, &y, &ss, 0.01).expect("naive");
+    let b = batched_explore(&x, &y, &ss, 0.01).expect("batched");
+    for (na, ba) in a.iter().zip(&b) {
+        assert!((na.r2 - ba.r2).abs() < 1e-6);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let (x, y) = data();
+    let ss = subsets(50);
+    let mut g = c.benchmark_group("e08_columbus");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("naive_50_subsets", |b| {
+        b.iter(|| naive_explore(&x, &y, &ss, 0.01).expect("naive"))
+    });
+    g.bench_function("batched_50_subsets", |b| {
+        b.iter(|| batched_explore(&x, &y, &ss, 0.01).expect("batched"))
+    });
+    // Isolate the two phases of the batched approach.
+    g.bench_function("shared_gram_pass", |b| b.iter(|| SharedGram::build(&x, &y).expect("gram")));
+    let shared = SharedGram::build(&x, &y).expect("gram");
+    g.bench_function("subset_solves_only", |b| {
+        b.iter(|| {
+            for s in &ss {
+                shared.solve_subset(s, 0.01).expect("solve");
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

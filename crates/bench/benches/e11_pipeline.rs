@@ -1,0 +1,101 @@
+//! E11 — end-to-end lifecycle pipeline throughput by stage.
+//!
+//! CSV parse -> featurize (numeric + one-hot + hashing) -> impute/scale ->
+//! train -> score. The canonical shape: data preparation (parsing and
+//! featurization), not model training, dominates end-to-end cost — the
+//! motivating observation of the lifecycle-systems pillar.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dm_pipeline::encode::{ColumnSpec, Featurizer};
+use dm_pipeline::transform::{ImputeStrategy, Imputer, Pipeline, StandardScaler};
+use dm_ml::linreg::{LinearRegression, Solver};
+
+const ROWS: usize = 20_000;
+
+/// Deterministic CSV document with numeric, categorical, and noisy columns.
+fn make_csv() -> String {
+    let mut s = String::with_capacity(ROWS * 40);
+    s.push_str("age,income,city,device,label\n");
+    for i in 0..ROWS as u64 {
+        let age = 18 + (i * 7) % 60;
+        let income = 20_000 + (i * 13_577) % 120_000;
+        let city = ["paris", "lyon", "nice", "tokyo", "berlin"][(i % 5) as usize];
+        let device = format!("dev-{}", (i * 31) % 97);
+        let label = (income as f64 / 50_000.0 + (i % 5) as f64 * 0.3) + (i % 7) as f64 * 0.01;
+        if i % 29 == 0 {
+            s.push_str(&format!("{age},,{city},{device},{label:.3}\n"));
+        } else {
+            s.push_str(&format!("{age},{income},{city},{device},{label:.3}\n"));
+        }
+    }
+    s
+}
+
+fn specs() -> Vec<ColumnSpec> {
+    vec![
+        ColumnSpec::Numeric("age".into()),
+        ColumnSpec::Numeric("income".into()),
+        ColumnSpec::OneHot("city".into()),
+        ColumnSpec::Hashed { column: "device".into(), buckets: 16 },
+    ]
+}
+
+fn print_table() {
+    let csv = make_csv();
+    println!("\n=== E11: end-to-end pipeline stage costs ({ROWS} rows) ===");
+    let (table, t_parse) =
+        dm_bench::time_once(|| dm_rel::csv::read_csv(csv.as_bytes(), "events").expect("csv"));
+    let (feat, t_fit_feat) = dm_bench::time_once(|| Featurizer::fit(&table, &specs()).expect("fit"));
+    let (x_raw, t_feat) = dm_bench::time_once(|| feat.transform(&table).expect("transform"));
+    let y: Vec<f64> = (0..table.num_rows())
+        .map(|r| table.row(r).get("label").as_f64().expect("label"))
+        .collect();
+    let mut pipe =
+        Pipeline::new().add(Imputer::new(ImputeStrategy::Mean)).add(StandardScaler::new());
+    let (x, t_pipe) = dm_bench::time_once(|| pipe.fit_transform(&x_raw).expect("pipeline"));
+    let (model, t_train) = dm_bench::time_once(|| {
+        LinearRegression::fit(&x, &y, Solver::NormalEquations, 1e-6).expect("train")
+    });
+    let (_, t_score) = dm_bench::time_once(|| model.predict(&x));
+
+    let total = t_parse + t_fit_feat + t_feat + t_pipe + t_train + t_score;
+    println!("{:<16} {:>10} {:>10} {:>12}", "stage", "time(ms)", "% total", "rows/s");
+    for (name, t) in [
+        ("csv-parse", t_parse),
+        ("featurize-fit", t_fit_feat),
+        ("featurize", t_feat),
+        ("impute+scale", t_pipe),
+        ("train", t_train),
+        ("score", t_score),
+    ] {
+        println!(
+            "{name:<16} {:>10.2} {:>9.1}% {:>12.0}",
+            t * 1e3,
+            100.0 * t / total,
+            ROWS as f64 / t.max(1e-12)
+        );
+    }
+    println!("{:<16} {:>10.2}", "TOTAL", total * 1e3);
+    println!("model r2 on training data: {:.4}", model.r2(&x, &y));
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let csv = make_csv();
+    let table = dm_rel::csv::read_csv(csv.as_bytes(), "events").expect("csv");
+    let feat = Featurizer::fit(&table, &specs()).expect("fit");
+
+    let mut g = c.benchmark_group("e11_pipeline");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("csv_parse", |b| {
+        b.iter(|| dm_rel::csv::read_csv(csv.as_bytes(), "events").expect("csv"))
+    });
+    g.bench_function("featurize", |b| b.iter(|| feat.transform(&table).expect("transform")));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E12 — algorithm runtime scaling in rows and features.
+//!
+//! The canonical shapes: normal-equation linear regression is linear in n
+//! and quadratic in d; k-means per iteration is linear in n·k·d; naive Bayes
+//! fitting is a single linear pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dm_ml::kmeans::{self, KMeansConfig};
+use dm_ml::linreg::{LinearRegression, Solver};
+use dm_ml::naive_bayes::GaussianNb;
+
+fn print_table() {
+    println!("\n=== E12: algorithm scaling (time in ms) ===");
+    println!("{:>8} {:>6} {:>12} {:>12} {:>12}", "n", "d", "linreg-NE", "kmeans(k=4)", "gauss-nb");
+    for &(n, d) in &[(1000usize, 8usize), (4000, 8), (16_000, 8), (4000, 32), (4000, 128)] {
+        let reg = dm_data::labeled::regression(n, d, 0.05, 3);
+        let (xb, yb) = dm_data::labeled::blobs(n, d, 4, 1.0, 5);
+        let t_lin = dm_bench::time_mean(3, || {
+            LinearRegression::fit(&reg.x, &reg.y, Solver::NormalEquations, 1e-6).expect("fit")
+        });
+        let t_km = dm_bench::time_mean(3, || {
+            kmeans::fit(&xb, &KMeansConfig { k: 4, max_iter: 20, ..Default::default() }).expect("fit")
+        });
+        let t_nb = dm_bench::time_mean(3, || GaussianNb::fit(&xb, &yb).expect("fit"));
+        println!(
+            "{n:>8} {d:>6} {:>12.2} {:>12.2} {:>12.2}",
+            t_lin * 1e3,
+            t_km * 1e3,
+            t_nb * 1e3
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let reg = dm_data::labeled::regression(8000, 16, 0.05, 3);
+    let (xb, yb) = dm_data::labeled::blobs(8000, 16, 4, 1.0, 5);
+
+    let mut g = c.benchmark_group("e12_algos");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("linreg_normal_eq", |b| {
+        b.iter(|| LinearRegression::fit(&reg.x, &reg.y, Solver::NormalEquations, 1e-6).expect("fit"))
+    });
+    g.bench_function("linreg_cg", |b| {
+        b.iter(|| LinearRegression::fit(&reg.x, &reg.y, Solver::ConjugateGradient, 1e-6).expect("fit"))
+    });
+    g.bench_function("kmeans_k4", |b| {
+        b.iter(|| kmeans::fit(&xb, &KMeansConfig { k: 4, max_iter: 20, ..Default::default() }).expect("fit"))
+    });
+    g.bench_function("gaussian_nb", |b| b.iter(|| GaussianNb::fit(&xb, &yb).expect("fit")));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! # dm-bench
+//!
+//! The benchmark harness regenerating experiments **E1..E12** from
+//! EXPERIMENTS.md. Each `benches/eNN_*.rs` target both prints the experiment's
+//! measured table (so the qualitative shape can be eyeballed straight from
+//! `cargo bench` output) and registers Criterion timings for the kernels
+//! involved.
+//!
+//! This library crate holds the small helpers shared across bench targets.
+
+use std::time::Instant;
+
+/// Time a closure once, returning seconds (for coarse table rows where
+/// Criterion's statistical machinery is unnecessary).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64())
+}
+
+/// Time a closure over `reps` repetitions, returning mean seconds per rep.
+pub fn time_mean<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(reps > 0, "need at least one repetition");
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Render a simple aligned table row for experiment printouts.
+pub fn row(cells: &[String]) -> String {
+    cells.iter().map(|c| format!("{c:>14}")).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_helpers() {
+        let (v, secs) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+        let mean = time_mean(3, || 1 + 1);
+        assert!(mean >= 0.0);
+    }
+
+    #[test]
+    fn row_formatting() {
+        let s = row(&["a".into(), "b".into()]);
+        assert!(s.contains('a') && s.contains('b'));
+        assert!(s.len() >= 29);
+    }
+}

@@ -1,0 +1,29 @@
+//! # dm-buffer
+//!
+//! A buffer pool for matrix blocks, modeled on the block caching layer of
+//! declarative ML systems: a fixed byte budget of in-memory frames over a
+//! backing store, with pin/unpin semantics and pluggable eviction policies
+//! (LRU / FIFO / Clock).
+//!
+//! Blocks are tiles of a [`dm_matrix::BlockMatrix`]; on eviction a dirty block
+//! is serialized (via the [`codec`]) and written to the [`storage::Storage`]
+//! backend (in-memory or on-disk). Faulting a block back in deserializes it.
+//!
+//! ```
+//! use dm_buffer::{BufferPool, PageKey, policy::PolicyKind, storage::MemStore};
+//! use dm_matrix::Dense;
+//!
+//! let mut pool = BufferPool::new(1 << 16, PolicyKind::Lru, MemStore::default());
+//! let key = PageKey::new(0, 0, 0);
+//! pool.put(key, Dense::identity(4)).unwrap();
+//! let block = pool.get(key).unwrap().expect("present");
+//! assert_eq!(block.get(3, 3), 1.0);
+//! assert_eq!(pool.stats().hits, 1);
+//! ```
+
+pub mod codec;
+pub mod policy;
+pub mod pool;
+pub mod storage;
+
+pub use pool::{BufferPool, PageKey, PoolError, PoolStats, SharedBufferPool};

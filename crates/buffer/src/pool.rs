@@ -1,0 +1,448 @@
+//! The buffer pool proper: a byte-budgeted frame table over a backing store.
+
+use crate::codec;
+use crate::policy::{make_policy, Policy, PolicyKind};
+use crate::storage::Storage;
+use dm_matrix::Dense;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies one block: owning matrix id plus tile coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageKey {
+    /// Owning matrix identifier.
+    pub matrix: u64,
+    /// Tile row.
+    pub block_row: u32,
+    /// Tile column.
+    pub block_col: u32,
+}
+
+impl PageKey {
+    /// Construct a key.
+    pub fn new(matrix: u64, block_row: u32, block_col: u32) -> Self {
+        PageKey { matrix, block_row, block_col }
+    }
+}
+
+/// Pool failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolError {
+    /// A single block exceeds the pool's byte budget.
+    BlockTooLarge {
+        /// Size of the offending block.
+        block_bytes: usize,
+        /// Pool capacity.
+        capacity: usize,
+    },
+    /// Every resident block is pinned; nothing can be evicted.
+    AllPinned,
+    /// Unpin called on a page that is not pinned.
+    NotPinned(PageKey),
+    /// Backing-store I/O failed.
+    Io(String),
+    /// A spilled block failed to deserialize (corrupt store).
+    Corrupt(PageKey),
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::BlockTooLarge { block_bytes, capacity } => {
+                write!(f, "block of {block_bytes} bytes exceeds pool capacity {capacity}")
+            }
+            PoolError::AllPinned => write!(f, "cannot evict: all resident blocks are pinned"),
+            PoolError::NotPinned(k) => write!(f, "page {k:?} is not pinned"),
+            PoolError::Io(msg) => write!(f, "storage io error: {msg}"),
+            PoolError::Corrupt(k) => write!(f, "spilled page {k:?} failed to deserialize"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Counters exposed for the E10 experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `get` found the block resident.
+    pub hits: u64,
+    /// `get` had to fault the block in from storage.
+    pub misses: u64,
+    /// Blocks evicted to storage.
+    pub evictions: u64,
+    /// `get` found the block neither resident nor spilled.
+    pub absent: u64,
+}
+
+impl PoolStats {
+    /// Hit rate over all lookups that could have hit (`hits / (hits + misses)`).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Frame {
+    block: Arc<Dense>,
+    bytes: usize,
+    pins: u32,
+    dirty: bool,
+}
+
+/// A byte-budgeted cache of dense blocks over a backing store.
+pub struct BufferPool<S: Storage> {
+    capacity: usize,
+    used: usize,
+    frames: HashMap<PageKey, Frame>,
+    policy: Box<dyn Policy>,
+    storage: S,
+    stats: PoolStats,
+}
+
+fn block_bytes(b: &Dense) -> usize {
+    b.rows() * b.cols() * 8 + 16
+}
+
+impl<S: Storage> BufferPool<S> {
+    /// Create a pool with the given byte capacity, policy, and backing store.
+    pub fn new(capacity: usize, kind: PolicyKind, storage: S) -> Self {
+        BufferPool {
+            capacity,
+            used: 0,
+            frames: HashMap::new(),
+            policy: make_policy(kind),
+            storage,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Pool capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently used by resident frames.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Number of resident frames.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Access the counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Reset the counters (between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+    }
+
+    fn evict_one(&mut self) -> Result<(), PoolError> {
+        let frames = &self.frames;
+        let victim = self
+            .policy
+            .victim(&|k| frames.get(&k).is_some_and(|f| f.pins == 0))
+            .ok_or(PoolError::AllPinned)?;
+        let frame = self.frames.remove(&victim).expect("victim must be resident");
+        self.policy.remove(victim);
+        self.used -= frame.bytes;
+        self.stats.evictions += 1;
+        if frame.dirty {
+            let data = codec::encode_dense(&frame.block);
+            self.storage.write(victim, data).map_err(|e| PoolError::Io(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    fn make_room(&mut self, needed: usize) -> Result<(), PoolError> {
+        if needed > self.capacity {
+            return Err(PoolError::BlockTooLarge { block_bytes: needed, capacity: self.capacity });
+        }
+        while self.used + needed > self.capacity {
+            self.evict_one()?;
+        }
+        Ok(())
+    }
+
+    /// Insert (or replace) a block. The new block is dirty: it will be spilled
+    /// on eviction.
+    pub fn put(&mut self, key: PageKey, block: Dense) -> Result<(), PoolError> {
+        let bytes = block_bytes(&block);
+        if let Some(old) = self.frames.remove(&key) {
+            self.used -= old.bytes;
+            self.policy.remove(key);
+        }
+        self.make_room(bytes)?;
+        self.frames.insert(key, Frame { block: Arc::new(block), bytes, pins: 0, dirty: true });
+        self.policy.admit(key);
+        self.used += bytes;
+        Ok(())
+    }
+
+    /// Fetch a block: resident hit, fault-in from storage, or `Ok(None)` when
+    /// the key is unknown to both.
+    pub fn get(&mut self, key: PageKey) -> Result<Option<Arc<Dense>>, PoolError> {
+        if let Some(frame) = self.frames.get(&key) {
+            self.stats.hits += 1;
+            let block = Arc::clone(&frame.block);
+            self.policy.touch(key);
+            return Ok(Some(block));
+        }
+        match self.storage.read(key).map_err(|e| PoolError::Io(e.to_string()))? {
+            Some(bytes) => {
+                self.stats.misses += 1;
+                let block = codec::decode_dense(bytes).ok_or(PoolError::Corrupt(key))?;
+                let nbytes = block_bytes(&block);
+                self.make_room(nbytes)?;
+                let arc = Arc::new(block);
+                self.frames.insert(
+                    key,
+                    // Clean: an identical copy lives in storage.
+                    Frame { block: Arc::clone(&arc), bytes: nbytes, pins: 0, dirty: false },
+                );
+                self.policy.admit(key);
+                self.used += nbytes;
+                Ok(Some(arc))
+            }
+            None => {
+                self.stats.absent += 1;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Pin a page so it cannot be evicted; faults it in first if spilled.
+    /// Returns `Ok(None)` for unknown keys.
+    pub fn pin(&mut self, key: PageKey) -> Result<Option<Arc<Dense>>, PoolError> {
+        let block = self.get(key)?;
+        if block.is_some() {
+            self.frames.get_mut(&key).expect("resident after get").pins += 1;
+        }
+        Ok(block)
+    }
+
+    /// Release one pin.
+    pub fn unpin(&mut self, key: PageKey) -> Result<(), PoolError> {
+        match self.frames.get_mut(&key) {
+            Some(f) if f.pins > 0 => {
+                f.pins -= 1;
+                Ok(())
+            }
+            _ => Err(PoolError::NotPinned(key)),
+        }
+    }
+
+    /// Flush every dirty resident block to storage (without evicting).
+    pub fn flush(&mut self) -> Result<(), PoolError> {
+        let keys: Vec<PageKey> = self.frames.keys().copied().collect();
+        for key in keys {
+            let frame = self.frames.get_mut(&key).expect("key just listed");
+            if frame.dirty {
+                let data = codec::encode_dense(&frame.block);
+                self.storage.write(key, data).map_err(|e| PoolError::Io(e.to_string()))?;
+                frame.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Borrow the backing store (tests and experiments).
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+}
+
+/// A thread-safe handle around a pool, for concurrent producers/consumers.
+pub struct SharedBufferPool<S: Storage> {
+    inner: Arc<Mutex<BufferPool<S>>>,
+}
+
+impl<S: Storage> Clone for SharedBufferPool<S> {
+    fn clone(&self) -> Self {
+        SharedBufferPool { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<S: Storage> SharedBufferPool<S> {
+    /// Wrap a pool.
+    pub fn new(pool: BufferPool<S>) -> Self {
+        SharedBufferPool { inner: Arc::new(Mutex::new(pool)) }
+    }
+
+    /// Insert a block.
+    pub fn put(&self, key: PageKey, block: Dense) -> Result<(), PoolError> {
+        self.inner.lock().put(key, block)
+    }
+
+    /// Fetch a block.
+    pub fn get(&self, key: PageKey) -> Result<Option<Arc<Dense>>, PoolError> {
+        self.inner.lock().get(key)
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStore;
+
+    fn block(v: f64) -> Dense {
+        Dense::filled(4, 4, v) // 4*4*8 + 16 = 144 bytes
+    }
+
+    fn key(i: u32) -> PageKey {
+        PageKey::new(1, i, 0)
+    }
+
+    fn pool(capacity_blocks: usize, kind: PolicyKind) -> BufferPool<MemStore> {
+        BufferPool::new(capacity_blocks * 144, kind, MemStore::default())
+    }
+
+    #[test]
+    fn put_get_hit() {
+        let mut p = pool(4, PolicyKind::Lru);
+        p.put(key(1), block(1.0)).unwrap();
+        let b = p.get(key(1)).unwrap().unwrap();
+        assert_eq!(b.get(0, 0), 1.0);
+        assert_eq!(p.stats().hits, 1);
+        assert_eq!(p.stats().misses, 0);
+    }
+
+    #[test]
+    fn eviction_spills_and_faults_back() {
+        let mut p = pool(2, PolicyKind::Lru);
+        p.put(key(1), block(1.0)).unwrap();
+        p.put(key(2), block(2.0)).unwrap();
+        p.put(key(3), block(3.0)).unwrap(); // evicts key 1
+        assert_eq!(p.resident(), 2);
+        assert_eq!(p.stats().evictions, 1);
+        assert_eq!(p.storage().len(), 1, "dirty victim spilled");
+        // Fault key 1 back in: miss, and evicts another block.
+        let b = p.get(key(1)).unwrap().unwrap();
+        assert_eq!(b.get(0, 0), 1.0);
+        assert_eq!(p.stats().misses, 1);
+        assert_eq!(p.stats().evictions, 2);
+    }
+
+    #[test]
+    fn lru_evicts_cold_page() {
+        let mut p = pool(2, PolicyKind::Lru);
+        p.put(key(1), block(1.0)).unwrap();
+        p.put(key(2), block(2.0)).unwrap();
+        p.get(key(1)).unwrap(); // heat key 1
+        p.put(key(3), block(3.0)).unwrap(); // should evict key 2
+        assert!(p.frames.contains_key(&key(1)));
+        assert!(!p.frames.contains_key(&key(2)));
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let mut p = pool(2, PolicyKind::Lru);
+        p.put(key(1), block(1.0)).unwrap();
+        p.pin(key(1)).unwrap().unwrap();
+        p.put(key(2), block(2.0)).unwrap();
+        p.put(key(3), block(3.0)).unwrap(); // must evict key 2, not pinned key 1
+        assert!(p.frames.contains_key(&key(1)));
+        p.unpin(key(1)).unwrap();
+        assert!(p.unpin(key(1)).is_err(), "double unpin rejected");
+    }
+
+    #[test]
+    fn all_pinned_errors() {
+        let mut p = pool(2, PolicyKind::Lru);
+        p.put(key(1), block(1.0)).unwrap();
+        p.put(key(2), block(2.0)).unwrap();
+        p.pin(key(1)).unwrap();
+        p.pin(key(2)).unwrap();
+        assert_eq!(p.put(key(3), block(3.0)), Err(PoolError::AllPinned));
+    }
+
+    #[test]
+    fn block_too_large_rejected() {
+        let mut p = pool(1, PolicyKind::Lru);
+        let huge = Dense::zeros(100, 100);
+        assert!(matches!(p.put(key(1), huge), Err(PoolError::BlockTooLarge { .. })));
+    }
+
+    #[test]
+    fn clean_faulted_pages_not_rewritten() {
+        let mut p = pool(1, PolicyKind::Fifo);
+        p.put(key(1), block(1.0)).unwrap();
+        p.put(key(2), block(2.0)).unwrap(); // spills 1 (dirty write #1)
+        p.get(key(1)).unwrap(); // faults 1 back (clean), evicts 2 (dirty write #2)
+        assert_eq!(p.storage().len(), 2);
+        p.put(key(3), block(3.0)).unwrap(); // evicts clean 1: no rewrite needed
+        assert_eq!(p.stats().evictions, 3);
+    }
+
+    #[test]
+    fn replace_existing_key_updates_bytes() {
+        let mut p = pool(4, PolicyKind::Lru);
+        p.put(key(1), block(1.0)).unwrap();
+        let used = p.used();
+        p.put(key(1), Dense::filled(2, 2, 9.0)).unwrap();
+        assert!(p.used() < used);
+        assert_eq!(p.get(key(1)).unwrap().unwrap().get(0, 0), 9.0);
+    }
+
+    #[test]
+    fn absent_key_counted() {
+        let mut p = pool(2, PolicyKind::Lru);
+        assert!(p.get(key(42)).unwrap().is_none());
+        assert_eq!(p.stats().absent, 1);
+    }
+
+    #[test]
+    fn flush_writes_dirty_blocks() {
+        let mut p = pool(4, PolicyKind::Lru);
+        p.put(key(1), block(1.0)).unwrap();
+        p.put(key(2), block(2.0)).unwrap();
+        p.flush().unwrap();
+        assert_eq!(p.storage().len(), 2);
+        // Second flush is a no-op (all clean now) — still 2 entries.
+        p.flush().unwrap();
+        assert_eq!(p.storage().len(), 2);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = PoolStats { hits: 3, misses: 1, evictions: 0, absent: 5 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(PoolStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn shared_pool_concurrent_access() {
+        let shared = SharedBufferPool::new(pool(8, PolicyKind::Clock));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let s = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20u32 {
+                    let k = PageKey::new(2, t, i % 4);
+                    s.put(k, Dense::filled(2, 2, (t * 100 + i) as f64)).unwrap();
+                    let got = s.get(k).unwrap();
+                    assert!(got.is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(shared.stats().hits >= 80 - 32, "most gets should hit");
+    }
+}

@@ -1,0 +1,160 @@
+//! Backing stores the buffer pool spills evicted blocks to.
+
+use bytes::Bytes;
+use crate::pool::PageKey;
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+
+/// A key-value store of serialized blocks.
+pub trait Storage: Send {
+    /// Read the bytes for a key, if present.
+    fn read(&self, key: PageKey) -> io::Result<Option<Bytes>>;
+    /// Write (or overwrite) the bytes for a key.
+    fn write(&mut self, key: PageKey, data: Bytes) -> io::Result<()>;
+    /// Remove a key, if present.
+    fn remove(&mut self, key: PageKey) -> io::Result<()>;
+    /// Number of stored keys (for tests and accounting).
+    fn len(&self) -> usize;
+    /// True when no keys are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// In-memory backing store (default for tests and benchmarks).
+#[derive(Debug, Default)]
+pub struct MemStore {
+    map: HashMap<PageKey, Bytes>,
+}
+
+impl Storage for MemStore {
+    fn read(&self, key: PageKey) -> io::Result<Option<Bytes>> {
+        Ok(self.map.get(&key).cloned())
+    }
+
+    fn write(&mut self, key: PageKey, data: Bytes) -> io::Result<()> {
+        self.map.insert(key, data);
+        Ok(())
+    }
+
+    fn remove(&mut self, key: PageKey) -> io::Result<()> {
+        self.map.remove(&key);
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// On-disk backing store: one file per block under a directory.
+#[derive(Debug)]
+pub struct FileStore {
+    dir: PathBuf,
+    keys: std::collections::HashSet<PageKey>,
+}
+
+impl FileStore {
+    /// Create (or reuse) a spill directory.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileStore { dir, keys: std::collections::HashSet::new() })
+    }
+
+    fn path(&self, key: PageKey) -> PathBuf {
+        self.dir.join(format!("m{}_b{}_{}.blk", key.matrix, key.block_row, key.block_col))
+    }
+}
+
+impl Storage for FileStore {
+    fn read(&self, key: PageKey) -> io::Result<Option<Bytes>> {
+        if !self.keys.contains(&key) {
+            return Ok(None);
+        }
+        let data = std::fs::read(self.path(key))?;
+        Ok(Some(Bytes::from(data)))
+    }
+
+    fn write(&mut self, key: PageKey, data: Bytes) -> io::Result<()> {
+        std::fs::write(self.path(key), &data)?;
+        self.keys.insert(key);
+        Ok(())
+    }
+
+    fn remove(&mut self, key: PageKey) -> io::Result<()> {
+        if self.keys.remove(&key) {
+            std::fs::remove_file(self.path(key)).ok();
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+impl Drop for FileStore {
+    fn drop(&mut self) {
+        // Best-effort cleanup of spill files; the directory may be shared.
+        let keys: Vec<PageKey> = self.keys.iter().copied().collect();
+        for k in keys {
+            let _ = self.remove(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u32) -> PageKey {
+        PageKey::new(7, i, 0)
+    }
+
+    #[test]
+    fn mem_store_round_trip() {
+        let mut s = MemStore::default();
+        assert!(s.is_empty());
+        s.write(key(1), Bytes::from_static(b"abc")).unwrap();
+        assert_eq!(s.read(key(1)).unwrap().unwrap(), Bytes::from_static(b"abc"));
+        assert_eq!(s.read(key(2)).unwrap(), None);
+        assert_eq!(s.len(), 1);
+        s.remove(key(1)).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn file_store_round_trip() {
+        let dir = std::env::temp_dir().join("dmml_filestore_test");
+        let mut s = FileStore::new(&dir).unwrap();
+        s.write(key(3), Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(s.read(key(3)).unwrap().unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(s.read(key(4)).unwrap(), None);
+        s.remove(key(3)).unwrap();
+        assert_eq!(s.read(key(3)).unwrap(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn file_store_overwrite() {
+        let dir = std::env::temp_dir().join("dmml_filestore_test2");
+        let mut s = FileStore::new(&dir).unwrap();
+        s.write(key(1), Bytes::from_static(b"v1")).unwrap();
+        s.write(key(1), Bytes::from_static(b"v2")).unwrap();
+        assert_eq!(s.read(key(1)).unwrap().unwrap(), Bytes::from_static(b"v2"));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn file_store_cleans_up_on_drop() {
+        let dir = std::env::temp_dir().join("dmml_filestore_drop");
+        {
+            let mut s = FileStore::new(&dir).unwrap();
+            s.write(key(9), Bytes::from_static(b"temp")).unwrap();
+        }
+        let residual = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(residual, 0, "spill files must be removed on drop");
+    }
+}

@@ -1,0 +1,206 @@
+//! Sampling-based estimators used by the compression planner.
+//!
+//! The planner must decide, *before* compressing, which encoding each column
+//! group should use and which columns to co-code. Doing that exactly would
+//! cost as much as compressing, so — following the CLA planning pipeline — it
+//! draws a row sample and extrapolates distinct-tuple counts, non-zero counts,
+//! and run counts from the sample.
+
+use dm_matrix::Dense;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Sample-derived statistics for one candidate column group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupStats {
+    /// Estimated number of distinct value-tuples in the full column group.
+    pub est_distinct: usize,
+    /// Estimated number of rows whose tuple is not all-zero.
+    pub est_nnz_rows: usize,
+    /// Estimated number of RLE runs over non-zero tuples.
+    pub est_runs: usize,
+    /// Number of logical rows.
+    pub num_rows: usize,
+}
+
+/// Draw a deterministic row sample of the given fraction (at least
+/// `min_rows`, at most all rows).
+pub fn sample_rows(num_rows: usize, fraction: f64, min_rows: usize, seed: u64) -> Vec<usize> {
+    let target = ((num_rows as f64 * fraction).ceil() as usize).clamp(min_rows.min(num_rows), num_rows);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..num_rows).collect();
+    idx.shuffle(&mut rng);
+    idx.truncate(target);
+    idx.sort_unstable();
+    idx
+}
+
+/// Estimate group statistics from a row sample.
+///
+/// Distinct tuples are scaled up with a coupon-collector style correction
+/// bounded by the sampled-distinct count and the row count: if the sample of
+/// size `s` out of `n` saw `d` distinct values and `f1` of them occurred once,
+/// we use the unsmoothed Chao estimator `d + f1^2 / (2 * (d - f1) + 1)`
+/// clamped to `[d, n]` — singletons in the sample signal unseen values.
+pub fn estimate_group(m: &Dense, cols: &[usize], sample: &[usize]) -> GroupStats {
+    let n = m.rows();
+    let s = sample.len();
+    if s == 0 || cols.is_empty() {
+        return GroupStats { est_distinct: 0, est_nnz_rows: 0, est_runs: 0, num_rows: n };
+    }
+
+    let mut seen: HashSet<Vec<u64>> = HashSet::new();
+    let mut counts: std::collections::HashMap<Vec<u64>, usize> = std::collections::HashMap::new();
+    let mut nnz_rows = 0usize;
+    let mut runs = 0usize;
+    let mut prev: Option<Vec<u64>> = None;
+
+    for &r in sample {
+        let key: Vec<u64> = cols.iter().map(|&c| m.get(r, c).to_bits()).collect();
+        let is_zero = cols.iter().all(|&c| m.get(r, c) == 0.0);
+        if !is_zero {
+            nnz_rows += 1;
+            if prev.as_ref() != Some(&key) {
+                runs += 1;
+            }
+        }
+        *counts.entry(key.clone()).or_insert(0) += 1;
+        seen.insert(key.clone());
+        prev = Some(key);
+    }
+
+    let d = seen.len();
+    let est_distinct = if s >= n {
+        // Complete sample: the count is exact, no extrapolation.
+        d
+    } else {
+        let f1 = counts.values().filter(|&&c| c == 1).count();
+        let chao = d as f64 + (f1 * f1) as f64 / (2.0 * (d - f1) as f64 + 1.0);
+        (chao.round() as usize).clamp(d, n)
+    };
+
+    let scale = n as f64 / s as f64;
+    GroupStats {
+        est_distinct,
+        est_nnz_rows: ((nnz_rows as f64 * scale).round() as usize).min(n),
+        est_runs: ((runs as f64 * scale).round() as usize).min(n),
+        num_rows: n,
+    }
+}
+
+/// Estimated compressed sizes in bytes for each encoding, given group stats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeEstimates {
+    /// Dense dictionary coding.
+    pub ddc: usize,
+    /// Offset-list encoding.
+    pub ole: usize,
+    /// Run-length encoding.
+    pub rle: usize,
+    /// Uncompressed fallback.
+    pub uncompressed: usize,
+}
+
+impl SizeEstimates {
+    /// The cheapest encoding and its size.
+    pub fn best(&self) -> (crate::Encoding, usize) {
+        let mut best = (crate::Encoding::Uncompressed, self.uncompressed);
+        for (enc, sz) in [
+            (crate::Encoding::Ddc, self.ddc),
+            (crate::Encoding::Ole, self.ole),
+            (crate::Encoding::Rle, self.rle),
+        ] {
+            if sz < best.1 {
+                best = (enc, sz);
+            }
+        }
+        best
+    }
+}
+
+/// Predict compressed sizes from stats (same cost model the physical groups
+/// report via `ColGroup::size_bytes`).
+pub fn estimate_sizes(stats: &GroupStats, width: usize) -> SizeEstimates {
+    let dict = stats.est_distinct * width * 8;
+    let ddc = dict + stats.num_rows * crate::group::code_width(stats.est_distinct);
+    // OLE/RLE dictionaries store only *non-zero* tuples, so their size is
+    // additionally bounded by the number of non-zero rows — without this cap,
+    // a unique-valued sparse column looks as expensive as a unique-valued
+    // dense one and the planner wrongly falls back to uncompressed.
+    let nz_distinct = stats.est_distinct.min(stats.est_nnz_rows);
+    let nz_dict = nz_distinct * width * 8;
+    let ole = nz_dict + stats.est_nnz_rows * 4 + nz_distinct * 8;
+    let rle = nz_dict + stats.est_runs * 8 + nz_distinct * 8;
+    let uncompressed = stats.num_rows * width * 8;
+    SizeEstimates { ddc, ole, rle, uncompressed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_rows_bounds() {
+        let s = sample_rows(1000, 0.05, 10, 42);
+        assert_eq!(s.len(), 50);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted and unique");
+        assert!(s.iter().all(|&i| i < 1000));
+        // Deterministic for equal seeds.
+        assert_eq!(s, sample_rows(1000, 0.05, 10, 42));
+        // min_rows floor.
+        assert_eq!(sample_rows(1000, 0.001, 20, 1).len(), 20);
+        // Never exceeds the population.
+        assert_eq!(sample_rows(5, 0.5, 10, 1).len(), 5);
+    }
+
+    #[test]
+    fn low_cardinality_estimated_exactly() {
+        let m = Dense::from_fn(1000, 1, |r, _| (r % 4) as f64);
+        let sample = sample_rows(1000, 0.2, 50, 7);
+        let st = estimate_group(&m, &[0], &sample);
+        assert_eq!(st.est_distinct, 4, "all 4 values appear many times in any decent sample");
+        // Scaled-up nnz estimate carries sampling variance; true value is 750.
+        assert!((st.est_nnz_rows as i64 - 750).abs() < 100, "est {}", st.est_nnz_rows);
+    }
+
+    #[test]
+    fn unique_column_estimates_high_cardinality() {
+        let m = Dense::from_fn(1000, 1, |r, _| r as f64);
+        let sample = sample_rows(1000, 0.1, 50, 7);
+        let st = estimate_group(&m, &[0], &sample);
+        // Every sampled value is a singleton: Chao blows up and is clamped to n.
+        assert!(st.est_distinct > 500, "got {}", st.est_distinct);
+    }
+
+    #[test]
+    fn sparse_column_nnz_estimate() {
+        let m = Dense::from_fn(2000, 1, |r, _| if r % 10 == 0 { 1.0 } else { 0.0 });
+        let sample = sample_rows(2000, 0.25, 100, 3);
+        let st = estimate_group(&m, &[0], &sample);
+        let true_nnz = 200;
+        assert!((st.est_nnz_rows as i64 - true_nnz).abs() < 80, "est {}", st.est_nnz_rows);
+    }
+
+    #[test]
+    fn size_model_prefers_right_encoding() {
+        // Clustered low cardinality: few runs -> RLE wins.
+        let clustered = GroupStats { est_distinct: 5, est_nnz_rows: 10_000, est_runs: 10, num_rows: 10_000 };
+        assert_eq!(estimate_sizes(&clustered, 1).best().0, crate::Encoding::Rle);
+        // Very sparse: OLE wins.
+        let sparse = GroupStats { est_distinct: 2, est_nnz_rows: 50, est_runs: 50, num_rows: 10_000 };
+        let best = estimate_sizes(&sparse, 1).best().0;
+        assert!(matches!(best, crate::Encoding::Ole | crate::Encoding::Rle));
+        // All-unique: nothing beats uncompressed.
+        let unique = GroupStats { est_distinct: 10_000, est_nnz_rows: 10_000, est_runs: 10_000, num_rows: 10_000 };
+        assert_eq!(estimate_sizes(&unique, 1).best().0, crate::Encoding::Uncompressed);
+    }
+
+    #[test]
+    fn empty_sample_degenerates() {
+        let m = Dense::zeros(10, 2);
+        let st = estimate_group(&m, &[0], &[]);
+        assert_eq!(st.est_distinct, 0);
+    }
+}

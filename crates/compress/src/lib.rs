@@ -1,0 +1,46 @@
+//! # dm-compress
+//!
+//! Compressed Linear Algebra (CLA) in the style surveyed by the tutorial's
+//! "data management inside ML systems" pillar: a matrix is stored as a set of
+//! **column groups**, each of which co-codes one or more columns against a
+//! dictionary of distinct value-tuples, and linear-algebra kernels execute
+//! **directly on the compressed representation** — no decompression on the
+//! hot path.
+//!
+//! Supported encodings (one per column group):
+//!
+//! * **DDC** — dense dictionary coding: one code per row.
+//! * **OLE** — offset-list encoding: per-tuple sorted row-offset lists
+//!   (zero tuples need no storage, so OLE excels on sparse data).
+//! * **RLE** — run-length encoding: per-tuple `(start, length)` runs
+//!   (excels on sorted/clustered data).
+//! * **UC** — uncompressed fallback for incompressible columns.
+//!
+//! A sampling-based [`planner`] estimates per-format sizes from a row sample,
+//! greedily co-codes correlated columns, and picks the cheapest encoding per
+//! group — the CLA compression planning pipeline.
+//!
+//! ```
+//! use dm_matrix::Dense;
+//! use dm_compress::{CompressedMatrix, planner::CompressionConfig};
+//!
+//! // A low-cardinality matrix compresses well and multiplies correctly.
+//! let m = Dense::from_fn(1000, 2, |r, c| ((r / 100 + c) % 3) as f64);
+//! let cm = CompressedMatrix::compress(&m, &CompressionConfig::default());
+//! let v = vec![1.0, 2.0];
+//! assert_eq!(cm.gemv(&v), dm_matrix::ops::gemv(&m, &v));
+//! assert!(cm.compression_ratio() > 2.0);
+//! ```
+
+pub mod codes;
+pub mod dict;
+pub mod estimate;
+pub mod group;
+pub mod kernels;
+pub mod matrix;
+pub mod planner;
+pub mod serial;
+
+pub use dict::Dict;
+pub use group::{ColGroup, Encoding};
+pub use matrix::CompressedMatrix;

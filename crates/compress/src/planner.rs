@@ -1,0 +1,224 @@
+//! Sampling-based compression planning: per-column encoding choice and
+//! greedy column co-coding.
+
+use crate::estimate::{estimate_group, estimate_sizes, sample_rows, GroupStats};
+use crate::Encoding;
+use dm_matrix::Dense;
+
+/// Tuning knobs for the compression planner.
+#[derive(Debug, Clone, Copy)]
+pub struct CompressionConfig {
+    /// Fraction of rows sampled for estimation.
+    pub sample_fraction: f64,
+    /// Lower bound on the sample size.
+    pub min_sample_rows: usize,
+    /// Enable greedy co-coding of correlated columns.
+    pub cocode: bool,
+    /// A column group is kept compressed only if its estimated compressed
+    /// size is below `max_ratio_to_keep * uncompressed_size`.
+    pub max_ratio_to_keep: f64,
+    /// RNG seed for the row sample (deterministic plans for reproducibility).
+    pub seed: u64,
+}
+
+impl Default for CompressionConfig {
+    fn default() -> Self {
+        CompressionConfig {
+            sample_fraction: 0.05,
+            min_sample_rows: 256,
+            cocode: true,
+            max_ratio_to_keep: 1.0,
+            seed: 0xD77,
+        }
+    }
+}
+
+/// The planned treatment of one column group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedGroup {
+    /// Columns of the group (co-coded together when more than one).
+    pub cols: Vec<usize>,
+    /// Chosen encoding.
+    pub encoding: Encoding,
+    /// Estimated compressed size in bytes.
+    pub est_size: usize,
+}
+
+/// A complete compression plan for a matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressionPlan {
+    /// Per-group decisions; groups partition the column set.
+    pub groups: Vec<PlannedGroup>,
+    /// Number of rows sampled while planning.
+    pub sample_size: usize,
+}
+
+fn plan_one(m: &Dense, cols: &[usize], sample: &[usize]) -> (Encoding, usize, GroupStats) {
+    let stats = estimate_group(m, cols, sample);
+    let sizes = estimate_sizes(&stats, cols.len());
+    let (enc, sz) = sizes.best();
+    (enc, sz, stats)
+}
+
+/// Produce a compression plan for `m`.
+///
+/// 1. Sample rows once.
+/// 2. Estimate per-column stats and pick the best single-column encoding.
+/// 3. If co-coding is enabled, greedily merge the pair of groups whose merged
+///    estimated size is smallest relative to the sum of their separate sizes,
+///    repeating until no merge helps.
+/// 4. Demote groups whose best compressed size exceeds
+///    [`CompressionConfig::max_ratio_to_keep`] of uncompressed to the UC fallback.
+pub fn plan(m: &Dense, cfg: &CompressionConfig) -> CompressionPlan {
+    let sample = sample_rows(m.rows(), cfg.sample_fraction, cfg.min_sample_rows, cfg.seed);
+
+    // Step 1: singleton groups.
+    let mut groups: Vec<(Vec<usize>, Encoding, usize)> = (0..m.cols())
+        .map(|c| {
+            let cols = vec![c];
+            let (enc, sz, _) = plan_one(m, &cols, &sample);
+            (cols, enc, sz)
+        })
+        .collect();
+
+    // Step 2: greedy pairwise co-coding. Only dictionary encodings benefit
+    // from co-coding; skip pairs whose best encoding is UC.
+    if cfg.cocode {
+        loop {
+            let mut best: Option<(usize, usize, Encoding, usize, f64)> = None;
+            for i in 0..groups.len() {
+                for j in (i + 1)..groups.len() {
+                    if groups[i].1 == Encoding::Uncompressed || groups[j].1 == Encoding::Uncompressed {
+                        continue;
+                    }
+                    let mut merged: Vec<usize> = groups[i].0.clone();
+                    merged.extend_from_slice(&groups[j].0);
+                    merged.sort_unstable();
+                    let (enc, sz, _) = plan_one(m, &merged, &sample);
+                    let separate = groups[i].2 + groups[j].2;
+                    let gain = separate as f64 - sz as f64;
+                    if gain > 0.0 {
+                        let better = match best {
+                            None => true,
+                            Some((.., g)) => gain > g,
+                        };
+                        if better {
+                            best = Some((i, j, enc, sz, gain));
+                        }
+                    }
+                }
+            }
+            match best {
+                Some((i, j, enc, sz, _)) => {
+                    let (right, _, _) = groups.remove(j);
+                    let (left, _, _) = groups.remove(i);
+                    let mut merged = left;
+                    merged.extend(right);
+                    merged.sort_unstable();
+                    groups.push((merged, enc, sz));
+                }
+                None => break,
+            }
+        }
+    }
+
+    // Step 3: fallback demotion.
+    let planned = groups
+        .into_iter()
+        .map(|(cols, enc, sz)| {
+            let uncompressed = m.rows() * cols.len() * 8;
+            if enc == Encoding::Uncompressed || sz as f64 > cfg.max_ratio_to_keep * uncompressed as f64 {
+                PlannedGroup { cols, encoding: Encoding::Uncompressed, est_size: uncompressed }
+            } else {
+                PlannedGroup { cols, encoding: enc, est_size: sz }
+            }
+        })
+        .collect();
+
+    CompressionPlan { groups: planned, sample_size: sample.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_partitions_all_columns() {
+        let m = Dense::from_fn(500, 4, |r, c| ((r + c) % 5) as f64);
+        let p = plan(&m, &CompressionConfig::default());
+        let mut cols: Vec<usize> = p.groups.iter().flat_map(|g| g.cols.clone()).collect();
+        cols.sort_unstable();
+        assert_eq!(cols, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unique_column_falls_back_to_uncompressed() {
+        let m = Dense::from_fn(2000, 1, |r, _| r as f64 * 1.37);
+        let p = plan(&m, &CompressionConfig::default());
+        assert_eq!(p.groups.len(), 1);
+        assert_eq!(p.groups[0].encoding, Encoding::Uncompressed);
+    }
+
+    #[test]
+    fn clustered_column_gets_rle() {
+        let m = Dense::from_fn(4000, 1, |r, _| (r / 500) as f64);
+        let p = plan(&m, &CompressionConfig::default());
+        assert_eq!(p.groups[0].encoding, Encoding::Rle);
+    }
+
+    #[test]
+    fn sparse_column_gets_offset_encoding() {
+        let m = Dense::from_fn(4000, 1, |r, _| if r % 97 == 0 { 3.0 } else { 0.0 });
+        let p = plan(&m, &CompressionConfig::default());
+        assert!(matches!(p.groups[0].encoding, Encoding::Ole | Encoding::Rle));
+        assert!(p.groups[0].est_size < 4000 * 8 / 10);
+    }
+
+    #[test]
+    fn perfectly_correlated_columns_cocoded() {
+        // Column 1 is a function of column 0: co-coding stores one dictionary
+        // and one code stream instead of two.
+        let m = Dense::from_fn(3000, 2, |r, c| {
+            let base = (r % 6) as f64;
+            if c == 0 {
+                base
+            } else {
+                base * 10.0
+            }
+        });
+        let p = plan(&m, &CompressionConfig::default());
+        assert_eq!(p.groups.len(), 1, "correlated columns should merge: {:?}", p.groups);
+        assert_eq!(p.groups[0].cols, vec![0, 1]);
+    }
+
+    #[test]
+    fn independent_random_columns_not_cocoded() {
+        // Two independent 50-value columns whose *pair* takes ~2500 distinct
+        // combinations: merging squares the dictionary, so the planner must
+        // keep them separate.
+        let m = Dense::from_fn(3000, 2, |r, c| {
+            if c == 0 {
+                (r % 50) as f64
+            } else {
+                ((r / 50) % 50) as f64
+            }
+        });
+        let p = plan(&m, &CompressionConfig::default());
+        assert_eq!(p.groups.len(), 2, "independent columns must stay separate: {:?}", p.groups);
+    }
+
+    #[test]
+    fn cocode_flag_disables_merging() {
+        let m = Dense::from_fn(1000, 2, |r, _| (r % 3) as f64);
+        let cfg = CompressionConfig { cocode: false, ..CompressionConfig::default() };
+        let p = plan(&m, &cfg);
+        assert_eq!(p.groups.len(), 2);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let m = Dense::from_fn(1500, 3, |r, c| ((r * (c + 2)) % 11) as f64);
+        let cfg = CompressionConfig::default();
+        assert_eq!(plan(&m, &cfg), plan(&m, &cfg));
+    }
+}

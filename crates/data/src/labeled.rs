@@ -1,0 +1,133 @@
+//! Labeled dataset generators for GLM and classifier experiments.
+
+use dm_matrix::Dense;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A labeled dataset with known generating weights.
+#[derive(Debug, Clone)]
+pub struct LabeledData {
+    /// Feature matrix.
+    pub x: Dense,
+    /// Labels (continuous for regression, {0,1} for classification).
+    pub y: Vec<f64>,
+    /// True generating weights (including intercept at position 0).
+    pub truth: Vec<f64>,
+}
+
+/// Linear regression data: `y = b0 + X·w + noise`.
+pub fn regression(n: usize, d: usize, noise: f64, seed: u64) -> LabeledData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = Dense::from_fn(n, d, |_, _| rng.gen_range(-1.0..1.0));
+    let truth: Vec<f64> = (0..=d).map(|_| rng.gen_range(-3.0..3.0)).collect();
+    let y = (0..n)
+        .map(|r| {
+            let mut s = truth[0];
+            for j in 0..d {
+                s += truth[j + 1] * x.get(r, j);
+            }
+            s + if noise > 0.0 { rng.gen_range(-noise..noise) } else { 0.0 }
+        })
+        .collect();
+    LabeledData { x, y, truth }
+}
+
+/// Binary classification data from a logistic model: labels are drawn from
+/// `Bernoulli(sigmoid(b0 + X·w))`, so the Bayes-optimal accuracy is below 1.
+pub fn classification(n: usize, d: usize, scale: f64, seed: u64) -> LabeledData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = Dense::from_fn(n, d, |_, _| rng.gen_range(-1.0..1.0));
+    let truth: Vec<f64> = (0..=d).map(|_| rng.gen_range(-scale..scale)).collect();
+    let y = (0..n)
+        .map(|r| {
+            let mut s = truth[0];
+            for j in 0..d {
+                s += truth[j + 1] * x.get(r, j);
+            }
+            let p = 1.0 / (1.0 + (-s).exp());
+            if rng.gen_bool(p.clamp(0.001, 0.999)) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    LabeledData { x, y, truth }
+}
+
+/// Gaussian-blob multi-class data: `k` well-separated clusters with integer
+/// labels `0..k` (for k-means / NB / tree experiments).
+pub fn blobs(n: usize, d: usize, k: usize, spread: f64, seed: u64) -> (Dense, Vec<i64>) {
+    assert!(k > 0, "need at least one cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Place cluster centers on a scaled lattice so they are well separated.
+    let centers = Dense::from_fn(k, d, |c, j| ((c * (j + 3) + 1) % (k + 2)) as f64 * 10.0);
+    let mut x = Dense::zeros(n, d);
+    let mut y = Vec::with_capacity(n);
+    for r in 0..n {
+        let c = r % k;
+        y.push(c as i64);
+        for j in 0..d {
+            x.set(r, j, centers.get(c, j) + rng.gen_range(-spread..spread));
+        }
+    }
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_labels_match_truth_without_noise() {
+        let d = regression(100, 3, 0.0, 5);
+        for r in [0usize, 17, 99] {
+            let mut s = d.truth[0];
+            for j in 0..3 {
+                s += d.truth[j + 1] * d.x.get(r, j);
+            }
+            assert!((d.y[r] - s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn regression_is_learnable() {
+        let d = regression(500, 4, 0.01, 8);
+        let m = dm_ml::linreg::LinearRegression::fit(
+            &d.x,
+            &d.y,
+            dm_ml::linreg::Solver::NormalEquations,
+            0.0,
+        )
+        .unwrap();
+        assert!((m.intercept - d.truth[0]).abs() < 0.05);
+        for (c, t) in m.coefficients.iter().zip(&d.truth[1..]) {
+            assert!((c - t).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn classification_labels_binary_and_balancedish() {
+        let d = classification(1000, 3, 2.0, 3);
+        assert!(d.y.iter().all(|&v| v == 0.0 || v == 1.0));
+        let pos = d.y.iter().filter(|&&v| v == 1.0).count();
+        assert!(pos > 100 && pos < 900, "pos {pos}");
+    }
+
+    #[test]
+    fn blobs_are_separable() {
+        let (x, y) = blobs(90, 2, 3, 0.5, 4);
+        assert_eq!(x.rows(), 90);
+        assert_eq!(y.len(), 90);
+        let m = dm_ml::naive_bayes::GaussianNb::fit(&x, &y).unwrap();
+        assert!(m.accuracy(&x, &y) > 0.99);
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(regression(10, 2, 0.1, 1).y, regression(10, 2, 0.1, 1).y);
+        assert_eq!(classification(10, 2, 1.0, 1).y, classification(10, 2, 1.0, 1).y);
+        assert_eq!(blobs(10, 2, 2, 0.1, 1).0, blobs(10, 2, 2, 0.1, 1).0);
+    }
+}

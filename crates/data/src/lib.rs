@@ -1,0 +1,16 @@
+//! # dm-data
+//!
+//! Deterministic synthetic data and workload generators shared by the test
+//! suite, examples, and the benchmark harness.
+//!
+//! Every generator takes an explicit seed, so experiments are reproducible
+//! run to run. The generators are designed to match the *statistical
+//! structure* that the reproduced experiments depend on: column cardinality
+//! and clustering for compression (E1/E2), join tuple ratios for factorized
+//! learning (E3/E4/E9), sparsity for kernel crossovers (E6), and access skew
+//! for buffer-pool traces (E10).
+
+pub mod labeled;
+pub mod matgen;
+pub mod star;
+pub mod trace;

@@ -1,0 +1,120 @@
+//! Matrix generators with controlled statistical structure.
+
+use dm_matrix::Dense;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Uniform dense matrix with values in `[lo, hi)`.
+pub fn dense_uniform(rows: usize, cols: usize, lo: f64, hi: f64, seed: u64) -> Dense {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dense::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+/// Sparse matrix: each cell is non-zero with probability `density`,
+/// non-zero values uniform in `[0.5, 1.5)`.
+pub fn sparse_uniform(rows: usize, cols: usize, density: f64, seed: u64) -> Dense {
+    let density = density.clamp(0.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dense::from_fn(rows, cols, |_, _| {
+        if rng.gen_bool(density) {
+            rng.gen_range(0.5..1.5)
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Low-cardinality matrix: each column draws from `cardinality` distinct
+/// values in random row order (DDC-friendly, not RLE-friendly).
+pub fn low_cardinality(rows: usize, cols: usize, cardinality: usize, seed: u64) -> Dense {
+    assert!(cardinality > 0, "cardinality must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dense::from_fn(rows, cols, |_, c| {
+        ((rng.gen_range(0..cardinality) * (c + 1)) % (cardinality * (c + 1))) as f64
+            / (c + 1) as f64
+    })
+}
+
+/// Clustered low-cardinality matrix: values change in long runs
+/// (RLE-friendly). `run_len` rows share a value before it switches.
+pub fn clustered(rows: usize, cols: usize, cardinality: usize, run_len: usize, seed: u64) -> Dense {
+    assert!(cardinality > 0 && run_len > 0, "cardinality and run_len must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Pre-draw the run values per column.
+    let runs = rows.div_ceil(run_len);
+    let mut values = vec![vec![0.0f64; runs]; cols];
+    for col in values.iter_mut() {
+        for v in col.iter_mut() {
+            *v = rng.gen_range(0..cardinality) as f64;
+        }
+    }
+    Dense::from_fn(rows, cols, |r, c| values[c][r / run_len])
+}
+
+/// Matrix whose later columns are deterministic functions of column 0
+/// (maximally co-codable).
+pub fn correlated(rows: usize, cols: usize, cardinality: usize, seed: u64) -> Dense {
+    assert!(cardinality > 0, "cardinality must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base: Vec<usize> = (0..rows).map(|_| rng.gen_range(0..cardinality)).collect();
+    Dense::from_fn(rows, cols, |r, c| ((base[r] * (c + 1)) % cardinality) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn dense_uniform_range_and_determinism() {
+        let a = dense_uniform(50, 4, -1.0, 1.0, 7);
+        assert!(a.data().iter().all(|&v| (-1.0..1.0).contains(&v)));
+        assert_eq!(a, dense_uniform(50, 4, -1.0, 1.0, 7));
+        assert_ne!(a, dense_uniform(50, 4, -1.0, 1.0, 8));
+    }
+
+    #[test]
+    fn sparse_density_approximate() {
+        let m = sparse_uniform(2000, 5, 0.1, 3);
+        let s = m.sparsity();
+        assert!((s - 0.1).abs() < 0.02, "sparsity {s}");
+        assert_eq!(sparse_uniform(10, 2, 0.0, 1).nnz(), 0);
+        assert_eq!(sparse_uniform(10, 2, 1.0, 1).nnz(), 20);
+    }
+
+    #[test]
+    fn low_cardinality_bounded_distinct() {
+        let m = low_cardinality(1000, 3, 5, 11);
+        for c in 0..3 {
+            let distinct: HashSet<u64> = m.col_vec(c).iter().map(|v| v.to_bits()).collect();
+            assert!(distinct.len() <= 5, "col {c} has {} distinct", distinct.len());
+        }
+    }
+
+    #[test]
+    fn clustered_has_long_runs() {
+        let m = clustered(1000, 2, 4, 100, 5);
+        // Count value changes per column: at most rows/run_len.
+        for c in 0..2 {
+            let col = m.col_vec(c);
+            let changes = col.windows(2).filter(|w| w[0] != w[1]).count();
+            assert!(changes <= 10, "col {c} changed {changes} times");
+        }
+    }
+
+    #[test]
+    fn correlated_columns_are_functions_of_base() {
+        let m = correlated(500, 3, 7, 9);
+        // Any two rows with equal col-0 values agree on all columns.
+        for r1 in 0..100 {
+            for r2 in 100..200 {
+                if m.get(r1, 0) == m.get(r2, 0) {
+                    for c in 1..3 {
+                        assert_eq!(m.get(r1, c), m.get(r2, c));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Block-access trace generators for buffer-pool experiments (E10).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A sequence of block ids to access.
+pub type Trace = Vec<usize>;
+
+/// Sequential scans repeated `passes` times over `num_blocks` blocks —
+/// the pathological case for LRU when the working set exceeds the pool.
+pub fn scan(num_blocks: usize, passes: usize) -> Trace {
+    (0..passes).flat_map(|_| 0..num_blocks).collect()
+}
+
+/// Hot-set workload: with probability `hot_prob` access one of the first
+/// `hot_blocks` blocks, otherwise a uniform cold block.
+pub fn hot_set(
+    num_blocks: usize,
+    hot_blocks: usize,
+    hot_prob: f64,
+    len: usize,
+    seed: u64,
+) -> Trace {
+    assert!(hot_blocks > 0 && hot_blocks <= num_blocks, "invalid hot set size");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(hot_prob.clamp(0.0, 1.0)) {
+                rng.gen_range(0..hot_blocks)
+            } else {
+                rng.gen_range(0..num_blocks)
+            }
+        })
+        .collect()
+}
+
+/// Zipf-distributed accesses with exponent `theta` (1.0 is the classic
+/// heavy-skew setting); block 0 is the hottest.
+pub fn zipf(num_blocks: usize, theta: f64, len: usize, seed: u64) -> Trace {
+    assert!(num_blocks > 0, "need at least one block");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Precompute the CDF.
+    let weights: Vec<f64> = (1..=num_blocks).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(num_blocks);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    (0..len)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            cdf.partition_point(|&c| c < u).min(num_blocks - 1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_is_cyclic() {
+        let t = scan(4, 3);
+        assert_eq!(t.len(), 12);
+        assert_eq!(&t[..4], &[0, 1, 2, 3]);
+        assert_eq!(&t[4..8], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hot_set_concentrates_accesses() {
+        let t = hot_set(100, 5, 0.9, 10_000, 1);
+        let hot = t.iter().filter(|&&b| b < 5).count();
+        // 90% direct + ~5% of the uniform tail also lands in the hot set.
+        assert!(hot as f64 / 10_000.0 > 0.85, "hot fraction {}", hot as f64 / 10_000.0);
+        assert!(t.iter().all(|&b| b < 100));
+    }
+
+    #[test]
+    fn zipf_rank_frequencies_decrease() {
+        let t = zipf(50, 1.0, 50_000, 2);
+        let mut counts = vec![0usize; 50];
+        for &b in &t {
+            counts[b] += 1;
+        }
+        assert!(counts[0] > counts[9], "{} vs {}", counts[0], counts[9]);
+        assert!(counts[9] > counts[40]);
+        // Head concentration: top 10 blocks carry the majority under theta=1.
+        let head: usize = counts[..10].iter().sum();
+        assert!(head * 2 > t.len(), "head {head}");
+    }
+
+    #[test]
+    fn traces_deterministic() {
+        assert_eq!(hot_set(10, 2, 0.5, 100, 9), hot_set(10, 2, 0.5, 100, 9));
+        assert_eq!(zipf(10, 1.0, 100, 9), zipf(10, 1.0, 100, 9));
+    }
+}

@@ -1,0 +1,355 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the math in numeric kernels
+//! Rewritten linear-algebra operators over the normalized matrix.
+//!
+//! Each operator pushes computation through the join: dimension-table rows are
+//! touched once each, with per-fact-row work reduced to gathers/scatters
+//! through the foreign-key maps. The asymptotic win over the materialized
+//! baseline grows with the redundancy ratio `n / n_k`.
+
+use crate::schema::NormalizedMatrix;
+use dm_matrix::{ops, Dense};
+
+impl NormalizedMatrix {
+    /// `X · w` without materializing `X`.
+    ///
+    /// Rewrite: `X w = S w_S + Σ_k gather(R_k w_k, fk_k)` — each dimension
+    /// block performs an `n_k x d_k` product instead of `n x d_k`.
+    ///
+    /// # Panics
+    /// Panics if `w.len() != self.cols()`.
+    pub fn gemv(&self, w: &[f64]) -> Vec<f64> {
+        assert_eq!(w.len(), self.cols(), "normalized gemv dimension mismatch");
+        let n = self.rows();
+        let ds = self.s.cols();
+        let mut out = if ds > 0 { ops::gemv(&self.s, &w[..ds]) } else { vec![0.0; n] };
+        let mut off = ds;
+        for t in &self.tables {
+            let dk = t.features.cols();
+            let partial = ops::gemv(&t.features, &w[off..off + dk]);
+            for (o, &g) in out.iter_mut().zip(&t.fk) {
+                *o += partial[g];
+            }
+            off += dk;
+        }
+        out
+    }
+
+    /// `vᵀ · X` without materializing `X`.
+    ///
+    /// Rewrite: the fact block is a plain `vᵀ S`; for each dimension block,
+    /// first aggregate `v` by foreign key (`n` adds), then one `n_k x d_k`
+    /// vector-matrix product.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.rows()`.
+    pub fn vecmat(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows(), "normalized vecmat dimension mismatch");
+        let mut out = Vec::with_capacity(self.cols());
+        if self.s.cols() > 0 {
+            out.extend(ops::gevm(v, &self.s));
+        }
+        for t in &self.tables {
+            let agg = aggregate_by_key(v, &t.fk, t.features.rows());
+            out.extend(ops::gevm(&agg, &t.features));
+        }
+        out
+    }
+
+    /// Column sums of the logical matrix.
+    ///
+    /// Rewrite: fact block directly; dimension blocks weight each dimension
+    /// row by its reference count.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.cols());
+        out.extend(ops::col_sums(&self.s));
+        for t in &self.tables {
+            let counts = key_counts(&t.fk, t.features.rows());
+            out.extend(ops::gevm(&counts, &t.features));
+        }
+        out
+    }
+
+    /// Gram matrix `Xᵀ X` computed block-wise through the join.
+    ///
+    /// Blocks:
+    /// * `Sᵀ S` — ordinary crossprod, `O(n·d_S²)`.
+    /// * `Sᵀ (K_k R_k) = A_kᵀ R_k` where `A_k` aggregates `S` rows by key —
+    ///   `O(n·d_S + n_k·d_S·d_k)`.
+    /// * `(K_k R_k)ᵀ (K_k R_k) = R_kᵀ diag(c_k) R_k` with reference counts
+    ///   `c_k` — `O(n_k·d_k²)`.
+    /// * Cross-table blocks `(K_k R_k)ᵀ (K_j R_j) = R_kᵀ B_{kj}` where
+    ///   `B_{kj}` aggregates the gathered rows of table `j` by key `k` —
+    ///   `O(n·d_j + n_k·d_k·d_j)`.
+    pub fn crossprod(&self) -> Dense {
+        let d = self.cols();
+        let ds = self.s.cols();
+        let mut out = Dense::zeros(d, d);
+
+        // S^T S block.
+        if ds > 0 {
+            let sts = ops::crossprod(&self.s);
+            for i in 0..ds {
+                out.row_mut(i)[..ds].copy_from_slice(sts.row(i));
+            }
+        }
+
+        // Precompute per-table offsets.
+        let mut offsets = Vec::with_capacity(self.tables.len());
+        let mut off = ds;
+        for t in &self.tables {
+            offsets.push(off);
+            off += t.features.cols();
+        }
+
+        for (k, tk) in self.tables.iter().enumerate() {
+            let ok = offsets[k];
+            let dk = tk.features.cols();
+            let nk = tk.features.rows();
+
+            // S^T K_k R_k = A_k^T R_k, A_k = groupwise sums of S rows.
+            if ds > 0 {
+                let mut a = Dense::zeros(nk, ds);
+                for (r, &g) in tk.fk.iter().enumerate() {
+                    for (dst, &v) in a.row_mut(g).iter_mut().zip(self.s.row(r)) {
+                        *dst += v;
+                    }
+                }
+                let block = ops::gemm(&a.transpose(), &tk.features); // ds x dk
+                for i in 0..ds {
+                    for j in 0..dk {
+                        let v = block.get(i, j);
+                        out.set(i, ok + j, v);
+                        out.set(ok + j, i, v);
+                    }
+                }
+            }
+
+            // Diagonal block: R_k^T diag(c) R_k.
+            let counts = key_counts(&tk.fk, nk);
+            for g in 0..nk {
+                let c = counts[g];
+                if c == 0.0 {
+                    continue;
+                }
+                let row = tk.features.row(g);
+                for i in 0..dk {
+                    let ci = c * row[i];
+                    for j in i..dk {
+                        let v = out.get(ok + i, ok + j) + ci * row[j];
+                        out.set(ok + i, ok + j, v);
+                        if i != j {
+                            out.set(ok + j, ok + i, v);
+                        }
+                    }
+                }
+            }
+
+            // Cross-table blocks with every later table j.
+            for (j_rel, tj) in self.tables.iter().enumerate().skip(k + 1) {
+                let oj = offsets[j_rel];
+                let dj = tj.features.cols();
+                // B[g] = sum over fact rows with fk_k = g of R_j[fk_j[row]].
+                let mut b = Dense::zeros(nk, dj);
+                for (r, &g) in tk.fk.iter().enumerate() {
+                    let src = tj.features.row(tj.fk[r]);
+                    for (dst, &v) in b.row_mut(g).iter_mut().zip(src) {
+                        *dst += v;
+                    }
+                }
+                let block = ops::gemm(&tk.features.transpose(), &b); // dk x dj
+                for i in 0..dk {
+                    for jj in 0..dj {
+                        let v = block.get(i, jj);
+                        out.set(ok + i, oj + jj, v);
+                        out.set(oj + jj, ok + i, v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Column means of the logical matrix, pushed through the join
+    /// (dimension rows weighted by reference counts).
+    pub fn col_means(&self) -> Vec<f64> {
+        let n = self.rows().max(1) as f64;
+        self.col_sums().into_iter().map(|s| s / n).collect()
+    }
+
+    /// Column variances (population) of the logical matrix, computed from
+    /// `E[x²] − E[x]²` with the squared sums also pushed through the join —
+    /// standardization statistics without materializing anything.
+    pub fn col_vars(&self) -> Vec<f64> {
+        let n = self.rows().max(1) as f64;
+        let means = self.col_means();
+        // Sum of squares per column: fact block directly; each dimension
+        // block weights its (squared) rows by reference count.
+        let mut sq = Vec::with_capacity(self.cols());
+        for c in 0..self.s.cols() {
+            sq.push((0..self.s.rows()).map(|r| self.s.get(r, c).powi(2)).sum::<f64>());
+        }
+        for t in &self.tables {
+            let counts = key_counts(&t.fk, t.features.rows());
+            for c in 0..t.features.cols() {
+                let mut acc = 0.0;
+                for (g, &cnt) in counts.iter().enumerate() {
+                    if cnt != 0.0 {
+                        acc += cnt * t.features.get(g, c).powi(2);
+                    }
+                }
+                sq.push(acc);
+            }
+        }
+        sq.into_iter().zip(means).map(|(s, m)| (s / n - m * m).max(0.0)).collect()
+    }
+
+    /// Row sums of the logical matrix (per fact row), pushed through the join.
+    pub fn row_sums(&self) -> Vec<f64> {
+        let mut out = ops::row_sums(&self.s);
+        if out.is_empty() {
+            out = vec![0.0; self.rows()];
+        }
+        for t in &self.tables {
+            let per_dim_row = ops::row_sums(&t.features);
+            for (o, &g) in out.iter_mut().zip(&t.fk) {
+                *o += per_dim_row[g];
+            }
+        }
+        out
+    }
+}
+
+/// Aggregate `v` by key: `out[g] = Σ_{i: fk[i] = g} v[i]`.
+fn aggregate_by_key(v: &[f64], fk: &[usize], groups: usize) -> Vec<f64> {
+    let mut out = vec![0.0; groups];
+    for (&x, &g) in v.iter().zip(fk) {
+        out[g] += x;
+    }
+    out
+}
+
+/// Reference count of each dimension row.
+fn key_counts(fk: &[usize], groups: usize) -> Vec<f64> {
+    let mut out = vec![0.0; groups];
+    for &g in fk {
+        out[g] += 1.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DimTable;
+
+    /// n fact rows, two dimension tables of sizes n/5 and n/10.
+    fn build(n: usize) -> NormalizedMatrix {
+        let s = Dense::from_fn(n, 2, |r, c| ((r * 3 + c * 7) % 11) as f64 - 5.0);
+        let n1 = (n / 5).max(1);
+        let n2 = (n / 10).max(1);
+        let r1 = Dense::from_fn(n1, 3, |r, c| ((r + c) % 6) as f64);
+        let r2 = Dense::from_fn(n2, 2, |r, c| ((r * 2 + c) % 4) as f64 * 0.5);
+        let fk1 = (0..n).map(|r| (r * 7) % n1).collect();
+        let fk2 = (0..n).map(|r| (r * 13) % n2).collect();
+        NormalizedMatrix::new(
+            s,
+            vec![DimTable::new(r1, fk1).unwrap(), DimTable::new(r2, fk2).unwrap()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gemv_matches_materialized() {
+        let nm = build(200);
+        let m = nm.materialize();
+        let w: Vec<f64> = (0..nm.cols()).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let expect = ops::gemv(&m, &w);
+        for (a, b) in nm.gemv(&w).iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn vecmat_matches_materialized() {
+        let nm = build(200);
+        let m = nm.materialize();
+        let v: Vec<f64> = (0..200).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let expect = ops::gevm(&v, &m);
+        for (a, b) in nm.vecmat(&v).iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn col_sums_match_materialized() {
+        let nm = build(150);
+        let expect = ops::col_sums(&nm.materialize());
+        for (a, b) in nm.col_sums().iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn row_sums_match_materialized() {
+        let nm = build(150);
+        let expect = ops::row_sums(&nm.materialize());
+        for (a, b) in nm.row_sums().iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn crossprod_matches_materialized() {
+        let nm = build(120);
+        let expect = ops::crossprod(&nm.materialize());
+        let got = nm.crossprod();
+        assert!(got.approx_eq(&expect, 1e-8), "max diff {}", got.max_abs_diff(&expect));
+    }
+
+    #[test]
+    fn crossprod_single_table_no_fact_features() {
+        let s = Dense::zeros(50, 0);
+        let r = Dense::from_fn(5, 2, |g, c| (g * 2 + c) as f64);
+        let fk = (0..50).map(|i| i % 5).collect();
+        let nm = NormalizedMatrix { s, tables: vec![DimTable::new(r, fk).unwrap()] };
+        let expect = ops::crossprod(&nm.materialize());
+        assert!(nm.crossprod().approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn skewed_keys_still_correct() {
+        // All fact rows reference dimension row 0 except one.
+        let s = Dense::from_fn(40, 1, |r, _| r as f64);
+        let r = Dense::from_rows(&[&[2.0], &[5.0]]);
+        let mut fk = vec![0usize; 40];
+        fk[39] = 1;
+        let nm = NormalizedMatrix::new(s, vec![DimTable::new(r, fk).unwrap()]).unwrap();
+        let m = nm.materialize();
+        let w = [1.0, 1.0];
+        assert_eq!(nm.gemv(&w), ops::gemv(&m, &w));
+        let expect = ops::crossprod(&m);
+        assert!(nm.crossprod().approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn col_means_and_vars_match_materialized() {
+        let nm = build(180);
+        let m = nm.materialize();
+        let em = ops::col_means(&m);
+        let ev = ops::col_vars(&m);
+        for (a, b) in nm.col_means().iter().zip(&em) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        for (a, b) in nm.col_vars().iter().zip(&ev) {
+            assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn unreferenced_dimension_rows_ignored() {
+        let s = Dense::from_rows(&[&[1.0], &[2.0]]);
+        let r = Dense::from_rows(&[&[10.0], &[99.0], &[20.0]]); // row 1 never referenced
+        let nm = NormalizedMatrix::new(s, vec![DimTable::new(r, vec![0, 2]).unwrap()]).unwrap();
+        assert_eq!(nm.col_sums(), vec![3.0, 30.0]);
+    }
+}

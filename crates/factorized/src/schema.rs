@@ -1,0 +1,319 @@
+//! The normalized-matrix representation of a star-schema join.
+
+use dm_matrix::Dense;
+use std::fmt;
+
+/// Errors in constructing or converting normalized matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactorizedError {
+    /// A foreign-key value references a nonexistent dimension row.
+    DanglingKey {
+        /// Index of the dimension table.
+        table: usize,
+        /// Position of the offending fact row.
+        fact_row: usize,
+        /// The dangling key value.
+        key: usize,
+    },
+    /// Foreign-key vector length disagrees with the fact-table row count.
+    KeyLength {
+        /// Index of the dimension table.
+        table: usize,
+        /// Foreign-key vector length.
+        keys: usize,
+        /// Fact-table row count.
+        fact_rows: usize,
+    },
+    /// The construction would produce an empty feature matrix.
+    Empty,
+    /// A relational-source conversion failed (unknown column, bad type, ...).
+    Source(String),
+}
+
+impl fmt::Display for FactorizedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactorizedError::DanglingKey { table, fact_row, key } => {
+                write!(f, "fact row {fact_row} references missing row {key} of dimension table {table}")
+            }
+            FactorizedError::KeyLength { table, keys, fact_rows } => {
+                write!(f, "dimension table {table} has {keys} keys for {fact_rows} fact rows")
+            }
+            FactorizedError::Empty => write!(f, "normalized matrix would have no features"),
+            FactorizedError::Source(m) => write!(f, "source conversion failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FactorizedError {}
+
+/// One dimension table: its feature block plus the foreign-key map from fact
+/// rows to dimension rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimTable {
+    /// `n_k x d_k` dimension features.
+    pub features: Dense,
+    /// For each fact row, the referenced dimension row.
+    pub fk: Vec<usize>,
+}
+
+impl DimTable {
+    /// Construct, validating that every key lands inside the table.
+    pub fn new(features: Dense, fk: Vec<usize>) -> Result<Self, FactorizedError> {
+        for (i, &k) in fk.iter().enumerate() {
+            if k >= features.rows() {
+                return Err(FactorizedError::DanglingKey { table: 0, fact_row: i, key: k });
+            }
+        }
+        Ok(DimTable { features, fk })
+    }
+}
+
+/// A feature matrix stored in normalized form:
+/// `X = [ S | K_1 R_1 | ... | K_q R_q ]` where `S` is the fact-table feature
+/// block and `K_k` is the indicator matrix of foreign key `k`.
+///
+/// The logical shape is `n x (d_S + Σ d_k)`; the physical footprint is
+/// `n·d_S + Σ n_k·d_k + q·n` — the redundancy `n/n_k` of each joined block is
+/// never materialized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedMatrix {
+    /// Fact-table feature block, `n x d_S` (`d_S` may be 0).
+    pub s: Dense,
+    /// Dimension tables in column order.
+    pub tables: Vec<DimTable>,
+}
+
+impl NormalizedMatrix {
+    /// Construct, validating key lengths and non-emptiness.
+    pub fn new(s: Dense, tables: Vec<DimTable>) -> Result<Self, FactorizedError> {
+        let n = s.rows();
+        for (t, dt) in tables.iter().enumerate() {
+            if dt.fk.len() != n {
+                return Err(FactorizedError::KeyLength { table: t, keys: dt.fk.len(), fact_rows: n });
+            }
+            for (i, &k) in dt.fk.iter().enumerate() {
+                if k >= dt.features.rows() {
+                    return Err(FactorizedError::DanglingKey { table: t, fact_row: i, key: k });
+                }
+            }
+        }
+        let total_cols = s.cols() + tables.iter().map(|t| t.features.cols()).sum::<usize>();
+        if n == 0 || total_cols == 0 {
+            return Err(FactorizedError::Empty);
+        }
+        Ok(NormalizedMatrix { s, tables })
+    }
+
+    /// Number of logical (fact) rows.
+    pub fn rows(&self) -> usize {
+        self.s.rows()
+    }
+
+    /// Number of logical columns across all blocks.
+    pub fn cols(&self) -> usize {
+        self.s.cols() + self.tables.iter().map(|t| t.features.cols()).sum::<usize>()
+    }
+
+    /// Physical cell count (what normalized storage actually holds).
+    pub fn physical_cells(&self) -> usize {
+        self.s.rows() * self.s.cols()
+            + self
+                .tables
+                .iter()
+                .map(|t| t.features.rows() * t.features.cols() + t.fk.len())
+                .sum::<usize>()
+    }
+
+    /// Logical cell count of the materialized join.
+    pub fn logical_cells(&self) -> usize {
+        self.rows() * self.cols()
+    }
+
+    /// Redundancy ratio `logical / physical` — the factor factorized
+    /// computation avoids.
+    pub fn redundancy_ratio(&self) -> f64 {
+        self.logical_cells() as f64 / self.physical_cells().max(1) as f64
+    }
+
+    /// Materialize the join into a dense feature matrix (the baseline the
+    /// factorized operators are measured against).
+    pub fn materialize(&self) -> Dense {
+        let n = self.rows();
+        let d = self.cols();
+        let mut out = Dense::zeros(n, d);
+        for r in 0..n {
+            let dst = out.row_mut(r);
+            let mut off = self.s.cols();
+            dst[..off].copy_from_slice(self.s.row(r));
+            for t in &self.tables {
+                let src = t.features.row(t.fk[r]);
+                dst[off..off + src.len()].copy_from_slice(src);
+                off += src.len();
+            }
+        }
+        out
+    }
+
+    /// Build from relational tables: a fact table with numeric feature
+    /// columns and one `(dim_table, fk_column, dim_feature_columns)` triple
+    /// per dimension. Keys are matched on the dimension's `key_column`
+    /// (integer values).
+    pub fn from_tables(
+        fact: &dm_rel::Table,
+        fact_features: &[&str],
+        dims: &[(&dm_rel::Table, &str, &str, &[&str])],
+    ) -> Result<Self, FactorizedError> {
+        let s = fact
+            .to_dense(fact_features)
+            .map_err(|e| FactorizedError::Source(e.to_string()))?;
+        let mut tables = Vec::with_capacity(dims.len());
+        for (t, (dim, fk_col, key_col, feat_cols)) in dims.iter().enumerate() {
+            let features = dim
+                .to_dense(feat_cols)
+                .map_err(|e| FactorizedError::Source(e.to_string()))?;
+            // Key -> dimension row index.
+            let keycol = dim
+                .column_by_name(key_col)
+                .map_err(|e| FactorizedError::Source(e.to_string()))?;
+            let mut index = std::collections::HashMap::new();
+            for r in 0..dim.num_rows() {
+                if let Some(k) = keycol.get_i64(r) {
+                    index.insert(k, r);
+                }
+            }
+            let fkcol = fact
+                .column_by_name(fk_col)
+                .map_err(|e| FactorizedError::Source(e.to_string()))?;
+            let mut fk = Vec::with_capacity(fact.num_rows());
+            for r in 0..fact.num_rows() {
+                let key = fkcol
+                    .get_i64(r)
+                    .ok_or(FactorizedError::Source(format!("NULL or non-integer key at fact row {r}")))?;
+                let row = *index.get(&key).ok_or(FactorizedError::DanglingKey {
+                    table: t,
+                    fact_row: r,
+                    key: key.max(0) as usize,
+                })?;
+                fk.push(row);
+            }
+            tables.push(DimTable { features, fk });
+        }
+        NormalizedMatrix::new(s, tables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_table() -> NormalizedMatrix {
+        let s = Dense::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 8.0]]);
+        let r1 = Dense::from_rows(&[&[10.0], &[20.0]]);
+        let r2 = Dense::from_rows(&[&[0.1, 0.2], &[0.3, 0.4], &[0.5, 0.6]]);
+        NormalizedMatrix::new(
+            s,
+            vec![
+                DimTable::new(r1, vec![0, 1, 1, 0]).unwrap(),
+                DimTable::new(r2, vec![2, 0, 1, 2]).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shapes_and_ratios() {
+        let nm = two_table();
+        assert_eq!(nm.rows(), 4);
+        assert_eq!(nm.cols(), 5);
+        assert_eq!(nm.logical_cells(), 20);
+        // physical: s 8 + (r1 2 + fk 4) + (r2 6 + fk 4) = 24
+        assert_eq!(nm.physical_cells(), 24);
+        assert!((nm.redundancy_ratio() - 20.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn materialize_gathers_dimension_rows() {
+        let nm = two_table();
+        let m = nm.materialize();
+        assert_eq!(m.row(0), &[1.0, 2.0, 10.0, 0.5, 0.6]);
+        assert_eq!(m.row(1), &[3.0, 4.0, 20.0, 0.1, 0.2]);
+        assert_eq!(m.row(3), &[7.0, 8.0, 10.0, 0.5, 0.6]);
+    }
+
+    #[test]
+    fn dangling_key_rejected() {
+        let r = Dense::from_rows(&[&[1.0]]);
+        assert!(matches!(
+            DimTable::new(r.clone(), vec![0, 1]),
+            Err(FactorizedError::DanglingKey { .. })
+        ));
+        let s = Dense::from_rows(&[&[1.0], &[2.0]]);
+        let dt = DimTable { features: r, fk: vec![0, 5] };
+        assert!(matches!(
+            NormalizedMatrix::new(s, vec![dt]),
+            Err(FactorizedError::DanglingKey { .. })
+        ));
+    }
+
+    #[test]
+    fn key_length_mismatch_rejected() {
+        let s = Dense::from_rows(&[&[1.0], &[2.0]]);
+        let r = Dense::from_rows(&[&[1.0]]);
+        let dt = DimTable { features: r, fk: vec![0] };
+        assert!(matches!(
+            NormalizedMatrix::new(s, vec![dt]),
+            Err(FactorizedError::KeyLength { keys: 1, fact_rows: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            NormalizedMatrix::new(Dense::zeros(0, 2), vec![]),
+            Err(FactorizedError::Empty)
+        ));
+        assert!(matches!(
+            NormalizedMatrix::new(Dense::zeros(3, 0), vec![]),
+            Err(FactorizedError::Empty)
+        ));
+    }
+
+    #[test]
+    fn fact_only_matrix_works() {
+        let s = Dense::from_rows(&[&[1.0], &[2.0]]);
+        let nm = NormalizedMatrix::new(s.clone(), vec![]).unwrap();
+        assert_eq!(nm.materialize(), s);
+        assert!((nm.redundancy_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_relational_tables() {
+        use dm_rel::{Table, Value};
+        let mut fact = Table::builder("orders").float64("amount").int64("cust").build();
+        fact.push_row(vec![5.0.into(), 11.into()]).unwrap();
+        fact.push_row(vec![7.0.into(), 12.into()]).unwrap();
+        fact.push_row(vec![9.0.into(), 11.into()]).unwrap();
+        let mut dim = Table::builder("cust").int64("id").float64("age").float64("income").build();
+        dim.push_row(vec![11.into(), 30.0.into(), 50.0.into()]).unwrap();
+        dim.push_row(vec![12.into(), 40.0.into(), 60.0.into()]).unwrap();
+
+        let nm = NormalizedMatrix::from_tables(
+            &fact,
+            &["amount"],
+            &[(&dim, "cust", "id", &["age", "income"][..])],
+        )
+        .unwrap();
+        let m = nm.materialize();
+        assert_eq!(m.row(0), &[5.0, 30.0, 50.0]);
+        assert_eq!(m.row(1), &[7.0, 40.0, 60.0]);
+        assert_eq!(m.row(2), &[9.0, 30.0, 50.0]);
+
+        // Dangling key in the fact table is caught.
+        fact.push_row(vec![Value::Float64(1.0), Value::Int64(99)]).unwrap();
+        assert!(matches!(
+            NormalizedMatrix::from_tables(&fact, &["amount"], &[(&dim, "cust", "id", &["age"][..])]),
+            Err(FactorizedError::DanglingKey { .. })
+        ));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests: every normalized-matrix operator must agree with
+//! its materialized counterpart for arbitrary star schemas.
+
+use dm_factorized::{DimTable, NormalizedMatrix};
+use dm_matrix::{ops, Dense};
+use proptest::prelude::*;
+
+/// Strategy: a random star schema with 1-2 dimension tables.
+fn star() -> impl Strategy<Value = NormalizedMatrix> {
+    (2usize..40, 0usize..3, 1usize..6, 1usize..4).prop_flat_map(|(n, ds, n1, d1)| {
+        let fact_vals = proptest::collection::vec(-5.0..5.0f64, n * ds);
+        let dim_vals = proptest::collection::vec(-5.0..5.0f64, n1 * d1);
+        let fks = proptest::collection::vec(0usize..n1, n);
+        (Just((n, ds, n1, d1)), fact_vals, dim_vals, fks).prop_map(
+            |((n, ds, n1, d1), fv, dv, fk)| {
+                let s = Dense::from_vec(n, ds, fv).unwrap();
+                let r = Dense::from_vec(n1, d1, dv).unwrap();
+                NormalizedMatrix::new(s, vec![DimTable::new(r, fk).unwrap()]).unwrap()
+            },
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn gemv_agrees(nm in star()) {
+        let w: Vec<f64> = (0..nm.cols()).map(|i| (i as f64) * 0.3 - 1.0).collect();
+        let expect = ops::gemv(&nm.materialize(), &w);
+        for (a, b) in nm.gemv(&w).iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn vecmat_agrees(nm in star()) {
+        let v: Vec<f64> = (0..nm.rows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let expect = ops::gevm(&v, &nm.materialize());
+        for (a, b) in nm.vecmat(&v).iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn crossprod_agrees(nm in star()) {
+        let expect = ops::crossprod(&nm.materialize());
+        prop_assert!(nm.crossprod().approx_eq(&expect, 1e-7));
+    }
+
+    #[test]
+    fn col_stats_agree(nm in star()) {
+        let m = nm.materialize();
+        for (a, b) in nm.col_sums().iter().zip(&ops::col_sums(&m)) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+        for (a, b) in nm.col_means().iter().zip(&ops::col_means(&m)) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+        for (a, b) in nm.col_vars().iter().zip(&ops::col_vars(&m)) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn row_sums_agree(nm in star()) {
+        let expect = ops::row_sums(&nm.materialize());
+        for (a, b) in nm.row_sums().iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cell_accounting_identities(nm in star()) {
+        // Exact accounting: physical = fact block + dim block + key column;
+        // logical = n x total columns. (Normalized storage is *not* always
+        // smaller — a dimension table bigger than its usage costs extra, and
+        // redundancy_ratio() correctly reports < 1 in that case.)
+        let n = nm.rows();
+        let ds = nm.s.cols();
+        let dim = &nm.tables[0];
+        let expected_physical = n * ds + dim.features.rows() * dim.features.cols() + n;
+        prop_assert_eq!(nm.physical_cells(), expected_physical);
+        prop_assert_eq!(nm.logical_cells(), n * nm.cols());
+        let ratio = nm.redundancy_ratio();
+        prop_assert!((ratio - nm.logical_cells() as f64 / nm.physical_cells() as f64).abs() < 1e-12);
+    }
+}

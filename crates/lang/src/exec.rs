@@ -1,0 +1,576 @@
+//! The interpreter: executes an optimized DAG over bound inputs with
+//! physical-kernel dispatch and per-node memoization.
+
+use crate::expr::{AggOp, EwiseOp, Graph, NodeId, Op, UnaryOp};
+use crate::physical::{Kernel, PhysicalPlan};
+use dm_matrix::{ops, sparse, Csr, Dense, Matrix};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A runtime value: matrix (dense or sparse) or scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    /// Matrix value.
+    Matrix(Matrix),
+    /// Scalar value.
+    Scalar(f64),
+}
+
+impl Val {
+    /// Unwrap a scalar.
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            Val::Scalar(v) => Some(*v),
+            Val::Matrix(m) if m.rows() == 1 && m.cols() == 1 => Some(m.get(0, 0)),
+            _ => None,
+        }
+    }
+
+    /// Unwrap (and densify) a matrix.
+    pub fn as_dense(&self) -> Option<Dense> {
+        match self {
+            Val::Matrix(m) => Some(m.to_dense()),
+            Val::Scalar(_) => None,
+        }
+    }
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A named input is not bound in the environment.
+    UnboundInput(String),
+    /// Operand shapes or types are incompatible at runtime.
+    Type {
+        /// Node where the error occurred.
+        node: NodeId,
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnboundInput(n) => write!(f, "unbound input: {n}"),
+            ExecError::Type { node, message } => write!(f, "type error at node {node}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Input bindings for execution.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    map: HashMap<String, Val>,
+}
+
+impl Env {
+    /// Empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a matrix input.
+    pub fn bind(&mut self, name: &str, m: Matrix) -> &mut Self {
+        self.map.insert(name.to_owned(), Val::Matrix(m));
+        self
+    }
+
+    /// Bind a scalar input.
+    pub fn bind_scalar(&mut self, name: &str, v: f64) -> &mut Self {
+        self.map.insert(name.to_owned(), Val::Scalar(v));
+        self
+    }
+
+    fn get(&self, name: &str) -> Option<&Val> {
+        self.map.get(name)
+    }
+}
+
+/// Per-execution statistics: approximate floating-point operation counts,
+/// used by the E5 experiment to quantify rewrite wins independent of timer
+/// noise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Approximate flops executed.
+    pub flops: u64,
+    /// Nodes evaluated (cache misses).
+    pub nodes_evaluated: u64,
+    /// Node evaluations served from the memo table.
+    pub memo_hits: u64,
+}
+
+/// DAG interpreter with memoization.
+pub struct Executor<'g> {
+    graph: &'g Graph,
+    plan: Option<PhysicalPlan>,
+    memo: HashMap<NodeId, Val>,
+    stats: ExecStats,
+}
+
+impl<'g> Executor<'g> {
+    /// New executor with default (dense) kernel choices.
+    pub fn new(graph: &'g Graph) -> Self {
+        Executor { graph, plan: None, memo: HashMap::new(), stats: ExecStats::default() }
+    }
+
+    /// New executor honoring a physical plan.
+    pub fn with_plan(graph: &'g Graph, plan: PhysicalPlan) -> Self {
+        Executor { graph, plan: Some(plan), memo: HashMap::new(), stats: ExecStats::default() }
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    fn kernel(&self, id: NodeId) -> Kernel {
+        self.plan.as_ref().map_or(Kernel::Dense, |p| p.kernel(id))
+    }
+
+    /// Evaluate the node, reusing memoized results for shared subtrees.
+    pub fn eval(&mut self, id: NodeId, env: &Env) -> Result<Val, ExecError> {
+        if let Some(v) = self.memo.get(&id) {
+            self.stats.memo_hits += 1;
+            return Ok(v.clone());
+        }
+        self.stats.nodes_evaluated += 1;
+        let val = self.eval_uncached(id, env)?;
+        self.memo.insert(id, val.clone());
+        Ok(val)
+    }
+
+    fn eval_uncached(&mut self, id: NodeId, env: &Env) -> Result<Val, ExecError> {
+        let type_err = |message: String| ExecError::Type { node: id, message };
+        match self.graph.op(id).clone() {
+            Op::Input(name) => {
+                let v = env.get(&name).ok_or(ExecError::UnboundInput(name.clone()))?.clone();
+                // Honor the physical plan's representation choice for inputs.
+                if let (Val::Matrix(m), Kernel::Sparse) = (&v, self.kernel(id)) {
+                    if m.is_dense() {
+                        return Ok(Val::Matrix(Matrix::Sparse(m.to_csr())));
+                    }
+                }
+                Ok(v)
+            }
+            Op::Const(v) => Ok(Val::Scalar(v)),
+            Op::Transpose(a) => match self.eval(a, env)? {
+                Val::Scalar(v) => Ok(Val::Scalar(v)),
+                Val::Matrix(Matrix::Dense(d)) => {
+                    self.stats.flops += (d.rows() * d.cols()) as u64;
+                    Ok(Val::Matrix(Matrix::Dense(d.transpose())))
+                }
+                Val::Matrix(Matrix::Sparse(s)) => {
+                    self.stats.flops += s.nnz() as u64;
+                    Ok(Val::Matrix(Matrix::Sparse(s.transpose())))
+                }
+            },
+            Op::MatMul(a, b) => {
+                let (va, vb) = (self.eval(a, env)?, self.eval(b, env)?);
+                let (ma, mb) = match (va, vb) {
+                    (Val::Matrix(ma), Val::Matrix(mb)) => (ma, mb),
+                    _ => return Err(type_err("matmul requires matrix operands".into())),
+                };
+                if ma.cols() != mb.rows() {
+                    return Err(type_err(format!(
+                        "matmul inner dims {} vs {}",
+                        ma.cols(),
+                        mb.rows()
+                    )));
+                }
+                // Vector shapes dispatch to mv/vm kernels.
+                if mb.cols() == 1 {
+                    let v: Vec<f64> = (0..mb.rows()).map(|r| mb.get(r, 0)).collect();
+                    self.stats.flops += 2 * (match &ma {
+                        Matrix::Dense(d) => d.rows() * d.cols(),
+                        Matrix::Sparse(s) => s.nnz(),
+                    }) as u64;
+                    let out = ma.gemv(&v);
+                    return Ok(Val::Matrix(Matrix::Dense(Dense::column(&out))));
+                }
+                let out = match (&ma, &mb) {
+                    (Matrix::Sparse(sa), Matrix::Dense(db)) => {
+                        self.stats.flops += 2 * (sa.nnz() * db.cols()) as u64;
+                        sparse::spmm_dense(sa, db)
+                    }
+                    _ => {
+                        let da = ma.to_dense();
+                        let db = mb.to_dense();
+                        self.stats.flops += 2 * (da.rows() * da.cols() * db.cols()) as u64;
+                        ops::gemm(&da, &db)
+                    }
+                };
+                Ok(Val::Matrix(Matrix::Dense(out)))
+            }
+            Op::Ewise(e, a, b) => {
+                let (va, vb) = (self.eval(a, env)?, self.eval(b, env)?);
+                self.ewise(id, e, va, vb)
+            }
+            Op::Unary(u, a) => {
+                let f = |x: f64| match u {
+                    UnaryOp::Exp => x.exp(),
+                    UnaryOp::Log => x.ln(),
+                    UnaryOp::Sqrt => x.sqrt(),
+                    UnaryOp::Abs => x.abs(),
+                };
+                match self.eval(a, env)? {
+                    Val::Scalar(s) => Ok(Val::Scalar(f(s))),
+                    Val::Matrix(m) => {
+                        // sqrt/abs preserve zeros, so sparse stays sparse;
+                        // exp/log densify and run on the dense form.
+                        let zero_preserving = matches!(u, UnaryOp::Sqrt | UnaryOp::Abs);
+                        match (m, zero_preserving) {
+                            (Matrix::Sparse(s), true) => {
+                                self.stats.flops += s.nnz() as u64;
+                                let mut coo = dm_matrix::Coo::new(s.rows(), s.cols());
+                                for (r, c, v) in s.iter() {
+                                    coo.push(r, c, f(v)).expect("indices in range");
+                                }
+                                Ok(Val::Matrix(Matrix::Sparse(coo.to_csr())))
+                            }
+                            (m, _) => {
+                                let d = m.to_dense();
+                                self.stats.flops += (d.rows() * d.cols()) as u64;
+                                Ok(Val::Matrix(Matrix::Dense(d.map(f))))
+                            }
+                        }
+                    }
+                }
+            }
+            Op::Agg(aop, a) => {
+                let v = self.eval(a, env)?;
+                let m = match v {
+                    Val::Scalar(s) => return Ok(Val::Scalar(s)),
+                    Val::Matrix(m) => m,
+                };
+                // Dense aggregates read every cell; sparse ones only stored entries.
+                self.stats.flops += match &m {
+                    Matrix::Dense(d) => (d.rows() * d.cols()) as u64,
+                    Matrix::Sparse(s) => s.nnz() as u64,
+                };
+                Ok(match aop {
+                    AggOp::Sum => match &m {
+                        Matrix::Dense(d) => Val::Scalar(ops::sum(d)),
+                        Matrix::Sparse(s) => Val::Scalar(s.iter().map(|(_, _, v)| v).sum()),
+                    },
+                    AggOp::ColSums => {
+                        let cs = match &m {
+                            Matrix::Dense(d) => ops::col_sums(d),
+                            Matrix::Sparse(s) => {
+                                let ones = vec![1.0; s.rows()];
+                                sparse::spvm(&ones, s)
+                            }
+                        };
+                        let mut out = Dense::zeros(1, cs.len());
+                        out.row_mut(0).copy_from_slice(&cs);
+                        Val::Matrix(Matrix::Dense(out))
+                    }
+                    AggOp::RowSums => {
+                        let rs = match &m {
+                            Matrix::Dense(d) => ops::row_sums(d),
+                            Matrix::Sparse(s) => {
+                                let ones = vec![1.0; s.cols()];
+                                sparse::spmv(s, &ones)
+                            }
+                        };
+                        Val::Matrix(Matrix::Dense(Dense::column(&rs)))
+                    }
+                    AggOp::Min => Val::Scalar(min_of(&m)),
+                    AggOp::Max => Val::Scalar(max_of(&m)),
+                })
+            }
+            Op::CrossProd(a) => {
+                let v = self.eval(a, env)?;
+                let m = v.as_dense().ok_or_else(|| type_err("crossprod needs a matrix".into()))?;
+                match self.kernel(id) {
+                    Kernel::Sparse => {
+                        let s = Csr::from_dense(&m);
+                        self.stats.flops += 2 * (s.nnz() * m.cols()) as u64;
+                        Ok(Val::Matrix(Matrix::Dense(sparse::sp_crossprod(&s))))
+                    }
+                    _ => {
+                        self.stats.flops += (m.rows() * m.cols() * m.cols()) as u64;
+                        Ok(Val::Matrix(Matrix::Dense(ops::crossprod(&m))))
+                    }
+                }
+            }
+            Op::Tmv(a, b) => {
+                let (va, vb) = (self.eval(a, env)?, self.eval(b, env)?);
+                let (ma, mb) = match (va, vb) {
+                    (Val::Matrix(ma), Val::Matrix(mb)) => (ma, mb),
+                    _ => return Err(type_err("tmv requires matrix operands".into())),
+                };
+                if mb.cols() != 1 || ma.rows() != mb.rows() {
+                    return Err(type_err("tmv requires X (n x d) and v (n x 1)".into()));
+                }
+                let v: Vec<f64> = (0..mb.rows()).map(|r| mb.get(r, 0)).collect();
+                self.stats.flops += 2 * (match &ma {
+                    Matrix::Dense(d) => d.rows() * d.cols(),
+                    Matrix::Sparse(s) => s.nnz(),
+                }) as u64;
+                let out = ma.vecmat(&v);
+                Ok(Val::Matrix(Matrix::Dense(Dense::column(&out))))
+            }
+            Op::SumSq(a) => {
+                let v = self.eval(a, env)?;
+                match v {
+                    Val::Scalar(s) => Ok(Val::Scalar(s * s)),
+                    Val::Matrix(Matrix::Dense(d)) => {
+                        self.stats.flops += 2 * (d.rows() * d.cols()) as u64;
+                        Ok(Val::Scalar(ops::sum_sq(&d)))
+                    }
+                    Val::Matrix(Matrix::Sparse(s)) => {
+                        self.stats.flops += 2 * s.nnz() as u64;
+                        Ok(Val::Scalar(s.iter().map(|(_, _, v)| v * v).sum()))
+                    }
+                }
+            }
+        }
+    }
+
+    fn ewise(&mut self, id: NodeId, e: EwiseOp, va: Val, vb: Val) -> Result<Val, ExecError> {
+        let f = |x: f64, y: f64| match e {
+            EwiseOp::Add => x + y,
+            EwiseOp::Sub => x - y,
+            EwiseOp::Mul => x * y,
+            EwiseOp::Div => x / y,
+        };
+        match (va, vb) {
+            (Val::Scalar(a), Val::Scalar(b)) => Ok(Val::Scalar(f(a, b))),
+            (Val::Matrix(m), Val::Scalar(s)) => {
+                let d = m.to_dense();
+                self.stats.flops += (d.rows() * d.cols()) as u64;
+                Ok(Val::Matrix(Matrix::Dense(d.map(|v| f(v, s)))))
+            }
+            (Val::Scalar(s), Val::Matrix(m)) => {
+                let d = m.to_dense();
+                self.stats.flops += (d.rows() * d.cols()) as u64;
+                Ok(Val::Matrix(Matrix::Dense(d.map(|v| f(s, v)))))
+            }
+            (Val::Matrix(ma), Val::Matrix(mb)) => {
+                if ma.rows() != mb.rows() || ma.cols() != mb.cols() {
+                    return Err(ExecError::Type {
+                        node: id,
+                        message: format!(
+                            "elementwise {}x{} vs {}x{}",
+                            ma.rows(),
+                            ma.cols(),
+                            mb.rows(),
+                            mb.cols()
+                        ),
+                    });
+                }
+                let (da, db) = (ma.to_dense(), mb.to_dense());
+                self.stats.flops += (da.rows() * da.cols()) as u64;
+                let out = match e {
+                    EwiseOp::Add => ops::add(&da, &db),
+                    EwiseOp::Sub => ops::sub(&da, &db),
+                    EwiseOp::Mul => ops::mul(&da, &db),
+                    EwiseOp::Div => ops::div(&da, &db),
+                };
+                Ok(Val::Matrix(Matrix::Dense(out)))
+            }
+        }
+    }
+}
+
+fn min_of(m: &Matrix) -> f64 {
+    match m {
+        Matrix::Dense(d) => ops::min(d),
+        Matrix::Sparse(s) => {
+            let stored = s.iter().map(|(_, _, v)| v).fold(f64::NAN, f64::min);
+            if s.nnz() < s.rows() * s.cols() {
+                stored.min(0.0)
+            } else {
+                stored
+            }
+        }
+    }
+}
+
+fn max_of(m: &Matrix) -> f64 {
+    match m {
+        Matrix::Dense(d) => ops::max(d),
+        Matrix::Sparse(s) => {
+            let stored = s.iter().map(|(_, _, v)| v).fold(f64::NAN, f64::max);
+            if s.nnz() < s.rows() * s.cols() {
+                stored.max(0.0)
+            } else {
+                stored
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::optimize;
+    use crate::size::InputSizes;
+
+    fn x() -> Dense {
+        Dense::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]])
+    }
+
+    fn env() -> Env {
+        let mut e = Env::new();
+        e.bind("X", Matrix::Dense(x()));
+        e.bind("v", Matrix::Dense(Dense::column(&[1.0, -1.0])));
+        e
+    }
+
+    #[test]
+    fn basic_matmul_and_sum() {
+        let mut g = Graph::new();
+        let xi = g.input("X");
+        let vi = g.input("v");
+        let xv = g.matmul(xi, vi);
+        let s = g.agg(AggOp::Sum, xv);
+        let mut ex = Executor::new(&g);
+        let out = ex.eval(s, &env()).unwrap();
+        // X*v = [-1, -1, -1], sum = -3
+        assert_eq!(out.as_scalar().unwrap(), -3.0);
+    }
+
+    #[test]
+    fn memoization_counts() {
+        let mut g = Graph::new();
+        let xi = g.input("X");
+        let t = g.transpose(xi);
+        let a = g.matmul(t, xi);
+        let b = g.matmul(t, xi); // distinct node, same structure (no CSE here)
+        let s = g.ewise(EwiseOp::Add, a, b);
+        let mut ex = Executor::new(&g);
+        ex.eval(s, &env()).unwrap();
+        let st = ex.stats();
+        // t and xi each evaluated once but referenced twice.
+        assert!(st.memo_hits >= 2, "{st:?}");
+    }
+
+    #[test]
+    fn ewise_and_broadcast() {
+        let mut g = Graph::new();
+        let xi = g.input("X");
+        let c = g.constant(10.0);
+        let shifted = g.ewise(EwiseOp::Add, xi, c);
+        let mx = g.agg(AggOp::Max, shifted);
+        let mut ex = Executor::new(&g);
+        assert_eq!(ex.eval(mx, &env()).unwrap().as_scalar().unwrap(), 16.0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut g = Graph::new();
+        let xi = g.input("X");
+        let cs = g.agg(AggOp::ColSums, xi);
+        let rs = g.agg(AggOp::RowSums, xi);
+        let mn = g.agg(AggOp::Min, xi);
+        let mut ex = Executor::new(&g);
+        let e = env();
+        assert_eq!(ex.eval(cs, &e).unwrap().as_dense().unwrap().row(0), &[9.0, 12.0]);
+        assert_eq!(ex.eval(rs, &e).unwrap().as_dense().unwrap().col_vec(0), vec![3.0, 7.0, 11.0]);
+        assert_eq!(ex.eval(mn, &e).unwrap().as_scalar().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn optimized_graph_same_result() {
+        // sum(t(X) %*% X) with and without optimization.
+        let mut g = Graph::new();
+        let xi = g.input("X");
+        let t = g.transpose(xi);
+        let mm = g.matmul(t, xi);
+        let s = g.agg(AggOp::Sum, mm);
+        let mut plain = Executor::new(&g);
+        let expect = plain.eval(s, &env()).unwrap().as_scalar().unwrap();
+
+        let mut sizes = InputSizes::new();
+        sizes.declare("X", 3, 2, 1.0);
+        let (og, root, stats) = optimize(&g, s, &sizes).unwrap();
+        assert!(stats.crossprod_fused == 1);
+        let mut opt = Executor::new(&og);
+        let got = opt.eval(root, &env()).unwrap().as_scalar().unwrap();
+        assert!((got - expect).abs() < 1e-9);
+        // The fused plan does strictly fewer flops.
+        assert!(opt.stats().flops < plain.stats().flops, "{:?} vs {:?}", opt.stats(), plain.stats());
+    }
+
+    #[test]
+    fn sparse_kernel_execution_matches_dense() {
+        let sp = Dense::from_fn(50, 20, |r, c| if (r * 20 + c) % 23 == 0 { 1.5 } else { 0.0 });
+        let mut g = Graph::new();
+        let xi = g.input("S");
+        let vi = g.input("v");
+        let mm = g.matmul(xi, vi);
+        let s = g.agg(AggOp::Sum, mm);
+
+        let mut env = Env::new();
+        env.bind("S", Matrix::Dense(sp.clone()));
+        let v: Vec<f64> = (0..20).map(|i| i as f64 - 10.0).collect();
+        env.bind("v", Matrix::Dense(Dense::column(&v)));
+
+        let mut sizes = InputSizes::new();
+        sizes.declare("S", 50, 20, 0.05);
+        sizes.declare("v", 20, 1, 1.0);
+        let plan = crate::physical::plan_with_inputs(&g, s, &sizes).unwrap();
+        assert_eq!(plan.kernel(xi), Kernel::Sparse);
+        let mut ex = Executor::with_plan(&g, plan);
+        let got = ex.eval(s, &env).unwrap().as_scalar().unwrap();
+
+        let expect: f64 = ops::gemv(&sp, &v).iter().sum();
+        assert!((got - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fused_ops_execute() {
+        let mut g = Graph::new();
+        let xi = g.input("X");
+        let cp = g.push(Op::CrossProd(xi));
+        let ss = g.push(Op::SumSq(xi));
+        let mut ex = Executor::new(&g);
+        let e = env();
+        let cpv = ex.eval(cp, &e).unwrap().as_dense().unwrap();
+        assert!(cpv.approx_eq(&ops::crossprod(&x()), 1e-9));
+        assert_eq!(ex.eval(ss, &e).unwrap().as_scalar().unwrap(), ops::sum_sq(&x()));
+    }
+
+    #[test]
+    fn tmv_executes() {
+        let mut g = Graph::new();
+        let xi = g.input("X");
+        let ui = g.input("u");
+        let tmv = g.push(Op::Tmv(xi, ui));
+        let mut e = env();
+        e.bind("u", Matrix::Dense(Dense::column(&[1.0, 0.0, 2.0])));
+        let mut ex = Executor::new(&g);
+        let got = ex.eval(tmv, &e).unwrap().as_dense().unwrap();
+        assert_eq!(got.col_vec(0), vec![11.0, 14.0]);
+    }
+
+    #[test]
+    fn errors() {
+        let mut g = Graph::new();
+        let a = g.input("missing");
+        let mut ex = Executor::new(&g);
+        assert_eq!(ex.eval(a, &Env::new()), Err(ExecError::UnboundInput("missing".into())));
+
+        let mut g = Graph::new();
+        let xi = g.input("X");
+        let bad = g.matmul(xi, xi);
+        let mut ex = Executor::new(&g);
+        assert!(matches!(ex.eval(bad, &env()), Err(ExecError::Type { .. })));
+    }
+
+    #[test]
+    fn sparse_min_max_account_for_implicit_zeros() {
+        let d = Dense::from_rows(&[&[0.0, 5.0], &[0.0, 0.0]]);
+        let m = Matrix::Sparse(Csr::from_dense(&d));
+        assert_eq!(min_of(&m), 0.0);
+        assert_eq!(max_of(&m), 5.0);
+        let neg = Dense::from_rows(&[&[0.0, -5.0], &[0.0, 0.0]]);
+        let m = Matrix::Sparse(Csr::from_dense(&neg));
+        assert_eq!(min_of(&m), -5.0);
+        assert_eq!(max_of(&m), 0.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Recursive-descent parser for the R-like surface syntax.
+//!
+//! Grammar (precedence low to high):
+//!
+//! ```text
+//! expr    := term (('+' | '-') term)*
+//! term    := factor (('*' | '/' | '%*%') factor)*
+//! factor  := number | ident | call | '(' expr ')'
+//! call    := ('t' | 'sum' | 'colSums' | 'rowSums' | 'min' | 'max') '(' expr ')'
+//! ```
+//!
+//! `%*%` binds at the same level as `*` (left-associative), matching how such
+//! scripts are conventionally read.
+
+use crate::expr::{AggOp, EwiseOp, Graph, NodeId, UnaryOp};
+use std::fmt;
+
+/// Parse errors with character positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    MatMul,
+    LParen,
+    RParen,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '+' => {
+                out.push((i, Tok::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push((i, Tok::Minus));
+                i += 1;
+            }
+            '*' => {
+                out.push((i, Tok::Star));
+                i += 1;
+            }
+            '/' => {
+                out.push((i, Tok::Slash));
+                i += 1;
+            }
+            '(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            '%' => {
+                if src[i..].starts_with("%*%") {
+                    out.push((i, Tok::MatMul));
+                    i += 3;
+                } else {
+                    return Err(ParseError { position: i, message: "expected %*%".into() });
+                }
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || (i > start
+                            && (bytes[i] == b'+' || bytes[i] == b'-')
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: f64 = text.parse().map_err(|_| ParseError {
+                    position: start,
+                    message: format!("bad number {text:?}"),
+                })?;
+                out.push((start, Tok::Num(v)));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push((start, Tok::Ident(src[start..i].to_owned())));
+            }
+            other => {
+                return Err(ParseError {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    toks: &'a [(usize, Tok)],
+    pos: usize,
+    graph: Graph,
+    src_len: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map_or(self.src_len, |(p, _)| *p)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        let pos = self.here();
+        match self.bump() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(ParseError {
+                position: pos,
+                message: format!("expected {tok:?}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expr(&mut self) -> Result<NodeId, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.bump();
+                    let rhs = self.term()?;
+                    lhs = self.graph.ewise(EwiseOp::Add, lhs, rhs);
+                }
+                Some(Tok::Minus) => {
+                    self.bump();
+                    let rhs = self.term()?;
+                    lhs = self.graph.ewise(EwiseOp::Sub, lhs, rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<NodeId, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.bump();
+                    let rhs = self.factor()?;
+                    lhs = self.graph.ewise(EwiseOp::Mul, lhs, rhs);
+                }
+                Some(Tok::Slash) => {
+                    self.bump();
+                    let rhs = self.factor()?;
+                    lhs = self.graph.ewise(EwiseOp::Div, lhs, rhs);
+                }
+                Some(Tok::MatMul) => {
+                    self.bump();
+                    let rhs = self.factor()?;
+                    lhs = self.graph.matmul(lhs, rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<NodeId, ParseError> {
+        let pos = self.here();
+        match self.bump() {
+            Some(Tok::Num(v)) => Ok(self.graph.constant(v)),
+            Some(Tok::Minus) => {
+                // Unary minus: 0 - factor.
+                let inner = self.factor()?;
+                let zero = self.graph.constant(0.0);
+                Ok(self.graph.ewise(EwiseOp::Sub, zero, inner))
+            }
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.bump();
+                    let arg = self.expr()?;
+                    self.expect(Tok::RParen)?;
+                    match name.as_str() {
+                        "t" => Ok(self.graph.transpose(arg)),
+                        "sum" => Ok(self.graph.agg(AggOp::Sum, arg)),
+                        "colSums" => Ok(self.graph.agg(AggOp::ColSums, arg)),
+                        "rowSums" => Ok(self.graph.agg(AggOp::RowSums, arg)),
+                        "min" => Ok(self.graph.agg(AggOp::Min, arg)),
+                        "max" => Ok(self.graph.agg(AggOp::Max, arg)),
+                        "exp" => Ok(self.graph.unary(UnaryOp::Exp, arg)),
+                        "log" => Ok(self.graph.unary(UnaryOp::Log, arg)),
+                        "sqrt" => Ok(self.graph.unary(UnaryOp::Sqrt, arg)),
+                        "abs" => Ok(self.graph.unary(UnaryOp::Abs, arg)),
+                        other => Err(ParseError {
+                            position: pos,
+                            message: format!("unknown function {other}"),
+                        }),
+                    }
+                } else {
+                    Ok(self.graph.input(&name))
+                }
+            }
+            other => Err(ParseError {
+                position: pos,
+                message: format!("unexpected token {other:?}"),
+            }),
+        }
+    }
+}
+
+/// Parse a source string into a fresh graph; returns the graph and root node.
+pub fn parse(src: &str) -> Result<(Graph, NodeId), ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks: &toks, pos: 0, graph: Graph::new(), src_len: src.len() };
+    let root = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(ParseError { position: p.here(), message: "trailing input".into() });
+    }
+    Ok((p.graph, root))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Env, Executor};
+    use dm_matrix::{Dense, Matrix};
+
+    fn eval(src: &str, env: &Env) -> f64 {
+        let (g, root) = parse(src).unwrap();
+        let mut ex = Executor::new(&g);
+        ex.eval(root, env).unwrap().as_scalar().unwrap()
+    }
+
+    fn env() -> Env {
+        let mut e = Env::new();
+        e.bind("X", Matrix::Dense(Dense::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])));
+        e.bind("v", Matrix::Dense(Dense::column(&[1.0, 1.0])));
+        e
+    }
+
+    #[test]
+    fn scalar_arithmetic() {
+        let e = Env::new();
+        assert_eq!(eval("1 + 2 * 3", &e), 7.0);
+        assert_eq!(eval("(1 + 2) * 3", &e), 9.0);
+        assert_eq!(eval("10 / 4", &e), 2.5);
+        assert_eq!(eval("-3 + 1", &e), -2.0);
+        assert_eq!(eval("2e2 + 0.5", &e), 200.5);
+    }
+
+    #[test]
+    fn matrix_expressions() {
+        let e = env();
+        assert_eq!(eval("sum(X)", &e), 10.0);
+        assert_eq!(eval("sum(X %*% v)", &e), 10.0);
+        // t(X)%*%X = [[10,14],[14,20]], sum = 58.
+        assert_eq!(eval("sum(t(X) %*% X)", &e), 58.0);
+        assert_eq!(eval("max(X) - min(X)", &e), 3.0);
+        assert_eq!(eval("sum(X * X)", &e), 30.0);
+        assert_eq!(eval("sum(colSums(X))", &e), 10.0);
+        assert_eq!(eval("sum(rowSums(X))", &e), 10.0);
+    }
+
+    #[test]
+    fn matmul_is_left_associative() {
+        let (g, root) = parse("A %*% B %*% C").unwrap();
+        assert_eq!(g.render(root), "((A %*% B) %*% C)");
+    }
+
+    #[test]
+    fn precedence_of_add_vs_mul() {
+        let (g, root) = parse("A + B %*% C").unwrap();
+        assert_eq!(g.render(root), "(A + (B %*% C))");
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse("sum(X").unwrap_err();
+        assert!(err.message.contains("expected RParen"), "{err}");
+        let err = parse("1 ^ 2").unwrap_err();
+        assert_eq!(err.position, 2);
+        let err = parse("foo(X)").unwrap_err();
+        assert!(err.message.contains("unknown function foo"));
+        let err = parse("1 2").unwrap_err();
+        assert!(err.message.contains("trailing input"));
+        let err = parse("X %+% Y").unwrap_err();
+        assert!(err.message.contains("%*%"));
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn round_trip_with_optimizer() {
+        use crate::rewrite::optimize;
+        use crate::size::InputSizes;
+        let (g, root) = parse("sum(t(X) %*% X) + sum(X * X)").unwrap();
+        let mut sizes = InputSizes::new();
+        sizes.declare("X", 2, 2, 1.0);
+        let (og, oroot, stats) = optimize(&g, root, &sizes).unwrap();
+        assert_eq!(stats.crossprod_fused, 1);
+        assert_eq!(stats.sumsq_fused, 1);
+        let mut ex = Executor::new(&og);
+        let got = ex.eval(oroot, &env()).unwrap().as_scalar().unwrap();
+        assert_eq!(got, 58.0 + 30.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Physical operator selection: dense vs. sparse kernels per logical op.
+//!
+//! The selection mirrors the surveyed compilers' LOP assignment: propagated
+//! sparsity estimates pick the kernel family, with a crossover threshold
+//! calibrated by experiment E6.
+
+use crate::expr::{Graph, NodeId, Op};
+use crate::size::{InputSizes, SizeInfo};
+use std::collections::HashMap;
+
+/// Kernel family chosen for one operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Dense row-major kernel.
+    Dense,
+    /// CSR sparse kernel.
+    Sparse,
+    /// Scalar computation (constants, folded aggregates).
+    Scalar,
+}
+
+/// The per-node physical plan.
+#[derive(Debug, Clone, Default)]
+pub struct PhysicalPlan {
+    kernels: HashMap<NodeId, Kernel>,
+}
+
+impl PhysicalPlan {
+    /// The kernel chosen for a node (defaults to dense for nodes the planner
+    /// never saw — e.g. when sizes were unavailable).
+    pub fn kernel(&self, id: NodeId) -> Kernel {
+        self.kernels.get(&id).copied().unwrap_or(Kernel::Dense)
+    }
+
+    /// Number of planned nodes.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// True when no nodes were planned.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+}
+
+/// Sparsity below which sparse kernels win for multiply-like ops.
+///
+/// CSR row iteration costs roughly `2·nnz` flops plus index traffic versus the
+/// dense kernel's `2·n·d`; the index overhead and lost vectorization put the
+/// measured crossover near 0.15–0.3 on this code base (see E6). We use a
+/// conservative 0.2.
+pub const SPARSE_THRESHOLD: f64 = 0.2;
+
+/// Assign kernels to every node reachable from `root`, given propagated sizes.
+pub fn plan(
+    graph: &Graph,
+    root: NodeId,
+    sizes: &HashMap<NodeId, SizeInfo>,
+) -> PhysicalPlan {
+    let mut kernels = HashMap::new();
+    for id in graph.reachable(root) {
+        let info = sizes.get(&id);
+        let k = match graph.op(id) {
+            Op::Const(_) => Kernel::Scalar,
+            Op::Agg(_, _) | Op::SumSq(_) => {
+                // Aggregates produce small outputs; the kernel choice follows
+                // the *input* representation.
+                let child = graph.op(id).children()[0];
+                sparsity_kernel(sizes.get(&child))
+            }
+            Op::MatMul(a, _) | Op::Tmv(a, _) | Op::CrossProd(a) => {
+                sparsity_kernel(sizes.get(a))
+            }
+            Op::Input(_) | Op::Transpose(_) | Op::Ewise(_, _, _) | Op::Unary(_, _) => {
+                sparsity_kernel(info)
+            }
+        };
+        kernels.insert(id, k);
+    }
+    PhysicalPlan { kernels }
+}
+
+fn sparsity_kernel(info: Option<&SizeInfo>) -> Kernel {
+    match info {
+        Some(i) if matches!(i.shape, crate::size::Shape::Scalar) => Kernel::Scalar,
+        Some(i) if i.sparsity < SPARSE_THRESHOLD => Kernel::Sparse,
+        _ => Kernel::Dense,
+    }
+}
+
+/// Convenience: propagate sizes then plan.
+pub fn plan_with_inputs(
+    graph: &Graph,
+    root: NodeId,
+    inputs: &InputSizes,
+) -> Result<PhysicalPlan, crate::size::SizeError> {
+    let sizes = crate::size::propagate(graph, root, inputs)?;
+    Ok(plan(graph, root, &sizes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AggOp;
+
+    fn inputs() -> InputSizes {
+        let mut s = InputSizes::new();
+        s.declare("D", 100, 50, 0.9); // dense
+        s.declare("S", 100, 50, 0.01); // sparse
+        s.declare("v", 50, 1, 1.0);
+        s
+    }
+
+    #[test]
+    fn dense_input_gets_dense_kernels() {
+        let mut g = Graph::new();
+        let d = g.input("D");
+        let v = g.input("v");
+        let mm = g.matmul(d, v);
+        let p = plan_with_inputs(&g, mm, &inputs()).unwrap();
+        assert_eq!(p.kernel(mm), Kernel::Dense);
+        assert_eq!(p.kernel(d), Kernel::Dense);
+    }
+
+    #[test]
+    fn sparse_input_gets_sparse_kernels() {
+        let mut g = Graph::new();
+        let s = g.input("S");
+        let v = g.input("v");
+        let mm = g.matmul(s, v);
+        let p = plan_with_inputs(&g, mm, &inputs()).unwrap();
+        assert_eq!(p.kernel(mm), Kernel::Sparse);
+        assert_eq!(p.kernel(s), Kernel::Sparse);
+    }
+
+    #[test]
+    fn aggregate_follows_input_representation() {
+        let mut g = Graph::new();
+        let s = g.input("S");
+        let sum = g.agg(AggOp::Sum, s);
+        let p = plan_with_inputs(&g, sum, &inputs()).unwrap();
+        assert_eq!(p.kernel(sum), Kernel::Sparse);
+
+        let mut g = Graph::new();
+        let d = g.input("D");
+        let sum = g.agg(AggOp::Sum, d);
+        let p = plan_with_inputs(&g, sum, &inputs()).unwrap();
+        assert_eq!(p.kernel(sum), Kernel::Dense);
+    }
+
+    #[test]
+    fn scalar_nodes_marked() {
+        let mut g = Graph::new();
+        let c = g.constant(2.0);
+        let p = plan_with_inputs(&g, c, &inputs()).unwrap();
+        assert_eq!(p.kernel(c), Kernel::Scalar);
+    }
+
+    #[test]
+    fn elementwise_product_of_sparse_goes_sparse() {
+        // S * S has sparsity 0.0001 -> sparse kernel.
+        let mut g = Graph::new();
+        let s = g.input("S");
+        let had = g.ewise(crate::expr::EwiseOp::Mul, s, s);
+        let p = plan_with_inputs(&g, had, &inputs()).unwrap();
+        assert_eq!(p.kernel(had), Kernel::Sparse);
+    }
+
+    #[test]
+    fn unknown_nodes_default_dense() {
+        let p = PhysicalPlan::default();
+        assert_eq!(p.kernel(42), Kernel::Dense);
+        assert!(p.is_empty());
+    }
+}

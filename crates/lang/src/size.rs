@@ -1,0 +1,339 @@
+//! Shape and sparsity propagation over the expression DAG.
+//!
+//! The optimizer needs sizes *before* execution — matrix-chain reordering and
+//! dense/sparse kernel selection are both driven by propagated shapes and
+//! non-zero estimates, exactly as in the surveyed compilers' inter-procedural
+//! analysis passes.
+
+use crate::expr::{AggOp, EwiseOp, Graph, NodeId, Op};
+use std::collections::HashMap;
+
+/// Logical shape of a node's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// A scalar.
+    Scalar,
+    /// A matrix (vectors are `n x 1` or `1 x n`).
+    Matrix {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+}
+
+impl Shape {
+    /// Rows (scalars are 1x1).
+    pub fn rows(&self) -> usize {
+        match self {
+            Shape::Scalar => 1,
+            Shape::Matrix { rows, .. } => *rows,
+        }
+    }
+
+    /// Columns (scalars are 1x1).
+    pub fn cols(&self) -> usize {
+        match self {
+            Shape::Scalar => 1,
+            Shape::Matrix { cols, .. } => *cols,
+        }
+    }
+}
+
+/// Propagated metadata for one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeInfo {
+    /// Shape of the node's value.
+    pub shape: Shape,
+    /// Estimated fraction of non-zero cells, in `[0, 1]`.
+    pub sparsity: f64,
+}
+
+/// Errors during propagation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizeError {
+    /// An input has no declared shape.
+    UnboundInput(String),
+    /// Shapes are incompatible for an operator.
+    Incompatible {
+        /// Offending node.
+        node: NodeId,
+        /// Description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SizeError::UnboundInput(n) => write!(f, "input {n} has no declared shape"),
+            SizeError::Incompatible { node, message } => {
+                write!(f, "shape error at node {node}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SizeError {}
+
+/// Declared shapes/sparsities of the named inputs.
+#[derive(Debug, Clone, Default)]
+pub struct InputSizes {
+    map: HashMap<String, SizeInfo>,
+}
+
+impl InputSizes {
+    /// Empty declaration set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare an input matrix.
+    pub fn declare(&mut self, name: &str, rows: usize, cols: usize, sparsity: f64) -> &mut Self {
+        self.map.insert(
+            name.to_owned(),
+            SizeInfo { shape: Shape::Matrix { rows, cols }, sparsity: sparsity.clamp(0.0, 1.0) },
+        );
+        self
+    }
+
+    /// Declare a scalar input.
+    pub fn declare_scalar(&mut self, name: &str) -> &mut Self {
+        self.map.insert(name.to_owned(), SizeInfo { shape: Shape::Scalar, sparsity: 1.0 });
+        self
+    }
+
+    fn get(&self, name: &str) -> Option<SizeInfo> {
+        self.map.get(name).copied()
+    }
+}
+
+/// Propagate sizes through all nodes reachable from `root`.
+///
+/// Sparsity estimation uses the standard independence assumptions:
+/// * `A %*% B`: `1 - (1 - sA·sB)^k` for inner dimension `k`.
+/// * `A * B` (elementwise): `sA · sB`; `A + B`: `min(1, sA + sB)`.
+/// * Aggregates and divisions conservatively estimate 1.0.
+pub fn propagate(
+    graph: &Graph,
+    root: NodeId,
+    inputs: &InputSizes,
+) -> Result<HashMap<NodeId, SizeInfo>, SizeError> {
+    let mut out: HashMap<NodeId, SizeInfo> = HashMap::new();
+    for id in graph.reachable(root) {
+        let info = match graph.op(id) {
+            Op::Input(name) => {
+                inputs.get(name).ok_or_else(|| SizeError::UnboundInput(name.clone()))?
+            }
+            Op::Const(v) => SizeInfo { shape: Shape::Scalar, sparsity: if *v == 0.0 { 0.0 } else { 1.0 } },
+            Op::Transpose(a) => {
+                let ia = out[a];
+                match ia.shape {
+                    Shape::Scalar => ia,
+                    Shape::Matrix { rows, cols } => SizeInfo {
+                        shape: Shape::Matrix { rows: cols, cols: rows },
+                        sparsity: ia.sparsity,
+                    },
+                }
+            }
+            Op::MatMul(a, b) => {
+                let (ia, ib) = (out[a], out[b]);
+                match (ia.shape, ib.shape) {
+                    (Shape::Matrix { rows, cols: k1 }, Shape::Matrix { rows: k2, cols }) => {
+                        if k1 != k2 {
+                            return Err(SizeError::Incompatible {
+                                node: id,
+                                message: format!("matmul inner dims {k1} vs {k2}"),
+                            });
+                        }
+                        let s = 1.0 - (1.0 - ia.sparsity * ib.sparsity).powi(k1.min(1_000_000) as i32);
+                        SizeInfo { shape: Shape::Matrix { rows, cols }, sparsity: s.clamp(0.0, 1.0) }
+                    }
+                    _ => {
+                        return Err(SizeError::Incompatible {
+                            node: id,
+                            message: "matmul requires matrix operands".into(),
+                        })
+                    }
+                }
+            }
+            Op::Ewise(e, a, b) => {
+                let (ia, ib) = (out[a], out[b]);
+                let shape = match (ia.shape, ib.shape) {
+                    (Shape::Scalar, s) | (s, Shape::Scalar) => s,
+                    (Shape::Matrix { rows: r1, cols: c1 }, Shape::Matrix { rows: r2, cols: c2 }) => {
+                        if r1 != r2 || c1 != c2 {
+                            return Err(SizeError::Incompatible {
+                                node: id,
+                                message: format!("elementwise {r1}x{c1} vs {r2}x{c2}"),
+                            });
+                        }
+                        ia.shape
+                    }
+                };
+                let sparsity = match e {
+                    EwiseOp::Mul => ia.sparsity * ib.sparsity,
+                    EwiseOp::Add | EwiseOp::Sub => (ia.sparsity + ib.sparsity).min(1.0),
+                    EwiseOp::Div => 1.0,
+                };
+                SizeInfo { shape, sparsity }
+            }
+            Op::Unary(u, a) => {
+                let ia = out[a];
+                // sqrt/abs preserve zeros; exp maps 0 -> 1 (dense); log(0) is
+                // -inf, so conservatively dense.
+                let sparsity = match u {
+                    crate::expr::UnaryOp::Sqrt | crate::expr::UnaryOp::Abs => ia.sparsity,
+                    crate::expr::UnaryOp::Exp | crate::expr::UnaryOp::Log => 1.0,
+                };
+                SizeInfo { shape: ia.shape, sparsity }
+            }
+            Op::Agg(a, x) => {
+                let ix = out[x];
+                let shape = match (a, ix.shape) {
+                    (AggOp::Sum | AggOp::Min | AggOp::Max, _) => Shape::Scalar,
+                    (AggOp::ColSums, Shape::Matrix { cols, .. }) => Shape::Matrix { rows: 1, cols },
+                    (AggOp::RowSums, Shape::Matrix { rows, .. }) => Shape::Matrix { rows, cols: 1 },
+                    (AggOp::ColSums | AggOp::RowSums, Shape::Scalar) => Shape::Scalar,
+                };
+                SizeInfo { shape, sparsity: 1.0 }
+            }
+            Op::CrossProd(a) => {
+                let ia = out[a];
+                let (rows, cols) = (ia.shape.rows(), ia.shape.cols());
+                let s = 1.0 - (1.0 - ia.sparsity * ia.sparsity).powi(rows.min(1_000_000) as i32);
+                SizeInfo { shape: Shape::Matrix { rows: cols, cols }, sparsity: s.clamp(0.0, 1.0) }
+            }
+            Op::Tmv(a, b) => {
+                let (ia, ib) = (out[a], out[b]);
+                if ia.shape.rows() != ib.shape.rows() {
+                    return Err(SizeError::Incompatible {
+                        node: id,
+                        message: format!("tmv rows {} vs {}", ia.shape.rows(), ib.shape.rows()),
+                    });
+                }
+                SizeInfo { shape: Shape::Matrix { rows: ia.shape.cols(), cols: 1 }, sparsity: 1.0 }
+            }
+            Op::SumSq(_) => SizeInfo { shape: Shape::Scalar, sparsity: 1.0 },
+        };
+        out.insert(id, info);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> InputSizes {
+        let mut i = InputSizes::new();
+        i.declare("X", 100, 10, 1.0);
+        i.declare("v", 10, 1, 1.0);
+        i.declare("S", 100, 10, 0.01);
+        i
+    }
+
+    #[test]
+    fn basic_shapes() {
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let t = g.transpose(x);
+        let mm = g.matmul(t, x);
+        let s = g.agg(AggOp::Sum, mm);
+        let sizes = propagate(&g, s, &env()).unwrap();
+        assert_eq!(sizes[&t].shape, Shape::Matrix { rows: 10, cols: 100 });
+        assert_eq!(sizes[&mm].shape, Shape::Matrix { rows: 10, cols: 10 });
+        assert_eq!(sizes[&s].shape, Shape::Scalar);
+    }
+
+    #[test]
+    fn vector_shapes_and_aggregates() {
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let v = g.input("v");
+        let xv = g.matmul(x, v);
+        let cs = g.agg(AggOp::ColSums, x);
+        let rs = g.agg(AggOp::RowSums, x);
+        // Roots must cover all: (t(colSums(X)) 10x1) %*% (t(rowSums(X)+Xv) 1x100).
+        let t = g.transpose(cs);
+        let both = g.ewise(EwiseOp::Add, rs, xv);
+        let t_both = g.transpose(both);
+        let root = g.matmul(t, t_both);
+        let sizes = propagate(&g, root, &env()).unwrap();
+        assert_eq!(sizes[&xv].shape, Shape::Matrix { rows: 100, cols: 1 });
+        assert_eq!(sizes[&cs].shape, Shape::Matrix { rows: 1, cols: 10 });
+        assert_eq!(sizes[&rs].shape, Shape::Matrix { rows: 100, cols: 1 });
+        assert_eq!(sizes[&root].shape, Shape::Matrix { rows: 10, cols: 100 });
+    }
+
+    #[test]
+    fn scalar_broadcast() {
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let c = g.constant(2.0);
+        let scaled = g.ewise(EwiseOp::Mul, x, c);
+        let sizes = propagate(&g, scaled, &env()).unwrap();
+        assert_eq!(sizes[&scaled].shape, Shape::Matrix { rows: 100, cols: 10 });
+    }
+
+    #[test]
+    fn sparsity_propagation() {
+        let mut g = Graph::new();
+        let s = g.input("S"); // 1% dense
+        let had = g.ewise(EwiseOp::Mul, s, s);
+        let sum = g.ewise(EwiseOp::Add, s, s);
+        let root = g.ewise(EwiseOp::Add, had, sum);
+        let sizes = propagate(&g, root, &env()).unwrap();
+        assert!((sizes[&had].sparsity - 0.0001).abs() < 1e-12);
+        assert!((sizes[&sum].sparsity - 0.02).abs() < 1e-12);
+        // Dense X stays dense through matmul.
+        let mut g2 = Graph::new();
+        let x = g2.input("X");
+        let t = g2.transpose(x);
+        let mm = g2.matmul(t, x);
+        let sizes2 = propagate(&g2, mm, &env()).unwrap();
+        assert!(sizes2[&mm].sparsity > 0.99);
+    }
+
+    #[test]
+    fn errors() {
+        let mut g = Graph::new();
+        let a = g.input("missing");
+        assert!(matches!(propagate(&g, a, &env()), Err(SizeError::UnboundInput(_))));
+
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let bad = g.matmul(x, x); // 100x10 * 100x10
+        assert!(matches!(propagate(&g, bad, &env()), Err(SizeError::Incompatible { .. })));
+
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let v = g.input("v");
+        let bad = g.ewise(EwiseOp::Add, x, v);
+        assert!(matches!(propagate(&g, bad, &env()), Err(SizeError::Incompatible { .. })));
+    }
+
+    #[test]
+    fn fused_ops_shapes() {
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let cp = g.push(Op::CrossProd(x));
+        let sizes = propagate(&g, cp, &env()).unwrap();
+        assert_eq!(sizes[&cp].shape, Shape::Matrix { rows: 10, cols: 10 });
+
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let u = g.input("u");
+        let tmv = g.push(Op::Tmv(x, u));
+        let mut inp = env();
+        inp.declare("u", 100, 1, 1.0);
+        let sizes = propagate(&g, tmv, &inp).unwrap();
+        assert_eq!(sizes[&tmv].shape, Shape::Matrix { rows: 10, cols: 1 });
+
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let ss = g.push(Op::SumSq(x));
+        let sizes = propagate(&g, ss, &env()).unwrap();
+        assert_eq!(sizes[&ss].shape, Shape::Scalar);
+    }
+}

@@ -1,0 +1,234 @@
+//! Optimizer soundness: for arbitrary generated expression trees, the
+//! optimized DAG must produce the same value as the naive DAG, and never do
+//! more work (flops) than it.
+
+use dm_lang::exec::{Env, Executor, Val};
+use dm_lang::expr::{AggOp, EwiseOp, Graph, NodeId, UnaryOp};
+use dm_lang::rewrite::optimize;
+use dm_lang::size::InputSizes;
+use dm_matrix::{Dense, Matrix};
+use proptest::prelude::*;
+
+/// Fixed shapes: X is n x d, v is d x 1, u is n x 1.
+const N: usize = 7;
+const D: usize = 4;
+
+fn env() -> (Env, InputSizes) {
+    let mut e = Env::new();
+    e.bind("X", Matrix::Dense(Dense::from_fn(N, D, |r, c| ((r * 5 + c * 3) % 7) as f64 - 3.0)));
+    let v: Vec<f64> = (0..D).map(|i| (i as f64) * 0.5 - 1.0).collect();
+    e.bind("v", Matrix::Dense(Dense::column(&v)));
+    let u: Vec<f64> = (0..N).map(|i| ((i % 3) as f64) - 1.0).collect();
+    e.bind("u", Matrix::Dense(Dense::column(&u)));
+    let mut sizes = InputSizes::new();
+    sizes.declare("X", N, D, 1.0);
+    sizes.declare("v", D, 1, 1.0);
+    sizes.declare("u", N, 1, 1.0);
+    (e, sizes)
+}
+
+/// A recursively generated expression that always evaluates to a SCALAR, so
+/// comparison is easy. Sub-expressions track their shape to stay well-typed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    Nd, // n x d matrix
+    D1, // d x 1 vector
+    N1, // n x 1 vector
+    Scalar,
+}
+
+/// Recursive strategy producing (builder function index tree). We encode the
+/// tree as nested enum to build into a Graph afterwards.
+#[derive(Debug, Clone)]
+enum E {
+    X,
+    V,
+    U,
+    Const(i8),
+    Add(Box<E>, Box<E>),         // same-shape ewise
+    Mul(Box<E>, Box<E>),         // same-shape ewise
+    ScalarShift(Box<E>, i8),     // matrix + scalar
+    Abs(Box<E>),
+    Sqrt(Box<E>),                // applied to abs to stay real
+    Transpose2(Box<E>),          // t(t(e))
+    XtX,                         // t(X) %*% X -> d x d, then summed
+    Xv,                          // X %*% v -> n x 1
+    Xtu,                         // t(X) %*% u -> d x 1
+    Sum(Box<E>),
+    SumSq(Box<E>),               // sum(e * e) with shared subtree
+    Min(Box<E>),
+    Max(Box<E>),
+}
+
+fn shape_of(e: &E) -> Shape {
+    match e {
+        E::X => Shape::Nd,
+        E::V => Shape::D1,
+        E::U => Shape::N1,
+        E::Const(_) => Shape::Scalar,
+        E::Add(a, _) | E::Mul(a, _) => shape_of(a),
+        E::ScalarShift(a, _) => shape_of(a),
+        E::Abs(a) | E::Sqrt(a) | E::Transpose2(a) => shape_of(a),
+        E::XtX => Shape::Scalar, // emitted as sum(t(X)%*%X)
+        E::Xv => Shape::N1,
+        E::Xtu => Shape::D1,
+        E::Sum(_) | E::SumSq(_) | E::Min(_) | E::Max(_) => Shape::Scalar,
+    }
+}
+
+fn leaf(shape: Shape) -> BoxedStrategy<E> {
+    match shape {
+        Shape::Nd => Just(E::X).boxed(),
+        Shape::D1 => prop_oneof![Just(E::V), Just(E::Xtu)].boxed(),
+        Shape::N1 => prop_oneof![Just(E::U), Just(E::Xv)].boxed(),
+        Shape::Scalar => (-3i8..4).prop_map(E::Const).boxed(),
+    }
+}
+
+fn expr(shape: Shape, depth: u32) -> BoxedStrategy<E> {
+    if depth == 0 {
+        return leaf(shape);
+    }
+    let inner = expr(shape, depth - 1);
+    let same_shape_binop = (expr(shape, depth - 1), expr(shape, depth - 1)).prop_map(
+        |(a, b)| {
+            if matches!(shape_of(&a), Shape::Scalar) {
+                E::Add(Box::new(a), Box::new(b))
+            } else {
+                E::Mul(Box::new(a), Box::new(b))
+            }
+        },
+    );
+    match shape {
+        Shape::Scalar => prop_oneof![
+            leaf(shape),
+            same_shape_binop,
+            expr(Shape::Nd, depth - 1).prop_map(|a| E::Sum(Box::new(a))),
+            expr(Shape::N1, depth - 1).prop_map(|a| E::SumSq(Box::new(a))),
+            expr(Shape::D1, depth - 1).prop_map(|a| E::Min(Box::new(a))),
+            expr(Shape::Nd, depth - 1).prop_map(|a| E::Max(Box::new(a))),
+            Just(E::XtX),
+        ]
+        .boxed(),
+        _ => prop_oneof![
+            leaf(shape),
+            same_shape_binop,
+            (inner, -3i8..4).prop_map(|(a, s)| E::ScalarShift(Box::new(a), s)),
+            expr(shape, depth - 1).prop_map(|a| E::Abs(Box::new(a))),
+            expr(shape, depth - 1).prop_map(|a| E::Sqrt(Box::new(E::Abs(Box::new(a))))),
+            expr(shape, depth - 1).prop_map(|a| E::Transpose2(Box::new(a))),
+        ]
+        .boxed(),
+    }
+}
+
+fn build(e: &E, g: &mut Graph) -> NodeId {
+    match e {
+        E::X => g.input("X"),
+        E::V => g.input("v"),
+        E::U => g.input("u"),
+        E::Const(c) => g.constant(f64::from(*c)),
+        E::Add(a, b) => {
+            let (x, y) = (build(a, g), build(b, g));
+            g.ewise(EwiseOp::Add, x, y)
+        }
+        E::Mul(a, b) => {
+            let (x, y) = (build(a, g), build(b, g));
+            g.ewise(EwiseOp::Mul, x, y)
+        }
+        E::ScalarShift(a, s) => {
+            let x = build(a, g);
+            let c = g.constant(f64::from(*s));
+            g.ewise(EwiseOp::Add, x, c)
+        }
+        E::Abs(a) => {
+            let x = build(a, g);
+            g.unary(UnaryOp::Abs, x)
+        }
+        E::Sqrt(a) => {
+            let x = build(a, g);
+            g.unary(UnaryOp::Sqrt, x)
+        }
+        E::Transpose2(a) => {
+            let x = build(a, g);
+            let t = g.transpose(x);
+            g.transpose(t)
+        }
+        E::XtX => {
+            let x = g.input("X");
+            let t = g.transpose(x);
+            let mm = g.matmul(t, x);
+            g.agg(AggOp::Sum, mm)
+        }
+        E::Xv => {
+            let x = g.input("X");
+            let v = g.input("v");
+            g.matmul(x, v)
+        }
+        E::Xtu => {
+            let x = g.input("X");
+            let t = g.transpose(x);
+            let u = g.input("u");
+            g.matmul(t, u)
+        }
+        E::Sum(a) => {
+            let x = build(a, g);
+            g.agg(AggOp::Sum, x)
+        }
+        E::SumSq(a) => {
+            let x = build(a, g);
+            let sq = g.ewise(EwiseOp::Mul, x, x);
+            g.agg(AggOp::Sum, sq)
+        }
+        E::Min(a) => {
+            let x = build(a, g);
+            g.agg(AggOp::Min, x)
+        }
+        E::Max(a) => {
+            let x = build(a, g);
+            g.agg(AggOp::Max, x)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn optimizer_preserves_semantics(e in expr(Shape::Scalar, 4)) {
+        let mut g = Graph::new();
+        let root = build(&e, &mut g);
+        let (env, sizes) = env();
+
+        let mut naive = Executor::new(&g);
+        let nv = naive.eval(root, &env).unwrap();
+
+        let (og, oroot, _) = optimize(&g, root, &sizes).unwrap();
+        let mut opt = Executor::new(&og);
+        let ov = opt.eval(oroot, &env).unwrap();
+
+        match (nv, ov) {
+            (Val::Scalar(a), Val::Scalar(b)) => {
+                prop_assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                    "value changed: {a} vs {b} for {}",
+                    g.render(root)
+                );
+            }
+            (a, b) => {
+                let da = a.as_scalar();
+                let db = b.as_scalar();
+                prop_assert!(da.is_some() && db.is_some(), "scalar-shaped result expected");
+                prop_assert!((da.unwrap() - db.unwrap()).abs() <= 1e-9 * (1.0 + da.unwrap().abs()));
+            }
+        }
+        // The optimizer must never *increase* executed work.
+        prop_assert!(
+            opt.stats().flops <= naive.stats().flops,
+            "optimizer increased flops: {} -> {} for {}",
+            naive.stats().flops,
+            opt.stats().flops,
+            g.render(root)
+        );
+    }
+}

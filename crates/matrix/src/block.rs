@@ -1,0 +1,225 @@
+//! Block-partitioned matrices in the style of SystemML's distributed
+//! representation: a logical matrix split into fixed-size 2-D tiles.
+//!
+//! On a cluster each tile would be a partition key; here the tiles are the
+//! eviction/serialization unit of the `dm-buffer` buffer pool and the scan unit
+//! of out-of-core style kernels.
+
+use crate::dense::Dense;
+use crate::ops;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a tile inside a [`BlockMatrix`]: `(block_row, block_col)`.
+pub type BlockId = (usize, usize);
+
+/// A dense matrix partitioned into `block_size x block_size` tiles
+/// (edge tiles may be smaller).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockMatrix {
+    rows: usize,
+    cols: usize,
+    block_size: usize,
+    /// Row-major grid of tiles: `blocks[br * block_cols + bc]`.
+    blocks: Vec<Dense>,
+}
+
+impl BlockMatrix {
+    /// Partition a dense matrix into tiles of `block_size`.
+    ///
+    /// # Panics
+    /// Panics if `block_size == 0`.
+    pub fn from_dense(m: &Dense, block_size: usize) -> Self {
+        assert!(block_size > 0, "block_size must be positive");
+        let (rows, cols) = m.shape();
+        let brs = rows.div_ceil(block_size).max(1);
+        let bcs = cols.div_ceil(block_size).max(1);
+        let mut blocks = Vec::with_capacity(brs * bcs);
+        for br in 0..brs {
+            let r0 = br * block_size;
+            let r1 = (r0 + block_size).min(rows);
+            for bc in 0..bcs {
+                let c0 = bc * block_size;
+                let c1 = (c0 + block_size).min(cols);
+                blocks.push(m.slice(r0.min(rows), r1, c0.min(cols), c1));
+            }
+        }
+        BlockMatrix { rows, cols, block_size, blocks }
+    }
+
+    /// Logical number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Tile edge length.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of tile rows.
+    pub fn block_rows(&self) -> usize {
+        self.rows.div_ceil(self.block_size).max(1)
+    }
+
+    /// Number of tile columns.
+    pub fn block_cols(&self) -> usize {
+        self.cols.div_ceil(self.block_size).max(1)
+    }
+
+    /// Total number of tiles.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Borrow one tile.
+    ///
+    /// # Panics
+    /// Panics if the block id is out of range.
+    pub fn block(&self, id: BlockId) -> &Dense {
+        let (br, bc) = id;
+        assert!(br < self.block_rows() && bc < self.block_cols(), "block {id:?} out of range");
+        &self.blocks[br * self.block_cols() + bc]
+    }
+
+    /// Iterate over `(BlockId, &Dense)` pairs in row-major tile order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Dense)> {
+        let bcs = self.block_cols();
+        self.blocks.iter().enumerate().map(move |(i, b)| ((i / bcs, i % bcs), b))
+    }
+
+    /// Reassemble the logical dense matrix.
+    pub fn to_dense(&self) -> Dense {
+        let mut out = Dense::zeros(self.rows, self.cols);
+        for ((br, bc), b) in self.iter_blocks() {
+            let r0 = br * self.block_size;
+            let c0 = bc * self.block_size;
+            for r in 0..b.rows() {
+                let dst = &mut out.row_mut(r0 + r)[c0..c0 + b.cols()];
+                dst.copy_from_slice(b.row(r));
+            }
+        }
+        out
+    }
+
+    /// Block-wise matrix-vector product, accumulating per tile row.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn gemv(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "block gemv dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for ((br, bc), b) in self.iter_blocks() {
+            let r0 = br * self.block_size;
+            let c0 = bc * self.block_size;
+            let vseg = &v[c0..c0 + b.cols()];
+            let part = ops::gemv(b, vseg);
+            for (o, p) in out[r0..r0 + b.rows()].iter_mut().zip(part) {
+                *o += p;
+            }
+        }
+        out
+    }
+
+    /// Block-wise column sums.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for ((_, bc), b) in self.iter_blocks() {
+            let c0 = bc * self.block_size;
+            let part = ops::col_sums(b);
+            for (o, p) in out[c0..c0 + b.cols()].iter_mut().zip(part) {
+                *o += p;
+            }
+        }
+        out
+    }
+
+    /// Approximate serialized size of one tile in bytes (8 bytes per element
+    /// plus a small header); the buffer pool uses this for memory accounting.
+    pub fn block_bytes(&self, id: BlockId) -> usize {
+        let b = self.block(id);
+        b.rows() * b.cols() * 8 + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, cols: usize) -> Dense {
+        Dense::from_fn(rows, cols, |r, c| (r * cols + c) as f64)
+    }
+
+    #[test]
+    fn partition_round_trip_even() {
+        let m = sample(8, 8);
+        let b = BlockMatrix::from_dense(&m, 4);
+        assert_eq!(b.num_blocks(), 4);
+        assert_eq!(b.to_dense(), m);
+    }
+
+    #[test]
+    fn partition_round_trip_ragged() {
+        let m = sample(7, 5);
+        let b = BlockMatrix::from_dense(&m, 3);
+        assert_eq!(b.block_rows(), 3);
+        assert_eq!(b.block_cols(), 2);
+        assert_eq!(b.num_blocks(), 6);
+        // Edge tile shapes.
+        assert_eq!(b.block((2, 1)).shape(), (1, 2));
+        assert_eq!(b.to_dense(), m);
+    }
+
+    #[test]
+    fn gemv_matches_dense() {
+        let m = sample(7, 5);
+        let b = BlockMatrix::from_dense(&m, 3);
+        let v: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
+        let expect = ops::gemv(&m, &v);
+        let got = b.gemv(&v);
+        for (x, y) in got.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn col_sums_match_dense() {
+        let m = sample(9, 4);
+        let b = BlockMatrix::from_dense(&m, 4);
+        let expect = ops::col_sums(&m);
+        for (x, y) in b.col_sums().iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn iter_blocks_ids() {
+        let b = BlockMatrix::from_dense(&sample(4, 6), 3);
+        let ids: Vec<BlockId> = b.iter_blocks().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn block_bytes_accounting() {
+        let b = BlockMatrix::from_dense(&sample(4, 4), 2);
+        assert_eq!(b.block_bytes((0, 0)), 2 * 2 * 8 + 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "block_size must be positive")]
+    fn zero_block_size_panics() {
+        BlockMatrix::from_dense(&sample(2, 2), 0);
+    }
+
+    #[test]
+    fn single_block_degenerate() {
+        let m = sample(2, 2);
+        let b = BlockMatrix::from_dense(&m, 10);
+        assert_eq!(b.num_blocks(), 1);
+        assert_eq!(b.to_dense(), m);
+    }
+}

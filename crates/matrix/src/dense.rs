@@ -1,0 +1,429 @@
+//! Row-major dense matrix.
+
+use crate::MatrixError;
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense `f64` matrix.
+///
+/// Rows are stored contiguously, so [`Dense::row`] returns a slice and row-wise
+/// kernels are cache-friendly. This is the workhorse representation of the
+/// whole workspace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Dense {
+    /// Create a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Dense { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Dense { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Create the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Dense::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a flat row-major vector.
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, MatrixError> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::ShapeMismatch { expected: rows * cols, actual: data.len() });
+        }
+        Ok(Dense { rows, cols, data })
+    }
+
+    /// Build from row slices.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), ncols, "row {i} has length {} but expected {ncols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Dense { rows: nrows, cols: ncols, data }
+    }
+
+    /// Build an `n x 1` column matrix from a vector.
+    pub fn column(v: &[f64]) -> Self {
+        Dense { rows: v.len(), cols: 1, data: v.to_vec() }
+    }
+
+    /// Build a matrix by evaluating `f(row, col)` for every cell.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Dense { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the flat row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix, returning its flat row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    /// Panics when out of bounds (via slice indexing in debug and release).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds for {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Set one element.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds for {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterate over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Copy column `c` into a new vector.
+    pub fn col_vec(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column {c} out of bounds for {} columns", self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Count non-zero entries (exact scan).
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|v| **v != 0.0).count()
+    }
+
+    /// Fraction of non-zero cells, in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.nnz() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Return the transpose as a new matrix.
+    pub fn transpose(&self) -> Dense {
+        let mut out = Dense::zeros(self.cols, self.rows);
+        // Blocked transpose for cache locality on large matrices.
+        const B: usize = 32;
+        for rb in (0..self.rows).step_by(B) {
+            for cb in (0..self.cols).step_by(B) {
+                for r in rb..(rb + B).min(self.rows) {
+                    for c in cb..(cb + B).min(self.cols) {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Apply `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Dense {
+        Dense { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Apply `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Extract a rectangular sub-matrix `[r0, r1) x [c0, c1)`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the matrix bounds or is reversed.
+    pub fn slice(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Dense {
+        assert!(r0 <= r1 && r1 <= self.rows, "row range {r0}..{r1} invalid for {} rows", self.rows);
+        assert!(c0 <= c1 && c1 <= self.cols, "col range {c0}..{c1} invalid for {} cols", self.cols);
+        let mut out = Dense::zeros(r1 - r0, c1 - c0);
+        for (i, r) in (r0..r1).enumerate() {
+            out.row_mut(i).copy_from_slice(&self.row(r)[c0..c1]);
+        }
+        out
+    }
+
+    /// Gather the given rows into a new matrix (row projection).
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, idx: &[usize]) -> Dense {
+        let mut out = Dense::zeros(idx.len(), self.cols);
+        for (i, &r) in idx.iter().enumerate() {
+            assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Gather the given columns into a new matrix (column projection).
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn select_cols(&self, idx: &[usize]) -> Dense {
+        for &c in idx {
+            assert!(c < self.cols, "col index {c} out of bounds for {} cols", self.cols);
+        }
+        let mut out = Dense::zeros(self.rows, idx.len());
+        for r in 0..self.rows {
+            let src = self.row(r);
+            let dst = out.row_mut(r);
+            for (j, &c) in idx.iter().enumerate() {
+                dst[j] = src[c];
+            }
+        }
+        out
+    }
+
+    /// Horizontally concatenate `self` with `other` (`cbind`).
+    ///
+    /// # Panics
+    /// Panics if row counts differ.
+    pub fn hcat(&self, other: &Dense) -> Dense {
+        assert_eq!(self.rows, other.rows, "hcat row mismatch: {} vs {}", self.rows, other.rows);
+        let mut out = Dense::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            let dst = out.row_mut(r);
+            dst[..self.cols].copy_from_slice(self.row(r));
+            dst[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Vertically concatenate `self` with `other` (`rbind`).
+    ///
+    /// # Panics
+    /// Panics if column counts differ.
+    pub fn vcat(&self, other: &Dense) -> Dense {
+        assert_eq!(self.cols, other.cols, "vcat col mismatch: {} vs {}", self.cols, other.cols);
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Dense { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute elementwise difference to `other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Dense) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// True when every element differs from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &Dense, tol: f64) -> bool {
+        self.shape() == other.shape() && self.max_abs_diff(other) <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let z = Dense::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.data().iter().all(|&v| v == 0.0));
+
+        let f = Dense::filled(2, 2, 7.0);
+        assert_eq!(f.get(1, 1), 7.0);
+
+        let i = Dense::identity(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        assert_eq!(i.nnz(), 3);
+
+        let m = Dense::from_fn(2, 2, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.get(1, 0), 10.0);
+    }
+
+    #[test]
+    fn from_vec_validates_shape() {
+        assert!(Dense::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        let err = Dense::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
+        assert_eq!(err, MatrixError::ShapeMismatch { expected: 4, actual: 3 });
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1 has length")]
+    fn from_rows_ragged_panics() {
+        Dense::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn get_set_row_col() {
+        let mut m = Dense::zeros(3, 2);
+        m.set(2, 1, 5.0);
+        assert_eq!(m.get(2, 1), 5.0);
+        assert_eq!(m.row(2), &[0.0, 5.0]);
+        assert_eq!(m.col_vec(1), vec![0.0, 0.0, 5.0]);
+        m.row_mut(0)[0] = -1.0;
+        assert_eq!(m.get(0, 0), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Dense::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Dense::from_fn(37, 53, |r, c| (r * 100 + c) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (53, 37));
+        assert_eq!(t.get(5, 7), m.get(7, 5));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn map_and_map_inplace() {
+        let m = Dense::from_rows(&[&[1.0, -2.0]]);
+        let sq = m.map(|v| v * v);
+        assert_eq!(sq.row(0), &[1.0, 4.0]);
+        let mut m2 = m.clone();
+        m2.map_inplace(|v| v + 1.0);
+        assert_eq!(m2.row(0), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn slice_and_select() {
+        let m = Dense::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        let s = m.slice(1, 3, 2, 4);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.row(0), &[6.0, 7.0]);
+        assert_eq!(s.row(1), &[10.0, 11.0]);
+
+        let rows = m.select_rows(&[3, 0]);
+        assert_eq!(rows.row(0), m.row(3));
+        assert_eq!(rows.row(1), m.row(0));
+
+        let cols = m.select_cols(&[2, 0]);
+        assert_eq!(cols.row(1), &[6.0, 4.0]);
+    }
+
+    #[test]
+    fn hcat_vcat() {
+        let a = Dense::from_rows(&[&[1.0], &[2.0]]);
+        let b = Dense::from_rows(&[&[3.0], &[4.0]]);
+        let h = a.hcat(&b);
+        assert_eq!(h.shape(), (2, 2));
+        assert_eq!(h.row(0), &[1.0, 3.0]);
+        let v = a.vcat(&b);
+        assert_eq!(v.shape(), (4, 1));
+        assert_eq!(v.col_vec(0), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn norms_and_compare() {
+        let m = Dense::from_rows(&[&[3.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        let n = Dense::from_rows(&[&[3.0, 4.5]]);
+        assert!((m.max_abs_diff(&n) - 0.5).abs() < 1e-12);
+        assert!(m.approx_eq(&n, 0.5));
+        assert!(!m.approx_eq(&n, 0.4));
+    }
+
+    #[test]
+    fn sparsity_counts() {
+        let m = Dense::from_rows(&[&[0.0, 1.0], &[2.0, 0.0]]);
+        assert_eq!(m.nnz(), 2);
+        assert!((m.sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_rows_matches_row() {
+        let m = Dense::from_fn(3, 2, |r, c| (r + c) as f64);
+        let collected: Vec<&[f64]> = m.iter_rows().collect();
+        assert_eq!(collected.len(), 3);
+        for (i, row) in collected.iter().enumerate() {
+            assert_eq!(*row, m.row(i));
+        }
+    }
+
+    #[test]
+    fn column_matrix() {
+        let c = Dense::column(&[1.0, 2.0, 3.0]);
+        assert_eq!(c.shape(), (3, 1));
+        assert_eq!(c.get(2, 0), 3.0);
+    }
+}

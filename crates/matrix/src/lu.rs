@@ -1,0 +1,212 @@
+//! LU decomposition with partial pivoting: the general (non-SPD) direct
+//! solver, determinants, and matrix inversion.
+
+use crate::dense::Dense;
+use crate::MatrixError;
+
+/// An LU factorization with partial pivoting: `P·A = L·U` where `L` is unit
+/// lower triangular and `U` upper triangular, stored packed in one matrix.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed factors: `U` on and above the diagonal, `L` (sans unit
+    /// diagonal) below.
+    packed: Dense,
+    /// Row permutation: output row `i` came from input row `perm[i]`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (`+1.0` or `-1.0`), for determinants.
+    sign: f64,
+}
+
+/// Factor a square matrix.
+///
+/// # Errors
+/// [`MatrixError::Singular`] when no usable pivot exists in some column.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn lu(a: &Dense) -> Result<Lu, MatrixError> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "lu requires a square matrix, got {}x{}", a.rows(), a.cols());
+    let mut m = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+    for k in 0..n {
+        // Partial pivoting: largest magnitude in column k at or below row k.
+        let (pivot_row, pivot_val) = (k..n)
+            .map(|r| (r, m.get(r, k).abs()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("magnitudes are not NaN"))
+            .expect("non-empty column range");
+        if pivot_val < 1e-300 {
+            return Err(MatrixError::Singular { column: k });
+        }
+        if pivot_row != k {
+            // Swap rows k and pivot_row.
+            for c in 0..n {
+                let tmp = m.get(k, c);
+                m.set(k, c, m.get(pivot_row, c));
+                m.set(pivot_row, c, tmp);
+            }
+            perm.swap(k, pivot_row);
+            sign = -sign;
+        }
+        let pivot = m.get(k, k);
+        for r in (k + 1)..n {
+            let factor = m.get(r, k) / pivot;
+            m.set(r, k, factor);
+            for c in (k + 1)..n {
+                let v = m.get(r, c) - factor * m.get(k, c);
+                m.set(r, c, v);
+            }
+        }
+    }
+    Ok(Lu { packed: m, perm, sign })
+}
+
+impl Lu {
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.n() {
+            d *= self.packed.get(i, i);
+        }
+        d
+    }
+
+    /// Solve `A x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        assert_eq!(b.len(), n, "lu solve length mismatch");
+        // Apply permutation, then forward substitution with unit-L.
+        let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.packed.get(i, k) * y[k];
+            }
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.packed.get(i, k) * y[k];
+            }
+            y[i] /= self.packed.get(i, i);
+        }
+        y
+    }
+
+    /// Invert the original matrix (solving against each unit vector).
+    pub fn inverse(&self) -> Dense {
+        let n = self.n();
+        let mut out = Dense::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e);
+            for (r, v) in col.into_iter().enumerate() {
+                out.set(r, c, v);
+            }
+            e[c] = 0.0;
+        }
+        out
+    }
+}
+
+/// Solve the general square system `A x = b` via LU.
+///
+/// # Errors
+/// [`MatrixError::Singular`] when `a` is singular.
+pub fn solve_general(a: &Dense, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+    Ok(lu(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    fn nonsymmetric() -> Dense {
+        Dense::from_rows(&[
+            &[0.0, 2.0, 1.0],
+            &[3.0, -1.0, 4.0],
+            &[1.0, 5.0, -2.0],
+        ])
+    }
+
+    #[test]
+    fn solves_nonsymmetric_system() {
+        let a = nonsymmetric();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = ops::gemv(&a, &x_true);
+        let x = solve_general(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn zero_leading_pivot_handled_by_pivoting() {
+        // a[0][0] = 0 requires a row swap; naive LU would divide by zero.
+        let a = nonsymmetric();
+        assert_eq!(a.get(0, 0), 0.0);
+        assert!(lu(&a).is_ok());
+    }
+
+    #[test]
+    fn determinant_matches_cofactor_expansion() {
+        let a = Dense::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((lu(&a).unwrap().det() - (-2.0)).abs() < 1e-12);
+        let i = Dense::identity(4);
+        assert!((lu(&i).unwrap().det() - 1.0).abs() < 1e-12);
+        // Row swap flips the sign: permutation matrix det = -1.
+        let p = Dense::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((lu(&p).unwrap().det() + 1.0).abs() < 1e-12);
+        // det of the 3x3 above, computed by hand: 0*(2-20) - 2*(-6-4) + 1*(15+1) = 36.
+        assert!((lu(&nonsymmetric()).unwrap().det() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_reconstructs_identity() {
+        let a = nonsymmetric();
+        let inv = lu(&a).unwrap().inverse();
+        let prod = ops::gemm(&a, &inv);
+        assert!(prod.approx_eq(&Dense::identity(3), 1e-10));
+        let prod2 = ops::gemm(&inv, &a);
+        assert!(prod2.approx_eq(&Dense::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Dense::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(lu(&a), Err(MatrixError::Singular { .. })));
+        let z = Dense::zeros(3, 3);
+        assert!(matches!(lu(&z), Err(MatrixError::Singular { column: 0 })));
+    }
+
+    #[test]
+    fn agrees_with_cholesky_on_spd() {
+        let b = Dense::from_rows(&[&[2.0, 1.0], &[0.5, 3.0], &[1.0, -1.0]]);
+        let mut a = ops::crossprod(&b);
+        for i in 0..2 {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        let rhs = [1.0, -2.0];
+        let via_lu = solve_general(&a, &rhs).unwrap();
+        let via_chol = crate::solve::solve_spd(&a, &rhs).unwrap();
+        for (p, q) in via_lu.iter().zip(&via_chol) {
+            assert!((p - q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square matrix")]
+    fn rectangular_panics() {
+        let _ = lu(&Dense::zeros(2, 3));
+    }
+}

@@ -1,0 +1,372 @@
+//! Direct and iterative solvers: Cholesky, Householder QR, conjugate gradient.
+
+use crate::dense::Dense;
+use crate::ops;
+use crate::MatrixError;
+
+/// Cholesky factorization of a symmetric positive-definite matrix.
+///
+/// Returns the lower-triangular factor `L` with `A = L * L^T`.
+///
+/// # Errors
+/// [`MatrixError::NotPositiveDefinite`] when a pivot is `<= 0` or not finite.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn cholesky(a: &Dense) -> Result<Dense, MatrixError> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "cholesky requires a square matrix, got {}x{}", a.rows(), a.cols());
+    let mut l = Dense::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if s <= 0.0 || !s.is_finite() {
+                    return Err(MatrixError::NotPositiveDefinite { pivot: i });
+                }
+                l.set(i, j, s.sqrt());
+            } else {
+                l.set(i, j, s / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solve `L * y = b` for lower-triangular `L` (forward substitution).
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn forward_substitute(l: &Dense, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    assert_eq!(b.len(), n, "forward_substitute length mismatch");
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        let row = l.row(i);
+        for k in 0..i {
+            s -= row[k] * y[k];
+        }
+        y[i] = s / row[i];
+    }
+    y
+}
+
+/// Solve `U * x = y` for upper-triangular `U` (back substitution).
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn back_substitute(u: &Dense, y: &[f64]) -> Vec<f64> {
+    let n = u.rows();
+    assert_eq!(y.len(), n, "back_substitute length mismatch");
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        let row = u.row(i);
+        for k in (i + 1)..n {
+            s -= row[k] * x[k];
+        }
+        x[i] = s / row[i];
+    }
+    x
+}
+
+/// Solve the SPD system `A x = b` via Cholesky.
+///
+/// # Errors
+/// Propagates [`MatrixError::NotPositiveDefinite`] from the factorization.
+pub fn solve_spd(a: &Dense, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+    let l = cholesky(a)?;
+    let y = forward_substitute(&l, b);
+    Ok(back_substitute(&l.transpose(), &y))
+}
+
+/// Thin Householder QR factorization: `A (m x n, m >= n) = Q (m x n) * R (n x n)`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Orthonormal columns, `m x n`.
+    pub q: Dense,
+    /// Upper-triangular factor, `n x n`.
+    pub r: Dense,
+}
+
+/// Compute a thin QR factorization by Householder reflections.
+///
+/// # Errors
+/// [`MatrixError::Singular`] when a column is numerically dependent
+/// (pivot magnitude below `1e-12` relative to the column norm).
+///
+/// # Panics
+/// Panics if `a.rows() < a.cols()`.
+pub fn qr(a: &Dense) -> Result<Qr, MatrixError> {
+    let (m, n) = a.shape();
+    assert!(m >= n, "qr requires rows >= cols, got {m}x{n}");
+    // Work on a copy; accumulate the reflections into an m x m product lazily
+    // by applying them to an identity block at the end.
+    let mut r = a.clone();
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for k in 0..n {
+        // Build the Householder vector for column k below the diagonal.
+        let mut v = vec![0.0; m - k];
+        for i in k..m {
+            v[i - k] = r.get(i, k);
+        }
+        let alpha = -v[0].signum() * ops::norm2(&v);
+        if alpha.abs() < 1e-12 {
+            return Err(MatrixError::Singular { column: k });
+        }
+        v[0] -= alpha;
+        let vnorm = ops::norm2(&v);
+        if vnorm < 1e-300 {
+            return Err(MatrixError::Singular { column: k });
+        }
+        for x in &mut v {
+            *x /= vnorm;
+        }
+        // Apply H = I - 2 v v^T to the trailing submatrix of R.
+        for j in k..n {
+            let mut d = 0.0;
+            for i in k..m {
+                d += v[i - k] * r.get(i, j);
+            }
+            for i in k..m {
+                let val = r.get(i, j) - 2.0 * v[i - k] * d;
+                r.set(i, j, val);
+            }
+        }
+        vs.push(v);
+    }
+    // Materialize thin Q by applying reflections in reverse to the first n
+    // columns of the identity.
+    let mut q = Dense::zeros(m, n);
+    for j in 0..n {
+        q.set(j, j, 1.0);
+    }
+    for k in (0..n).rev() {
+        let v = &vs[k];
+        for j in 0..n {
+            let mut d = 0.0;
+            for i in k..m {
+                d += v[i - k] * q.get(i, j);
+            }
+            for i in k..m {
+                let val = q.get(i, j) - 2.0 * v[i - k] * d;
+                q.set(i, j, val);
+            }
+        }
+    }
+    // Zero the strictly-lower part of R and truncate to n x n.
+    let mut r_out = Dense::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r_out.set(i, j, r.get(i, j));
+        }
+    }
+    Ok(Qr { q, r: r_out })
+}
+
+/// Solve the least-squares problem `min ||A x - b||` via thin QR.
+///
+/// # Errors
+/// Propagates [`MatrixError::Singular`] from the factorization.
+pub fn lstsq(a: &Dense, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+    let f = qr(a)?;
+    // x = R^-1 Q^T b
+    let qtb = ops::gevm(b, &f.q);
+    Ok(back_substitute(&f.r, &qtb))
+}
+
+/// Options for the conjugate-gradient solver.
+#[derive(Debug, Clone, Copy)]
+pub struct CgOptions {
+    /// Maximum number of iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on the residual 2-norm.
+    pub tol: f64,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions { max_iter: 1000, tol: 1e-10 }
+    }
+}
+
+/// Solve the SPD system `A x = b` by conjugate gradient.
+///
+/// `A` is supplied implicitly as a matrix-vector product closure so callers can
+/// run CG against fused, compressed, or factorized operators without
+/// materializing `A` (this is how `dm-compress` and `dm-factorized` reuse it).
+///
+/// # Errors
+/// [`MatrixError::DidNotConverge`] when the residual is still above `tol`
+/// after `max_iter` iterations.
+pub fn conjugate_gradient(
+    matvec: impl Fn(&[f64]) -> Vec<f64>,
+    b: &[f64],
+    opts: CgOptions,
+) -> Result<Vec<f64>, MatrixError> {
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut rs_old = ops::dot(&r, &r);
+    if rs_old.sqrt() <= opts.tol {
+        return Ok(x);
+    }
+    for it in 0..opts.max_iter {
+        let ap = matvec(&p);
+        let denom = ops::dot(&p, &ap);
+        if denom <= 0.0 || !denom.is_finite() {
+            return Err(MatrixError::NotPositiveDefinite { pivot: it });
+        }
+        let alpha = rs_old / denom;
+        ops::axpy(alpha, &p, &mut x);
+        ops::axpy(-alpha, &ap, &mut r);
+        let rs_new = ops::dot(&r, &r);
+        if rs_new.sqrt() <= opts.tol {
+            return Ok(x);
+        }
+        let beta = rs_new / rs_old;
+        for (pi, &ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rs_old = rs_new;
+    }
+    Err(MatrixError::DidNotConverge { iterations: opts.max_iter, residual: rs_old.sqrt() })
+}
+
+/// Solve `A x = b` for dense SPD `A` by conjugate gradient.
+pub fn cg_dense(a: &Dense, b: &[f64], opts: CgOptions) -> Result<Vec<f64>, MatrixError> {
+    conjugate_gradient(|v| ops::gemv(a, v), b, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd() -> Dense {
+        // A = B^T B + I is SPD for any B.
+        let b = Dense::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]]);
+        let mut a = ops::crossprod(&b);
+        for i in 0..3 {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd();
+        let l = cholesky(&a).unwrap();
+        let rec = ops::gemm(&l, &l.transpose());
+        assert!(rec.approx_eq(&a, 1e-10));
+        // L is lower triangular.
+        assert_eq!(l.get(0, 1), 0.0);
+        assert_eq!(l.get(0, 2), 0.0);
+        assert_eq!(l.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Dense::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(cholesky(&a), Err(MatrixError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn solve_spd_recovers_solution() {
+        let a = spd();
+        let x_true = [1.0, -2.0, 0.5];
+        let b = ops::gemv(&a, &x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn triangular_substitution() {
+        let l = Dense::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]);
+        let y = forward_substitute(&l, &[4.0, 11.0]);
+        assert_eq!(y, vec![2.0, 3.0]);
+        let u = Dense::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]);
+        let x = back_substitute(&u, &[7.0, 9.0]);
+        assert_eq!(x, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn qr_orthonormal_and_reconstructs() {
+        let a = Dense::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7.0, 9.0],
+        ]);
+        let f = qr(&a).unwrap();
+        // Q^T Q = I
+        let qtq = ops::gemm(&f.q.transpose(), &f.q);
+        assert!(qtq.approx_eq(&Dense::identity(2), 1e-10));
+        // Q R = A
+        assert!(ops::gemm(&f.q, &f.r).approx_eq(&a, 1e-10));
+        // R upper triangular.
+        assert!(f.r.get(1, 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_detects_rank_deficiency() {
+        let a = Dense::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        assert!(matches!(qr(&a), Err(MatrixError::Singular { .. })));
+    }
+
+    #[test]
+    fn lstsq_exact_system() {
+        let a = Dense::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 1.0]]);
+        let x_true = [3.0, -1.0];
+        let b = ops::gemv(&a, &x_true);
+        let x = lstsq(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lstsq_overdetermined_matches_normal_equations() {
+        let a = Dense::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0], &[1.0, 4.0]]);
+        let b = [6.0, 5.0, 7.0, 10.0];
+        let x_qr = lstsq(&a, &b).unwrap();
+        // Normal equations: (A^T A) x = A^T b
+        let ata = ops::crossprod(&a);
+        let atb = ops::gevm(&b, &a);
+        let x_ne = solve_spd(&ata, &atb).unwrap();
+        for (p, q) in x_qr.iter().zip(&x_ne) {
+            assert!((p - q).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cg_matches_direct() {
+        let a = spd();
+        let b = [1.0, 2.0, 3.0];
+        let direct = solve_spd(&a, &b).unwrap();
+        let iterative = cg_dense(&a, &b, CgOptions::default()).unwrap();
+        for (p, q) in direct.iter().zip(&iterative) {
+            assert!((p - q).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn cg_zero_rhs_short_circuits() {
+        let a = spd();
+        let x = cg_dense(&a, &[0.0; 3], CgOptions::default()).unwrap();
+        assert_eq!(x, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn cg_budget_exhaustion() {
+        let a = spd();
+        let res = cg_dense(&a, &[1.0, 1.0, 1.0], CgOptions { max_iter: 1, tol: 1e-15 });
+        assert!(matches!(res, Err(MatrixError::DidNotConverge { iterations: 1, .. })));
+    }
+}

@@ -1,0 +1,204 @@
+//! Random forest: bootstrap-aggregated CART trees with per-tree feature
+//! subsampling.
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::MlError;
+use dm_matrix::Dense;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Hyperparameters for forest induction.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Per-tree CART settings.
+    pub tree: TreeConfig,
+    /// Features sampled per tree (0 means `sqrt(d)`, the classification
+    /// default).
+    pub max_features: usize,
+    /// Bootstrap/subsample seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig { num_trees: 25, tree: TreeConfig::default(), max_features: 0, seed: 42 }
+    }
+}
+
+/// A fitted random-forest classifier.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<(DecisionTree, Vec<usize>)>, // (tree, feature subset)
+}
+
+impl RandomForest {
+    /// Fit a forest on features `x` and integer labels `y`.
+    ///
+    /// # Errors
+    /// Propagates shape errors from tree induction;
+    /// [`MlError::BadParam`] when `num_trees == 0`.
+    pub fn fit(x: &Dense, y: &[i64], cfg: &ForestConfig) -> Result<Self, MlError> {
+        if cfg.num_trees == 0 {
+            return Err(MlError::BadParam("num_trees must be positive".into()));
+        }
+        if x.rows() != y.len() {
+            return Err(MlError::Shape(format!("{} rows vs {} labels", x.rows(), y.len())));
+        }
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(MlError::Shape("empty training data".into()));
+        }
+        let d = x.cols();
+        let m = if cfg.max_features == 0 {
+            ((d as f64).sqrt().round() as usize).clamp(1, d)
+        } else {
+            cfg.max_features.min(d)
+        };
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = x.rows();
+        let mut trees = Vec::with_capacity(cfg.num_trees);
+        for _ in 0..cfg.num_trees {
+            // Bootstrap rows.
+            let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            // Sample features without replacement.
+            let mut feats: Vec<usize> = (0..d).collect();
+            for i in 0..m {
+                let j = rng.gen_range(i..d);
+                feats.swap(i, j);
+            }
+            feats.truncate(m);
+            feats.sort_unstable();
+
+            let xb = x.select_rows(&rows).select_cols(&feats);
+            let yb: Vec<i64> = rows.iter().map(|&r| y[r]).collect();
+            let tree = DecisionTree::fit(&xb, &yb, &cfg.tree)?;
+            trees.push((tree, feats));
+        }
+        Ok(RandomForest { trees })
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Majority-vote prediction for one row (ties break toward the smaller
+    /// label for determinism).
+    pub fn predict_row(&self, row: &[f64]) -> i64 {
+        let mut votes: std::collections::BTreeMap<i64, usize> = std::collections::BTreeMap::new();
+        let mut buf = Vec::new();
+        for (tree, feats) in &self.trees {
+            buf.clear();
+            buf.extend(feats.iter().map(|&f| row[f]));
+            *votes.entry(tree.predict_row(&buf)).or_insert(0) += 1;
+        }
+        votes
+            .into_iter()
+            .max_by_key(|&(label, count)| (count, std::cmp::Reverse(label)))
+            .expect("at least one tree")
+            .0
+    }
+
+    /// Predictions for every row of `x`.
+    pub fn predict(&self, x: &Dense) -> Vec<i64> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+
+    /// Classification accuracy.
+    pub fn accuracy(&self, x: &Dense, y: &[i64]) -> f64 {
+        let correct = self.predict(x).iter().zip(y).filter(|(p, t)| p == t).count();
+        correct as f64 / y.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_blobs(seed: u64) -> (Dense, Vec<i64>) {
+        // Blobs with wide spread: single trees overfit, forests smooth.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Dense::zeros(200, 4);
+        let mut y = Vec::with_capacity(200);
+        for r in 0..200 {
+            let c = r % 2;
+            y.push(c as i64);
+            for j in 0..4 {
+                let center = if c == 0 { 0.0 } else { 2.0 };
+                x.set(r, j, center + rng.gen_range(-1.5..1.5));
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_fits_separable_data() {
+        let (x, y) = noisy_blobs(1);
+        let f = RandomForest::fit(&x, &y, &ForestConfig::default()).unwrap();
+        assert_eq!(f.num_trees(), 25);
+        assert!(f.accuracy(&x, &y) > 0.9, "acc {}", f.accuracy(&x, &y));
+    }
+
+    #[test]
+    fn forest_generalizes_at_least_as_well_as_stump() {
+        let (x, y) = noisy_blobs(2);
+        let (xt, yt) = noisy_blobs(3); // fresh draw = held-out set
+        let stump = DecisionTree::fit(&x, &y, &TreeConfig { max_depth: 1, ..Default::default() })
+            .unwrap();
+        let forest = RandomForest::fit(&x, &y, &ForestConfig::default()).unwrap();
+        let stump_acc =
+            stump.predict(&xt).iter().zip(&yt).filter(|(p, t)| p == t).count() as f64 / 200.0;
+        assert!(
+            forest.accuracy(&xt, &yt) >= stump_acc - 0.02,
+            "forest {} vs stump {stump_acc}",
+            forest.accuracy(&xt, &yt)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = noisy_blobs(4);
+        let a = RandomForest::fit(&x, &y, &ForestConfig::default()).unwrap();
+        let b = RandomForest::fit(&x, &y, &ForestConfig::default()).unwrap();
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn max_features_controls_subspace() {
+        let (x, y) = noisy_blobs(5);
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig { max_features: 2, num_trees: 5, ..Default::default() },
+        )
+        .unwrap();
+        for (_, feats) in &f.trees {
+            assert_eq!(feats.len(), 2);
+            assert!(feats.windows(2).all(|w| w[0] < w[1]), "sorted unique features");
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let (x, y) = noisy_blobs(6);
+        assert!(RandomForest::fit(&x, &y, &ForestConfig { num_trees: 0, ..Default::default() })
+            .is_err());
+        assert!(RandomForest::fit(&x, &y[..10], &ForestConfig::default()).is_err());
+    }
+
+    #[test]
+    fn single_tree_forest_close_to_plain_tree() {
+        // One tree with all features, but bootstrap rows: same family of
+        // decision boundaries; training accuracy should be high either way.
+        let (x, y) = noisy_blobs(7);
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig { num_trees: 1, max_features: 4, ..Default::default() },
+        )
+        .unwrap();
+        assert!(f.accuracy(&x, &y) > 0.85);
+    }
+}

@@ -1,0 +1,257 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the math in numeric kernels
+//! Lloyd's k-means with k-means++ seeding.
+
+use crate::MlError;
+use dm_matrix::Dense;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Hyperparameters for k-means.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Stop when total centroid movement falls below this.
+    pub tol: f64,
+    /// RNG seed for the k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { k: 2, max_iter: 100, tol: 1e-6, seed: 42 }
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// `k x d` centroid matrix.
+    pub centroids: Dense,
+    /// Cluster assignment of each training row.
+    pub labels: Vec<usize>,
+    /// Final within-cluster sum of squares (inertia).
+    pub inertia: f64,
+    /// Lloyd iterations run.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// k-means++ seeding: first center uniform, then proportional to squared
+/// distance from the nearest chosen center.
+fn init_plus_plus(x: &Dense, k: usize, rng: &mut StdRng) -> Dense {
+    let n = x.rows();
+    let mut centers = Dense::zeros(k, x.cols());
+    let first = rng.gen_range(0..n);
+    centers.row_mut(0).copy_from_slice(x.row(first));
+    let mut d2: Vec<f64> = (0..n).map(|r| sq_dist(x.row(r), centers.row(0))).collect();
+    for c in 1..k {
+        let total: f64 = d2.iter().sum();
+        let pick = if total <= 0.0 {
+            // All points coincide with existing centers: any row works.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut idx = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    idx = i;
+                    break;
+                }
+                target -= w;
+            }
+            idx
+        };
+        centers.row_mut(c).copy_from_slice(x.row(pick));
+        for (r, d) in d2.iter_mut().enumerate() {
+            let nd = sq_dist(x.row(r), centers.row(c));
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centers
+}
+
+/// Run k-means on the rows of `x`.
+///
+/// # Errors
+/// [`MlError::BadParam`] when `k == 0` or `k > x.rows()`;
+/// [`MlError::Shape`] on empty data.
+pub fn fit(x: &Dense, cfg: &KMeansConfig) -> Result<KMeans, MlError> {
+    let n = x.rows();
+    if n == 0 || x.cols() == 0 {
+        return Err(MlError::Shape("empty training data".into()));
+    }
+    if cfg.k == 0 || cfg.k > n {
+        return Err(MlError::BadParam(format!("k={} for {n} rows", cfg.k)));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut centroids = init_plus_plus(x, cfg.k, &mut rng);
+    let mut labels = vec![0usize; n];
+    let mut iterations = 0;
+
+    for it in 0..cfg.max_iter {
+        iterations = it + 1;
+        // Assignment step.
+        for r in 0..n {
+            let row = x.row(r);
+            let mut best = (0usize, f64::INFINITY);
+            for c in 0..cfg.k {
+                let d = sq_dist(row, centroids.row(c));
+                if d < best.1 {
+                    best = (c, d);
+                }
+            }
+            labels[r] = best.0;
+        }
+        // Update step.
+        let mut sums = Dense::zeros(cfg.k, x.cols());
+        let mut counts = vec![0usize; cfg.k];
+        for r in 0..n {
+            let c = labels[r];
+            counts[c] += 1;
+            for (s, &v) in sums.row_mut(c).iter_mut().zip(x.row(r)) {
+                *s += v;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..cfg.k {
+            if counts[c] == 0 {
+                // Empty cluster: re-seed at the point farthest from its centroid.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        sq_dist(x.row(a), centroids.row(labels[a]))
+                            .partial_cmp(&sq_dist(x.row(b), centroids.row(labels[b])))
+                            .expect("distances are finite")
+                    })
+                    .expect("n > 0");
+                movement += sq_dist(centroids.row(c), x.row(far)).sqrt();
+                centroids.row_mut(c).copy_from_slice(x.row(far));
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f64;
+            let old: Vec<f64> = centroids.row(c).to_vec();
+            for (cc, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
+                *cc = s * inv;
+            }
+            movement += sq_dist(&old, centroids.row(c)).sqrt();
+        }
+        if movement < cfg.tol {
+            break;
+        }
+    }
+
+    let inertia = (0..n).map(|r| sq_dist(x.row(r), centroids.row(labels[r]))).sum();
+    Ok(KMeans { centroids, labels, inertia, iterations })
+}
+
+impl KMeans {
+    /// Assign new rows to the nearest centroid.
+    pub fn predict(&self, x: &Dense) -> Vec<usize> {
+        (0..x.rows())
+            .map(|r| {
+                let row = x.row(r);
+                (0..self.centroids.rows())
+                    .min_by(|&a, &b| {
+                        sq_dist(row, self.centroids.row(a))
+                            .partial_cmp(&sq_dist(row, self.centroids.row(b)))
+                            .expect("distances are finite")
+                    })
+                    .expect("at least one centroid")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs.
+    fn blobs() -> Dense {
+        Dense::from_fn(90, 2, |r, c| {
+            let center = match r / 30 {
+                0 => (0.0, 0.0),
+                1 => (10.0, 10.0),
+                _ => (20.0, 0.0),
+            };
+            let jitter = (((r * 13 + c * 7) % 10) as f64) / 10.0 - 0.5;
+            if c == 0 {
+                center.0 + jitter
+            } else {
+                center.1 + jitter
+            }
+        })
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let x = blobs();
+        let m = fit(&x, &KMeansConfig { k: 3, ..KMeansConfig::default() }).unwrap();
+        // Each blob's rows share a label, and the three labels are distinct.
+        let l0 = m.labels[0];
+        let l1 = m.labels[30];
+        let l2 = m.labels[60];
+        assert!(l0 != l1 && l1 != l2 && l0 != l2);
+        for r in 0..30 {
+            assert_eq!(m.labels[r], l0);
+            assert_eq!(m.labels[30 + r], l1);
+            assert_eq!(m.labels[60 + r], l2);
+        }
+        assert!(m.inertia < 90.0 * 0.5, "tight clusters: inertia {}", m.inertia);
+    }
+
+    #[test]
+    fn more_clusters_reduce_inertia() {
+        let x = blobs();
+        let m1 = fit(&x, &KMeansConfig { k: 1, ..KMeansConfig::default() }).unwrap();
+        let m3 = fit(&x, &KMeansConfig { k: 3, ..KMeansConfig::default() }).unwrap();
+        assert!(m3.inertia < m1.inertia / 10.0);
+    }
+
+    #[test]
+    fn predict_matches_training_labels() {
+        let x = blobs();
+        let m = fit(&x, &KMeansConfig { k: 3, ..KMeansConfig::default() }).unwrap();
+        assert_eq!(m.predict(&x), m.labels);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let x = blobs();
+        let cfg = KMeansConfig { k: 3, seed: 7, ..KMeansConfig::default() };
+        let a = fit(&x, &cfg).unwrap();
+        let b = fit(&x, &cfg).unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let x = Dense::from_fn(5, 2, |r, c| (r * 2 + c) as f64);
+        let m = fit(&x, &KMeansConfig { k: 5, ..KMeansConfig::default() }).unwrap();
+        assert!(m.inertia < 1e-12);
+    }
+
+    #[test]
+    fn param_validation() {
+        let x = blobs();
+        assert!(matches!(fit(&x, &KMeansConfig { k: 0, ..Default::default() }), Err(MlError::BadParam(_))));
+        assert!(matches!(fit(&x, &KMeansConfig { k: 91, ..Default::default() }), Err(MlError::BadParam(_))));
+        assert!(matches!(fit(&Dense::zeros(0, 2), &KMeansConfig::default()), Err(MlError::Shape(_))));
+    }
+
+    #[test]
+    fn identical_points_handled() {
+        let x = Dense::filled(10, 2, 3.0);
+        let m = fit(&x, &KMeansConfig { k: 2, ..KMeansConfig::default() }).unwrap();
+        assert!(m.inertia < 1e-12);
+    }
+}

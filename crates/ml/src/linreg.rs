@@ -1,0 +1,262 @@
+//! Linear regression with three interchangeable solvers.
+
+use crate::glm::{train_gd, Family, GdConfig};
+use crate::MlError;
+use dm_matrix::{ops, solve, Dense};
+use serde::{Deserialize, Serialize};
+
+/// How to solve the least-squares problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Solver {
+    /// Form `XᵀX` and Cholesky-solve (one pass over X; the in-database
+    /// favourite because the Gram matrix is a distributable aggregate).
+    NormalEquations,
+    /// Conjugate gradient on the normal equations, matrix-free.
+    ConjugateGradient,
+    /// Full-batch gradient descent.
+    GradientDescent,
+}
+
+/// A fitted linear regression model (intercept handled internally).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearRegression {
+    /// Per-feature coefficients.
+    pub coefficients: Vec<f64>,
+    /// Intercept term.
+    pub intercept: f64,
+    /// Solver used to fit.
+    pub solver: Solver,
+}
+
+impl LinearRegression {
+    /// Fit `y ≈ X·β + b` with optional ridge penalty `l2` (not applied to the
+    /// intercept).
+    ///
+    /// # Errors
+    /// * [`MlError::Shape`] on `x.rows() != y.len()` or empty data.
+    /// * [`MlError::Degenerate`] when normal equations are singular and `l2 == 0`.
+    pub fn fit(x: &Dense, y: &[f64], solver: Solver, l2: f64) -> Result<Self, MlError> {
+        if x.rows() != y.len() {
+            return Err(MlError::Shape(format!("{} rows vs {} labels", x.rows(), y.len())));
+        }
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(MlError::Shape("empty training data".into()));
+        }
+        if l2 < 0.0 {
+            return Err(MlError::BadParam(format!("negative l2: {l2}")));
+        }
+        // Augment with an intercept column of ones.
+        let xa = Dense::filled(x.rows(), 1, 1.0).hcat(x);
+        let d = xa.cols();
+        let weights = match solver {
+            Solver::NormalEquations => {
+                let mut gram = ops::crossprod(&xa);
+                // Ridge on all but the intercept.
+                for j in 1..d {
+                    gram.set(j, j, gram.get(j, j) + l2 * x.rows() as f64);
+                }
+                let xty = ops::tmv(&xa, y);
+                solve::solve_spd(&gram, &xty).map_err(|e| match e {
+                    dm_matrix::MatrixError::NotPositiveDefinite { pivot } => MlError::Degenerate(
+                        format!("normal equations singular at pivot {pivot}; add ridge"),
+                    ),
+                    other => other.into(),
+                })?
+            }
+            Solver::ConjugateGradient => {
+                // Solve (XᵀX + n·λ·D) w = Xᵀy matrix-free, where D zeroes the
+                // intercept's penalty.
+                let xty = ops::tmv(&xa, y);
+                let nl2 = l2 * x.rows() as f64;
+                solve::conjugate_gradient(
+                    |w| {
+                        let xw = ops::gemv(&xa, w);
+                        let mut g = ops::tmv(&xa, &xw);
+                        if nl2 > 0.0 {
+                            for j in 1..d {
+                                g[j] += nl2 * w[j];
+                            }
+                        }
+                        g
+                    },
+                    &xty,
+                    solve::CgOptions { max_iter: 10_000, tol: 1e-9 },
+                )?
+            }
+            Solver::GradientDescent => {
+                // Scale-aware step size: 1 / largest Gram diagonal.
+                let gram_diag_max = (0..d)
+                    .map(|j| xa.col_vec(j).iter().map(|v| v * v).sum::<f64>() / x.rows() as f64)
+                    .fold(0.0, f64::max);
+                let cfg = GdConfig {
+                    learning_rate: 1.0 / gram_diag_max.max(1e-12) / d as f64,
+                    max_iter: 100_000,
+                    tol: 1e-8,
+                    l2,
+                    skip_reg_first: true,
+                };
+                train_gd(
+                    |w| ops::gemv(&xa, w),
+                    |r| ops::tmv(&xa, r),
+                    y,
+                    d,
+                    Family::Gaussian,
+                    &cfg,
+                )?
+                .weights
+            }
+        };
+        Ok(LinearRegression {
+            intercept: weights[0],
+            coefficients: weights[1..].to_vec(),
+            solver,
+        })
+    }
+
+    /// Predict a single row.
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the number of coefficients.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.intercept + ops::dot(row, &self.coefficients)
+    }
+
+    /// Predict every row of `x`.
+    pub fn predict(&self, x: &Dense) -> Vec<f64> {
+        let mut out = ops::gemv(x, &self.coefficients);
+        for v in &mut out {
+            *v += self.intercept;
+        }
+        out
+    }
+
+    /// Coefficient of determination R² on `(x, y)`.
+    pub fn r2(&self, x: &Dense, y: &[f64]) -> f64 {
+        let preds = self.predict(x);
+        let mean = y.iter().sum::<f64>() / y.len().max(1) as f64;
+        let ss_res: f64 = preds.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum();
+        let ss_tot: f64 = y.iter().map(|t| (t - mean) * (t - mean)).sum();
+        if ss_tot == 0.0 {
+            // Constant target: perfect iff the residual is numerically zero.
+            if ss_res <= 1e-10 * y.len() as f64 {
+                1.0
+            } else {
+                f64::NEG_INFINITY
+            }
+        } else {
+            1.0 - ss_res / ss_tot
+        }
+    }
+
+    /// Mean squared error on `(x, y)`.
+    pub fn mse(&self, x: &Dense, y: &[f64]) -> f64 {
+        let preds = self.predict(x);
+        preds.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(n: usize) -> (Dense, Vec<f64>) {
+        // y = 3 - 2*x0 + 0.5*x1, deterministic features.
+        let x = Dense::from_fn(n, 2, |r, c| {
+            if c == 0 {
+                (r % 10) as f64
+            } else {
+                ((r * 3) % 7) as f64
+            }
+        });
+        let y = (0..n)
+            .map(|r| 3.0 - 2.0 * x.get(r, 0) + 0.5 * x.get(r, 1))
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn all_solvers_recover_coefficients() {
+        let (x, y) = synthetic(200);
+        for solver in [Solver::NormalEquations, Solver::ConjugateGradient, Solver::GradientDescent] {
+            let m = LinearRegression::fit(&x, &y, solver, 0.0).unwrap();
+            assert!((m.intercept - 3.0).abs() < 1e-2, "{solver:?}: {m:?}");
+            assert!((m.coefficients[0] + 2.0).abs() < 1e-2, "{solver:?}");
+            assert!((m.coefficients[1] - 0.5).abs() < 1e-2, "{solver:?}");
+            assert!(m.r2(&x, &y) > 0.9999, "{solver:?}");
+        }
+    }
+
+    #[test]
+    fn solvers_agree_with_each_other() {
+        let (x, y) = synthetic(100);
+        let ne = LinearRegression::fit(&x, &y, Solver::NormalEquations, 0.1).unwrap();
+        let cg = LinearRegression::fit(&x, &y, Solver::ConjugateGradient, 0.1).unwrap();
+        assert!((ne.intercept - cg.intercept).abs() < 1e-4);
+        for (a, b) in ne.coefficients.iter().zip(&cg.coefficients) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn ridge_handles_degenerate_features() {
+        // An all-zero feature makes the Gram matrix exactly singular.
+        let x = Dense::from_fn(50, 2, |r, c| if c == 0 { r as f64 } else { 0.0 });
+        let y: Vec<f64> = (0..50).map(|r| r as f64).collect();
+        assert!(matches!(
+            LinearRegression::fit(&x, &y, Solver::NormalEquations, 0.0),
+            Err(MlError::Degenerate(_))
+        ));
+        let m = LinearRegression::fit(&x, &y, Solver::NormalEquations, 0.01).unwrap();
+        assert!(m.r2(&x, &y) > 0.99);
+    }
+
+    #[test]
+    fn collinear_features_still_fit_consistent_system() {
+        // x1 = 2*x0 is rank deficient but the system is consistent; whichever
+        // solution Cholesky lands on must still predict perfectly, and ridge
+        // must also work.
+        let x = Dense::from_fn(50, 2, |r, c| (r as f64) * if c == 0 { 1.0 } else { 2.0 });
+        let y: Vec<f64> = (0..50).map(|r| r as f64).collect();
+        match LinearRegression::fit(&x, &y, Solver::NormalEquations, 0.0) {
+            Ok(m) => assert!(m.r2(&x, &y) > 0.99),
+            Err(MlError::Degenerate(_)) => {}
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+        let m = LinearRegression::fit(&x, &y, Solver::NormalEquations, 0.01).unwrap();
+        assert!(m.r2(&x, &y) > 0.99);
+    }
+
+    #[test]
+    fn predict_and_metrics() {
+        let (x, y) = synthetic(60);
+        let m = LinearRegression::fit(&x, &y, Solver::NormalEquations, 0.0).unwrap();
+        assert!(m.mse(&x, &y) < 1e-10);
+        assert!((m.predict(&x)[0] - y[0]).abs() < 1e-6);
+        assert!((m.predict_row(&[0.0, 0.0]) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shape_and_param_validation() {
+        let (x, y) = synthetic(10);
+        assert!(matches!(
+            LinearRegression::fit(&x, &y[..5], Solver::NormalEquations, 0.0),
+            Err(MlError::Shape(_))
+        ));
+        assert!(matches!(
+            LinearRegression::fit(&Dense::zeros(0, 2), &[], Solver::NormalEquations, 0.0),
+            Err(MlError::Shape(_))
+        ));
+        assert!(matches!(
+            LinearRegression::fit(&x, &y, Solver::NormalEquations, -1.0),
+            Err(MlError::BadParam(_))
+        ));
+    }
+
+    #[test]
+    fn r2_constant_target() {
+        let x = Dense::from_fn(10, 1, |r, _| r as f64);
+        let y = vec![5.0; 10];
+        let m = LinearRegression::fit(&x, &y, Solver::NormalEquations, 0.0).unwrap();
+        assert_eq!(m.r2(&x, &y), 1.0);
+    }
+}

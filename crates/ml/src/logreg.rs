@@ -1,0 +1,213 @@
+//! Binary logistic regression via the matrix-free GLM core.
+
+use crate::glm::{sigmoid, train_gd, Family, GdConfig};
+use crate::MlError;
+use dm_matrix::{ops, Dense};
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for logistic regression.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LogRegConfig {
+    /// Gradient-descent step size.
+    pub learning_rate: f64,
+    /// Maximum epochs.
+    pub max_iter: usize,
+    /// Gradient-norm stopping tolerance.
+    pub tol: f64,
+    /// L2 strength (intercept exempt).
+    pub l2: f64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig { learning_rate: 0.5, max_iter: 5000, tol: 1e-6, l2: 0.0 }
+    }
+}
+
+/// A fitted binary logistic-regression model. Labels are {0, 1}.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    /// Per-feature coefficients.
+    pub coefficients: Vec<f64>,
+    /// Intercept term.
+    pub intercept: f64,
+    /// Epochs run during fitting.
+    pub iterations: usize,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+}
+
+impl LogisticRegression {
+    /// Fit on features `x` and labels `y ∈ {0, 1}`.
+    ///
+    /// # Errors
+    /// * [`MlError::Shape`] on row/label count mismatch or empty data.
+    /// * [`MlError::BadParam`] when labels are outside {0, 1}.
+    /// * [`MlError::Degenerate`] when only one class is present.
+    pub fn fit(x: &Dense, y: &[f64], cfg: &LogRegConfig) -> Result<Self, MlError> {
+        if x.rows() != y.len() {
+            return Err(MlError::Shape(format!("{} rows vs {} labels", x.rows(), y.len())));
+        }
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(MlError::Shape("empty training data".into()));
+        }
+        if y.iter().any(|&v| v != 0.0 && v != 1.0) {
+            return Err(MlError::BadParam("labels must be 0 or 1".into()));
+        }
+        let pos = y.iter().filter(|&&v| v == 1.0).count();
+        if pos == 0 || pos == y.len() {
+            return Err(MlError::Degenerate("training data contains a single class".into()));
+        }
+        let xa = Dense::filled(x.rows(), 1, 1.0).hcat(x);
+        let gd = GdConfig {
+            learning_rate: cfg.learning_rate,
+            max_iter: cfg.max_iter,
+            tol: cfg.tol,
+            l2: cfg.l2,
+            skip_reg_first: true,
+        };
+        let fit = train_gd(
+            |w| ops::gemv(&xa, w),
+            |r| ops::tmv(&xa, r),
+            y,
+            xa.cols(),
+            Family::Binomial,
+            &gd,
+        )?;
+        Ok(LogisticRegression {
+            intercept: fit.weights[0],
+            coefficients: fit.weights[1..].to_vec(),
+            iterations: fit.iterations,
+            converged: fit.converged,
+        })
+    }
+
+    /// P(y = 1 | row).
+    pub fn predict_proba_row(&self, row: &[f64]) -> f64 {
+        sigmoid(self.intercept + ops::dot(row, &self.coefficients))
+    }
+
+    /// P(y = 1) for every row of `x`.
+    pub fn predict_proba(&self, x: &Dense) -> Vec<f64> {
+        ops::gemv(x, &self.coefficients)
+            .into_iter()
+            .map(|eta| sigmoid(eta + self.intercept))
+            .collect()
+    }
+
+    /// Hard {0,1} predictions at threshold 0.5.
+    pub fn predict(&self, x: &Dense) -> Vec<f64> {
+        self.predict_proba(x).into_iter().map(|p| if p > 0.5 { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// Classification accuracy on `(x, y)`.
+    pub fn accuracy(&self, x: &Dense, y: &[f64]) -> f64 {
+        let preds = self.predict(x);
+        let correct = preds.iter().zip(y).filter(|(p, t)| p == t).count();
+        correct as f64 / y.len().max(1) as f64
+    }
+
+    /// Mean log loss on `(x, y)` (lower is better).
+    pub fn log_loss(&self, x: &Dense, y: &[f64]) -> f64 {
+        let probs = self.predict_proba(x);
+        let eps = 1e-12;
+        let total: f64 = probs
+            .iter()
+            .zip(y)
+            .map(|(&p, &t)| {
+                let p = p.clamp(eps, 1.0 - eps);
+                -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+            })
+            .sum();
+        total / y.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic two-cluster data: class = x0 + x1 > 10.
+    fn clusters(n: usize) -> (Dense, Vec<f64>) {
+        let x = Dense::from_fn(n, 2, |r, c| {
+            let noise = (((r * 37 + c * 11) % 13) as f64) / 13.0;
+            if r % 2 == 0 {
+                2.0 + noise
+            } else {
+                8.0 + noise
+            }
+        });
+        let y = (0..n).map(|r| if r % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_separable_data() {
+        let (x, y) = clusters(100);
+        let m = LogisticRegression::fit(&x, &y, &LogRegConfig::default()).unwrap();
+        assert!(m.accuracy(&x, &y) > 0.99, "acc {}", m.accuracy(&x, &y));
+        assert!(m.log_loss(&x, &y) < 0.3);
+    }
+
+    #[test]
+    fn proba_bounds_and_monotonicity() {
+        let (x, y) = clusters(60);
+        let m = LogisticRegression::fit(&x, &y, &LogRegConfig::default()).unwrap();
+        for p in m.predict_proba(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+        // Larger features push toward class 1.
+        let lo = m.predict_proba_row(&[0.0, 0.0]);
+        let hi = m.predict_proba_row(&[10.0, 10.0]);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn l2_shrinks_coefficients() {
+        let (x, y) = clusters(80);
+        let plain = LogisticRegression::fit(&x, &y, &LogRegConfig::default()).unwrap();
+        let reg = LogisticRegression::fit(
+            &x,
+            &y,
+            &LogRegConfig { l2: 1.0, ..LogRegConfig::default() },
+        )
+        .unwrap();
+        assert!(ops::norm2(&reg.coefficients) < ops::norm2(&plain.coefficients));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (x, y) = clusters(10);
+        assert!(matches!(
+            LogisticRegression::fit(&x, &y[..4], &LogRegConfig::default()),
+            Err(MlError::Shape(_))
+        ));
+        let bad: Vec<f64> = vec![0.0, 2.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        assert!(matches!(
+            LogisticRegression::fit(&x, &bad, &LogRegConfig::default()),
+            Err(MlError::BadParam(_))
+        ));
+        let one_class = vec![1.0; 10];
+        assert!(matches!(
+            LogisticRegression::fit(&x, &one_class, &LogRegConfig::default()),
+            Err(MlError::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn log_loss_better_than_chance() {
+        let (x, y) = clusters(100);
+        let m = LogisticRegression::fit(&x, &y, &LogRegConfig::default()).unwrap();
+        // Chance log loss is ln(2) ≈ 0.693.
+        assert!(m.log_loss(&x, &y) < 0.5);
+    }
+
+    #[test]
+    fn hard_predictions_binary() {
+        let (x, y) = clusters(40);
+        let m = LogisticRegression::fit(&x, &y, &LogRegConfig::default()).unwrap();
+        for p in m.predict(&x) {
+            assert!(p == 0.0 || p == 1.0);
+        }
+    }
+}

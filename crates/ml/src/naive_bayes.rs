@@ -1,0 +1,302 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the math in numeric kernels
+//! Gaussian and multinomial naive Bayes classifiers.
+
+use crate::MlError;
+use dm_matrix::Dense;
+
+/// Gaussian naive Bayes: per-class feature means and variances.
+#[derive(Debug, Clone)]
+pub struct GaussianNb {
+    /// Distinct class labels, sorted.
+    pub classes: Vec<i64>,
+    /// Log prior per class.
+    pub log_priors: Vec<f64>,
+    /// `classes x features` means.
+    pub means: Dense,
+    /// `classes x features` variances (floored for stability).
+    pub variances: Dense,
+}
+
+impl GaussianNb {
+    /// Fit from features `x` and integer class labels `y`.
+    ///
+    /// # Errors
+    /// [`MlError::Shape`] on length mismatch or empty data;
+    /// [`MlError::Degenerate`] when fewer than two classes are present.
+    pub fn fit(x: &Dense, y: &[i64]) -> Result<Self, MlError> {
+        if x.rows() != y.len() {
+            return Err(MlError::Shape(format!("{} rows vs {} labels", x.rows(), y.len())));
+        }
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(MlError::Shape("empty training data".into()));
+        }
+        let mut classes: Vec<i64> = y.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        if classes.len() < 2 {
+            return Err(MlError::Degenerate("need at least two classes".into()));
+        }
+        let k = classes.len();
+        let d = x.cols();
+        let idx_of = |label: i64| classes.binary_search(&label).expect("label seen during dedup");
+
+        let mut counts = vec![0usize; k];
+        let mut means = Dense::zeros(k, d);
+        for (r, &label) in y.iter().enumerate() {
+            let c = idx_of(label);
+            counts[c] += 1;
+            for (m, &v) in means.row_mut(c).iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for c in 0..k {
+            let inv = 1.0 / counts[c] as f64;
+            for m in means.row_mut(c) {
+                *m *= inv;
+            }
+        }
+        let mut variances = Dense::zeros(k, d);
+        for (r, &label) in y.iter().enumerate() {
+            let c = idx_of(label);
+            let mrow: Vec<f64> = means.row(c).to_vec();
+            for ((s, &v), &m) in variances.row_mut(c).iter_mut().zip(x.row(r)).zip(&mrow) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        const VAR_FLOOR: f64 = 1e-9;
+        for c in 0..k {
+            let inv = 1.0 / counts[c] as f64;
+            for s in variances.row_mut(c) {
+                *s = (*s * inv).max(VAR_FLOOR);
+            }
+        }
+        let n = y.len() as f64;
+        let log_priors = counts.iter().map(|&c| (c as f64 / n).ln()).collect();
+        Ok(GaussianNb { classes, log_priors, means, variances })
+    }
+
+    /// Per-class log joint likelihood for a row.
+    pub fn log_joint(&self, row: &[f64]) -> Vec<f64> {
+        let k = self.classes.len();
+        let mut out = Vec::with_capacity(k);
+        for c in 0..k {
+            let mut ll = self.log_priors[c];
+            for ((&v, &m), &s2) in row.iter().zip(self.means.row(c)).zip(self.variances.row(c)) {
+                ll += -0.5 * ((2.0 * std::f64::consts::PI * s2).ln() + (v - m) * (v - m) / s2);
+            }
+            out.push(ll);
+        }
+        out
+    }
+
+    /// Predicted class for a row.
+    pub fn predict_row(&self, row: &[f64]) -> i64 {
+        let lj = self.log_joint(row);
+        let best = lj
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("log likelihoods are finite"))
+            .expect("at least two classes")
+            .0;
+        self.classes[best]
+    }
+
+    /// Predictions for every row of `x`.
+    pub fn predict(&self, x: &Dense) -> Vec<i64> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+
+    /// Classification accuracy.
+    pub fn accuracy(&self, x: &Dense, y: &[i64]) -> f64 {
+        let correct = self.predict(x).iter().zip(y).filter(|(p, t)| p == t).count();
+        correct as f64 / y.len().max(1) as f64
+    }
+}
+
+/// Multinomial naive Bayes for count-valued features with Laplace smoothing.
+#[derive(Debug, Clone)]
+pub struct MultinomialNb {
+    /// Distinct class labels, sorted.
+    pub classes: Vec<i64>,
+    /// Log prior per class.
+    pub log_priors: Vec<f64>,
+    /// `classes x features` log conditional probabilities.
+    pub log_probs: Dense,
+}
+
+impl MultinomialNb {
+    /// Fit from nonnegative count features and integer labels with smoothing
+    /// strength `alpha`.
+    ///
+    /// # Errors
+    /// [`MlError::Shape`] / [`MlError::Degenerate`] as for [`GaussianNb::fit`],
+    /// plus [`MlError::BadParam`] for negative features or `alpha <= 0`.
+    pub fn fit(x: &Dense, y: &[i64], alpha: f64) -> Result<Self, MlError> {
+        if x.rows() != y.len() {
+            return Err(MlError::Shape(format!("{} rows vs {} labels", x.rows(), y.len())));
+        }
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(MlError::Shape("empty training data".into()));
+        }
+        if alpha <= 0.0 {
+            return Err(MlError::BadParam(format!("alpha must be positive, got {alpha}")));
+        }
+        if x.data().iter().any(|&v| v < 0.0) {
+            return Err(MlError::BadParam("multinomial NB requires nonnegative features".into()));
+        }
+        let mut classes: Vec<i64> = y.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        if classes.len() < 2 {
+            return Err(MlError::Degenerate("need at least two classes".into()));
+        }
+        let k = classes.len();
+        let d = x.cols();
+        let idx_of = |label: i64| classes.binary_search(&label).expect("label seen during dedup");
+
+        let mut counts = vec![0usize; k];
+        let mut feature_sums = Dense::zeros(k, d);
+        for (r, &label) in y.iter().enumerate() {
+            let c = idx_of(label);
+            counts[c] += 1;
+            for (s, &v) in feature_sums.row_mut(c).iter_mut().zip(x.row(r)) {
+                *s += v;
+            }
+        }
+        let mut log_probs = Dense::zeros(k, d);
+        for c in 0..k {
+            let total: f64 = feature_sums.row(c).iter().sum::<f64>() + alpha * d as f64;
+            for (lp, &s) in log_probs.row_mut(c).iter_mut().zip(feature_sums.row(c)) {
+                *lp = ((s + alpha) / total).ln();
+            }
+        }
+        let n = y.len() as f64;
+        let log_priors = counts.iter().map(|&c| (c as f64 / n).ln()).collect();
+        Ok(MultinomialNb { classes, log_priors, log_probs })
+    }
+
+    /// Predicted class for a row of counts.
+    pub fn predict_row(&self, row: &[f64]) -> i64 {
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for c in 0..self.classes.len() {
+            let mut ll = self.log_priors[c];
+            for (&v, &lp) in row.iter().zip(self.log_probs.row(c)) {
+                ll += v * lp;
+            }
+            if ll > best.1 {
+                best = (c, ll);
+            }
+        }
+        self.classes[best.0]
+    }
+
+    /// Predictions for every row of `x`.
+    pub fn predict(&self, x: &Dense) -> Vec<i64> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+
+    /// Classification accuracy.
+    pub fn accuracy(&self, x: &Dense, y: &[i64]) -> f64 {
+        let correct = self.predict(x).iter().zip(y).filter(|(p, t)| p == t).count();
+        correct as f64 / y.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_data() -> (Dense, Vec<i64>) {
+        // Class 0 around (0, 0); class 1 around (5, 5); class 2 around (0, 5).
+        let x = Dense::from_fn(120, 2, |r, c| {
+            let jitter = (((r * 31 + c * 17) % 11) as f64) / 11.0 - 0.5;
+            match r % 3 {
+                0 => jitter,
+                1 => 5.0 + jitter,
+                _ => {
+                    if c == 0 {
+                        jitter
+                    } else {
+                        5.0 + jitter
+                    }
+                }
+            }
+        });
+        let y = (0..120).map(|r| (r % 3) as i64).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn gaussian_nb_separates_blobs() {
+        let (x, y) = gaussian_data();
+        let m = GaussianNb::fit(&x, &y).unwrap();
+        assert_eq!(m.classes, vec![0, 1, 2]);
+        assert!(m.accuracy(&x, &y) > 0.99);
+    }
+
+    #[test]
+    fn gaussian_nb_priors_reflect_imbalance() {
+        let x = Dense::from_fn(100, 1, |r, _| if r < 90 { 0.0 } else { 10.0 });
+        let y: Vec<i64> = (0..100).map(|r| if r < 90 { 0 } else { 1 }).collect();
+        let m = GaussianNb::fit(&x, &y).unwrap();
+        assert!((m.log_priors[0] - (0.9f64).ln()).abs() < 1e-12);
+        assert!((m.log_priors[1] - (0.1f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_nb_constant_feature_floored() {
+        // A zero-variance feature must not produce NaN/inf scores.
+        let x = Dense::from_fn(20, 2, |r, c| if c == 0 { 1.0 } else { (r % 2) as f64 * 4.0 });
+        let y: Vec<i64> = (0..20).map(|r| (r % 2) as i64).collect();
+        let m = GaussianNb::fit(&x, &y).unwrap();
+        let lj = m.log_joint(&[1.0, 0.0]);
+        assert!(lj.iter().all(|v| v.is_finite()));
+        assert_eq!(m.predict_row(&[1.0, 0.0]), 0);
+        assert_eq!(m.predict_row(&[1.0, 4.0]), 1);
+    }
+
+    #[test]
+    fn gaussian_nb_validation() {
+        let (x, y) = gaussian_data();
+        assert!(matches!(GaussianNb::fit(&x, &y[..5]), Err(MlError::Shape(_))));
+        assert!(matches!(GaussianNb::fit(&x, &vec![1; 120]), Err(MlError::Degenerate(_))));
+    }
+
+    #[test]
+    fn multinomial_nb_word_counts() {
+        // Two "topics": topic 0 uses features 0-1, topic 1 uses features 2-3.
+        let x = Dense::from_fn(60, 4, |r, c| {
+            let topic = r % 2;
+            if (topic == 0 && c < 2) || (topic == 1 && c >= 2) {
+                (3 + (r + c) % 4) as f64
+            } else {
+                ((r + c) % 2) as f64 * 0.0
+            }
+        });
+        let y: Vec<i64> = (0..60).map(|r| (r % 2) as i64).collect();
+        let m = MultinomialNb::fit(&x, &y, 1.0).unwrap();
+        assert!(m.accuracy(&x, &y) > 0.99);
+        // Unseen-feature smoothing keeps scores finite.
+        assert!(matches!(m.predict_row(&[0.0, 0.0, 0.0, 0.0]), 0 | 1));
+    }
+
+    #[test]
+    fn multinomial_nb_validation() {
+        let x = Dense::from_fn(10, 2, |r, _| (r % 3) as f64);
+        let y: Vec<i64> = (0..10).map(|r| (r % 2) as i64).collect();
+        assert!(matches!(MultinomialNb::fit(&x, &y, 0.0), Err(MlError::BadParam(_))));
+        let neg = Dense::filled(10, 2, -1.0);
+        assert!(matches!(MultinomialNb::fit(&neg, &y, 1.0), Err(MlError::BadParam(_))));
+    }
+
+    #[test]
+    fn multinomial_alpha_smooths_towards_uniform() {
+        let x = Dense::from_fn(20, 2, |r, c| if (r % 2) == c { 10.0 } else { 0.0 });
+        let y: Vec<i64> = (0..20).map(|r| (r % 2) as i64).collect();
+        let sharp = MultinomialNb::fit(&x, &y, 0.01).unwrap();
+        let smooth = MultinomialNb::fit(&x, &y, 100.0).unwrap();
+        // Heavier smoothing pulls per-class feature distributions together.
+        let gap = |m: &MultinomialNb| (m.log_probs.get(0, 0) - m.log_probs.get(0, 1)).abs();
+        assert!(gap(&smooth) < gap(&sharp));
+    }
+}

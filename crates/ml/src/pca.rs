@@ -1,0 +1,229 @@
+//! Principal component analysis via power iteration with deflation.
+
+use crate::MlError;
+use dm_matrix::{ops, Dense};
+
+/// A fitted PCA model.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Column means subtracted before projection.
+    pub means: Vec<f64>,
+    /// `k x d` principal components (rows are unit vectors).
+    pub components: Dense,
+    /// Variance explained by each component.
+    pub explained_variance: Vec<f64>,
+}
+
+/// Options for the power-iteration eigensolver.
+#[derive(Debug, Clone, Copy)]
+pub struct PcaConfig {
+    /// Number of components to extract.
+    pub k: usize,
+    /// Power iterations per component.
+    pub max_iter: usize,
+    /// Convergence threshold on eigenvector change.
+    pub tol: f64,
+}
+
+impl Default for PcaConfig {
+    fn default() -> Self {
+        PcaConfig { k: 2, max_iter: 500, tol: 1e-10 }
+    }
+}
+
+/// Fit PCA on the rows of `x`.
+///
+/// The covariance matrix `C = (X - μ)ᵀ(X - μ) / n` is formed once, then each
+/// leading eigenpair is extracted by power iteration and deflated out.
+///
+/// # Errors
+/// [`MlError::Shape`] on empty data, [`MlError::BadParam`] when `k` exceeds
+/// the feature count.
+pub fn fit(x: &Dense, cfg: &PcaConfig) -> Result<Pca, MlError> {
+    let (n, d) = x.shape();
+    if n == 0 || d == 0 {
+        return Err(MlError::Shape("empty training data".into()));
+    }
+    if cfg.k == 0 || cfg.k > d {
+        return Err(MlError::BadParam(format!("k={} for {d} features", cfg.k)));
+    }
+    let means = ops::col_means(x);
+    let mut centered = x.clone();
+    for r in 0..n {
+        for (v, &m) in centered.row_mut(r).iter_mut().zip(&means) {
+            *v -= m;
+        }
+    }
+    let mut cov = ops::crossprod(&centered);
+    let inv_n = 1.0 / n as f64;
+    cov.map_inplace(|v| v * inv_n);
+
+    let mut components = Dense::zeros(cfg.k, d);
+    let mut explained = Vec::with_capacity(cfg.k);
+    for comp in 0..cfg.k {
+        // Deterministic start vector that is unlikely to be orthogonal to the
+        // leading eigenvector: e_comp + small ramp.
+        let mut v: Vec<f64> = (0..d).map(|j| 1.0 + (j as f64) * 1e-3).collect();
+        v[comp % d] += 1.0;
+        normalize(&mut v);
+        let mut eigenvalue = 0.0;
+        for _ in 0..cfg.max_iter {
+            let mut w = ops::gemv(&cov, &v);
+            eigenvalue = ops::dot(&w, &v);
+            let norm = ops::norm2(&w);
+            if norm < 1e-300 {
+                // Covariance is (numerically) zero in the remaining subspace.
+                eigenvalue = 0.0;
+                break;
+            }
+            for wi in &mut w {
+                *wi /= norm;
+            }
+            let delta: f64 = w.iter().zip(&v).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+            v = w;
+            if delta < cfg.tol {
+                break;
+            }
+        }
+        components.row_mut(comp).copy_from_slice(&v);
+        explained.push(eigenvalue.max(0.0));
+        // Deflate: C -= λ v vᵀ.
+        for i in 0..d {
+            for j in 0..d {
+                let c = cov.get(i, j) - eigenvalue * v[i] * v[j];
+                cov.set(i, j, c);
+            }
+        }
+    }
+    Ok(Pca { means, components, explained_variance: explained })
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = ops::norm2(v);
+    if n > 0.0 {
+        for x in v {
+            *x /= n;
+        }
+    }
+}
+
+impl Pca {
+    /// Project rows of `x` onto the principal components (`n x k` scores).
+    pub fn transform(&self, x: &Dense) -> Dense {
+        let (n, _) = x.shape();
+        let k = self.components.rows();
+        let mut out = Dense::zeros(n, k);
+        for r in 0..n {
+            let row = x.row(r);
+            let centered: Vec<f64> = row.iter().zip(&self.means).map(|(&v, &m)| v - m).collect();
+            for c in 0..k {
+                out.set(r, c, ops::dot(&centered, self.components.row(c)));
+            }
+        }
+        out
+    }
+
+    /// Reconstruct from scores back to the original feature space.
+    pub fn inverse_transform(&self, scores: &Dense) -> Dense {
+        let (n, k) = scores.shape();
+        let d = self.components.cols();
+        let mut out = Dense::zeros(n, d);
+        for r in 0..n {
+            let dst = out.row_mut(r);
+            dst.copy_from_slice(&vec![0.0; d]);
+            for c in 0..k {
+                let s = scores.get(r, c);
+                for (o, &pc) in dst.iter_mut().zip(self.components.row(c)) {
+                    *o += s * pc;
+                }
+            }
+            for (o, &m) in dst.iter_mut().zip(&self.means) {
+                *o += m;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data lying (almost) on the line y = 2x in 2-D.
+    fn line_data() -> Dense {
+        Dense::from_fn(100, 2, |r, c| {
+            let t = r as f64 / 10.0;
+            let noise = (((r * 7) % 5) as f64 - 2.0) * 0.01;
+            if c == 0 {
+                t + noise
+            } else {
+                2.0 * t - noise
+            }
+        })
+    }
+
+    #[test]
+    fn first_component_follows_dominant_direction() {
+        let x = line_data();
+        let p = fit(&x, &PcaConfig { k: 2, ..PcaConfig::default() }).unwrap();
+        let pc1 = p.components.row(0);
+        // Direction (1, 2)/sqrt(5), up to sign.
+        let expected = [1.0 / 5f64.sqrt(), 2.0 / 5f64.sqrt()];
+        let dot: f64 = pc1.iter().zip(&expected).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() > 0.999, "pc1 {pc1:?}");
+        assert!(p.explained_variance[0] > 100.0 * p.explained_variance[1]);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let x = Dense::from_fn(60, 3, |r, c| ((r * (c + 1) * 13) % 17) as f64);
+        let p = fit(&x, &PcaConfig { k: 3, ..PcaConfig::default() }).unwrap();
+        for i in 0..3 {
+            assert!((ops::norm2(p.components.row(i)) - 1.0).abs() < 1e-6);
+            for j in (i + 1)..3 {
+                let d = ops::dot(p.components.row(i), p.components.row(j));
+                assert!(d.abs() < 1e-6, "components {i},{j} not orthogonal: {d}");
+            }
+        }
+        // Explained variance is non-increasing.
+        for w in p.explained_variance.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn transform_reconstruction_error_small_on_low_rank_data() {
+        let x = line_data();
+        let p = fit(&x, &PcaConfig { k: 1, ..PcaConfig::default() }).unwrap();
+        let scores = p.transform(&x);
+        assert_eq!(scores.shape(), (100, 1));
+        let rec = p.inverse_transform(&scores);
+        assert!(rec.max_abs_diff(&x) < 0.1, "rank-1 data reconstructs from one component");
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let x = line_data();
+        let p = fit(&x, &PcaConfig { k: 2, ..PcaConfig::default() }).unwrap();
+        let scores = p.transform(&x);
+        let means = ops::col_means(&scores);
+        for m in means {
+            assert!(m.abs() < 1e-8, "scores must be centered");
+        }
+    }
+
+    #[test]
+    fn constant_data_yields_zero_variance() {
+        let x = Dense::filled(10, 2, 5.0);
+        let p = fit(&x, &PcaConfig { k: 1, ..PcaConfig::default() }).unwrap();
+        assert!(p.explained_variance[0] < 1e-12);
+    }
+
+    #[test]
+    fn param_validation() {
+        let x = line_data();
+        assert!(matches!(fit(&x, &PcaConfig { k: 0, ..Default::default() }), Err(MlError::BadParam(_))));
+        assert!(matches!(fit(&x, &PcaConfig { k: 3, ..Default::default() }), Err(MlError::BadParam(_))));
+        assert!(matches!(fit(&Dense::zeros(0, 2), &PcaConfig::default()), Err(MlError::Shape(_))));
+    }
+}

@@ -1,0 +1,223 @@
+//! Mini-batch stochastic gradient descent.
+//!
+//! The tutorial's data-access story for iterative ML: instead of full-batch
+//! passes, visit the data in shuffled mini-batches — one pass (epoch) touches
+//! every row once, batch size trades gradient variance against per-step cost,
+//! and the access pattern (sequential within a batch, shuffled across epochs)
+//! is what the storage layer has to serve efficiently.
+
+use crate::glm::Family;
+use crate::MlError;
+use dm_matrix::{ops, Dense};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyperparameters for mini-batch SGD.
+#[derive(Debug, Clone, Copy)]
+pub struct SgdConfig {
+    /// Initial step size.
+    pub learning_rate: f64,
+    /// Rows per mini-batch.
+    pub batch_size: usize,
+    /// Number of full passes over the data.
+    pub epochs: usize,
+    /// L2 regularization strength (intercept exempt when `skip_reg_first`).
+    pub l2: f64,
+    /// Exclude coefficient 0 from regularization.
+    pub skip_reg_first: bool,
+    /// Multiplicative step-size decay applied after each epoch.
+    pub decay: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig {
+            learning_rate: 0.1,
+            batch_size: 32,
+            epochs: 20,
+            l2: 0.0,
+            skip_reg_first: false,
+            decay: 0.95,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of an SGD run.
+#[derive(Debug, Clone)]
+pub struct SgdFit {
+    /// Learned coefficients.
+    pub weights: Vec<f64>,
+    /// Mean training loss recorded at the end of each epoch.
+    pub epoch_losses: Vec<f64>,
+}
+
+fn loss_of(family: Family, eta: f64, y: f64) -> f64 {
+    match family {
+        Family::Gaussian => 0.5 * (eta - y) * (eta - y),
+        Family::Binomial => {
+            // Numerically stable log(1 + exp(eta)) - y*eta.
+            let softplus = if eta > 0.0 { eta + (-eta).exp().ln_1p() } else { eta.exp().ln_1p() };
+            softplus - y * eta
+        }
+    }
+}
+
+/// Train a GLM by mini-batch SGD over the rows of `x`.
+///
+/// # Errors
+/// [`MlError::Shape`] on row/label mismatch or empty data;
+/// [`MlError::BadParam`] for a zero batch size or non-positive epochs.
+pub fn train_sgd(x: &Dense, y: &[f64], family: Family, cfg: &SgdConfig) -> Result<SgdFit, MlError> {
+    let n = x.rows();
+    let d = x.cols();
+    if n != y.len() {
+        return Err(MlError::Shape(format!("{n} rows vs {} labels", y.len())));
+    }
+    if n == 0 || d == 0 {
+        return Err(MlError::Shape("empty training data".into()));
+    }
+    if cfg.batch_size == 0 || cfg.epochs == 0 {
+        return Err(MlError::BadParam("batch_size and epochs must be positive".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut w = vec![0.0; d];
+    let mut grad = vec![0.0; d];
+    let mut lr = cfg.learning_rate;
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        for batch in order.chunks(cfg.batch_size) {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            for &r in batch {
+                let row = x.row(r);
+                let eta = ops::dot(row, &w);
+                epoch_loss += loss_of(family, eta, y[r]);
+                let resid = family.mean(eta) - y[r];
+                ops::axpy(resid, row, &mut grad);
+            }
+            let inv_b = 1.0 / batch.len() as f64;
+            for (j, g) in grad.iter_mut().enumerate() {
+                *g *= inv_b;
+                if cfg.l2 > 0.0 && !(cfg.skip_reg_first && j == 0) {
+                    *g += cfg.l2 * w[j];
+                }
+            }
+            ops::axpy(-lr, &grad, &mut w);
+        }
+        epoch_losses.push(epoch_loss / n as f64);
+        lr *= cfg.decay;
+    }
+    Ok(SgdFit { weights: w, epoch_losses })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize) -> (Dense, Vec<f64>, [f64; 2]) {
+        let truth = [1.5, -2.0];
+        let x = Dense::from_fn(n, 2, |r, c| {
+            let t = (r * (c + 7)) % 23;
+            (t as f64) / 23.0 - 0.5
+        });
+        let y = (0..n).map(|r| truth[0] * x.get(r, 0) + truth[1] * x.get(r, 1)).collect();
+        (x, y, truth)
+    }
+
+    #[test]
+    fn sgd_recovers_linear_model() {
+        let (x, y, truth) = linear_data(500);
+        let cfg = SgdConfig { learning_rate: 0.5, epochs: 100, decay: 0.98, ..Default::default() };
+        let fit = train_sgd(&x, &y, Family::Gaussian, &cfg).unwrap();
+        for (w, t) in fit.weights.iter().zip(&truth) {
+            assert!((w - t).abs() < 0.05, "weights {:?}", fit.weights);
+        }
+    }
+
+    #[test]
+    fn epoch_losses_decrease() {
+        let (x, y, _) = linear_data(300);
+        let cfg = SgdConfig { learning_rate: 0.2, epochs: 30, ..Default::default() };
+        let fit = train_sgd(&x, &y, Family::Gaussian, &cfg).unwrap();
+        assert_eq!(fit.epoch_losses.len(), 30);
+        let first = fit.epoch_losses[0];
+        let last = *fit.epoch_losses.last().unwrap();
+        assert!(last < first / 2.0, "loss must drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn binomial_sgd_classifies() {
+        let x = Dense::from_fn(400, 1, |r, _| (r as f64 / 200.0) - 1.0);
+        let y: Vec<f64> = (0..400).map(|r| if r >= 200 { 1.0 } else { 0.0 }).collect();
+        let cfg = SgdConfig { learning_rate: 1.0, epochs: 60, ..Default::default() };
+        let fit = train_sgd(&x, &y, Family::Binomial, &cfg).unwrap();
+        assert!(fit.weights[0] > 1.0, "positive slope expected: {:?}", fit.weights);
+        // Loss ends below chance (ln 2).
+        assert!(*fit.epoch_losses.last().unwrap() < 0.6);
+    }
+
+    #[test]
+    fn batch_size_one_and_full_batch_both_work() {
+        let (x, y, _) = linear_data(64);
+        for bs in [1usize, 64, 1000] {
+            // Full-batch runs take one step per epoch, so disable decay and
+            // give every configuration enough epochs to converge.
+            let cfg = SgdConfig {
+                batch_size: bs,
+                epochs: 400,
+                learning_rate: 0.3,
+                decay: 1.0,
+                ..Default::default()
+            };
+            let fit = train_sgd(&x, &y, Family::Gaussian, &cfg).unwrap();
+            assert!(*fit.epoch_losses.last().unwrap() < 0.05, "bs={bs}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y, _) = linear_data(100);
+        let cfg = SgdConfig::default();
+        let a = train_sgd(&x, &y, Family::Gaussian, &cfg).unwrap();
+        let b = train_sgd(&x, &y, Family::Gaussian, &cfg).unwrap();
+        assert_eq!(a.weights, b.weights);
+        let c = train_sgd(&x, &y, Family::Gaussian, &SgdConfig { seed: 1, ..cfg }).unwrap();
+        assert_ne!(a.weights, c.weights, "different shuffles, different trajectories");
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let (x, y, _) = linear_data(200);
+        let base = SgdConfig { epochs: 60, learning_rate: 0.3, ..Default::default() };
+        let plain = train_sgd(&x, &y, Family::Gaussian, &base).unwrap();
+        let reg = train_sgd(&x, &y, Family::Gaussian, &SgdConfig { l2: 1.0, ..base }).unwrap();
+        assert!(ops::norm2(&reg.weights) < ops::norm2(&plain.weights));
+    }
+
+    #[test]
+    fn validation() {
+        let (x, y, _) = linear_data(10);
+        assert!(train_sgd(&x, &y[..5], Family::Gaussian, &SgdConfig::default()).is_err());
+        assert!(train_sgd(
+            &x,
+            &y,
+            Family::Gaussian,
+            &SgdConfig { batch_size: 0, ..Default::default() }
+        )
+        .is_err());
+        assert!(train_sgd(
+            &x,
+            &y,
+            Family::Gaussian,
+            &SgdConfig { epochs: 0, ..Default::default() }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,250 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the math in numeric kernels
+//! Multinomial (softmax) logistic regression for multi-class problems.
+
+use crate::MlError;
+use dm_matrix::{ops, Dense};
+
+/// Hyperparameters for softmax regression.
+#[derive(Debug, Clone, Copy)]
+pub struct SoftmaxConfig {
+    /// Gradient-descent step size.
+    pub learning_rate: f64,
+    /// Maximum epochs.
+    pub max_iter: usize,
+    /// Gradient-norm stopping tolerance.
+    pub tol: f64,
+    /// L2 strength (intercepts exempt).
+    pub l2: f64,
+}
+
+impl Default for SoftmaxConfig {
+    fn default() -> Self {
+        SoftmaxConfig { learning_rate: 0.5, max_iter: 2000, tol: 1e-6, l2: 0.0 }
+    }
+}
+
+/// A fitted softmax-regression model.
+#[derive(Debug, Clone)]
+pub struct SoftmaxRegression {
+    /// Distinct class labels, sorted.
+    pub classes: Vec<i64>,
+    /// `k x (d+1)` weights; column 0 is the per-class intercept.
+    pub weights: Dense,
+    /// Epochs run.
+    pub iterations: usize,
+    /// Whether tolerance was reached.
+    pub converged: bool,
+}
+
+/// Row-wise softmax with max subtraction for stability.
+fn softmax_row(scores: &mut [f64]) {
+    let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut z = 0.0;
+    for s in scores.iter_mut() {
+        *s = (*s - m).exp();
+        z += *s;
+    }
+    for s in scores.iter_mut() {
+        *s /= z;
+    }
+}
+
+impl SoftmaxRegression {
+    /// Fit on features `x` and integer class labels `y` (any label values;
+    /// at least two distinct classes required).
+    ///
+    /// # Errors
+    /// [`MlError::Shape`] / [`MlError::Degenerate`] mirroring the binary case.
+    pub fn fit(x: &Dense, y: &[i64], cfg: &SoftmaxConfig) -> Result<Self, MlError> {
+        let n = x.rows();
+        if n != y.len() {
+            return Err(MlError::Shape(format!("{n} rows vs {} labels", y.len())));
+        }
+        if n == 0 || x.cols() == 0 {
+            return Err(MlError::Shape("empty training data".into()));
+        }
+        let mut classes: Vec<i64> = y.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        if classes.len() < 2 {
+            return Err(MlError::Degenerate("need at least two classes".into()));
+        }
+        let k = classes.len();
+        let d = x.cols() + 1; // intercept-augmented
+        let class_idx: Vec<usize> = y
+            .iter()
+            .map(|l| classes.binary_search(l).expect("label seen during dedup"))
+            .collect();
+
+        let mut w = Dense::zeros(k, d);
+        let mut probs = vec![0.0; k];
+        let mut iterations = 0;
+        let mut converged = false;
+        for _ in 0..cfg.max_iter {
+            iterations += 1;
+            let mut grad = Dense::zeros(k, d);
+            for r in 0..n {
+                let row = x.row(r);
+                for (c, p) in probs.iter_mut().enumerate() {
+                    let wrow = w.row(c);
+                    *p = wrow[0] + ops::dot(&wrow[1..], row);
+                }
+                softmax_row(&mut probs);
+                for c in 0..k {
+                    let delta = probs[c] - f64::from(class_idx[r] == c);
+                    let grow = grad.row_mut(c);
+                    grow[0] += delta;
+                    for (g, &xv) in grow[1..].iter_mut().zip(row) {
+                        *g += delta * xv;
+                    }
+                }
+            }
+            let inv_n = 1.0 / n as f64;
+            let mut gnorm_sq = 0.0;
+            for c in 0..k {
+                let wrow: Vec<f64> = w.row(c).to_vec();
+                let grow = grad.row_mut(c);
+                for (j, g) in grow.iter_mut().enumerate() {
+                    *g *= inv_n;
+                    if cfg.l2 > 0.0 && j > 0 {
+                        *g += cfg.l2 * wrow[j];
+                    }
+                    gnorm_sq += *g * *g;
+                }
+            }
+            if gnorm_sq.sqrt() <= cfg.tol {
+                converged = true;
+                break;
+            }
+            for c in 0..k {
+                let grow: Vec<f64> = grad.row(c).to_vec();
+                ops::axpy(-cfg.learning_rate, &grow, w.row_mut(c));
+            }
+        }
+        Ok(SoftmaxRegression { classes, weights: w, iterations, converged })
+    }
+
+    /// Class probabilities for one row (aligned with `classes`).
+    pub fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
+        let k = self.classes.len();
+        let mut probs = Vec::with_capacity(k);
+        for c in 0..k {
+            let wrow = self.weights.row(c);
+            probs.push(wrow[0] + ops::dot(&wrow[1..], row));
+        }
+        softmax_row(&mut probs);
+        probs
+    }
+
+    /// Predicted class for one row.
+    pub fn predict_row(&self, row: &[f64]) -> i64 {
+        let probs = self.predict_proba_row(row);
+        let best = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+            .expect("at least two classes")
+            .0;
+        self.classes[best]
+    }
+
+    /// Predictions for every row of `x`.
+    pub fn predict(&self, x: &Dense) -> Vec<i64> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+
+    /// Classification accuracy.
+    pub fn accuracy(&self, x: &Dense, y: &[i64]) -> f64 {
+        let correct = self.predict(x).iter().zip(y).filter(|(p, t)| p == t).count();
+        correct as f64 / y.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> (Dense, Vec<i64>) {
+        let x = Dense::from_fn(150, 2, |r, c| {
+            let center: (f64, f64) = match r % 3 {
+                0 => (0.0, 0.0),
+                1 => (6.0, 0.0),
+                _ => (3.0, 6.0),
+            };
+            let jitter = (((r * 17 + c * 5) % 11) as f64) / 11.0 - 0.5;
+            if c == 0 {
+                center.0 + jitter
+            } else {
+                center.1 + jitter
+            }
+        });
+        let y = (0..150).map(|r| (r % 3) as i64 * 10).collect(); // labels 0, 10, 20
+        (x, y)
+    }
+
+    #[test]
+    fn separates_three_classes() {
+        let (x, y) = three_blobs();
+        let m = SoftmaxRegression::fit(&x, &y, &SoftmaxConfig::default()).unwrap();
+        assert_eq!(m.classes, vec![0, 10, 20]);
+        assert!(m.accuracy(&x, &y) > 0.99, "acc {}", m.accuracy(&x, &y));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (x, y) = three_blobs();
+        let m = SoftmaxRegression::fit(&x, &y, &SoftmaxConfig::default()).unwrap();
+        for r in 0..10 {
+            let p = m.predict_proba_row(x.row(r));
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn two_class_softmax_agrees_with_binary_logreg_predictions() {
+        let x = Dense::from_fn(100, 1, |r, _| r as f64 / 50.0 - 1.0);
+        let yb: Vec<f64> = (0..100).map(|r| f64::from(r >= 50)).collect();
+        let yi: Vec<i64> = yb.iter().map(|&v| v as i64).collect();
+        let sm = SoftmaxRegression::fit(&x, &yi, &SoftmaxConfig { max_iter: 3000, ..Default::default() })
+            .unwrap();
+        let lr = crate::logreg::LogisticRegression::fit(
+            &x,
+            &yb,
+            &crate::logreg::LogRegConfig { max_iter: 3000, ..Default::default() },
+        )
+        .unwrap();
+        let sm_preds: Vec<f64> = sm.predict(&x).iter().map(|&v| v as f64).collect();
+        let lr_preds = lr.predict(&x);
+        assert_eq!(sm_preds, lr_preds, "two-class softmax must match binary logreg decisions");
+    }
+
+    #[test]
+    fn stability_under_large_scores() {
+        let x = Dense::from_fn(40, 1, |r, _| if r % 2 == 0 { -1e3 } else { 1e3 });
+        let y: Vec<i64> = (0..40).map(|r| (r % 2) as i64).collect();
+        let m = SoftmaxRegression::fit(
+            &x,
+            &y,
+            &SoftmaxConfig { max_iter: 50, ..Default::default() },
+        )
+        .unwrap();
+        let p = m.predict_proba_row(&[1e3]);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn l2_and_validation() {
+        let (x, y) = three_blobs();
+        let plain = SoftmaxRegression::fit(&x, &y, &SoftmaxConfig { max_iter: 200, ..Default::default() }).unwrap();
+        let reg = SoftmaxRegression::fit(
+            &x,
+            &y,
+            &SoftmaxConfig { max_iter: 200, l2: 1.0, ..Default::default() },
+        )
+        .unwrap();
+        assert!(reg.weights.frobenius_norm() < plain.weights.frobenius_norm());
+        assert!(SoftmaxRegression::fit(&x, &y[..5], &SoftmaxConfig::default()).is_err());
+        assert!(SoftmaxRegression::fit(&x, &vec![7; 150], &SoftmaxConfig::default()).is_err());
+    }
+}

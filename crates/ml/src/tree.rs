@@ -1,0 +1,326 @@
+//! CART decision-tree classifier with Gini impurity.
+
+use crate::MlError;
+use dm_matrix::Dense;
+
+/// Hyperparameters for tree induction.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root is depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum impurity decrease for a split to be kept. The default of 0
+    /// admits zero-gain splits (the CART convention), which is what lets the
+    /// greedy induction work through XOR-like patterns where the first split
+    /// alone buys nothing.
+    pub min_gain: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 8, min_samples_split: 2, min_gain: 0.0 }
+    }
+}
+
+/// Tree node, indexed into the model's arena.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// Internal split: `feature <= threshold` goes left.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Split threshold (inclusive left).
+        threshold: f64,
+        /// Arena index of the left child.
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+    },
+    /// Leaf with a predicted class.
+    Leaf {
+        /// Predicted class label.
+        class: i64,
+        /// Training rows that reached this leaf.
+        samples: usize,
+    },
+}
+
+/// A fitted CART classifier.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+}
+
+fn gini(counts: &std::collections::HashMap<i64, usize>, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let mut g = 1.0;
+    for &c in counts.values() {
+        let p = c as f64 / total as f64;
+        g -= p * p;
+    }
+    g
+}
+
+fn majority(counts: &std::collections::HashMap<i64, usize>) -> i64 {
+    *counts
+        .iter()
+        .max_by_key(|(label, &count)| (count, std::cmp::Reverse(**label)))
+        .expect("non-empty class counts")
+        .0
+}
+
+fn class_counts(y: &[i64], rows: &[usize]) -> std::collections::HashMap<i64, usize> {
+    let mut m = std::collections::HashMap::new();
+    for &r in rows {
+        *m.entry(y[r]).or_insert(0) += 1;
+    }
+    m
+}
+
+struct Builder<'a> {
+    x: &'a Dense,
+    y: &'a [i64],
+    cfg: TreeConfig,
+    nodes: Vec<Node>,
+}
+
+impl Builder<'_> {
+    /// Find the best `(feature, threshold, gain)` split of `rows` by scanning
+    /// each feature's sorted values and evaluating midpoints between class
+    /// changes.
+    fn best_split(&self, rows: &[usize], parent_gini: f64) -> Option<(usize, f64, f64)> {
+        let n = rows.len();
+        let mut best: Option<(usize, f64, f64)> = None;
+        for f in 0..self.x.cols() {
+            let mut vals: Vec<(f64, i64)> =
+                rows.iter().map(|&r| (self.x.get(r, f), self.y[r])).collect();
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("feature values must not be NaN"));
+            // Streaming left/right class counts across the sorted order.
+            let mut left: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+            let mut right: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+            for &(_, label) in &vals {
+                *right.entry(label).or_insert(0) += 1;
+            }
+            for i in 0..n - 1 {
+                let (v, label) = vals[i];
+                *left.entry(label).or_insert(0) += 1;
+                let rc = right.get_mut(&label).expect("label present on the right");
+                *rc -= 1;
+                if *rc == 0 {
+                    right.remove(&label);
+                }
+                let next_v = vals[i + 1].0;
+                if v == next_v {
+                    continue; // cannot split between equal values
+                }
+                let nl = i + 1;
+                let nr = n - nl;
+                let weighted = (nl as f64 * gini(&left, nl) + nr as f64 * gini(&right, nr)) / n as f64;
+                let gain = parent_gini - weighted;
+                if gain >= self.cfg.min_gain && best.is_none_or(|(.., g)| gain > g) {
+                    best = Some((f, (v + next_v) / 2.0, gain));
+                }
+            }
+        }
+        best
+    }
+
+    fn build(&mut self, rows: Vec<usize>, depth: usize) -> usize {
+        let counts = class_counts(self.y, &rows);
+        let parent_gini = gini(&counts, rows.len());
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf { class: majority(&counts), samples: rows.len() });
+            nodes.len() - 1
+        };
+        if depth >= self.cfg.max_depth
+            || rows.len() < self.cfg.min_samples_split
+            || parent_gini == 0.0
+        {
+            return make_leaf(&mut self.nodes);
+        }
+        let Some((feature, threshold, _)) = self.best_split(&rows, parent_gini) else {
+            return make_leaf(&mut self.nodes);
+        };
+        let (lrows, rrows): (Vec<usize>, Vec<usize>) =
+            rows.iter().partition(|&&r| self.x.get(r, feature) <= threshold);
+        debug_assert!(!lrows.is_empty() && !rrows.is_empty(), "split must separate rows");
+        // Reserve this node's slot before recursing so children indices work out.
+        let idx = self.nodes.len();
+        self.nodes.push(Node::Leaf { class: 0, samples: 0 }); // placeholder
+        let left = self.build(lrows, depth + 1);
+        let right = self.build(rrows, depth + 1);
+        self.nodes[idx] = Node::Split { feature, threshold, left, right };
+        idx
+    }
+}
+
+impl DecisionTree {
+    /// Induce a tree from features `x` and integer labels `y`.
+    ///
+    /// # Errors
+    /// [`MlError::Shape`] on length mismatch or empty data. NaN feature values
+    /// panic (feature values are sorted during split search).
+    pub fn fit(x: &Dense, y: &[i64], cfg: &TreeConfig) -> Result<Self, MlError> {
+        if x.rows() != y.len() {
+            return Err(MlError::Shape(format!("{} rows vs {} labels", x.rows(), y.len())));
+        }
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(MlError::Shape("empty training data".into()));
+        }
+        let mut b = Builder { x, y, cfg: *cfg, nodes: Vec::new() };
+        let root = b.build((0..x.rows()).collect(), 0);
+        debug_assert_eq!(root, 0);
+        Ok(DecisionTree { nodes: b.nodes })
+    }
+
+    /// Number of nodes in the tree.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (leaf-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: usize) -> usize {
+            match nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, left).max(walk(nodes, right)),
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+
+    /// Predict the class of one row.
+    pub fn predict_row(&self, row: &[f64]) -> i64 {
+        let mut i = 0;
+        loop {
+            match self.nodes[i] {
+                Node::Leaf { class, .. } => return class,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if row[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Predictions for every row of `x`.
+    pub fn predict(&self, x: &Dense) -> Vec<i64> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+
+    /// Classification accuracy.
+    pub fn accuracy(&self, x: &Dense, y: &[i64]) -> f64 {
+        let correct = self.predict(x).iter().zip(y).filter(|(p, t)| p == t).count();
+        correct as f64 / y.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// XOR-ish pattern requiring depth 2: class = (x0 > 0.5) ^ (x1 > 0.5).
+    fn xor_data() -> (Dense, Vec<i64>) {
+        let pts = [
+            (0.0, 0.0, 0),
+            (0.0, 1.0, 1),
+            (1.0, 0.0, 1),
+            (1.0, 1.0, 0),
+        ];
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for rep in 0..10 {
+            for &(a, b, label) in &pts {
+                let eps = rep as f64 * 0.001;
+                rows.push(vec![a + eps, b - eps]);
+                y.push(label);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Dense::from_rows(&refs), y)
+    }
+
+    #[test]
+    fn learns_xor_perfectly() {
+        let (x, y) = xor_data();
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default()).unwrap();
+        assert_eq!(t.accuracy(&x, &y), 1.0);
+        assert!(t.depth() >= 2, "XOR needs at least two levels");
+    }
+
+    #[test]
+    fn linear_boundary_is_shallow() {
+        let x = Dense::from_fn(40, 1, |r, _| r as f64);
+        let y: Vec<i64> = (0..40).map(|r| if r < 20 { 0 } else { 1 }).collect();
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default()).unwrap();
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.predict_row(&[5.0]), 0);
+        assert_eq!(t.predict_row(&[30.0]), 1);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (x, y) = xor_data();
+        let t = DecisionTree::fit(&x, &y, &TreeConfig { max_depth: 1, ..Default::default() }).unwrap();
+        assert!(t.depth() <= 1);
+        // Depth-1 tree cannot solve XOR.
+        assert!(t.accuracy(&x, &y) < 0.8);
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let x = Dense::from_fn(10, 1, |r, _| r as f64);
+        let y = vec![3i64; 10];
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default()).unwrap();
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.predict_row(&[100.0]), 3);
+    }
+
+    #[test]
+    fn min_samples_split_respected() {
+        let (x, y) = xor_data();
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            &TreeConfig { min_samples_split: 1000, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(t.num_nodes(), 1, "cannot split below the sample threshold");
+    }
+
+    #[test]
+    fn identical_features_yield_leaf() {
+        // No split can separate identical feature vectors.
+        let x = Dense::filled(10, 2, 1.0);
+        let y: Vec<i64> = (0..10).map(|r| (r % 2) as i64).collect();
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default()).unwrap();
+        assert_eq!(t.num_nodes(), 1);
+    }
+
+    #[test]
+    fn multiclass_splits() {
+        let x = Dense::from_fn(30, 1, |r, _| r as f64);
+        let y: Vec<i64> = (0..30).map(|r| (r / 10) as i64).collect();
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default()).unwrap();
+        assert_eq!(t.accuracy(&x, &y), 1.0);
+        assert_eq!(t.predict_row(&[5.0]), 0);
+        assert_eq!(t.predict_row(&[15.0]), 1);
+        assert_eq!(t.predict_row(&[25.0]), 2);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (x, y) = xor_data();
+        assert!(matches!(
+            DecisionTree::fit(&x, &y[..3], &TreeConfig::default()),
+            Err(MlError::Shape(_))
+        ));
+        assert!(matches!(
+            DecisionTree::fit(&Dense::zeros(0, 1), &[], &TreeConfig::default()),
+            Err(MlError::Shape(_))
+        ));
+    }
+}

@@ -1,0 +1,120 @@
+//! K-fold cross-validation over generic fit/score closures.
+
+use dm_matrix::Dense;
+use dm_pipeline::split::k_fold;
+use dm_pipeline::PipelineError;
+
+/// Result of a cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvResult {
+    /// Per-fold validation scores.
+    pub fold_scores: Vec<f64>,
+}
+
+impl CvResult {
+    /// Mean validation score.
+    pub fn mean(&self) -> f64 {
+        self.fold_scores.iter().sum::<f64>() / self.fold_scores.len().max(1) as f64
+    }
+
+    /// Population standard deviation of the fold scores.
+    pub fn std(&self) -> f64 {
+        let m = self.mean();
+        let var = self.fold_scores.iter().map(|s| (s - m) * (s - m)).sum::<f64>()
+            / self.fold_scores.len().max(1) as f64;
+        var.sqrt()
+    }
+}
+
+/// Run k-fold cross-validation.
+///
+/// `fit_score(x_train, y_train, x_val, y_val)` trains on the first pair and
+/// returns a validation score on the second (higher is better).
+///
+/// # Errors
+/// Propagates [`PipelineError::BadParam`] from fold construction.
+pub fn cross_validate(
+    x: &Dense,
+    y: &[f64],
+    k: usize,
+    seed: u64,
+    mut fit_score: impl FnMut(&Dense, &[f64], &Dense, &[f64]) -> f64,
+) -> Result<CvResult, PipelineError> {
+    if x.rows() != y.len() {
+        return Err(PipelineError::Shape(format!("{} rows vs {} labels", x.rows(), y.len())));
+    }
+    let folds = k_fold(x.rows(), k, seed)?;
+    let mut fold_scores = Vec::with_capacity(k);
+    for f in folds {
+        let x_train = x.select_rows(&f.train);
+        let y_train: Vec<f64> = f.train.iter().map(|&i| y[i]).collect();
+        let x_val = x.select_rows(&f.test);
+        let y_val: Vec<f64> = f.test.iter().map(|&i| y[i]).collect();
+        fold_scores.push(fit_score(&x_train, &y_train, &x_val, &y_val));
+    }
+    Ok(CvResult { fold_scores })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_ml::linreg::{LinearRegression, Solver};
+
+    fn data() -> (Dense, Vec<f64>) {
+        let x = Dense::from_fn(60, 2, |r, c| ((r * (c + 3)) % 13) as f64);
+        let y = (0..60).map(|r| 2.0 * x.get(r, 0) - x.get(r, 1) + 1.0).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn cv_linear_regression_near_perfect() {
+        let (x, y) = data();
+        let r = cross_validate(&x, &y, 5, 42, |xt, yt, xv, yv| {
+            let m = LinearRegression::fit(xt, yt, Solver::NormalEquations, 0.0).unwrap();
+            m.r2(xv, yv)
+        })
+        .unwrap();
+        assert_eq!(r.fold_scores.len(), 5);
+        assert!(r.mean() > 0.999, "mean r2 {}", r.mean());
+        assert!(r.std() < 0.01);
+    }
+
+    #[test]
+    fn cv_is_deterministic_per_seed() {
+        let (x, y) = data();
+        let score = |xt: &Dense, yt: &[f64], xv: &Dense, yv: &[f64]| {
+            let m = LinearRegression::fit(xt, yt, Solver::NormalEquations, 0.1).unwrap();
+            -m.mse(xv, yv)
+        };
+        let a = cross_validate(&x, &y, 4, 9, score).unwrap();
+        let b = cross_validate(&x, &y, 4, 9, score).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cv_folds_receive_disjoint_data() {
+        let (x, y) = data();
+        let mut val_rows_total = 0usize;
+        cross_validate(&x, &y, 6, 1, |xt, _, xv, _| {
+            assert_eq!(xt.rows() + xv.rows(), 60);
+            val_rows_total += xv.rows();
+            0.0
+        })
+        .unwrap();
+        assert_eq!(val_rows_total, 60);
+    }
+
+    #[test]
+    fn cv_validation_errors() {
+        let (x, y) = data();
+        assert!(cross_validate(&x, &y[..10], 5, 0, |_, _, _, _| 0.0).is_err());
+        assert!(cross_validate(&x, &y, 1, 0, |_, _, _, _| 0.0).is_err());
+    }
+
+    #[test]
+    fn cv_result_stats() {
+        let r = CvResult { fold_scores: vec![1.0, 2.0, 3.0] };
+        assert!((r.mean() - 2.0).abs() < 1e-12);
+        assert!((r.std() - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+}

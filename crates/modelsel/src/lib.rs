@@ -1,0 +1,38 @@
+//! # dm-modelsel
+//!
+//! Model-selection management — the tutorial's ML-lifecycle pillar: treating
+//! the *set* of candidate models as the unit of optimization rather than a
+//! single training run.
+//!
+//! * [`search`] — hyperparameter search strategies over a budget-aware
+//!   trainer abstraction: grid, random, successive halving, and Hyperband.
+//!   Early-stopping strategies exploit the fact that a cheap low-budget
+//!   evaluation ranks configurations well enough to prune most of them.
+//! * [`cv`] — k-fold cross-validation over generic fit/score closures.
+//! * [`columbus`] — batched feature-subset exploration for linear models:
+//!   one shared Gram-matrix pass over the data serves every subset, turning
+//!   `O(R · n · d²)` exploration into `O(n · d² + R · k³)`.
+//! * [`registry`] — a model registry recording every trained configuration
+//!   with parameters, metrics, and lineage, persisted as JSON lines.
+//!
+//! ```
+//! use dm_modelsel::search::{ParamSpace, grid_search};
+//!
+//! let space = ParamSpace::new()
+//!     .grid("lr", &[0.01, 0.1, 1.0])
+//!     .grid("l2", &[0.0, 0.5]);
+//! // A fake trainer: score peaks at lr=0.1, l2=0.0.
+//! let result = grid_search(&space, |p, _budget| {
+//!     -(p.get("lr") - 0.1).abs() - p.get("l2")
+//! });
+//! assert_eq!(result.best_params.get("lr"), 0.1);
+//! assert_eq!(result.evaluations.len(), 6);
+//! ```
+
+pub mod columbus;
+pub mod cv;
+pub mod registry;
+pub mod search;
+
+pub use registry::{ModelRecord, ModelRegistry};
+pub use search::{ParamSpace, Params, SearchResult};

@@ -1,0 +1,206 @@
+//! A model registry with parameters, metrics, and lineage, persisted as
+//! JSON lines.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// One registered model/experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelRecord {
+    /// Registry-assigned id (position in insertion order).
+    pub id: u64,
+    /// Model/experiment name.
+    pub name: String,
+    /// Hyperparameters.
+    pub params: HashMap<String, f64>,
+    /// Evaluation metrics (e.g. "accuracy", "r2").
+    pub metrics: HashMap<String, f64>,
+    /// Id of the record this one was derived from (warm start, refinement).
+    pub parent: Option<u64>,
+    /// Free-form tags (dataset version, feature set, git-ish revision...).
+    pub tags: Vec<String>,
+}
+
+/// In-memory registry with JSON-lines persistence.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    records: Vec<ModelRecord>,
+}
+
+impl ModelRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a model, returning its id.
+    pub fn register(
+        &mut self,
+        name: &str,
+        params: HashMap<String, f64>,
+        metrics: HashMap<String, f64>,
+        parent: Option<u64>,
+        tags: Vec<String>,
+    ) -> u64 {
+        let id = self.records.len() as u64;
+        self.records.push(ModelRecord { id, name: name.to_owned(), params, metrics, parent, tags });
+        id
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Fetch by id.
+    pub fn get(&self, id: u64) -> Option<&ModelRecord> {
+        self.records.get(id as usize)
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[ModelRecord] {
+        &self.records
+    }
+
+    /// The record with the highest value of `metric`, if any record has it.
+    pub fn best_by(&self, metric: &str) -> Option<&ModelRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.metrics.contains_key(metric))
+            .max_by(|a, b| {
+                a.metrics[metric]
+                    .partial_cmp(&b.metrics[metric])
+                    .expect("metrics must not be NaN")
+            })
+    }
+
+    /// Lineage chain from a record back to its root ancestor (inclusive,
+    /// newest first).
+    pub fn lineage(&self, id: u64) -> Vec<&ModelRecord> {
+        let mut out = Vec::new();
+        let mut cur = self.get(id);
+        while let Some(r) = cur {
+            out.push(r);
+            cur = r.parent.and_then(|p| self.get(p));
+            // Cycle guard: parents must strictly decrease.
+            if let (Some(next), Some(last)) = (cur, out.last()) {
+                if next.id >= last.id {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Records carrying a tag.
+    pub fn by_tag(&self, tag: &str) -> Vec<&ModelRecord> {
+        self.records.iter().filter(|r| r.tags.iter().any(|t| t == tag)).collect()
+    }
+
+    /// Persist as JSON lines.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        for r in &self.records {
+            let line = serde_json::to_string(r).expect("records serialize");
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Load from JSON lines; malformed lines produce an error.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let f = std::fs::File::open(path)?;
+        let mut records = Vec::new();
+        for (i, line) in BufReader::new(f).lines().enumerate() {
+            let line = line?;
+            if line.is_empty() {
+                continue;
+            }
+            let rec: ModelRecord = serde_json::from_str(&line).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad record at line {}: {e}", i + 1),
+                )
+            })?;
+            records.push(rec);
+        }
+        Ok(ModelRegistry { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(lr: f64) -> HashMap<String, f64> {
+        let mut m = HashMap::new();
+        m.insert("lr".into(), lr);
+        m
+    }
+
+    fn metrics(acc: f64) -> HashMap<String, f64> {
+        let mut m = HashMap::new();
+        m.insert("accuracy".into(), acc);
+        m
+    }
+
+    #[test]
+    fn register_and_query() {
+        let mut reg = ModelRegistry::new();
+        let a = reg.register("logreg", params(0.1), metrics(0.8), None, vec!["v1".into()]);
+        let b = reg.register("logreg", params(0.5), metrics(0.9), Some(a), vec!["v1".into()]);
+        let c = reg.register("tree", HashMap::new(), metrics(0.85), None, vec!["v2".into()]);
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.best_by("accuracy").unwrap().id, b);
+        assert_eq!(reg.by_tag("v1").len(), 2);
+        assert_eq!(reg.by_tag("v2")[0].id, c);
+        assert!(reg.best_by("missing_metric").is_none());
+    }
+
+    #[test]
+    fn lineage_walks_parents() {
+        let mut reg = ModelRegistry::new();
+        let a = reg.register("m", params(0.1), metrics(0.5), None, vec![]);
+        let b = reg.register("m", params(0.2), metrics(0.6), Some(a), vec![]);
+        let c = reg.register("m", params(0.3), metrics(0.7), Some(b), vec![]);
+        let chain = reg.lineage(c);
+        let ids: Vec<u64> = chain.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![c, b, a]);
+        assert_eq!(reg.lineage(a).len(), 1);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut reg = ModelRegistry::new();
+        reg.register("a", params(0.1), metrics(0.9), None, vec!["exp1".into()]);
+        reg.register("b", params(0.2), metrics(0.7), Some(0), vec![]);
+        let path = std::env::temp_dir().join("dmml_registry_test.jsonl");
+        reg.save(&path).unwrap();
+        let back = ModelRegistry::load(&path).unwrap();
+        assert_eq!(back.records(), reg.records());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_malformed() {
+        let path = std::env::temp_dir().join("dmml_registry_bad.jsonl");
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(ModelRegistry::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_registry() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        assert!(reg.best_by("accuracy").is_none());
+        assert!(reg.get(0).is_none());
+    }
+}

@@ -1,0 +1,363 @@
+//! Hyperparameter search strategies over a budget-aware trainer.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// One hyperparameter configuration (name → value).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    pairs: Vec<(String, f64)>,
+}
+
+impl Params {
+    /// Empty configuration.
+    pub fn new() -> Self {
+        Params { pairs: Vec::new() }
+    }
+
+    /// Set a parameter (replacing an existing value of the same name).
+    pub fn set(mut self, name: &str, value: f64) -> Self {
+        if let Some(p) = self.pairs.iter_mut().find(|(n, _)| n == name) {
+            p.1 = value;
+        } else {
+            self.pairs.push((name.to_owned(), value));
+        }
+        self
+    }
+
+    /// Read a parameter.
+    ///
+    /// # Panics
+    /// Panics when the parameter is absent (search code always constructs
+    /// complete configurations from the space).
+    pub fn get(&self, name: &str) -> f64 {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing parameter {name}"))
+            .1
+    }
+
+    /// Read a parameter if present.
+    pub fn try_get(&self, name: &str) -> Option<f64> {
+        self.pairs.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// All pairs, in insertion order.
+    pub fn pairs(&self) -> &[(String, f64)] {
+        &self.pairs
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-parameter value sets (grid) or ranges (random sampling).
+#[derive(Debug, Clone, Default)]
+pub struct ParamSpace {
+    grids: Vec<(String, Vec<f64>)>,
+    ranges: Vec<(String, f64, f64, bool)>, // (name, lo, hi, log_scale)
+}
+
+impl ParamSpace {
+    /// Empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a discrete grid dimension.
+    pub fn grid(mut self, name: &str, values: &[f64]) -> Self {
+        self.grids.push((name.to_owned(), values.to_vec()));
+        self
+    }
+
+    /// Add a continuous uniform range for random sampling.
+    pub fn uniform(mut self, name: &str, lo: f64, hi: f64) -> Self {
+        self.ranges.push((name.to_owned(), lo, hi, false));
+        self
+    }
+
+    /// Add a log-uniform range (e.g. learning rates).
+    pub fn log_uniform(mut self, name: &str, lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && hi > lo, "log_uniform requires 0 < lo < hi");
+        self.ranges.push((name.to_owned(), lo, hi, true));
+        self
+    }
+
+    /// Enumerate the full cross product of the grid dimensions (ranges are
+    /// excluded — grids only).
+    pub fn enumerate_grid(&self) -> Vec<Params> {
+        let mut out = vec![Params::new()];
+        for (name, values) in &self.grids {
+            let mut next = Vec::with_capacity(out.len() * values.len());
+            for base in &out {
+                for &v in values {
+                    next.push(base.clone().set(name, v));
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    /// Sample one random configuration: grid dimensions pick a random listed
+    /// value; range dimensions sample their distribution.
+    pub fn sample(&self, rng: &mut StdRng) -> Params {
+        let mut p = Params::new();
+        for (name, values) in &self.grids {
+            let v = values[rng.gen_range(0..values.len())];
+            p = p.set(name, v);
+        }
+        for (name, lo, hi, log) in &self.ranges {
+            let v = if *log {
+                (rng.gen_range(lo.ln()..hi.ln())).exp()
+            } else {
+                rng.gen_range(*lo..*hi)
+            };
+            p = p.set(name, v);
+        }
+        p
+    }
+}
+
+/// One completed evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Configuration evaluated.
+    pub params: Params,
+    /// Validation score (higher is better).
+    pub score: f64,
+    /// Budget the trainer was given (1.0 = full).
+    pub budget: f64,
+}
+
+/// Search outcome: the winner plus the full evaluation history, so
+/// time-to-accuracy curves (experiment E7) can be reconstructed.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Best configuration found.
+    pub best_params: Params,
+    /// Score of the best configuration.
+    pub best_score: f64,
+    /// Every evaluation performed, in execution order.
+    pub evaluations: Vec<Evaluation>,
+    /// Total budget consumed (sum of per-evaluation budgets).
+    pub total_budget: f64,
+}
+
+fn finish(evaluations: Vec<Evaluation>) -> SearchResult {
+    let total_budget = evaluations.iter().map(|e| e.budget).sum();
+    let best = evaluations
+        .iter()
+        .max_by(|a, b| a.score.partial_cmp(&b.score).expect("scores must not be NaN"))
+        .expect("at least one evaluation");
+    SearchResult {
+        best_params: best.params.clone(),
+        best_score: best.score,
+        evaluations,
+        total_budget,
+    }
+}
+
+/// Exhaustive grid search at full budget.
+///
+/// `trainer(params, budget)` returns a validation score (higher is better);
+/// `budget` ∈ (0, 1] is the fraction of full training effort.
+pub fn grid_search(space: &ParamSpace, trainer: impl Fn(&Params, f64) -> f64) -> SearchResult {
+    let evals: Vec<Evaluation> = space
+        .enumerate_grid()
+        .into_iter()
+        .map(|p| {
+            let score = trainer(&p, 1.0);
+            Evaluation { params: p, score, budget: 1.0 }
+        })
+        .collect();
+    assert!(!evals.is_empty(), "grid search over an empty space");
+    finish(evals)
+}
+
+/// Random search: `n` full-budget samples.
+pub fn random_search(
+    space: &ParamSpace,
+    n: usize,
+    seed: u64,
+    trainer: impl Fn(&Params, f64) -> f64,
+) -> SearchResult {
+    assert!(n > 0, "random search needs at least one sample");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let evals: Vec<Evaluation> = (0..n)
+        .map(|_| {
+            let p = space.sample(&mut rng);
+            let score = trainer(&p, 1.0);
+            Evaluation { params: p, score, budget: 1.0 }
+        })
+        .collect();
+    finish(evals)
+}
+
+/// Successive halving: start `n` configurations at a small budget, keep the
+/// top `1/eta` fraction each rung, multiplying the budget by `eta`, until one
+/// configuration reaches full budget.
+pub fn successive_halving(
+    space: &ParamSpace,
+    n: usize,
+    eta: usize,
+    seed: u64,
+    trainer: impl Fn(&Params, f64) -> f64,
+) -> SearchResult {
+    assert!(n > 0 && eta >= 2, "need n > 0 and eta >= 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut survivors: Vec<Params> = (0..n).map(|_| space.sample(&mut rng)).collect();
+    // Number of rungs so the last rung runs at budget 1.0.
+    let rungs = (n as f64).log(eta as f64).ceil().max(1.0) as u32;
+    let mut evals = Vec::new();
+    for r in 0..=rungs {
+        let budget = (eta as f64).powi(r as i32 - rungs as i32).min(1.0);
+        let mut scored: Vec<Evaluation> = survivors
+            .iter()
+            .map(|p| Evaluation { params: p.clone(), score: trainer(p, budget), budget })
+            .collect();
+        scored.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores must not be NaN"));
+        let keep = (scored.len() / eta).max(1);
+        survivors = scored.iter().take(keep).map(|e| e.params.clone()).collect();
+        evals.extend(scored);
+        if survivors.len() == 1 && budget >= 1.0 {
+            break;
+        }
+    }
+    finish(evals)
+}
+
+/// Hyperband: run successive halving at several aggressiveness levels
+/// ("brackets"), hedging against bad low-budget rankings.
+pub fn hyperband(
+    space: &ParamSpace,
+    max_configs: usize,
+    eta: usize,
+    seed: u64,
+    trainer: impl Fn(&Params, f64) -> f64,
+) -> SearchResult {
+    assert!(max_configs > 0 && eta >= 2, "need max_configs > 0 and eta >= 2");
+    let s_max = (max_configs as f64).log(eta as f64).floor() as i32;
+    let mut all = Vec::new();
+    for s in (0..=s_max).rev() {
+        let n = ((max_configs as f64) * (eta as f64).powi(s)
+            / (eta as f64).powi(s_max).max(1.0))
+        .ceil()
+        .max(1.0) as usize;
+        let result = successive_halving(space, n, eta, seed.wrapping_add(s as u64), &trainer);
+        all.extend(result.evaluations);
+    }
+    finish(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new().grid("lr", &[0.001, 0.01, 0.1, 1.0]).grid("l2", &[0.0, 0.1, 1.0])
+    }
+
+    /// Deterministic synthetic objective with optimum at lr=0.1, l2=0.1;
+    /// low-budget evaluations see a noisy but correlated score.
+    fn objective(p: &Params, budget: f64) -> f64 {
+        let base = -(p.get("lr").log10() - (0.1f64).log10()).abs() - (p.get("l2") - 0.1).abs();
+        // Budget shrinks score toward a pessimistic value, preserving order.
+        base * (0.5 + 0.5 * budget)
+    }
+
+    #[test]
+    fn grid_covers_cross_product() {
+        let r = grid_search(&space(), objective);
+        assert_eq!(r.evaluations.len(), 12);
+        assert_eq!(r.best_params.get("lr"), 0.1);
+        assert_eq!(r.best_params.get("l2"), 0.1);
+        assert!((r.total_budget - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_search_finds_good_region() {
+        let s = ParamSpace::new().log_uniform("lr", 1e-4, 10.0).uniform("l2", 0.0, 1.0);
+        let r = random_search(&s, 200, 7, objective);
+        assert_eq!(r.evaluations.len(), 200);
+        // With 200 log-uniform samples, something lands near lr=0.1.
+        assert!(r.best_params.get("lr") > 0.01 && r.best_params.get("lr") < 1.0);
+        assert!(r.best_score > -0.5, "score {}", r.best_score);
+    }
+
+    #[test]
+    fn random_search_deterministic_per_seed() {
+        let s = ParamSpace::new().uniform("x", 0.0, 1.0);
+        let a = random_search(&s, 10, 3, |p, _| p.get("x"));
+        let b = random_search(&s, 10, 3, |p, _| p.get("x"));
+        assert_eq!(a.best_params, b.best_params);
+    }
+
+    #[test]
+    fn successive_halving_spends_less_than_full_grid() {
+        let s = ParamSpace::new().log_uniform("lr", 1e-4, 10.0).uniform("l2", 0.0, 1.0);
+        let sh = successive_halving(&s, 27, 3, 5, objective);
+        // 27 configs would cost 27.0 at full budget; SH must be much cheaper.
+        assert!(sh.total_budget < 27.0 * 0.5, "budget {}", sh.total_budget);
+        // And still find a decent configuration.
+        assert!(sh.best_score > -1.0, "score {}", sh.best_score);
+    }
+
+    #[test]
+    fn successive_halving_shrinks_survivors() {
+        let s = ParamSpace::new().uniform("x", 0.0, 1.0);
+        let r = successive_halving(&s, 9, 3, 1, |p, _| p.get("x"));
+        // Rung sizes 9, 3, 1 -> 13 evaluations.
+        assert_eq!(r.evaluations.len(), 13);
+        // Budgets increase across rungs.
+        let budgets: Vec<f64> = r.evaluations.iter().map(|e| e.budget).collect();
+        assert!(budgets[0] < *budgets.last().unwrap());
+        assert_eq!(*budgets.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn hyperband_runs_multiple_brackets() {
+        let s = ParamSpace::new().log_uniform("lr", 1e-4, 10.0).uniform("l2", 0.0, 1.0);
+        let hb = hyperband(&s, 9, 3, 11, objective);
+        assert!(!hb.evaluations.is_empty());
+        // Contains both low-budget and full-budget evaluations.
+        let min_b = hb.evaluations.iter().map(|e| e.budget).fold(f64::INFINITY, f64::min);
+        let max_b = hb.evaluations.iter().map(|e| e.budget).fold(0.0, f64::max);
+        assert!(min_b < 1.0);
+        assert_eq!(max_b, 1.0);
+    }
+
+    #[test]
+    fn params_api() {
+        let p = Params::new().set("a", 1.0).set("b", 2.0).set("a", 3.0);
+        assert_eq!(p.get("a"), 3.0);
+        assert_eq!(p.try_get("c"), None);
+        assert_eq!(p.pairs().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing parameter")]
+    fn params_get_missing_panics() {
+        Params::new().get("ghost");
+    }
+
+    #[test]
+    fn sample_respects_ranges() {
+        let s = ParamSpace::new()
+            .grid("g", &[5.0, 6.0])
+            .uniform("u", -1.0, 1.0)
+            .log_uniform("l", 0.001, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let p = s.sample(&mut rng);
+            assert!(p.get("g") == 5.0 || p.get("g") == 6.0);
+            assert!((-1.0..1.0).contains(&p.get("u")));
+            assert!((0.001..=1.0).contains(&p.get("l")));
+        }
+    }
+}

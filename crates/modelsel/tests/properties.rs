@@ -1,0 +1,114 @@
+//! Property-based tests for search strategies and batched exploration.
+
+use dm_matrix::{ops, Dense};
+use dm_modelsel::columbus::{batched_explore, naive_explore, SharedGram};
+use dm_modelsel::search::{
+    grid_search, random_search, successive_halving, ParamSpace, Params,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn grid_search_finds_global_max_of_grid(values in proptest::collection::vec(-100.0..100.0f64, 1..12)) {
+        let space = ParamSpace::new().grid("x", &values);
+        let r = grid_search(&space, |p: &Params, _| p.get("x"));
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(r.best_score, max);
+        prop_assert_eq!(r.evaluations.len(), values.len());
+    }
+
+    #[test]
+    fn random_search_best_is_max_of_evaluations(n in 1usize..30, seed in 0u64..100) {
+        let space = ParamSpace::new().uniform("x", -1.0, 1.0);
+        let r = random_search(&space, n, seed, |p: &Params, _| p.get("x") * p.get("x"));
+        let max = r.evaluations.iter().map(|e| e.score).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(r.best_score, max);
+        prop_assert_eq!(r.evaluations.len(), n);
+    }
+
+    #[test]
+    fn successive_halving_budget_below_full(n in 4usize..40, eta in 2usize..5, seed in 0u64..50) {
+        let space = ParamSpace::new().uniform("x", 0.0, 1.0);
+        let r = successive_halving(&space, n, eta, seed, |p: &Params, _| p.get("x"));
+        // Full-budget evaluation of n configs would cost n; SH must be cheaper
+        // for n > eta (rung budgets are geometric).
+        if n > eta {
+            prop_assert!(r.total_budget < n as f64, "budget {} for n {}", r.total_budget, n);
+        }
+        // The final survivor was evaluated at full budget.
+        prop_assert!(r.evaluations.iter().any(|e| e.budget >= 1.0));
+    }
+
+    #[test]
+    fn successive_halving_monotone_objective_keeps_best(seed in 0u64..100) {
+        // With a budget-independent objective, the true best of the initial
+        // draw must survive to the final rung.
+        let space = ParamSpace::new().uniform("x", 0.0, 1.0);
+        let r = successive_halving(&space, 9, 3, seed, |p: &Params, _| p.get("x"));
+        let first_rung_max = r
+            .evaluations
+            .iter()
+            .take(9)
+            .map(|e| e.score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((r.best_score - first_rung_max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_equals_naive_on_random_problems(seed in 0u64..60) {
+        let d = dm_data::labeled::regression(120, 6, 0.1, seed);
+        let subsets: Vec<Vec<usize>> =
+            (0..6).map(|i| vec![i % 6, (i + 2) % 6].into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect()).collect();
+        let a = naive_explore(&d.x, &d.y, &subsets, 0.05).unwrap();
+        let b = batched_explore(&d.x, &d.y, &subsets, 0.05).unwrap();
+        for (na, ba) in a.iter().zip(&b) {
+            prop_assert!((na.r2 - ba.r2).abs() < 1e-6);
+            prop_assert!((na.intercept - ba.intercept).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn shared_gram_subset_fit_never_beats_full_set(seed in 0u64..60) {
+        // Training R² is monotone in the feature set (nested models).
+        let d = dm_data::labeled::regression(100, 5, 0.2, seed);
+        let shared = SharedGram::build(&d.x, &d.y).unwrap();
+        let sub = shared.solve_subset(&[0, 1], 0.0);
+        let full = shared.solve_subset(&[0, 1, 2, 3, 4], 0.0);
+        if let (Ok(sub), Ok(full)) = (sub, full) {
+            prop_assert!(full.r2 >= sub.r2 - 1e-9, "full {} < sub {}", full.r2, sub.r2);
+        }
+    }
+
+    #[test]
+    fn subset_fit_matches_projection_residual(seed in 0u64..40) {
+        // Cross-check the sufficient-statistics R² against an explicit
+        // residual computed from the data.
+        let d = dm_data::labeled::regression(80, 4, 0.1, seed);
+        let shared = SharedGram::build(&d.x, &d.y).unwrap();
+        if let Ok(fit) = shared.solve_subset(&[1, 3], 0.0) {
+            let xs = d.x.select_cols(&[1, 3]);
+            let preds: Vec<f64> = (0..80)
+                .map(|r| fit.intercept + ops::dot(xs.row(r), &fit.coefficients))
+                .collect();
+            let mean = d.y.iter().sum::<f64>() / 80.0;
+            let ss_res: f64 = preds.iter().zip(&d.y).map(|(p, t)| (p - t) * (p - t)).sum();
+            let ss_tot: f64 = d.y.iter().map(|t| (t - mean) * (t - mean)).sum();
+            let explicit_r2 = 1.0 - ss_res / ss_tot;
+            prop_assert!((fit.r2 - explicit_r2).abs() < 1e-6, "{} vs {explicit_r2}", fit.r2);
+        }
+    }
+
+    #[test]
+    fn param_space_enumeration_size(g1 in 1usize..5, g2 in 1usize..5) {
+        let v1: Vec<f64> = (0..g1).map(|i| i as f64).collect();
+        let v2: Vec<f64> = (0..g2).map(|i| i as f64).collect();
+        let space = ParamSpace::new().grid("a", &v1).grid("b", &v2);
+        prop_assert_eq!(space.enumerate_grid().len(), g1 * g2);
+    }
+}
+
+/// Dense import used by the projection-residual property.
+#[allow(unused)]
+fn _assert_types(_: &Dense) {}

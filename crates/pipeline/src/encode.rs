@@ -1,0 +1,318 @@
+//! Featurization from relational tables to matrices: numeric passthrough,
+//! one-hot encoding, and feature hashing.
+
+use crate::PipelineError;
+use dm_matrix::Dense;
+use dm_rel::{DataType, Table};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// How one source column becomes features.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnSpec {
+    /// A numeric column used as-is (NULL becomes NaN — pair with an
+    /// [`crate::transform::Imputer`]).
+    Numeric(String),
+    /// A categorical column dummy-coded over the categories seen at fit time;
+    /// unseen test categories encode to all-zeros.
+    OneHot(String),
+    /// A string column hashed into `buckets` columns with a sign hash
+    /// (the feature-hashing trick for unbounded vocabularies).
+    Hashed {
+        /// Source column name.
+        column: String,
+        /// Number of output buckets.
+        buckets: usize,
+    },
+}
+
+/// A fitted featurizer mapping a [`Table`] to a [`Dense`] matrix.
+#[derive(Debug, Clone)]
+pub struct Featurizer {
+    specs: Vec<ColumnSpec>,
+    /// Per one-hot column: category -> output offset within the block.
+    vocabularies: Vec<HashMap<String, usize>>,
+    /// Output feature names, in column order.
+    feature_names: Vec<String>,
+}
+
+fn hash_bucket(value: &str, buckets: usize) -> (usize, f64) {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    let code = h.finish();
+    let bucket = (code % buckets as u64) as usize;
+    // Sign hash: unbiases collisions (Weinberger et al. trick).
+    let sign = if (code >> 63) == 1 { -1.0 } else { 1.0 };
+    (bucket, sign)
+}
+
+impl Featurizer {
+    /// Fit a featurizer: validates specs against the schema and collects
+    /// one-hot vocabularies from the training table.
+    pub fn fit(table: &Table, specs: &[ColumnSpec]) -> Result<Self, PipelineError> {
+        if specs.is_empty() {
+            return Err(PipelineError::BadParam("no column specs".into()));
+        }
+        let mut vocabularies = Vec::new();
+        let mut feature_names = Vec::new();
+        for spec in specs {
+            match spec {
+                ColumnSpec::Numeric(name) => {
+                    let col = table
+                        .column_by_name(name)
+                        .map_err(|e| PipelineError::Encode(e.to_string()))?;
+                    if col.dtype() == DataType::Str {
+                        return Err(PipelineError::Encode(format!(
+                            "column {name} is a string; use OneHot or Hashed"
+                        )));
+                    }
+                    feature_names.push(name.clone());
+                }
+                ColumnSpec::OneHot(name) => {
+                    let col = table
+                        .column_by_name(name)
+                        .map_err(|e| PipelineError::Encode(e.to_string()))?;
+                    let mut vocab: HashMap<String, usize> = HashMap::new();
+                    let mut ordered: Vec<String> = Vec::new();
+                    for r in 0..table.num_rows() {
+                        let key = match col.get_str(r) {
+                            Some(s) => s.to_owned(),
+                            None => match col.get_i64(r) {
+                                Some(i) => i.to_string(),
+                                None => continue, // NULL: contributes no category
+                            },
+                        };
+                        if !vocab.contains_key(&key) {
+                            vocab.insert(key.clone(), ordered.len());
+                            ordered.push(key);
+                        }
+                    }
+                    if ordered.is_empty() {
+                        return Err(PipelineError::Encode(format!(
+                            "one-hot column {name} has no non-NULL categories"
+                        )));
+                    }
+                    for cat in &ordered {
+                        feature_names.push(format!("{name}={cat}"));
+                    }
+                    vocabularies.push(vocab);
+                }
+                ColumnSpec::Hashed { column, buckets } => {
+                    if *buckets == 0 {
+                        return Err(PipelineError::BadParam("hash buckets must be positive".into()));
+                    }
+                    table
+                        .column_by_name(column)
+                        .map_err(|e| PipelineError::Encode(e.to_string()))?;
+                    for b in 0..*buckets {
+                        feature_names.push(format!("{column}#h{b}"));
+                    }
+                }
+            }
+        }
+        Ok(Featurizer { specs: specs.to_vec(), vocabularies, feature_names })
+    }
+
+    /// Total number of output features.
+    pub fn num_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Output feature names in column order.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Encode a table (train or test) into a dense feature matrix.
+    pub fn transform(&self, table: &Table) -> Result<Dense, PipelineError> {
+        let n = table.num_rows();
+        let mut out = Dense::zeros(n, self.num_features());
+        let mut vocab_idx = 0;
+        let mut offset = 0;
+        for spec in &self.specs {
+            match spec {
+                ColumnSpec::Numeric(name) => {
+                    let col = table
+                        .column_by_name(name)
+                        .map_err(|e| PipelineError::Encode(e.to_string()))?;
+                    for r in 0..n {
+                        out.set(r, offset, col.get_f64(r).unwrap_or(f64::NAN));
+                    }
+                    offset += 1;
+                }
+                ColumnSpec::OneHot(name) => {
+                    let col = table
+                        .column_by_name(name)
+                        .map_err(|e| PipelineError::Encode(e.to_string()))?;
+                    let vocab = &self.vocabularies[vocab_idx];
+                    for r in 0..n {
+                        let key = match col.get_str(r) {
+                            Some(s) => Some(s.to_owned()),
+                            None => col.get_i64(r).map(|i| i.to_string()),
+                        };
+                        if let Some(k) = key {
+                            if let Some(&slot) = vocab.get(&k) {
+                                out.set(r, offset + slot, 1.0);
+                            }
+                            // Unseen category: all-zero block.
+                        }
+                    }
+                    offset += vocab.len();
+                    vocab_idx += 1;
+                }
+                ColumnSpec::Hashed { column, buckets } => {
+                    let col = table
+                        .column_by_name(column)
+                        .map_err(|e| PipelineError::Encode(e.to_string()))?;
+                    for r in 0..n {
+                        let key = match col.get_str(r) {
+                            Some(s) => s.to_owned(),
+                            None => match col.get_i64(r) {
+                                Some(i) => i.to_string(),
+                                None => continue,
+                            },
+                        };
+                        let (bucket, sign) = hash_bucket(&key, *buckets);
+                        let cur = out.get(r, offset + bucket);
+                        out.set(r, offset + bucket, cur + sign);
+                    }
+                    offset += buckets;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_rel::Value;
+
+    fn people() -> Table {
+        let mut t = Table::builder("t")
+            .float64("age")
+            .string("city")
+            .string("tag")
+            .int64("grade")
+            .build();
+        t.push_row(vec![30.0.into(), "paris".into(), "a".into(), 1.into()]).unwrap();
+        t.push_row(vec![40.0.into(), "lyon".into(), "b".into(), 2.into()]).unwrap();
+        t.push_row(vec![Value::Null, "paris".into(), "c".into(), 1.into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn numeric_passthrough_with_nan() {
+        let t = people();
+        let f = Featurizer::fit(&t, &[ColumnSpec::Numeric("age".into())]).unwrap();
+        let m = f.transform(&t).unwrap();
+        assert_eq!(m.shape(), (3, 1));
+        assert_eq!(m.get(0, 0), 30.0);
+        assert!(m.get(2, 0).is_nan());
+    }
+
+    #[test]
+    fn one_hot_vocabulary_order() {
+        let t = people();
+        let f = Featurizer::fit(&t, &[ColumnSpec::OneHot("city".into())]).unwrap();
+        assert_eq!(f.feature_names(), &["city=paris".to_string(), "city=lyon".to_string()]);
+        let m = f.transform(&t).unwrap();
+        assert_eq!(m.row(0), &[1.0, 0.0]);
+        assert_eq!(m.row(1), &[0.0, 1.0]);
+        assert_eq!(m.row(2), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn one_hot_integer_categories() {
+        let t = people();
+        let f = Featurizer::fit(&t, &[ColumnSpec::OneHot("grade".into())]).unwrap();
+        assert_eq!(f.num_features(), 2);
+        let m = f.transform(&t).unwrap();
+        assert_eq!(m.row(2), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn unseen_category_encodes_to_zeros() {
+        let t = people();
+        let f = Featurizer::fit(&t, &[ColumnSpec::OneHot("city".into())]).unwrap();
+        let mut test = Table::builder("t")
+            .float64("age")
+            .string("city")
+            .string("tag")
+            .int64("grade")
+            .build();
+        test.push_row(vec![1.0.into(), "tokyo".into(), "z".into(), 9.into()]).unwrap();
+        let m = f.transform(&test).unwrap();
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn hashing_deterministic_and_bounded() {
+        let t = people();
+        let f = Featurizer::fit(
+            &t,
+            &[ColumnSpec::Hashed { column: "tag".into(), buckets: 4 }],
+        )
+        .unwrap();
+        assert_eq!(f.num_features(), 4);
+        let m1 = f.transform(&t).unwrap();
+        let m2 = f.transform(&t).unwrap();
+        assert_eq!(m1, m2, "hashing must be deterministic");
+        for r in 0..3 {
+            let nnz = m1.row(r).iter().filter(|v| **v != 0.0).count();
+            assert_eq!(nnz, 1, "one bucket per value");
+            assert!(m1.row(r).iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn mixed_spec_layout() {
+        let t = people();
+        let f = Featurizer::fit(
+            &t,
+            &[
+                ColumnSpec::Numeric("age".into()),
+                ColumnSpec::OneHot("city".into()),
+                ColumnSpec::Hashed { column: "tag".into(), buckets: 3 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(f.num_features(), 1 + 2 + 3);
+        let m = f.transform(&t).unwrap();
+        assert_eq!(m.get(1, 0), 40.0);
+        assert_eq!(m.get(1, 2), 1.0); // city=lyon slot
+    }
+
+    #[test]
+    fn validation_errors() {
+        let t = people();
+        assert!(matches!(
+            Featurizer::fit(&t, &[]),
+            Err(PipelineError::BadParam(_))
+        ));
+        assert!(matches!(
+            Featurizer::fit(&t, &[ColumnSpec::Numeric("ghost".into())]),
+            Err(PipelineError::Encode(_))
+        ));
+        assert!(matches!(
+            Featurizer::fit(&t, &[ColumnSpec::Numeric("city".into())]),
+            Err(PipelineError::Encode(_)),
+        ));
+        assert!(matches!(
+            Featurizer::fit(&t, &[ColumnSpec::Hashed { column: "tag".into(), buckets: 0 }]),
+            Err(PipelineError::BadParam(_))
+        ));
+    }
+
+    #[test]
+    fn all_null_one_hot_rejected() {
+        let mut t = Table::builder("t").string("s").build();
+        t.push_row(vec![Value::Null]).unwrap();
+        assert!(matches!(
+            Featurizer::fit(&t, &[ColumnSpec::OneHot("s".into())]),
+            Err(PipelineError::Encode(_))
+        ));
+    }
+}

@@ -1,0 +1,69 @@
+//! # dm-pipeline
+//!
+//! Feature-engineering pipelines and evaluation utilities — the ML-lifecycle
+//! pillar's data-preparation layer.
+//!
+//! * [`transform`] — fit/transform feature transformers over matrices:
+//!   standardization, min-max scaling, mean/median/constant imputation,
+//!   equal-width binning, and a composable [`transform::Pipeline`].
+//! * [`encode`] — featurization from relational tables ([`dm_rel::Table`])
+//!   to matrices: numeric passthrough, one-hot encoding of categoricals,
+//!   and feature hashing for high-cardinality strings.
+//! * [`split`] — seeded train/test splits and k-fold cross-validation indices.
+//! * [`metrics`] — classification and regression metrics (accuracy, precision,
+//!   recall, F1, confusion matrix, ROC AUC, MSE, MAE, R²).
+//!
+//! ```
+//! use dm_matrix::Dense;
+//! use dm_pipeline::transform::{Pipeline, StandardScaler, Transformer};
+//!
+//! let x = Dense::from_rows(&[&[1.0, 100.0], &[2.0, 200.0], &[3.0, 300.0]]);
+//! let mut pipe = Pipeline::new().add(StandardScaler::new());
+//! let z = pipe.fit_transform(&x).unwrap();
+//! // Every column now has mean 0.
+//! for m in dm_matrix::ops::col_means(&z) {
+//!     assert!(m.abs() < 1e-12);
+//! }
+//! ```
+
+pub mod encode;
+pub mod metrics;
+pub mod split;
+pub mod transform;
+
+/// Errors surfaced by pipeline components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Transform called before fit.
+    NotFitted(&'static str),
+    /// Input shape incompatible with the fitted state.
+    Shape(String),
+    /// Invalid configuration.
+    BadParam(String),
+    /// Featurization failed (unknown column, bad type...).
+    Encode(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::NotFitted(t) => write!(f, "{t} used before fit"),
+            PipelineError::Shape(m) => write!(f, "shape error: {m}"),
+            PipelineError::BadParam(m) => write!(f, "bad parameter: {m}"),
+            PipelineError::Encode(m) => write!(f, "encoding error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(PipelineError::NotFitted("StandardScaler").to_string().contains("before fit"));
+        assert!(PipelineError::Shape("x".into()).to_string().contains("shape"));
+    }
+}

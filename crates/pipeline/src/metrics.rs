@@ -1,0 +1,270 @@
+//! Classification and regression metrics.
+
+/// Confusion counts for binary classification (labels in {0, 1}).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Predicted 1, actual 1.
+    pub tp: usize,
+    /// Predicted 1, actual 0.
+    pub fp: usize,
+    /// Predicted 0, actual 0.
+    pub tn: usize,
+    /// Predicted 0, actual 1.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against truth.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn from_preds(preds: &[f64], truth: &[f64]) -> Self {
+        assert_eq!(preds.len(), truth.len(), "prediction/truth length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &t) in preds.iter().zip(truth) {
+            match (p > 0.5, t > 0.5) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// `(tp + tn) / total`.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// `tp / (tp + fp)`; 0 when no positives were predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; 0 when no positives exist.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Accuracy of hard predictions against truth.
+pub fn accuracy(preds: &[f64], truth: &[f64]) -> f64 {
+    Confusion::from_preds(preds, truth).accuracy()
+}
+
+/// Mean squared error.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn mse(preds: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(preds.len(), truth.len(), "prediction/truth length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    preds.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / preds.len() as f64
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn mae(preds: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(preds.len(), truth.len(), "prediction/truth length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    preds.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / preds.len() as f64
+}
+
+/// Coefficient of determination.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn r2(preds: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(preds.len(), truth.len(), "prediction/truth length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_res: f64 = preds.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        if ss_res <= 1e-10 * truth.len() as f64 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// ROC AUC from scores and binary labels, via the rank-sum (Mann-Whitney)
+/// formulation with midrank tie handling.
+///
+/// Returns 0.5 when one class is absent (no ranking information).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn roc_auc(scores: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(scores.len(), truth.len(), "score/truth length mismatch");
+    let n_pos = truth.iter().filter(|&&t| t > 0.5).count();
+    let n_neg = truth.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Sort by score; assign midranks to ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("scores must not be NaN"));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &o in &order[i..=j] {
+            ranks[o] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = truth
+        .iter()
+        .zip(&ranks)
+        .filter(|(&t, _)| t > 0.5)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos * n_neg) as f64
+}
+
+/// Mean log loss from probabilities and binary labels.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn log_loss(probs: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(probs.len(), truth.len(), "probability/truth length mismatch");
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-12;
+    let total: f64 = probs
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+        })
+        .sum();
+    total / probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let preds = [1.0, 1.0, 0.0, 0.0, 1.0];
+        let truth = [1.0, 0.0, 0.0, 1.0, 1.0];
+        let c = Confusion::from_preds(&preds, &truth);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_degenerate_cases() {
+        let all_neg = Confusion::from_preds(&[0.0, 0.0], &[0.0, 0.0]);
+        assert_eq!(all_neg.precision(), 0.0);
+        assert_eq!(all_neg.recall(), 0.0);
+        assert_eq!(all_neg.f1(), 0.0);
+        assert_eq!(all_neg.accuracy(), 1.0);
+        assert_eq!(Confusion::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn regression_metrics() {
+        let p = [1.0, 2.0, 3.0];
+        let t = [1.0, 2.0, 5.0];
+        assert!((mse(&p, &t) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((mae(&p, &t) - 2.0 / 3.0).abs() < 1e-12);
+        assert!(r2(&t, &t) == 1.0);
+        assert!(r2(&p, &t) < 1.0);
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let truth = [0.0, 0.0, 1.0, 1.0];
+        assert!((roc_auc(&[0.1, 0.2, 0.8, 0.9], &truth) - 1.0).abs() < 1e-12);
+        assert!((roc_auc(&[0.9, 0.8, 0.2, 0.1], &truth) - 0.0).abs() < 1e-12);
+        // Constant scores: ties everywhere -> 0.5.
+        assert!((roc_auc(&[0.5; 4], &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_handles_partial_ordering() {
+        let truth = [0.0, 1.0, 0.0, 1.0];
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        // Pairs: (0.4>0.1 ✓), (0.4>0.35 ✓), (0.8>0.1 ✓), (0.8>0.35 ✓) => AUC 1.0
+        assert!((roc_auc(&scores, &truth) - 1.0).abs() < 1e-12);
+        let scores = [0.4, 0.1, 0.35, 0.8];
+        // Positive 0.1 loses to both negatives; positive 0.8 beats both: AUC 0.5.
+        assert!((roc_auc(&scores, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[1.0, 1.0]), 0.5);
+        assert_eq!(roc_auc(&[0.1, 0.9], &[0.0, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn log_loss_bounds() {
+        let perfect = log_loss(&[0.0, 1.0], &[0.0, 1.0]);
+        assert!(perfect < 1e-10);
+        let chance = log_loss(&[0.5, 0.5], &[0.0, 1.0]);
+        assert!((chance - (2.0f64).ln().abs()).abs() < 1e-9 || (chance - 0.6931471805599453).abs() < 1e-9);
+        // Extreme wrong predictions are clamped, not infinite.
+        let wrong = log_loss(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!(wrong.is_finite());
+        assert!(wrong > 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        accuracy(&[1.0], &[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Seeded train/test splits and k-fold cross-validation indices.
+
+use crate::PipelineError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Row indices of a train/test split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Training row indices.
+    pub train: Vec<usize>,
+    /// Test row indices.
+    pub test: Vec<usize>,
+}
+
+/// Shuffle `n` rows and hold out `test_fraction` of them.
+///
+/// # Errors
+/// [`PipelineError::BadParam`] unless `0 < test_fraction < 1` and both sides
+/// end up non-empty.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> Result<Split, PipelineError> {
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(PipelineError::BadParam(format!("test_fraction {test_fraction} out of (0, 1)")));
+    }
+    let n_test = ((n as f64) * test_fraction).round() as usize;
+    if n_test == 0 || n_test >= n {
+        return Err(PipelineError::BadParam(format!(
+            "split of {n} rows at {test_fraction} leaves an empty side"
+        )));
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let test = idx.split_off(n - n_test);
+    Ok(Split { train: idx, test })
+}
+
+/// K-fold cross-validation: returns `k` (train, validation) index pairs
+/// covering all `n` rows, shuffled with the seed.
+///
+/// # Errors
+/// [`PipelineError::BadParam`] unless `2 <= k <= n`.
+pub fn k_fold(n: usize, k: usize, seed: u64) -> Result<Vec<Split>, PipelineError> {
+    if k < 2 || k > n {
+        return Err(PipelineError::BadParam(format!("k={k} invalid for {n} rows")));
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds = Vec::with_capacity(k);
+    let base = n / k;
+    let extra = n % k;
+    let mut start = 0;
+    for f in 0..k {
+        let size = base + usize::from(f < extra);
+        let val: Vec<usize> = idx[start..start + size].to_vec();
+        let train: Vec<usize> =
+            idx[..start].iter().chain(&idx[start + size..]).copied().collect();
+        folds.push(Split { train, test: val });
+        start += size;
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_partitions_rows() {
+        let s = train_test_split(100, 0.25, 7).unwrap();
+        assert_eq!(s.test.len(), 25);
+        assert_eq!(s.train.len(), 75);
+        let all: HashSet<usize> = s.train.iter().chain(&s.test).copied().collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn split_deterministic_per_seed() {
+        assert_eq!(train_test_split(50, 0.2, 1).unwrap(), train_test_split(50, 0.2, 1).unwrap());
+        assert_ne!(train_test_split(50, 0.2, 1).unwrap(), train_test_split(50, 0.2, 2).unwrap());
+    }
+
+    #[test]
+    fn split_validation() {
+        assert!(train_test_split(10, 0.0, 1).is_err());
+        assert!(train_test_split(10, 1.0, 1).is_err());
+        assert!(train_test_split(10, -0.5, 1).is_err());
+        assert!(train_test_split(2, 0.01, 1).is_err(), "empty test side");
+        assert!(train_test_split(2, 0.99, 1).is_err(), "empty train side");
+    }
+
+    #[test]
+    fn k_fold_covers_all_rows_once() {
+        let folds = k_fold(23, 5, 9).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut seen: Vec<usize> = Vec::new();
+        for f in &folds {
+            assert_eq!(f.train.len() + f.test.len(), 23);
+            // Train and validation are disjoint.
+            let tr: HashSet<usize> = f.train.iter().copied().collect();
+            assert!(f.test.iter().all(|i| !tr.contains(i)));
+            seen.extend(&f.test);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>(), "validation folds partition the data");
+        // Uneven folds differ by at most one.
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        assert_eq!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn k_fold_validation() {
+        assert!(k_fold(10, 1, 0).is_err());
+        assert!(k_fold(10, 11, 0).is_err());
+        assert!(k_fold(10, 10, 0).is_ok(), "leave-one-out allowed");
+    }
+}

@@ -1,0 +1,583 @@
+//! Fit/transform feature transformers and the pipeline that composes them.
+
+use crate::PipelineError;
+use dm_matrix::{ops, Dense};
+
+/// A stateful feature transformer with separate fit and transform phases, so
+/// statistics learned on training data are applied unchanged at test time
+/// (the train/test-leakage discipline of lifecycle systems).
+pub trait Transformer {
+    /// Learn transformation parameters from training data.
+    fn fit(&mut self, x: &Dense) -> Result<(), PipelineError>;
+    /// Apply the learned transformation.
+    fn transform(&self, x: &Dense) -> Result<Dense, PipelineError>;
+    /// Human-readable name (used in error messages and provenance logs).
+    fn name(&self) -> &'static str;
+}
+
+/// Z-score standardization: `(x - mean) / std` per column.
+///
+/// Zero-variance columns are mapped to 0 (their std divisor is clamped to 1).
+#[derive(Debug, Clone, Default)]
+pub struct StandardScaler {
+    stats: Option<(Vec<f64>, Vec<f64>)>, // (means, stds)
+}
+
+impl StandardScaler {
+    /// New unfitted scaler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transformer for StandardScaler {
+    fn fit(&mut self, x: &Dense) -> Result<(), PipelineError> {
+        let means = ops::col_means(x);
+        let stds: Vec<f64> = ops::col_vars(x)
+            .into_iter()
+            .map(|v| {
+                let s = v.sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        self.stats = Some((means, stds));
+        Ok(())
+    }
+
+    fn transform(&self, x: &Dense) -> Result<Dense, PipelineError> {
+        let (means, stds) = self.stats.as_ref().ok_or(PipelineError::NotFitted("StandardScaler"))?;
+        if x.cols() != means.len() {
+            return Err(PipelineError::Shape(format!(
+                "fitted on {} columns, got {}",
+                means.len(),
+                x.cols()
+            )));
+        }
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            for ((v, &m), &s) in out.row_mut(r).iter_mut().zip(means).zip(stds) {
+                *v = (*v - m) / s;
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "StandardScaler"
+    }
+}
+
+/// Min-max scaling to `[0, 1]` per column (constant columns map to 0).
+#[derive(Debug, Clone, Default)]
+pub struct MinMaxScaler {
+    bounds: Option<(Vec<f64>, Vec<f64>)>, // (mins, ranges)
+}
+
+impl MinMaxScaler {
+    /// New unfitted scaler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transformer for MinMaxScaler {
+    fn fit(&mut self, x: &Dense) -> Result<(), PipelineError> {
+        let d = x.cols();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for r in 0..x.rows() {
+            for ((mn, mx), &v) in mins.iter_mut().zip(&mut maxs).zip(x.row(r)) {
+                *mn = mn.min(v);
+                *mx = mx.max(v);
+            }
+        }
+        let ranges: Vec<f64> = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&mn, &mx)| if mx > mn { mx - mn } else { 1.0 })
+            .collect();
+        self.bounds = Some((mins, ranges));
+        Ok(())
+    }
+
+    fn transform(&self, x: &Dense) -> Result<Dense, PipelineError> {
+        let (mins, ranges) = self.bounds.as_ref().ok_or(PipelineError::NotFitted("MinMaxScaler"))?;
+        if x.cols() != mins.len() {
+            return Err(PipelineError::Shape(format!(
+                "fitted on {} columns, got {}",
+                mins.len(),
+                x.cols()
+            )));
+        }
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            for ((v, &mn), &rg) in out.row_mut(r).iter_mut().zip(mins).zip(ranges) {
+                *v = (*v - mn) / rg;
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "MinMaxScaler"
+    }
+}
+
+/// How [`Imputer`] fills NaN cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ImputeStrategy {
+    /// Column mean over non-NaN training values.
+    Mean,
+    /// Column median over non-NaN training values.
+    Median,
+    /// A fixed constant.
+    Constant(f64),
+}
+
+/// Replace NaN cells with a per-column statistic learned at fit time.
+#[derive(Debug, Clone)]
+pub struct Imputer {
+    strategy: ImputeStrategy,
+    fill: Option<Vec<f64>>,
+}
+
+impl Imputer {
+    /// New unfitted imputer.
+    pub fn new(strategy: ImputeStrategy) -> Self {
+        Imputer { strategy, fill: None }
+    }
+}
+
+impl Transformer for Imputer {
+    fn fit(&mut self, x: &Dense) -> Result<(), PipelineError> {
+        let d = x.cols();
+        let mut fill = Vec::with_capacity(d);
+        for c in 0..d {
+            let vals: Vec<f64> = (0..x.rows()).map(|r| x.get(r, c)).filter(|v| !v.is_nan()).collect();
+            let v = match self.strategy {
+                ImputeStrategy::Constant(k) => k,
+                ImputeStrategy::Mean => {
+                    if vals.is_empty() {
+                        0.0
+                    } else {
+                        vals.iter().sum::<f64>() / vals.len() as f64
+                    }
+                }
+                ImputeStrategy::Median => {
+                    if vals.is_empty() {
+                        0.0
+                    } else {
+                        let mut s = vals.clone();
+                        s.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN by filter"));
+                        let mid = s.len() / 2;
+                        if s.len() % 2 == 1 {
+                            s[mid]
+                        } else {
+                            (s[mid - 1] + s[mid]) / 2.0
+                        }
+                    }
+                }
+            };
+            fill.push(v);
+        }
+        self.fill = Some(fill);
+        Ok(())
+    }
+
+    fn transform(&self, x: &Dense) -> Result<Dense, PipelineError> {
+        let fill = self.fill.as_ref().ok_or(PipelineError::NotFitted("Imputer"))?;
+        if x.cols() != fill.len() {
+            return Err(PipelineError::Shape(format!(
+                "fitted on {} columns, got {}",
+                fill.len(),
+                x.cols()
+            )));
+        }
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            for (v, &f) in out.row_mut(r).iter_mut().zip(fill) {
+                if v.is_nan() {
+                    *v = f;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "Imputer"
+    }
+}
+
+/// Equal-width binning: each column is discretized into `bins` integer codes
+/// `0..bins`, with bin edges learned from training min/max.
+#[derive(Debug, Clone)]
+pub struct Binner {
+    bins: usize,
+    edges: Option<(Vec<f64>, Vec<f64>)>, // (mins, widths)
+}
+
+impl Binner {
+    /// New unfitted binner; `bins` must be at least 2.
+    pub fn new(bins: usize) -> Self {
+        Binner { bins, edges: None }
+    }
+}
+
+impl Transformer for Binner {
+    fn fit(&mut self, x: &Dense) -> Result<(), PipelineError> {
+        if self.bins < 2 {
+            return Err(PipelineError::BadParam(format!("bins must be >= 2, got {}", self.bins)));
+        }
+        let d = x.cols();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for r in 0..x.rows() {
+            for ((mn, mx), &v) in mins.iter_mut().zip(&mut maxs).zip(x.row(r)) {
+                *mn = mn.min(v);
+                *mx = mx.max(v);
+            }
+        }
+        let widths: Vec<f64> = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&mn, &mx)| {
+                let w = (mx - mn) / self.bins as f64;
+                if w > 0.0 {
+                    w
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        self.edges = Some((mins, widths));
+        Ok(())
+    }
+
+    fn transform(&self, x: &Dense) -> Result<Dense, PipelineError> {
+        let (mins, widths) = self.edges.as_ref().ok_or(PipelineError::NotFitted("Binner"))?;
+        if x.cols() != mins.len() {
+            return Err(PipelineError::Shape(format!(
+                "fitted on {} columns, got {}",
+                mins.len(),
+                x.cols()
+            )));
+        }
+        let top = (self.bins - 1) as f64;
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            for ((v, &mn), &w) in out.row_mut(r).iter_mut().zip(mins).zip(widths) {
+                *v = (((*v - mn) / w).floor()).clamp(0.0, top);
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "Binner"
+    }
+}
+
+/// Degree-2 polynomial feature expansion: emits the original features,
+/// all squares, and all pairwise interaction terms (in that order), letting
+/// linear models capture curvature — the standard feature-engineering tool
+/// whose blow-up in column count motivates factorized and compressed
+/// representations downstream.
+#[derive(Debug, Clone, Default)]
+pub struct PolynomialFeatures {
+    input_cols: Option<usize>,
+}
+
+impl PolynomialFeatures {
+    /// New unfitted expander.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of output features for `d` inputs: `d + d + d*(d-1)/2`.
+    pub fn output_cols(d: usize) -> usize {
+        d + d + d * d.saturating_sub(1) / 2
+    }
+}
+
+impl Transformer for PolynomialFeatures {
+    fn fit(&mut self, x: &Dense) -> Result<(), PipelineError> {
+        self.input_cols = Some(x.cols());
+        Ok(())
+    }
+
+    fn transform(&self, x: &Dense) -> Result<Dense, PipelineError> {
+        let d = self.input_cols.ok_or(PipelineError::NotFitted("PolynomialFeatures"))?;
+        if x.cols() != d {
+            return Err(PipelineError::Shape(format!("fitted on {d} columns, got {}", x.cols())));
+        }
+        let out_d = Self::output_cols(d);
+        let mut out = Dense::zeros(x.rows(), out_d);
+        for r in 0..x.rows() {
+            let src = x.row(r).to_vec();
+            let dst = out.row_mut(r);
+            dst[..d].copy_from_slice(&src);
+            for (j, &v) in src.iter().enumerate() {
+                dst[d + j] = v * v;
+            }
+            let mut k = 2 * d;
+            for i in 0..d {
+                for j in (i + 1)..d {
+                    dst[k] = src[i] * src[j];
+                    k += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "PolynomialFeatures"
+    }
+}
+
+/// A sequential chain of transformers applied left to right.
+#[derive(Default)]
+pub struct Pipeline {
+    stages: Vec<Box<dyn Transformer>>,
+}
+
+impl Pipeline {
+    /// New empty pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a stage.
+    #[allow(clippy::should_implement_trait)] // builder-style `add`, not arithmetic
+    pub fn add(mut self, t: impl Transformer + 'static) -> Self {
+        self.stages.push(Box::new(t));
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Fit each stage on the output of the previous one, returning the final
+    /// transformed training matrix.
+    pub fn fit_transform(&mut self, x: &Dense) -> Result<Dense, PipelineError> {
+        let mut cur = x.clone();
+        for stage in &mut self.stages {
+            stage.fit(&cur)?;
+            cur = stage.transform(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Apply all fitted stages to new data.
+    pub fn transform(&self, x: &Dense) -> Result<Dense, PipelineError> {
+        let mut cur = x.clone();
+        for stage in &self.stages {
+            cur = stage.transform(&cur)?;
+        }
+        Ok(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dense {
+        Dense::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 60.0]])
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_var() {
+        let mut s = StandardScaler::new();
+        s.fit(&sample()).unwrap();
+        let z = s.transform(&sample()).unwrap();
+        for m in ops::col_means(&z) {
+            assert!(m.abs() < 1e-12);
+        }
+        for v in ops::col_vars(&z) {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standard_scaler_constant_column() {
+        let x = Dense::from_rows(&[&[5.0], &[5.0]]);
+        let mut s = StandardScaler::new();
+        s.fit(&x).unwrap();
+        let z = s.transform(&x).unwrap();
+        assert_eq!(z.get(0, 0), 0.0);
+        assert!(!z.get(1, 0).is_nan());
+    }
+
+    #[test]
+    fn scaler_applies_training_stats_to_test_data() {
+        let mut s = StandardScaler::new();
+        s.fit(&sample()).unwrap();
+        // Test row uses *training* mean/std — no leakage.
+        let test = Dense::from_rows(&[&[2.0, 30.0]]);
+        let z = s.transform(&test).unwrap();
+        assert!((z.get(0, 0) - 0.0).abs() < 1e-12, "2.0 is the training mean of col 0");
+    }
+
+    #[test]
+    fn min_max_unit_interval() {
+        let mut s = MinMaxScaler::new();
+        s.fit(&sample()).unwrap();
+        let z = s.transform(&sample()).unwrap();
+        assert_eq!(z.get(0, 0), 0.0);
+        assert_eq!(z.get(2, 0), 1.0);
+        assert_eq!(z.get(1, 1), 0.2);
+    }
+
+    #[test]
+    fn imputer_strategies() {
+        let x = Dense::from_rows(&[&[1.0, 4.0], &[f64::NAN, 6.0], &[3.0, f64::NAN], &[5.0, 10.0]]);
+        let mut mean = Imputer::new(ImputeStrategy::Mean);
+        mean.fit(&x).unwrap();
+        let z = mean.transform(&x).unwrap();
+        assert!((z.get(1, 0) - 3.0).abs() < 1e-12); // mean of 1,3,5
+        assert!((z.get(2, 1) - 20.0 / 3.0).abs() < 1e-12);
+
+        let mut median = Imputer::new(ImputeStrategy::Median);
+        median.fit(&x).unwrap();
+        let z = median.transform(&x).unwrap();
+        assert!((z.get(1, 0) - 3.0).abs() < 1e-12);
+        assert!((z.get(2, 1) - 6.0).abs() < 1e-12);
+
+        let mut cst = Imputer::new(ImputeStrategy::Constant(-9.0));
+        cst.fit(&x).unwrap();
+        assert_eq!(cst.transform(&x).unwrap().get(1, 0), -9.0);
+    }
+
+    #[test]
+    fn imputer_all_nan_column_defaults_to_zero() {
+        let x = Dense::from_rows(&[&[f64::NAN], &[f64::NAN]]);
+        let mut imp = Imputer::new(ImputeStrategy::Mean);
+        imp.fit(&x).unwrap();
+        assert_eq!(imp.transform(&x).unwrap().get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn binner_codes_and_clamping() {
+        let x = Dense::from_rows(&[&[0.0], &[5.0], &[10.0]]);
+        let mut b = Binner::new(2);
+        b.fit(&x).unwrap();
+        let z = b.transform(&x).unwrap();
+        assert_eq!(z.col_vec(0), vec![0.0, 1.0, 1.0]);
+        // Out-of-range test data clamps into the learned bins.
+        let t = Dense::from_rows(&[&[-100.0], &[100.0]]);
+        let z = b.transform(&t).unwrap();
+        assert_eq!(z.col_vec(0), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn binner_validates_bins() {
+        let mut b = Binner::new(1);
+        assert!(matches!(b.fit(&sample()), Err(PipelineError::BadParam(_))));
+    }
+
+    #[test]
+    fn not_fitted_errors() {
+        assert!(matches!(
+            StandardScaler::new().transform(&sample()),
+            Err(PipelineError::NotFitted("StandardScaler"))
+        ));
+        assert!(matches!(
+            MinMaxScaler::new().transform(&sample()),
+            Err(PipelineError::NotFitted("MinMaxScaler"))
+        ));
+        assert!(matches!(
+            Imputer::new(ImputeStrategy::Mean).transform(&sample()),
+            Err(PipelineError::NotFitted("Imputer"))
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_after_fit() {
+        let mut s = StandardScaler::new();
+        s.fit(&sample()).unwrap();
+        let wrong = Dense::zeros(2, 5);
+        assert!(matches!(s.transform(&wrong), Err(PipelineError::Shape(_))));
+    }
+
+    #[test]
+    fn pipeline_chains_stages() {
+        let x = Dense::from_rows(&[&[1.0, f64::NAN], &[3.0, 20.0], &[5.0, 40.0]]);
+        let mut pipe = Pipeline::new()
+            .add(Imputer::new(ImputeStrategy::Mean))
+            .add(StandardScaler::new());
+        let z = pipe.fit_transform(&x).unwrap();
+        assert!(!z.data().iter().any(|v| v.is_nan()));
+        for m in ops::col_means(&z) {
+            assert!(m.abs() < 1e-12);
+        }
+        // transform on held-out data reuses all fitted stages.
+        let t = Dense::from_rows(&[&[3.0, f64::NAN]]);
+        let zt = pipe.transform(&t).unwrap();
+        assert!(!zt.get(0, 1).is_nan());
+        assert!((zt.get(0, 0) - 0.0).abs() < 1e-12, "3.0 is the training mean");
+    }
+
+    #[test]
+    fn polynomial_features_layout() {
+        let x = Dense::from_rows(&[&[2.0, 3.0, 5.0]]);
+        let mut p = PolynomialFeatures::new();
+        p.fit(&x).unwrap();
+        let z = p.transform(&x).unwrap();
+        // [x0, x1, x2, x0², x1², x2², x0x1, x0x2, x1x2]
+        assert_eq!(z.row(0), &[2.0, 3.0, 5.0, 4.0, 9.0, 25.0, 6.0, 10.0, 15.0]);
+        assert_eq!(PolynomialFeatures::output_cols(3), 9);
+        assert_eq!(PolynomialFeatures::output_cols(1), 2);
+        assert_eq!(PolynomialFeatures::output_cols(0), 0);
+    }
+
+    #[test]
+    fn polynomial_features_enable_quadratic_fit() {
+        // y = x² is not linear in x but is linear in the expanded features.
+        let x = Dense::from_fn(30, 1, |r, _| r as f64 / 3.0 - 5.0);
+        let y: Vec<f64> = (0..30).map(|r| {
+            let v = r as f64 / 3.0 - 5.0;
+            v * v
+        }).collect();
+        let mut p = PolynomialFeatures::new();
+        p.fit(&x).unwrap();
+        let z = p.transform(&x).unwrap();
+        let m = dm_ml::linreg::LinearRegression::fit(
+            &z, &y, dm_ml::linreg::Solver::NormalEquations, 0.0,
+        ).unwrap();
+        assert!(m.r2(&z, &y) > 0.999999);
+        assert!((m.coefficients[1] - 1.0).abs() < 1e-6, "x² coefficient must be 1");
+    }
+
+    #[test]
+    fn polynomial_features_validation() {
+        let x = Dense::zeros(2, 3);
+        assert!(matches!(
+            PolynomialFeatures::new().transform(&x),
+            Err(PipelineError::NotFitted("PolynomialFeatures"))
+        ));
+        let mut p = PolynomialFeatures::new();
+        p.fit(&x).unwrap();
+        assert!(matches!(p.transform(&Dense::zeros(2, 4)), Err(PipelineError::Shape(_))));
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let mut pipe = Pipeline::new();
+        assert!(pipe.is_empty());
+        let z = pipe.fit_transform(&sample()).unwrap();
+        assert_eq!(z, sample());
+    }
+}

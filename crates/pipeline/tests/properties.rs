@@ -1,0 +1,145 @@
+//! Property-based tests for transformers, splits, and metrics.
+
+use dm_matrix::{ops, Dense};
+use dm_pipeline::metrics;
+use dm_pipeline::split::{k_fold, train_test_split};
+use dm_pipeline::transform::{
+    Binner, ImputeStrategy, Imputer, MinMaxScaler, PolynomialFeatures, StandardScaler, Transformer,
+};
+use proptest::prelude::*;
+
+fn matrix() -> impl Strategy<Value = Dense> {
+    (2usize..30, 1usize..5).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0..100.0f64, r * c)
+            .prop_map(move |data| Dense::from_vec(r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn standard_scaler_output_stats(x in matrix()) {
+        let mut s = StandardScaler::new();
+        s.fit(&x).unwrap();
+        let z = s.transform(&x).unwrap();
+        for m in ops::col_means(&z) {
+            prop_assert!(m.abs() < 1e-8);
+        }
+        for v in ops::col_vars(&z) {
+            // Unit variance, or zero for constant columns.
+            prop_assert!((v - 1.0).abs() < 1e-8 || v.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn minmax_scaler_bounds(x in matrix()) {
+        let mut s = MinMaxScaler::new();
+        s.fit(&x).unwrap();
+        let z = s.transform(&x).unwrap();
+        for &v in z.data() {
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn imputer_removes_all_nans(x in matrix(), nan_stride in 2usize..5) {
+        let mut with_nans = x.clone();
+        for r in (0..x.rows()).step_by(nan_stride) {
+            with_nans.set(r, 0, f64::NAN);
+        }
+        for strat in [ImputeStrategy::Mean, ImputeStrategy::Median, ImputeStrategy::Constant(0.0)] {
+            let mut imp = Imputer::new(strat);
+            imp.fit(&with_nans).unwrap();
+            let z = imp.transform(&with_nans).unwrap();
+            prop_assert!(!z.data().iter().any(|v| v.is_nan()));
+        }
+    }
+
+    #[test]
+    fn imputer_leaves_non_nan_cells_untouched(x in matrix()) {
+        let mut imp = Imputer::new(ImputeStrategy::Mean);
+        imp.fit(&x).unwrap();
+        let z = imp.transform(&x).unwrap();
+        prop_assert!(z.approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn binner_codes_in_range(x in matrix(), bins in 2usize..8) {
+        let mut b = Binner::new(bins);
+        b.fit(&x).unwrap();
+        let z = b.transform(&x).unwrap();
+        for &v in z.data() {
+            prop_assert!(v >= 0.0 && v <= (bins - 1) as f64);
+            prop_assert_eq!(v, v.floor(), "bin codes are integers");
+        }
+    }
+
+    #[test]
+    fn polynomial_feature_count(x in matrix()) {
+        let mut p = PolynomialFeatures::new();
+        p.fit(&x).unwrap();
+        let z = p.transform(&x).unwrap();
+        prop_assert_eq!(z.cols(), PolynomialFeatures::output_cols(x.cols()));
+        prop_assert_eq!(z.rows(), x.rows());
+        // First d columns are the original features.
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                prop_assert_eq!(z.get(r, c), x.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions(n in 4usize..200, frac in 0.1..0.9f64, seed in 0u64..100) {
+        if let Ok(s) = train_test_split(n, frac, seed) {
+            prop_assert_eq!(s.train.len() + s.test.len(), n);
+            let all: std::collections::HashSet<usize> =
+                s.train.iter().chain(&s.test).copied().collect();
+            prop_assert_eq!(all.len(), n, "no duplicates across sides");
+        }
+    }
+
+    #[test]
+    fn k_fold_partitions(n in 4usize..100, k in 2usize..6, seed in 0u64..50) {
+        if k > n { return Ok(()); }
+        let folds = k_fold(n, k, seed).unwrap();
+        let mut seen: Vec<usize> = folds.iter().flat_map(|f| f.test.clone()).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_score_transforms(
+        scores in proptest::collection::vec(0.01..0.99f64, 4..40),
+        labels in proptest::collection::vec(0..2i32, 4..40),
+    ) {
+        let n = scores.len().min(labels.len());
+        let s = &scores[..n];
+        let y: Vec<f64> = labels[..n].iter().map(|&v| v as f64).collect();
+        let a1 = metrics::roc_auc(s, &y);
+        let transformed: Vec<f64> = s.iter().map(|&v| (v * 3.0).exp()).collect();
+        let a2 = metrics::roc_auc(&transformed, &y);
+        prop_assert!((a1 - a2).abs() < 1e-9, "AUC must be rank-based");
+    }
+
+    #[test]
+    fn accuracy_complement(preds in proptest::collection::vec(0..2i32, 1..50)) {
+        let p: Vec<f64> = preds.iter().map(|&v| v as f64).collect();
+        let flipped: Vec<f64> = p.iter().map(|&v| 1.0 - v).collect();
+        let truth = vec![1.0; p.len()];
+        let a = metrics::accuracy(&p, &truth);
+        let b = metrics::accuracy(&flipped, &truth);
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mse_mae_relationship(
+        pairs in proptest::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 1..40)
+    ) {
+        let (p, t): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let mse = metrics::mse(&p, &t);
+        let mae = metrics::mae(&p, &t);
+        // Jensen: mae^2 <= mse.
+        prop_assert!(mae * mae <= mse + 1e-9);
+        prop_assert!(mse >= 0.0 && mae >= 0.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Typed columnar storage with null tracking.
+
+use crate::schema::DataType;
+use crate::value::Value;
+use crate::RelError;
+use serde::{Deserialize, Serialize};
+
+/// A typed column: contiguous values plus a validity mask.
+///
+/// `nulls[i] == true` marks row `i` as NULL; the corresponding slot in the
+/// value vector holds a type-default placeholder that must never be read.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64 {
+        /// Stored values (placeholder 0 at null slots).
+        values: Vec<i64>,
+        /// Validity: true marks NULL.
+        nulls: Vec<bool>,
+    },
+    /// 64-bit floats.
+    Float64 {
+        /// Stored values (placeholder 0.0 at null slots).
+        values: Vec<f64>,
+        /// Validity: true marks NULL.
+        nulls: Vec<bool>,
+    },
+    /// UTF-8 strings.
+    Str {
+        /// Stored values (placeholder "" at null slots).
+        values: Vec<String>,
+        /// Validity: true marks NULL.
+        nulls: Vec<bool>,
+    },
+    /// Booleans.
+    Bool {
+        /// Stored values (placeholder false at null slots).
+        values: Vec<bool>,
+        /// Validity: true marks NULL.
+        nulls: Vec<bool>,
+    },
+}
+
+impl Column {
+    /// Create an empty column of the given type.
+    pub fn empty(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int64 => Column::Int64 { values: Vec::new(), nulls: Vec::new() },
+            DataType::Float64 => Column::Float64 { values: Vec::new(), nulls: Vec::new() },
+            DataType::Str => Column::Str { values: Vec::new(), nulls: Vec::new() },
+            DataType::Bool => Column::Bool { values: Vec::new(), nulls: Vec::new() },
+        }
+    }
+
+    /// The column's logical type.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::Int64 { .. } => DataType::Int64,
+            Column::Float64 { .. } => DataType::Float64,
+            Column::Str { .. } => DataType::Str,
+            Column::Bool { .. } => DataType::Bool,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64 { values, .. } => values.len(),
+            Column::Float64 { values, .. } => values.len(),
+            Column::Str { values, .. } => values.len(),
+            Column::Bool { values, .. } => values.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.nulls().iter().filter(|&&n| n).count()
+    }
+
+    fn nulls(&self) -> &[bool] {
+        match self {
+            Column::Int64 { nulls, .. } => nulls,
+            Column::Float64 { nulls, .. } => nulls,
+            Column::Str { nulls, .. } => nulls,
+            Column::Bool { nulls, .. } => nulls,
+        }
+    }
+
+    /// True when row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls()[i]
+    }
+
+    /// Append a value, coercing `Int64 -> Float64` for float columns.
+    ///
+    /// Returns [`RelError::TypeMismatch`] (with a generic column name filled in
+    /// by the caller) when the value does not fit the column type.
+    pub fn push(&mut self, v: Value) -> Result<(), &'static str> {
+        match (self, v) {
+            (Column::Int64 { values, nulls }, Value::Int64(x)) => {
+                values.push(x);
+                nulls.push(false);
+            }
+            (Column::Int64 { values, nulls }, Value::Null) => {
+                values.push(0);
+                nulls.push(true);
+            }
+            (Column::Float64 { values, nulls }, Value::Float64(x)) => {
+                values.push(x);
+                nulls.push(false);
+            }
+            (Column::Float64 { values, nulls }, Value::Int64(x)) => {
+                values.push(x as f64);
+                nulls.push(false);
+            }
+            (Column::Float64 { values, nulls }, Value::Null) => {
+                values.push(0.0);
+                nulls.push(true);
+            }
+            (Column::Str { values, nulls }, Value::Str(x)) => {
+                values.push(x);
+                nulls.push(false);
+            }
+            (Column::Str { values, nulls }, Value::Null) => {
+                values.push(String::new());
+                nulls.push(true);
+            }
+            (Column::Bool { values, nulls }, Value::Bool(x)) => {
+                values.push(x);
+                nulls.push(false);
+            }
+            (Column::Bool { values, nulls }, Value::Null) => {
+                values.push(false);
+                nulls.push(true);
+            }
+            (_, v) => return Err(v.type_name()),
+        }
+        Ok(())
+    }
+
+    /// Read row `i` as a [`Value`] (NULL slots yield [`Value::Null`]).
+    pub fn get(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match self {
+            Column::Int64 { values, .. } => Value::Int64(values[i]),
+            Column::Float64 { values, .. } => Value::Float64(values[i]),
+            Column::Str { values, .. } => Value::Str(values[i].clone()),
+            Column::Bool { values, .. } => Value::Bool(values[i]),
+        }
+    }
+
+    /// Read row `i` as `f64` with numeric widening; NULL and non-numeric yield `None`.
+    pub fn get_f64(&self, i: usize) -> Option<f64> {
+        if self.is_null(i) {
+            return None;
+        }
+        match self {
+            Column::Int64 { values, .. } => Some(values[i] as f64),
+            Column::Float64 { values, .. } => Some(values[i]),
+            Column::Bool { values, .. } => Some(values[i] as i64 as f64),
+            Column::Str { .. } => None,
+        }
+    }
+
+    /// Read row `i` as `&str`; NULL and non-string yield `None`.
+    pub fn get_str(&self, i: usize) -> Option<&str> {
+        if self.is_null(i) {
+            return None;
+        }
+        match self {
+            Column::Str { values, .. } => Some(values[i].as_str()),
+            _ => None,
+        }
+    }
+
+    /// Read row `i` as `i64`; NULL and non-integer yield `None`.
+    pub fn get_i64(&self, i: usize) -> Option<i64> {
+        if self.is_null(i) {
+            return None;
+        }
+        match self {
+            Column::Int64 { values, .. } => Some(values[i]),
+            Column::Bool { values, .. } => Some(values[i] as i64),
+            _ => None,
+        }
+    }
+
+    /// Gather the given row indices into a new column.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn gather(&self, idx: &[usize]) -> Column {
+        match self {
+            Column::Int64 { values, nulls } => Column::Int64 {
+                values: idx.iter().map(|&i| values[i]).collect(),
+                nulls: idx.iter().map(|&i| nulls[i]).collect(),
+            },
+            Column::Float64 { values, nulls } => Column::Float64 {
+                values: idx.iter().map(|&i| values[i]).collect(),
+                nulls: idx.iter().map(|&i| nulls[i]).collect(),
+            },
+            Column::Str { values, nulls } => Column::Str {
+                values: idx.iter().map(|&i| values[i].clone()).collect(),
+                nulls: idx.iter().map(|&i| nulls[i]).collect(),
+            },
+            Column::Bool { values, nulls } => Column::Bool {
+                values: idx.iter().map(|&i| values[i]).collect(),
+                nulls: idx.iter().map(|&i| nulls[i]).collect(),
+            },
+        }
+    }
+
+    /// Append all rows of `other`, which must have the same type.
+    pub fn extend_from(&mut self, other: &Column) -> Result<(), RelError> {
+        if self.dtype() != other.dtype() {
+            return Err(RelError::SchemaMismatch(format!(
+                "cannot extend {:?} column with {:?} column",
+                self.dtype(),
+                other.dtype()
+            )));
+        }
+        match (self, other) {
+            (Column::Int64 { values, nulls }, Column::Int64 { values: v2, nulls: n2 }) => {
+                values.extend_from_slice(v2);
+                nulls.extend_from_slice(n2);
+            }
+            (Column::Float64 { values, nulls }, Column::Float64 { values: v2, nulls: n2 }) => {
+                values.extend_from_slice(v2);
+                nulls.extend_from_slice(n2);
+            }
+            (Column::Str { values, nulls }, Column::Str { values: v2, nulls: n2 }) => {
+                values.extend_from_slice(v2);
+                nulls.extend_from_slice(n2);
+            }
+            (Column::Bool { values, nulls }, Column::Bool { values: v2, nulls: n2 }) => {
+                values.extend_from_slice(v2);
+                nulls.extend_from_slice(n2);
+            }
+            _ => unreachable!("dtype equality checked above"),
+        }
+        Ok(())
+    }
+
+    /// Materialize the whole column as `f64` values, mapping NULL to `None`.
+    pub fn to_f64_vec(&self) -> Vec<Option<f64>> {
+        (0..self.len()).map(|i| self.get_f64(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut c = Column::empty(DataType::Int64);
+        c.push(Value::Int64(5)).unwrap();
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(0), Value::Int64(5));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get_i64(0), Some(5));
+        assert_eq!(c.get_i64(1), None);
+    }
+
+    #[test]
+    fn float_column_widens_ints() {
+        let mut c = Column::empty(DataType::Float64);
+        c.push(Value::Int64(2)).unwrap();
+        c.push(Value::Float64(0.5)).unwrap();
+        assert_eq!(c.get_f64(0), Some(2.0));
+        assert_eq!(c.get_f64(1), Some(0.5));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = Column::empty(DataType::Int64);
+        assert_eq!(c.push(Value::Str("x".into())), Err("Str"));
+        let mut s = Column::empty(DataType::Str);
+        assert_eq!(s.push(Value::Bool(true)), Err("Bool"));
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let mut c = Column::empty(DataType::Str);
+        for s in ["a", "b", "c"] {
+            c.push(Value::from(s)).unwrap();
+        }
+        let g = c.gather(&[2, 0, 2]);
+        assert_eq!(g.get_str(0), Some("c"));
+        assert_eq!(g.get_str(1), Some("a"));
+        assert_eq!(g.get_str(2), Some("c"));
+    }
+
+    #[test]
+    fn extend_type_checked() {
+        let mut a = Column::empty(DataType::Bool);
+        a.push(Value::Bool(true)).unwrap();
+        let mut b = Column::empty(DataType::Bool);
+        b.push(Value::Null).unwrap();
+        a.extend_from(&b).unwrap();
+        assert_eq!(a.len(), 2);
+        assert!(a.is_null(1));
+        let c = Column::empty(DataType::Int64);
+        assert!(a.extend_from(&c).is_err());
+    }
+
+    #[test]
+    fn to_f64_vec_handles_nulls_and_strings() {
+        let mut c = Column::empty(DataType::Float64);
+        c.push(Value::Float64(1.5)).unwrap();
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.to_f64_vec(), vec![Some(1.5), None]);
+        let mut s = Column::empty(DataType::Str);
+        s.push(Value::from("x")).unwrap();
+        assert_eq!(s.to_f64_vec(), vec![None]);
+    }
+
+    #[test]
+    fn bool_numeric_views() {
+        let mut c = Column::empty(DataType::Bool);
+        c.push(Value::Bool(true)).unwrap();
+        assert_eq!(c.get_f64(0), Some(1.0));
+        assert_eq!(c.get_i64(0), Some(1));
+    }
+}

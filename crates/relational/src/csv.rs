@@ -1,0 +1,276 @@
+//! CSV import/export with type inference (RFC 4180 quoting subset).
+
+use crate::schema::{DataType, Field, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use crate::RelError;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Split one CSV record into fields, honoring double-quote escaping.
+fn split_record(line: &str, line_no: usize) -> Result<Vec<String>, RelError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if cur.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(RelError::Csv {
+                            line: line_no,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                }
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RelError::Csv { line: line_no, message: "unterminated quoted field".into() });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Infer the narrowest type that parses every non-empty sample in a column:
+/// `Int64 -> Float64 -> Bool -> Str`. Columns that are entirely empty fall back
+/// to `Str`.
+fn infer_type(samples: &[&str]) -> DataType {
+    let mut any = false;
+    let mut all_int = true;
+    let mut all_float = true;
+    let mut all_bool = true;
+    for s in samples {
+        if s.is_empty() {
+            continue;
+        }
+        any = true;
+        if s.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if s.parse::<f64>().is_err() {
+            all_float = false;
+        }
+        if !matches!(*s, "true" | "false" | "TRUE" | "FALSE" | "True" | "False") {
+            all_bool = false;
+        }
+    }
+    if !any {
+        DataType::Str
+    } else if all_int {
+        DataType::Int64
+    } else if all_float {
+        DataType::Float64
+    } else if all_bool {
+        DataType::Bool
+    } else {
+        DataType::Str
+    }
+}
+
+fn parse_cell(s: &str, dtype: DataType, line: usize, column: &str) -> Result<Value, RelError> {
+    if s.is_empty() {
+        return Ok(Value::Null);
+    }
+    let err = |msg: String| RelError::Csv { line, message: format!("column {column}: {msg}") };
+    Ok(match dtype {
+        DataType::Int64 => Value::Int64(s.parse().map_err(|_| err(format!("bad int {s:?}")))?),
+        DataType::Float64 => Value::Float64(s.parse().map_err(|_| err(format!("bad float {s:?}")))?),
+        DataType::Bool => match s {
+            "true" | "TRUE" | "True" => Value::Bool(true),
+            "false" | "FALSE" | "False" => Value::Bool(false),
+            _ => return Err(err(format!("bad bool {s:?}"))),
+        },
+        DataType::Str => Value::Str(s.to_owned()),
+    })
+}
+
+/// Read a CSV document (header row required) with type inference over the
+/// whole column. Empty cells become NULL.
+pub fn read_csv(reader: impl Read, table_name: &str) -> Result<Table, RelError> {
+    let buf = BufReader::new(reader);
+    let mut lines = Vec::new();
+    for line in buf.lines() {
+        lines.push(line?);
+    }
+    let mut it = lines.iter();
+    let header = it.next().ok_or(RelError::Csv { line: 1, message: "missing header".into() })?;
+    let names = split_record(header, 1)?;
+    let ncols = names.len();
+
+    // Parse all records up front so inference sees the full column.
+    let mut records: Vec<Vec<String>> = Vec::with_capacity(lines.len().saturating_sub(1));
+    for (i, line) in it.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let rec = split_record(line, i + 2)?;
+        if rec.len() != ncols {
+            return Err(RelError::Csv {
+                line: i + 2,
+                message: format!("expected {ncols} fields, got {}", rec.len()),
+            });
+        }
+        records.push(rec);
+    }
+
+    let mut fields = Vec::with_capacity(ncols);
+    for (c, name) in names.iter().enumerate() {
+        let samples: Vec<&str> = records.iter().map(|r| r[c].as_str()).collect();
+        fields.push(Field::new(name.clone(), infer_type(&samples)));
+    }
+    let schema = Schema::new(fields)?;
+    let mut table = Table::empty(table_name, schema);
+    for (i, rec) in records.into_iter().enumerate() {
+        let mut row = Vec::with_capacity(ncols);
+        for (c, cell) in rec.into_iter().enumerate() {
+            let f = table.schema().field(c);
+            row.push(parse_cell(&cell, f.dtype, i + 2, &f.name.clone())?);
+        }
+        table.push_row(row)?;
+    }
+    Ok(table)
+}
+
+/// Read a CSV file from disk.
+pub fn read_csv_path(path: impl AsRef<Path>) -> Result<Table, RelError> {
+    let path = path.as_ref();
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table").to_owned();
+    let file = std::fs::File::open(path)?;
+    read_csv(file, &name)
+}
+
+fn quote_if_needed(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Write a table as CSV (header included, NULLs as empty cells).
+pub fn write_csv(table: &Table, mut w: impl Write) -> Result<(), RelError> {
+    let header: Vec<String> =
+        table.schema().names().iter().map(|n| quote_if_needed(n)).collect();
+    writeln!(w, "{}", header.join(","))?;
+    for r in table.iter_rows() {
+        let cells: Vec<String> = (0..table.num_cols())
+            .map(|c| match r.get_at(c) {
+                Value::Str(s) => quote_if_needed(&s),
+                other => other.to_string(),
+            })
+            .collect();
+        writeln!(w, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_inference() {
+        let data = "id,name,score,flag\n1,ada,9.5,true\n2,bob,7,false\n3,carol,,\n";
+        let t = read_csv(data.as_bytes(), "t").unwrap();
+        assert_eq!(t.num_rows(), 3);
+        let s = t.schema();
+        assert_eq!(s.field(0).dtype, DataType::Int64);
+        assert_eq!(s.field(1).dtype, DataType::Str);
+        assert_eq!(s.field(2).dtype, DataType::Float64);
+        assert_eq!(s.field(3).dtype, DataType::Bool);
+        assert_eq!(t.row(2).get("score"), Value::Null);
+        assert_eq!(t.row(0).get("flag"), Value::Bool(true));
+    }
+
+    #[test]
+    fn int_column_with_decimal_becomes_float() {
+        let data = "x\n1\n2.5\n";
+        let t = read_csv(data.as_bytes(), "t").unwrap();
+        assert_eq!(t.schema().field(0).dtype, DataType::Float64);
+        assert_eq!(t.row(0).get("x"), Value::Float64(1.0));
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let data = "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\nplain,2\n";
+        let t = read_csv(data.as_bytes(), "t").unwrap();
+        assert_eq!(t.row(0).get("a"), Value::from("hello, world"));
+        assert_eq!(t.row(0).get("b"), Value::from("say \"hi\""));
+        // Mixed column (string + int) infers Str.
+        assert_eq!(t.schema().field(1).dtype, DataType::Str);
+    }
+
+    #[test]
+    fn arity_mismatch_reports_line() {
+        let data = "a,b\n1,2\n3\n";
+        let err = read_csv(data.as_bytes(), "t").unwrap_err();
+        assert_eq!(err, RelError::Csv { line: 3, message: "expected 2 fields, got 1".into() });
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let data = "a\n\"oops\n";
+        assert!(matches!(read_csv(data.as_bytes(), "t"), Err(RelError::Csv { .. })));
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(matches!(read_csv("".as_bytes(), "t"), Err(RelError::Csv { line: 1, .. })));
+    }
+
+    #[test]
+    fn all_empty_column_is_str() {
+        let data = "a,b\n1,\n2,\n";
+        let t = read_csv(data.as_bytes(), "t").unwrap();
+        assert_eq!(t.schema().field(1).dtype, DataType::Str);
+        assert!(t.row(0).get("b").is_null());
+    }
+
+    #[test]
+    fn round_trip() {
+        let data = "id,name,score\n1,\"a,b\",1.5\n2,plain,\n";
+        let t = read_csv(data.as_bytes(), "t").unwrap();
+        let mut out = Vec::new();
+        write_csv(&t, &mut out).unwrap();
+        let t2 = read_csv(out.as_slice(), "t").unwrap();
+        assert_eq!(t.num_rows(), t2.num_rows());
+        assert_eq!(t.row(0).get("name"), t2.row(0).get("name"));
+        assert_eq!(t2.row(1).get("score"), Value::Null);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("dmml_csv_test.csv");
+        let mut t = Table::builder("x").int64("k").float64("v").build();
+        t.push_row(vec![1.into(), 0.5.into()]).unwrap();
+        let mut f = std::fs::File::create(&path).unwrap();
+        write_csv(&t, &mut f).unwrap();
+        drop(f);
+        let back = read_csv_path(&path).unwrap();
+        assert_eq!(back.num_rows(), 1);
+        assert_eq!(back.name(), "dmml_csv_test");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the relational engine.
+
+use crate::schema::DataType;
+use std::fmt;
+
+/// Errors surfaced by `dm-rel` operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelError {
+    /// Referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A value's type does not match the column's declared type.
+    TypeMismatch {
+        /// Column whose type was violated.
+        column: String,
+        /// Declared type.
+        expected: DataType,
+        /// Supplied value's type name.
+        actual: &'static str,
+    },
+    /// A row has the wrong number of values.
+    Arity {
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// Two schemas that must agree do not.
+    SchemaMismatch(String),
+    /// CSV input could not be parsed.
+    Csv {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// I/O failure, carried as a string to keep the error `Clone + PartialEq`.
+    Io(String),
+    /// A duplicate column name was declared.
+    DuplicateColumn(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            RelError::TypeMismatch { column, expected, actual } => {
+                write!(f, "type mismatch in column {column}: expected {expected:?}, got {actual}")
+            }
+            RelError::Arity { expected, actual } => {
+                write!(f, "row arity mismatch: expected {expected} values, got {actual}")
+            }
+            RelError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            RelError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            RelError::Io(msg) => write!(f, "io error: {msg}"),
+            RelError::DuplicateColumn(name) => write!(f, "duplicate column name: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+impl From<std::io::Error> for RelError {
+    fn from(e: std::io::Error) -> Self {
+        RelError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(RelError::UnknownColumn("x".into()).to_string().contains("unknown column: x"));
+        assert!(RelError::Arity { expected: 3, actual: 2 }.to_string().contains("expected 3"));
+        assert!(RelError::Csv { line: 7, message: "bad quote".into() }.to_string().contains("line 7"));
+        let e = RelError::TypeMismatch { column: "a".into(), expected: DataType::Int64, actual: "Str" };
+        assert!(e.to_string().contains("Int64"));
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: RelError = io.into();
+        assert!(matches!(e, RelError::Io(_)));
+    }
+}

@@ -1,0 +1,220 @@
+//! Hash equi-joins.
+
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use crate::RelError;
+use std::collections::HashMap;
+
+/// Join flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Keep only matching pairs.
+    Inner,
+    /// Keep every left row; unmatched right columns become NULL.
+    Left,
+}
+
+/// Key wrapper making join keys hashable (`f64` keys are compared by bit
+/// pattern, which is exact for keys that originate from the same column).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Null,
+    Int(i64),
+    Str(String),
+    Bool(bool),
+    FloatBits(u64),
+}
+
+impl Key {
+    fn from_value(v: &Value) -> Key {
+        match v {
+            Value::Null => Key::Null,
+            Value::Int64(x) => Key::Int(*x),
+            Value::Str(s) => Key::Str(s.clone()),
+            Value::Bool(b) => Key::Bool(*b),
+            Value::Float64(x) => Key::FloatBits(x.to_bits()),
+        }
+    }
+}
+
+/// Hash equi-join of `left` and `right` on `left_key = right_key`.
+///
+/// The output schema is the left schema followed by the right schema minus the
+/// right key column; colliding names from the right side get a
+/// `<right_table>_` prefix. NULL keys never match (SQL semantics).
+///
+/// The build side is the right table; probe is a single pass over the left,
+/// so an N-row left table joining a small dimension table stays O(N).
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    left_key: &str,
+    right_key: &str,
+    kind: JoinKind,
+) -> Result<Table, RelError> {
+    let lk = left.schema().require(left_key)?;
+    let rk = right.schema().require(right_key)?;
+
+    // Build: right key -> row indices.
+    let mut build: HashMap<Key, Vec<usize>> = HashMap::with_capacity(right.num_rows());
+    for i in 0..right.num_rows() {
+        let v = right.column(rk).get(i);
+        if v.is_null() {
+            continue;
+        }
+        build.entry(Key::from_value(&v)).or_default().push(i);
+    }
+
+    // Probe: collect matching (left_row, Option<right_row>) pairs.
+    let mut lrows: Vec<usize> = Vec::new();
+    let mut rrows: Vec<Option<usize>> = Vec::new();
+    for i in 0..left.num_rows() {
+        let v = left.column(lk).get(i);
+        let matches = if v.is_null() { None } else { build.get(&Key::from_value(&v)) };
+        match matches {
+            Some(rs) => {
+                for &r in rs {
+                    lrows.push(i);
+                    rrows.push(Some(r));
+                }
+            }
+            None => {
+                if kind == JoinKind::Left {
+                    lrows.push(i);
+                    rrows.push(None);
+                }
+            }
+        }
+    }
+
+    // Output schema: left columns + right columns minus the right key.
+    let mut fields: Vec<Field> = left.schema().fields().to_vec();
+    let mut right_cols: Vec<usize> = Vec::new();
+    for (j, f) in right.schema().fields().iter().enumerate() {
+        if j == rk {
+            continue;
+        }
+        right_cols.push(j);
+        let name = if left.schema().index_of(&f.name).is_some() {
+            format!("{}_{}", right.name(), f.name)
+        } else {
+            f.name.clone()
+        };
+        fields.push(Field::new(name, f.dtype));
+    }
+    let schema = Schema::new(fields)?;
+    let mut out = Table::empty(format!("{}_join_{}", left.name(), right.name()), schema);
+
+    for (li, ri) in lrows.iter().zip(&rrows) {
+        let mut row: Vec<Value> = left.row(*li).to_vec();
+        match ri {
+            Some(r) => {
+                for &j in &right_cols {
+                    row.push(right.column(j).get(*r));
+                }
+            }
+            None => {
+                for _ in &right_cols {
+                    row.push(Value::Null);
+                }
+            }
+        }
+        out.push_row(row)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orders() -> Table {
+        let mut t = Table::builder("orders").int64("oid").int64("cid").float64("amount").build();
+        t.push_row(vec![100.into(), 1.into(), 25.0.into()]).unwrap();
+        t.push_row(vec![101.into(), 2.into(), 10.0.into()]).unwrap();
+        t.push_row(vec![102.into(), 1.into(), 5.0.into()]).unwrap();
+        t.push_row(vec![103.into(), 9.into(), 1.0.into()]).unwrap();
+        t.push_row(vec![104.into(), Value::Null, 3.0.into()]).unwrap();
+        t
+    }
+
+    fn customers() -> Table {
+        let mut t = Table::builder("customers").int64("cid").string("city").build();
+        t.push_row(vec![1.into(), "paris".into()]).unwrap();
+        t.push_row(vec![2.into(), "lyon".into()]).unwrap();
+        t.push_row(vec![3.into(), "nice".into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn inner_join_basic() {
+        let j = hash_join(&orders(), &customers(), "cid", "cid", JoinKind::Inner).unwrap();
+        assert_eq!(j.num_rows(), 3);
+        assert_eq!(j.schema().names(), vec!["oid", "cid", "amount", "city"]);
+        // Order 100 (cid 1) -> paris.
+        assert_eq!(j.row(0).get("city"), Value::from("paris"));
+        // Order 103 (cid 9 unmatched) dropped; NULL cid dropped.
+        for r in j.iter_rows() {
+            assert_ne!(r.get("oid"), Value::Int64(103));
+            assert_ne!(r.get("oid"), Value::Int64(104));
+        }
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let j = hash_join(&orders(), &customers(), "cid", "cid", JoinKind::Left).unwrap();
+        assert_eq!(j.num_rows(), 5);
+        let unmatched: Vec<_> = j
+            .iter_rows()
+            .filter(|r| r.get("city").is_null())
+            .map(|r| r.get("oid"))
+            .collect();
+        assert_eq!(unmatched, vec![Value::Int64(103), Value::Int64(104)]);
+    }
+
+    #[test]
+    fn duplicate_build_keys_multiply() {
+        let mut dup = Table::builder("dup").int64("cid").string("tag").build();
+        dup.push_row(vec![1.into(), "a".into()]).unwrap();
+        dup.push_row(vec![1.into(), "b".into()]).unwrap();
+        let j = hash_join(&orders(), &dup, "cid", "cid", JoinKind::Inner).unwrap();
+        // Orders 100 and 102 have cid 1, each matching 2 build rows.
+        assert_eq!(j.num_rows(), 4);
+    }
+
+    #[test]
+    fn name_collision_prefixed() {
+        let mut right = Table::builder("dim").int64("k").float64("amount").build();
+        right.push_row(vec![1.into(), 9.0.into()]).unwrap();
+        let j = hash_join(&orders(), &right, "cid", "k", JoinKind::Inner).unwrap();
+        assert!(j.schema().index_of("dim_amount").is_some());
+    }
+
+    #[test]
+    fn string_keys() {
+        let mut l = Table::builder("l").string("k").build();
+        l.push_row(vec!["x".into()]).unwrap();
+        l.push_row(vec!["y".into()]).unwrap();
+        let mut r = Table::builder("r").string("k").int64("v").build();
+        r.push_row(vec!["y".into(), 7.into()]).unwrap();
+        let j = hash_join(&l, &r, "k", "k", JoinKind::Inner).unwrap();
+        assert_eq!(j.num_rows(), 1);
+        assert_eq!(j.row(0).get("v"), Value::Int64(7));
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        assert!(hash_join(&orders(), &customers(), "nope", "cid", JoinKind::Inner).is_err());
+        assert!(hash_join(&orders(), &customers(), "cid", "nope", JoinKind::Inner).is_err());
+    }
+
+    #[test]
+    fn join_with_empty_right() {
+        let empty = Table::builder("e").int64("cid").string("c").build();
+        let inner = hash_join(&orders(), &empty, "cid", "cid", JoinKind::Inner).unwrap();
+        assert_eq!(inner.num_rows(), 0);
+        let left = hash_join(&orders(), &empty, "cid", "cid", JoinKind::Left).unwrap();
+        assert_eq!(left.num_rows(), orders().num_rows());
+    }
+}

@@ -1,0 +1,47 @@
+//! # dm-rel
+//!
+//! A minimal columnar relational engine: the data-system substrate the
+//! tutorial's "ML over relational data" pillar assumes.
+//!
+//! The engine provides typed columnar tables ([`Table`]), schemas
+//! ([`Schema`]/[`Field`]), scans with predicates, projections, hash
+//! equi-joins, group-by aggregation, and CSV import/export with type
+//! inference. `dm-factorized` builds factorized learning on top of it and
+//! `dm-pipeline` uses it as the raw-data side of feature pipelines.
+//!
+//! ```
+//! use dm_rel::{Table, Value};
+//!
+//! let mut t = Table::builder("people")
+//!     .int64("id")
+//!     .string("name")
+//!     .float64("score")
+//!     .build();
+//! t.push_row(vec![Value::Int64(1), Value::from("ada"), Value::Float64(9.5)]).unwrap();
+//! t.push_row(vec![Value::Int64(2), Value::from("bob"), Value::Float64(7.0)]).unwrap();
+//! let high = t.filter(|row| row.get("score").as_f64().unwrap_or(0.0) > 8.0);
+//! assert_eq!(high.num_rows(), 1);
+//! ```
+
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod join;
+pub mod predicate;
+pub mod query;
+pub mod query_builder;
+pub mod schema;
+pub mod sort;
+pub mod table;
+pub mod value;
+
+pub use column::Column;
+pub use error::RelError;
+pub use join::{hash_join, JoinKind};
+pub use query::{Agg, GroupBy};
+pub use query_builder::Query;
+pub use predicate::{filter_where, Cmp, Predicate};
+pub use schema::{DataType, Field, Schema};
+pub use sort::{distinct, sort_by, SortOrder};
+pub use table::{RowRef, Table, TableBuilder};
+pub use value::Value;

@@ -1,0 +1,246 @@
+//! Group-by aggregation.
+
+use crate::schema::{DataType, Field, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use crate::RelError;
+use std::collections::HashMap;
+
+/// Aggregate functions over a numeric column (NULLs are skipped, SQL-style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Row count of the group (ignores the column's NULLs: `COUNT(col)`).
+    Count,
+    /// Sum of non-NULL values.
+    Sum,
+    /// Mean of non-NULL values.
+    Mean,
+    /// Minimum non-NULL value.
+    Min,
+    /// Maximum non-NULL value.
+    Max,
+}
+
+impl Agg {
+    fn result_name(&self, col: &str) -> String {
+        let f = match self {
+            Agg::Count => "count",
+            Agg::Sum => "sum",
+            Agg::Mean => "mean",
+            Agg::Min => "min",
+            Agg::Max => "max",
+        };
+        format!("{f}_{col}")
+    }
+}
+
+/// Streaming aggregate state for one (group, aggregate) pair.
+#[derive(Debug, Clone, Copy)]
+struct AggState {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    fn update(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn finish(&self, agg: Agg) -> Value {
+        if self.count == 0 {
+            return match agg {
+                Agg::Count => Value::Int64(0),
+                _ => Value::Null,
+            };
+        }
+        match agg {
+            Agg::Count => Value::Int64(self.count as i64),
+            Agg::Sum => Value::Float64(self.sum),
+            Agg::Mean => Value::Float64(self.sum / self.count as f64),
+            Agg::Min => Value::Float64(self.min),
+            Agg::Max => Value::Float64(self.max),
+        }
+    }
+}
+
+/// A group-by aggregation plan: key column plus `(column, aggregate)` pairs.
+///
+/// ```
+/// use dm_rel::{Table, Agg, GroupBy};
+/// let mut t = Table::builder("sales").string("region").float64("amount").build();
+/// t.push_row(vec!["eu".into(), 10.0.into()]).unwrap();
+/// t.push_row(vec!["eu".into(), 20.0.into()]).unwrap();
+/// t.push_row(vec!["us".into(), 5.0.into()]).unwrap();
+/// let out = GroupBy::new("region").agg("amount", Agg::Sum).run(&t).unwrap();
+/// assert_eq!(out.num_rows(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GroupBy {
+    key: String,
+    aggs: Vec<(String, Agg)>,
+}
+
+impl GroupBy {
+    /// Group by the named key column.
+    pub fn new(key: &str) -> Self {
+        GroupBy { key: key.to_owned(), aggs: Vec::new() }
+    }
+
+    /// Add an aggregate over a numeric column.
+    pub fn agg(mut self, column: &str, agg: Agg) -> Self {
+        self.aggs.push((column.to_owned(), agg));
+        self
+    }
+
+    /// Execute against a table. Groups appear in first-seen order.
+    pub fn run(&self, t: &Table) -> Result<Table, RelError> {
+        let key_idx = t.schema().require(&self.key)?;
+        let mut agg_idx = Vec::with_capacity(self.aggs.len());
+        for (col, _) in &self.aggs {
+            let i = t.schema().require(col)?;
+            if t.schema().field(i).dtype == DataType::Str {
+                return Err(RelError::TypeMismatch {
+                    column: col.clone(),
+                    expected: DataType::Float64,
+                    actual: "Str",
+                });
+            }
+            agg_idx.push(i);
+        }
+
+        // Group keys are rendered through Value's display for hashing;
+        // first-seen order is preserved for deterministic output.
+        let mut order: Vec<Value> = Vec::new();
+        let mut groups: HashMap<String, usize> = HashMap::new();
+        let mut states: Vec<Vec<AggState>> = Vec::new();
+
+        for r in 0..t.num_rows() {
+            let kv = t.column(key_idx).get(r);
+            let kstr = format!("{}|{kv}", kv.type_name());
+            let gi = *groups.entry(kstr).or_insert_with(|| {
+                order.push(kv.clone());
+                states.push(vec![AggState::new(); self.aggs.len()]);
+                states.len() - 1
+            });
+            for (slot, &ci) in states[gi].iter_mut().zip(&agg_idx) {
+                if let Some(v) = t.column(ci).get_f64(r) {
+                    slot.update(v);
+                }
+            }
+        }
+
+        // Assemble output table.
+        let mut fields = vec![Field::new(&self.key, t.schema().field(key_idx).dtype)];
+        for (col, agg) in &self.aggs {
+            let dtype = if *agg == Agg::Count { DataType::Int64 } else { DataType::Float64 };
+            fields.push(Field::new(agg.result_name(col), dtype));
+        }
+        let schema = Schema::new(fields)?;
+        let mut out = Table::empty(format!("{}_by_{}", t.name(), self.key), schema);
+        for (gi, kv) in order.into_iter().enumerate() {
+            let mut row = vec![kv];
+            for (slot, (_, agg)) in states[gi].iter().zip(&self.aggs) {
+                row.push(slot.finish(*agg));
+            }
+            out.push_row(row)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sales() -> Table {
+        let mut t = Table::builder("sales").string("region").float64("amount").int64("qty").build();
+        t.push_row(vec!["eu".into(), 10.0.into(), 1.into()]).unwrap();
+        t.push_row(vec!["us".into(), 5.0.into(), 2.into()]).unwrap();
+        t.push_row(vec!["eu".into(), 20.0.into(), 3.into()]).unwrap();
+        t.push_row(vec!["eu".into(), Value::Null, 4.into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn sum_mean_count() {
+        let out = GroupBy::new("region")
+            .agg("amount", Agg::Sum)
+            .agg("amount", Agg::Mean)
+            .agg("amount", Agg::Count)
+            .run(&sales())
+            .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        // First-seen order: eu then us.
+        assert_eq!(out.row(0).get("region"), Value::from("eu"));
+        assert_eq!(out.row(0).get("sum_amount"), Value::Float64(30.0));
+        assert_eq!(out.row(0).get("mean_amount"), Value::Float64(15.0));
+        // NULL amount not counted.
+        assert_eq!(out.row(0).get("count_amount"), Value::Int64(2));
+        assert_eq!(out.row(1).get("sum_amount"), Value::Float64(5.0));
+    }
+
+    #[test]
+    fn min_max() {
+        let out = GroupBy::new("region")
+            .agg("qty", Agg::Min)
+            .agg("qty", Agg::Max)
+            .run(&sales())
+            .unwrap();
+        assert_eq!(out.row(0).get("min_qty"), Value::Float64(1.0));
+        assert_eq!(out.row(0).get("max_qty"), Value::Float64(4.0));
+    }
+
+    #[test]
+    fn all_null_group_yields_null_aggregates() {
+        let mut t = Table::builder("t").string("k").float64("x").build();
+        t.push_row(vec!["a".into(), Value::Null]).unwrap();
+        let out = GroupBy::new("k")
+            .agg("x", Agg::Sum)
+            .agg("x", Agg::Count)
+            .run(&t)
+            .unwrap();
+        assert_eq!(out.row(0).get("sum_x"), Value::Null);
+        assert_eq!(out.row(0).get("count_x"), Value::Int64(0));
+    }
+
+    #[test]
+    fn int_key_grouping() {
+        let mut t = Table::builder("t").int64("k").float64("x").build();
+        t.push_row(vec![1.into(), 2.0.into()]).unwrap();
+        t.push_row(vec![1.into(), 3.0.into()]).unwrap();
+        t.push_row(vec![2.into(), 4.0.into()]).unwrap();
+        let out = GroupBy::new("k").agg("x", Agg::Sum).run(&t).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.row(0).get("sum_x"), Value::Float64(5.0));
+    }
+
+    #[test]
+    fn string_agg_column_rejected() {
+        let mut t = Table::builder("t").string("k").string("s").build();
+        t.push_row(vec!["a".into(), "b".into()]).unwrap();
+        assert!(GroupBy::new("k").agg("s", Agg::Sum).run(&t).is_err());
+    }
+
+    #[test]
+    fn unknown_columns_rejected() {
+        let t = sales();
+        assert!(GroupBy::new("ghost").agg("amount", Agg::Sum).run(&t).is_err());
+        assert!(GroupBy::new("region").agg("ghost", Agg::Sum).run(&t).is_err());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::builder("t").string("k").float64("x").build();
+        let out = GroupBy::new("k").agg("x", Agg::Sum).run(&t).unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+}

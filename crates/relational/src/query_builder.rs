@@ -1,0 +1,241 @@
+//! A fluent query pipeline: scan → filter → join → project → sort → limit,
+//! assembled declaratively and executed as one plan.
+//!
+//! This is the thin "query layer" that the featurization and factorized-ML
+//! components sit on — operators are recorded first and run in order, so the
+//! whole plan is inspectable (and, in a bigger system, optimizable).
+
+use crate::join::{hash_join, JoinKind};
+use crate::predicate::{filter_where, Predicate};
+use crate::sort::{sort_by, SortOrder};
+use crate::table::Table;
+use crate::RelError;
+
+/// One logical operator in a query plan.
+enum Step {
+    Filter(Predicate),
+    Project(Vec<String>),
+    Join { right: Table, left_key: String, right_key: String, kind: JoinKind },
+    Sort(Vec<(String, SortOrder)>),
+    Distinct,
+    Limit(usize),
+}
+
+impl std::fmt::Debug for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Step::Filter(p) => write!(f, "Filter({p:?})"),
+            Step::Project(cols) => write!(f, "Project({cols:?})"),
+            Step::Join { right, left_key, right_key, kind } => {
+                write!(f, "Join({} on {left_key}={right_key}, {kind:?})", right.name())
+            }
+            Step::Sort(keys) => write!(f, "Sort({keys:?})"),
+            Step::Distinct => write!(f, "Distinct"),
+            Step::Limit(n) => write!(f, "Limit({n})"),
+        }
+    }
+}
+
+/// A composable query over a base table.
+///
+/// ```
+/// use dm_rel::{Query, Predicate, Table};
+/// let mut t = Table::builder("r").int64("k").float64("v").build();
+/// for i in 0..10 {
+///     t.push_row(vec![(i % 3).into(), (i as f64).into()]).unwrap();
+/// }
+/// let out = Query::scan(t)
+///     .filter(Predicate::gt("v", 2.0))
+///     .project(&["k"])
+///     .distinct()
+///     .run()
+///     .unwrap();
+/// assert_eq!(out.num_rows(), 3);
+/// ```
+#[derive(Debug)]
+pub struct Query {
+    base: Table,
+    steps: Vec<Step>,
+}
+
+impl Query {
+    /// Start from a base table.
+    pub fn scan(base: Table) -> Query {
+        Query { base, steps: Vec::new() }
+    }
+
+    /// Keep rows matching the predicate.
+    pub fn filter(mut self, pred: Predicate) -> Query {
+        self.steps.push(Step::Filter(pred));
+        self
+    }
+
+    /// Project onto the named columns.
+    pub fn project(mut self, cols: &[&str]) -> Query {
+        self.steps.push(Step::Project(cols.iter().map(|s| (*s).to_owned()).collect()));
+        self
+    }
+
+    /// Hash-join with another table.
+    pub fn join(mut self, right: Table, left_key: &str, right_key: &str, kind: JoinKind) -> Query {
+        self.steps.push(Step::Join {
+            right,
+            left_key: left_key.to_owned(),
+            right_key: right_key.to_owned(),
+            kind,
+        });
+        self
+    }
+
+    /// Sort by keys.
+    pub fn sort(mut self, keys: &[(&str, SortOrder)]) -> Query {
+        self.steps.push(Step::Sort(keys.iter().map(|(k, o)| ((*k).to_owned(), *o)).collect()));
+        self
+    }
+
+    /// Remove duplicate rows.
+    pub fn distinct(mut self) -> Query {
+        self.steps.push(Step::Distinct);
+        self
+    }
+
+    /// Keep only the first `n` rows.
+    pub fn limit(mut self, n: usize) -> Query {
+        self.steps.push(Step::Limit(n));
+        self
+    }
+
+    /// Render the plan, one operator per line (for debugging/EXPLAIN-style
+    /// output).
+    pub fn explain(&self) -> String {
+        let mut out = format!("Scan({})", self.base.name());
+        for s in &self.steps {
+            out.push_str(&format!("\n  -> {s:?}"));
+        }
+        out
+    }
+
+    /// Execute the plan.
+    pub fn run(self) -> Result<Table, RelError> {
+        let mut cur = self.base;
+        for step in self.steps {
+            cur = match step {
+                Step::Filter(p) => filter_where(&cur, &p)?,
+                Step::Project(cols) => {
+                    let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                    cur.project(&refs)?
+                }
+                Step::Join { right, left_key, right_key, kind } => {
+                    hash_join(&cur, &right, &left_key, &right_key, kind)?
+                }
+                Step::Sort(keys) => {
+                    let refs: Vec<(&str, SortOrder)> =
+                        keys.iter().map(|(k, o)| (k.as_str(), *o)).collect();
+                    sort_by(&cur, &refs)?
+                }
+                Step::Distinct => crate::sort::distinct(&cur),
+                Step::Limit(n) => {
+                    let keep: Vec<usize> = (0..cur.num_rows().min(n)).collect();
+                    cur.gather(&keep)
+                }
+            };
+        }
+        Ok(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn orders() -> Table {
+        let mut t = Table::builder("orders").int64("oid").int64("cust").float64("amount").build();
+        let rows = [
+            (1, 10, 25.0),
+            (2, 11, 8.0),
+            (3, 10, 12.0),
+            (4, 12, 40.0),
+            (5, 11, 33.0),
+            (6, 10, 5.0),
+        ];
+        for (o, c, a) in rows {
+            t.push_row(vec![o.into(), c.into(), a.into()]).unwrap();
+        }
+        t
+    }
+
+    fn customers() -> Table {
+        let mut t = Table::builder("cust").int64("id").string("city").build();
+        t.push_row(vec![10.into(), "paris".into()]).unwrap();
+        t.push_row(vec![11.into(), "lyon".into()]).unwrap();
+        t.push_row(vec![12.into(), "paris".into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn full_pipeline() {
+        let out = Query::scan(orders())
+            .filter(Predicate::gt("amount", 10.0))
+            .join(customers(), "cust", "id", JoinKind::Inner)
+            .filter(Predicate::eq("city", "paris"))
+            .sort(&[("amount", SortOrder::Desc)])
+            .project(&["oid", "amount", "city"])
+            .run()
+            .unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.schema().names(), vec!["oid", "amount", "city"]);
+        assert_eq!(out.row(0).get("oid"), Value::Int64(4)); // amount 40
+        assert_eq!(out.row(1).get("oid"), Value::Int64(1)); // amount 25
+        assert_eq!(out.row(2).get("oid"), Value::Int64(3)); // amount 12
+    }
+
+    #[test]
+    fn limit_and_distinct() {
+        let out = Query::scan(orders()).project(&["cust"]).distinct().run().unwrap();
+        assert_eq!(out.num_rows(), 3);
+        let out = Query::scan(orders()).limit(2).run().unwrap();
+        assert_eq!(out.num_rows(), 2);
+        let out = Query::scan(orders()).limit(100).run().unwrap();
+        assert_eq!(out.num_rows(), 6);
+    }
+
+    #[test]
+    fn explain_renders_plan() {
+        let q = Query::scan(orders())
+            .filter(Predicate::gt("amount", 10.0))
+            .project(&["oid"])
+            .limit(1);
+        let plan = q.explain();
+        assert!(plan.starts_with("Scan(orders)"));
+        assert!(plan.contains("Filter"));
+        assert!(plan.contains("Project([\"oid\"])"));
+        assert!(plan.contains("Limit(1)"));
+    }
+
+    #[test]
+    fn errors_surface_from_any_step() {
+        assert!(Query::scan(orders()).project(&["ghost"]).run().is_err());
+        assert!(Query::scan(orders())
+            .filter(Predicate::eq("ghost", 1i64))
+            .run()
+            .is_err());
+        assert!(Query::scan(orders())
+            .join(customers(), "ghost", "id", JoinKind::Inner)
+            .run()
+            .is_err());
+    }
+
+    #[test]
+    fn left_join_through_builder() {
+        let mut extra = orders();
+        extra.push_row(vec![7.into(), 99.into(), 1.0.into()]).unwrap();
+        let out = Query::scan(extra)
+            .join(customers(), "cust", "id", JoinKind::Left)
+            .run()
+            .unwrap();
+        assert_eq!(out.num_rows(), 7);
+        let unmatched = out.iter_rows().filter(|r| r.get("city").is_null()).count();
+        assert_eq!(unmatched, 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Schemas and column types.
+
+use crate::RelError;
+use serde::{Deserialize, Serialize};
+
+/// Logical column types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit float.
+    Float64,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+/// A named, typed column declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Create a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// An ordered collection of fields with unique names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(fields: Vec<Field>) -> Result<Self, RelError> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(RelError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields, in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Index of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Index of the column, as a `Result` for `?`-friendly call sites.
+    pub fn require(&self, name: &str) -> Result<usize, RelError> {
+        self.index_of(name).ok_or_else(|| RelError::UnknownColumn(name.to_owned()))
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// A new schema containing the named columns, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema, RelError> {
+        let mut fields = Vec::with_capacity(names.len());
+        for &n in names {
+            let i = self.require(n)?;
+            fields.push(self.fields[i].clone());
+        }
+        Schema::new(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("name", DataType::Str),
+            Field::new("score", DataType::Float64),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup() {
+        let s = schema();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.require("score").unwrap(), 2);
+        assert!(matches!(s.require("nope"), Err(RelError::UnknownColumn(_))));
+        assert_eq!(s.names(), vec!["id", "name", "score"]);
+        assert_eq!(s.field(0).dtype, DataType::Int64);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let r = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("a", DataType::Str),
+        ]);
+        assert_eq!(r.unwrap_err(), RelError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn projection() {
+        let s = schema();
+        let p = s.project(&["score", "id"]).unwrap();
+        assert_eq!(p.names(), vec!["score", "id"]);
+        assert!(s.project(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(vec![]).unwrap();
+        assert!(s.is_empty());
+    }
+}

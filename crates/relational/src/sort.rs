@@ -1,0 +1,182 @@
+//! Sorting and duplicate elimination.
+
+use crate::table::Table;
+use crate::value::Value;
+use crate::RelError;
+use std::cmp::Ordering;
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending (NULLs first).
+    Asc,
+    /// Descending (NULLs last).
+    Desc,
+}
+
+/// Total order over cell values for sorting: NULL < Bool < Int/Float
+/// (numerically merged) < Str.
+fn cmp_values(a: &Value, b: &Value) -> Ordering {
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int64(_) | Value::Float64(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+            _ => rank(a).cmp(&rank(b)),
+        },
+    }
+}
+
+/// Sort a table by the given `(column, order)` keys (stable sort, so earlier
+/// keys dominate and input order breaks remaining ties).
+pub fn sort_by(t: &Table, keys: &[(&str, SortOrder)]) -> Result<Table, RelError> {
+    let mut cols = Vec::with_capacity(keys.len());
+    for (name, ord) in keys {
+        cols.push((t.schema().require(name)?, *ord));
+    }
+    let mut idx: Vec<usize> = (0..t.num_rows()).collect();
+    idx.sort_by(|&a, &b| {
+        for &(c, ord) in &cols {
+            let va = t.column(c).get(a);
+            let vb = t.column(c).get(b);
+            let o = cmp_values(&va, &vb);
+            let o = if ord == SortOrder::Desc { o.reverse() } else { o };
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        Ordering::Equal
+    });
+    Ok(t.gather(&idx))
+}
+
+/// Remove duplicate rows (considering every column), keeping first
+/// occurrences in input order.
+pub fn distinct(t: &Table) -> Table {
+    let mut seen = std::collections::HashSet::new();
+    let mut keep = Vec::new();
+    for r in 0..t.num_rows() {
+        // Render a stable key; Display is injective enough here because the
+        // type tag is included per cell.
+        let key: String = (0..t.num_cols())
+            .map(|c| {
+                let v = t.column(c).get(r);
+                format!("{}\u{1}{v}\u{2}", v.type_name())
+            })
+            .collect();
+        if seen.insert(key) {
+            keep.push(r);
+        }
+    }
+    t.gather(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        let mut t = Table::builder("t").string("name").float64("score").int64("grade").build();
+        t.push_row(vec!["carol".into(), 7.0.into(), 2.into()]).unwrap();
+        t.push_row(vec!["ada".into(), 9.5.into(), 1.into()]).unwrap();
+        t.push_row(vec!["bob".into(), Value::Null, 2.into()]).unwrap();
+        t.push_row(vec!["dan".into(), 7.0.into(), 1.into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn single_key_asc_nulls_first() {
+        let s = sort_by(&t(), &[("score", SortOrder::Asc)]).unwrap();
+        let names: Vec<Value> = s.iter_rows().map(|r| r.get("name")).collect();
+        assert_eq!(names, vec!["bob".into(), "carol".into(), "dan".into(), "ada".into()]);
+    }
+
+    #[test]
+    fn single_key_desc_nulls_last() {
+        let s = sort_by(&t(), &[("score", SortOrder::Desc)]).unwrap();
+        let names: Vec<Value> = s.iter_rows().map(|r| r.get("name")).collect();
+        assert_eq!(names, vec!["ada".into(), "carol".into(), "dan".into(), "bob".into()]);
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let s = sort_by(&t(), &[("grade", SortOrder::Asc), ("score", SortOrder::Desc)]).unwrap();
+        let names: Vec<Value> = s.iter_rows().map(|r| r.get("name")).collect();
+        // grade 1: ada (9.5), dan (7.0); grade 2: carol (7.0), bob (null last).
+        assert_eq!(names, vec!["ada".into(), "dan".into(), "carol".into(), "bob".into()]);
+    }
+
+    #[test]
+    fn stable_on_ties() {
+        let s = sort_by(&t(), &[("grade", SortOrder::Asc)]).unwrap();
+        let names: Vec<Value> = s.iter_rows().map(|r| r.get("name")).collect();
+        // Within grade 1 and grade 2, input order preserved.
+        assert_eq!(names, vec!["ada".into(), "dan".into(), "carol".into(), "bob".into()]);
+    }
+
+    #[test]
+    fn string_sort() {
+        let s = sort_by(&t(), &[("name", SortOrder::Asc)]).unwrap();
+        assert_eq!(s.row(0).get("name"), Value::from("ada"));
+        assert_eq!(s.row(3).get("name"), Value::from("dan"));
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        assert!(sort_by(&t(), &[("ghost", SortOrder::Asc)]).is_err());
+    }
+
+    #[test]
+    fn int_float_compared_numerically() {
+        let mut t = Table::builder("t").float64("x").build();
+        t.push_row(vec![Value::Int64(3)]).unwrap();
+        t.push_row(vec![Value::Float64(2.5)]).unwrap();
+        t.push_row(vec![Value::Int64(1)]).unwrap();
+        let s = sort_by(&t, &[("x", SortOrder::Asc)]).unwrap();
+        assert_eq!(s.column(0).get_f64(0), Some(1.0));
+        assert_eq!(s.column(0).get_f64(1), Some(2.5));
+        assert_eq!(s.column(0).get_f64(2), Some(3.0));
+    }
+
+    #[test]
+    fn distinct_removes_exact_duplicates() {
+        let mut t = Table::builder("t").string("a").int64("b").build();
+        t.push_row(vec!["x".into(), 1.into()]).unwrap();
+        t.push_row(vec!["x".into(), 1.into()]).unwrap();
+        t.push_row(vec!["x".into(), 2.into()]).unwrap();
+        t.push_row(vec!["y".into(), 1.into()]).unwrap();
+        t.push_row(vec!["x".into(), 1.into()]).unwrap();
+        let d = distinct(&t);
+        assert_eq!(d.num_rows(), 3);
+        assert_eq!(d.row(0).get("a"), Value::from("x"));
+        assert_eq!(d.row(0).get("b"), Value::Int64(1));
+    }
+
+    #[test]
+    fn distinct_distinguishes_null_from_empty_string() {
+        let mut t = Table::builder("t").string("a").build();
+        t.push_row(vec![Value::Null]).unwrap();
+        t.push_row(vec!["".into()]).unwrap();
+        t.push_row(vec![Value::Null]).unwrap();
+        let d = distinct(&t);
+        assert_eq!(d.num_rows(), 2, "NULL and empty string are different values");
+    }
+
+    #[test]
+    fn distinct_distinguishes_int_from_equal_float() {
+        let mut ti = Table::builder("t").float64("a").build();
+        ti.push_row(vec![Value::Int64(1)]).unwrap(); // widened to 1.0
+        ti.push_row(vec![Value::Float64(1.0)]).unwrap();
+        // Both stored as Float64(1.0) in a float column: duplicates.
+        assert_eq!(distinct(&ti).num_rows(), 1);
+    }
+}

@@ -1,0 +1,402 @@
+//! Tables: a schema plus typed columns, with scans and projections.
+
+use crate::column::Column;
+use crate::schema::{DataType, Field, Schema};
+use crate::value::Value;
+use crate::RelError;
+
+/// A named columnar table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+}
+
+/// Fluent builder for declaring a table's schema.
+///
+/// ```
+/// use dm_rel::Table;
+/// let t = Table::builder("r").int64("k").float64("x").build();
+/// assert_eq!(t.schema().names(), vec!["k", "x"]);
+/// ```
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    name: String,
+    fields: Vec<Field>,
+}
+
+impl TableBuilder {
+    /// Declare an `Int64` column.
+    pub fn int64(mut self, name: &str) -> Self {
+        self.fields.push(Field::new(name, DataType::Int64));
+        self
+    }
+
+    /// Declare a `Float64` column.
+    pub fn float64(mut self, name: &str) -> Self {
+        self.fields.push(Field::new(name, DataType::Float64));
+        self
+    }
+
+    /// Declare a `Str` column.
+    pub fn string(mut self, name: &str) -> Self {
+        self.fields.push(Field::new(name, DataType::Str));
+        self
+    }
+
+    /// Declare a `Bool` column.
+    pub fn boolean(mut self, name: &str) -> Self {
+        self.fields.push(Field::new(name, DataType::Bool));
+        self
+    }
+
+    /// Finish, panicking on duplicate column names (a static schema is code,
+    /// not data). Use [`TableBuilder::try_build`] for dynamic schemas.
+    pub fn build(self) -> Table {
+        self.try_build().expect("invalid schema in Table::builder")
+    }
+
+    /// Finish, returning an error on duplicate column names.
+    pub fn try_build(self) -> Result<Table, RelError> {
+        let schema = Schema::new(self.fields)?;
+        Ok(Table::empty(self.name, schema))
+    }
+}
+
+/// A borrowed view of one row, resolving column names through the schema.
+#[derive(Debug, Clone, Copy)]
+pub struct RowRef<'a> {
+    table: &'a Table,
+    row: usize,
+}
+
+impl<'a> RowRef<'a> {
+    /// Row position within the table.
+    pub fn index(&self) -> usize {
+        self.row
+    }
+
+    /// Cell by column name.
+    ///
+    /// # Panics
+    /// Panics when the column does not exist (scans are written against a
+    /// known schema).
+    pub fn get(&self, column: &str) -> Value {
+        let i = self
+            .table
+            .schema
+            .index_of(column)
+            .unwrap_or_else(|| panic!("unknown column in row access: {column}"));
+        self.table.columns[i].get(self.row)
+    }
+
+    /// Cell by column position.
+    pub fn get_at(&self, i: usize) -> Value {
+        self.table.columns[i].get(self.row)
+    }
+
+    /// Materialize the row as owned values.
+    pub fn to_vec(&self) -> Vec<Value> {
+        (0..self.table.schema.len()).map(|i| self.get_at(i)).collect()
+    }
+}
+
+impl Table {
+    /// Start building a table schema.
+    pub fn builder(name: &str) -> TableBuilder {
+        TableBuilder { name: name.to_owned(), fields: Vec::new() }
+    }
+
+    /// An empty table with the given schema.
+    pub fn empty(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema.fields().iter().map(|f| Column::empty(f.dtype)).collect();
+        Table { name: name.into(), schema, columns }
+    }
+
+    /// Construct directly from columns (lengths must agree with each other).
+    pub fn from_columns(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Column>,
+    ) -> Result<Self, RelError> {
+        if schema.len() != columns.len() {
+            return Err(RelError::Arity { expected: schema.len(), actual: columns.len() });
+        }
+        let mut len = None;
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            if f.dtype != c.dtype() {
+                return Err(RelError::TypeMismatch {
+                    column: f.name.clone(),
+                    expected: f.dtype,
+                    actual: "column of different type",
+                });
+            }
+            match len {
+                None => len = Some(c.len()),
+                Some(l) if l != c.len() => {
+                    return Err(RelError::SchemaMismatch(format!(
+                        "column {} has {} rows, expected {l}",
+                        f.name,
+                        c.len()
+                    )))
+                }
+                _ => {}
+            }
+        }
+        Ok(Table { name: name.into(), schema, columns })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Borrow a column by position.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Borrow a column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column, RelError> {
+        Ok(&self.columns[self.schema.require(name)?])
+    }
+
+    /// Append one row, type-checking every cell.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), RelError> {
+        if row.len() != self.schema.len() {
+            return Err(RelError::Arity { expected: self.schema.len(), actual: row.len() });
+        }
+        // Validate first so a failed push leaves the table unchanged.
+        for (f, v) in self.schema.fields().iter().zip(&row) {
+            let ok = matches!(
+                (f.dtype, v),
+                (_, Value::Null)
+                    | (DataType::Int64, Value::Int64(_))
+                    | (DataType::Float64, Value::Float64(_))
+                    | (DataType::Float64, Value::Int64(_))
+                    | (DataType::Str, Value::Str(_))
+                    | (DataType::Bool, Value::Bool(_))
+            );
+            if !ok {
+                return Err(RelError::TypeMismatch {
+                    column: f.name.clone(),
+                    expected: f.dtype,
+                    actual: v.type_name(),
+                });
+            }
+        }
+        for (c, v) in self.columns.iter_mut().zip(row) {
+            c.push(v).expect("validated above");
+        }
+        Ok(())
+    }
+
+    /// Borrow row `i`.
+    pub fn row(&self, i: usize) -> RowRef<'_> {
+        assert!(i < self.num_rows(), "row {i} out of bounds for {} rows", self.num_rows());
+        RowRef { table: self, row: i }
+    }
+
+    /// Iterate over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = RowRef<'_>> {
+        (0..self.num_rows()).map(move |i| RowRef { table: self, row: i })
+    }
+
+    /// Keep rows where `pred` returns true.
+    pub fn filter(&self, pred: impl Fn(RowRef<'_>) -> bool) -> Table {
+        let keep: Vec<usize> =
+            self.iter_rows().filter(|r| pred(*r)).map(|r| r.index()).collect();
+        self.gather(&keep)
+    }
+
+    /// Gather the given row indices into a new table (allows repeats).
+    pub fn gather(&self, idx: &[usize]) -> Table {
+        let columns = self.columns.iter().map(|c| c.gather(idx)).collect();
+        Table { name: self.name.clone(), schema: self.schema.clone(), columns }
+    }
+
+    /// Project onto the named columns, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Table, RelError> {
+        let schema = self.schema.project(names)?;
+        let mut columns = Vec::with_capacity(names.len());
+        for &n in names {
+            columns.push(self.columns[self.schema.require(n)?].clone());
+        }
+        Ok(Table { name: self.name.clone(), schema, columns })
+    }
+
+    /// Append all rows of `other` (schemas must be identical).
+    pub fn union_all(&mut self, other: &Table) -> Result<(), RelError> {
+        if self.schema != other.schema {
+            return Err(RelError::SchemaMismatch(format!(
+                "union_all requires identical schemas ({} vs {})",
+                self.name, other.name
+            )));
+        }
+        for (a, b) in self.columns.iter_mut().zip(&other.columns) {
+            a.extend_from(b)?;
+        }
+        Ok(())
+    }
+
+    /// Extract the named numeric columns as a row-major `dm-matrix` [`dm_matrix::Dense`],
+    /// mapping NULLs to `f64::NAN` (pipelines impute them downstream).
+    pub fn to_dense(&self, names: &[&str]) -> Result<dm_matrix::Dense, RelError> {
+        let mut cols = Vec::with_capacity(names.len());
+        for &n in names {
+            let c = self.column_by_name(n)?;
+            if c.dtype() == DataType::Str {
+                return Err(RelError::TypeMismatch {
+                    column: n.to_owned(),
+                    expected: DataType::Float64,
+                    actual: "Str",
+                });
+            }
+            cols.push(c);
+        }
+        let n = self.num_rows();
+        let mut m = dm_matrix::Dense::zeros(n, names.len());
+        for r in 0..n {
+            let row = m.row_mut(r);
+            for (j, c) in cols.iter().enumerate() {
+                row[j] = c.get_f64(r).unwrap_or(f64::NAN);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Rename the table (used by joins to disambiguate provenance).
+    pub fn renamed(mut self, name: impl Into<String>) -> Table {
+        self.name = name.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        let mut t = Table::builder("people").int64("id").string("name").float64("score").build();
+        t.push_row(vec![1.into(), "ada".into(), 9.5.into()]).unwrap();
+        t.push_row(vec![2.into(), "bob".into(), 7.0.into()]).unwrap();
+        t.push_row(vec![3.into(), "carol".into(), Value::Null]).unwrap();
+        t
+    }
+
+    #[test]
+    fn build_and_push() {
+        let t = people();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_cols(), 3);
+        assert_eq!(t.row(0).get("name"), Value::from("ada"));
+        assert_eq!(t.row(2).get("score"), Value::Null);
+    }
+
+    #[test]
+    fn push_row_atomic_on_error() {
+        let mut t = people();
+        let err = t.push_row(vec![4.into(), 5.into(), 1.0.into()]).unwrap_err();
+        assert!(matches!(err, RelError::TypeMismatch { .. }));
+        assert_eq!(t.num_rows(), 3, "failed push must not partially mutate");
+        assert!(t.push_row(vec![1.into()]).is_err());
+    }
+
+    #[test]
+    fn int_widens_to_float_on_push() {
+        let mut t = Table::builder("t").float64("x").build();
+        t.push_row(vec![Value::Int64(2)]).unwrap();
+        assert_eq!(t.row(0).get("x"), Value::Float64(2.0));
+    }
+
+    #[test]
+    fn filter_and_gather() {
+        let t = people();
+        let f = t.filter(|r| r.get("score").as_f64().is_some_and(|s| s > 8.0));
+        assert_eq!(f.num_rows(), 1);
+        assert_eq!(f.row(0).get("name"), Value::from("ada"));
+
+        let g = t.gather(&[2, 2, 0]);
+        assert_eq!(g.num_rows(), 3);
+        assert_eq!(g.row(1).get("id"), Value::Int64(3));
+    }
+
+    #[test]
+    fn project_reorders() {
+        let t = people();
+        let p = t.project(&["score", "id"]).unwrap();
+        assert_eq!(p.schema().names(), vec!["score", "id"]);
+        assert_eq!(p.row(1).get_at(1), Value::Int64(2));
+        assert!(t.project(&["ghost"]).is_err());
+    }
+
+    #[test]
+    fn union_all_checks_schema() {
+        let mut a = people();
+        let b = people();
+        a.union_all(&b).unwrap();
+        assert_eq!(a.num_rows(), 6);
+        let c = Table::builder("c").int64("id").build();
+        assert!(a.union_all(&c).is_err());
+    }
+
+    #[test]
+    fn to_dense_with_nan_for_null() {
+        let t = people();
+        let m = t.to_dense(&["id", "score"]).unwrap();
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 9.5);
+        assert!(m.get(2, 1).is_nan());
+        assert!(t.to_dense(&["name"]).is_err());
+    }
+
+    #[test]
+    fn from_columns_validation() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int64)]).unwrap();
+        let mut col = Column::empty(DataType::Int64);
+        col.push(Value::Int64(1)).unwrap();
+        assert!(Table::from_columns("t", schema.clone(), vec![col.clone()]).is_ok());
+        // Wrong arity.
+        assert!(Table::from_columns("t", schema.clone(), vec![]).is_err());
+        // Wrong type.
+        let bad = Column::empty(DataType::Str);
+        assert!(Table::from_columns("t", schema, vec![bad]).is_err());
+        // Ragged lengths.
+        let schema2 = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ])
+        .unwrap();
+        let empty = Column::empty(DataType::Int64);
+        assert!(Table::from_columns("t", schema2, vec![col, empty]).is_err());
+    }
+
+    #[test]
+    fn row_to_vec() {
+        let t = people();
+        assert_eq!(t.row(1).to_vec(), vec![2.into(), "bob".into(), 7.0.into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column in row access")]
+    fn row_unknown_column_panics() {
+        people().row(0).get("ghost");
+    }
+}

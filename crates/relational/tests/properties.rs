@@ -1,0 +1,129 @@
+//! Property-based tests for the relational engine: joins and aggregates are
+//! checked against brute-force reference implementations.
+
+use dm_rel::{hash_join, sort_by, Agg, GroupBy, JoinKind, SortOrder, Table, Value};
+use proptest::prelude::*;
+
+/// Strategy: a small table with int keys and float values.
+fn kv_table(name: &'static str, max_rows: usize, key_range: i64) -> impl Strategy<Value = Table> {
+    proptest::collection::vec((0..key_range, -100i64..100), 0..max_rows).prop_map(move |rows| {
+        let mut t = Table::builder(name).int64("k").float64("v").build();
+        for (k, v) in rows {
+            t.push_row(vec![Value::Int64(k), Value::Float64(v as f64)]).unwrap();
+        }
+        t
+    })
+}
+
+/// Brute-force nested-loop inner join row count.
+fn nested_loop_count(l: &Table, r: &Table) -> usize {
+    let mut n = 0;
+    for i in 0..l.num_rows() {
+        let lk = l.row(i).get("k");
+        if lk.is_null() {
+            continue;
+        }
+        for j in 0..r.num_rows() {
+            if r.row(j).get("k") == lk {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+proptest! {
+    #[test]
+    fn hash_join_matches_nested_loop(l in kv_table("l", 30, 6), r in kv_table("r", 30, 6)) {
+        let j = hash_join(&l, &r, "k", "k", JoinKind::Inner).unwrap();
+        prop_assert_eq!(j.num_rows(), nested_loop_count(&l, &r));
+    }
+
+    #[test]
+    fn left_join_row_count_identity(l in kv_table("l", 25, 5), r in kv_table("r", 25, 5)) {
+        // Left join rows = inner rows + unmatched left rows.
+        let inner = hash_join(&l, &r, "k", "k", JoinKind::Inner).unwrap();
+        let left = hash_join(&l, &r, "k", "k", JoinKind::Left).unwrap();
+        let matched_left: std::collections::HashSet<i64> = (0..r.num_rows())
+            .filter_map(|j| r.row(j).get("k").as_i64())
+            .collect();
+        let unmatched = (0..l.num_rows())
+            .filter(|&i| {
+                l.row(i).get("k").as_i64().is_none_or(|k| !matched_left.contains(&k))
+            })
+            .count();
+        prop_assert_eq!(left.num_rows(), inner.num_rows() + unmatched);
+        prop_assert!(left.num_rows() >= l.num_rows());
+    }
+
+    #[test]
+    fn group_by_sums_match_reference(t in kv_table("t", 40, 8)) {
+        let out = GroupBy::new("k").agg("v", Agg::Sum).agg("v", Agg::Count).run(&t).unwrap();
+        // Reference: HashMap accumulation.
+        let mut sums: std::collections::HashMap<i64, (f64, i64)> = std::collections::HashMap::new();
+        for i in 0..t.num_rows() {
+            let k = t.row(i).get("k").as_i64().unwrap();
+            let v = t.row(i).get("v").as_f64().unwrap();
+            let e = sums.entry(k).or_insert((0.0, 0));
+            e.0 += v;
+            e.1 += 1;
+        }
+        prop_assert_eq!(out.num_rows(), sums.len());
+        for i in 0..out.num_rows() {
+            let k = out.row(i).get("k").as_i64().unwrap();
+            let (s, c) = sums[&k];
+            prop_assert!((out.row(i).get("sum_v").as_f64().unwrap() - s).abs() < 1e-9);
+            prop_assert_eq!(out.row(i).get("count_v").as_i64().unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn sort_produces_ordered_permutation(t in kv_table("t", 40, 10)) {
+        let s = sort_by(&t, &[("v", SortOrder::Asc)]).unwrap();
+        prop_assert_eq!(s.num_rows(), t.num_rows());
+        // Ordered.
+        for i in 1..s.num_rows() {
+            let a = s.row(i - 1).get("v").as_f64().unwrap();
+            let b = s.row(i).get("v").as_f64().unwrap();
+            prop_assert!(a <= b);
+        }
+        // Permutation: multiset of values preserved.
+        let mut orig: Vec<i64> = (0..t.num_rows()).map(|i| t.row(i).get("v").as_f64().unwrap() as i64).collect();
+        let mut sorted: Vec<i64> = (0..s.num_rows()).map(|i| s.row(i).get("v").as_f64().unwrap() as i64).collect();
+        orig.sort_unstable();
+        sorted.sort_unstable();
+        prop_assert_eq!(orig, sorted);
+    }
+
+    #[test]
+    fn distinct_is_idempotent(t in kv_table("t", 30, 4)) {
+        let d1 = dm_rel::distinct(&t);
+        let d2 = dm_rel::distinct(&d1);
+        prop_assert_eq!(&d1, &d2);
+        prop_assert!(d1.num_rows() <= t.num_rows());
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_data(t in kv_table("t", 25, 5)) {
+        let mut buf = Vec::new();
+        dm_rel::csv::write_csv(&t, &mut buf).unwrap();
+        let back = dm_rel::csv::read_csv(buf.as_slice(), "t").unwrap();
+        prop_assert_eq!(back.num_rows(), t.num_rows());
+        for i in 0..t.num_rows() {
+            prop_assert_eq!(back.row(i).get("k").as_i64(), t.row(i).get("k").as_i64());
+            let a = back.row(i).get("v").as_f64().unwrap();
+            let b = t.row(i).get("v").as_f64().unwrap();
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn filter_then_union_partitions(t in kv_table("t", 30, 6)) {
+        let pos = t.filter(|r| r.get("v").as_f64().unwrap() >= 0.0);
+        let neg = t.filter(|r| r.get("v").as_f64().unwrap() < 0.0);
+        prop_assert_eq!(pos.num_rows() + neg.num_rows(), t.num_rows());
+        let mut both = pos.clone();
+        both.union_all(&neg).unwrap();
+        prop_assert_eq!(both.num_rows(), t.num_rows());
+    }
+}

@@ -1,0 +1,84 @@
+//! Model-selection management: compare grid search, random search,
+//! successive halving, and Hyperband on a real logistic-regression tuning
+//! problem, where "budget" means the fraction of training epochs.
+//!
+//! Run with: `cargo run --release --example model_search`
+
+use dmml::modelsel::search::{grid_search, hyperband, random_search, successive_halving};
+use dmml::pipeline::split::train_test_split;
+use dmml::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let data = dmml::data::labeled::classification(4000, 8, 3.0, 21);
+    let split = train_test_split(data.x.rows(), 0.3, 5).expect("split");
+    let x_train = data.x.select_rows(&split.train);
+    let y_train: Vec<f64> = split.train.iter().map(|&i| data.y[i]).collect();
+    let x_val = data.x.select_rows(&split.test);
+    let y_val: Vec<f64> = split.test.iter().map(|&i| data.y[i]).collect();
+
+    // The trainer: budget scales the epoch count, so a 1/9-budget run is ~9x
+    // cheaper — the lever early-stopping searches exploit.
+    let full_epochs = 600usize;
+    let trainer = |p: &Params, budget: f64| -> f64 {
+        let cfg = LogRegConfig {
+            learning_rate: p.get("lr"),
+            l2: p.get("l2"),
+            max_iter: ((full_epochs as f64 * budget).ceil() as usize).max(1),
+            tol: 0.0, // fixed-epoch training so budget is honored exactly
+        };
+        match LogisticRegression::fit(&x_train, &y_train, &cfg) {
+            Ok(m) => m.accuracy(&x_val, &y_val),
+            Err(_) => 0.0,
+        }
+    };
+
+    let grid_space = ParamSpace::new()
+        .grid("lr", &[0.001, 0.01, 0.1, 1.0, 5.0])
+        .grid("l2", &[0.0, 0.001, 0.01, 0.1]);
+    let rand_space = ParamSpace::new().log_uniform("lr", 1e-3, 5.0).log_uniform("l2", 1e-5, 0.5);
+
+    let t0 = Instant::now();
+    let grid = grid_search(&grid_space, trainer);
+    let grid_t = t0.elapsed();
+
+    let t1 = Instant::now();
+    let rand = random_search(&rand_space, 20, 3, trainer);
+    let rand_t = t1.elapsed();
+
+    let t2 = Instant::now();
+    let sh = successive_halving(&rand_space, 27, 3, 3, trainer);
+    let sh_t = t2.elapsed();
+
+    let t3 = Instant::now();
+    let hb = hyperband(&rand_space, 9, 3, 3, trainer);
+    let hb_t = t3.elapsed();
+
+    println!("strategy            evals  budget  val-acc  wall");
+    for (name, r, t) in [
+        ("grid (5x4)", &grid, grid_t),
+        ("random (20)", &rand, rand_t),
+        ("succ-halving (27)", &sh, sh_t),
+        ("hyperband (9)", &hb, hb_t),
+    ] {
+        println!(
+            "{name:<19} {:>5} {:>7.1} {:>8.3} {:>7.0?}",
+            r.evaluations.len(),
+            r.total_budget,
+            r.best_score,
+            t
+        );
+    }
+    println!(
+        "\nbest configs: grid lr={:.3} l2={:.4} | sh lr={:.3} l2={:.4}",
+        grid.best_params.get("lr"),
+        grid.best_params.get("l2"),
+        sh.best_params.get("lr"),
+        sh.best_params.get("l2"),
+    );
+    println!(
+        "successive halving explored {} configs for {:.0}% of grid's budget",
+        27,
+        100.0 * sh.total_budget / grid.total_budget
+    );
+}

@@ -1,0 +1,92 @@
+//! Quickstart: end-to-end lifecycle over raw relational data.
+//!
+//! CSV-like table -> featurization -> transformation pipeline -> train/test
+//! split -> logistic regression -> metrics -> model registry.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dmml::modelsel::ModelRegistry;
+use dmml::pipeline::encode::{ColumnSpec, Featurizer};
+use dmml::pipeline::metrics;
+use dmml::pipeline::split::train_test_split;
+use dmml::pipeline::transform::{ImputeStrategy, Imputer, Pipeline, StandardScaler};
+use dmml::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    // 1. Raw data arrives as a relational table (here: parsed from CSV text;
+    //    rows are generated deterministically, with label ~ income + city and
+    //    occasional missing incomes).
+    let mut csv = String::from("age,income,city,label\n");
+    for i in 0..400u64 {
+        let age = 20 + (i * 7) % 45;
+        let income = 25_000 + (i * 13_577) % 80_000;
+        let city = ["paris", "lyon", "tokyo"][(i % 3) as usize];
+        let score = income as f64 / 40_000.0 + if city == "tokyo" { 1.0 } else { 0.0 };
+        let label = u8::from(score > 1.8);
+        if i % 17 == 0 {
+            csv.push_str(&format!("{age},,{city},{label}\n")); // missing income
+        } else {
+            csv.push_str(&format!("{age},{income},{city},{label}\n"));
+        }
+    }
+    let table = dmml::rel::csv::read_csv(csv.as_bytes(), "customers").expect("valid csv");
+    println!("loaded table '{}' with {} rows", table.name(), table.num_rows());
+
+    // 2. Featurize: numeric passthrough + one-hot city.
+    let featurizer = Featurizer::fit(
+        &table,
+        &[
+            ColumnSpec::Numeric("age".into()),
+            ColumnSpec::Numeric("income".into()),
+            ColumnSpec::OneHot("city".into()),
+        ],
+    )
+    .expect("featurizer fits");
+    let x_raw = featurizer.transform(&table).expect("featurize");
+    println!("features: {:?}", featurizer.feature_names());
+
+    let y: Vec<f64> = (0..table.num_rows())
+        .map(|r| table.row(r).get("label").as_f64().expect("label present"))
+        .collect();
+
+    // 3. Split before fitting the pipeline: statistics must come from the
+    //    training side only.
+    let split = train_test_split(x_raw.rows(), 0.25, 42).expect("split");
+    let x_train = x_raw.select_rows(&split.train);
+    let x_test = x_raw.select_rows(&split.test);
+    let y_train: Vec<f64> = split.train.iter().map(|&i| y[i]).collect();
+    let y_test: Vec<f64> = split.test.iter().map(|&i| y[i]).collect();
+
+    // 4. Pipeline: impute missing incomes, then standardize.
+    let mut pipe = Pipeline::new()
+        .add(Imputer::new(ImputeStrategy::Mean))
+        .add(StandardScaler::new());
+    let x_train_t = pipe.fit_transform(&x_train).expect("pipeline fit");
+    let x_test_t = pipe.transform(&x_test).expect("pipeline transform");
+
+    // 5. Train.
+    let model = LogisticRegression::fit(&x_train_t, &y_train, &LogRegConfig::default())
+        .expect("training succeeds");
+    println!(
+        "trained logistic regression in {} iterations (converged: {})",
+        model.iterations, model.converged
+    );
+
+    // 6. Evaluate.
+    let probs = model.predict_proba(&x_test_t);
+    let preds = model.predict(&x_test_t);
+    let acc = metrics::accuracy(&preds, &y_test);
+    let auc = metrics::roc_auc(&probs, &y_test);
+    println!("test accuracy = {acc:.3}, AUC = {auc:.3}");
+
+    // 7. Record the experiment in the registry.
+    let mut registry = ModelRegistry::new();
+    let mut params = HashMap::new();
+    params.insert("learning_rate".into(), LogRegConfig::default().learning_rate);
+    let mut ms = HashMap::new();
+    ms.insert("accuracy".into(), acc);
+    ms.insert("auc".into(), auc);
+    let id = registry.register("quickstart-logreg", params, ms, None, vec!["quickstart".into()]);
+    println!("registered model #{id}; best by accuracy: {:?}", registry.best_by("accuracy").map(|r| r.id));
+}

@@ -1,0 +1,154 @@
+//! Integration coverage for the extension round: query builder + predicates,
+//! polynomial features feeding SGD, softmax + forest on shared data, LU in a
+//! whitening pipeline, compressed-matrix serialization through the buffer
+//! codec path, and forward selection end to end.
+
+use dmml::compress::planner::CompressionConfig;
+use dmml::compress::serial;
+use dmml::matrix::lu;
+use dmml::ml::forest::{ForestConfig, RandomForest};
+use dmml::ml::sgd::{train_sgd, SgdConfig};
+use dmml::ml::softmax::{SoftmaxConfig, SoftmaxRegression};
+use dmml::modelsel::columbus::{forward_select, SharedGram};
+use dmml::pipeline::transform::{PolynomialFeatures, Transformer};
+use dmml::prelude::*;
+use dmml::rel::{JoinKind, Predicate, Query, SortOrder};
+
+/// Query builder composes with featurization: SQL-ish preprocessing before ML.
+#[test]
+fn query_pipeline_feeds_model_training() {
+    let star = dmml::data::star::generate(&dmml::data::star::StarConfig {
+        fact_rows: 400,
+        dim_rows: 8,
+        ..Default::default()
+    });
+    let (fact, dim) = dmml::data::star::to_tables(&star);
+
+    // Declarative preprocessing: join, filter out one dimension value, sort.
+    let prepared = Query::scan(fact)
+        .join(dim, "fk", "id", JoinKind::Inner)
+        .filter(Predicate::gt("label", -10.0))
+        .sort(&[("label", SortOrder::Asc)])
+        .run()
+        .unwrap();
+    assert!(prepared.num_rows() > 300);
+
+    // Labels are sorted ascending.
+    let labels: Vec<f64> = (0..prepared.num_rows())
+        .map(|r| prepared.row(r).get("label").as_f64().unwrap())
+        .collect();
+    assert!(labels.windows(2).all(|w| w[0] <= w[1]));
+
+    // Train on the joined features straight from the query output.
+    let x = prepared.to_dense(&["s0", "s1", "r0", "r1", "r2", "r3"]).unwrap();
+    let m = LinearRegression::fit(&x, &labels, Solver::NormalEquations, 1e-8).unwrap();
+    assert!(m.r2(&x, &labels) > 0.999, "r2 {}", m.r2(&x, &labels));
+}
+
+/// Polynomial expansion lets SGD learn a quadratic function.
+#[test]
+fn polynomial_sgd_learns_quadratic() {
+    let x = Dense::from_fn(300, 1, |r, _| (r as f64) / 150.0 - 1.0);
+    let y: Vec<f64> = (0..300)
+        .map(|r| {
+            let v = (r as f64) / 150.0 - 1.0;
+            2.0 * v * v - v + 0.5
+        })
+        .collect();
+    let mut poly = PolynomialFeatures::new();
+    poly.fit(&x).unwrap();
+    let z = poly.transform(&x).unwrap(); // [v, v^2]
+    let za = Dense::filled(z.rows(), 1, 1.0).hcat(&z); // intercept column
+    let cfg = SgdConfig { learning_rate: 0.3, epochs: 400, decay: 1.0, ..Default::default() };
+    let fit = train_sgd(&za, &y, Family::Gaussian, &cfg).unwrap();
+    // weights: [intercept, v, v^2] ≈ [0.5, -1, 2]
+    assert!((fit.weights[0] - 0.5).abs() < 0.05, "{:?}", fit.weights);
+    assert!((fit.weights[1] + 1.0).abs() < 0.05);
+    assert!((fit.weights[2] - 2.0).abs() < 0.05);
+}
+
+/// Softmax and random forest agree on well-separated multi-class data.
+#[test]
+fn softmax_and_forest_agree_on_blobs() {
+    let (x, y) = dmml::data::labeled::blobs(240, 3, 4, 1.0, 11);
+    let sm = SoftmaxRegression::fit(&x, &y, &SoftmaxConfig::default()).unwrap();
+    let rf = RandomForest::fit(&x, &y, &ForestConfig::default()).unwrap();
+    assert!(sm.accuracy(&x, &y) > 0.97, "softmax {}", sm.accuracy(&x, &y));
+    assert!(rf.accuracy(&x, &y) > 0.97, "forest {}", rf.accuracy(&x, &y));
+    // They disagree on at most a small fraction of points.
+    let disagreements = sm
+        .predict(&x)
+        .iter()
+        .zip(rf.predict(&x))
+        .filter(|(a, b)| **a != *b)
+        .count();
+    assert!(disagreements < 24, "{disagreements} disagreements");
+}
+
+/// LU-based whitening: transform features by the inverse covariance factor
+/// and verify the whitened covariance is the identity.
+#[test]
+fn lu_whitening_produces_identity_covariance() {
+    let d = dmml::data::labeled::regression(500, 3, 0.0, 23);
+    // Covariance of centered features.
+    let means = dmml::matrix::ops::col_means(&d.x);
+    let mut centered = d.x.clone();
+    for r in 0..centered.rows() {
+        for (v, &m) in centered.row_mut(r).iter_mut().zip(&means) {
+            *v -= m;
+        }
+    }
+    let mut cov = dmml::matrix::ops::crossprod(&centered);
+    let inv_n = 1.0 / centered.rows() as f64;
+    cov.map_inplace(|v| v * inv_n);
+    // Whiten via the Cholesky factor's inverse, computed through LU.
+    let l = dmml::matrix::solve::cholesky(&cov).unwrap();
+    let l_inv = lu::lu(&l).unwrap().inverse();
+    let whitened = dmml::matrix::ops::gemm(&centered, &l_inv.transpose());
+    let mut wcov = dmml::matrix::ops::crossprod(&whitened);
+    wcov.map_inplace(|v| v * inv_n);
+    assert!(wcov.approx_eq(&Dense::identity(3), 1e-8), "whitened covariance must be I");
+}
+
+/// Compressed matrices survive a serialize/deserialize hop and still train.
+#[test]
+fn compressed_serialization_round_trip_trains() {
+    let x = dmml::data::matgen::low_cardinality(1500, 3, 5, 31);
+    let truth = [2.0, -1.0, 0.5];
+    let y = dmml::matrix::ops::gemv(&x, &truth);
+    let cm = CompressedMatrix::compress(&x, &CompressionConfig::default());
+    let wire = serial::encode(&cm);
+    let back = serial::decode(wire).expect("valid wire format");
+    assert_eq!(back, cm);
+
+    let gd = GdConfig { learning_rate: 0.1, max_iter: 5000, tol: 1e-10, ..Default::default() };
+    let fit = dmml::ml::glm::train_gd(
+        |w| back.gemv(w),
+        |r| back.vecmat(r),
+        &y,
+        3,
+        Family::Gaussian,
+        &gd,
+    )
+    .unwrap();
+    for (w, t) in fit.weights.iter().zip(&truth) {
+        assert!((w - t).abs() < 1e-3, "{:?}", fit.weights);
+    }
+}
+
+/// Forward selection over polynomial features picks the true terms.
+#[test]
+fn forward_selection_over_polynomial_features() {
+    // y = 3*x0 + x1^2 (feature 0 and the square of feature 1).
+    let base = dmml::data::matgen::dense_uniform(400, 2, -2.0, 2.0, 41);
+    let y: Vec<f64> = (0..400).map(|r| 3.0 * base.get(r, 0) + base.get(r, 1).powi(2)).collect();
+    let mut poly = PolynomialFeatures::new();
+    poly.fit(&base).unwrap();
+    let z = poly.transform(&base).unwrap(); // [x0, x1, x0², x1², x0x1]
+    let shared = SharedGram::build(&z, &y).unwrap();
+    let (selected, fit) = forward_select(&shared, 3, 1e-4, 0.0).unwrap();
+    let mut sorted = selected.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, vec![0, 3], "should pick x0 and x1²: {selected:?}");
+    assert!(fit.r2 > 0.9999);
+}
