@@ -47,7 +47,10 @@ fn epoch_materialized(x: &dm_matrix::Dense, y: &[f64], w: &[f64]) -> Vec<f64> {
 
 fn print_table() {
     println!("\n=== E3: per-epoch cost, factorized vs materialized (n={FACT_ROWS}, d_S={FACT_FEATS}, d_R={DIM_FEATS}) ===");
-    println!("{:>12} {:>14} {:>14} {:>9}", "tuple-ratio", "factorized(ms)", "material.(ms)", "speedup");
+    println!(
+        "{:>12} {:>14} {:>14} {:>9}",
+        "tuple-ratio", "factorized(ms)", "material.(ms)", "speedup"
+    );
     for &tr in &[1usize, 5, 20, 100, 500] {
         let (nm, y) = build(tr);
         let x = nm.materialize();

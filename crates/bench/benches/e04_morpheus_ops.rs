@@ -30,8 +30,14 @@ fn print_table(nm: &NormalizedMatrix) {
     let w: Vec<f64> = (0..nm.cols()).map(|i| (i as f64) * 0.01 - 0.1).collect();
     let v: Vec<f64> = (0..nm.rows()).map(|i| ((i % 23) as f64) * 0.05).collect();
 
-    println!("\n=== E4: normalized vs materialized operators (redundancy {:.1}x) ===", nm.redundancy_ratio());
-    println!("{:>12} {:>14} {:>14} {:>9}", "operator", "normalized(ms)", "material.(ms)", "speedup");
+    println!(
+        "\n=== E4: normalized vs materialized operators (redundancy {:.1}x) ===",
+        nm.redundancy_ratio()
+    );
+    println!(
+        "{:>12} {:>14} {:>14} {:>9}",
+        "operator", "normalized(ms)", "material.(ms)", "speedup"
+    );
     let rows: Vec<(&str, f64, f64)> = vec![
         (
             "gemv",

@@ -37,7 +37,10 @@ const CASES: [(&str, &str); 3] = [
 
 fn print_table(env: &Env, sizes: &InputSizes) {
     println!("\n=== E5: rewrite flop reduction (n={N}, k={K}) ===");
-    println!("{:<12} {:>14} {:>14} {:>9} {:>10}", "expression", "naive-flops", "opt-flops", "ratio", "rewrites");
+    println!(
+        "{:<12} {:>14} {:>14} {:>9} {:>10}",
+        "expression", "naive-flops", "opt-flops", "ratio", "rewrites"
+    );
     for (name, src) in CASES {
         let (g, root) = parser::parse(src).expect("parses");
         let mut naive = Executor::new(&g);

@@ -13,7 +13,10 @@ const D: usize = 100;
 
 fn print_table() {
     println!("\n=== E6: gemv dense vs CSR across density ({N}x{D}) ===");
-    println!("{:>9} {:>12} {:>12} {:>12} {:>8}", "density", "dense(ms)", "csr(ms)", "csr/dense", "winner");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12} {:>8}",
+        "density", "dense(ms)", "csr(ms)", "csr/dense", "winner"
+    );
     let v: Vec<f64> = (0..D).map(|i| (i as f64) * 0.02 - 1.0).collect();
     let mut crossover_seen = false;
     for &density in &[0.001, 0.005, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0] {

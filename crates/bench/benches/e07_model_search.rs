@@ -7,7 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dm_ml::logreg::{LogRegConfig, LogisticRegression};
-use dm_modelsel::search::{grid_search, hyperband, random_search, successive_halving, ParamSpace, Params};
+use dm_modelsel::search::{
+    grid_search, hyperband, random_search, successive_halving, ParamSpace, Params,
+};
 
 fn data() -> (dm_matrix::Dense, Vec<f64>, dm_matrix::Dense, Vec<f64>) {
     let d = dm_data::labeled::classification(2000, 6, 3.0, 77);
@@ -35,15 +37,26 @@ fn print_table() {
 
     println!("\n=== E7: search strategies (budget = full-training equivalents) ===");
     println!("{:<22} {:>6} {:>8} {:>8}", "strategy", "evals", "budget", "val-acc");
-    let grid_space = ParamSpace::new()
-        .grid("lr", &[0.001, 0.01, 0.1, 1.0])
-        .grid("l2", &[0.0, 0.01, 0.1]);
+    let grid_space =
+        ParamSpace::new().grid("lr", &[0.001, 0.01, 0.1, 1.0]).grid("l2", &[0.0, 0.01, 0.1]);
     let cont = ParamSpace::new().log_uniform("lr", 1e-3, 5.0).log_uniform("l2", 1e-5, 0.5);
 
     let g = grid_search(&grid_space, trainer);
-    println!("{:<22} {:>6} {:>8.1} {:>8.3}", "grid 4x3", g.evaluations.len(), g.total_budget, g.best_score);
+    println!(
+        "{:<22} {:>6} {:>8.1} {:>8.3}",
+        "grid 4x3",
+        g.evaluations.len(),
+        g.total_budget,
+        g.best_score
+    );
     let r = random_search(&cont, 12, 3, trainer);
-    println!("{:<22} {:>6} {:>8.1} {:>8.3}", "random 12", r.evaluations.len(), r.total_budget, r.best_score);
+    println!(
+        "{:<22} {:>6} {:>8.1} {:>8.3}",
+        "random 12",
+        r.evaluations.len(),
+        r.total_budget,
+        r.best_score
+    );
     for eta in [2usize, 3, 4] {
         let s = successive_halving(&cont, 16, eta, 3, trainer);
         println!(
@@ -56,7 +69,13 @@ fn print_table() {
         assert!(s.total_budget < g.total_budget, "early stopping must be cheaper than the grid");
     }
     let h = hyperband(&cont, 8, 2, 3, trainer);
-    println!("{:<22} {:>6} {:>8.1} {:>8.3}", "hyperband", h.evaluations.len(), h.total_budget, h.best_score);
+    println!(
+        "{:<22} {:>6} {:>8.1} {:>8.3}",
+        "hyperband",
+        h.evaluations.len(),
+        h.total_budget,
+        h.best_score
+    );
     println!();
 }
 

@@ -21,7 +21,9 @@ fn subsets(r: usize) -> Vec<Vec<usize>> {
     (0..r)
         .map(|i| {
             let k = 4 + i % 5;
-            (0..k).map(|j| (i * 7 + j * 3) % D).collect::<std::collections::BTreeSet<_>>()
+            (0..k)
+                .map(|j| (i * 7 + j * 3) % D)
+                .collect::<std::collections::BTreeSet<_>>()
                 .into_iter()
                 .collect()
         })

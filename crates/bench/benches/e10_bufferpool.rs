@@ -79,9 +79,7 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_secs(2));
     for kind in [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::Clock, PolicyKind::Lfu] {
-        g.bench_function(format!("replay_zipf_{kind:?}"), |b| {
-            b.iter(|| replay(kind, 16, &zipf))
-        });
+        g.bench_function(format!("replay_zipf_{kind:?}"), |b| b.iter(|| replay(kind, 16, &zipf)));
     }
     g.finish();
 }

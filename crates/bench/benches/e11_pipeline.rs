@@ -6,9 +6,9 @@
 //! motivating observation of the lifecycle-systems pillar.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use dm_ml::linreg::{LinearRegression, Solver};
 use dm_pipeline::encode::{ColumnSpec, Featurizer};
 use dm_pipeline::transform::{ImputeStrategy, Imputer, Pipeline, StandardScaler};
-use dm_ml::linreg::{LinearRegression, Solver};
 
 const ROWS: usize = 20_000;
 
@@ -45,11 +45,11 @@ fn print_table() {
     println!("\n=== E11: end-to-end pipeline stage costs ({ROWS} rows) ===");
     let (table, t_parse) =
         dm_bench::time_once(|| dm_rel::csv::read_csv(csv.as_bytes(), "events").expect("csv"));
-    let (feat, t_fit_feat) = dm_bench::time_once(|| Featurizer::fit(&table, &specs()).expect("fit"));
+    let (feat, t_fit_feat) =
+        dm_bench::time_once(|| Featurizer::fit(&table, &specs()).expect("fit"));
     let (x_raw, t_feat) = dm_bench::time_once(|| feat.transform(&table).expect("transform"));
-    let y: Vec<f64> = (0..table.num_rows())
-        .map(|r| table.row(r).get("label").as_f64().expect("label"))
-        .collect();
+    let y: Vec<f64> =
+        (0..table.num_rows()).map(|r| table.row(r).get("label").as_f64().expect("label")).collect();
     let mut pipe =
         Pipeline::new().add(Imputer::new(ImputeStrategy::Mean)).add(StandardScaler::new());
     let (x, t_pipe) = dm_bench::time_once(|| pipe.fit_transform(&x_raw).expect("pipeline"));

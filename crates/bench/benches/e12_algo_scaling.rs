@@ -19,15 +19,11 @@ fn print_table() {
             LinearRegression::fit(&reg.x, &reg.y, Solver::NormalEquations, 1e-6).expect("fit")
         });
         let t_km = dm_bench::time_mean(3, || {
-            kmeans::fit(&xb, &KMeansConfig { k: 4, max_iter: 20, ..Default::default() }).expect("fit")
+            kmeans::fit(&xb, &KMeansConfig { k: 4, max_iter: 20, ..Default::default() })
+                .expect("fit")
         });
         let t_nb = dm_bench::time_mean(3, || GaussianNb::fit(&xb, &yb).expect("fit"));
-        println!(
-            "{n:>8} {d:>6} {:>12.2} {:>12.2} {:>12.2}",
-            t_lin * 1e3,
-            t_km * 1e3,
-            t_nb * 1e3
-        );
+        println!("{n:>8} {d:>6} {:>12.2} {:>12.2} {:>12.2}", t_lin * 1e3, t_km * 1e3, t_nb * 1e3);
     }
     println!();
 }
@@ -42,13 +38,20 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_secs(3));
     g.bench_function("linreg_normal_eq", |b| {
-        b.iter(|| LinearRegression::fit(&reg.x, &reg.y, Solver::NormalEquations, 1e-6).expect("fit"))
+        b.iter(|| {
+            LinearRegression::fit(&reg.x, &reg.y, Solver::NormalEquations, 1e-6).expect("fit")
+        })
     });
     g.bench_function("linreg_cg", |b| {
-        b.iter(|| LinearRegression::fit(&reg.x, &reg.y, Solver::ConjugateGradient, 1e-6).expect("fit"))
+        b.iter(|| {
+            LinearRegression::fit(&reg.x, &reg.y, Solver::ConjugateGradient, 1e-6).expect("fit")
+        })
     });
     g.bench_function("kmeans_k4", |b| {
-        b.iter(|| kmeans::fit(&xb, &KMeansConfig { k: 4, max_iter: 20, ..Default::default() }).expect("fit"))
+        b.iter(|| {
+            kmeans::fit(&xb, &KMeansConfig { k: 4, max_iter: 20, ..Default::default() })
+                .expect("fit")
+        })
     });
     g.bench_function("gaussian_nb", |b| b.iter(|| GaussianNb::fit(&xb, &yb).expect("fit")));
     g.finish();

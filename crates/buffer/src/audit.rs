@@ -1,0 +1,110 @@
+//! Structural self-checking for the buffer pool.
+//!
+//! The pool maintains three pieces of state that must stay mutually
+//! consistent: the frame table, the byte accounting (`used`), and the
+//! eviction policy's view of which pages are resident. A desynchronization —
+//! a policy tracking an evicted page, a frame the policy never learned about,
+//! a stale byte count — would not fail fast; it would silently skew eviction
+//! decisions or the byte budget. [`BufferPool::audit`](crate::BufferPool::audit)
+//! recomputes everything from first principles and reports the first
+//! violation found.
+//!
+//! Pin-count leaks get the same treatment: a pin without a matching unpin
+//! permanently shields a frame from eviction and eventually starves the pool
+//! into [`PoolError::AllPinned`](crate::PoolError::AllPinned). The audit
+//! report lists every outstanding pin, and
+//! [`audit_quiescent`](crate::BufferPool::audit_quiescent) turns any
+//! outstanding pin into an error — the right check at points where all users
+//! have released their references.
+
+use crate::pool::PageKey;
+use std::fmt;
+
+/// An internal-consistency violation found by an audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// `used` disagrees with the sum of resident frame sizes.
+    ByteAccountingMismatch {
+        /// The pool's `used` counter.
+        recorded: usize,
+        /// Sum of resident frame sizes recomputed from the frame table.
+        actual: usize,
+    },
+    /// Resident bytes exceed the configured capacity.
+    OverCapacity {
+        /// Bytes resident.
+        used: usize,
+        /// Configured budget.
+        capacity: usize,
+    },
+    /// The policy tracks a page that is not resident.
+    PolicyGhostKey {
+        /// The stale key.
+        key: PageKey,
+    },
+    /// The policy tracks the same page twice.
+    PolicyDuplicateKey {
+        /// The doubly-tracked key.
+        key: PageKey,
+    },
+    /// A resident frame is unknown to the policy (it could never be chosen
+    /// for eviction, leaking memory under pressure).
+    PolicyUntrackedFrame {
+        /// The untracked key.
+        key: PageKey,
+    },
+    /// A page still holds pins at a point declared quiescent.
+    PinLeak {
+        /// The pinned page.
+        key: PageKey,
+        /// Outstanding pin count.
+        pins: u32,
+    },
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::ByteAccountingMismatch { recorded, actual } => {
+                write!(f, "pool records {recorded} bytes used but resident frames total {actual}")
+            }
+            AuditError::OverCapacity { used, capacity } => {
+                write!(f, "pool holds {used} bytes against a capacity of {capacity}")
+            }
+            AuditError::PolicyGhostKey { key } => {
+                write!(f, "eviction policy tracks non-resident page {key:?}")
+            }
+            AuditError::PolicyDuplicateKey { key } => {
+                write!(f, "eviction policy tracks page {key:?} twice")
+            }
+            AuditError::PolicyUntrackedFrame { key } => {
+                write!(f, "resident page {key:?} is unknown to the eviction policy")
+            }
+            AuditError::PinLeak { key, pins } => {
+                write!(f, "page {key:?} still holds {pins} pin(s) at a quiescent point")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Snapshot of pool state produced by a passing audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Number of resident frames.
+    pub resident: usize,
+    /// Bytes resident (verified against the frame table).
+    pub used: usize,
+    /// Configured byte budget.
+    pub capacity: usize,
+    /// Every page with an outstanding pin, with its pin count, sorted by key.
+    pub pinned: Vec<(PageKey, u32)>,
+}
+
+impl AuditReport {
+    /// Total outstanding pins across all pages.
+    pub fn total_pins(&self) -> u64 {
+        self.pinned.iter().map(|&(_, p)| p as u64).sum()
+    }
+}

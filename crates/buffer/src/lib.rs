@@ -21,9 +21,11 @@
 //! assert_eq!(pool.stats().hits, 1);
 //! ```
 
+pub mod audit;
 pub mod codec;
 pub mod policy;
 pub mod pool;
 pub mod storage;
 
+pub use audit::{AuditError, AuditReport};
 pub use pool::{BufferPool, PageKey, PoolError, PoolStats, SharedBufferPool};

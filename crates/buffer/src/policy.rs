@@ -30,6 +30,10 @@ pub trait Policy: Send {
     fn remove(&mut self, key: PageKey);
     /// Choose a victim among pages for which `evictable` returns true.
     fn victim(&mut self, evictable: &dyn Fn(PageKey) -> bool) -> Option<PageKey>;
+    /// Every page the policy currently tracks, in no particular order. Used
+    /// by [`crate::audit`] to cross-check policy state against the frame
+    /// table: the two must always hold exactly the same key set.
+    fn keys(&self) -> Vec<PageKey>;
 }
 
 /// Build a policy by kind.
@@ -78,6 +82,10 @@ impl Policy for LfuPolicy {
             .min_by_key(|(_, freq, seq)| (*freq, *seq))
             .map(|(k, _, _)| *k)
     }
+
+    fn keys(&self) -> Vec<PageKey> {
+        self.entries.iter().map(|(k, _, _)| *k).collect()
+    }
 }
 
 /// Exact LRU via a recency-ordered list (front = coldest).
@@ -110,6 +118,10 @@ impl Policy for LruPolicy {
     fn victim(&mut self, evictable: &dyn Fn(PageKey) -> bool) -> Option<PageKey> {
         self.order.iter().copied().find(|&k| evictable(k))
     }
+
+    fn keys(&self) -> Vec<PageKey> {
+        self.order.iter().copied().collect()
+    }
 }
 
 /// FIFO: evict in admission order regardless of accesses.
@@ -133,6 +145,10 @@ impl Policy for FifoPolicy {
 
     fn victim(&mut self, evictable: &dyn Fn(PageKey) -> bool) -> Option<PageKey> {
         self.order.iter().copied().find(|&k| evictable(k))
+    }
+
+    fn keys(&self) -> Vec<PageKey> {
+        self.order.iter().copied().collect()
     }
 }
 
@@ -193,6 +209,10 @@ impl Policy for ClockPolicy {
         // (possible only when non-evictable pages interleave oddly): fall
         // back to the first evictable page.
         self.ring.iter().map(|&(k, _)| k).find(|&k| evictable(k))
+    }
+
+    fn keys(&self) -> Vec<PageKey> {
+        self.ring.iter().map(|&(k, _)| k).collect()
     }
 }
 

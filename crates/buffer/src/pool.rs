@@ -1,5 +1,6 @@
 //! The buffer pool proper: a byte-budgeted frame table over a backing store.
 
+use crate::audit::{AuditError, AuditReport};
 use crate::codec;
 use crate::policy::{make_policy, Policy, PolicyKind};
 use crate::storage::Storage;
@@ -260,6 +261,53 @@ impl<S: Storage> BufferPool<S> {
     pub fn storage(&self) -> &S {
         &self.storage
     }
+
+    /// Recompute the pool's internal state from first principles and check it
+    /// against the recorded state; see [`crate::audit`]. Passing returns a
+    /// snapshot including every outstanding pin.
+    pub fn audit(&self) -> Result<AuditReport, AuditError> {
+        let actual: usize = self.frames.values().map(|f| f.bytes).sum();
+        if actual != self.used {
+            return Err(AuditError::ByteAccountingMismatch { recorded: self.used, actual });
+        }
+        if self.used > self.capacity {
+            return Err(AuditError::OverCapacity { used: self.used, capacity: self.capacity });
+        }
+        let mut tracked: std::collections::HashSet<PageKey> = std::collections::HashSet::new();
+        for key in self.policy.keys() {
+            if !tracked.insert(key) {
+                return Err(AuditError::PolicyDuplicateKey { key });
+            }
+            if !self.frames.contains_key(&key) {
+                return Err(AuditError::PolicyGhostKey { key });
+            }
+        }
+        for key in self.frames.keys() {
+            if !tracked.contains(key) {
+                return Err(AuditError::PolicyUntrackedFrame { key: *key });
+            }
+        }
+        let mut pinned: Vec<(PageKey, u32)> =
+            self.frames.iter().filter(|(_, f)| f.pins > 0).map(|(k, f)| (*k, f.pins)).collect();
+        pinned.sort_unstable_by_key(|&(k, _)| k);
+        Ok(AuditReport {
+            resident: self.frames.len(),
+            used: self.used,
+            capacity: self.capacity,
+            pinned,
+        })
+    }
+
+    /// [`audit`](Self::audit), plus the requirement that no page holds a pin:
+    /// the right check at points where every user has released its blocks,
+    /// where an outstanding pin can only be a leak.
+    pub fn audit_quiescent(&self) -> Result<AuditReport, AuditError> {
+        let report = self.audit()?;
+        if let Some(&(key, pins)) = report.pinned.first() {
+            return Err(AuditError::PinLeak { key, pins });
+        }
+        Ok(report)
+    }
 }
 
 /// A thread-safe handle around a pool, for concurrent producers/consumers.
@@ -423,6 +471,65 @@ mod tests {
         let s = PoolStats { hits: 3, misses: 1, evictions: 0, absent: 5 };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(PoolStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn audit_passes_through_churn() {
+        let mut p = pool(2, PolicyKind::Lru);
+        for i in 0..10u32 {
+            p.put(key(i), block(i as f64)).unwrap();
+            p.get(key(i.saturating_sub(1))).unwrap();
+            p.audit().unwrap();
+        }
+        let report = p.audit_quiescent().unwrap();
+        assert_eq!(report.resident, 2);
+        assert!(report.pinned.is_empty());
+        assert_eq!(report.used, p.used());
+    }
+
+    #[test]
+    fn audit_reports_outstanding_pins() {
+        let mut p = pool(4, PolicyKind::Lfu);
+        p.put(key(1), block(1.0)).unwrap();
+        p.pin(key(1)).unwrap().unwrap();
+        p.pin(key(1)).unwrap().unwrap();
+        let report = p.audit().unwrap();
+        assert_eq!(report.pinned, vec![(key(1), 2)]);
+        assert_eq!(report.total_pins(), 2);
+        assert_eq!(
+            p.audit_quiescent(),
+            Err(crate::audit::AuditError::PinLeak { key: key(1), pins: 2 })
+        );
+        p.unpin(key(1)).unwrap();
+        p.unpin(key(1)).unwrap();
+        p.audit_quiescent().unwrap();
+    }
+
+    #[test]
+    fn audit_detects_policy_desync() {
+        let mut p = pool(4, PolicyKind::Clock);
+        p.put(key(1), block(1.0)).unwrap();
+        p.put(key(2), block(2.0)).unwrap();
+        // Simulate a lost remove notification: the policy keeps a ghost.
+        p.frames.remove(&key(2)).unwrap();
+        p.used -= 144;
+        assert_eq!(p.audit(), Err(crate::audit::AuditError::PolicyGhostKey { key: key(2) }));
+        // And the converse: a frame the policy never saw.
+        let mut p = pool(4, PolicyKind::Fifo);
+        p.put(key(1), block(1.0)).unwrap();
+        p.policy.remove(key(1));
+        assert_eq!(p.audit(), Err(crate::audit::AuditError::PolicyUntrackedFrame { key: key(1) }));
+    }
+
+    #[test]
+    fn audit_detects_byte_accounting_drift() {
+        let mut p = pool(4, PolicyKind::Lru);
+        p.put(key(1), block(1.0)).unwrap();
+        p.used += 8; // simulate a lost decrement
+        assert_eq!(
+            p.audit(),
+            Err(crate::audit::AuditError::ByteAccountingMismatch { recorded: 152, actual: 144 })
+        );
     }
 
     #[test]

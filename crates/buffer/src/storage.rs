@@ -1,7 +1,7 @@
 //! Backing stores the buffer pool spills evicted blocks to.
 
-use bytes::Bytes;
 use crate::pool::PageKey;
+use bytes::Bytes;
 use std::collections::HashMap;
 use std::io;
 use std::path::PathBuf;

@@ -58,6 +58,10 @@ proptest! {
             }
             prop_assert!(pool.used() <= pool.capacity(), "byte budget violated");
             prop_assert!(pool.resident() <= cap_blocks, "frame budget violated");
+            // Frame table, byte accounting, and policy state stay in sync
+            // after every operation; no action here pins, so quiescent holds.
+            let audit = pool.audit_quiescent();
+            prop_assert!(audit.is_ok(), "pool audit failed: {:?}", audit);
         }
         // Post-condition: every key the model knows is still retrievable.
         for (k, v) in model {
@@ -80,7 +84,11 @@ proptest! {
         let before = pool.stats().hits;
         pool.get(PageKey::new(0, 0, 0)).unwrap().unwrap();
         prop_assert_eq!(pool.stats().hits, before + 1);
+        // The audit sees the outstanding pin, and sees it released.
+        let report = pool.audit().expect("pool consistent");
+        prop_assert_eq!(report.pinned, vec![(PageKey::new(0, 0, 0), 1)]);
         pool.unpin(PageKey::new(0, 0, 0)).unwrap();
+        prop_assert!(pool.audit_quiescent().is_ok(), "pin leak after release");
     }
 
     #[test]

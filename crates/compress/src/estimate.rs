@@ -28,7 +28,8 @@ pub struct GroupStats {
 /// Draw a deterministic row sample of the given fraction (at least
 /// `min_rows`, at most all rows).
 pub fn sample_rows(num_rows: usize, fraction: f64, min_rows: usize, seed: u64) -> Vec<usize> {
-    let target = ((num_rows as f64 * fraction).ceil() as usize).clamp(min_rows.min(num_rows), num_rows);
+    let target =
+        ((num_rows as f64 * fraction).ceil() as usize).clamp(min_rows.min(num_rows), num_rows);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut idx: Vec<usize> = (0..num_rows).collect();
     idx.shuffle(&mut rng);
@@ -186,14 +187,21 @@ mod tests {
     #[test]
     fn size_model_prefers_right_encoding() {
         // Clustered low cardinality: few runs -> RLE wins.
-        let clustered = GroupStats { est_distinct: 5, est_nnz_rows: 10_000, est_runs: 10, num_rows: 10_000 };
+        let clustered =
+            GroupStats { est_distinct: 5, est_nnz_rows: 10_000, est_runs: 10, num_rows: 10_000 };
         assert_eq!(estimate_sizes(&clustered, 1).best().0, crate::Encoding::Rle);
         // Very sparse: OLE wins.
-        let sparse = GroupStats { est_distinct: 2, est_nnz_rows: 50, est_runs: 50, num_rows: 10_000 };
+        let sparse =
+            GroupStats { est_distinct: 2, est_nnz_rows: 50, est_runs: 50, num_rows: 10_000 };
         let best = estimate_sizes(&sparse, 1).best().0;
         assert!(matches!(best, crate::Encoding::Ole | crate::Encoding::Rle));
         // All-unique: nothing beats uncompressed.
-        let unique = GroupStats { est_distinct: 10_000, est_nnz_rows: 10_000, est_runs: 10_000, num_rows: 10_000 };
+        let unique = GroupStats {
+            est_distinct: 10_000,
+            est_nnz_rows: 10_000,
+            est_runs: 10_000,
+            num_rows: 10_000,
+        };
         assert_eq!(estimate_sizes(&unique, 1).best().0, crate::Encoding::Uncompressed);
     }
 

@@ -272,7 +272,12 @@ mod tests {
         g.decompress_into(&mut dst);
         for r in 0..m.rows() {
             for &c in g.cols() {
-                assert_eq!(dst.get(r, c), m.get(r, c), "mismatch at ({r},{c}) for {:?}", g.encoding());
+                assert_eq!(
+                    dst.get(r, c),
+                    m.get(r, c),
+                    "mismatch at ({r},{c}) for {:?}",
+                    g.encoding()
+                );
             }
         }
     }

@@ -202,7 +202,8 @@ mod tests {
         })
     }
 
-    const ALL: [Encoding; 4] = [Encoding::Ddc, Encoding::Ole, Encoding::Rle, Encoding::Uncompressed];
+    const ALL: [Encoding; 4] =
+        [Encoding::Ddc, Encoding::Ole, Encoding::Rle, Encoding::Uncompressed];
 
     #[test]
     fn gemv_matches_dense_for_all_encodings() {

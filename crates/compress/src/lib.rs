@@ -40,7 +40,9 @@ pub mod kernels;
 pub mod matrix;
 pub mod planner;
 pub mod serial;
+pub mod validate;
 
 pub use dict::Dict;
 pub use group::{ColGroup, Encoding};
 pub use matrix::CompressedMatrix;
+pub use validate::{validate, ValidationError};

@@ -26,11 +26,7 @@ impl CompressedMatrix {
 
     /// Compress following an explicit plan.
     pub fn compress_with_plan(m: &Dense, plan: &CompressionPlan) -> Self {
-        let groups = plan
-            .groups
-            .iter()
-            .map(|g| group::encode(m, &g.cols, g.encoding))
-            .collect();
+        let groups = plan.groups.iter().map(|g| group::encode(m, &g.cols, g.encoding)).collect();
         CompressedMatrix { rows: m.rows(), cols: m.cols(), groups }
     }
 
@@ -66,6 +62,19 @@ impl CompressedMatrix {
         } else {
             None
         }
+    }
+
+    /// Reassemble from raw parts with **no** invariant checking — the caller
+    /// is asserting the parts are consistent, or intends to run
+    /// [`validate`](crate::validate::validate) on the result (corrupted-input
+    /// tests build their fixtures through here).
+    pub fn from_parts_unchecked(rows: usize, cols: usize, groups: Vec<ColGroup>) -> Self {
+        CompressedMatrix { rows, cols, groups }
+    }
+
+    /// Check every structural invariant; see [`crate::validate`].
+    pub fn validate(&self) -> Result<(), crate::validate::ValidationError> {
+        crate::validate::validate(self)
     }
 
     /// Number of logical rows.
@@ -233,10 +242,16 @@ mod tests {
     /// Mixed-structure matrix exercising every encoding in one plan.
     fn mixed(n: usize) -> Dense {
         Dense::from_fn(n, 4, |r, c| match c {
-            0 => (r / (n / 8).max(1)) as f64,             // clustered -> RLE
-            1 => if r % 37 == 0 { 4.5 } else { 0.0 },      // sparse -> OLE
-            2 => ((r * 31) % 7) as f64,                    // low-card unordered -> DDC
-            _ => (r as f64) * 0.77,                        // unique -> UC
+            0 => (r / (n / 8).max(1)) as f64, // clustered -> RLE
+            1 => {
+                if r % 37 == 0 {
+                    4.5
+                } else {
+                    0.0
+                }
+            } // sparse -> OLE
+            2 => ((r * 31) % 7) as f64,       // low-card unordered -> DDC
+            _ => (r as f64) * 0.77,           // unique -> UC
         })
     }
 
@@ -251,8 +266,7 @@ mod tests {
     fn plan_uses_multiple_encodings() {
         let m = mixed(4000);
         let cm = CompressedMatrix::compress(&m, &CompressionConfig::default());
-        let encs: std::collections::HashSet<_> =
-            cm.groups().iter().map(|g| g.encoding()).collect();
+        let encs: std::collections::HashSet<_> = cm.groups().iter().map(|g| g.encoding()).collect();
         assert!(encs.len() >= 3, "expected diverse encodings, got {encs:?}");
     }
 

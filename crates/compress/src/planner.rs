@@ -88,7 +88,9 @@ pub fn plan(m: &Dense, cfg: &CompressionConfig) -> CompressionPlan {
             let mut best: Option<(usize, usize, Encoding, usize, f64)> = None;
             for i in 0..groups.len() {
                 for j in (i + 1)..groups.len() {
-                    if groups[i].1 == Encoding::Uncompressed || groups[j].1 == Encoding::Uncompressed {
+                    if groups[i].1 == Encoding::Uncompressed
+                        || groups[j].1 == Encoding::Uncompressed
+                    {
                         continue;
                     }
                     let mut merged: Vec<usize> = groups[i].0.clone();
@@ -127,7 +129,9 @@ pub fn plan(m: &Dense, cfg: &CompressionConfig) -> CompressionPlan {
         .into_iter()
         .map(|(cols, enc, sz)| {
             let uncompressed = m.rows() * cols.len() * 8;
-            if enc == Encoding::Uncompressed || sz as f64 > cfg.max_ratio_to_keep * uncompressed as f64 {
+            if enc == Encoding::Uncompressed
+                || sz as f64 > cfg.max_ratio_to_keep * uncompressed as f64
+            {
                 PlannedGroup { cols, encoding: Encoding::Uncompressed, est_size: uncompressed }
             } else {
                 PlannedGroup { cols, encoding: enc, est_size: sz }
@@ -196,13 +200,18 @@ mod tests {
         // Two independent 50-value columns whose *pair* takes ~2500 distinct
         // combinations: merging squares the dictionary, so the planner must
         // keep them separate.
-        let m = Dense::from_fn(3000, 2, |r, c| {
-            if c == 0 {
-                (r % 50) as f64
-            } else {
-                ((r / 50) % 50) as f64
-            }
-        });
+        let m =
+            Dense::from_fn(
+                3000,
+                2,
+                |r, c| {
+                    if c == 0 {
+                        (r % 50) as f64
+                    } else {
+                        ((r / 50) % 50) as f64
+                    }
+                },
+            );
         let p = plan(&m, &CompressionConfig::default());
         assert_eq!(p.groups.len(), 2, "independent columns must stay separate: {:?}", p.groups);
     }

@@ -1,0 +1,540 @@
+//! Structural invariant checking for compressed matrices.
+//!
+//! A [`CompressedMatrix`](crate::CompressedMatrix) deserialized from bytes —
+//! or produced by a buggy planner — can violate invariants that the kernels
+//! assume without checking (they index dictionaries and output buffers
+//! directly on the hot path). [`validate`] makes those assumptions explicit
+//! and checkable:
+//!
+//! * the column groups **partition** the logical columns: every column
+//!   covered exactly once, none out of bounds;
+//! * every group agrees with the matrix on the **row count**;
+//! * every dictionary's tuple width matches its group's **column count**;
+//! * **DDC** codes index inside the dictionary;
+//! * **OLE** offset lists are strictly increasing and in `0..num_rows`, with
+//!   exactly one list per dictionary tuple, and no row claimed by two tuples;
+//! * **RLE** runs are non-empty, sorted, non-overlapping (within and across
+//!   tuples), and end inside `0..num_rows`;
+//! * **UC** blocks have exactly the group's shape.
+//!
+//! Encoders uphold all of this by construction — the round-trip property
+//! tests assert it — so a failure pinpoints either corruption or an encoder
+//! bug, with group/tuple/row provenance in the error.
+
+use crate::group::ColGroup;
+use crate::matrix::CompressedMatrix;
+use std::fmt;
+
+/// A structural invariant violation, with provenance into the group layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A group references a column outside the logical matrix.
+    ColumnOutOfBounds {
+        /// Index of the offending group.
+        group: usize,
+        /// The out-of-range column.
+        col: usize,
+        /// Logical column count.
+        num_cols: usize,
+    },
+    /// Two groups (or one group twice) claim the same column.
+    ColumnCoveredTwice {
+        /// Index of the second group claiming the column.
+        group: usize,
+        /// The doubly-covered column.
+        col: usize,
+    },
+    /// No group covers this column.
+    ColumnUncovered {
+        /// The uncovered column.
+        col: usize,
+    },
+    /// A group's row count disagrees with the matrix.
+    RowCountMismatch {
+        /// Index of the offending group.
+        group: usize,
+        /// The matrix's logical row count.
+        expected: usize,
+        /// The group's row count.
+        actual: usize,
+    },
+    /// A dictionary's tuple width disagrees with the group's column count.
+    DictWidthMismatch {
+        /// Index of the offending group.
+        group: usize,
+        /// The group's column count.
+        expected: usize,
+        /// The dictionary's tuple width.
+        actual: usize,
+    },
+    /// A DDC code indexes past the dictionary.
+    CodeOutOfBounds {
+        /// Index of the offending group.
+        group: usize,
+        /// Row holding the bad code.
+        row: usize,
+        /// The out-of-range code.
+        code: u32,
+        /// Dictionary size.
+        num_tuples: usize,
+    },
+    /// An OLE/RLE group's per-tuple list count disagrees with its dictionary.
+    TupleCountMismatch {
+        /// Index of the offending group.
+        group: usize,
+        /// Dictionary size.
+        num_tuples: usize,
+        /// Number of offset/run lists.
+        lists: usize,
+    },
+    /// An OLE offset is out of bounds or breaks the strictly-increasing order.
+    BadOffset {
+        /// Index of the offending group.
+        group: usize,
+        /// Tuple whose list is invalid.
+        tuple: usize,
+        /// The offending offset value.
+        offset: u32,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// An RLE run is empty, out of bounds, or overlaps its predecessor.
+    BadRun {
+        /// Index of the offending group.
+        group: usize,
+        /// Tuple whose run list is invalid.
+        tuple: usize,
+        /// The offending run as `(start, length)`.
+        run: (u32, u32),
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// Two tuples of the same group claim the same row.
+    RowClaimedTwice {
+        /// Index of the offending group.
+        group: usize,
+        /// The doubly-assigned row.
+        row: usize,
+    },
+    /// An uncompressed block's shape disagrees with its group.
+    BlockShapeMismatch {
+        /// Index of the offending group.
+        group: usize,
+        /// Expected `(rows, cols)`.
+        expected: (usize, usize),
+        /// The block's `(rows, cols)`.
+        actual: (usize, usize),
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::ColumnOutOfBounds { group, col, num_cols } => write!(
+                f,
+                "group {group} references column {col}, but the matrix has {num_cols} columns"
+            ),
+            ValidationError::ColumnCoveredTwice { group, col } => {
+                write!(f, "column {col} is covered twice (second claim by group {group})")
+            }
+            ValidationError::ColumnUncovered { col } => {
+                write!(f, "column {col} is covered by no group")
+            }
+            ValidationError::RowCountMismatch { group, expected, actual } => write!(
+                f,
+                "group {group} has {actual} rows but the matrix has {expected}"
+            ),
+            ValidationError::DictWidthMismatch { group, expected, actual } => write!(
+                f,
+                "group {group} covers {expected} columns but its dictionary tuples have width {actual}"
+            ),
+            ValidationError::CodeOutOfBounds { group, row, code, num_tuples } => write!(
+                f,
+                "group {group} row {row}: DDC code {code} exceeds dictionary size {num_tuples}"
+            ),
+            ValidationError::TupleCountMismatch { group, num_tuples, lists } => write!(
+                f,
+                "group {group} has {lists} offset/run lists for {num_tuples} dictionary tuples"
+            ),
+            ValidationError::BadOffset { group, tuple, offset, reason } => write!(
+                f,
+                "group {group} tuple {tuple}: offset {offset} {reason}"
+            ),
+            ValidationError::BadRun { group, tuple, run, reason } => write!(
+                f,
+                "group {group} tuple {tuple}: run ({}, {}) {reason}",
+                run.0, run.1
+            ),
+            ValidationError::RowClaimedTwice { group, row } => {
+                write!(f, "group {group}: row {row} is assigned to two different tuples")
+            }
+            ValidationError::BlockShapeMismatch { group, expected, actual } => write!(
+                f,
+                "group {group}: uncompressed block is {}x{}, expected {}x{}",
+                actual.0, actual.1, expected.0, expected.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Check every structural invariant of a compressed matrix; `Ok(())` means
+/// the kernels' indexing assumptions all hold.
+pub fn validate(cm: &CompressedMatrix) -> Result<(), ValidationError> {
+    let (rows, cols) = (cm.rows(), cm.cols());
+    let mut covered = vec![false; cols];
+    for (gi, g) in cm.groups().iter().enumerate() {
+        for &c in g.cols() {
+            if c >= cols {
+                return Err(ValidationError::ColumnOutOfBounds {
+                    group: gi,
+                    col: c,
+                    num_cols: cols,
+                });
+            }
+            if covered[c] {
+                return Err(ValidationError::ColumnCoveredTwice { group: gi, col: c });
+            }
+            covered[c] = true;
+        }
+        if g.num_rows() != rows {
+            return Err(ValidationError::RowCountMismatch {
+                group: gi,
+                expected: rows,
+                actual: g.num_rows(),
+            });
+        }
+        validate_group(g, gi)?;
+    }
+    if let Some(col) = covered.iter().position(|&b| !b) {
+        return Err(ValidationError::ColumnUncovered { col });
+    }
+    Ok(())
+}
+
+/// Check the internal invariants of one column group. `group` is the group's
+/// index, used only for error provenance.
+pub fn validate_group(g: &ColGroup, group: usize) -> Result<(), ValidationError> {
+    match g {
+        ColGroup::Ddc { cols, dict, codes } => {
+            if dict.width() != cols.len() {
+                return Err(ValidationError::DictWidthMismatch {
+                    group,
+                    expected: cols.len(),
+                    actual: dict.width(),
+                });
+            }
+            let n = dict.num_tuples();
+            for (row, code) in codes.iter().enumerate() {
+                if code as usize >= n {
+                    return Err(ValidationError::CodeOutOfBounds {
+                        group,
+                        row,
+                        code,
+                        num_tuples: n,
+                    });
+                }
+            }
+        }
+        ColGroup::Ole { cols, dict, offsets, num_rows } => {
+            if dict.width() != cols.len() {
+                return Err(ValidationError::DictWidthMismatch {
+                    group,
+                    expected: cols.len(),
+                    actual: dict.width(),
+                });
+            }
+            if offsets.len() != dict.num_tuples() {
+                return Err(ValidationError::TupleCountMismatch {
+                    group,
+                    num_tuples: dict.num_tuples(),
+                    lists: offsets.len(),
+                });
+            }
+            let mut claimed = vec![false; *num_rows];
+            for (tuple, list) in offsets.iter().enumerate() {
+                let mut prev: Option<u32> = None;
+                for &off in list {
+                    if off as usize >= *num_rows {
+                        return Err(ValidationError::BadOffset {
+                            group,
+                            tuple,
+                            offset: off,
+                            reason: "is out of row bounds",
+                        });
+                    }
+                    if prev.is_some_and(|p| off <= p) {
+                        return Err(ValidationError::BadOffset {
+                            group,
+                            tuple,
+                            offset: off,
+                            reason: "breaks the strictly-increasing order",
+                        });
+                    }
+                    if claimed[off as usize] {
+                        return Err(ValidationError::RowClaimedTwice { group, row: off as usize });
+                    }
+                    claimed[off as usize] = true;
+                    prev = Some(off);
+                }
+            }
+        }
+        ColGroup::Rle { cols, dict, runs, num_rows } => {
+            if dict.width() != cols.len() {
+                return Err(ValidationError::DictWidthMismatch {
+                    group,
+                    expected: cols.len(),
+                    actual: dict.width(),
+                });
+            }
+            if runs.len() != dict.num_tuples() {
+                return Err(ValidationError::TupleCountMismatch {
+                    group,
+                    num_tuples: dict.num_tuples(),
+                    lists: runs.len(),
+                });
+            }
+            let mut claimed = vec![false; *num_rows];
+            for (tuple, list) in runs.iter().enumerate() {
+                let mut prev_end: Option<u32> = None;
+                for &(start, len) in list {
+                    if len == 0 {
+                        return Err(ValidationError::BadRun {
+                            group,
+                            tuple,
+                            run: (start, len),
+                            reason: "is empty",
+                        });
+                    }
+                    let end = (start as u64) + (len as u64);
+                    if end > *num_rows as u64 {
+                        return Err(ValidationError::BadRun {
+                            group,
+                            tuple,
+                            run: (start, len),
+                            reason: "extends past the row count",
+                        });
+                    }
+                    if prev_end.is_some_and(|p| start < p) {
+                        return Err(ValidationError::BadRun {
+                            group,
+                            tuple,
+                            run: (start, len),
+                            reason: "overlaps or precedes the previous run",
+                        });
+                    }
+                    for r in start..start + len {
+                        if claimed[r as usize] {
+                            return Err(ValidationError::RowClaimedTwice {
+                                group,
+                                row: r as usize,
+                            });
+                        }
+                        claimed[r as usize] = true;
+                    }
+                    prev_end = Some(start + len);
+                }
+            }
+        }
+        ColGroup::Uncompressed { cols, data } => {
+            if data.cols() != cols.len() {
+                return Err(ValidationError::BlockShapeMismatch {
+                    group,
+                    expected: (data.rows(), cols.len()),
+                    actual: (data.rows(), data.cols()),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes::CodeArray;
+    use crate::dict::DictBuilder;
+    use crate::group::{encode, Encoding};
+    use crate::planner::CompressionConfig;
+    use dm_matrix::Dense;
+
+    fn mixed(n: usize) -> Dense {
+        Dense::from_fn(n, 4, |r, c| match c {
+            0 => (r / (n / 8).max(1)) as f64,
+            1 => {
+                if r % 37 == 0 {
+                    4.5
+                } else {
+                    0.0
+                }
+            }
+            2 => ((r * 31) % 7) as f64,
+            _ => (r as f64) * 0.77,
+        })
+    }
+
+    fn dict(width: usize, tuples: &[&[f64]]) -> crate::Dict {
+        let mut b = DictBuilder::new(width);
+        for t in tuples {
+            b.intern(t);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn planner_output_validates() {
+        let m = mixed(2000);
+        let cm = CompressedMatrix::compress(&m, &CompressionConfig::default());
+        validate(&cm).unwrap();
+    }
+
+    #[test]
+    fn every_uniform_encoding_validates() {
+        let m = mixed(500);
+        for enc in [Encoding::Ddc, Encoding::Ole, Encoding::Rle, Encoding::Uncompressed] {
+            let cm = CompressedMatrix::compress_uniform(&m, enc);
+            validate(&cm).unwrap();
+        }
+    }
+
+    #[test]
+    fn every_encoder_group_validates_cocoded() {
+        let m = mixed(300);
+        for enc in [Encoding::Ddc, Encoding::Ole, Encoding::Rle, Encoding::Uncompressed] {
+            let g = encode(&m, &[0, 1], enc);
+            validate_group(&g, 0).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_uncovered_and_doubly_covered_columns() {
+        let m = mixed(100);
+        let g0 = encode(&m, &[0, 1], Encoding::Ddc);
+        let g3 = encode(&m, &[3], Encoding::Uncompressed);
+        // Column 2 uncovered.
+        let cm = CompressedMatrix::from_parts_unchecked(100, 4, vec![g0.clone(), g3.clone()]);
+        assert_eq!(validate(&cm), Err(ValidationError::ColumnUncovered { col: 2 }));
+        // Column 0 covered twice.
+        let dup = encode(&m, &[0, 2], Encoding::Ddc);
+        let cm = CompressedMatrix::from_parts_unchecked(100, 4, vec![g0, dup, g3]);
+        assert_eq!(validate(&cm), Err(ValidationError::ColumnCoveredTwice { group: 1, col: 0 }));
+    }
+
+    #[test]
+    fn rejects_ddc_code_out_of_bounds() {
+        // Dictionary of 2 tuples, but a code of 7 smuggled in.
+        let d = dict(1, &[&[1.0], &[2.0]]);
+        let codes = CodeArray::pack(&[0, 1, 7, 0], 8);
+        let g = ColGroup::Ddc { cols: vec![0], dict: d, codes };
+        assert_eq!(
+            validate_group(&g, 0),
+            Err(ValidationError::CodeOutOfBounds { group: 0, row: 2, code: 7, num_tuples: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_ole_offset_out_of_bounds_and_unsorted() {
+        let d = dict(1, &[&[1.0]]);
+        let g = ColGroup::Ole {
+            cols: vec![0],
+            dict: d.clone(),
+            offsets: vec![vec![1, 99]],
+            num_rows: 10,
+        };
+        assert!(matches!(
+            validate_group(&g, 0),
+            Err(ValidationError::BadOffset { offset: 99, .. })
+        ));
+        let g = ColGroup::Ole { cols: vec![0], dict: d, offsets: vec![vec![5, 3]], num_rows: 10 };
+        assert!(matches!(validate_group(&g, 0), Err(ValidationError::BadOffset { offset: 3, .. })));
+    }
+
+    #[test]
+    fn rejects_ole_row_claimed_by_two_tuples() {
+        let d = dict(1, &[&[1.0], &[2.0]]);
+        let g = ColGroup::Ole {
+            cols: vec![0],
+            dict: d,
+            offsets: vec![vec![0, 4], vec![4]],
+            num_rows: 10,
+        };
+        assert_eq!(
+            validate_group(&g, 0),
+            Err(ValidationError::RowClaimedTwice { group: 0, row: 4 })
+        );
+    }
+
+    #[test]
+    fn rejects_rle_overlapping_and_oversized_runs() {
+        let d = dict(1, &[&[1.0]]);
+        let overlap = ColGroup::Rle {
+            cols: vec![0],
+            dict: d.clone(),
+            runs: vec![vec![(0, 3), (2, 2)]],
+            num_rows: 10,
+        };
+        assert!(matches!(
+            validate_group(&overlap, 0),
+            Err(ValidationError::BadRun { run: (2, 2), .. })
+        ));
+        let past_end = ColGroup::Rle {
+            cols: vec![0],
+            dict: d.clone(),
+            runs: vec![vec![(8, 5)]],
+            num_rows: 10,
+        };
+        assert!(matches!(
+            validate_group(&past_end, 0),
+            Err(ValidationError::BadRun { run: (8, 5), .. })
+        ));
+        let empty =
+            ColGroup::Rle { cols: vec![0], dict: d, runs: vec![vec![(3, 0)]], num_rows: 10 };
+        assert!(matches!(
+            validate_group(&empty, 0),
+            Err(ValidationError::BadRun { run: (3, 0), reason: "is empty", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_tuple_count_and_width_mismatches() {
+        let d = dict(2, &[&[1.0, 2.0]]);
+        // Width 2 dictionary over a single-column group.
+        let g =
+            ColGroup::Ole { cols: vec![0], dict: d.clone(), offsets: vec![vec![0]], num_rows: 4 };
+        assert_eq!(
+            validate_group(&g, 0),
+            Err(ValidationError::DictWidthMismatch { group: 0, expected: 1, actual: 2 })
+        );
+        // One dictionary tuple but two run lists.
+        let g = ColGroup::Rle {
+            cols: vec![0, 1],
+            dict: d,
+            runs: vec![vec![(0, 1)], vec![(1, 1)]],
+            num_rows: 4,
+        };
+        assert_eq!(
+            validate_group(&g, 0),
+            Err(ValidationError::TupleCountMismatch { group: 0, num_tuples: 1, lists: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_row_count_mismatch() {
+        let m = mixed(50);
+        let groups: Vec<ColGroup> = (0..4).map(|c| encode(&m, &[c], Encoding::Ddc)).collect();
+        // Claim 60 rows while every DDC group carries 50 codes.
+        let cm = CompressedMatrix::from_parts_unchecked(60, 4, groups);
+        assert_eq!(
+            validate(&cm),
+            Err(ValidationError::RowCountMismatch { group: 0, expected: 60, actual: 50 })
+        );
+    }
+
+    #[test]
+    fn errors_render_with_provenance() {
+        let e = ValidationError::CodeOutOfBounds { group: 3, row: 17, code: 9, num_tuples: 4 };
+        let s = e.to_string();
+        assert!(s.contains("group 3") && s.contains("row 17"), "{s}");
+    }
+}

@@ -29,6 +29,7 @@ proptest! {
     #[test]
     fn compression_is_lossless(m in matrix()) {
         let cm = CompressedMatrix::compress(&m, &small_config());
+        prop_assert!(cm.validate().is_ok(), "planner output violates invariants: {:?}", cm.validate());
         prop_assert!(cm.decompress().approx_eq(&m, 0.0));
     }
 
@@ -36,6 +37,7 @@ proptest! {
     fn uniform_encodings_lossless(m in matrix()) {
         for enc in [Encoding::Ddc, Encoding::Ole, Encoding::Rle, Encoding::Uncompressed] {
             let cm = CompressedMatrix::compress_uniform(&m, enc);
+            prop_assert!(cm.validate().is_ok(), "{enc:?} output violates invariants: {:?}", cm.validate());
             prop_assert!(cm.decompress().approx_eq(&m, 0.0));
         }
     }
@@ -82,6 +84,7 @@ proptest! {
         // x+3 is not zero-preserving: forces the re-encode path on OLE/RLE.
         let cm = CompressedMatrix::compress(&m, &small_config());
         let sh = cm.scalar_map(|v| v + 3.0);
+        prop_assert!(sh.validate().is_ok(), "re-encoded output violates invariants: {:?}", sh.validate());
         prop_assert!(sh.decompress().approx_eq(&m.map(|v| v + 3.0), 1e-12));
     }
 

@@ -16,13 +16,17 @@ pub fn dense_uniform(rows: usize, cols: usize, lo: f64, hi: f64, seed: u64) -> D
 pub fn sparse_uniform(rows: usize, cols: usize, density: f64, seed: u64) -> Dense {
     let density = density.clamp(0.0, 1.0);
     let mut rng = StdRng::seed_from_u64(seed);
-    Dense::from_fn(rows, cols, |_, _| {
-        if rng.gen_bool(density) {
-            rng.gen_range(0.5..1.5)
-        } else {
-            0.0
-        }
-    })
+    Dense::from_fn(
+        rows,
+        cols,
+        |_, _| {
+            if rng.gen_bool(density) {
+                rng.gen_range(0.5..1.5)
+            } else {
+                0.0
+            }
+        },
+    )
 }
 
 /// Low-cardinality matrix: each column draws from `cardinality` distinct

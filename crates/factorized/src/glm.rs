@@ -19,14 +19,7 @@ pub fn train_factorized(
     family: Family,
     cfg: &GdConfig,
 ) -> Result<GlmFit, MlError> {
-    glm::train_gd(
-        |w| nm.gemv(w),
-        |r| nm.vecmat(r),
-        y,
-        nm.cols(),
-        family,
-        cfg,
-    )
+    glm::train_gd(|w| nm.gemv(w), |r| nm.vecmat(r), y, nm.cols(), family, cfg)
 }
 
 /// Baseline: materialize the join once, then train on the dense matrix.
@@ -68,7 +61,8 @@ mod tests {
     #[test]
     fn factorized_recovers_linear_truth() {
         let (nm, truth, y) = star(300);
-        let cfg = GdConfig { learning_rate: 0.5, max_iter: 50_000, tol: 1e-10, ..Default::default() };
+        let cfg =
+            GdConfig { learning_rate: 0.5, max_iter: 50_000, tol: 1e-10, ..Default::default() };
         let fit = train_factorized(&nm, &y, Family::Gaussian, &cfg).unwrap();
         assert!(fit.converged);
         for (w, t) in fit.weights.iter().zip(&truth) {
@@ -112,7 +106,8 @@ mod tests {
         let fk = (0..1000).map(|r| r % 3).collect();
         let nm = NormalizedMatrix::new(s, vec![DimTable::new(rk, fk).unwrap()]).unwrap();
         let y = nm.gemv(&[1.0, 1.0]);
-        let cfg = GdConfig { learning_rate: 0.2, max_iter: 20_000, tol: 1e-9, ..Default::default() };
+        let cfg =
+            GdConfig { learning_rate: 0.2, max_iter: 20_000, tol: 1e-9, ..Default::default() };
         let fit = train_factorized(&nm, &y, Family::Gaussian, &cfg).unwrap();
         let pred = nm.gemv(&fit.weights);
         let mse: f64 =

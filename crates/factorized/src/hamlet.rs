@@ -155,10 +155,8 @@ mod tests {
         let fk: Vec<usize> = vec![0, 1, 2, 1, 0];
         let w_r = [0.5, -1.5];
         // Joined prediction.
-        let joined: Vec<f64> = fk
-            .iter()
-            .map(|&g| r.row(g).iter().zip(&w_r).map(|(a, b)| a * b).sum())
-            .collect();
+        let joined: Vec<f64> =
+            fk.iter().map(|&g| r.row(g).iter().zip(&w_r).map(|(a, b)| a * b).sum()).collect();
         // One-hot prediction with induced weights.
         let w_oh: Vec<f64> =
             (0..3).map(|g| r.row(g).iter().zip(&w_r).map(|(a, b)| a * b).sum()).collect();

@@ -34,7 +34,10 @@ impl fmt::Display for FactorizedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FactorizedError::DanglingKey { table, fact_row, key } => {
-                write!(f, "fact row {fact_row} references missing row {key} of dimension table {table}")
+                write!(
+                    f,
+                    "fact row {fact_row} references missing row {key} of dimension table {table}"
+                )
             }
             FactorizedError::KeyLength { table, keys, fact_rows } => {
                 write!(f, "dimension table {table} has {keys} keys for {fact_rows} fact rows")
@@ -90,7 +93,11 @@ impl NormalizedMatrix {
         let n = s.rows();
         for (t, dt) in tables.iter().enumerate() {
             if dt.fk.len() != n {
-                return Err(FactorizedError::KeyLength { table: t, keys: dt.fk.len(), fact_rows: n });
+                return Err(FactorizedError::KeyLength {
+                    table: t,
+                    keys: dt.fk.len(),
+                    fact_rows: n,
+                });
             }
             for (i, &k) in dt.fk.iter().enumerate() {
                 if k >= dt.features.rows() {
@@ -164,32 +171,27 @@ impl NormalizedMatrix {
         fact_features: &[&str],
         dims: &[(&dm_rel::Table, &str, &str, &[&str])],
     ) -> Result<Self, FactorizedError> {
-        let s = fact
-            .to_dense(fact_features)
-            .map_err(|e| FactorizedError::Source(e.to_string()))?;
+        let s = fact.to_dense(fact_features).map_err(|e| FactorizedError::Source(e.to_string()))?;
         let mut tables = Vec::with_capacity(dims.len());
         for (t, (dim, fk_col, key_col, feat_cols)) in dims.iter().enumerate() {
-            let features = dim
-                .to_dense(feat_cols)
-                .map_err(|e| FactorizedError::Source(e.to_string()))?;
+            let features =
+                dim.to_dense(feat_cols).map_err(|e| FactorizedError::Source(e.to_string()))?;
             // Key -> dimension row index.
-            let keycol = dim
-                .column_by_name(key_col)
-                .map_err(|e| FactorizedError::Source(e.to_string()))?;
+            let keycol =
+                dim.column_by_name(key_col).map_err(|e| FactorizedError::Source(e.to_string()))?;
             let mut index = std::collections::HashMap::new();
             for r in 0..dim.num_rows() {
                 if let Some(k) = keycol.get_i64(r) {
                     index.insert(k, r);
                 }
             }
-            let fkcol = fact
-                .column_by_name(fk_col)
-                .map_err(|e| FactorizedError::Source(e.to_string()))?;
+            let fkcol =
+                fact.column_by_name(fk_col).map_err(|e| FactorizedError::Source(e.to_string()))?;
             let mut fk = Vec::with_capacity(fact.num_rows());
             for r in 0..fact.num_rows() {
-                let key = fkcol
-                    .get_i64(r)
-                    .ok_or(FactorizedError::Source(format!("NULL or non-integer key at fact row {r}")))?;
+                let key = fkcol.get_i64(r).ok_or(FactorizedError::Source(format!(
+                    "NULL or non-integer key at fact row {r}"
+                )))?;
                 let row = *index.get(&key).ok_or(FactorizedError::DanglingKey {
                     table: t,
                     fact_row: r,
@@ -312,7 +314,11 @@ mod tests {
         // Dangling key in the fact table is caught.
         fact.push_row(vec![Value::Float64(1.0), Value::Int64(99)]).unwrap();
         assert!(matches!(
-            NormalizedMatrix::from_tables(&fact, &["amount"], &[(&dim, "cust", "id", &["age"][..])]),
+            NormalizedMatrix::from_tables(
+                &fact,
+                &["amount"],
+                &[(&dim, "cust", "id", &["age"][..])]
+            ),
             Err(FactorizedError::DanglingKey { .. })
         ));
     }

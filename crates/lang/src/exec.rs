@@ -130,6 +130,39 @@ impl<'g> Executor<'g> {
         self.plan.as_ref().map_or(Kernel::Dense, |p| p.kernel(id))
     }
 
+    /// Evaluate the node, then cross-check the runtime value's dimensions
+    /// against statically propagated sizes (from
+    /// [`size::propagate`](crate::size::propagate) or
+    /// [`analyze`](crate::analyze::analyze)). A mismatch means the static
+    /// analyzer and the interpreter disagree — a compiler bug, reported as a
+    /// [`ExecError::Type`] naming both shapes. Scalars and 1x1 matrices are
+    /// interchangeable.
+    pub fn eval_verified(
+        &mut self,
+        id: NodeId,
+        env: &Env,
+        expected: &HashMap<NodeId, crate::size::SizeInfo>,
+    ) -> Result<Val, ExecError> {
+        let val = self.eval(id, env)?;
+        if let Some(info) = expected.get(&id) {
+            let (er, ec) = (info.shape.rows(), info.shape.cols());
+            let (ar, ac) = match &val {
+                Val::Scalar(_) => (1, 1),
+                Val::Matrix(m) => (m.rows(), m.cols()),
+            };
+            if (ar, ac) != (er, ec) {
+                return Err(ExecError::Type {
+                    node: id,
+                    message: format!(
+                        "static analysis predicted a {er}x{ec} result but execution \
+                         produced {ar}x{ac}"
+                    ),
+                });
+            }
+        }
+        Ok(val)
+    }
+
     /// Evaluate the node, reusing memoized results for shared subtrees.
     pub fn eval(&mut self, id: NodeId, env: &Env) -> Result<Val, ExecError> {
         if let Some(v) = self.memo.get(&id) {
@@ -183,10 +216,11 @@ impl<'g> Executor<'g> {
                 // Vector shapes dispatch to mv/vm kernels.
                 if mb.cols() == 1 {
                     let v: Vec<f64> = (0..mb.rows()).map(|r| mb.get(r, 0)).collect();
-                    self.stats.flops += 2 * (match &ma {
-                        Matrix::Dense(d) => d.rows() * d.cols(),
-                        Matrix::Sparse(s) => s.nnz(),
-                    }) as u64;
+                    self.stats.flops += 2
+                        * (match &ma {
+                            Matrix::Dense(d) => d.rows() * d.cols(),
+                            Matrix::Sparse(s) => s.nnz(),
+                        }) as u64;
                     let out = ma.gemv(&v);
                     return Ok(Val::Matrix(Matrix::Dense(Dense::column(&out))));
                 }
@@ -306,10 +340,11 @@ impl<'g> Executor<'g> {
                     return Err(type_err("tmv requires X (n x d) and v (n x 1)".into()));
                 }
                 let v: Vec<f64> = (0..mb.rows()).map(|r| mb.get(r, 0)).collect();
-                self.stats.flops += 2 * (match &ma {
-                    Matrix::Dense(d) => d.rows() * d.cols(),
-                    Matrix::Sparse(s) => s.nnz(),
-                }) as u64;
+                self.stats.flops += 2
+                    * (match &ma {
+                        Matrix::Dense(d) => d.rows() * d.cols(),
+                        Matrix::Sparse(s) => s.nnz(),
+                    }) as u64;
                 let out = ma.vecmat(&v);
                 Ok(Val::Matrix(Matrix::Dense(Dense::column(&out))))
             }
@@ -493,7 +528,12 @@ mod tests {
         let got = opt.eval(root, &env()).unwrap().as_scalar().unwrap();
         assert!((got - expect).abs() < 1e-9);
         // The fused plan does strictly fewer flops.
-        assert!(opt.stats().flops < plain.stats().flops, "{:?} vs {:?}", opt.stats(), plain.stats());
+        assert!(
+            opt.stats().flops < plain.stats().flops,
+            "{:?} vs {:?}",
+            opt.stats(),
+            plain.stats()
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! assert_eq!(result.as_scalar().unwrap(), 58.0);
 //! ```
 
+pub mod analyze;
 pub mod exec;
 pub mod expr;
 pub mod parser;
@@ -31,7 +32,11 @@ pub mod physical;
 pub mod rewrite;
 pub mod size;
 
+pub use analyze::{
+    analyze, analyze_program, verify_rewrite, AnalysisReport, Diagnostic, RewriteCheckError,
+    Severity,
+};
 pub use exec::{Env, ExecError, Executor, Val};
-pub use expr::{AggOp, EwiseOp, Graph, NodeId, Op};
+pub use expr::{AggOp, EwiseOp, Graph, NodeId, Op, UnaryOp};
 pub use rewrite::{optimize, RewriteStats};
 pub use size::{Shape, SizeInfo};

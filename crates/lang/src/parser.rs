@@ -243,10 +243,9 @@ impl Parser<'_> {
                     Ok(self.graph.input(&name))
                 }
             }
-            other => Err(ParseError {
-                position: pos,
-                message: format!("unexpected token {other:?}"),
-            }),
+            other => {
+                Err(ParseError { position: pos, message: format!("unexpected token {other:?}") })
+            }
         }
     }
 }

@@ -52,11 +52,7 @@ impl PhysicalPlan {
 pub const SPARSE_THRESHOLD: f64 = 0.2;
 
 /// Assign kernels to every node reachable from `root`, given propagated sizes.
-pub fn plan(
-    graph: &Graph,
-    root: NodeId,
-    sizes: &HashMap<NodeId, SizeInfo>,
-) -> PhysicalPlan {
+pub fn plan(graph: &Graph, root: NodeId, sizes: &HashMap<NodeId, SizeInfo>) -> PhysicalPlan {
     let mut kernels = HashMap::new();
     for id in graph.reachable(root) {
         let info = sizes.get(&id);
@@ -68,9 +64,7 @@ pub fn plan(
                 let child = graph.op(id).children()[0];
                 sparsity_kernel(sizes.get(&child))
             }
-            Op::MatMul(a, _) | Op::Tmv(a, _) | Op::CrossProd(a) => {
-                sparsity_kernel(sizes.get(a))
-            }
+            Op::MatMul(a, _) | Op::Tmv(a, _) | Op::CrossProd(a) => sparsity_kernel(sizes.get(a)),
             Op::Input(_) | Op::Transpose(_) | Op::Ewise(_, _, _) | Op::Unary(_, _) => {
                 sparsity_kernel(info)
             }

@@ -106,7 +106,8 @@ impl Builder<'_> {
         }
         // Shape-preserving algebraic identities.
         if let Op::Ewise(e, a, b) = op {
-            let is_const = |id: NodeId, v: f64| matches!(self.graph.op(id), Op::Const(c) if *c == v);
+            let is_const =
+                |id: NodeId, v: f64| matches!(self.graph.op(id), Op::Const(c) if *c == v);
             let simplified = match e {
                 EwiseOp::Mul if is_const(b, 1.0) => Some(a),
                 EwiseOp::Mul if is_const(a, 1.0) => Some(b),
@@ -219,8 +220,7 @@ pub fn optimize(
     };
     let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
     for id in graph.reachable(root) {
-        let children: Vec<NodeId> =
-            graph.op(id).children().iter().map(|c| remap[c]).collect();
+        let children: Vec<NodeId> = graph.op(id).children().iter().map(|c| remap[c]).collect();
         let new_id = b.add(graph.op(id).with_children(&children));
         remap.insert(id, new_id);
     }
@@ -237,7 +237,35 @@ pub fn optimize(
         new_root = root2;
         stats.chains_reordered += reordered;
     }
+
+    // In debug builds, every optimize call checks its own output against the
+    // rewrite-safety contract; a violation here is an optimizer bug.
+    #[cfg(debug_assertions)]
+    if let Err(violation) = crate::analyze::verify_rewrite(graph, root, &g, new_root, sizes) {
+        panic!(
+            "rewrite-safety violation: {violation}\n  original: {}\n  rewritten: {}",
+            graph.render(root),
+            g.render(new_root)
+        );
+    }
+
     Ok((g, new_root, stats))
+}
+
+/// Leaves of the maximal multiplication chain rooted at `id`, left to right.
+pub(crate) fn collect_chain_leaves(graph: &Graph, id: NodeId) -> Vec<NodeId> {
+    fn walk(graph: &Graph, id: NodeId, leaves: &mut Vec<NodeId>) {
+        match graph.op(id) {
+            Op::MatMul(a, b) => {
+                walk(graph, *a, leaves);
+                walk(graph, *b, leaves);
+            }
+            _ => leaves.push(id),
+        }
+    }
+    let mut leaves = Vec::new();
+    walk(graph, id, &mut leaves);
+    leaves
 }
 
 /// Find maximal `MatMul` chains and re-associate them with the classic
@@ -250,17 +278,6 @@ fn reorder_chains(
     let mut g = Graph::new();
     let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
     let mut reordered = 0usize;
-
-    // Collect the leaves of the maximal multiplication chain rooted at `id`.
-    fn collect_chain(graph: &Graph, id: NodeId, leaves: &mut Vec<NodeId>) {
-        match graph.op(id) {
-            Op::MatMul(a, b) => {
-                collect_chain(graph, *a, leaves);
-                collect_chain(graph, *b, leaves);
-            }
-            _ => leaves.push(id),
-        }
-    }
 
     // Nodes that are chain-internal MatMuls reachable only within a chain are
     // re-emitted by the DP; everything else copies over.
@@ -283,8 +300,7 @@ fn reorder_chains(
         match graph.op(id) {
             Op::MatMul(_, _) if !is_chain_internal[id] => {
                 // Root of a maximal chain.
-                let mut leaves = Vec::new();
-                collect_chain(graph, id, &mut leaves);
+                let leaves = collect_chain_leaves(graph, id);
                 // All leaves are already remapped (children-first order).
                 let mapped: Vec<NodeId> = leaves.iter().map(|l| remap[l]).collect();
                 let dims: Option<Vec<(usize, usize)>> = leaves
@@ -333,7 +349,7 @@ fn reorder_chains(
 }
 
 /// Multiplication cost (scalar multiplies) of a chain exactly as written.
-fn original_chain_cost(
+pub(crate) fn original_chain_cost(
     graph: &Graph,
     id: NodeId,
     shape_of: &dyn Fn(NodeId) -> Option<Shape>,
@@ -359,10 +375,10 @@ fn original_chain_cost(
     walk(graph, id, shape_of).map(|(c, _, _)| c)
 }
 
-/// Matrix-chain-order DP; emits the optimal parenthesization into `g`.
-/// Returns the root node and the DP-optimal multiplication cost.
-fn emit_optimal_chain(g: &mut Graph, leaves: &[NodeId], dims: &[(usize, usize)]) -> (NodeId, u128) {
-    let n = leaves.len();
+/// Matrix-chain-order DP over leaf dimensions: minimal multiply cost and the
+/// split table needed to rebuild the optimal parenthesization.
+fn chain_dp(dims: &[(usize, usize)]) -> (u128, Vec<Vec<usize>>) {
+    let n = dims.len();
     // p[i] = rows of matrix i; p[n] = cols of the last.
     let mut p = Vec::with_capacity(n + 1);
     p.push(dims[0].0);
@@ -386,6 +402,22 @@ fn emit_optimal_chain(g: &mut Graph, leaves: &[NodeId], dims: &[(usize, usize)])
             }
         }
     }
+    (cost[0][n - 1], split)
+}
+
+/// DP-optimal multiplication cost for a chain with the given leaf dimensions.
+pub(crate) fn optimal_chain_cost(dims: &[(usize, usize)]) -> u128 {
+    if dims.len() < 2 {
+        return 0;
+    }
+    chain_dp(dims).0
+}
+
+/// Matrix-chain-order DP; emits the optimal parenthesization into `g`.
+/// Returns the root node and the DP-optimal multiplication cost.
+fn emit_optimal_chain(g: &mut Graph, leaves: &[NodeId], dims: &[(usize, usize)]) -> (NodeId, u128) {
+    let n = leaves.len();
+    let (best, split) = chain_dp(dims);
     fn build(g: &mut Graph, leaves: &[NodeId], split: &[Vec<usize>], i: usize, j: usize) -> NodeId {
         if i == j {
             return leaves[i];
@@ -396,7 +428,7 @@ fn emit_optimal_chain(g: &mut Graph, leaves: &[NodeId], dims: &[(usize, usize)])
         g.push(Op::MatMul(a, b))
     }
     let node = build(g, leaves, &split, 0, n - 1);
-    (node, cost[0][n - 1])
+    (node, best)
 }
 
 #[cfg(test)]

@@ -108,12 +108,143 @@ impl InputSizes {
     }
 }
 
-/// Propagate sizes through all nodes reachable from `root`.
+/// Infer one node's [`SizeInfo`] from its children's already-resolved infos.
+///
+/// Returns `Ok(None)` when a child has no entry in `resolved` — that happens
+/// only in accumulating analyses (the child's own inference failed earlier
+/// and was reported there), so the caller should stay silent rather than
+/// duplicate the error. [`propagate`] resolves children before parents and
+/// never observes `Ok(None)`.
+///
+/// Both the fail-fast propagation and the accumulating linter in
+/// [`crate::analyze`] route through this function, so shape rules cannot
+/// drift between the two.
+pub fn infer_node(
+    graph: &Graph,
+    id: NodeId,
+    inputs: &InputSizes,
+    resolved: &HashMap<NodeId, SizeInfo>,
+) -> Result<Option<SizeInfo>, SizeError> {
+    // Child lookup that distinguishes "failed upstream" from real errors.
+    macro_rules! child {
+        ($c:expr) => {
+            match resolved.get($c) {
+                Some(info) => *info,
+                None => return Ok(None),
+            }
+        };
+    }
+    let info = match graph.op(id) {
+        Op::Input(name) => inputs.get(name).ok_or_else(|| SizeError::UnboundInput(name.clone()))?,
+        Op::Const(v) => {
+            SizeInfo { shape: Shape::Scalar, sparsity: if *v == 0.0 { 0.0 } else { 1.0 } }
+        }
+        Op::Transpose(a) => {
+            let ia = child!(a);
+            match ia.shape {
+                Shape::Scalar => ia,
+                Shape::Matrix { rows, cols } => SizeInfo {
+                    shape: Shape::Matrix { rows: cols, cols: rows },
+                    sparsity: ia.sparsity,
+                },
+            }
+        }
+        Op::MatMul(a, b) => {
+            let (ia, ib) = (child!(a), child!(b));
+            match (ia.shape, ib.shape) {
+                (Shape::Matrix { rows, cols: k1 }, Shape::Matrix { rows: k2, cols }) => {
+                    if k1 != k2 {
+                        return Err(SizeError::Incompatible {
+                            node: id,
+                            message: format!("matmul inner dims {k1} vs {k2}"),
+                        });
+                    }
+                    let s = 1.0 - (1.0 - ia.sparsity * ib.sparsity).powi(k1.min(1_000_000) as i32);
+                    SizeInfo { shape: Shape::Matrix { rows, cols }, sparsity: s.clamp(0.0, 1.0) }
+                }
+                _ => {
+                    return Err(SizeError::Incompatible {
+                        node: id,
+                        message: "matmul requires matrix operands".into(),
+                    })
+                }
+            }
+        }
+        Op::Ewise(e, a, b) => {
+            let (ia, ib) = (child!(a), child!(b));
+            let shape = match (ia.shape, ib.shape) {
+                (Shape::Scalar, s) | (s, Shape::Scalar) => s,
+                (Shape::Matrix { rows: r1, cols: c1 }, Shape::Matrix { rows: r2, cols: c2 }) => {
+                    if r1 != r2 || c1 != c2 {
+                        return Err(SizeError::Incompatible {
+                            node: id,
+                            message: format!("elementwise {r1}x{c1} vs {r2}x{c2}"),
+                        });
+                    }
+                    ia.shape
+                }
+            };
+            let sparsity = match e {
+                EwiseOp::Mul => ia.sparsity * ib.sparsity,
+                EwiseOp::Add | EwiseOp::Sub => (ia.sparsity + ib.sparsity).min(1.0),
+                EwiseOp::Div => 1.0,
+            };
+            SizeInfo { shape, sparsity }
+        }
+        Op::Unary(u, a) => {
+            let ia = child!(a);
+            // sqrt/abs preserve zeros; exp maps 0 -> 1 (dense); log(0) is
+            // -inf, so conservatively dense.
+            let sparsity = match u {
+                crate::expr::UnaryOp::Sqrt | crate::expr::UnaryOp::Abs => ia.sparsity,
+                crate::expr::UnaryOp::Exp | crate::expr::UnaryOp::Log => 1.0,
+            };
+            SizeInfo { shape: ia.shape, sparsity }
+        }
+        Op::Agg(a, x) => {
+            let ix = child!(x);
+            let shape = match (a, ix.shape) {
+                (AggOp::Sum | AggOp::Min | AggOp::Max, _) => Shape::Scalar,
+                (AggOp::ColSums, Shape::Matrix { cols, .. }) => Shape::Matrix { rows: 1, cols },
+                (AggOp::RowSums, Shape::Matrix { rows, .. }) => Shape::Matrix { rows, cols: 1 },
+                (AggOp::ColSums | AggOp::RowSums, Shape::Scalar) => Shape::Scalar,
+            };
+            SizeInfo { shape, sparsity: 1.0 }
+        }
+        Op::CrossProd(a) => {
+            let ia = child!(a);
+            let (rows, cols) = (ia.shape.rows(), ia.shape.cols());
+            let s = 1.0 - (1.0 - ia.sparsity * ia.sparsity).powi(rows.min(1_000_000) as i32);
+            SizeInfo { shape: Shape::Matrix { rows: cols, cols }, sparsity: s.clamp(0.0, 1.0) }
+        }
+        Op::Tmv(a, b) => {
+            let (ia, ib) = (child!(a), child!(b));
+            if ia.shape.rows() != ib.shape.rows() {
+                return Err(SizeError::Incompatible {
+                    node: id,
+                    message: format!("tmv rows {} vs {}", ia.shape.rows(), ib.shape.rows()),
+                });
+            }
+            SizeInfo { shape: Shape::Matrix { rows: ia.shape.cols(), cols: 1 }, sparsity: 1.0 }
+        }
+        Op::SumSq(a) => {
+            let _ = child!(a);
+            SizeInfo { shape: Shape::Scalar, sparsity: 1.0 }
+        }
+    };
+    Ok(Some(info))
+}
+
+/// Propagate sizes through all nodes reachable from `root`, failing on the
+/// first error.
 ///
 /// Sparsity estimation uses the standard independence assumptions:
 /// * `A %*% B`: `1 - (1 - sA·sB)^k` for inner dimension `k`.
 /// * `A * B` (elementwise): `sA · sB`; `A + B`: `min(1, sA + sB)`.
 /// * Aggregates and divisions conservatively estimate 1.0.
+///
+/// For a non-bailing variant that reports *every* size error in the program,
+/// see [`crate::analyze::analyze`].
 pub fn propagate(
     graph: &Graph,
     root: NodeId,
@@ -121,101 +252,8 @@ pub fn propagate(
 ) -> Result<HashMap<NodeId, SizeInfo>, SizeError> {
     let mut out: HashMap<NodeId, SizeInfo> = HashMap::new();
     for id in graph.reachable(root) {
-        let info = match graph.op(id) {
-            Op::Input(name) => {
-                inputs.get(name).ok_or_else(|| SizeError::UnboundInput(name.clone()))?
-            }
-            Op::Const(v) => SizeInfo { shape: Shape::Scalar, sparsity: if *v == 0.0 { 0.0 } else { 1.0 } },
-            Op::Transpose(a) => {
-                let ia = out[a];
-                match ia.shape {
-                    Shape::Scalar => ia,
-                    Shape::Matrix { rows, cols } => SizeInfo {
-                        shape: Shape::Matrix { rows: cols, cols: rows },
-                        sparsity: ia.sparsity,
-                    },
-                }
-            }
-            Op::MatMul(a, b) => {
-                let (ia, ib) = (out[a], out[b]);
-                match (ia.shape, ib.shape) {
-                    (Shape::Matrix { rows, cols: k1 }, Shape::Matrix { rows: k2, cols }) => {
-                        if k1 != k2 {
-                            return Err(SizeError::Incompatible {
-                                node: id,
-                                message: format!("matmul inner dims {k1} vs {k2}"),
-                            });
-                        }
-                        let s = 1.0 - (1.0 - ia.sparsity * ib.sparsity).powi(k1.min(1_000_000) as i32);
-                        SizeInfo { shape: Shape::Matrix { rows, cols }, sparsity: s.clamp(0.0, 1.0) }
-                    }
-                    _ => {
-                        return Err(SizeError::Incompatible {
-                            node: id,
-                            message: "matmul requires matrix operands".into(),
-                        })
-                    }
-                }
-            }
-            Op::Ewise(e, a, b) => {
-                let (ia, ib) = (out[a], out[b]);
-                let shape = match (ia.shape, ib.shape) {
-                    (Shape::Scalar, s) | (s, Shape::Scalar) => s,
-                    (Shape::Matrix { rows: r1, cols: c1 }, Shape::Matrix { rows: r2, cols: c2 }) => {
-                        if r1 != r2 || c1 != c2 {
-                            return Err(SizeError::Incompatible {
-                                node: id,
-                                message: format!("elementwise {r1}x{c1} vs {r2}x{c2}"),
-                            });
-                        }
-                        ia.shape
-                    }
-                };
-                let sparsity = match e {
-                    EwiseOp::Mul => ia.sparsity * ib.sparsity,
-                    EwiseOp::Add | EwiseOp::Sub => (ia.sparsity + ib.sparsity).min(1.0),
-                    EwiseOp::Div => 1.0,
-                };
-                SizeInfo { shape, sparsity }
-            }
-            Op::Unary(u, a) => {
-                let ia = out[a];
-                // sqrt/abs preserve zeros; exp maps 0 -> 1 (dense); log(0) is
-                // -inf, so conservatively dense.
-                let sparsity = match u {
-                    crate::expr::UnaryOp::Sqrt | crate::expr::UnaryOp::Abs => ia.sparsity,
-                    crate::expr::UnaryOp::Exp | crate::expr::UnaryOp::Log => 1.0,
-                };
-                SizeInfo { shape: ia.shape, sparsity }
-            }
-            Op::Agg(a, x) => {
-                let ix = out[x];
-                let shape = match (a, ix.shape) {
-                    (AggOp::Sum | AggOp::Min | AggOp::Max, _) => Shape::Scalar,
-                    (AggOp::ColSums, Shape::Matrix { cols, .. }) => Shape::Matrix { rows: 1, cols },
-                    (AggOp::RowSums, Shape::Matrix { rows, .. }) => Shape::Matrix { rows, cols: 1 },
-                    (AggOp::ColSums | AggOp::RowSums, Shape::Scalar) => Shape::Scalar,
-                };
-                SizeInfo { shape, sparsity: 1.0 }
-            }
-            Op::CrossProd(a) => {
-                let ia = out[a];
-                let (rows, cols) = (ia.shape.rows(), ia.shape.cols());
-                let s = 1.0 - (1.0 - ia.sparsity * ia.sparsity).powi(rows.min(1_000_000) as i32);
-                SizeInfo { shape: Shape::Matrix { rows: cols, cols }, sparsity: s.clamp(0.0, 1.0) }
-            }
-            Op::Tmv(a, b) => {
-                let (ia, ib) = (out[a], out[b]);
-                if ia.shape.rows() != ib.shape.rows() {
-                    return Err(SizeError::Incompatible {
-                        node: id,
-                        message: format!("tmv rows {} vs {}", ia.shape.rows(), ib.shape.rows()),
-                    });
-                }
-                SizeInfo { shape: Shape::Matrix { rows: ia.shape.cols(), cols: 1 }, sparsity: 1.0 }
-            }
-            Op::SumSq(_) => SizeInfo { shape: Shape::Scalar, sparsity: 1.0 },
-        };
+        let info = infer_node(graph, id, inputs, &out)?
+            .expect("children resolved before parents in topological order");
         out.insert(id, info);
     }
     Ok(out)

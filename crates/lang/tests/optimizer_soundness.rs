@@ -45,17 +45,17 @@ enum E {
     V,
     U,
     Const(i8),
-    Add(Box<E>, Box<E>),         // same-shape ewise
-    Mul(Box<E>, Box<E>),         // same-shape ewise
-    ScalarShift(Box<E>, i8),     // matrix + scalar
+    Add(Box<E>, Box<E>),     // same-shape ewise
+    Mul(Box<E>, Box<E>),     // same-shape ewise
+    ScalarShift(Box<E>, i8), // matrix + scalar
     Abs(Box<E>),
-    Sqrt(Box<E>),                // applied to abs to stay real
-    Transpose2(Box<E>),          // t(t(e))
-    XtX,                         // t(X) %*% X -> d x d, then summed
-    Xv,                          // X %*% v -> n x 1
-    Xtu,                         // t(X) %*% u -> d x 1
+    Sqrt(Box<E>),       // applied to abs to stay real
+    Transpose2(Box<E>), // t(t(e))
+    XtX,                // t(X) %*% X -> d x d, then summed
+    Xv,                 // X %*% v -> n x 1
+    Xtu,                // t(X) %*% u -> d x 1
     Sum(Box<E>),
-    SumSq(Box<E>),               // sum(e * e) with shared subtree
+    SumSq(Box<E>), // sum(e * e) with shared subtree
     Min(Box<E>),
     Max(Box<E>),
 }
@@ -90,15 +90,13 @@ fn expr(shape: Shape, depth: u32) -> BoxedStrategy<E> {
         return leaf(shape);
     }
     let inner = expr(shape, depth - 1);
-    let same_shape_binop = (expr(shape, depth - 1), expr(shape, depth - 1)).prop_map(
-        |(a, b)| {
-            if matches!(shape_of(&a), Shape::Scalar) {
-                E::Add(Box::new(a), Box::new(b))
-            } else {
-                E::Mul(Box::new(a), Box::new(b))
-            }
-        },
-    );
+    let same_shape_binop = (expr(shape, depth - 1), expr(shape, depth - 1)).prop_map(|(a, b)| {
+        if matches!(shape_of(&a), Shape::Scalar) {
+            E::Add(Box::new(a), Box::new(b))
+        } else {
+            E::Mul(Box::new(a), Box::new(b))
+        }
+    });
     match shape {
         Shape::Scalar => prop_oneof![
             leaf(shape),

@@ -7,14 +7,13 @@
 
 use crate::dense::Dense;
 use crate::ops;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a tile inside a [`BlockMatrix`]: `(block_row, block_col)`.
 pub type BlockId = (usize, usize);
 
 /// A dense matrix partitioned into `block_size x block_size` tiles
 /// (edge tiles may be smaller).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockMatrix {
     rows: usize,
     cols: usize,

@@ -1,14 +1,13 @@
 //! Row-major dense matrix.
 
 use crate::MatrixError;
-use serde::{Deserialize, Serialize};
 
 /// A row-major dense `f64` matrix.
 ///
 /// Rows are stored contiguously, so [`Dense::row`] returns a slice and row-wise
 /// kernels are cache-friendly. This is the workhorse representation of the
 /// whole workspace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dense {
     rows: usize,
     cols: usize,
@@ -117,7 +116,12 @@ impl Dense {
     /// Panics when out of bounds (via slice indexing in debug and release).
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
@@ -127,7 +131,12 @@ impl Dense {
     /// Panics when out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -281,11 +290,7 @@ impl Dense {
     /// Panics on shape mismatch.
     pub fn max_abs_diff(&self, other: &Dense) -> f64 {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// True when every element differs from `other` by at most `tol`.

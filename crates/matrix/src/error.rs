@@ -62,7 +62,10 @@ impl fmt::Display for MatrixError {
                 write!(f, "matrix is singular or rank-deficient at column {column}")
             }
             MatrixError::DidNotConverge { iterations, residual } => {
-                write!(f, "solver did not converge after {iterations} iterations (residual {residual:e})")
+                write!(
+                    f,
+                    "solver did not converge after {iterations} iterations (residual {residual:e})"
+                )
             }
         }
     }

@@ -132,11 +132,7 @@ mod tests {
     use crate::ops;
 
     fn nonsymmetric() -> Dense {
-        Dense::from_rows(&[
-            &[0.0, 2.0, 1.0],
-            &[3.0, -1.0, 4.0],
-            &[1.0, 5.0, -2.0],
-        ])
+        Dense::from_rows(&[&[0.0, 2.0, 1.0], &[3.0, -1.0, 4.0], &[1.0, 5.0, -2.0]])
     }
 
     #[test]

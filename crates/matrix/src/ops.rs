@@ -10,7 +10,13 @@ use crate::dense::Dense;
 /// # Panics
 /// Panics if `v.len() != m.cols()`.
 pub fn gemv(m: &Dense, v: &[f64]) -> Vec<f64> {
-    assert_eq!(v.len(), m.cols(), "gemv dimension mismatch: vector {} vs cols {}", v.len(), m.cols());
+    assert_eq!(
+        v.len(),
+        m.cols(),
+        "gemv dimension mismatch: vector {} vs cols {}",
+        v.len(),
+        m.cols()
+    );
     let mut out = Vec::with_capacity(m.rows());
     for r in 0..m.rows() {
         out.push(dot(m.row(r), v));
@@ -23,7 +29,13 @@ pub fn gemv(m: &Dense, v: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if `v.len() != m.rows()`.
 pub fn gevm(v: &[f64], m: &Dense) -> Vec<f64> {
-    assert_eq!(v.len(), m.rows(), "gevm dimension mismatch: vector {} vs rows {}", v.len(), m.rows());
+    assert_eq!(
+        v.len(),
+        m.rows(),
+        "gevm dimension mismatch: vector {} vs rows {}",
+        v.len(),
+        m.rows()
+    );
     let mut out = vec![0.0; m.cols()];
     for (r, &s) in v.iter().enumerate() {
         if s == 0.0 {
@@ -41,7 +53,15 @@ pub fn gevm(v: &[f64], m: &Dense) -> Vec<f64> {
 /// # Panics
 /// Panics if `a.cols() != b.rows()`.
 pub fn gemm(a: &Dense, b: &Dense) -> Dense {
-    assert_eq!(a.cols(), b.rows(), "gemm dimension mismatch: {}x{} * {}x{}", a.rows(), a.cols(), b.rows(), b.cols());
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm dimension mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
     let mut out = Dense::zeros(a.rows(), b.cols());
     for i in 0..a.rows() {
         let arow = a.row(i);
@@ -125,7 +145,13 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// # Panics
 /// Panics on shape mismatch.
 fn zip_with(a: &Dense, b: &Dense, f: impl Fn(f64, f64) -> f64) -> Dense {
-    assert_eq!(a.shape(), b.shape(), "elementwise shape mismatch: {:?} vs {:?}", a.shape(), b.shape());
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "elementwise shape mismatch: {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
     let data = a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)).collect();
     Dense::from_vec(a.rows(), a.cols(), data).expect("shape preserved by zip")
 }

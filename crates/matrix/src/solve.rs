@@ -298,12 +298,7 @@ mod tests {
 
     #[test]
     fn qr_orthonormal_and_reconstructs() {
-        let a = Dense::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[7.0, 9.0],
-        ]);
+        let a = Dense::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 9.0]]);
         let f = qr(&a).unwrap();
         // Q^T Q = I
         let qtq = ops::gemm(&f.q.transpose(), &f.q);

@@ -3,7 +3,6 @@
 
 use crate::dense::Dense;
 use crate::MatrixError;
-use serde::{Deserialize, Serialize};
 
 /// Coordinate-format builder for sparse matrices.
 ///
@@ -27,7 +26,12 @@ impl Coo {
     /// Returns [`MatrixError::IndexOutOfBounds`] for coordinates outside the shape.
     pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<(), MatrixError> {
         if row >= self.rows || col >= self.cols {
-            return Err(MatrixError::IndexOutOfBounds { row, col, rows: self.rows, cols: self.cols });
+            return Err(MatrixError::IndexOutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
         }
         if value != 0.0 {
             self.entries.push((row, col, value));
@@ -61,7 +65,8 @@ impl Coo {
             if let (Some(&last_c), true) = (indices.last(), indptr.last() != Some(&indices.len())) {
                 if last_c == c {
                     // Duplicate coordinate within the same row: accumulate.
-                    let last_v: &mut f64 = values.last_mut().expect("values non-empty when indices non-empty");
+                    let last_v: &mut f64 =
+                        values.last_mut().expect("values non-empty when indices non-empty");
                     *last_v += v;
                     if *last_v == 0.0 {
                         // Exact cancellation: drop the entry to keep nnz exact.
@@ -87,7 +92,7 @@ impl Coo {
 /// `indptr` has `rows + 1` entries; row `r` occupies `indices[indptr[r]..indptr[r+1]]`
 /// (column indices, strictly increasing within a row) and the parallel slice of
 /// `values`. Explicit zeros are never stored.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Csr {
     rows: usize,
     cols: usize,
@@ -114,11 +119,17 @@ impl Csr {
             return Err(MatrixError::ShapeMismatch { expected: rows + 1, actual: indptr.len() });
         }
         if *indptr.last().unwrap_or(&0) != indices.len() || indptr[0] != 0 {
-            return Err(MatrixError::ShapeMismatch { expected: indices.len(), actual: *indptr.last().unwrap_or(&0) });
+            return Err(MatrixError::ShapeMismatch {
+                expected: indices.len(),
+                actual: *indptr.last().unwrap_or(&0),
+            });
         }
         for r in 0..rows {
             if indptr[r] > indptr[r + 1] {
-                return Err(MatrixError::ShapeMismatch { expected: indptr[r], actual: indptr[r + 1] });
+                return Err(MatrixError::ShapeMismatch {
+                    expected: indptr[r],
+                    actual: indptr[r + 1],
+                });
             }
             let row_idx = &indices[indptr[r]..indptr[r + 1]];
             for w in row_idx.windows(2) {
@@ -193,7 +204,12 @@ impl Csr {
     /// # Panics
     /// Panics when out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         let (idx, vals) = self.row(r);
         match idx.binary_search(&c) {
             Ok(pos) => vals[pos],
@@ -253,7 +269,13 @@ impl Csr {
 /// # Panics
 /// Panics if `v.len() != m.cols()`.
 pub fn spmv(m: &Csr, v: &[f64]) -> Vec<f64> {
-    assert_eq!(v.len(), m.cols(), "spmv dimension mismatch: vector {} vs cols {}", v.len(), m.cols());
+    assert_eq!(
+        v.len(),
+        m.cols(),
+        "spmv dimension mismatch: vector {} vs cols {}",
+        v.len(),
+        m.cols()
+    );
     let mut out = vec![0.0; m.rows()];
     for r in 0..m.rows() {
         let (idx, vals) = m.row(r);
@@ -271,7 +293,13 @@ pub fn spmv(m: &Csr, v: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if `v.len() != m.rows()`.
 pub fn spvm(v: &[f64], m: &Csr) -> Vec<f64> {
-    assert_eq!(v.len(), m.rows(), "spvm dimension mismatch: vector {} vs rows {}", v.len(), m.rows());
+    assert_eq!(
+        v.len(),
+        m.rows(),
+        "spvm dimension mismatch: vector {} vs rows {}",
+        v.len(),
+        m.rows()
+    );
     let mut out = vec![0.0; m.cols()];
     for r in 0..m.rows() {
         let s = v[r];
@@ -329,12 +357,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Dense {
-        Dense::from_rows(&[
-            &[1.0, 0.0, 2.0],
-            &[0.0, 0.0, 0.0],
-            &[0.0, 3.0, 0.0],
-            &[4.0, 0.0, 5.0],
-        ])
+        Dense::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 0.0, 0.0], &[0.0, 3.0, 0.0], &[4.0, 0.0, 5.0]])
     }
 
     #[test]

@@ -6,11 +6,8 @@ use proptest::prelude::*;
 /// Strategy: a dense matrix with bounded shape and values, plus a sparsity knob.
 fn dense_matrix(max_dim: usize) -> impl Strategy<Value = Dense> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(
-            prop_oneof![3 => -100.0..100.0f64, 1 => Just(0.0)],
-            r * c,
-        )
-        .prop_map(move |data| Dense::from_vec(r, c, data).unwrap())
+        proptest::collection::vec(prop_oneof![3 => -100.0..100.0f64, 1 => Just(0.0)], r * c)
+            .prop_map(move |data| Dense::from_vec(r, c, data).unwrap())
     })
 }
 

@@ -145,8 +145,8 @@ mod tests {
     fn forest_generalizes_at_least_as_well_as_stump() {
         let (x, y) = noisy_blobs(2);
         let (xt, yt) = noisy_blobs(3); // fresh draw = held-out set
-        let stump = DecisionTree::fit(&x, &y, &TreeConfig { max_depth: 1, ..Default::default() })
-            .unwrap();
+        let stump =
+            DecisionTree::fit(&x, &y, &TreeConfig { max_depth: 1, ..Default::default() }).unwrap();
         let forest = RandomForest::fit(&x, &y, &ForestConfig::default()).unwrap();
         let stump_acc =
             stump.predict(&xt).iter().zip(&yt).filter(|(p, t)| p == t).count() as f64 / 200.0;

@@ -5,8 +5,8 @@
 //! matrix, a CSR matrix, a compressed matrix, or a factorized join — the
 //! data-representation pluggability the surveyed systems are built around.
 
-use dm_matrix::ops;
 use crate::MlError;
+use dm_matrix::ops;
 
 /// Link/loss family of the GLM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,16 +153,11 @@ mod tests {
     #[test]
     fn gaussian_gd_recovers_exact_line() {
         let (x, y) = xy_linear();
-        let cfg = GdConfig { learning_rate: 0.02, max_iter: 50_000, tol: 1e-10, ..GdConfig::default() };
-        let fit = train_gd(
-            |w| ops::gemv(&x, w),
-            |r| ops::tmv(&x, r),
-            &y,
-            2,
-            Family::Gaussian,
-            &cfg,
-        )
-        .unwrap();
+        let cfg =
+            GdConfig { learning_rate: 0.02, max_iter: 50_000, tol: 1e-10, ..GdConfig::default() };
+        let fit =
+            train_gd(|w| ops::gemv(&x, w), |r| ops::tmv(&x, r), &y, 2, Family::Gaussian, &cfg)
+                .unwrap();
         assert!(fit.converged, "grad norm {}", fit.grad_norm);
         assert!((fit.weights[0] - 1.0).abs() < 1e-3, "{:?}", fit.weights);
         assert!((fit.weights[1] - 2.0).abs() < 1e-3);
@@ -174,37 +169,31 @@ mod tests {
         let x = Dense::from_fn(20, 1, |r, _| r as f64 - 9.5);
         let y: Vec<f64> = (0..20).map(|r| if r as f64 - 9.5 > 0.0 { 1.0 } else { 0.0 }).collect();
         let cfg = GdConfig { learning_rate: 0.5, max_iter: 5000, tol: 1e-4, ..GdConfig::default() };
-        let fit = train_gd(
-            |w| ops::gemv(&x, w),
-            |r| ops::tmv(&x, r),
-            &y,
-            1,
-            Family::Binomial,
-            &cfg,
-        )
-        .unwrap();
+        let fit =
+            train_gd(|w| ops::gemv(&x, w), |r| ops::tmv(&x, r), &y, 1, Family::Binomial, &cfg)
+                .unwrap();
         assert!(fit.weights[0] > 0.5, "positive slope expected: {:?}", fit.weights);
         // Training accuracy 100% on separable data.
         let preds = ops::gemv(&x, &fit.weights);
-        let correct = preds
-            .iter()
-            .zip(&y)
-            .filter(|(&p, &yi)| (sigmoid(p) > 0.5) == (yi > 0.5))
-            .count();
+        let correct =
+            preds.iter().zip(&y).filter(|(&p, &yi)| (sigmoid(p) > 0.5) == (yi > 0.5)).count();
         assert_eq!(correct, 20);
     }
 
     #[test]
     fn l2_shrinks_weights() {
         let (x, y) = xy_linear();
-        let base = GdConfig { learning_rate: 0.02, max_iter: 20_000, tol: 1e-12, ..GdConfig::default() };
+        let base =
+            GdConfig { learning_rate: 0.02, max_iter: 20_000, tol: 1e-12, ..GdConfig::default() };
         let strong = GdConfig { l2: 5.0, ..base };
-        let w0 = train_gd(|w| ops::gemv(&x, w), |r| ops::tmv(&x, r), &y, 2, Family::Gaussian, &base)
-            .unwrap()
-            .weights;
-        let w1 = train_gd(|w| ops::gemv(&x, w), |r| ops::tmv(&x, r), &y, 2, Family::Gaussian, &strong)
-            .unwrap()
-            .weights;
+        let w0 =
+            train_gd(|w| ops::gemv(&x, w), |r| ops::tmv(&x, r), &y, 2, Family::Gaussian, &base)
+                .unwrap()
+                .weights;
+        let w1 =
+            train_gd(|w| ops::gemv(&x, w), |r| ops::tmv(&x, r), &y, 2, Family::Gaussian, &strong)
+                .unwrap()
+                .weights;
         assert!(ops::norm2(&w1) < ops::norm2(&w0));
     }
 
@@ -231,7 +220,14 @@ mod tests {
 
     #[test]
     fn shape_errors() {
-        let err = train_gd(|_| vec![0.0; 3], |_| vec![0.0; 1], &[], 1, Family::Gaussian, &GdConfig::default());
+        let err = train_gd(
+            |_| vec![0.0; 3],
+            |_| vec![0.0; 1],
+            &[],
+            1,
+            Family::Gaussian,
+            &GdConfig::default(),
+        );
         assert!(matches!(err, Err(MlError::Shape(_))));
         let err = train_gd(
             |_| vec![0.0; 99],
@@ -248,8 +244,9 @@ mod tests {
     fn non_convergence_reported_not_error() {
         let (x, y) = xy_linear();
         let cfg = GdConfig { learning_rate: 1e-6, max_iter: 3, tol: 1e-12, ..GdConfig::default() };
-        let fit = train_gd(|w| ops::gemv(&x, w), |r| ops::tmv(&x, r), &y, 2, Family::Gaussian, &cfg)
-            .unwrap();
+        let fit =
+            train_gd(|w| ops::gemv(&x, w), |r| ops::tmv(&x, r), &y, 2, Family::Gaussian, &cfg)
+                .unwrap();
         assert!(!fit.converged);
         assert_eq!(fit.iterations, 3);
     }

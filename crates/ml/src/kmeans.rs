@@ -243,9 +243,18 @@ mod tests {
     #[test]
     fn param_validation() {
         let x = blobs();
-        assert!(matches!(fit(&x, &KMeansConfig { k: 0, ..Default::default() }), Err(MlError::BadParam(_))));
-        assert!(matches!(fit(&x, &KMeansConfig { k: 91, ..Default::default() }), Err(MlError::BadParam(_))));
-        assert!(matches!(fit(&Dense::zeros(0, 2), &KMeansConfig::default()), Err(MlError::Shape(_))));
+        assert!(matches!(
+            fit(&x, &KMeansConfig { k: 0, ..Default::default() }),
+            Err(MlError::BadParam(_))
+        ));
+        assert!(matches!(
+            fit(&x, &KMeansConfig { k: 91, ..Default::default() }),
+            Err(MlError::BadParam(_))
+        ));
+        assert!(matches!(
+            fit(&Dense::zeros(0, 2), &KMeansConfig::default()),
+            Err(MlError::Shape(_))
+        ));
     }
 
     #[test]

@@ -3,10 +3,9 @@
 use crate::glm::{train_gd, Family, GdConfig};
 use crate::MlError;
 use dm_matrix::{ops, solve, Dense};
-use serde::{Deserialize, Serialize};
 
 /// How to solve the least-squares problem.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Solver {
     /// Form `XᵀX` and Cholesky-solve (one pass over X; the in-database
     /// favourite because the Gram matrix is a distributable aggregate).
@@ -18,7 +17,7 @@ pub enum Solver {
 }
 
 /// A fitted linear regression model (intercept handled internally).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinearRegression {
     /// Per-feature coefficients.
     pub coefficients: Vec<f64>,
@@ -95,22 +94,11 @@ impl LinearRegression {
                     l2,
                     skip_reg_first: true,
                 };
-                train_gd(
-                    |w| ops::gemv(&xa, w),
-                    |r| ops::tmv(&xa, r),
-                    y,
-                    d,
-                    Family::Gaussian,
-                    &cfg,
-                )?
-                .weights
+                train_gd(|w| ops::gemv(&xa, w), |r| ops::tmv(&xa, r), y, d, Family::Gaussian, &cfg)?
+                    .weights
             }
         };
-        Ok(LinearRegression {
-            intercept: weights[0],
-            coefficients: weights[1..].to_vec(),
-            solver,
-        })
+        Ok(LinearRegression { intercept: weights[0], coefficients: weights[1..].to_vec(), solver })
     }
 
     /// Predict a single row.
@@ -161,23 +149,26 @@ mod tests {
 
     fn synthetic(n: usize) -> (Dense, Vec<f64>) {
         // y = 3 - 2*x0 + 0.5*x1, deterministic features.
-        let x = Dense::from_fn(n, 2, |r, c| {
-            if c == 0 {
-                (r % 10) as f64
-            } else {
-                ((r * 3) % 7) as f64
-            }
-        });
-        let y = (0..n)
-            .map(|r| 3.0 - 2.0 * x.get(r, 0) + 0.5 * x.get(r, 1))
-            .collect();
+        let x = Dense::from_fn(
+            n,
+            2,
+            |r, c| {
+                if c == 0 {
+                    (r % 10) as f64
+                } else {
+                    ((r * 3) % 7) as f64
+                }
+            },
+        );
+        let y = (0..n).map(|r| 3.0 - 2.0 * x.get(r, 0) + 0.5 * x.get(r, 1)).collect();
         (x, y)
     }
 
     #[test]
     fn all_solvers_recover_coefficients() {
         let (x, y) = synthetic(200);
-        for solver in [Solver::NormalEquations, Solver::ConjugateGradient, Solver::GradientDescent] {
+        for solver in [Solver::NormalEquations, Solver::ConjugateGradient, Solver::GradientDescent]
+        {
             let m = LinearRegression::fit(&x, &y, solver, 0.0).unwrap();
             assert!((m.intercept - 3.0).abs() < 1e-2, "{solver:?}: {m:?}");
             assert!((m.coefficients[0] + 2.0).abs() < 1e-2, "{solver:?}");

@@ -3,10 +3,9 @@
 use crate::glm::{sigmoid, train_gd, Family, GdConfig};
 use crate::MlError;
 use dm_matrix::{ops, Dense};
-use serde::{Deserialize, Serialize};
 
 /// Hyperparameters for logistic regression.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LogRegConfig {
     /// Gradient-descent step size.
     pub learning_rate: f64,
@@ -25,7 +24,7 @@ impl Default for LogRegConfig {
 }
 
 /// A fitted binary logistic-regression model. Labels are {0, 1}.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LogisticRegression {
     /// Per-feature coefficients.
     pub coefficients: Vec<f64>,
@@ -166,12 +165,9 @@ mod tests {
     fn l2_shrinks_coefficients() {
         let (x, y) = clusters(80);
         let plain = LogisticRegression::fit(&x, &y, &LogRegConfig::default()).unwrap();
-        let reg = LogisticRegression::fit(
-            &x,
-            &y,
-            &LogRegConfig { l2: 1.0, ..LogRegConfig::default() },
-        )
-        .unwrap();
+        let reg =
+            LogisticRegression::fit(&x, &y, &LogRegConfig { l2: 1.0, ..LogRegConfig::default() })
+                .unwrap();
         assert!(ops::norm2(&reg.coefficients) < ops::norm2(&plain.coefficients));
     }
 

@@ -222,8 +222,14 @@ mod tests {
     #[test]
     fn param_validation() {
         let x = line_data();
-        assert!(matches!(fit(&x, &PcaConfig { k: 0, ..Default::default() }), Err(MlError::BadParam(_))));
-        assert!(matches!(fit(&x, &PcaConfig { k: 3, ..Default::default() }), Err(MlError::BadParam(_))));
+        assert!(matches!(
+            fit(&x, &PcaConfig { k: 0, ..Default::default() }),
+            Err(MlError::BadParam(_))
+        ));
+        assert!(matches!(
+            fit(&x, &PcaConfig { k: 3, ..Default::default() }),
+            Err(MlError::BadParam(_))
+        ));
         assert!(matches!(fit(&Dense::zeros(0, 2), &PcaConfig::default()), Err(MlError::Shape(_))));
     }
 }

@@ -71,10 +71,8 @@ impl SoftmaxRegression {
         }
         let k = classes.len();
         let d = x.cols() + 1; // intercept-augmented
-        let class_idx: Vec<usize> = y
-            .iter()
-            .map(|l| classes.binary_search(l).expect("label seen during dedup"))
-            .collect();
+        let class_idx: Vec<usize> =
+            y.iter().map(|l| classes.binary_search(l).expect("label seen during dedup")).collect();
 
         let mut w = Dense::zeros(k, d);
         let mut probs = vec![0.0; k];
@@ -206,8 +204,12 @@ mod tests {
         let x = Dense::from_fn(100, 1, |r, _| r as f64 / 50.0 - 1.0);
         let yb: Vec<f64> = (0..100).map(|r| f64::from(r >= 50)).collect();
         let yi: Vec<i64> = yb.iter().map(|&v| v as i64).collect();
-        let sm = SoftmaxRegression::fit(&x, &yi, &SoftmaxConfig { max_iter: 3000, ..Default::default() })
-            .unwrap();
+        let sm = SoftmaxRegression::fit(
+            &x,
+            &yi,
+            &SoftmaxConfig { max_iter: 3000, ..Default::default() },
+        )
+        .unwrap();
         let lr = crate::logreg::LogisticRegression::fit(
             &x,
             &yb,
@@ -223,12 +225,9 @@ mod tests {
     fn stability_under_large_scores() {
         let x = Dense::from_fn(40, 1, |r, _| if r % 2 == 0 { -1e3 } else { 1e3 });
         let y: Vec<i64> = (0..40).map(|r| (r % 2) as i64).collect();
-        let m = SoftmaxRegression::fit(
-            &x,
-            &y,
-            &SoftmaxConfig { max_iter: 50, ..Default::default() },
-        )
-        .unwrap();
+        let m =
+            SoftmaxRegression::fit(&x, &y, &SoftmaxConfig { max_iter: 50, ..Default::default() })
+                .unwrap();
         let p = m.predict_proba_row(&[1e3]);
         assert!(p.iter().all(|v| v.is_finite()));
     }
@@ -236,7 +235,9 @@ mod tests {
     #[test]
     fn l2_and_validation() {
         let (x, y) = three_blobs();
-        let plain = SoftmaxRegression::fit(&x, &y, &SoftmaxConfig { max_iter: 200, ..Default::default() }).unwrap();
+        let plain =
+            SoftmaxRegression::fit(&x, &y, &SoftmaxConfig { max_iter: 200, ..Default::default() })
+                .unwrap();
         let reg = SoftmaxRegression::fit(
             &x,
             &y,

@@ -118,7 +118,8 @@ impl Builder<'_> {
                 }
                 let nl = i + 1;
                 let nr = n - nl;
-                let weighted = (nl as f64 * gini(&left, nl) + nr as f64 * gini(&right, nr)) / n as f64;
+                let weighted =
+                    (nl as f64 * gini(&left, nl) + nr as f64 * gini(&right, nr)) / n as f64;
                 let gain = parent_gini - weighted;
                 if gain >= self.cfg.min_gain && best.is_none_or(|(.., g)| gain > g) {
                     best = Some((f, (v + next_v) / 2.0, gain));
@@ -223,12 +224,7 @@ mod tests {
 
     /// XOR-ish pattern requiring depth 2: class = (x0 > 0.5) ^ (x1 > 0.5).
     fn xor_data() -> (Dense, Vec<i64>) {
-        let pts = [
-            (0.0, 0.0, 0),
-            (0.0, 1.0, 1),
-            (1.0, 0.0, 1),
-            (1.0, 1.0, 0),
-        ];
+        let pts = [(0.0, 0.0, 0), (0.0, 1.0, 1), (1.0, 0.0, 1), (1.0, 1.0, 0)];
         let mut rows = Vec::new();
         let mut y = Vec::new();
         for rep in 0..10 {
@@ -264,7 +260,8 @@ mod tests {
     #[test]
     fn depth_limit_respected() {
         let (x, y) = xor_data();
-        let t = DecisionTree::fit(&x, &y, &TreeConfig { max_depth: 1, ..Default::default() }).unwrap();
+        let t =
+            DecisionTree::fit(&x, &y, &TreeConfig { max_depth: 1, ..Default::default() }).unwrap();
         assert!(t.depth() <= 1);
         // Depth-1 tree cannot solve XOR.
         assert!(t.accuracy(&x, &y) < 0.8);

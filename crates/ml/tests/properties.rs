@@ -17,9 +17,7 @@ fn regression_data() -> impl Strategy<Value = (Dense, Vec<f64>, Vec<f64>)> {
         let truth = proptest::collection::vec(-2.0..2.0f64, d + 1);
         (Just((n, d)), feats, truth).prop_map(|((n, d), f, t)| {
             let x = Dense::from_vec(n, d, f).unwrap();
-            let y: Vec<f64> = (0..n)
-                .map(|r| t[0] + ops::dot(x.row(r), &t[1..]))
-                .collect();
+            let y: Vec<f64> = (0..n).map(|r| t[0] + ops::dot(x.row(r), &t[1..])).collect();
             (x, y, t)
         })
     })

@@ -230,12 +230,8 @@ mod tests {
         let (x, y) = data();
         let subsets = vec![vec![1], vec![3], vec![1, 3], vec![0, 2]];
         let fits = batched_explore(&x, &y, &subsets, 0.0).unwrap();
-        let best = fits
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.r2.partial_cmp(&b.1.r2).unwrap())
-            .unwrap()
-            .0;
+        let best =
+            fits.iter().enumerate().max_by(|a, b| a.1.r2.partial_cmp(&b.1.r2).unwrap()).unwrap().0;
         assert_eq!(best, 3, "subset {{0,2}} generates the labels");
         assert!(fits[3].r2 > 0.9999);
         assert!((fits[3].intercept - 3.0).abs() < 1e-6);
@@ -313,10 +309,7 @@ mod tests {
     fn duplicate_feature_in_subset_is_degenerate() {
         let (x, y) = data();
         let shared = SharedGram::build(&x, &y).unwrap();
-        assert!(matches!(
-            shared.solve_subset(&[0, 0], 0.0),
-            Err(MlError::Degenerate(_))
-        ));
+        assert!(matches!(shared.solve_subset(&[0, 0], 0.0), Err(MlError::Degenerate(_))));
         // Ridge rescues it.
         assert!(shared.solve_subset(&[0, 0], 0.1).is_ok());
     }

@@ -1,13 +1,18 @@
 //! A model registry with parameters, metrics, and lineage, persisted as
 //! JSON lines.
+//!
+//! Serialization is hand-rolled (the workspace builds offline, without
+//! serde): records write as one JSON object per line with sorted map keys,
+//! and load parses with a small recursive-descent reader that rejects
+//! malformed lines. Floats round-trip exactly via Rust's shortest-repr
+//! formatting.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 
 /// One registered model/experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelRecord {
     /// Registry-assigned id (position in insertion order).
     pub id: u64,
@@ -71,14 +76,9 @@ impl ModelRegistry {
 
     /// The record with the highest value of `metric`, if any record has it.
     pub fn best_by(&self, metric: &str) -> Option<&ModelRecord> {
-        self.records
-            .iter()
-            .filter(|r| r.metrics.contains_key(metric))
-            .max_by(|a, b| {
-                a.metrics[metric]
-                    .partial_cmp(&b.metrics[metric])
-                    .expect("metrics must not be NaN")
-            })
+        self.records.iter().filter(|r| r.metrics.contains_key(metric)).max_by(|a, b| {
+            a.metrics[metric].partial_cmp(&b.metrics[metric]).expect("metrics must not be NaN")
+        })
     }
 
     /// Lineage chain from a record back to its root ancestor (inclusive,
@@ -108,8 +108,7 @@ impl ModelRegistry {
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let mut f = std::fs::File::create(path)?;
         for r in &self.records {
-            let line = serde_json::to_string(r).expect("records serialize");
-            writeln!(f, "{line}")?;
+            writeln!(f, "{}", json::record_to_line(r))?;
         }
         Ok(())
     }
@@ -123,7 +122,7 @@ impl ModelRegistry {
             if line.is_empty() {
                 continue;
             }
-            let rec: ModelRecord = serde_json::from_str(&line).map_err(|e| {
+            let rec = json::record_from_line(&line).map_err(|e| {
                 std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
                     format!("bad record at line {}: {e}", i + 1),
@@ -132,6 +131,307 @@ impl ModelRegistry {
             records.push(rec);
         }
         Ok(ModelRegistry { records })
+    }
+}
+
+/// Minimal JSON encode/decode for [`ModelRecord`] lines.
+mod json {
+    use super::ModelRecord;
+    use std::collections::HashMap;
+
+    pub fn record_to_line(r: &ModelRecord) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"id\":");
+        out.push_str(&r.id.to_string());
+        out.push_str(",\"name\":");
+        write_string(&mut out, &r.name);
+        out.push_str(",\"params\":");
+        write_map(&mut out, &r.params);
+        out.push_str(",\"metrics\":");
+        write_map(&mut out, &r.metrics);
+        out.push_str(",\"parent\":");
+        match r.parent {
+            Some(p) => out.push_str(&p.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"tags\":[");
+        for (i, t) in r.tags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_string(&mut out, t);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn write_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn write_map(out: &mut String, m: &HashMap<String, f64>) {
+        // Sorted keys: HashMap iteration order is nondeterministic, and
+        // stable output makes saved files diffable.
+        let mut keys: Vec<&String> = m.keys().collect();
+        keys.sort();
+        out.push('{');
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_string(out, k);
+            out.push(':');
+            // `{:?}` prints the shortest representation that parses back to
+            // the identical f64, so round-trips are exact.
+            out.push_str(&format!("{:?}", m[*k]));
+        }
+        out.push('}');
+    }
+
+    /// Parsed JSON value. Numbers keep their raw text so integers round-trip
+    /// without a float detour.
+    enum Value {
+        Null,
+        Num(String),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    pub fn record_from_line(line: &str) -> Result<ModelRecord, String> {
+        let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        let Value::Obj(fields) = v else {
+            return Err("record must be a JSON object".into());
+        };
+        let field = |name: &str| -> Result<&Value, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {name:?}"))
+        };
+
+        let id = as_u64(field("id")?).ok_or("field \"id\" must be an unsigned integer")?;
+        let Value::Str(name) = field("name")? else {
+            return Err("field \"name\" must be a string".into());
+        };
+        let params = as_map(field("params")?)?;
+        let metrics = as_map(field("metrics")?)?;
+        let parent = match field("parent")? {
+            Value::Null => None,
+            v => Some(as_u64(v).ok_or("field \"parent\" must be null or an unsigned integer")?),
+        };
+        let Value::Arr(tag_vals) = field("tags")? else {
+            return Err("field \"tags\" must be an array".into());
+        };
+        let mut tags = Vec::with_capacity(tag_vals.len());
+        for t in tag_vals {
+            let Value::Str(s) = t else {
+                return Err("tags must be strings".into());
+            };
+            tags.push(s.clone());
+        }
+
+        Ok(ModelRecord { id, name: name.clone(), params, metrics, parent, tags })
+    }
+
+    fn as_u64(v: &Value) -> Option<u64> {
+        match v {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_map(v: &Value) -> Result<HashMap<String, f64>, String> {
+        let Value::Obj(entries) = v else {
+            return Err("expected a JSON object of numbers".into());
+        };
+        let mut out = HashMap::with_capacity(entries.len());
+        for (k, v) in entries {
+            let Value::Num(raw) = v else {
+                return Err(format!("value for {k:?} must be a number"));
+            };
+            let n: f64 = raw.parse().map_err(|_| format!("bad number {raw:?}"))?;
+            out.insert(k.clone(), n);
+        }
+        Ok(out)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                Some(&c) => Err(format!("unexpected {:?} at byte {}", c as char, self.pos)),
+                None => Err("unexpected end of input".into()),
+            }
+        }
+
+        fn literal(&mut self, text: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+                self.pos += text.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at byte {}", self.pos))
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.expect(b':')?;
+                let val = self.value()?;
+                fields.push((key, val));
+                self.skip_ws();
+                match self.bytes.get(self.pos) {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.bytes.get(self.pos) {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            if self.bytes.get(self.pos) != Some(&b'"') {
+                return Err(format!("expected string at byte {}", self.pos));
+            }
+            self.pos += 1;
+            let mut out = String::new();
+            loop {
+                match self.bytes.get(self.pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.bytes.get(self.pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                                let code =
+                                    u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                                // Surrogates never appear in our own output;
+                                // map unpaired ones to the replacement char.
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                self.pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 character (input is a &str, so
+                        // boundaries are valid).
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| "invalid utf-8")?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while matches!(
+                self.bytes.get(self.pos),
+                Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            ) {
+                self.pos += 1;
+            }
+            let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+            raw.parse::<f64>().map_err(|_| format!("bad number {raw:?}"))?;
+            Ok(Value::Num(raw.to_owned()))
+        }
     }
 }
 
@@ -189,9 +489,30 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_preserves_awkward_values() {
+        let mut reg = ModelRegistry::new();
+        let mut p = HashMap::new();
+        p.insert("tiny".into(), 1e-308);
+        p.insert("neg".into(), -0.1 - 0.2);
+        p.insert("int-like".into(), 3.0);
+        reg.register("quote\"back\\slash\nnewline", p, HashMap::new(), None, vec!["t\ta".into()]);
+        let path = std::env::temp_dir().join("dmml_registry_awkward.jsonl");
+        reg.save(&path).unwrap();
+        let back = ModelRegistry::load(&path).unwrap();
+        assert_eq!(back.records(), reg.records());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn load_rejects_malformed() {
         let path = std::env::temp_dir().join("dmml_registry_bad.jsonl");
         std::fs::write(&path, "not json\n").unwrap();
+        assert!(ModelRegistry::load(&path).is_err());
+
+        // Structurally valid JSON that is not a record must also fail.
+        std::fs::write(&path, "{\"id\":1}\n").unwrap();
+        assert!(ModelRegistry::load(&path).is_err());
+        std::fs::write(&path, "[1,2,3]\n").unwrap();
         assert!(ModelRegistry::load(&path).is_err());
         std::fs::remove_file(&path).ok();
     }

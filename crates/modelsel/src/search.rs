@@ -245,10 +245,9 @@ pub fn hyperband(
     let s_max = (max_configs as f64).log(eta as f64).floor() as i32;
     let mut all = Vec::new();
     for s in (0..=s_max).rev() {
-        let n = ((max_configs as f64) * (eta as f64).powi(s)
-            / (eta as f64).powi(s_max).max(1.0))
-        .ceil()
-        .max(1.0) as usize;
+        let n = ((max_configs as f64) * (eta as f64).powi(s) / (eta as f64).powi(s_max).max(1.0))
+            .ceil()
+            .max(1.0) as usize;
         let result = successive_halving(space, n, eta, seed.wrapping_add(s as u64), &trainer);
         all.extend(result.evaluations);
     }

@@ -2,9 +2,7 @@
 
 use dm_matrix::{ops, Dense};
 use dm_modelsel::columbus::{batched_explore, naive_explore, SharedGram};
-use dm_modelsel::search::{
-    grid_search, random_search, successive_halving, ParamSpace, Params,
-};
+use dm_modelsel::search::{grid_search, random_search, successive_halving, ParamSpace, Params};
 use proptest::prelude::*;
 
 proptest! {

@@ -100,7 +100,9 @@ impl Featurizer {
                 }
                 ColumnSpec::Hashed { column, buckets } => {
                     if *buckets == 0 {
-                        return Err(PipelineError::BadParam("hash buckets must be positive".into()));
+                        return Err(PipelineError::BadParam(
+                            "hash buckets must be positive".into(),
+                        ));
                     }
                     table
                         .column_by_name(column)
@@ -191,12 +193,8 @@ mod tests {
     use dm_rel::Value;
 
     fn people() -> Table {
-        let mut t = Table::builder("t")
-            .float64("age")
-            .string("city")
-            .string("tag")
-            .int64("grade")
-            .build();
+        let mut t =
+            Table::builder("t").float64("age").string("city").string("tag").int64("grade").build();
         t.push_row(vec![30.0.into(), "paris".into(), "a".into(), 1.into()]).unwrap();
         t.push_row(vec![40.0.into(), "lyon".into(), "b".into(), 2.into()]).unwrap();
         t.push_row(vec![Value::Null, "paris".into(), "c".into(), 1.into()]).unwrap();
@@ -237,12 +235,8 @@ mod tests {
     fn unseen_category_encodes_to_zeros() {
         let t = people();
         let f = Featurizer::fit(&t, &[ColumnSpec::OneHot("city".into())]).unwrap();
-        let mut test = Table::builder("t")
-            .float64("age")
-            .string("city")
-            .string("tag")
-            .int64("grade")
-            .build();
+        let mut test =
+            Table::builder("t").float64("age").string("city").string("tag").int64("grade").build();
         test.push_row(vec![1.0.into(), "tokyo".into(), "z".into(), 9.into()]).unwrap();
         let m = f.transform(&test).unwrap();
         assert_eq!(m.row(0), &[0.0, 0.0]);
@@ -251,11 +245,8 @@ mod tests {
     #[test]
     fn hashing_deterministic_and_bounded() {
         let t = people();
-        let f = Featurizer::fit(
-            &t,
-            &[ColumnSpec::Hashed { column: "tag".into(), buckets: 4 }],
-        )
-        .unwrap();
+        let f = Featurizer::fit(&t, &[ColumnSpec::Hashed { column: "tag".into(), buckets: 4 }])
+            .unwrap();
         assert_eq!(f.num_features(), 4);
         let m1 = f.transform(&t).unwrap();
         let m2 = f.transform(&t).unwrap();
@@ -288,10 +279,7 @@ mod tests {
     #[test]
     fn validation_errors() {
         let t = people();
-        assert!(matches!(
-            Featurizer::fit(&t, &[]),
-            Err(PipelineError::BadParam(_))
-        ));
+        assert!(matches!(Featurizer::fit(&t, &[]), Err(PipelineError::BadParam(_))));
         assert!(matches!(
             Featurizer::fit(&t, &[ColumnSpec::Numeric("ghost".into())]),
             Err(PipelineError::Encode(_))

@@ -21,7 +21,9 @@ pub struct Split {
 /// end up non-empty.
 pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> Result<Split, PipelineError> {
     if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
-        return Err(PipelineError::BadParam(format!("test_fraction {test_fraction} out of (0, 1)")));
+        return Err(PipelineError::BadParam(format!(
+            "test_fraction {test_fraction} out of (0, 1)"
+        )));
     }
     let n_test = ((n as f64) * test_fraction).round() as usize;
     if n_test == 0 || n_test >= n {
@@ -53,8 +55,7 @@ pub fn k_fold(n: usize, k: usize, seed: u64) -> Result<Vec<Split>, PipelineError
     for f in 0..k {
         let size = base + usize::from(f < extra);
         let val: Vec<usize> = idx[start..start + size].to_vec();
-        let train: Vec<usize> =
-            idx[..start].iter().chain(&idx[start + size..]).copied().collect();
+        let train: Vec<usize> = idx[..start].iter().chain(&idx[start + size..]).copied().collect();
         folds.push(Split { train, test: val });
         start += size;
     }

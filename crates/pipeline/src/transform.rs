@@ -49,7 +49,8 @@ impl Transformer for StandardScaler {
     }
 
     fn transform(&self, x: &Dense) -> Result<Dense, PipelineError> {
-        let (means, stds) = self.stats.as_ref().ok_or(PipelineError::NotFitted("StandardScaler"))?;
+        let (means, stds) =
+            self.stats.as_ref().ok_or(PipelineError::NotFitted("StandardScaler"))?;
         if x.cols() != means.len() {
             return Err(PipelineError::Shape(format!(
                 "fitted on {} columns, got {}",
@@ -95,17 +96,15 @@ impl Transformer for MinMaxScaler {
                 *mx = mx.max(v);
             }
         }
-        let ranges: Vec<f64> = mins
-            .iter()
-            .zip(&maxs)
-            .map(|(&mn, &mx)| if mx > mn { mx - mn } else { 1.0 })
-            .collect();
+        let ranges: Vec<f64> =
+            mins.iter().zip(&maxs).map(|(&mn, &mx)| if mx > mn { mx - mn } else { 1.0 }).collect();
         self.bounds = Some((mins, ranges));
         Ok(())
     }
 
     fn transform(&self, x: &Dense) -> Result<Dense, PipelineError> {
-        let (mins, ranges) = self.bounds.as_ref().ok_or(PipelineError::NotFitted("MinMaxScaler"))?;
+        let (mins, ranges) =
+            self.bounds.as_ref().ok_or(PipelineError::NotFitted("MinMaxScaler"))?;
         if x.cols() != mins.len() {
             return Err(PipelineError::Shape(format!(
                 "fitted on {} columns, got {}",
@@ -157,7 +156,8 @@ impl Transformer for Imputer {
         let d = x.cols();
         let mut fill = Vec::with_capacity(d);
         for c in 0..d {
-            let vals: Vec<f64> = (0..x.rows()).map(|r| x.get(r, c)).filter(|v| !v.is_nan()).collect();
+            let vals: Vec<f64> =
+                (0..x.rows()).map(|r| x.get(r, c)).filter(|v| !v.is_nan()).collect();
             let v = match self.strategy {
                 ImputeStrategy::Constant(k) => k,
                 ImputeStrategy::Mean => {
@@ -515,9 +515,8 @@ mod tests {
     #[test]
     fn pipeline_chains_stages() {
         let x = Dense::from_rows(&[&[1.0, f64::NAN], &[3.0, 20.0], &[5.0, 40.0]]);
-        let mut pipe = Pipeline::new()
-            .add(Imputer::new(ImputeStrategy::Mean))
-            .add(StandardScaler::new());
+        let mut pipe =
+            Pipeline::new().add(Imputer::new(ImputeStrategy::Mean)).add(StandardScaler::new());
         let z = pipe.fit_transform(&x).unwrap();
         assert!(!z.data().iter().any(|v| v.is_nan()));
         for m in ops::col_means(&z) {
@@ -547,16 +546,22 @@ mod tests {
     fn polynomial_features_enable_quadratic_fit() {
         // y = x² is not linear in x but is linear in the expanded features.
         let x = Dense::from_fn(30, 1, |r, _| r as f64 / 3.0 - 5.0);
-        let y: Vec<f64> = (0..30).map(|r| {
-            let v = r as f64 / 3.0 - 5.0;
-            v * v
-        }).collect();
+        let y: Vec<f64> = (0..30)
+            .map(|r| {
+                let v = r as f64 / 3.0 - 5.0;
+                v * v
+            })
+            .collect();
         let mut p = PolynomialFeatures::new();
         p.fit(&x).unwrap();
         let z = p.transform(&x).unwrap();
         let m = dm_ml::linreg::LinearRegression::fit(
-            &z, &y, dm_ml::linreg::Solver::NormalEquations, 0.0,
-        ).unwrap();
+            &z,
+            &y,
+            dm_ml::linreg::Solver::NormalEquations,
+            0.0,
+        )
+        .unwrap();
         assert!(m.r2(&z, &y) > 0.999999);
         assert!((m.coefficients[1] - 1.0).abs() < 1e-6, "x² coefficient must be 1");
     }

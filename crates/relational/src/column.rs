@@ -3,13 +3,12 @@
 use crate::schema::DataType;
 use crate::value::Value;
 use crate::RelError;
-use serde::{Deserialize, Serialize};
 
 /// A typed column: contiguous values plus a validity mask.
 ///
 /// `nulls[i] == true` marks row `i` as NULL; the corresponding slot in the
 /// value vector holds a type-default placeholder that must never be read.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Column {
     /// 64-bit integers.
     Int64 {

@@ -95,7 +95,9 @@ fn parse_cell(s: &str, dtype: DataType, line: usize, column: &str) -> Result<Val
     let err = |msg: String| RelError::Csv { line, message: format!("column {column}: {msg}") };
     Ok(match dtype {
         DataType::Int64 => Value::Int64(s.parse().map_err(|_| err(format!("bad int {s:?}")))?),
-        DataType::Float64 => Value::Float64(s.parse().map_err(|_| err(format!("bad float {s:?}")))?),
+        DataType::Float64 => {
+            Value::Float64(s.parse().map_err(|_| err(format!("bad float {s:?}")))?)
+        }
         DataType::Bool => match s {
             "true" | "TRUE" | "True" => Value::Bool(true),
             "false" | "FALSE" | "False" => Value::Bool(false),
@@ -170,8 +172,7 @@ fn quote_if_needed(s: &str) -> String {
 
 /// Write a table as CSV (header included, NULLs as empty cells).
 pub fn write_csv(table: &Table, mut w: impl Write) -> Result<(), RelError> {
-    let header: Vec<String> =
-        table.schema().names().iter().map(|n| quote_if_needed(n)).collect();
+    let header: Vec<String> = table.schema().names().iter().map(|n| quote_if_needed(n)).collect();
     writeln!(w, "{}", header.join(","))?;
     for r in table.iter_rows() {
         let cells: Vec<String> = (0..table.num_cols())

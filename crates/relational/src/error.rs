@@ -50,7 +50,9 @@ impl fmt::Display for RelError {
                 write!(f, "row arity mismatch: expected {expected} values, got {actual}")
             }
             RelError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
-            RelError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            RelError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
             RelError::Io(msg) => write!(f, "io error: {msg}"),
             RelError::DuplicateColumn(name) => write!(f, "duplicate column name: {name}"),
         }
@@ -73,8 +75,11 @@ mod tests {
     fn display_variants() {
         assert!(RelError::UnknownColumn("x".into()).to_string().contains("unknown column: x"));
         assert!(RelError::Arity { expected: 3, actual: 2 }.to_string().contains("expected 3"));
-        assert!(RelError::Csv { line: 7, message: "bad quote".into() }.to_string().contains("line 7"));
-        let e = RelError::TypeMismatch { column: "a".into(), expected: DataType::Int64, actual: "Str" };
+        assert!(RelError::Csv { line: 7, message: "bad quote".into() }
+            .to_string()
+            .contains("line 7"));
+        let e =
+            RelError::TypeMismatch { column: "a".into(), expected: DataType::Int64, actual: "Str" };
         assert!(e.to_string().contains("Int64"));
     }
 

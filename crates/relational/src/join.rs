@@ -165,11 +165,8 @@ mod tests {
     fn left_join_pads_nulls() {
         let j = hash_join(&orders(), &customers(), "cid", "cid", JoinKind::Left).unwrap();
         assert_eq!(j.num_rows(), 5);
-        let unmatched: Vec<_> = j
-            .iter_rows()
-            .filter(|r| r.get("city").is_null())
-            .map(|r| r.get("oid"))
-            .collect();
+        let unmatched: Vec<_> =
+            j.iter_rows().filter(|r| r.get("city").is_null()).map(|r| r.get("oid")).collect();
         assert_eq!(unmatched, vec![Value::Int64(103), Value::Int64(104)]);
     }
 

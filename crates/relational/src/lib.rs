@@ -38,9 +38,9 @@ pub mod value;
 pub use column::Column;
 pub use error::RelError;
 pub use join::{hash_join, JoinKind};
+pub use predicate::{filter_where, Cmp, Predicate};
 pub use query::{Agg, GroupBy};
 pub use query_builder::Query;
-pub use predicate::{filter_where, Cmp, Predicate};
 pub use schema::{DataType, Field, Schema};
 pub use sort::{distinct, sort_by, SortOrder};
 pub use table::{RowRef, Table, TableBuilder};

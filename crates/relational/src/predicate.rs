@@ -112,9 +112,7 @@ impl Predicate {
                 }
                 Ok(())
             }
-            Predicate::IsNull(c) | Predicate::IsNotNull(c) => {
-                table.schema().require(c).map(|_| ())
-            }
+            Predicate::IsNull(c) | Predicate::IsNotNull(c) => table.schema().require(c).map(|_| ()),
             Predicate::And(a, b) | Predicate::Or(a, b) => {
                 a.validate(table)?;
                 b.validate(table)
@@ -139,9 +137,7 @@ impl Predicate {
                     (Value::Str(a), Value::Str(b)) => a.cmp(b),
                     (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
                     _ => match (cell.as_f64(), value.as_f64()) {
-                        (Some(a), Some(b)) => {
-                            a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Less)
-                        }
+                        (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Less),
                         _ => return false,
                     },
                 };
@@ -154,14 +150,12 @@ impl Predicate {
                     Cmp::Ge => ord.is_ge(),
                 }
             }
-            Predicate::IsNull(c) => table
-                .schema()
-                .index_of(c)
-                .is_some_and(|i| table.column(i).is_null(r)),
-            Predicate::IsNotNull(c) => table
-                .schema()
-                .index_of(c)
-                .is_some_and(|i| !table.column(i).is_null(r)),
+            Predicate::IsNull(c) => {
+                table.schema().index_of(c).is_some_and(|i| table.column(i).is_null(r))
+            }
+            Predicate::IsNotNull(c) => {
+                table.schema().index_of(c).is_some_and(|i| !table.column(i).is_null(r))
+            }
             Predicate::And(a, b) => a.eval(table, r) && b.eval(table, r),
             Predicate::Or(a, b) => a.eval(table, r) || b.eval(table, r),
             Predicate::Not(a) => !a.eval(table, r),

@@ -190,11 +190,8 @@ mod tests {
 
     #[test]
     fn min_max() {
-        let out = GroupBy::new("region")
-            .agg("qty", Agg::Min)
-            .agg("qty", Agg::Max)
-            .run(&sales())
-            .unwrap();
+        let out =
+            GroupBy::new("region").agg("qty", Agg::Min).agg("qty", Agg::Max).run(&sales()).unwrap();
         assert_eq!(out.row(0).get("min_qty"), Value::Float64(1.0));
         assert_eq!(out.row(0).get("max_qty"), Value::Float64(4.0));
     }
@@ -203,11 +200,7 @@ mod tests {
     fn all_null_group_yields_null_aggregates() {
         let mut t = Table::builder("t").string("k").float64("x").build();
         t.push_row(vec!["a".into(), Value::Null]).unwrap();
-        let out = GroupBy::new("k")
-            .agg("x", Agg::Sum)
-            .agg("x", Agg::Count)
-            .run(&t)
-            .unwrap();
+        let out = GroupBy::new("k").agg("x", Agg::Sum).agg("x", Agg::Count).run(&t).unwrap();
         assert_eq!(out.row(0).get("sum_x"), Value::Null);
         assert_eq!(out.row(0).get("count_x"), Value::Int64(0));
     }

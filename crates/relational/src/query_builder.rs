@@ -202,10 +202,8 @@ mod tests {
 
     #[test]
     fn explain_renders_plan() {
-        let q = Query::scan(orders())
-            .filter(Predicate::gt("amount", 10.0))
-            .project(&["oid"])
-            .limit(1);
+        let q =
+            Query::scan(orders()).filter(Predicate::gt("amount", 10.0)).project(&["oid"]).limit(1);
         let plan = q.explain();
         assert!(plan.starts_with("Scan(orders)"));
         assert!(plan.contains("Filter"));
@@ -216,10 +214,7 @@ mod tests {
     #[test]
     fn errors_surface_from_any_step() {
         assert!(Query::scan(orders()).project(&["ghost"]).run().is_err());
-        assert!(Query::scan(orders())
-            .filter(Predicate::eq("ghost", 1i64))
-            .run()
-            .is_err());
+        assert!(Query::scan(orders()).filter(Predicate::eq("ghost", 1i64)).run().is_err());
         assert!(Query::scan(orders())
             .join(customers(), "ghost", "id", JoinKind::Inner)
             .run()
@@ -230,10 +225,7 @@ mod tests {
     fn left_join_through_builder() {
         let mut extra = orders();
         extra.push_row(vec![7.into(), 99.into(), 1.0.into()]).unwrap();
-        let out = Query::scan(extra)
-            .join(customers(), "cust", "id", JoinKind::Left)
-            .run()
-            .unwrap();
+        let out = Query::scan(extra).join(customers(), "cust", "id", JoinKind::Left).run().unwrap();
         assert_eq!(out.num_rows(), 7);
         let unmatched = out.iter_rows().filter(|r| r.get("city").is_null()).count();
         assert_eq!(unmatched, 1);

@@ -1,10 +1,9 @@
 //! Schemas and column types.
 
 use crate::RelError;
-use serde::{Deserialize, Serialize};
 
 /// Logical column types supported by the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int64,
@@ -17,7 +16,7 @@ pub enum DataType {
 }
 
 /// A named, typed column declaration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     /// Column name, unique within a schema.
     pub name: String,
@@ -33,7 +32,7 @@ impl Field {
 }
 
 /// An ordered collection of fields with unique names.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     fields: Vec<Field>,
 }
@@ -122,10 +121,7 @@ mod tests {
 
     #[test]
     fn duplicate_rejected() {
-        let r = Schema::new(vec![
-            Field::new("a", DataType::Int64),
-            Field::new("a", DataType::Str),
-        ]);
+        let r = Schema::new(vec![Field::new("a", DataType::Int64), Field::new("a", DataType::Str)]);
         assert_eq!(r.unwrap_err(), RelError::DuplicateColumn("a".into()));
     }
 

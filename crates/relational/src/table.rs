@@ -220,8 +220,7 @@ impl Table {
 
     /// Keep rows where `pred` returns true.
     pub fn filter(&self, pred: impl Fn(RowRef<'_>) -> bool) -> Table {
-        let keep: Vec<usize> =
-            self.iter_rows().filter(|r| pred(*r)).map(|r| r.index()).collect();
+        let keep: Vec<usize> = self.iter_rows().filter(|r| pred(*r)).map(|r| r.index()).collect();
         self.gather(&keep)
     }
 
@@ -379,11 +378,9 @@ mod tests {
         let bad = Column::empty(DataType::Str);
         assert!(Table::from_columns("t", schema, vec![bad]).is_err());
         // Ragged lengths.
-        let schema2 = Schema::new(vec![
-            Field::new("a", DataType::Int64),
-            Field::new("b", DataType::Int64),
-        ])
-        .unwrap();
+        let schema2 =
+            Schema::new(vec![Field::new("a", DataType::Int64), Field::new("b", DataType::Int64)])
+                .unwrap();
         let empty = Column::empty(DataType::Int64);
         assert!(Table::from_columns("t", schema2, vec![col, empty]).is_err());
     }

@@ -1,10 +1,9 @@
 //! Scalar values flowing through the relational engine.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dynamically-typed scalar cell value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// SQL NULL.
     Null,

@@ -1,0 +1,365 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! `Bytes` is a cheaply cloneable, sliceable view over shared immutable bytes
+//! (`Arc<[u8]>` plus a window); `BytesMut` is a growable builder that freezes
+//! into `Bytes`. The `Buf`/`BufMut` traits carry the little-endian accessors
+//! the serializers in this workspace rely on. Semantics match upstream for
+//! this subset: reads consume from the front, `len`/`Deref` reflect the
+//! remaining window, and `slice` shares storage without copying.
+
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// Shared immutable byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wrap a static byte slice (copied once; this shim has no zero-copy
+    /// static storage, which no caller observes).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Remaining length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view sharing the same storage. Bounds are relative to the
+    /// current view.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of bounds for {}", self.len());
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+    }
+
+    /// Copy the remaining bytes into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes { data: Arc::new(data), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", &self[..])
+    }
+}
+
+/// Growable byte builder that freezes into [`Bytes`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append raw bytes.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(bytes: &[u8]) -> Self {
+        BytesMut { data: bytes.to_vec() }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+macro_rules! get_le {
+    ($($name:ident -> $t:ty),* $(,)?) => {$(
+        /// Read a little-endian value from the front, consuming it.
+        ///
+        /// # Panics
+        /// Panics when fewer bytes remain than the value needs.
+        fn $name(&mut self) -> $t {
+            const N: usize = std::mem::size_of::<$t>();
+            let mut raw = [0u8; N];
+            self.copy_to_slice(&mut raw);
+            <$t>::from_le_bytes(raw)
+        }
+    )*};
+}
+
+/// Sequential reads that consume from the front of a buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `n` bytes.
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// True when at least one byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copy bytes into `dst`, consuming them.
+    ///
+    /// # Panics
+    /// Panics when fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Detach the first `n` bytes as an owned [`Bytes`], consuming them.
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` bytes remain.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(self.remaining() >= n, "buffer underflow");
+        let out = Bytes::from(&self.chunk()[..n]);
+        self.advance(n);
+        out
+    }
+
+    /// Read one byte.
+    ///
+    /// # Panics
+    /// Panics when empty.
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+
+    get_le! {
+        get_u16_le -> u16,
+        get_u32_le -> u32,
+        get_u64_le -> u64,
+        get_f64_le -> f64,
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        self.start += n;
+    }
+}
+
+macro_rules! put_le {
+    ($($name:ident($t:ty)),* $(,)?) => {$(
+        /// Append a value in little-endian byte order.
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    )*};
+}
+
+/// Sequential appends to the back of a buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, bytes: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    put_le! {
+        put_u16_le(u16),
+        put_u32_le(u32),
+        put_u64_le(u64),
+        put_f64_le(f64),
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(7);
+        b.put_u16_le(258);
+        b.put_u32_le(70_000);
+        b.put_u64_le(u64::MAX - 1);
+        b.put_f64_le(-0.5);
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8 + 8);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 258);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_f64_le(), -0.5);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_shares_and_windows() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let mid = b.slice(2..5);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        let inner = mid.slice(1..);
+        assert_eq!(&inner[..], &[3, 4]);
+        assert_eq!(b.len(), 6, "parent untouched");
+    }
+
+    #[test]
+    fn reads_consume_window() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..], &[2, 3, 4]);
+        let taken = b.copy_to_bytes(2);
+        assert_eq!(&taken[..], &[2, 3]);
+        assert_eq!(b.remaining(), 1);
+    }
+
+    #[test]
+    fn equality_ignores_storage() {
+        let a = Bytes::from(vec![9, 9, 1, 2]).slice(2..);
+        let b = Bytes::from(vec![1, 2]);
+        assert_eq!(a, b);
+        assert_ne!(a, Bytes::from(vec![1]));
+    }
+
+    #[test]
+    fn bytes_mut_is_indexable() {
+        let mut m = BytesMut::from(&[1u8, 2, 3, 4][..]);
+        m[1..3].copy_from_slice(&[8, 9]);
+        assert_eq!(m.freeze(), Bytes::from(vec![1, 8, 9, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1]);
+        let _ = b.get_u32_le();
+    }
+}

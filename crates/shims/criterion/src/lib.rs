@@ -1,0 +1,195 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the group/`bench_function` API surface the `dm-bench` targets
+//! use, backed by a simple timing loop: each benchmark runs a short warm-up,
+//! then samples the closure until the measurement budget is spent, and prints
+//! min/median/mean per iteration. No statistical analysis, plots, or result
+//! persistence — the bench targets here exist to show qualitative shapes
+//! (which representation wins, how costs scale), not CI-grade regressions.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver; hands out [`BenchmarkGroup`]s.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Run a stand-alone benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut g = self.benchmark_group("ungrouped");
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples to collect (upper bound; the measurement
+    /// budget may cut it short).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent running the closure untimed before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total budget for timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time `f`'s `Bencher::iter` body and print a one-line summary.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+
+        let warm_up_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_until {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+        }
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let budget_until = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            if Instant::now() >= budget_until {
+                break;
+            }
+        }
+
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples.first().copied().unwrap_or(0.0);
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "bench {}/{:<28} min {:>12} median {:>12} mean {:>12} ({} samples)",
+            self.name,
+            id,
+            fmt_secs(min),
+            fmt_secs(median),
+            fmt_secs(mean),
+            samples.len()
+        );
+        self
+    }
+
+    /// End the group (printing happens per-benchmark; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the elapsed wall time.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_finishes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim-test");
+        g.sample_size(3);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(5));
+        let mut ran = 0u32;
+        g.bench_function("count", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran > 0, "bench closure must actually run");
+    }
+
+    #[test]
+    fn macros_compose() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        }
+        criterion_group!(benches, target);
+        benches();
+    }
+}

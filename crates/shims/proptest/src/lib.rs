@@ -1,0 +1,477 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's test suites
+//! use: the `proptest!` macro, `Strategy` with `prop_map`/`prop_flat_map`/
+//! `boxed`, range and tuple strategies, `Just`, weighted `prop_oneof!`, and
+//! `collection::vec`. Differences from upstream, none of which the suites
+//! depend on:
+//!
+//! * **No shrinking.** A failing case reports the generated value via the
+//!   panic message only.
+//! * **Deterministic seeding.** Each test's RNG is seeded from a hash of the
+//!   test function's name, so failures reproduce exactly across runs.
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of returning
+//!   `Err`, which is equivalent under `#[test]`.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` builds
+        /// out of it (dependent generation).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Type-erase into a [`BoxedStrategy`].
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> T::Value {
+            let intermediate = self.source.generate(rng);
+            (self.f)(intermediate).generate(rng)
+        }
+    }
+
+    /// Weighted choice between strategies yielding the same value type.
+    /// Backs the `prop_oneof!` macro.
+    pub struct OneOf<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> OneOf<T> {
+        /// Build from `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        /// Panics when `arms` is empty or all weights are zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total_weight > 0, "prop_oneof! needs at least one positive weight");
+            OneOf { arms, total_weight }
+        }
+    }
+
+    impl<T> Clone for OneOf<T> {
+        fn clone(&self) -> Self {
+            OneOf { arms: self.arms.clone(), total_weight: self.total_weight }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total_weight);
+            for (weight, strat) in &self.arms {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return strat.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weights summed to total_weight");
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// Strategy for vectors of `element` with length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a vector whose elements come from
+    /// `element` and whose length comes from `size` (an exact `usize` or a
+    /// half-open range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test driver owning the deterministic RNG.
+    pub struct TestRunner {
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Seed from the test's name so each test gets a distinct but
+        /// reproducible stream.
+        pub fn new(test_name: &str) -> Self {
+            // FNV-1a: stable across runs and platforms, unlike DefaultHasher.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRunner { rng: StdRng::seed_from_u64(h) }
+        }
+
+        /// The RNG strategies draw from.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// Per-suite knobs accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the full-workspace suite fast
+        // while still exercising each property broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Assert inside a proptest body. Panics (fails the test) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Weighted (or uniform) choice between strategies producing the same type.
+/// `prop_oneof![a, b]` picks uniformly; `prop_oneof![3 => a, 1 => b]` picks
+/// `a` three times as often.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }` runs
+/// `cases` times with fresh generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal tt-muncher behind [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr;) => {};
+    (config = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(stringify!($name));
+            for _case in 0..config.cases {
+                let ($($pat,)+) = (
+                    $($crate::strategy::Strategy::generate(&($strat), runner.rng()),)+
+                );
+                // Upstream bodies may `return Ok(())` to skip a case, so run
+                // the body in a Result-returning closure. Assertion macros
+                // panic directly, so Err never actually occurs.
+                #[allow(clippy::redundant_closure_call)]
+                let case_result: ::core::result::Result<(), ::std::string::String> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                case_result.expect("proptest case returned Err");
+            }
+        }
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut runner = TestRunner::new("ranges_and_tuples");
+        let strat = (1usize..5, -1.0..1.0f64, 0u32..=3);
+        for _ in 0..500 {
+            let (a, b, c) = strat.generate(runner.rng());
+            assert!((1..5).contains(&a));
+            assert!((-1.0..1.0).contains(&b));
+            assert!(c <= 3);
+        }
+    }
+
+    #[test]
+    fn map_flat_map_and_boxed_compose() {
+        let mut runner = TestRunner::new("map_flat_map");
+        let strat = (2usize..6)
+            .prop_flat_map(|n| (Just(n), crate::collection::vec(0.0..1.0f64, n)))
+            .prop_map(|(n, v)| (n, v.len()))
+            .boxed();
+        for _ in 0..200 {
+            let (n, len) = strat.generate(runner.rng());
+            assert_eq!(n, len);
+            assert!((2..6).contains(&n));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_and_reaches_all_arms() {
+        let mut runner = TestRunner::new("oneof");
+        let strat = prop_oneof![3 => Just(0u8), 1 => Just(1u8)];
+        let ones = (0..4000).filter(|_| strat.generate(runner.rng()) == 1).count();
+        let frac = ones as f64 / 4000.0;
+        assert!((frac - 0.25).abs() < 0.05, "{frac}");
+
+        let uniform = prop_oneof![Just('a'), Just('b'), Just('c')];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(uniform.generate(runner.rng()));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn vec_sizes_respect_bounds() {
+        let mut runner = TestRunner::new("vec_sizes");
+        let exact = crate::collection::vec(0..10i32, 7usize);
+        assert_eq!(exact.generate(runner.rng()).len(), 7);
+        let ranged = crate::collection::vec(0..10i32, 1..4);
+        for _ in 0..200 {
+            let len = ranged.generate(runner.rng()).len();
+            assert!((1..4).contains(&len));
+        }
+    }
+
+    #[test]
+    fn same_name_reproduces_same_stream() {
+        let mut a = TestRunner::new("stable");
+        let mut b = TestRunner::new("stable");
+        let strat = crate::collection::vec(0u64..1_000_000, 10usize);
+        assert_eq!(strat.generate(a.rng()), strat.generate(b.rng()));
+    }
+
+    // The macro itself, end to end: generated bindings, config, patterns.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_patterns(x in 0usize..10, (a, b) in (0i32..5, 5i32..10)) {
+            prop_assert!(x < 10);
+            prop_assert!(a < b, "{a} vs {b}");
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! small slice of `rand` it actually uses: a seedable RNG (`rngs::StdRng`),
+//! `Rng::gen_range`/`gen_bool`, and `seq::SliceRandom::shuffle`. The generator
+//! is xoshiro256** seeded through SplitMix64 — deterministic across platforms,
+//! which is all the experiments and tests require. Streams differ from the
+//! upstream ChaCha-based `StdRng`; callers only rely on statistical quality
+//! and reproducibility for a fixed seed, never on exact values.
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling from range-like argument types.
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// The user-facing RNG trait.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        self.next_f64() < p
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // 128-bit multiply-shift maps 64 random bits onto the span
+                // with negligible bias for the span sizes used here.
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + hi) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let u = rng.next_f64() as $t;
+                self.start + (self.end - self.start) * u
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                lo + (hi - lo) * rng.next_f64() as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256** over a SplitMix64-expanded
+    /// seed. Fast, passes BigCrush, and fully deterministic per seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related random operations.
+pub mod seq {
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+        /// A uniformly random element, `None` when empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.5..2.5f64);
+            assert!((-2.5..2.5).contains(&f));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn int_range_reaches_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "{frac}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}

@@ -67,10 +67,6 @@ fn main() {
     // Sanity: compressed kernels agree with dense.
     let dense_pred = dmml::matrix::ops::gemv(&x, &w);
     let comp_pred = cm.gemv(&w);
-    let diff = dense_pred
-        .iter()
-        .zip(&comp_pred)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0, f64::max);
+    let diff = dense_pred.iter().zip(&comp_pred).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
     println!("  max dense/compressed prediction divergence: {diff:.2e}");
 }

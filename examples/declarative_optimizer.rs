@@ -32,7 +32,11 @@ fn main() {
     println!("optimized plan: {}", opt_graph.render(opt_root));
     println!(
         "rewrites: cse={} tmv_fused={} crossprod_fused={} sumsq_fused={} chains_reordered={}",
-        stats.cse_merged, stats.tmv_fused, stats.crossprod_fused, stats.sumsq_fused, stats.chains_reordered
+        stats.cse_merged,
+        stats.tmv_fused,
+        stats.crossprod_fused,
+        stats.sumsq_fused,
+        stats.chains_reordered
     );
 
     // Execute both plans on real data and compare work.
@@ -45,7 +49,8 @@ fn main() {
     let mut naive = Executor::new(&graph);
     let naive_val = naive.eval(root, &env).expect("naive executes").as_scalar().expect("scalar");
     let mut opt = Executor::new(&opt_graph);
-    let opt_val = opt.eval(opt_root, &env).expect("optimized executes").as_scalar().expect("scalar");
+    let opt_val =
+        opt.eval(opt_root, &env).expect("optimized executes").as_scalar().expect("scalar");
 
     println!("naive     result {naive_val:.4}  flops {:>12}", naive.stats().flops);
     println!("optimized result {opt_val:.4}  flops {:>12}", opt.stats().flops);

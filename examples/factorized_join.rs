@@ -43,27 +43,21 @@ fn main() {
     let mat = nm.materialize();
     let mat_gemv = dmml::matrix::ops::gemv(&mat, &w);
     let mat_time = t1.elapsed();
-    let max_diff = fact_gemv
-        .iter()
-        .zip(&mat_gemv)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0, f64::max);
+    let max_diff = fact_gemv.iter().zip(&mat_gemv).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
     println!("gemv: factorized {fact_time:?} vs materialize+dense {mat_time:?} (max diff {max_diff:.1e})");
 
     // Train linear regression both ways with identical GD settings.
     let gd = GdConfig { learning_rate: 0.1, max_iter: 200, tol: 1e-9, ..Default::default() };
     let t2 = Instant::now();
-    let f_fit = train_factorized(&nm, &d.y_regression, Family::Gaussian, &gd).expect("factorized fit");
+    let f_fit =
+        train_factorized(&nm, &d.y_regression, Family::Gaussian, &gd).expect("factorized fit");
     let f_time = t2.elapsed();
     let t3 = Instant::now();
-    let m_fit = train_materialized(&nm, &d.y_regression, Family::Gaussian, &gd).expect("materialized fit");
+    let m_fit =
+        train_materialized(&nm, &d.y_regression, Family::Gaussian, &gd).expect("materialized fit");
     let m_time = t3.elapsed();
-    let weight_gap = f_fit
-        .weights
-        .iter()
-        .zip(&m_fit.weights)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0, f64::max);
+    let weight_gap =
+        f_fit.weights.iter().zip(&m_fit.weights).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
     println!(
         "GLM training ({} epochs): factorized {f_time:?} vs materialized {m_time:?}",
         f_fit.iterations

@@ -59,9 +59,8 @@ fn main() {
     let y_test: Vec<f64> = split.test.iter().map(|&i| y[i]).collect();
 
     // 4. Pipeline: impute missing incomes, then standardize.
-    let mut pipe = Pipeline::new()
-        .add(Imputer::new(ImputeStrategy::Mean))
-        .add(StandardScaler::new());
+    let mut pipe =
+        Pipeline::new().add(Imputer::new(ImputeStrategy::Mean)).add(StandardScaler::new());
     let x_train_t = pipe.fit_transform(&x_train).expect("pipeline fit");
     let x_test_t = pipe.transform(&x_test).expect("pipeline transform");
 
@@ -88,5 +87,8 @@ fn main() {
     ms.insert("accuracy".into(), acc);
     ms.insert("auc".into(), auc);
     let id = registry.register("quickstart-logreg", params, ms, None, vec!["quickstart".into()]);
-    println!("registered model #{id}; best by accuracy: {:?}", registry.best_by("accuracy").map(|r| r.id));
+    println!(
+        "registered model #{id}; best by accuracy: {:?}",
+        registry.best_by("accuracy").map(|r| r.id)
+    );
 }

@@ -46,7 +46,7 @@ pub mod prelude {
     pub use dm_buffer::{BufferPool, PageKey};
     pub use dm_compress::{CompressedMatrix, Encoding};
     pub use dm_factorized::{DimTable, NormalizedMatrix};
-    pub use dm_lang::{Env, Executor, Graph};
+    pub use dm_lang::{analyze, AnalysisReport, Diagnostic, Env, Executor, Graph, Severity};
     pub use dm_matrix::{BlockMatrix, Coo, Csr, Dense, Matrix};
     pub use dm_ml::glm::{Family, GdConfig};
     pub use dm_ml::linreg::{LinearRegression, Solver};

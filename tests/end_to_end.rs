@@ -41,8 +41,7 @@ fn lifecycle_csv_to_registered_model() {
     .unwrap();
     let x_raw = feat.transform(&table).unwrap();
     assert_eq!(x_raw.cols(), 5);
-    let y: Vec<f64> =
-        (0..300).map(|r| table.row(r).get("label").as_f64().unwrap()).collect();
+    let y: Vec<f64> = (0..300).map(|r| table.row(r).get("label").as_f64().unwrap()).collect();
 
     let split = train_test_split(300, 0.3, 1).unwrap();
     let mut pipe =
@@ -121,15 +120,9 @@ fn glm_training_on_compressed_matrix() {
         &gd,
     )
     .unwrap();
-    let comp_fit = dmml::ml::glm::train_gd(
-        |w| cm.gemv(w),
-        |r| cm.vecmat(r),
-        &y,
-        4,
-        Family::Gaussian,
-        &gd,
-    )
-    .unwrap();
+    let comp_fit =
+        dmml::ml::glm::train_gd(|w| cm.gemv(w), |r| cm.vecmat(r), &y, 4, Family::Gaussian, &gd)
+            .unwrap();
     for (a, b) in dense_fit.weights.iter().zip(&comp_fit.weights) {
         assert!((a - b).abs() < 1e-9, "compressed and dense GD must coincide");
     }

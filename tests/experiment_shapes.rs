@@ -14,24 +14,16 @@ use dmml::prelude::*;
 fn e1_compression_ratio_ordering() {
     let n = 20_000;
     let cfg = CompressionConfig::default();
-    let random = CompressedMatrix::compress(
-        &dmml::data::matgen::dense_uniform(n, 4, -1.0, 1.0, 1),
-        &cfg,
-    );
-    let lowcard = CompressedMatrix::compress(
-        &dmml::data::matgen::low_cardinality(n, 4, 8, 2),
-        &cfg,
-    );
-    let clustered = CompressedMatrix::compress(
-        &dmml::data::matgen::clustered(n, 4, 8, 1024, 3),
-        &cfg,
-    );
+    let random =
+        CompressedMatrix::compress(&dmml::data::matgen::dense_uniform(n, 4, -1.0, 1.0, 1), &cfg);
+    let lowcard =
+        CompressedMatrix::compress(&dmml::data::matgen::low_cardinality(n, 4, 8, 2), &cfg);
+    let clustered =
+        CompressedMatrix::compress(&dmml::data::matgen::clustered(n, 4, 8, 1024, 3), &cfg);
     let correlated_m = dmml::data::matgen::correlated(n, 4, 16, 4);
     let corr_on = CompressedMatrix::compress(&correlated_m, &cfg);
-    let corr_off = CompressedMatrix::compress(
-        &correlated_m,
-        &CompressionConfig { cocode: false, ..cfg },
-    );
+    let corr_off =
+        CompressedMatrix::compress(&correlated_m, &CompressionConfig { cocode: false, ..cfg });
 
     assert!(random.compression_ratio() < 1.2, "random: {}", random.compression_ratio());
     assert!(lowcard.compression_ratio() > 4.0, "lowcard: {}", lowcard.compression_ratio());
@@ -94,8 +86,8 @@ fn e5_rewrites_reduce_flops() {
     sizes.declare("u", n, 1, 1.0);
 
     for (src, min_ratio) in [
-        ("X %*% Y %*% u", 5.0),     // chain reordering: avoid the n x n product
-        ("sum(t(X) %*% X)", 1.5),   // crossprod fusion halves the multiply
+        ("X %*% Y %*% u", 5.0),           // chain reordering: avoid the n x n product
+        ("sum(t(X) %*% X)", 1.5),         // crossprod fusion halves the multiply
         ("sum(X * X) + sum(X * X)", 1.9), // CSE + sumsq
     ] {
         let (g, root) = parser::parse(src).unwrap();
@@ -123,12 +115,17 @@ fn e7_early_stopping_budget_savings() {
         let base = -(p.get("lr").log10() + 1.0).abs();
         base * (0.6 + 0.4 * budget)
     };
-    let grid = ParamSpace::new()
-        .grid("lr", &[1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1000.0, 1e4]);
+    let grid =
+        ParamSpace::new().grid("lr", &[1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1000.0, 1e4]);
     let g = grid_search(&grid, objective);
     let cont = ParamSpace::new().log_uniform("lr", 1e-4, 1e4);
     let sh = successive_halving(&cont, 27, 3, 3, objective);
-    assert!(sh.total_budget < 0.6 * g.total_budget, "sh {} vs grid {}", sh.total_budget, g.total_budget);
+    assert!(
+        sh.total_budget < 0.6 * g.total_budget,
+        "sh {} vs grid {}",
+        sh.total_budget,
+        g.total_budget
+    );
     assert!(sh.best_score > g.best_score - 0.5, "sh {} vs grid {}", sh.best_score, g.best_score);
 }
 
@@ -139,8 +136,15 @@ fn e7_early_stopping_budget_savings() {
 fn e8_batched_exploration_identical_results() {
     use dmml::modelsel::columbus::{batched_explore, naive_explore};
     let d = dmml::data::labeled::regression(2000, 10, 0.05, 13);
-    let subsets: Vec<Vec<usize>> = (0..20).map(|i| vec![i % 10, (i * 3 + 1) % 10, (i * 7 + 2) % 10]
-        .into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect()).collect();
+    let subsets: Vec<Vec<usize>> = (0..20)
+        .map(|i| {
+            vec![i % 10, (i * 3 + 1) % 10, (i * 7 + 2) % 10]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect()
+        })
+        .collect();
     let a = naive_explore(&d.x, &d.y, &subsets, 0.01).unwrap();
     let b = batched_explore(&d.x, &d.y, &subsets, 0.01).unwrap();
     for (na, ba) in a.iter().zip(&b) {
@@ -184,15 +188,9 @@ fn e9_join_avoidance_accuracy_gap() {
     };
 
     let (j_hi, f_hi) = run(10); // tuple ratio 300: safe to avoid
-    assert!(
-        f_hi > j_hi - 0.05,
-        "high tuple ratio: FK-only {f_hi} must match joined {j_hi}"
-    );
+    assert!(f_hi > j_hi - 0.05, "high tuple ratio: FK-only {f_hi} must match joined {j_hi}");
     let (j_lo, f_lo) = run(1000); // tuple ratio 3: FK overfits
-    assert!(
-        j_lo > f_lo,
-        "low tuple ratio: joined {j_lo} must beat FK-only {f_lo}"
-    );
+    assert!(j_lo > f_lo, "low tuple ratio: joined {j_lo} must beat FK-only {f_lo}");
 }
 
 /// E10 shape: LRU thrashes on oversized scans but wins on skewed traces;

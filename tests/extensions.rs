@@ -34,9 +34,8 @@ fn query_pipeline_feeds_model_training() {
     assert!(prepared.num_rows() > 300);
 
     // Labels are sorted ascending.
-    let labels: Vec<f64> = (0..prepared.num_rows())
-        .map(|r| prepared.row(r).get("label").as_f64().unwrap())
-        .collect();
+    let labels: Vec<f64> =
+        (0..prepared.num_rows()).map(|r| prepared.row(r).get("label").as_f64().unwrap()).collect();
     assert!(labels.windows(2).all(|w| w[0] <= w[1]));
 
     // Train on the joined features straight from the query output.
@@ -76,12 +75,8 @@ fn softmax_and_forest_agree_on_blobs() {
     assert!(sm.accuracy(&x, &y) > 0.97, "softmax {}", sm.accuracy(&x, &y));
     assert!(rf.accuracy(&x, &y) > 0.97, "forest {}", rf.accuracy(&x, &y));
     // They disagree on at most a small fraction of points.
-    let disagreements = sm
-        .predict(&x)
-        .iter()
-        .zip(rf.predict(&x))
-        .filter(|(a, b)| **a != *b)
-        .count();
+    let disagreements =
+        sm.predict(&x).iter().zip(rf.predict(&x)).filter(|(a, b)| **a != *b).count();
     assert!(disagreements < 24, "{disagreements} disagreements");
 }
 
@@ -122,15 +117,9 @@ fn compressed_serialization_round_trip_trains() {
     assert_eq!(back, cm);
 
     let gd = GdConfig { learning_rate: 0.1, max_iter: 5000, tol: 1e-10, ..Default::default() };
-    let fit = dmml::ml::glm::train_gd(
-        |w| back.gemv(w),
-        |r| back.vecmat(r),
-        &y,
-        3,
-        Family::Gaussian,
-        &gd,
-    )
-    .unwrap();
+    let fit =
+        dmml::ml::glm::train_gd(|w| back.gemv(w), |r| back.vecmat(r), &y, 3, Family::Gaussian, &gd)
+            .unwrap();
     for (w, t) in fit.weights.iter().zip(&truth) {
         assert!((w - t).abs() < 1e-3, "{:?}", fit.weights);
     }
