@@ -6,6 +6,7 @@
 
 use crate::pool::PageKey;
 use std::collections::VecDeque;
+use std::fmt;
 
 /// Which eviction policy a pool uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -18,6 +19,17 @@ pub enum PolicyKind {
     Clock,
     /// Least frequently used, with admission-order tie breaking.
     Lfu,
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::Clock => "clock",
+            PolicyKind::Lfu => "lfu",
+        })
+    }
 }
 
 /// Common interface for eviction policies.

@@ -5,6 +5,7 @@ use crate::codec;
 use crate::policy::{make_policy, Policy, PolicyKind};
 use crate::storage::Storage;
 use dm_matrix::Dense;
+use dm_obs::Recorder;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -75,6 +76,10 @@ pub struct PoolStats {
     pub evictions: u64,
     /// `get` found the block neither resident nor spilled.
     pub absent: u64,
+    /// Successful `pin` calls.
+    pub pins: u64,
+    /// High-water mark of resident bytes.
+    pub peak_used: usize,
 }
 
 impl PoolStats {
@@ -96,14 +101,41 @@ struct Frame {
     dirty: bool,
 }
 
+// Pre-formatted recorder site names, so mirroring an event is one atomic
+// add with no per-event allocation.
+struct RecorderSites {
+    hit: String,
+    miss: String,
+    eviction: String,
+    absent: String,
+    pin: String,
+    used: String,
+}
+
+impl RecorderSites {
+    fn new(kind: PolicyKind) -> Self {
+        let p = format!("buffer.pool.{kind}");
+        RecorderSites {
+            hit: format!("{p}.hit"),
+            miss: format!("{p}.miss"),
+            eviction: format!("{p}.eviction"),
+            absent: format!("{p}.absent"),
+            pin: format!("{p}.pin"),
+            used: format!("{p}.used_bytes"),
+        }
+    }
+}
+
 /// A byte-budgeted cache of dense blocks over a backing store.
 pub struct BufferPool<S: Storage> {
     capacity: usize,
     used: usize,
     frames: HashMap<PageKey, Frame>,
     policy: Box<dyn Policy>,
+    kind: PolicyKind,
     storage: S,
     stats: PoolStats,
+    recorder: Option<(Box<dyn Recorder>, RecorderSites)>,
 }
 
 fn block_bytes(b: &Dense) -> usize {
@@ -118,8 +150,40 @@ impl<S: Storage> BufferPool<S> {
             used: 0,
             frames: HashMap::new(),
             policy: make_policy(kind),
+            kind,
             storage,
             stats: PoolStats::default(),
+            recorder: None,
+        }
+    }
+
+    /// Mirror pool events into `rec` under `buffer.pool.<policy>.*` sites
+    /// (hit, miss, eviction, absent, pin, used_bytes). A disabled recorder is
+    /// dropped here, so the hot path stays untouched when observability is
+    /// off.
+    pub fn with_recorder(mut self, rec: Box<dyn Recorder>) -> Self {
+        self.recorder =
+            if rec.is_enabled() { Some((rec, RecorderSites::new(self.kind))) } else { None };
+        self
+    }
+
+    /// The eviction policy this pool was built with.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    fn record(&self, site: impl Fn(&RecorderSites) -> &str) {
+        if let Some((rec, sites)) = &self.recorder {
+            rec.add(site(sites), 1);
+        }
+    }
+
+    // Track the resident-bytes high-water mark; call after every change to
+    // `used`.
+    fn note_used(&mut self) {
+        self.stats.peak_used = self.stats.peak_used.max(self.used);
+        if let Some((rec, sites)) = &self.recorder {
+            rec.gauge_set(&sites.used, self.used as u64);
         }
     }
 
@@ -158,6 +222,7 @@ impl<S: Storage> BufferPool<S> {
         self.policy.remove(victim);
         self.used -= frame.bytes;
         self.stats.evictions += 1;
+        self.record(|s| &s.eviction);
         if frame.dirty {
             let data = codec::encode_dense(&frame.block);
             self.storage.write(victim, data).map_err(|e| PoolError::Io(e.to_string()))?;
@@ -187,6 +252,7 @@ impl<S: Storage> BufferPool<S> {
         self.frames.insert(key, Frame { block: Arc::new(block), bytes, pins: 0, dirty: true });
         self.policy.admit(key);
         self.used += bytes;
+        self.note_used();
         Ok(())
     }
 
@@ -195,6 +261,7 @@ impl<S: Storage> BufferPool<S> {
     pub fn get(&mut self, key: PageKey) -> Result<Option<Arc<Dense>>, PoolError> {
         if let Some(frame) = self.frames.get(&key) {
             self.stats.hits += 1;
+            self.record(|s| &s.hit);
             let block = Arc::clone(&frame.block);
             self.policy.touch(key);
             return Ok(Some(block));
@@ -202,6 +269,7 @@ impl<S: Storage> BufferPool<S> {
         match self.storage.read(key).map_err(|e| PoolError::Io(e.to_string()))? {
             Some(bytes) => {
                 self.stats.misses += 1;
+                self.record(|s| &s.miss);
                 let block = codec::decode_dense(bytes).ok_or(PoolError::Corrupt(key))?;
                 let nbytes = block_bytes(&block);
                 self.make_room(nbytes)?;
@@ -213,10 +281,12 @@ impl<S: Storage> BufferPool<S> {
                 );
                 self.policy.admit(key);
                 self.used += nbytes;
+                self.note_used();
                 Ok(Some(arc))
             }
             None => {
                 self.stats.absent += 1;
+                self.record(|s| &s.absent);
                 Ok(None)
             }
         }
@@ -228,6 +298,8 @@ impl<S: Storage> BufferPool<S> {
         let block = self.get(key)?;
         if block.is_some() {
             self.frames.get_mut(&key).expect("resident after get").pins += 1;
+            self.stats.pins += 1;
+            self.record(|s| &s.pin);
         }
         Ok(block)
     }
@@ -468,9 +540,55 @@ mod tests {
 
     #[test]
     fn hit_rate_math() {
-        let s = PoolStats { hits: 3, misses: 1, evictions: 0, absent: 5 };
+        let s = PoolStats { hits: 3, misses: 1, absent: 5, ..PoolStats::default() };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(PoolStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn pins_and_peak_bytes_tracked() {
+        let mut p = pool(2, PolicyKind::Lru);
+        p.put(key(1), block(1.0)).unwrap();
+        assert_eq!(p.stats().peak_used, 144);
+        p.put(key(2), block(2.0)).unwrap();
+        assert_eq!(p.stats().peak_used, 288);
+        p.put(key(3), block(3.0)).unwrap(); // evicts one; peak unchanged
+        assert_eq!(p.stats().peak_used, 288);
+        p.pin(key(3)).unwrap().unwrap();
+        p.unpin(key(3)).unwrap();
+        assert_eq!(p.stats().pins, 1);
+        // Pinning an absent key records no pin.
+        assert!(p.pin(key(99)).unwrap().is_none());
+        assert_eq!(p.stats().pins, 1);
+    }
+
+    #[test]
+    fn recorder_mirrors_pool_events() {
+        use dm_obs::StatsRegistry;
+        let reg = Arc::new(StatsRegistry::new());
+        let mut p = pool(2, PolicyKind::Lru).with_recorder(Box::new(Arc::clone(&reg)));
+        p.put(key(1), block(1.0)).unwrap();
+        p.put(key(2), block(2.0)).unwrap();
+        p.put(key(3), block(3.0)).unwrap(); // eviction
+        p.get(key(2)).unwrap(); // hit
+        p.get(key(1)).unwrap(); // miss (faults back, evicts again)
+        p.get(key(42)).unwrap(); // absent
+        p.pin(key(1)).unwrap().unwrap();
+        p.unpin(key(1)).unwrap();
+        let rep = reg.report();
+        // Two hits: the explicit get(2) plus pin(1)'s internal get.
+        assert_eq!(rep.counter("buffer.pool.lru.hit"), Some(2));
+        assert_eq!(rep.counter("buffer.pool.lru.miss"), Some(1), "{rep}");
+        assert_eq!(rep.counter("buffer.pool.lru.eviction"), Some(2));
+        assert_eq!(rep.counter("buffer.pool.lru.absent"), Some(1));
+        assert_eq!(rep.counter("buffer.pool.lru.pin"), Some(1));
+        assert_eq!(rep.gauge("buffer.pool.lru.used_bytes").map(|(_, peak)| peak), Some(288));
+    }
+
+    #[test]
+    fn disabled_recorder_is_dropped() {
+        let p = pool(2, PolicyKind::Lru).with_recorder(Box::new(dm_obs::NoopRecorder));
+        assert!(p.recorder.is_none());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::codes::CodeArray;
 use crate::dict::{Dict, DictBuilder};
 use dm_matrix::Dense;
+use std::fmt;
 
 /// Which physical encoding a column group uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -15,6 +16,17 @@ pub enum Encoding {
     Rle,
     /// Uncompressed fallback.
     Uncompressed,
+}
+
+impl fmt::Display for Encoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Encoding::Ddc => "DDC",
+            Encoding::Ole => "OLE",
+            Encoding::Rle => "RLE",
+            Encoding::Uncompressed => "UC",
+        })
+    }
 }
 
 /// A compressed (or fallback-uncompressed) group of one or more co-coded columns.

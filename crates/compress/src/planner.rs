@@ -2,8 +2,12 @@
 //! greedy column co-coding.
 
 use crate::estimate::{estimate_group, estimate_sizes, sample_rows, GroupStats};
+use crate::matrix::CompressedMatrix;
 use crate::Encoding;
 use dm_matrix::Dense;
+use dm_obs::{elapsed_ns, Recorder};
+use std::fmt::Write as _;
+use std::time::Instant;
 
 /// Tuning knobs for the compression planner.
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +64,43 @@ fn plan_one(m: &Dense, cols: &[usize], sample: &[usize]) -> (Encoding, usize, Gr
     (enc, sz, stats)
 }
 
+/// One accepted co-coding merge, as recorded by [`plan_traced`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeDecision {
+    /// Columns of the left group before the merge.
+    pub left: Vec<usize>,
+    /// Columns of the right group before the merge.
+    pub right: Vec<usize>,
+    /// Sum of the two groups' separate estimated sizes.
+    pub est_separate: usize,
+    /// Estimated size of the merged group.
+    pub est_merged: usize,
+}
+
+/// What the planner did: every accepted co-coding merge, every group demoted
+/// to the UC fallback, and the planner's own wall time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanTrace {
+    /// Accepted merges, in the order applied.
+    pub merges: Vec<MergeDecision>,
+    /// Column groups demoted to UC by the `max_ratio_to_keep` guard.
+    pub demoted: Vec<Vec<usize>>,
+    /// Wall time spent planning.
+    pub wall_ns: u64,
+}
+
+impl PlanTrace {
+    /// Push the trace into a [`Recorder`] under the `compress.plan.*` sites.
+    pub fn record(&self, rec: &dyn Recorder) {
+        if !rec.is_enabled() {
+            return;
+        }
+        rec.add("compress.plan.merges", self.merges.len() as u64);
+        rec.add("compress.plan.demotions", self.demoted.len() as u64);
+        rec.record_duration_ns("compress.plan.wall", self.wall_ns);
+    }
+}
+
 /// Produce a compression plan for `m`.
 ///
 /// 1. Sample rows once.
@@ -70,6 +111,14 @@ fn plan_one(m: &Dense, cols: &[usize], sample: &[usize]) -> (Encoding, usize, Gr
 /// 4. Demote groups whose best compressed size exceeds
 ///    [`CompressionConfig::max_ratio_to_keep`] of uncompressed to the UC fallback.
 pub fn plan(m: &Dense, cfg: &CompressionConfig) -> CompressionPlan {
+    plan_traced(m, cfg).0
+}
+
+/// [`plan`], plus a [`PlanTrace`] of the co-coding and demotion decisions the
+/// planner took along the way.
+pub fn plan_traced(m: &Dense, cfg: &CompressionConfig) -> (CompressionPlan, PlanTrace) {
+    let t0 = Instant::now();
+    let mut trace = PlanTrace::default();
     let sample = sample_rows(m.rows(), cfg.sample_fraction, cfg.min_sample_rows, cfg.seed);
 
     // Step 1: singleton groups.
@@ -112,8 +161,14 @@ pub fn plan(m: &Dense, cfg: &CompressionConfig) -> CompressionPlan {
             }
             match best {
                 Some((i, j, enc, sz, _)) => {
-                    let (right, _, _) = groups.remove(j);
-                    let (left, _, _) = groups.remove(i);
+                    let (right, _, right_sz) = groups.remove(j);
+                    let (left, _, left_sz) = groups.remove(i);
+                    trace.merges.push(MergeDecision {
+                        left: left.clone(),
+                        right: right.clone(),
+                        est_separate: left_sz + right_sz,
+                        est_merged: sz,
+                    });
                     let mut merged = left;
                     merged.extend(right);
                     merged.sort_unstable();
@@ -132,6 +187,11 @@ pub fn plan(m: &Dense, cfg: &CompressionConfig) -> CompressionPlan {
             if enc == Encoding::Uncompressed
                 || sz as f64 > cfg.max_ratio_to_keep * uncompressed as f64
             {
+                // Only a compressible encoding rejected by the ratio guard is
+                // a *demotion* decision worth tracing.
+                if enc != Encoding::Uncompressed {
+                    trace.demoted.push(cols.clone());
+                }
                 PlannedGroup { cols, encoding: Encoding::Uncompressed, est_size: uncompressed }
             } else {
                 PlannedGroup { cols, encoding: enc, est_size: sz }
@@ -139,7 +199,41 @@ pub fn plan(m: &Dense, cfg: &CompressionConfig) -> CompressionPlan {
         })
         .collect();
 
-    CompressionPlan { groups: planned, sample_size: sample.len() }
+    trace.wall_ns = elapsed_ns(t0);
+    (CompressionPlan { groups: planned, sample_size: sample.len() }, trace)
+}
+
+/// Per-group estimated-vs-achieved report for a matrix compressed with
+/// `plan` (the groups of [`CompressedMatrix::compress_with_plan`] align 1:1
+/// with the plan's groups). Ratios are `uncompressed / compressed`, so bigger
+/// is better; an `est/ach` pair far apart flags a sampling estimate that
+/// misjudged the full column.
+pub fn compression_report(plan: &CompressionPlan, cm: &CompressedMatrix) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "compression report: {} groups, sampled {} rows",
+        plan.groups.len(),
+        plan.sample_size
+    );
+    for (g, actual) in plan.groups.iter().zip(cm.groups()) {
+        let uncompressed = (cm.rows() * g.cols.len() * 8) as f64;
+        let est_ratio = uncompressed / g.est_size.max(1) as f64;
+        let ach_ratio = uncompressed / actual.size_bytes().max(1) as f64;
+        let _ = writeln!(
+            out,
+            "  cols {:?} {}: est {:.2}x achieved {:.2}x ({} B -> {} B)",
+            g.cols,
+            g.encoding,
+            est_ratio,
+            ach_ratio,
+            uncompressed as usize,
+            actual.size_bytes(),
+        );
+    }
+    let total_ratio = cm.uncompressed_bytes() as f64 / cm.size_bytes().max(1) as f64;
+    let _ = writeln!(out, "  overall: {total_ratio:.2}x");
+    out
 }
 
 #[cfg(test)]
@@ -222,6 +316,60 @@ mod tests {
         let cfg = CompressionConfig { cocode: false, ..CompressionConfig::default() };
         let p = plan(&m, &cfg);
         assert_eq!(p.groups.len(), 2);
+    }
+
+    #[test]
+    fn traced_plan_records_merge_decisions() {
+        let m = Dense::from_fn(3000, 2, |r, c| {
+            let base = (r % 6) as f64;
+            if c == 0 {
+                base
+            } else {
+                base * 10.0
+            }
+        });
+        let (p, trace) = plan_traced(&m, &CompressionConfig::default());
+        assert_eq!(p.groups.len(), 1);
+        assert_eq!(trace.merges.len(), 1);
+        let merge = &trace.merges[0];
+        assert_eq!((merge.left.as_slice(), merge.right.as_slice()), (&[0][..], &[1][..]));
+        assert!(merge.est_merged < merge.est_separate);
+        assert!(trace.wall_ns > 0);
+    }
+
+    #[test]
+    fn traced_plan_records_demotions() {
+        // Clustered column compresses, but a ratio guard of ~0 rejects it.
+        let m = Dense::from_fn(4000, 1, |r, _| (r / 500) as f64);
+        let cfg = CompressionConfig { max_ratio_to_keep: 1e-9, ..CompressionConfig::default() };
+        let (p, trace) = plan_traced(&m, &cfg);
+        assert_eq!(p.groups[0].encoding, Encoding::Uncompressed);
+        assert_eq!(trace.demoted, vec![vec![0]]);
+    }
+
+    #[test]
+    fn trace_records_into_registry() {
+        use dm_obs::StatsRegistry;
+        let m = Dense::from_fn(1000, 2, |r, _| (r % 3) as f64);
+        let (_, trace) = plan_traced(&m, &CompressionConfig::default());
+        let reg = StatsRegistry::new();
+        trace.record(&reg);
+        let rep = reg.report();
+        assert!(rep.counter("compress.plan.merges").is_some());
+        assert!(rep.duration("compress.plan.wall").is_some());
+    }
+
+    #[test]
+    fn report_compares_estimated_and_achieved_sizes() {
+        let m = Dense::from_fn(2000, 2, |r, c| ((r / 100 + c) % 4) as f64);
+        let (p, _) = plan_traced(&m, &CompressionConfig::default());
+        let cm = CompressedMatrix::compress_with_plan(&m, &p);
+        let txt = compression_report(&p, &cm);
+        assert!(txt.contains("compression report"), "{txt}");
+        assert!(txt.contains("est "), "{txt}");
+        assert!(txt.contains("achieved "), "{txt}");
+        assert!(txt.contains("overall:"), "{txt}");
+        assert_eq!(txt.lines().count(), 2 + p.groups.len(), "{txt}");
     }
 
     #[test]

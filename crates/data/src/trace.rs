@@ -35,26 +35,54 @@ pub fn hot_set(
         .collect()
 }
 
-/// Zipf-distributed accesses with exponent `theta` (1.0 is the classic
-/// heavy-skew setting); block 0 is the hottest.
-pub fn zipf(num_blocks: usize, theta: f64, len: usize, seed: u64) -> Trace {
-    assert!(num_blocks > 0, "need at least one block");
-    let mut rng = StdRng::seed_from_u64(seed);
-    // Precompute the CDF.
-    let weights: Vec<f64> = (1..=num_blocks).map(|k| 1.0 / (k as f64).powf(theta)).collect();
-    let total: f64 = weights.iter().sum();
-    let mut cdf = Vec::with_capacity(num_blocks);
-    let mut acc = 0.0;
-    for w in &weights {
-        acc += w / total;
-        cdf.push(acc);
+/// A reusable Zipf sampler: the normalized CDF over `num_blocks` ranks is
+/// computed once at construction, so repeated draws (or whole traces at
+/// different lengths/seeds) share the `O(num_blocks)` setup cost instead of
+/// paying it per call.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `num_blocks` ranks with exponent `theta`
+    /// (1.0 is the classic heavy-skew setting); rank 0 is the hottest.
+    pub fn new(num_blocks: usize, theta: f64) -> Self {
+        assert!(num_blocks > 0, "need at least one block");
+        let weights: Vec<f64> = (1..=num_blocks).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(num_blocks);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        ZipfSampler { cdf }
     }
-    (0..len)
-        .map(|_| {
-            let u: f64 = rng.gen_range(0.0..1.0);
-            cdf.partition_point(|&c| c < u).min(num_blocks - 1)
-        })
-        .collect()
+
+    /// Number of distinct ranks this sampler draws from.
+    pub fn num_blocks(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one block id via inverse-CDF binary search.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Generate a full trace of `len` accesses from `seed`.
+    pub fn generate(&self, len: usize, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| self.sample(&mut rng)).collect()
+    }
+}
+
+/// Zipf-distributed accesses with exponent `theta` (1.0 is the classic
+/// heavy-skew setting); block 0 is the hottest. Convenience wrapper around
+/// [`ZipfSampler`] for one-shot trace generation.
+pub fn zipf(num_blocks: usize, theta: f64, len: usize, seed: u64) -> Trace {
+    ZipfSampler::new(num_blocks, theta).generate(len, seed)
 }
 
 #[cfg(test)]
@@ -90,6 +118,33 @@ mod tests {
         // Head concentration: top 10 blocks carry the majority under theta=1.
         let head: usize = counts[..10].iter().sum();
         assert!(head * 2 > t.len(), "head {head}");
+    }
+
+    #[test]
+    fn zipf_rank_frequency_shape_matches_power_law() {
+        // Under theta=1 the frequency of rank k is proportional to 1/(k+1),
+        // so count(rank 0) / count(rank 1) ~= 2 and
+        // count(rank 0) / count(rank 3) ~= 4. Pin the shape, not just the
+        // ordering, with generous tolerance for sampling noise.
+        let sampler = ZipfSampler::new(50, 1.0);
+        let t = sampler.generate(200_000, 7);
+        let mut counts = vec![0usize; 50];
+        for &b in &t {
+            counts[b] += 1;
+        }
+        let r01 = counts[0] as f64 / counts[1] as f64;
+        let r03 = counts[0] as f64 / counts[3] as f64;
+        assert!((r01 - 2.0).abs() < 0.25, "rank0/rank1 ratio {r01}");
+        assert!((r03 - 4.0).abs() < 0.5, "rank0/rank3 ratio {r03}");
+    }
+
+    #[test]
+    fn sampler_reuse_matches_one_shot_helper() {
+        let sampler = ZipfSampler::new(20, 0.8);
+        assert_eq!(sampler.num_blocks(), 20);
+        assert_eq!(sampler.generate(500, 3), zipf(20, 0.8, 500, 3));
+        // Distinct seeds from the same sampler give distinct traces.
+        assert_ne!(sampler.generate(500, 3), sampler.generate(500, 4));
     }
 
     #[test]

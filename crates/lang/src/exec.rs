@@ -4,8 +4,10 @@
 use crate::expr::{AggOp, EwiseOp, Graph, NodeId, Op, UnaryOp};
 use crate::physical::{Kernel, PhysicalPlan};
 use dm_matrix::{ops, sparse, Csr, Dense, Matrix};
+use dm_obs::{elapsed_ns, Recorder};
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
 /// A runtime value: matrix (dense or sparse) or scalar.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,28 +104,136 @@ pub struct ExecStats {
     pub memo_hits: u64,
 }
 
+/// Which kernel family actually ran for one node, as observed at dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Dense row-major kernel.
+    Dense,
+    /// CSR sparse kernel (a sparse operand or output drove dispatch).
+    Sparse,
+    /// A fused operator (`crossprod`, `tmv`, `sumSq`).
+    Fused,
+    /// Scalar-only computation.
+    Scalar,
+}
+
+impl fmt::Display for KernelChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            KernelChoice::Dense => "dense",
+            KernelChoice::Sparse => "sparse",
+            KernelChoice::Fused => "fused",
+            KernelChoice::Scalar => "scalar",
+        })
+    }
+}
+
+/// Per-node runtime measurements collected when profiling is enabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NodeStats {
+    /// Wall time spent in this node excluding children (summed over evals).
+    pub self_ns: u64,
+    /// Wall time including children.
+    pub total_ns: u64,
+    /// Cache-miss evaluations.
+    pub evals: u64,
+    /// Evaluations served from the memo table.
+    pub memo_hits: u64,
+    /// Kernel family dispatched (None until first eval).
+    pub kernel: Option<KernelChoice>,
+    /// Rows of the last produced value (scalars are 1).
+    pub out_rows: usize,
+    /// Columns of the last produced value.
+    pub out_cols: usize,
+    /// Actual non-zero fraction of the last produced value.
+    pub out_sparsity: f64,
+}
+
+/// The per-node runtime profile of one execution — the raw material for
+/// [`profile_report`](crate::explain::profile_report).
+#[derive(Debug, Clone, Default)]
+pub struct ExecProfile {
+    nodes: HashMap<NodeId, NodeStats>,
+}
+
+impl ExecProfile {
+    /// Stats for one node, if it was ever reached.
+    pub fn node(&self, id: NodeId) -> Option<&NodeStats> {
+        self.nodes.get(&id)
+    }
+
+    /// Every profiled node.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &NodeStats)> {
+        self.nodes.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Total self time across all nodes (= end-to-end eval wall time, since
+    /// self times partition the tree walk).
+    pub fn total_self_ns(&self) -> u64 {
+        self.nodes.values().map(|n| n.self_ns).sum()
+    }
+}
+
 /// DAG interpreter with memoization.
 pub struct Executor<'g> {
     graph: &'g Graph,
     plan: Option<PhysicalPlan>,
     memo: HashMap<NodeId, Val>,
     stats: ExecStats,
+    profile: Option<ExecProfile>,
+    // Per-recursion-frame accumulator of children wall time, so self time
+    // can be derived as total minus children. Only used while profiling.
+    child_ns_stack: Vec<u64>,
 }
 
 impl<'g> Executor<'g> {
     /// New executor with default (dense) kernel choices.
     pub fn new(graph: &'g Graph) -> Self {
-        Executor { graph, plan: None, memo: HashMap::new(), stats: ExecStats::default() }
+        Executor {
+            graph,
+            plan: None,
+            memo: HashMap::new(),
+            stats: ExecStats::default(),
+            profile: None,
+            child_ns_stack: Vec::new(),
+        }
     }
 
     /// New executor honoring a physical plan.
     pub fn with_plan(graph: &'g Graph, plan: PhysicalPlan) -> Self {
-        Executor { graph, plan: Some(plan), memo: HashMap::new(), stats: ExecStats::default() }
+        Executor { plan: Some(plan), ..Executor::new(graph) }
+    }
+
+    /// Enable per-node profiling (wall time, kernel dispatch, output shape
+    /// and sparsity). Profiling reads the clock and counts non-zeros per
+    /// node, so enable it for diagnosis runs, not benchmark baselines.
+    pub fn profiled(mut self) -> Self {
+        self.profile = Some(ExecProfile::default());
+        self
+    }
+
+    /// The collected per-node profile (None unless [`profiled`](Self::profiled)).
+    pub fn profile(&self) -> Option<&ExecProfile> {
+        self.profile.as_ref()
     }
 
     /// Execution statistics so far.
     pub fn stats(&self) -> ExecStats {
         self.stats
+    }
+
+    /// Push this execution's aggregate statistics into a [`Recorder`] under
+    /// the `lang.exec.*` sites.
+    pub fn record_stats(&self, rec: &dyn Recorder) {
+        if !rec.is_enabled() {
+            return;
+        }
+        rec.add("lang.exec.nodes_evaluated", self.stats.nodes_evaluated);
+        rec.add("lang.exec.memo_hits", self.stats.memo_hits);
+        rec.add("lang.exec.flops", self.stats.flops);
+        if let Some(p) = &self.profile {
+            rec.record_duration_ns("lang.exec.eval_wall", p.total_self_ns());
+        }
     }
 
     fn kernel(&self, id: NodeId) -> Kernel {
@@ -167,12 +277,78 @@ impl<'g> Executor<'g> {
     pub fn eval(&mut self, id: NodeId, env: &Env) -> Result<Val, ExecError> {
         if let Some(v) = self.memo.get(&id) {
             self.stats.memo_hits += 1;
+            if let Some(p) = &mut self.profile {
+                p.nodes.entry(id).or_default().memo_hits += 1;
+            }
             return Ok(v.clone());
         }
         self.stats.nodes_evaluated += 1;
-        let val = self.eval_uncached(id, env)?;
+        if self.profile.is_none() {
+            let val = self.eval_uncached(id, env)?;
+            self.memo.insert(id, val.clone());
+            return Ok(val);
+        }
+        self.eval_profiled(id, env)
+    }
+
+    /// The cache-miss path with timing: self time is derived as total wall
+    /// time minus the summed wall time of child evaluations, collected via a
+    /// per-frame accumulator stack.
+    fn eval_profiled(&mut self, id: NodeId, env: &Env) -> Result<Val, ExecError> {
+        let t0 = Instant::now();
+        self.child_ns_stack.push(0);
+        let result = self.eval_uncached(id, env);
+        let children_ns = self.child_ns_stack.pop().unwrap_or(0);
+        let total_ns = elapsed_ns(t0);
+        if let Some(parent) = self.child_ns_stack.last_mut() {
+            *parent += total_ns;
+        }
+        let val = result?;
+        let kernel = self.kernel_choice(id, &val);
+        let (out_rows, out_cols, out_sparsity) = match &val {
+            Val::Scalar(_) => (1, 1, 1.0),
+            Val::Matrix(m) => {
+                let cells = m.rows() * m.cols();
+                let frac = if cells == 0 { 0.0 } else { m.nnz() as f64 / cells as f64 };
+                (m.rows(), m.cols(), frac)
+            }
+        };
+        if let Some(p) = &mut self.profile {
+            let ns = p.nodes.entry(id).or_default();
+            ns.evals += 1;
+            ns.total_ns += total_ns;
+            ns.self_ns += total_ns.saturating_sub(children_ns);
+            ns.kernel = Some(kernel);
+            ns.out_rows = out_rows;
+            ns.out_cols = out_cols;
+            ns.out_sparsity = out_sparsity;
+        }
         self.memo.insert(id, val.clone());
         Ok(val)
+    }
+
+    /// Classify the kernel family that served node `id`, inferred from the op
+    /// itself plus the (already memoized) representations of its operands and
+    /// output.
+    fn kernel_choice(&self, id: NodeId, out: &Val) -> KernelChoice {
+        let op = self.graph.op(id);
+        match op {
+            Op::CrossProd(_) | Op::Tmv(..) | Op::SumSq(_) => return KernelChoice::Fused,
+            Op::Const(_) => return KernelChoice::Scalar,
+            _ => {}
+        }
+        let sparse_out = matches!(out, Val::Matrix(Matrix::Sparse(_)));
+        let sparse_operand = op
+            .children()
+            .iter()
+            .any(|c| matches!(self.memo.get(c), Some(Val::Matrix(Matrix::Sparse(_)))));
+        if sparse_out || sparse_operand {
+            KernelChoice::Sparse
+        } else if matches!(out, Val::Scalar(_)) && op.children().is_empty() {
+            KernelChoice::Scalar
+        } else {
+            KernelChoice::Dense
+        }
     }
 
     fn eval_uncached(&mut self, id: NodeId, env: &Env) -> Result<Val, ExecError> {
@@ -600,6 +776,81 @@ mod tests {
         let bad = g.matmul(xi, xi);
         let mut ex = Executor::new(&g);
         assert!(matches!(ex.eval(bad, &env()), Err(ExecError::Type { .. })));
+    }
+
+    #[test]
+    fn profiled_executor_collects_node_stats() {
+        let mut g = Graph::new();
+        let xi = g.input("X");
+        let t = g.transpose(xi);
+        let mm = g.matmul(t, xi);
+        let s = g.agg(AggOp::Sum, mm);
+        let mut ex = Executor::new(&g).profiled();
+        ex.eval(s, &env()).unwrap();
+        let p = ex.profile().unwrap();
+        let root = p.node(s).unwrap();
+        assert_eq!(root.evals, 1);
+        assert_eq!((root.out_rows, root.out_cols), (1, 1));
+        let mm_stats = p.node(mm).unwrap();
+        assert_eq!((mm_stats.out_rows, mm_stats.out_cols), (2, 2));
+        assert_eq!(mm_stats.kernel, Some(KernelChoice::Dense));
+        assert!((mm_stats.out_sparsity - 1.0).abs() < 1e-12);
+        assert!(root.total_ns >= root.self_ns);
+        assert!(p.total_self_ns() > 0);
+    }
+
+    #[test]
+    fn profiled_executor_counts_memo_hits_per_node() {
+        let mut g = Graph::new();
+        let xi = g.input("X");
+        let t = g.transpose(xi);
+        let a = g.matmul(t, xi);
+        let b = g.ewise(EwiseOp::Add, a, a);
+        let mut ex = Executor::new(&g).profiled();
+        ex.eval(b, &env()).unwrap();
+        let p = ex.profile().unwrap();
+        assert_eq!(p.node(a).unwrap().evals, 1);
+        assert_eq!(p.node(a).unwrap().memo_hits, 1);
+    }
+
+    #[test]
+    fn profiled_fused_and_sparse_kernels_classified() {
+        let mut g = Graph::new();
+        let xi = g.input("X");
+        let cp = g.push(Op::CrossProd(xi));
+        let mut ex = Executor::new(&g).profiled();
+        ex.eval(cp, &env()).unwrap();
+        assert_eq!(ex.profile().unwrap().node(cp).unwrap().kernel, Some(KernelChoice::Fused));
+
+        let sp = Dense::from_fn(50, 20, |r, c| if (r * 20 + c) % 23 == 0 { 1.5 } else { 0.0 });
+        let mut g = Graph::new();
+        let si = g.input("S");
+        let tr = g.transpose(si);
+        let mut sizes = InputSizes::new();
+        sizes.declare("S", 50, 20, 0.05);
+        let plan = crate::physical::plan_with_inputs(&g, tr, &sizes).unwrap();
+        let mut env = Env::new();
+        env.bind("S", Matrix::Dense(sp));
+        let mut ex = Executor::with_plan(&g, plan).profiled();
+        ex.eval(tr, &env).unwrap();
+        assert_eq!(ex.profile().unwrap().node(tr).unwrap().kernel, Some(KernelChoice::Sparse));
+    }
+
+    #[test]
+    fn record_stats_forwards_to_recorder() {
+        use dm_obs::StatsRegistry;
+        let mut g = Graph::new();
+        let xi = g.input("X");
+        let s = g.agg(AggOp::Sum, xi);
+        let mut ex = Executor::new(&g).profiled();
+        ex.eval(s, &env()).unwrap();
+        let reg = StatsRegistry::new();
+        ex.record_stats(&reg);
+        let rep = reg.report();
+        assert_eq!(rep.counter("lang.exec.nodes_evaluated"), Some(2));
+        assert!(rep.duration("lang.exec.eval_wall").is_some());
+        // A disabled recorder is a single branch.
+        ex.record_stats(&dm_obs::NoopRecorder);
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! `explain`- and `-stats`-style reports: an annotated HOP-DAG tree renderer
+//! and a post-run runtime profile, modeled on the surveyed declarative ML
+//! systems' plan/statistics output.
+
+use crate::exec::ExecProfile;
+use crate::expr::{AggOp, EwiseOp, Graph, NodeId, Op, UnaryOp};
+use crate::physical::{plan, PhysicalPlan};
+use crate::size::{propagate, InputSizes, Shape, SizeInfo};
+use dm_obs::fmt_ns;
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Sparsity-estimate drift beyond which the profile report flags a node.
+pub const SPARSITY_DRIFT_THRESHOLD: f64 = 0.05;
+
+/// Short mnemonic for an operator, used in explain trees and profile tables.
+pub fn op_label(graph: &Graph, id: NodeId) -> String {
+    match graph.op(id) {
+        Op::Input(n) => format!("input {n}"),
+        Op::Const(v) => format!("const {v}"),
+        Op::MatMul(_, _) => "matmul".into(),
+        Op::Transpose(_) => "t".into(),
+        Op::Ewise(e, _, _) => match e {
+            EwiseOp::Add => "ewise +".into(),
+            EwiseOp::Sub => "ewise -".into(),
+            EwiseOp::Mul => "ewise *".into(),
+            EwiseOp::Div => "ewise /".into(),
+        },
+        Op::Unary(u, _) => match u {
+            UnaryOp::Exp => "exp".into(),
+            UnaryOp::Log => "log".into(),
+            UnaryOp::Sqrt => "sqrt".into(),
+            UnaryOp::Abs => "abs".into(),
+        },
+        Op::Agg(a, _) => match a {
+            AggOp::Sum => "sum".into(),
+            AggOp::ColSums => "colSums".into(),
+            AggOp::RowSums => "rowSums".into(),
+            AggOp::Min => "min".into(),
+            AggOp::Max => "max".into(),
+        },
+        Op::CrossProd(_) => "crossprod".into(),
+        Op::Tmv(_, _) => "tmv".into(),
+        Op::SumSq(_) => "sumSq".into(),
+    }
+}
+
+fn annotation(
+    id: NodeId,
+    sizes: Option<&HashMap<NodeId, SizeInfo>>,
+    plan: Option<&PhysicalPlan>,
+) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(info) = sizes.and_then(|s| s.get(&id)) {
+        match info.shape {
+            Shape::Scalar => parts.push("scalar".into()),
+            Shape::Matrix { rows, cols } => {
+                parts.push(format!("{rows}x{cols}"));
+                parts.push(format!("sp {:.2}", info.sparsity));
+            }
+        }
+    }
+    if let Some(p) = plan {
+        parts.push(format!("{}", p.kernel(id)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("  [{}]", parts.join(", "))
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // recursive renderer threads layout + annotation state
+fn render_tree(
+    graph: &Graph,
+    id: NodeId,
+    prefix: &str,
+    is_last: bool,
+    is_root: bool,
+    seen: &mut HashSet<NodeId>,
+    sizes: Option<&HashMap<NodeId, SizeInfo>>,
+    plan: Option<&PhysicalPlan>,
+    out: &mut String,
+) {
+    let connector = if is_root {
+        String::new()
+    } else if is_last {
+        format!("{prefix}`-- ")
+    } else {
+        format!("{prefix}|-- ")
+    };
+    let shared = !seen.insert(id);
+    let label = op_label(graph, id);
+    if shared {
+        // A DAG node already printed elsewhere: reference it, don't recurse.
+        let _ = writeln!(out, "{connector}%{id} {label} (shared, printed above)");
+        return;
+    }
+    let _ = writeln!(out, "{connector}%{id} {label}{}", annotation(id, sizes, plan));
+    let children = graph.op(id).children();
+    let child_prefix = if is_root {
+        String::new()
+    } else if is_last {
+        format!("{prefix}    ")
+    } else {
+        format!("{prefix}|   ")
+    };
+    for (i, &c) in children.iter().enumerate() {
+        let last = i + 1 == children.len();
+        render_tree(graph, c, &child_prefix, last, false, seen, sizes, plan, out);
+    }
+}
+
+/// Render the DAG rooted at `root` as a text tree, one node per line, shared
+/// subtrees printed once and referenced thereafter. No size or kernel
+/// annotations — see [`explain_with`] for the annotated form.
+pub fn explain(graph: &Graph, root: NodeId) -> String {
+    let mut out = String::new();
+    let mut seen = HashSet::new();
+    render_tree(graph, root, "", true, true, &mut seen, None, None, &mut out);
+    out
+}
+
+/// Render the DAG as a text tree annotated with propagated shapes, sparsity
+/// estimates, and planned kernels. When size propagation fails (undeclared
+/// inputs), annotations are silently omitted rather than failing the render.
+pub fn explain_with(graph: &Graph, root: NodeId, inputs: &InputSizes) -> String {
+    let sizes = propagate(graph, root, inputs).ok();
+    let phys = sizes.as_ref().map(|s| plan(graph, root, s));
+    let mut out = String::new();
+    let mut seen = HashSet::new();
+    render_tree(graph, root, "", true, true, &mut seen, sizes.as_ref(), phys.as_ref(), &mut out);
+    out
+}
+
+/// Render a post-run `-stats`-style report from an execution profile: total
+/// wall time, the `top_k` heaviest operators by self time (with kernel choice
+/// and output shape), estimated-vs-actual sparsity drift beyond
+/// [`SPARSITY_DRIFT_THRESHOLD`], and memoization totals.
+pub fn profile_report(
+    graph: &Graph,
+    root: NodeId,
+    profile: &ExecProfile,
+    inputs: &InputSizes,
+    top_k: usize,
+) -> String {
+    let mut out = String::new();
+    let total_ns = profile.total_self_ns();
+    let _ = writeln!(out, "runtime report for {}", graph.render(root));
+    let _ = writeln!(out, "total eval wall time: {}", fmt_ns(total_ns));
+
+    // Heavy hitters by self time.
+    let mut by_self: Vec<(NodeId, &crate::exec::NodeStats)> = profile.nodes().collect();
+    by_self.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then(a.0.cmp(&b.0)));
+    let _ = writeln!(out, "heavy hitters (top {} by self time):", top_k.min(by_self.len()));
+    for (rank, (id, ns)) in by_self.iter().take(top_k).enumerate() {
+        let pct = if total_ns == 0 { 0.0 } else { 100.0 * ns.self_ns as f64 / total_ns as f64 };
+        let kernel = ns.kernel.map_or_else(|| "?".to_string(), |k| k.to_string());
+        let _ = writeln!(
+            out,
+            "  #{:<2} %{id} {:<12} self {:>9} ({pct:4.1}%)  evals {}  hits {}  kernel {kernel}  out {}x{} sp {:.2}",
+            rank + 1,
+            op_label(graph, *id),
+            fmt_ns(ns.self_ns),
+            ns.evals,
+            ns.memo_hits,
+            ns.out_rows,
+            ns.out_cols,
+            ns.out_sparsity,
+        );
+    }
+
+    // Estimated vs actual sparsity drift.
+    if let Ok(sizes) = propagate(graph, root, inputs) {
+        let mut drifted: Vec<(NodeId, f64, f64)> = Vec::new();
+        for (id, ns) in profile.nodes() {
+            if let Some(info) = sizes.get(&id) {
+                if matches!(info.shape, Shape::Matrix { .. })
+                    && (info.sparsity - ns.out_sparsity).abs() > SPARSITY_DRIFT_THRESHOLD
+                {
+                    drifted.push((id, info.sparsity, ns.out_sparsity));
+                }
+            }
+        }
+        drifted.sort_by(|a, b| {
+            let da = (a.1 - a.2).abs();
+            let db = (b.1 - b.2).abs();
+            db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        if drifted.is_empty() {
+            let _ = writeln!(
+                out,
+                "sparsity estimates: all within {SPARSITY_DRIFT_THRESHOLD:.2} of actual"
+            );
+        } else {
+            let _ =
+                writeln!(out, "sparsity drift (|est - actual| > {SPARSITY_DRIFT_THRESHOLD:.2}):");
+            for (id, est, actual) in drifted {
+                let _ = writeln!(
+                    out,
+                    "  %{id} {:<12} est {est:.2} actual {actual:.2}",
+                    op_label(graph, id)
+                );
+            }
+        }
+    }
+
+    let evals: u64 = profile.nodes().map(|(_, n)| n.evals).sum();
+    let hits: u64 = profile.nodes().map(|(_, n)| n.memo_hits).sum();
+    let _ = writeln!(out, "memoization: {evals} node evals, {hits} memo hits");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Env, Executor};
+    use crate::rewrite::optimize;
+    use dm_matrix::{Dense, Matrix};
+
+    fn glm_graph() -> (Graph, NodeId) {
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let t = g.transpose(x);
+        let mm = g.matmul(t, x);
+        let s = g.agg(AggOp::Sum, mm);
+        (g, s)
+    }
+
+    #[test]
+    fn explain_marks_shared_subtrees() {
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let t = g.transpose(x);
+        let add = g.ewise(EwiseOp::Add, t, t);
+        let txt = explain(&g, add);
+        assert_eq!(txt.matches("shared, printed above").count(), 1, "{txt}");
+        // Three distinct nodes plus one shared reference.
+        assert_eq!(txt.lines().count(), 4, "{txt}");
+    }
+
+    #[test]
+    fn explain_with_annotates_shapes_and_kernels() {
+        let (g, s) = glm_graph();
+        let mut sizes = InputSizes::new();
+        sizes.declare("X", 1000, 20, 0.05);
+        let (og, root, _) = optimize(&g, s, &sizes).unwrap();
+        let txt = explain_with(&og, root, &sizes);
+        assert!(txt.contains("crossprod"), "{txt}");
+        assert!(txt.contains("1000x20"), "{txt}");
+        assert!(txt.contains("sp 0.05"), "{txt}");
+        assert!(txt.contains("sparse"), "{txt}");
+    }
+
+    #[test]
+    fn explain_golden_output() {
+        let (g, s) = glm_graph();
+        let mut sizes = InputSizes::new();
+        sizes.declare("X", 1000, 20, 1.0);
+        let (og, root, _) = optimize(&g, s, &sizes).unwrap();
+        let expected = "\
+%2 sum  [scalar, dense]
+`-- %1 crossprod  [20x20, sp 1.00, dense]
+    `-- %0 input X  [1000x20, sp 1.00, dense]
+";
+        assert_eq!(explain_with(&og, root, &sizes), expected);
+    }
+
+    #[test]
+    fn explain_without_sizes_omits_annotations() {
+        let (g, s) = glm_graph();
+        let txt = explain(&g, s);
+        assert!(!txt.contains('['), "{txt}");
+        assert!(txt.contains("matmul"), "{txt}");
+    }
+
+    #[test]
+    fn profile_report_lists_heavy_hitters_and_memo_totals() {
+        let (g, s) = glm_graph();
+        let mut sizes = InputSizes::new();
+        sizes.declare("X", 30, 4, 1.0);
+        let mut env = Env::new();
+        env.bind("X", Matrix::Dense(Dense::from_fn(30, 4, |r, c| (r + c) as f64)));
+        let mut ex = Executor::new(&g).profiled();
+        ex.eval(s, &env).unwrap();
+        let txt = profile_report(&g, s, ex.profile().unwrap(), &sizes, 3);
+        assert!(txt.contains("runtime report"), "{txt}");
+        assert!(txt.contains("heavy hitters (top 3"), "{txt}");
+        assert!(txt.contains("memoization: 4 node evals"), "{txt}");
+    }
+
+    #[test]
+    fn profile_report_flags_sparsity_drift() {
+        // Declared fully dense, but the bound matrix is mostly zeros: the
+        // estimate should drift from the observed sparsity.
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let t = g.transpose(x);
+        let mut sizes = InputSizes::new();
+        sizes.declare("X", 10, 10, 1.0);
+        let mut env = Env::new();
+        env.bind("X", Matrix::Dense(Dense::from_fn(10, 10, |r, c| if r == c { 1.0 } else { 0.0 })));
+        let mut ex = Executor::new(&g).profiled();
+        ex.eval(t, &env).unwrap();
+        let txt = profile_report(&g, t, ex.profile().unwrap(), &sizes, 5);
+        assert!(txt.contains("sparsity drift"), "{txt}");
+        assert!(txt.contains("est 1.00 actual 0.10"), "{txt}");
+    }
+}

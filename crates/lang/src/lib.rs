@@ -26,6 +26,7 @@
 
 pub mod analyze;
 pub mod exec;
+pub mod explain;
 pub mod expr;
 pub mod parser;
 pub mod physical;
@@ -36,7 +37,8 @@ pub use analyze::{
     analyze, analyze_program, verify_rewrite, AnalysisReport, Diagnostic, RewriteCheckError,
     Severity,
 };
-pub use exec::{Env, ExecError, Executor, Val};
+pub use exec::{Env, ExecError, ExecProfile, Executor, KernelChoice, NodeStats, Val};
+pub use explain::{explain, explain_with, profile_report};
 pub use expr::{AggOp, EwiseOp, Graph, NodeId, Op, UnaryOp};
-pub use rewrite::{optimize, RewriteStats};
+pub use rewrite::{estimated_cost, optimize, optimize_traced, RewriteStats, RewriteTrace};
 pub use size::{Shape, SizeInfo};

@@ -7,6 +7,7 @@
 use crate::expr::{Graph, NodeId, Op};
 use crate::size::{InputSizes, SizeInfo};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Kernel family chosen for one operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +18,16 @@ pub enum Kernel {
     Sparse,
     /// Scalar computation (constants, folded aggregates).
     Scalar,
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Kernel::Dense => "dense",
+            Kernel::Sparse => "sparse",
+            Kernel::Scalar => "scalar",
+        })
+    }
 }
 
 /// The per-node physical plan.

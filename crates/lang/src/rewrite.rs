@@ -3,7 +3,9 @@
 
 use crate::expr::{AggOp, EwiseOp, Graph, NodeId, Op, UnaryOp};
 use crate::size::{propagate, InputSizes, Shape, SizeError};
+use dm_obs::{elapsed_ns, Recorder};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// What the optimizer did, for explainability and the E5 ablation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -250,6 +252,115 @@ pub fn optimize(
     }
 
     Ok((g, new_root, stats))
+}
+
+/// Statically estimated execution cost (approximate flops) of the DAG rooted
+/// at `root`, using the same sparsity-aware accounting the interpreter
+/// applies at runtime. This is the "cost estimate" side of the optimizer
+/// trace: compare the figure before and after [`optimize`] to see what a
+/// rewrite bought.
+pub fn estimated_cost(graph: &Graph, root: NodeId, sizes: &InputSizes) -> Result<u128, SizeError> {
+    let infos = propagate(graph, root, sizes)?;
+    // Estimated stored entries of a node's output (nnz for matrices, 1 for
+    // scalars), the unit the per-op costs below are built from.
+    let nnz = |id: NodeId| -> u128 {
+        let info = &infos[&id];
+        match info.shape {
+            Shape::Scalar => 1,
+            Shape::Matrix { rows, cols } => {
+                ((rows as f64) * (cols as f64) * info.sparsity).ceil() as u128
+            }
+        }
+    };
+    let cells = |id: NodeId| -> u128 {
+        match infos[&id].shape {
+            Shape::Scalar => 1,
+            Shape::Matrix { rows, cols } => (rows as u128) * (cols as u128),
+        }
+    };
+    let mut total: u128 = 0;
+    for id in graph.reachable(root) {
+        total += match graph.op(id) {
+            Op::Input(_) | Op::Const(_) => 0,
+            Op::Transpose(a) => nnz(*a),
+            Op::MatMul(a, b) => {
+                let b_cols = infos[b].shape.cols() as u128;
+                2 * nnz(*a) * b_cols
+            }
+            Op::Ewise(_, _, _) => cells(id),
+            Op::Unary(_, a) | Op::Agg(_, a) => nnz(*a),
+            Op::CrossProd(a) => {
+                let a_cols = infos[a].shape.cols() as u128;
+                2 * nnz(*a) * a_cols
+            }
+            Op::Tmv(a, _) | Op::SumSq(a) => 2 * nnz(*a),
+        };
+    }
+    Ok(total)
+}
+
+/// What one [`optimize_traced`] call did: the per-rule counts, the estimated
+/// cost before and after (when sizes permit estimation), and the wall time
+/// the optimizer itself spent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteTrace {
+    /// Per-rule fire counts.
+    pub stats: RewriteStats,
+    /// Estimated flops of the DAG as written (None if sizes were undeclared).
+    pub cost_before: Option<u128>,
+    /// Estimated flops after rewriting.
+    pub cost_after: Option<u128>,
+    /// Wall time spent inside the optimizer.
+    pub wall_ns: u64,
+}
+
+impl RewriteTrace {
+    /// Estimated cost ratio `after / before`, when both are known (1.0 means
+    /// the rewrites bought nothing by this model).
+    pub fn cost_ratio(&self) -> Option<f64> {
+        match (self.cost_before, self.cost_after) {
+            (Some(b), Some(a)) if b > 0 => Some(a as f64 / b as f64),
+            _ => None,
+        }
+    }
+
+    /// Push the trace into a [`Recorder`] under the `lang.rewrite.*` sites.
+    pub fn record(&self, rec: &dyn Recorder) {
+        if !rec.is_enabled() {
+            return;
+        }
+        rec.add("lang.rewrite.cse_merged", self.stats.cse_merged as u64);
+        rec.add("lang.rewrite.double_transpose", self.stats.double_transpose as u64);
+        rec.add("lang.rewrite.crossprod_fused", self.stats.crossprod_fused as u64);
+        rec.add("lang.rewrite.tmv_fused", self.stats.tmv_fused as u64);
+        rec.add("lang.rewrite.sumsq_fused", self.stats.sumsq_fused as u64);
+        rec.add("lang.rewrite.constants_folded", self.stats.constants_folded as u64);
+        rec.add("lang.rewrite.identities", self.stats.identities as u64);
+        rec.add("lang.rewrite.chains_reordered", self.stats.chains_reordered as u64);
+        if let Some(b) = self.cost_before {
+            rec.gauge_set("lang.rewrite.est_cost_before", b.min(u64::MAX as u128) as u64);
+        }
+        if let Some(a) = self.cost_after {
+            rec.gauge_set("lang.rewrite.est_cost_after", a.min(u64::MAX as u128) as u64);
+        }
+        rec.record_duration_ns("lang.rewrite.wall", self.wall_ns);
+    }
+}
+
+/// [`optimize`], plus a [`RewriteTrace`] carrying before/after cost estimates
+/// and the optimizer's own wall time. Cost estimation failure (undeclared
+/// inputs) degrades to `None` costs rather than failing the optimization.
+pub fn optimize_traced(
+    graph: &Graph,
+    root: NodeId,
+    sizes: &InputSizes,
+) -> Result<(Graph, NodeId, RewriteTrace), SizeError> {
+    let t0 = Instant::now();
+    let cost_before = estimated_cost(graph, root, sizes).ok();
+    let (g, new_root, stats) = optimize(graph, root, sizes)?;
+    let cost_after = estimated_cost(&g, new_root, sizes).ok();
+    let trace = RewriteTrace { stats, cost_before, cost_after, wall_ns: elapsed_ns(t0) };
+    Ok((g, new_root, trace))
 }
 
 /// Leaves of the maximal multiplication chain rooted at `id`, left to right.
@@ -587,6 +698,66 @@ mod tests {
         let (og, root, stats) = optimize(&g, tt, &InputSizes::new()).unwrap();
         assert_eq!(stats.double_transpose, 1);
         assert!(matches!(og.op(root), Op::Input(_)));
+    }
+
+    #[test]
+    fn traced_optimize_reports_cost_win() {
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let t = g.transpose(x);
+        let mm = g.matmul(t, x);
+        let s = g.agg(AggOp::Sum, mm);
+        let (_, _, trace) = optimize_traced(&g, s, &sizes()).unwrap();
+        assert_eq!(trace.stats.crossprod_fused, 1);
+        let (before, after) = (trace.cost_before.unwrap(), trace.cost_after.unwrap());
+        assert!(after < before, "expected fused plan cheaper: {after} vs {before}");
+        assert!(trace.cost_ratio().unwrap() < 1.0);
+    }
+
+    #[test]
+    fn traced_optimize_degrades_to_unknown_costs_without_sizes() {
+        let mut g = Graph::new();
+        let x = g.input("Undeclared");
+        let t = g.transpose(x);
+        let tt = g.transpose(t);
+        let (_, _, trace) = optimize_traced(&g, tt, &InputSizes::new()).unwrap();
+        assert_eq!(trace.stats.double_transpose, 1);
+        assert_eq!(trace.cost_before, None);
+        assert_eq!(trace.cost_ratio(), None);
+    }
+
+    #[test]
+    fn trace_records_into_registry() {
+        use dm_obs::StatsRegistry;
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let t = g.transpose(x);
+        let mm = g.matmul(t, x);
+        let (_, _, trace) = optimize_traced(&g, mm, &sizes()).unwrap();
+        let reg = StatsRegistry::new();
+        trace.record(&reg);
+        let rep = reg.report();
+        assert_eq!(rep.counter("lang.rewrite.crossprod_fused"), Some(1));
+        assert!(rep.gauge("lang.rewrite.est_cost_before").is_some());
+        assert!(rep.duration("lang.rewrite.wall").is_some());
+        // Disabled recorder: nothing to assert, just must not panic.
+        trace.record(&dm_obs::NoopRecorder);
+    }
+
+    #[test]
+    fn estimated_cost_tracks_sparsity() {
+        // A 50% sparse input should cost about half the dense estimate.
+        let mut dense_sizes = InputSizes::new();
+        dense_sizes.declare("X", 100, 100, 1.0);
+        let mut sparse_sizes = InputSizes::new();
+        sparse_sizes.declare("X", 100, 100, 0.5);
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let t = g.transpose(x);
+        let mm = g.matmul(t, x);
+        let dense = estimated_cost(&g, mm, &dense_sizes).unwrap();
+        let sparse = estimated_cost(&g, mm, &sparse_sizes).unwrap();
+        assert!(sparse < dense, "{sparse} vs {dense}");
     }
 
     #[test]

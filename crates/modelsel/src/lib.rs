@@ -14,6 +14,8 @@
 //!   `O(R · n · d²)` exploration into `O(n · d² + R · k³)`.
 //! * [`registry`] — a model registry recording every trained configuration
 //!   with parameters, metrics, and lineage, persisted as JSON lines.
+//! * [`trace`] — a search-trace layer that times every trainer invocation
+//!   and renders per-configuration fit/score reports.
 //!
 //! ```
 //! use dm_modelsel::search::{ParamSpace, grid_search};
@@ -33,6 +35,8 @@ pub mod columbus;
 pub mod cv;
 pub mod registry;
 pub mod search;
+pub mod trace;
 
-pub use registry::{ModelRecord, ModelRegistry};
+pub use registry::{ModelRecord, ModelRegistry, RegistryError};
 pub use search::{ParamSpace, Params, SearchResult};
+pub use trace::{SearchTrace, TraceEntry};

@@ -8,8 +8,49 @@
 //! formatting.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
+
+/// Registry persistence failures.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// A persisted line failed to parse as a record.
+    Malformed {
+        /// 1-based line number in the file.
+        line: usize,
+        /// Parser diagnostic.
+        message: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "registry io error: {e}"),
+            RegistryError::Malformed { line, message } => {
+                write!(f, "bad record at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Io(e) => Some(e),
+            RegistryError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RegistryError {
+    fn from(e: std::io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
 
 /// One registered model/experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,7 +146,7 @@ impl ModelRegistry {
     }
 
     /// Persist as JSON lines.
-    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), RegistryError> {
         let mut f = std::fs::File::create(path)?;
         for r in &self.records {
             writeln!(f, "{}", json::record_to_line(r))?;
@@ -113,8 +154,9 @@ impl ModelRegistry {
         Ok(())
     }
 
-    /// Load from JSON lines; malformed lines produce an error.
-    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+    /// Load from JSON lines; malformed lines produce
+    /// [`RegistryError::Malformed`] naming the offending line.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, RegistryError> {
         let f = std::fs::File::open(path)?;
         let mut records = Vec::new();
         for (i, line) in BufReader::new(f).lines().enumerate() {
@@ -122,12 +164,8 @@ impl ModelRegistry {
             if line.is_empty() {
                 continue;
             }
-            let rec = json::record_from_line(&line).map_err(|e| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("bad record at line {}: {e}", i + 1),
-                )
-            })?;
+            let rec = json::record_from_line(&line)
+                .map_err(|message| RegistryError::Malformed { line: i + 1, message })?;
             records.push(rec);
         }
         Ok(ModelRegistry { records })
@@ -514,6 +552,28 @@ mod tests {
         assert!(ModelRegistry::load(&path).is_err());
         std::fs::write(&path, "[1,2,3]\n").unwrap();
         assert!(ModelRegistry::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_are_typed_and_name_the_line() {
+        let path = std::env::temp_dir().join("dmml_registry_typed_err.jsonl");
+        std::fs::write(&path, "{\"id\":0,\"name\":\"a\",\"params\":{},\"metrics\":{},\"parent\":null,\"tags\":[]}\nnot json\n").unwrap();
+        let err = ModelRegistry::load(&path).unwrap_err();
+        match &err {
+            RegistryError::Malformed { line, .. } => assert_eq!(*line, 2),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        assert!(err.to_string().contains("line 2"), "{err}");
+        // Works as a boxed error (Display + Error implemented).
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.source().is_none());
+
+        let missing =
+            ModelRegistry::load(std::env::temp_dir().join("dmml_no_such_file.jsonl")).unwrap_err();
+        assert!(matches!(&missing, RegistryError::Io(_)));
+        let boxed: Box<dyn std::error::Error> = Box::new(missing);
+        assert!(boxed.source().is_some(), "Io wraps its cause");
         std::fs::remove_file(&path).ok();
     }
 

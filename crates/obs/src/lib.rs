@@ -1,0 +1,44 @@
+//! # dm-obs
+//!
+//! The workspace-wide observability layer, modeled on the introspection
+//! machinery of the surveyed declarative ML systems (`explain` plans and
+//! `-stats` runtime reports): a dependency-free stats registry of atomic
+//! counters, high-water-mark gauges, and histogram-free duration
+//! accumulators, plus a pluggable [`Recorder`] trait whose no-op default
+//! makes instrumented hot paths cost (nearly) nothing when observability is
+//! disabled.
+//!
+//! Instrumented components come in two flavors:
+//!
+//! * **Handle-based** — a call site asks the [`StatsRegistry`] once for a
+//!   labeled [`Counter`] / [`Gauge`] / [`DurationStat`] handle and then
+//!   updates it with single atomic operations, no map lookup on the hot path.
+//! * **Recorder-based** — a component stores a `Box<dyn Recorder>` (default
+//!   [`NoopRecorder`]) and emits events through it; pass a
+//!   [`StatsRegistry`]-backed recorder to collect them. Components should
+//!   cache [`Recorder::is_enabled`] so the disabled path is one boolean test.
+//!
+//! ```
+//! use dm_obs::{StatsRegistry, Timer};
+//! use std::sync::Arc;
+//!
+//! let reg = Arc::new(StatsRegistry::new());
+//! let hits = reg.counter("pool.hit");
+//! hits.add(3);
+//! let wall = reg.duration("exec.eval");
+//! {
+//!     let _t = Timer::start(&wall);
+//!     // ... timed work ...
+//! }
+//! let report = reg.report();
+//! assert_eq!(report.counter("pool.hit"), Some(3));
+//! assert!(report.duration("exec.eval").is_some());
+//! ```
+
+pub mod recorder;
+pub mod registry;
+pub mod stats;
+
+pub use recorder::{timed, NoopRecorder, Recorder};
+pub use registry::{StatsRegistry, StatsReport};
+pub use stats::{elapsed_ns, fmt_ns, Counter, DurationSnapshot, DurationStat, Gauge, Timer};

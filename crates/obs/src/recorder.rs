@@ -1,0 +1,133 @@
+//! The pluggable event sink instrumented components write through.
+
+use crate::registry::StatsRegistry;
+use crate::stats::elapsed_ns;
+use std::time::Instant;
+
+/// An event sink for instrumentation points.
+///
+/// Components that cannot (or should not) hold registry handles — because
+/// observability is optional for them — store a `Box<dyn Recorder>` instead,
+/// defaulting to [`NoopRecorder`]. Every method has a no-op default, so a
+/// sink implements only what it cares about.
+///
+/// Hot paths should cache [`is_enabled`](Recorder::is_enabled) at attach
+/// time: with the default recorder the entire instrumentation cost is then
+/// one branch on a local boolean.
+pub trait Recorder: Send + Sync {
+    /// True when events are actually persisted; instrumented code may skip
+    /// measurement work (clock reads, nnz counts) entirely when false.
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// Add `delta` to the counter at `site`.
+    fn add(&self, site: &str, delta: u64) {
+        let _ = (site, delta);
+    }
+
+    /// Record one event of `nanos` nanoseconds at `site`.
+    fn record_duration_ns(&self, site: &str, nanos: u64) {
+        let _ = (site, nanos);
+    }
+
+    /// Set the gauge at `site` (peak is tracked by the sink).
+    fn gauge_set(&self, site: &str, value: u64) {
+        let _ = (site, value);
+    }
+}
+
+/// The default sink: discards everything and reports itself disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+impl Recorder for StatsRegistry {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, site: &str, delta: u64) {
+        self.counter(site).add(delta);
+    }
+
+    fn record_duration_ns(&self, site: &str, nanos: u64) {
+        self.duration(site).record_ns(nanos);
+    }
+
+    fn gauge_set(&self, site: &str, value: u64) {
+        self.gauge(site).set(value);
+    }
+}
+
+// A shared sink records like the sink itself: components take a
+// `Box<dyn Recorder>`, and `Box<Arc<StatsRegistry>>` lets the caller keep
+// reading the registry the component writes to.
+impl<R: Recorder + ?Sized> Recorder for std::sync::Arc<R> {
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+
+    fn add(&self, site: &str, delta: u64) {
+        (**self).add(site, delta);
+    }
+
+    fn record_duration_ns(&self, site: &str, nanos: u64) {
+        (**self).record_duration_ns(site, nanos);
+    }
+
+    fn gauge_set(&self, site: &str, value: u64) {
+        (**self).gauge_set(site, value);
+    }
+}
+
+/// Time `f` and record the elapsed wall time at `site` — but only measure at
+/// all when the recorder is enabled.
+pub fn timed<T>(rec: &dyn Recorder, site: &str, f: impl FnOnce() -> T) -> T {
+    if !rec.is_enabled() {
+        return f();
+    }
+    let t0 = Instant::now();
+    let v = f();
+    rec.record_duration_ns(site, elapsed_ns(t0));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_discards_everything() {
+        let r = NoopRecorder;
+        assert!(!r.is_enabled());
+        r.add("x", 1);
+        r.record_duration_ns("x", 10);
+        r.gauge_set("x", 5);
+    }
+
+    #[test]
+    fn registry_implements_recorder() {
+        let reg = StatsRegistry::new();
+        let rec: &dyn Recorder = &reg;
+        assert!(rec.is_enabled());
+        rec.add("c", 2);
+        rec.gauge_set("g", 7);
+        rec.record_duration_ns("d", 100);
+        let rep = reg.report();
+        assert_eq!(rep.counter("c"), Some(2));
+        assert_eq!(rep.gauge("g"), Some((7, 7)));
+        assert_eq!(rep.duration("d").unwrap().total_ns, 100);
+    }
+
+    #[test]
+    fn timed_records_only_when_enabled() {
+        let reg = StatsRegistry::new();
+        let v = timed(&reg, "work", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(reg.report().duration("work").unwrap().count, 1);
+        let v = timed(&NoopRecorder, "work", || 1);
+        assert_eq!(v, 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! The stats registry: named metrics created on demand, snapshotted into a
+//! sorted, renderable report.
+
+use crate::stats::{fmt_ns, Counter, DurationSnapshot, DurationStat, Gauge};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// A registry of named [`Counter`]s, [`Gauge`]s, and [`DurationStat`]s.
+///
+/// Metric handles are `Arc`s: a call site looks its handle up once (taking a
+/// short mutex) and afterwards updates it lock-free. Site names are
+/// dot-separated paths (`"buffer.lru.hit"`, `"lang.exec.eval"`); the report
+/// sorts lexicographically, so related metrics group together.
+#[derive(Debug, Default)]
+pub struct StatsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    durations: Mutex<BTreeMap<String, Arc<DurationStat>>>,
+}
+
+impl StatsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `site`.
+    pub fn counter(&self, site: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("stats registry poisoned");
+        Arc::clone(map.entry(site.to_owned()).or_default())
+    }
+
+    /// Get or create the gauge named `site`.
+    pub fn gauge(&self, site: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("stats registry poisoned");
+        Arc::clone(map.entry(site.to_owned()).or_default())
+    }
+
+    /// Get or create the duration accumulator named `site`.
+    pub fn duration(&self, site: &str) -> Arc<DurationStat> {
+        let mut map = self.durations.lock().expect("stats registry poisoned");
+        Arc::clone(map.entry(site.to_owned()).or_default())
+    }
+
+    /// Snapshot every metric into a sorted report.
+    pub fn report(&self) -> StatsReport {
+        let counters = self
+            .counters
+            .lock()
+            .expect("stats registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("stats registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), (v.get(), v.peak())))
+            .collect();
+        let durations = self
+            .durations
+            .lock()
+            .expect("stats registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        StatsReport { counters, gauges, durations }
+    }
+
+    /// Reset every registered metric to its empty state (handles stay valid).
+    pub fn reset(&self) {
+        for c in self.counters.lock().expect("stats registry poisoned").values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().expect("stats registry poisoned").values() {
+            g.reset();
+        }
+        for d in self.durations.lock().expect("stats registry poisoned").values() {
+            d.reset();
+        }
+    }
+}
+
+/// A point-in-time snapshot of a [`StatsRegistry`], sorted by site name.
+///
+/// The `Display` impl renders a SystemML `-stats`-style block; the accessor
+/// methods serve tests and programmatic consumers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsReport {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, (u64, u64))>, // (current, peak)
+    durations: Vec<(String, DurationSnapshot)>,
+}
+
+impl StatsReport {
+    /// Value of a counter, if registered.
+    pub fn counter(&self, site: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == site).map(|(_, v)| *v)
+    }
+
+    /// `(current, peak)` of a gauge, if registered.
+    pub fn gauge(&self, site: &str) -> Option<(u64, u64)> {
+        self.gauges.iter().find(|(k, _)| k == site).map(|(_, v)| *v)
+    }
+
+    /// Snapshot of a duration accumulator, if registered.
+    pub fn duration(&self, site: &str) -> Option<DurationSnapshot> {
+        self.durations.iter().find(|(k, _)| k == site).map(|(_, v)| *v)
+    }
+
+    /// All counters, sorted by site.
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// True when no metric was ever registered — the signature of a run under
+    /// the no-op recorder.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.durations.is_empty()
+    }
+}
+
+impl fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "(no stats recorded)");
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (site, v) in &self.counters {
+                writeln!(f, "  {site:<40} {v:>12}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges (current / peak):")?;
+            for (site, (cur, peak)) in &self.gauges {
+                writeln!(f, "  {site:<40} {cur:>12} / {peak}")?;
+            }
+        }
+        if !self.durations.is_empty() {
+            writeln!(f, "timings (count, total, mean, min..max):")?;
+            for (site, s) in &self.durations {
+                writeln!(
+                    f,
+                    "  {site:<40} {:>6}x {:>10} {:>10} {}..{}",
+                    s.count,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(s.mean_ns()),
+                    fmt_ns(s.min_ns),
+                    fmt_ns(s.max_ns),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared() {
+        let r = StatsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(r.report().counter("x"), Some(5));
+    }
+
+    #[test]
+    fn report_is_sorted_and_queryable() {
+        let r = StatsRegistry::new();
+        r.counter("b.two").incr();
+        r.counter("a.one").add(7);
+        r.gauge("mem").set(100);
+        r.gauge("mem").set(40);
+        r.duration("t").record_ns(500);
+        let rep = r.report();
+        let names: Vec<&str> = rep.counters().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["a.one", "b.two"]);
+        assert_eq!(rep.gauge("mem"), Some((40, 100)));
+        assert_eq!(rep.duration("t").unwrap().count, 1);
+        assert_eq!(rep.counter("missing"), None);
+        let text = rep.to_string();
+        assert!(text.contains("a.one") && text.contains("40 / 100"));
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let rep = StatsRegistry::new().report();
+        assert!(rep.is_empty());
+        assert!(rep.to_string().contains("no stats recorded"));
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_live() {
+        let r = StatsRegistry::new();
+        let c = r.counter("n");
+        c.add(9);
+        r.duration("d").record_ns(10);
+        r.reset();
+        assert_eq!(r.report().counter("n"), Some(0));
+        assert_eq!(r.report().duration("d").unwrap().count, 0);
+        c.incr();
+        assert_eq!(r.report().counter("n"), Some(1));
+    }
+}

@@ -1,0 +1,85 @@
+//! Integration tests for the stats layer: atomicity of concurrent updates
+//! and the zero-footprint guarantee of the no-op recorder.
+
+use dm_obs::{NoopRecorder, Recorder, StatsRegistry};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    /// Concurrent increments never lose updates: the final counter value is
+    /// exactly the sum of what every thread added, regardless of how the
+    /// work is sliced across threads.
+    #[test]
+    fn concurrent_counter_increments_sum_exactly(
+        threads in 1usize..8,
+        per_thread in 1u64..200,
+        step in 1u64..5,
+    ) {
+        let reg = Arc::new(StatsRegistry::new());
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = reg.counter("t.concurrent");
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.add(step);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(
+            reg.report().counter("t.concurrent"),
+            Some(threads as u64 * per_thread * step)
+        );
+    }
+
+    /// Gauge peak under concurrency is the true maximum of all set values.
+    #[test]
+    fn concurrent_gauge_peak_is_global_max(values in proptest::collection::vec(0u64..10_000, 1..40)) {
+        let reg = Arc::new(StatsRegistry::new());
+        let handles: Vec<_> = values
+            .iter()
+            .map(|&v| {
+                let g = reg.gauge("t.peak");
+                std::thread::spawn(move || g.set(v))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (_, peak) = reg.report().gauge("t.peak").unwrap();
+        prop_assert_eq!(peak, values.iter().copied().max().unwrap());
+    }
+}
+
+#[test]
+fn noop_recorder_leaves_registry_reports_empty() {
+    // Instrumenting through the no-op recorder must not create any sites:
+    // a registry in the same process stays completely empty.
+    let reg = StatsRegistry::new();
+    let rec = NoopRecorder;
+    assert!(!rec.is_enabled());
+    rec.add("x.counter", 5);
+    rec.gauge_set("x.gauge", 7);
+    rec.record_duration_ns("x.wall", 1_000);
+    let report = reg.report();
+    assert_eq!(report.counter("x.counter"), None);
+    assert_eq!(report.gauge("x.gauge"), None);
+    assert!(report.duration("x.wall").is_none());
+    assert_eq!(report.to_string(), StatsRegistry::new().report().to_string());
+}
+
+#[test]
+fn registry_backed_recorder_round_trips_through_arc() {
+    // The blanket Arc<R: Recorder> impl lets components own a boxed recorder
+    // while the caller keeps the registry for reading.
+    let reg = Arc::new(StatsRegistry::new());
+    let boxed: Box<dyn Recorder> = Box::new(Arc::clone(&reg));
+    assert!(boxed.is_enabled());
+    boxed.add("arc.counter", 2);
+    boxed.record_duration_ns("arc.wall", 500);
+    assert_eq!(reg.report().counter("arc.counter"), Some(2));
+    assert_eq!(reg.report().duration("arc.wall").unwrap().count, 1);
+}

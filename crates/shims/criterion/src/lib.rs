@@ -15,10 +15,29 @@ pub fn black_box<T>(value: T) -> T {
 }
 
 /// Top-level benchmark driver; hands out [`BenchmarkGroup`]s.
-#[derive(Debug, Default)]
-pub struct Criterion {}
+///
+/// Like real criterion, `Default::default()` sniffs the process arguments
+/// for `--test` (as passed by `cargo bench -- --test`): in test mode every
+/// benchmark body runs exactly once with no warm-up or sampling, turning the
+/// whole bench suite into a fast CI smoke check.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: std::env::args().skip(1).any(|a| a == "--test") }
+    }
+}
 
 impl Criterion {
+    /// Force smoke-test mode on or off, overriding argument sniffing.
+    pub fn with_test_mode(mut self, on: bool) -> Self {
+        self.test_mode = on;
+        self
+    }
+
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
         BenchmarkGroup {
@@ -26,6 +45,7 @@ impl Criterion {
             sample_size: 10,
             warm_up_time: Duration::from_millis(100),
             measurement_time: Duration::from_millis(500),
+            test_mode: self.test_mode,
         }
     }
 
@@ -48,6 +68,7 @@ pub struct BenchmarkGroup {
     sample_size: usize,
     warm_up_time: Duration,
     measurement_time: Duration,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup {
@@ -77,6 +98,13 @@ impl BenchmarkGroup {
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let id = id.into();
+
+        if self.test_mode {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("bench {}/{:<28} ... ok (test mode, 1 iteration)", self.name, id);
+            return self;
+        }
 
         let warm_up_until = Instant::now() + self.warm_up_time;
         while Instant::now() < warm_up_until {
@@ -182,6 +210,14 @@ mod tests {
         g.bench_function("count", |b| b.iter(|| ran += 1));
         g.finish();
         assert!(ran > 0, "bench closure must actually run");
+    }
+
+    #[test]
+    fn test_mode_runs_body_exactly_once() {
+        let mut c = Criterion::default().with_test_mode(true);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "test mode must skip warm-up and sampling");
     }
 
     #[test]

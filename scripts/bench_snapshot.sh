@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Snapshot the headline benchmarks (E2 compressed matrix-vector, E5 rewrite
+# wins, E10 buffer pool) into BENCH_<date>.json at the repo root, so perf
+# drift between PRs is visible in version control.
+#
+# Usage: scripts/bench_snapshot.sh [output-file]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_$(date +%Y%m%d).json}"
+
+benches=(e02_cla_mv e05_rewrites e10_bufferpool)
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "git": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    printf '  "benches": {\n'
+    first=1
+    for b in "${benches[@]}"; do
+        [ "$first" -eq 1 ] || printf ',\n'
+        first=0
+        printf '    "%s": [' "$b"
+        # Each shim bench line: "bench <group>/<id> min X median Y mean Z (N samples)".
+        cargo bench -p dm-bench --bench "$b" 2>/dev/null |
+            grep '^bench ' |
+            sed -E 's/^bench ([^ ]+) +min +([0-9.]+ [a-z]+) +median +([0-9.]+ [a-z]+) +mean +([0-9.]+ [a-z]+).*/{"id":"\1","min":"\2","median":"\3","mean":"\4"}/' |
+            paste -sd, -
+        printf ']'
+    done
+    printf '\n  }\n}\n'
+} > "$out"
+
+echo "wrote $out"

@@ -38,6 +38,7 @@ pub use dm_lang as lang;
 pub use dm_matrix as matrix;
 pub use dm_ml as ml;
 pub use dm_modelsel as modelsel;
+pub use dm_obs as obs;
 pub use dm_pipeline as pipeline;
 pub use dm_rel as rel;
 
@@ -52,6 +53,7 @@ pub mod prelude {
     pub use dm_ml::linreg::{LinearRegression, Solver};
     pub use dm_ml::logreg::{LogRegConfig, LogisticRegression};
     pub use dm_modelsel::{ModelRegistry, ParamSpace, Params};
+    pub use dm_obs::{StatsRegistry, Timer};
     pub use dm_pipeline::transform::{Pipeline, StandardScaler, Transformer};
     pub use dm_rel::{Table, Value};
 }
