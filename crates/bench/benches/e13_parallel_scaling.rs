@@ -1,0 +1,105 @@
+//! E13 — strong-scaling sweep over the dm-par execution layer: dense gemm,
+//! compressed matrix-vector kernels, and hyper-parameter grid search at
+//! degrees 1/2/4/8.
+//!
+//! The canonical shape: row-partitioned gemm and segment-partitioned
+//! compressed gemv scale near-linearly until the memory bus saturates, while
+//! the coarse-grained grid search scales with the number of independent
+//! configurations. Every parallel kernel is bit-identical to its serial
+//! counterpart, so the sweep measures pure scheduling + partitioning cost.
+//!
+//! The gemm side length defaults to 2048 (17.2 GFlop per iteration) and can
+//! be lowered for constrained machines via `DMML_BENCH_GEMM_N`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dm_compress::{planner::CompressionConfig, CompressedMatrix};
+use dm_matrix::{ops, par, Dense};
+use dm_ml::linreg::{LinearRegression, Solver};
+use dm_modelsel::search::{grid_search, grid_search_par, ParamSpace, Params};
+
+/// Thread degrees swept by every benchmark in this group.
+const DEGREES: [usize; 4] = [1, 2, 4, 8];
+
+/// Rows of the compressed matrix-vector workload.
+const CMV_ROWS: usize = 200_000;
+/// Columns of the compressed matrix-vector workload.
+const CMV_COLS: usize = 8;
+
+fn gemm_n() -> usize {
+    std::env::var("DMML_BENCH_GEMM_N").ok().and_then(|s| s.parse().ok()).unwrap_or(2048)
+}
+
+fn bench(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let n = gemm_n();
+    println!("\n=== E13: parallel scaling (degrees {DEGREES:?}, {cores} core(s) available) ===");
+    println!(
+        "gemm {n}x{n}x{n} ({:.1} GFlop/iter) | compressed mv {CMV_ROWS}x{CMV_COLS} | grid 4x4",
+        2.0 * (n as f64).powi(3) / 1e9
+    );
+
+    let a = Dense::from_fn(n, n, |r, c| ((r * 31 + c * 17) % 23) as f64 * 0.05 - 0.55);
+    let b = Dense::from_fn(n, n, |r, c| ((r * 7 + c * 13) % 19) as f64 * 0.07 - 0.63);
+
+    let m = dm_data::matgen::clustered(CMV_ROWS, CMV_COLS, 10, 512, 7);
+    let cm = CompressedMatrix::compress(&m, &CompressionConfig::default());
+    let v: Vec<f64> = (0..CMV_COLS).map(|i| i as f64 * 0.3 - 1.0).collect();
+    let u: Vec<f64> = (0..CMV_ROWS).map(|i| ((i % 17) as f64) * 0.1 - 0.8).collect();
+
+    // Grid-search workload: ridge regression via the normal equations on a
+    // modest design matrix; one full fit per configuration.
+    let d = dm_data::labeled::regression(4000, 12, 0.1, 33);
+    let space =
+        ParamSpace::new().grid("l2", &[0.0, 0.001, 0.01, 0.1]).grid("scale", &[0.5, 1.0, 2.0, 4.0]);
+    let trainer = |p: &Params, _budget: f64| -> f64 {
+        let m = LinearRegression::fit(&d.x, &d.y, Solver::NormalEquations, p.get("l2"))
+            .expect("ridge fit");
+        -m.mse(&d.x, &d.y) * p.get("scale")
+    };
+
+    // Bit-identity sanity: every parallel kernel must reproduce the serial
+    // result exactly before we bother timing it.
+    let g1 = par::gemm(&a, &b, 1);
+    let mv1 = cm.gemv_with(&v, 1);
+    let vm1 = cm.vecmat_with(&u, 1);
+    let s1 = grid_search(&space, trainer);
+    for deg in DEGREES {
+        assert_eq!(par::gemm(&a, &b, deg).data(), g1.data(), "gemm degree {deg}");
+        assert_eq!(cm.gemv_with(&v, deg), mv1, "compressed gemv degree {deg}");
+        assert_eq!(cm.vecmat_with(&u, deg), vm1, "compressed vecmat degree {deg}");
+        let sd = grid_search_par(&space, deg, trainer);
+        assert_eq!(sd.best_score.to_bits(), s1.best_score.to_bits(), "grid degree {deg}");
+    }
+
+    let mut g = c.benchmark_group("e13_parallel_scaling");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(2));
+    for deg in DEGREES {
+        g.bench_function(format!("gemm_{n}_t{deg}"), |bch| bch.iter(|| par::gemm(&a, &b, deg)));
+    }
+    for deg in DEGREES {
+        g.bench_function(format!("gemv_compressed_t{deg}"), |bch| {
+            bch.iter(|| cm.gemv_with(&v, deg))
+        });
+    }
+    for deg in DEGREES {
+        g.bench_function(format!("vecmat_compressed_t{deg}"), |bch| {
+            bch.iter(|| cm.vecmat_with(&u, deg))
+        });
+    }
+    for deg in DEGREES {
+        g.bench_function(format!("grid_search_t{deg}"), |bch| {
+            bch.iter(|| grid_search_par(&space, deg, trainer))
+        });
+    }
+    // Dense reference points so the compressed numbers are anchored.
+    g.bench_function("gemv_dense_serial", |bch| bch.iter(|| ops::gemv(&m, &v)));
+    g.bench_function("vecmat_dense_serial", |bch| bch.iter(|| ops::gevm(&u, &m)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

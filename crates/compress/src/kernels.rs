@@ -8,27 +8,48 @@
 
 use crate::group::ColGroup;
 use dm_matrix::ops;
+use std::ops::Range;
 
 /// Accumulate this group's contribution to `out += M[:, cols] * v[cols]`.
 pub fn gemv_into(g: &ColGroup, v: &[f64], out: &mut [f64]) {
+    gemv_range_into(g, v, out, 0..out.len());
+}
+
+/// Accumulate this group's contribution for the row segment `rows` into
+/// `out` (a buffer of exactly `rows.len()` elements, indexed relative to
+/// `rows.start`).
+///
+/// This is the unit of row-segment parallelism for compressed gemv: workers
+/// own disjoint row segments, every segment applies the groups in the same
+/// order as the serial kernel, and each row receives exactly the adds the
+/// serial kernel would perform — so parallel results are bit-identical.
+/// OLE offset lists are entered by binary search; RLE runs (sorted by start)
+/// are clipped to the segment.
+pub fn gemv_range_into(g: &ColGroup, v: &[f64], out: &mut [f64], rows: Range<usize>) {
+    debug_assert_eq!(out.len(), rows.len());
     match g {
         ColGroup::Ddc { cols, dict, codes } => {
             let vc: Vec<f64> = cols.iter().map(|&c| v[c]).collect();
             let pre = dict.preaggregate(&vc);
-            for (o, code) in out.iter_mut().zip(codes.iter()) {
-                *o += pre[code as usize];
+            for (o, r) in out.iter_mut().zip(rows) {
+                *o += pre[codes.get(r) as usize];
             }
         }
         ColGroup::Ole { cols, dict, offsets, .. } => {
             let vc: Vec<f64> = cols.iter().map(|&c| v[c]).collect();
             let pre = dict.preaggregate(&vc);
+            let (start, end) = (rows.start as u32, rows.end as u32);
             for (t, offs) in offsets.iter().enumerate() {
                 let p = pre[t];
                 if p == 0.0 {
                     continue;
                 }
-                for &r in offs {
-                    out[r as usize] += p;
+                let lo = offs.partition_point(|&r| r < start);
+                for &r in &offs[lo..] {
+                    if r >= end {
+                        break;
+                    }
+                    out[(r - start) as usize] += p;
                 }
             }
         }
@@ -41,7 +62,17 @@ pub fn gemv_into(g: &ColGroup, v: &[f64], out: &mut [f64]) {
                     continue;
                 }
                 for &(start, len) in rs {
-                    for o in &mut out[start as usize..(start + len) as usize] {
+                    let run = start as usize..(start + len) as usize;
+                    if run.start >= rows.end {
+                        // Runs are sorted by start; nothing later overlaps.
+                        break;
+                    }
+                    if run.end <= rows.start {
+                        continue;
+                    }
+                    let a = run.start.max(rows.start) - rows.start;
+                    let b = run.end.min(rows.end) - rows.start;
+                    for o in &mut out[a..b] {
                         *o += p;
                     }
                 }
@@ -49,9 +80,8 @@ pub fn gemv_into(g: &ColGroup, v: &[f64], out: &mut [f64]) {
         }
         ColGroup::Uncompressed { cols, data } => {
             let vc: Vec<f64> = cols.iter().map(|&c| v[c]).collect();
-            let part = ops::gemv(data, &vc);
-            for (o, p) in out.iter_mut().zip(part) {
-                *o += p;
+            for (o, r) in out.iter_mut().zip(rows) {
+                *o += ops::dot(data.row(r), &vc);
             }
         }
     }
@@ -62,27 +92,84 @@ pub fn gemv_into(g: &ColGroup, v: &[f64], out: &mut [f64]) {
 /// The dual trick: first sum `v` over the rows of each tuple (per-tuple
 /// scalar), then multiply by the tuple values once.
 pub fn vecmat_into(g: &ColGroup, v: &[f64], out: &mut [f64]) {
+    let mut scratch = Vec::new();
+    vecmat_into_scratch(g, v, out, &mut scratch);
+}
+
+/// [`vecmat_into`] with a caller-provided per-tuple scratch buffer, so a
+/// multi-group matrix pays one allocation per *call* instead of one per
+/// group (the scratch grows to the largest dictionary it has seen and is
+/// reused across groups).
+pub fn vecmat_into_scratch(g: &ColGroup, v: &[f64], out: &mut [f64], scratch: &mut Vec<f64>) {
     match g {
-        ColGroup::Ddc { cols, dict, codes } => {
-            let mut per_tuple = vec![0.0; dict.num_tuples()];
-            for (r, code) in codes.iter().enumerate() {
-                per_tuple[code as usize] += v[r];
+        ColGroup::Uncompressed { cols, data } => {
+            let part = ops::gevm(v, data);
+            for (&c, p) in cols.iter().zip(part) {
+                out[c] += p;
             }
-            scatter_tuple_sums(cols, dict, &per_tuple, out);
         }
-        ColGroup::Ole { cols, dict, offsets, .. } => {
-            let mut per_tuple = vec![0.0; dict.num_tuples()];
+        _ => {
+            tuple_sums(g, v, scratch);
+            let (cols, dict) = dictionary(g);
+            scatter_tuple_sums(cols, dict, scratch, out);
+        }
+    }
+}
+
+/// This group's slice of `v^T * M`, as a dense vector of `g.cols().len()`
+/// entries in group-column order (entry `j` belongs to global column
+/// `g.cols()[j]`).
+///
+/// Because column groups own disjoint output columns, parallel vecmat /
+/// column-sum kernels compute these local vectors concurrently and scatter
+/// them afterwards; each output element sees the exact per-tuple
+/// accumulation order of the serial kernel, so results are bit-identical.
+pub fn vecmat_local(g: &ColGroup, v: &[f64], scratch: &mut Vec<f64>) -> Vec<f64> {
+    match g {
+        ColGroup::Uncompressed { cols: _, data } => ops::gevm(v, data),
+        _ => {
+            tuple_sums(g, v, scratch);
+            let (cols, dict) = dictionary(g);
+            let mut local = vec![0.0; cols.len()];
+            for (t, &s) in scratch.iter().enumerate() {
+                if s == 0.0 {
+                    continue;
+                }
+                for (o, &tv) in local.iter_mut().zip(dict.tuple(t)) {
+                    *o += s * tv;
+                }
+            }
+            local
+        }
+    }
+}
+
+/// Sum `v` over the rows of each distinct tuple into `scratch` (cleared and
+/// resized to the group's dictionary size). Dictionary encodings only; the
+/// uncompressed fallback has no tuples.
+fn tuple_sums(g: &ColGroup, v: &[f64], scratch: &mut Vec<f64>) {
+    match g {
+        ColGroup::Ddc { dict, codes, .. } => {
+            scratch.clear();
+            scratch.resize(dict.num_tuples(), 0.0);
+            for (r, code) in codes.iter().enumerate() {
+                scratch[code as usize] += v[r];
+            }
+        }
+        ColGroup::Ole { dict, offsets, .. } => {
+            scratch.clear();
+            scratch.resize(dict.num_tuples(), 0.0);
             for (t, offs) in offsets.iter().enumerate() {
                 let mut acc = 0.0;
                 for &r in offs {
                     acc += v[r as usize];
                 }
-                per_tuple[t] = acc;
+                scratch[t] = acc;
             }
-            scatter_tuple_sums(cols, dict, &per_tuple, out);
         }
-        ColGroup::Rle { cols, dict, runs, .. } => {
-            let mut per_tuple = vec![0.0; dict.num_tuples()];
+        ColGroup::Rle { dict, runs, .. } => {
+            scratch.clear();
+            scratch.resize(dict.num_tuples(), 0.0);
             for (t, rs) in runs.iter().enumerate() {
                 let mut acc = 0.0;
                 for &(start, len) in rs {
@@ -90,16 +177,19 @@ pub fn vecmat_into(g: &ColGroup, v: &[f64], out: &mut [f64]) {
                         acc += x;
                     }
                 }
-                per_tuple[t] = acc;
-            }
-            scatter_tuple_sums(cols, dict, &per_tuple, out);
-        }
-        ColGroup::Uncompressed { cols, data } => {
-            let part = ops::gevm(v, data);
-            for (&c, p) in cols.iter().zip(part) {
-                out[c] += p;
+                scratch[t] = acc;
             }
         }
+        ColGroup::Uncompressed { .. } => unreachable!("uncompressed groups have no tuples"),
+    }
+}
+
+fn dictionary(g: &ColGroup) -> (&[usize], &crate::Dict) {
+    match g {
+        ColGroup::Ddc { cols, dict, .. }
+        | ColGroup::Ole { cols, dict, .. }
+        | ColGroup::Rle { cols, dict, .. } => (cols, dict),
+        ColGroup::Uncompressed { .. } => unreachable!("uncompressed groups have no dictionary"),
     }
 }
 
@@ -120,38 +210,54 @@ fn scatter_tuple_sums(cols: &[usize], dict: &crate::Dict, per_tuple: &[f64], out
 /// value times its row count.
 pub fn col_sums_into(g: &ColGroup, out: &mut [f64]) {
     match g {
-        ColGroup::Ddc { cols, dict, codes } => {
-            let mut counts = vec![0usize; dict.num_tuples()];
-            for code in codes.iter() {
-                counts[code as usize] += 1;
-            }
-            scatter_counts(cols, dict, &counts, out);
-        }
-        ColGroup::Ole { cols, dict, offsets, .. } => {
-            let counts: Vec<usize> = offsets.iter().map(|o| o.len()).collect();
-            scatter_counts(cols, dict, &counts, out);
-        }
-        ColGroup::Rle { cols, dict, runs, .. } => {
-            let counts: Vec<usize> =
-                runs.iter().map(|rs| rs.iter().map(|&(_, l)| l as usize).sum()).collect();
-            scatter_counts(cols, dict, &counts, out);
-        }
         ColGroup::Uncompressed { cols, data } => {
             let part = ops::col_sums(data);
             for (&c, p) in cols.iter().zip(part) {
                 out[c] += p;
             }
         }
+        _ => col_sums_into_indexed(g, out, false),
     }
 }
 
-fn scatter_counts(cols: &[usize], dict: &crate::Dict, counts: &[usize], out: &mut [f64]) {
+/// This group's column sums as a local vector in group-column order
+/// (see [`vecmat_local`] for the scatter convention).
+pub fn col_sums_local(g: &ColGroup) -> Vec<f64> {
+    match g {
+        ColGroup::Uncompressed { cols: _, data } => ops::col_sums(data),
+        _ => {
+            let mut local = vec![0.0; g.cols().len()];
+            col_sums_into_indexed(g, &mut local, true);
+            local
+        }
+    }
+}
+
+/// Shared body of [`col_sums_into`] and [`col_sums_local`]: scatter per-tuple
+/// counts either to global column indices or to local group positions.
+fn col_sums_into_indexed(g: &ColGroup, out: &mut [f64], local: bool) {
+    let counts: Vec<usize> = match g {
+        ColGroup::Ddc { dict, codes, .. } => {
+            let mut counts = vec![0usize; dict.num_tuples()];
+            for code in codes.iter() {
+                counts[code as usize] += 1;
+            }
+            counts
+        }
+        ColGroup::Ole { offsets, .. } => offsets.iter().map(|o| o.len()).collect(),
+        ColGroup::Rle { runs, .. } => {
+            runs.iter().map(|rs| rs.iter().map(|&(_, l)| l as usize).sum()).collect()
+        }
+        ColGroup::Uncompressed { .. } => unreachable!("handled by callers"),
+    };
+    let (cols, dict) = dictionary(g);
     for (t, &n) in counts.iter().enumerate() {
         if n == 0 {
             continue;
         }
-        for (&c, &tv) in cols.iter().zip(dict.tuple(t)) {
-            out[c] += n as f64 * tv;
+        for (j, (&c, &tv)) in cols.iter().zip(dict.tuple(t)).enumerate() {
+            let idx = if local { j } else { c };
+            out[idx] += n as f64 * tv;
         }
     }
 }

@@ -117,11 +117,23 @@ impl CompressedMatrix {
     /// # Panics
     /// Panics if `v.len() != self.cols()`.
     pub fn gemv(&self, v: &[f64]) -> Vec<f64> {
+        self.gemv_with(v, 1)
+    }
+
+    /// [`gemv`](Self::gemv) at an explicit degree of parallelism: workers own
+    /// disjoint row segments and every segment applies the column groups in
+    /// serial order, so results are bit-identical to `gemv` at any degree.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn gemv_with(&self, v: &[f64], degree: usize) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "compressed gemv dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for g in &self.groups {
-            kernels::gemv_into(g, v, &mut out);
-        }
+        dm_par::for_each_slice_mut(&mut out, 1, degree, |rows, chunk| {
+            for g in &self.groups {
+                kernels::gemv_range_into(g, v, chunk, rows.clone());
+            }
+        });
         out
     }
 
@@ -130,12 +142,45 @@ impl CompressedMatrix {
     /// # Panics
     /// Panics if `v.len() != self.rows()`.
     pub fn vecmat(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.rows, "compressed vecmat dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for g in &self.groups {
-            kernels::vecmat_into(g, v, &mut out);
-        }
+        let mut scratch = Vec::new();
+        self.vecmat_into(v, &mut out, &mut scratch);
         out
+    }
+
+    /// Zero-extra-allocation vecmat: writes `v^T * M` into `out` (zeroed by
+    /// the caller) reusing `scratch` for the per-tuple sums across all
+    /// groups. Hot loops (iterative ML algorithms, benchmarks) keep both
+    /// buffers alive across calls so steady-state iterations allocate
+    /// nothing.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.rows()` or `out.len() != self.cols()`.
+    pub fn vecmat_into(&self, v: &[f64], out: &mut [f64], scratch: &mut Vec<f64>) {
+        assert_eq!(v.len(), self.rows, "compressed vecmat dimension mismatch");
+        assert_eq!(out.len(), self.cols, "compressed vecmat output length mismatch");
+        for g in &self.groups {
+            kernels::vecmat_into_scratch(g, v, out, scratch);
+        }
+    }
+
+    /// [`vecmat`](Self::vecmat) at an explicit degree of parallelism: column
+    /// groups own disjoint output columns, so group-local results computed
+    /// concurrently and scattered afterwards are bit-identical to the serial
+    /// kernel.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.rows()`.
+    pub fn vecmat_with(&self, v: &[f64], degree: usize) -> Vec<f64> {
+        if degree <= 1 {
+            return self.vecmat(v);
+        }
+        assert_eq!(v.len(), self.rows, "compressed vecmat dimension mismatch");
+        let locals = dm_par::map_collect(self.groups.len(), degree, |i| {
+            let mut scratch = Vec::new();
+            kernels::vecmat_local(&self.groups[i], v, &mut scratch)
+        });
+        self.scatter_locals(locals)
     }
 
     /// Column sums on compressed data (O(#distinct) per dictionary group).
@@ -143,6 +188,31 @@ impl CompressedMatrix {
         let mut out = vec![0.0; self.cols];
         for g in &self.groups {
             kernels::col_sums_into(g, &mut out);
+        }
+        out
+    }
+
+    /// [`col_sums`](Self::col_sums) at an explicit degree of parallelism
+    /// (group-parallel, like [`vecmat_with`](Self::vecmat_with)).
+    pub fn col_sums_with(&self, degree: usize) -> Vec<f64> {
+        if degree <= 1 {
+            return self.col_sums();
+        }
+        let locals = dm_par::map_collect(self.groups.len(), degree, |i| {
+            kernels::col_sums_local(&self.groups[i])
+        });
+        self.scatter_locals(locals)
+    }
+
+    /// Scatter per-group local vectors (group-column order) into a full
+    /// `cols`-length output. Groups partition the columns, so each output
+    /// element is written exactly once.
+    fn scatter_locals(&self, locals: Vec<Vec<f64>>) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for (g, local) in self.groups.iter().zip(locals) {
+            for (&c, val) in g.cols().iter().zip(local) {
+                out[c] = val;
+            }
         }
         out
     }
@@ -355,6 +425,50 @@ mod tests {
         let m = mixed(50);
         let cm = CompressedMatrix::compress(&m, &CompressionConfig::default());
         cm.matmul_dense(&Dense::zeros(3, 2));
+    }
+
+    #[test]
+    fn parallel_kernels_bit_identical_to_serial() {
+        let m = mixed(3000);
+        let cm = CompressedMatrix::compress(&m, &CompressionConfig::default());
+        let v = [1.0, -2.0, 0.5, 3.0];
+        let u: Vec<f64> = (0..3000).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let (sg, sv, sc) = (cm.gemv(&v), cm.vecmat(&u), cm.col_sums());
+        for deg in [1, 2, 3, 8] {
+            assert_eq!(cm.gemv_with(&v, deg), sg, "gemv degree {deg}");
+            assert_eq!(cm.vecmat_with(&u, deg), sv, "vecmat degree {deg}");
+            assert_eq!(cm.col_sums_with(deg), sc, "col_sums degree {deg}");
+        }
+    }
+
+    #[test]
+    fn parallel_kernels_bit_identical_per_uniform_encoding() {
+        let m = mixed(1024);
+        let v = [0.3, 1.7, -0.9, 2.2];
+        let u: Vec<f64> = (0..1024).map(|i| ((i % 7) as f64) * 0.4 - 1.0).collect();
+        for enc in [Encoding::Ddc, Encoding::Ole, Encoding::Rle, Encoding::Uncompressed] {
+            let cm = CompressedMatrix::compress_uniform(&m, enc);
+            for deg in [2, 5] {
+                assert_eq!(cm.gemv_with(&v, deg), cm.gemv(&v), "{enc:?} gemv deg {deg}");
+                assert_eq!(cm.vecmat_with(&u, deg), cm.vecmat(&u), "{enc:?} vecmat deg {deg}");
+                assert_eq!(cm.col_sums_with(deg), cm.col_sums(), "{enc:?} col_sums deg {deg}");
+            }
+        }
+    }
+
+    #[test]
+    fn vecmat_into_reuses_scratch_across_calls() {
+        let m = mixed(500);
+        let cm = CompressedMatrix::compress(&m, &CompressionConfig::default());
+        let u: Vec<f64> = (0..500).map(|i| (i as f64) * 0.01).collect();
+        let expect = cm.vecmat(&u);
+        let mut out = vec![0.0; cm.cols()];
+        let mut scratch = Vec::new();
+        for _ in 0..3 {
+            out.iter_mut().for_each(|o| *o = 0.0);
+            cm.vecmat_into(&u, &mut out, &mut scratch);
+            assert_eq!(out, expect);
+        }
     }
 
     #[test]

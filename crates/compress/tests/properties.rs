@@ -105,3 +105,59 @@ proptest! {
         prop_assert_eq!(cols, expect);
     }
 }
+
+/// Degrees every parallel compressed kernel is exercised at: serial, the
+/// smallest real split, and the machine's core count.
+fn sweep_degrees() -> [usize; 3] {
+    [1, 2, std::thread::available_parallelism().map_or(4, |n| n.get()).max(3)]
+}
+
+proptest! {
+    // Parallel compressed kernels promise bit-identical results to the serial
+    // paths: gemv partitions rows into segments each worker fills in serial
+    // group order, vecmat/col_sums compute per-group local vectors in the
+    // serial per-tuple order and scatter them to disjoint columns. So the
+    // contract is exact `assert_eq!`, not a tolerance.
+    #[test]
+    fn par_compressed_gemv_bit_identical(m in matrix()) {
+        let cm = CompressedMatrix::compress(&m, &small_config());
+        let v: Vec<f64> = (0..m.cols()).map(|i| i as f64 * 0.4 - 1.1).collect();
+        let serial = cm.gemv(&v);
+        for deg in sweep_degrees() {
+            prop_assert_eq!(&cm.gemv_with(&v, deg), &serial, "degree {}", deg);
+        }
+    }
+
+    #[test]
+    fn par_compressed_vecmat_bit_identical(m in matrix()) {
+        let cm = CompressedMatrix::compress(&m, &small_config());
+        let u: Vec<f64> = (0..m.rows()).map(|i| ((i % 13) as f64) * 0.2 - 0.9).collect();
+        let serial = cm.vecmat(&u);
+        for deg in sweep_degrees() {
+            prop_assert_eq!(&cm.vecmat_with(&u, deg), &serial, "degree {}", deg);
+        }
+    }
+
+    #[test]
+    fn par_compressed_col_sums_bit_identical(m in matrix()) {
+        let cm = CompressedMatrix::compress(&m, &small_config());
+        let serial = cm.col_sums();
+        for deg in sweep_degrees() {
+            prop_assert_eq!(&cm.col_sums_with(deg), &serial, "degree {}", deg);
+        }
+    }
+
+    #[test]
+    fn par_uniform_encoding_kernels_bit_identical(m in matrix()) {
+        // Force each encoding in turn so DDC/OLE/RLE/UC range kernels are all
+        // hit regardless of what the planner would pick.
+        for enc in [Encoding::Ddc, Encoding::Ole, Encoding::Rle, Encoding::Uncompressed] {
+            let cm = CompressedMatrix::compress_uniform(&m, enc);
+            let v: Vec<f64> = (0..m.cols()).map(|i| i as f64 - 1.5).collect();
+            let serial = cm.gemv(&v);
+            for deg in sweep_degrees() {
+                prop_assert_eq!(&cm.gemv_with(&v, deg), &serial, "{:?} degree {}", enc, deg);
+            }
+        }
+    }
+}

@@ -3,7 +3,7 @@
 
 use crate::expr::{AggOp, EwiseOp, Graph, NodeId, Op, UnaryOp};
 use crate::physical::{Kernel, PhysicalPlan};
-use dm_matrix::{ops, sparse, Csr, Dense, Matrix};
+use dm_matrix::{ops, par, sparse, Csr, Dense, Matrix};
 use dm_obs::{elapsed_ns, Recorder};
 use std::collections::HashMap;
 use std::fmt;
@@ -102,6 +102,8 @@ pub struct ExecStats {
     pub nodes_evaluated: u64,
     /// Node evaluations served from the memo table.
     pub memo_hits: u64,
+    /// Node evaluations dispatched to a multi-threaded kernel.
+    pub par_nodes: u64,
 }
 
 /// Which kernel family actually ran for one node, as observed at dispatch.
@@ -115,6 +117,8 @@ pub enum KernelChoice {
     Fused,
     /// Scalar-only computation.
     Scalar,
+    /// Multi-threaded dense kernel (`dm_matrix::par`).
+    Parallel,
 }
 
 impl fmt::Display for KernelChoice {
@@ -124,6 +128,7 @@ impl fmt::Display for KernelChoice {
             KernelChoice::Sparse => "sparse",
             KernelChoice::Fused => "fused",
             KernelChoice::Scalar => "scalar",
+            KernelChoice::Parallel => "parallel",
         })
     }
 }
@@ -178,6 +183,7 @@ impl ExecProfile {
 pub struct Executor<'g> {
     graph: &'g Graph,
     plan: Option<PhysicalPlan>,
+    degree: usize,
     memo: HashMap<NodeId, Val>,
     stats: ExecStats,
     profile: Option<ExecProfile>,
@@ -192,6 +198,7 @@ impl<'g> Executor<'g> {
         Executor {
             graph,
             plan: None,
+            degree: 1,
             memo: HashMap::new(),
             stats: ExecStats::default(),
             profile: None,
@@ -199,9 +206,26 @@ impl<'g> Executor<'g> {
         }
     }
 
-    /// New executor honoring a physical plan.
+    /// New executor honoring a physical plan. Nodes the plan marked
+    /// [`Kernel::Parallel`] run the multi-threaded kernels at the plan's
+    /// degree (see [`plan_with_degree`](crate::physical::plan_with_degree));
+    /// everything else keeps the serial dispatch.
     pub fn with_plan(graph: &'g Graph, plan: PhysicalPlan) -> Self {
-        Executor { plan: Some(plan), ..Executor::new(graph) }
+        let degree = plan.degree();
+        Executor { plan: Some(plan), degree, ..Executor::new(graph) }
+    }
+
+    /// Override the degree of parallelism used for [`Kernel::Parallel`]
+    /// nodes (the parallel kernels are bit-identical to the serial ones at
+    /// every degree, so this only affects wall time).
+    pub fn with_degree(mut self, degree: usize) -> Self {
+        self.degree = degree.max(1);
+        self
+    }
+
+    /// The degree of parallelism in effect for parallel-planned nodes.
+    pub fn degree(&self) -> usize {
+        self.degree
     }
 
     /// Enable per-node profiling (wall time, kernel dispatch, output shape
@@ -231,13 +255,34 @@ impl<'g> Executor<'g> {
         rec.add("lang.exec.nodes_evaluated", self.stats.nodes_evaluated);
         rec.add("lang.exec.memo_hits", self.stats.memo_hits);
         rec.add("lang.exec.flops", self.stats.flops);
+        rec.add("lang.exec.par_nodes", self.stats.par_nodes);
+        rec.gauge_set("lang.exec.par_degree", self.degree as u64);
         if let Some(p) = &self.profile {
             rec.record_duration_ns("lang.exec.eval_wall", p.total_self_ns());
+            // Per-kernel-family self times: comparing `lang.exec.kernel.dense`
+            // against `lang.exec.kernel.parallel` across runs is how per-kernel
+            // speedup is derived (see EXPERIMENTS.md E13).
+            for (_, ns) in p.nodes() {
+                if let Some(k) = ns.kernel {
+                    rec.record_duration_ns(&format!("lang.exec.kernel.{k}"), ns.self_ns);
+                }
+            }
         }
     }
 
     fn kernel(&self, id: NodeId) -> Kernel {
         self.plan.as_ref().map_or(Kernel::Dense, |p| p.kernel(id))
+    }
+
+    /// Degree to run node `id` at: the executor degree for parallel-planned
+    /// nodes, 1 (serial) otherwise. Also counts parallel dispatches.
+    fn node_degree(&mut self, id: NodeId) -> usize {
+        if self.kernel(id) == Kernel::Parallel && self.degree > 1 {
+            self.stats.par_nodes += 1;
+            self.degree
+        } else {
+            1
+        }
     }
 
     /// Evaluate the node, then cross-check the runtime value's dimensions
@@ -331,6 +376,9 @@ impl<'g> Executor<'g> {
     /// itself plus the (already memoized) representations of its operands and
     /// output.
     fn kernel_choice(&self, id: NodeId, out: &Val) -> KernelChoice {
+        if self.kernel(id) == Kernel::Parallel && self.degree > 1 {
+            return KernelChoice::Parallel;
+        }
         let op = self.graph.op(id);
         match op {
             Op::CrossProd(_) | Op::Tmv(..) | Op::SumSq(_) => return KernelChoice::Fused,
@@ -397,7 +445,10 @@ impl<'g> Executor<'g> {
                             Matrix::Dense(d) => d.rows() * d.cols(),
                             Matrix::Sparse(s) => s.nnz(),
                         }) as u64;
-                    let out = ma.gemv(&v);
+                    let out = match &ma {
+                        Matrix::Dense(d) => par::gemv(d, &v, self.node_degree(id)),
+                        _ => ma.gemv(&v),
+                    };
                     return Ok(Val::Matrix(Matrix::Dense(Dense::column(&out))));
                 }
                 let out = match (&ma, &mb) {
@@ -409,7 +460,7 @@ impl<'g> Executor<'g> {
                         let da = ma.to_dense();
                         let db = mb.to_dense();
                         self.stats.flops += 2 * (da.rows() * da.cols() * db.cols()) as u64;
-                        ops::gemm(&da, &db)
+                        par::gemm(&da, &db, self.node_degree(id))
                     }
                 };
                 Ok(Val::Matrix(Matrix::Dense(out)))
@@ -467,7 +518,7 @@ impl<'g> Executor<'g> {
                     },
                     AggOp::ColSums => {
                         let cs = match &m {
-                            Matrix::Dense(d) => ops::col_sums(d),
+                            Matrix::Dense(d) => par::col_sums(d, self.node_degree(id)),
                             Matrix::Sparse(s) => {
                                 let ones = vec![1.0; s.rows()];
                                 sparse::spvm(&ones, s)
@@ -502,7 +553,8 @@ impl<'g> Executor<'g> {
                     }
                     _ => {
                         self.stats.flops += (m.rows() * m.cols() * m.cols()) as u64;
-                        Ok(Val::Matrix(Matrix::Dense(ops::crossprod(&m))))
+                        let deg = self.node_degree(id);
+                        Ok(Val::Matrix(Matrix::Dense(par::crossprod(&m, deg))))
                     }
                 }
             }
@@ -521,7 +573,10 @@ impl<'g> Executor<'g> {
                         Matrix::Dense(d) => d.rows() * d.cols(),
                         Matrix::Sparse(s) => s.nnz(),
                     }) as u64;
-                let out = ma.vecmat(&v);
+                let out = match &ma {
+                    Matrix::Dense(d) => par::gevm(&v, d, self.node_degree(id)),
+                    _ => ma.vecmat(&v),
+                };
                 Ok(Val::Matrix(Matrix::Dense(Dense::column(&out))))
             }
             Op::SumSq(a) => {
@@ -530,7 +585,7 @@ impl<'g> Executor<'g> {
                     Val::Scalar(s) => Ok(Val::Scalar(s * s)),
                     Val::Matrix(Matrix::Dense(d)) => {
                         self.stats.flops += 2 * (d.rows() * d.cols()) as u64;
-                        Ok(Val::Scalar(ops::sum_sq(&d)))
+                        Ok(Val::Scalar(par::sum_sq(&d, self.node_degree(id))))
                     }
                     Val::Matrix(Matrix::Sparse(s)) => {
                         self.stats.flops += 2 * s.nnz() as u64;
@@ -851,6 +906,84 @@ mod tests {
         assert!(rep.duration("lang.exec.eval_wall").is_some());
         // A disabled recorder is a single branch.
         ex.record_stats(&dm_obs::NoopRecorder);
+    }
+
+    #[test]
+    fn parallel_plan_execution_bit_identical_to_serial() {
+        // 400x300 crossprod (7.2e7 flops) and X*B (400x300 * 300x400,
+        // 9.6e7 flops) both clear the parallel threshold.
+        let x = Dense::from_fn(400, 300, |r, c| ((r * 13 + c * 7) % 17) as f64 * 0.3 - 1.0);
+        let b = Dense::from_fn(300, 400, |r, c| ((r + c * 3) % 11) as f64 * 0.5 - 2.0);
+        let mut g = Graph::new();
+        let xi = g.input("X");
+        let bi = g.input("B");
+        let mm = g.matmul(xi, bi);
+        let cp = g.push(Op::CrossProd(xi));
+        let ss = g.push(Op::SumSq(xi));
+        let cs = g.agg(AggOp::ColSums, xi);
+        let all = {
+            let mmsum = g.agg(AggOp::Sum, mm);
+            let cssum = g.agg(AggOp::Sum, cs);
+            let cpsum = g.agg(AggOp::Sum, cp);
+            let a = g.ewise(EwiseOp::Add, mmsum, cssum);
+            let b2 = g.ewise(EwiseOp::Add, cpsum, ss);
+            g.ewise(EwiseOp::Add, a, b2)
+        };
+        let mut env = Env::new();
+        env.bind("X", Matrix::Dense(x));
+        env.bind("B", Matrix::Dense(b));
+        let mut sizes = InputSizes::new();
+        sizes.declare("X", 400, 300, 1.0);
+        sizes.declare("B", 300, 400, 1.0);
+
+        let mut serial = Executor::new(&g);
+        let expect = serial.eval(all, &env).unwrap();
+        let plan = crate::physical::plan_with_inputs_degree(&g, all, &sizes, 4).unwrap();
+        assert_eq!(plan.kernel(mm), Kernel::Parallel);
+        assert_eq!(plan.kernel(cp), Kernel::Parallel);
+        let mut par_ex = Executor::with_plan(&g, plan);
+        assert_eq!(par_ex.degree(), 4);
+        let got = par_ex.eval(all, &env).unwrap();
+        // Parallel kernels are bit-identical to serial, so Val equality is exact.
+        assert_eq!(got, expect);
+        assert!(par_ex.stats().par_nodes >= 2, "{:?}", par_ex.stats());
+        assert_eq!(serial.stats().par_nodes, 0);
+    }
+
+    #[test]
+    fn parallel_dispatch_recorded_in_stats_and_profile() {
+        use dm_obs::StatsRegistry;
+        let x = Dense::from_fn(400, 300, |r, c| ((r + c) % 5) as f64);
+        let mut g = Graph::new();
+        let xi = g.input("X");
+        let cp = g.push(Op::CrossProd(xi));
+        let mut env = Env::new();
+        env.bind("X", Matrix::Dense(x));
+        let mut sizes = InputSizes::new();
+        sizes.declare("X", 400, 300, 1.0);
+        let plan = crate::physical::plan_with_inputs_degree(&g, cp, &sizes, 2).unwrap();
+        let mut ex = Executor::with_plan(&g, plan).profiled();
+        ex.eval(cp, &env).unwrap();
+        assert_eq!(ex.profile().unwrap().node(cp).unwrap().kernel, Some(KernelChoice::Parallel));
+        let reg = StatsRegistry::new();
+        ex.record_stats(&reg);
+        let rep = reg.report();
+        assert_eq!(rep.counter("lang.exec.par_nodes"), Some(1));
+        assert_eq!(rep.gauge("lang.exec.par_degree").map(|(cur, _)| cur), Some(2));
+        assert!(rep.duration("lang.exec.kernel.parallel").is_some());
+    }
+
+    #[test]
+    fn with_degree_overrides_plan_degree() {
+        let g = {
+            let mut g = Graph::new();
+            g.input("X");
+            g
+        };
+        let ex = Executor::new(&g).with_degree(6);
+        assert_eq!(ex.degree(), 6);
+        let ex = Executor::new(&g).with_degree(0);
+        assert_eq!(ex.degree(), 1);
     }
 
     #[test]

@@ -2,9 +2,9 @@
 //! and a post-run runtime profile, modeled on the surveyed declarative ML
 //! systems' plan/statistics output.
 
-use crate::exec::ExecProfile;
+use crate::exec::{ExecProfile, KernelChoice};
 use crate::expr::{AggOp, EwiseOp, Graph, NodeId, Op, UnaryOp};
-use crate::physical::{plan, PhysicalPlan};
+use crate::physical::{plan, plan_with_degree, PhysicalPlan};
 use crate::size::{propagate, InputSizes, Shape, SizeInfo};
 use dm_obs::fmt_ns;
 use std::collections::{HashMap, HashSet};
@@ -133,6 +133,24 @@ pub fn explain_with(graph: &Graph, root: NodeId, inputs: &InputSizes) -> String 
     out
 }
 
+/// [`explain_with`], but planning at the given degree of parallelism: nodes
+/// whose estimated flops clear the parallel threshold are annotated
+/// `parallel` instead of `dense` (see
+/// [`plan_with_degree`](crate::physical::plan_with_degree)).
+pub fn explain_with_degree(
+    graph: &Graph,
+    root: NodeId,
+    inputs: &InputSizes,
+    degree: usize,
+) -> String {
+    let sizes = propagate(graph, root, inputs).ok();
+    let phys = sizes.as_ref().map(|s| plan_with_degree(graph, root, s, degree));
+    let mut out = String::new();
+    let mut seen = HashSet::new();
+    render_tree(graph, root, "", true, true, &mut seen, sizes.as_ref(), phys.as_ref(), &mut out);
+    out
+}
+
 /// Render a post-run `-stats`-style report from an execution profile: total
 /// wall time, the `top_k` heaviest operators by self time (with kernel choice
 /// and output shape), estimated-vs-actual sparsity drift beyond
@@ -205,6 +223,20 @@ pub fn profile_report(
         }
     }
 
+    // Multi-threaded dispatch summary.
+    let (par_evals, par_ns) = profile
+        .nodes()
+        .filter(|(_, n)| n.kernel == Some(KernelChoice::Parallel))
+        .fold((0u64, 0u64), |(e, t), (_, n)| (e + n.evals, t + n.self_ns));
+    if par_evals > 0 {
+        let pct = if total_ns == 0 { 0.0 } else { 100.0 * par_ns as f64 / total_ns as f64 };
+        let _ = writeln!(
+            out,
+            "parallel kernels: {par_evals} evals, {} self time ({pct:.1}%)",
+            fmt_ns(par_ns)
+        );
+    }
+
     let evals: u64 = profile.nodes().map(|(_, n)| n.evals).sum();
     let hits: u64 = profile.nodes().map(|(_, n)| n.memo_hits).sum();
     let _ = writeln!(out, "memoization: {evals} node evals, {hits} memo hits");
@@ -264,6 +296,34 @@ mod tests {
     `-- %0 input X  [1000x20, sp 1.00, dense]
 ";
         assert_eq!(explain_with(&og, root, &sizes), expected);
+    }
+
+    #[test]
+    fn explain_with_degree_annotates_parallel_kernels() {
+        let (g, s) = glm_graph();
+        let mut sizes = InputSizes::new();
+        sizes.declare("X", 100_000, 200, 1.0);
+        let (og, root, _) = optimize(&g, s, &sizes).unwrap();
+        let txt = explain_with_degree(&og, root, &sizes, 4);
+        assert!(txt.contains("parallel"), "{txt}");
+        // Degree 1 renders exactly what explain_with renders.
+        assert_eq!(explain_with_degree(&og, root, &sizes, 1), explain_with(&og, root, &sizes));
+    }
+
+    #[test]
+    fn profile_report_summarizes_parallel_kernels() {
+        let (g, s) = glm_graph();
+        let mut sizes = InputSizes::new();
+        sizes.declare("X", 400, 300, 1.0);
+        let mut env = Env::new();
+        env.bind("X", Matrix::Dense(Dense::from_fn(400, 300, |r, c| ((r + c) % 7) as f64)));
+        let (og, root, _) = optimize(&g, s, &sizes).unwrap();
+        let plan = crate::physical::plan_with_inputs_degree(&og, root, &sizes, 2).unwrap();
+        let mut ex = Executor::with_plan(&og, plan).profiled();
+        ex.eval(root, &env).unwrap();
+        let txt = profile_report(&og, root, ex.profile().unwrap(), &sizes, 5);
+        assert!(txt.contains("parallel kernels: 1 evals"), "{txt}");
+        assert!(txt.contains("kernel parallel"), "{txt}");
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use analyze::{
     Severity,
 };
 pub use exec::{Env, ExecError, ExecProfile, Executor, KernelChoice, NodeStats, Val};
-pub use explain::{explain, explain_with, profile_report};
+pub use explain::{explain, explain_with, explain_with_degree, profile_report};
 pub use expr::{AggOp, EwiseOp, Graph, NodeId, Op, UnaryOp};
 pub use rewrite::{estimated_cost, optimize, optimize_traced, RewriteStats, RewriteTrace};
 pub use size::{Shape, SizeInfo};

@@ -18,6 +18,10 @@ pub enum Kernel {
     Sparse,
     /// Scalar computation (constants, folded aggregates).
     Scalar,
+    /// Multi-threaded dense kernel (`dm_matrix::par`), chosen when the
+    /// estimated flop count clears [`PAR_FLOP_THRESHOLD`] and the plan was
+    /// built with a degree above one.
+    Parallel,
 }
 
 impl fmt::Display for Kernel {
@@ -26,6 +30,7 @@ impl fmt::Display for Kernel {
             Kernel::Dense => "dense",
             Kernel::Sparse => "sparse",
             Kernel::Scalar => "scalar",
+            Kernel::Parallel => "parallel",
         })
     }
 }
@@ -34,6 +39,7 @@ impl fmt::Display for Kernel {
 #[derive(Debug, Clone, Default)]
 pub struct PhysicalPlan {
     kernels: HashMap<NodeId, Kernel>,
+    degree: usize,
 }
 
 impl PhysicalPlan {
@@ -41,6 +47,13 @@ impl PhysicalPlan {
     /// never saw — e.g. when sizes were unavailable).
     pub fn kernel(&self, id: NodeId) -> Kernel {
         self.kernels.get(&id).copied().unwrap_or(Kernel::Dense)
+    }
+
+    /// Degree of parallelism the plan was built for (at least 1). Plans from
+    /// [`plan`] are serial; [`plan_with_degree`] records its degree here so
+    /// the executor dispatches [`Kernel::Parallel`] nodes accordingly.
+    pub fn degree(&self) -> usize {
+        self.degree.max(1)
     }
 
     /// Number of planned nodes.
@@ -82,7 +95,7 @@ pub fn plan(graph: &Graph, root: NodeId, sizes: &HashMap<NodeId, SizeInfo>) -> P
         };
         kernels.insert(id, k);
     }
-    PhysicalPlan { kernels }
+    PhysicalPlan { kernels, degree: 1 }
 }
 
 fn sparsity_kernel(info: Option<&SizeInfo>) -> Kernel {
@@ -93,6 +106,96 @@ fn sparsity_kernel(info: Option<&SizeInfo>) -> Kernel {
     }
 }
 
+/// Estimated flops below which serial dense kernels beat the multi-threaded
+/// ones: at ~1 Gflop/s-per-core effective throughput, 16M flops is in the
+/// tens of milliseconds — comfortably above the scoped-pool spawn + partition
+/// overhead — while everything the small-input benchmarks (E5) execute stays
+/// far below it.
+pub const PAR_FLOP_THRESHOLD: u128 = 16_000_000;
+
+/// Estimated flops executed by a single node given propagated sizes — the
+/// per-node term of [`estimated_cost`](crate::rewrite::estimated_cost), also
+/// used by [`plan_with_degree`] to decide serial vs. parallel dispatch.
+/// Nodes with no size information estimate 0.
+pub fn node_flops(graph: &Graph, id: NodeId, infos: &HashMap<NodeId, SizeInfo>) -> u128 {
+    use crate::size::Shape;
+    let nnz = |id: NodeId| -> u128 {
+        match infos.get(&id) {
+            Some(info) => match info.shape {
+                Shape::Scalar => 1,
+                Shape::Matrix { rows, cols } => {
+                    ((rows as f64) * (cols as f64) * info.sparsity).ceil() as u128
+                }
+            },
+            None => 0,
+        }
+    };
+    let cells = |id: NodeId| -> u128 {
+        match infos.get(&id) {
+            Some(info) => match info.shape {
+                Shape::Scalar => 1,
+                Shape::Matrix { rows, cols } => (rows as u128) * (cols as u128),
+            },
+            None => 0,
+        }
+    };
+    match graph.op(id) {
+        Op::Input(_) | Op::Const(_) => 0,
+        Op::Transpose(a) => nnz(*a),
+        Op::MatMul(a, b) => {
+            let b_cols = infos.get(b).map_or(0, |i| i.shape.cols()) as u128;
+            2 * nnz(*a) * b_cols
+        }
+        Op::Ewise(_, _, _) => cells(id),
+        Op::Unary(_, a) | Op::Agg(_, a) => nnz(*a),
+        Op::CrossProd(a) => {
+            let a_cols = infos.get(a).map_or(0, |i| i.shape.cols()) as u128;
+            2 * nnz(*a) * a_cols
+        }
+        Op::Tmv(a, _) | Op::SumSq(a) => 2 * nnz(*a),
+    }
+}
+
+/// True for ops with a multi-threaded dense kernel in `dm_matrix::par`.
+fn parallelizable(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::MatMul(..)
+            | Op::CrossProd(_)
+            | Op::Tmv(..)
+            | Op::SumSq(_)
+            | Op::Agg(crate::expr::AggOp::ColSums, _)
+    )
+}
+
+/// [`plan`], then upgrade dense nodes to [`Kernel::Parallel`] where a
+/// multi-threaded kernel exists and the estimated flop count clears
+/// [`PAR_FLOP_THRESHOLD`]. Sparse and scalar choices are never upgraded
+/// (the sparse kernels have no parallel implementation), and a degree of
+/// one returns the serial plan unchanged — so small inputs keep the exact
+/// serial dispatch and cost profile.
+pub fn plan_with_degree(
+    graph: &Graph,
+    root: NodeId,
+    sizes: &HashMap<NodeId, SizeInfo>,
+    degree: usize,
+) -> PhysicalPlan {
+    let mut p = plan(graph, root, sizes);
+    p.degree = degree.max(1);
+    if p.degree == 1 {
+        return p;
+    }
+    for id in graph.reachable(root) {
+        if p.kernel(id) == Kernel::Dense
+            && parallelizable(graph.op(id))
+            && node_flops(graph, id, sizes) >= PAR_FLOP_THRESHOLD
+        {
+            p.kernels.insert(id, Kernel::Parallel);
+        }
+    }
+    p
+}
+
 /// Convenience: propagate sizes then plan.
 pub fn plan_with_inputs(
     graph: &Graph,
@@ -101,6 +204,30 @@ pub fn plan_with_inputs(
 ) -> Result<PhysicalPlan, crate::size::SizeError> {
     let sizes = crate::size::propagate(graph, root, inputs)?;
     Ok(plan(graph, root, &sizes))
+}
+
+/// Convenience: propagate sizes then [`plan_with_degree`]. Pass
+/// [`dm_par::default_degree`] to honor `DMML_THREADS` / the machine's core
+/// count.
+pub fn plan_with_inputs_degree(
+    graph: &Graph,
+    root: NodeId,
+    inputs: &InputSizes,
+    degree: usize,
+) -> Result<PhysicalPlan, crate::size::SizeError> {
+    let sizes = crate::size::propagate(graph, root, inputs)?;
+    Ok(plan_with_degree(graph, root, &sizes, degree))
+}
+
+/// [`plan_with_inputs_degree`] at the machine default degree: `DMML_THREADS`
+/// when set, otherwise the available core count (see
+/// [`dm_par::default_degree`]).
+pub fn plan_with_inputs_auto(
+    graph: &Graph,
+    root: NodeId,
+    inputs: &InputSizes,
+) -> Result<PhysicalPlan, crate::size::SizeError> {
+    plan_with_inputs_degree(graph, root, inputs, dm_par::default_degree())
 }
 
 #[cfg(test)]
@@ -176,5 +303,73 @@ mod tests {
         let p = PhysicalPlan::default();
         assert_eq!(p.kernel(42), Kernel::Dense);
         assert!(p.is_empty());
+        assert_eq!(p.degree(), 1);
+    }
+
+    #[test]
+    fn large_dense_ops_upgrade_to_parallel() {
+        // crossprod on 100_000 x 200 dense: 2 * 2e7 * 200 = 8e9 flops, far
+        // above the threshold.
+        let mut s = InputSizes::new();
+        s.declare("X", 100_000, 200, 1.0);
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let cp = g.push(crate::expr::Op::CrossProd(x));
+        let p = plan_with_inputs_degree(&g, cp, &s, 4).unwrap();
+        assert_eq!(p.kernel(cp), Kernel::Parallel);
+        assert_eq!(p.degree(), 4);
+        // Inputs are not compute nodes; they stay dense.
+        assert_eq!(p.kernel(x), Kernel::Dense);
+    }
+
+    #[test]
+    fn small_dense_ops_stay_serial_at_any_degree() {
+        // The E5 shape: 1000 x 20 crossprod is 8e5 flops, below threshold.
+        let mut s = InputSizes::new();
+        s.declare("X", 1000, 20, 1.0);
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let cp = g.push(crate::expr::Op::CrossProd(x));
+        let p = plan_with_inputs_degree(&g, cp, &s, 8).unwrap();
+        assert_eq!(p.kernel(cp), Kernel::Dense);
+    }
+
+    #[test]
+    fn sparse_choices_never_upgrade() {
+        let mut s = InputSizes::new();
+        s.declare("S", 1_000_000, 500, 0.01); // sparse but huge
+        let mut g = Graph::new();
+        let x = g.input("S");
+        let cp = g.push(crate::expr::Op::CrossProd(x));
+        let p = plan_with_inputs_degree(&g, cp, &s, 8).unwrap();
+        assert_eq!(p.kernel(cp), Kernel::Sparse);
+    }
+
+    #[test]
+    fn degree_one_plan_is_the_serial_plan() {
+        let mut s = InputSizes::new();
+        s.declare("X", 100_000, 200, 1.0);
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let cp = g.push(crate::expr::Op::CrossProd(x));
+        let p = plan_with_inputs_degree(&g, cp, &s, 1).unwrap();
+        assert_eq!(p.kernel(cp), Kernel::Dense);
+        assert_eq!(p.degree(), 1);
+    }
+
+    #[test]
+    fn node_flops_matches_estimated_cost_total() {
+        let mut s = InputSizes::new();
+        s.declare("X", 500, 40, 0.8);
+        s.declare("v", 40, 1, 1.0);
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let v = g.input("v");
+        let mm = g.matmul(x, v);
+        let sum = g.agg(crate::expr::AggOp::Sum, mm);
+        let infos = crate::size::propagate(&g, sum, &s).unwrap();
+        let per_node: u128 =
+            g.reachable(sum).into_iter().map(|id| node_flops(&g, id, &infos)).sum();
+        assert_eq!(per_node, crate::rewrite::estimated_cost(&g, sum, &s).unwrap());
     }
 }

@@ -261,40 +261,11 @@ pub fn optimize(
 /// rewrite bought.
 pub fn estimated_cost(graph: &Graph, root: NodeId, sizes: &InputSizes) -> Result<u128, SizeError> {
     let infos = propagate(graph, root, sizes)?;
-    // Estimated stored entries of a node's output (nnz for matrices, 1 for
-    // scalars), the unit the per-op costs below are built from.
-    let nnz = |id: NodeId| -> u128 {
-        let info = &infos[&id];
-        match info.shape {
-            Shape::Scalar => 1,
-            Shape::Matrix { rows, cols } => {
-                ((rows as f64) * (cols as f64) * info.sparsity).ceil() as u128
-            }
-        }
-    };
-    let cells = |id: NodeId| -> u128 {
-        match infos[&id].shape {
-            Shape::Scalar => 1,
-            Shape::Matrix { rows, cols } => (rows as u128) * (cols as u128),
-        }
-    };
+    // Per-node flop estimates live in `physical::node_flops` so the physical
+    // planner's serial-vs-parallel threshold uses the same cost model.
     let mut total: u128 = 0;
     for id in graph.reachable(root) {
-        total += match graph.op(id) {
-            Op::Input(_) | Op::Const(_) => 0,
-            Op::Transpose(a) => nnz(*a),
-            Op::MatMul(a, b) => {
-                let b_cols = infos[b].shape.cols() as u128;
-                2 * nnz(*a) * b_cols
-            }
-            Op::Ewise(_, _, _) => cells(id),
-            Op::Unary(_, a) | Op::Agg(_, a) => nnz(*a),
-            Op::CrossProd(a) => {
-                let a_cols = infos[a].shape.cols() as u128;
-                2 * nnz(*a) * a_cols
-            }
-            Op::Tmv(a, _) | Op::SumSq(a) => 2 * nnz(*a),
-        };
+        total += crate::physical::node_flops(graph, id, &infos);
     }
     Ok(total)
 }

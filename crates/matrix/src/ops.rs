@@ -29,82 +29,24 @@ pub fn gemv(m: &Dense, v: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if `v.len() != m.rows()`.
 pub fn gevm(v: &[f64], m: &Dense) -> Vec<f64> {
-    assert_eq!(
-        v.len(),
-        m.rows(),
-        "gevm dimension mismatch: vector {} vs rows {}",
-        v.len(),
-        m.rows()
-    );
-    let mut out = vec![0.0; m.cols()];
-    for (r, &s) in v.iter().enumerate() {
-        if s == 0.0 {
-            continue;
-        }
-        for (o, &x) in out.iter_mut().zip(m.row(r)) {
-            *o += s * x;
-        }
-    }
-    out
+    crate::par::gevm(v, m, 1)
 }
 
-/// Matrix-matrix product `a * b` using an ikj loop order (cache-friendly).
+/// Matrix-matrix product `a * b` via the cache-blocked tile kernel shared
+/// with the row-partitioned parallel kernel ([`crate::par::gemm`]); the
+/// serial product is the degree-1 instance of the same computation.
 ///
 /// # Panics
 /// Panics if `a.cols() != b.rows()`.
 pub fn gemm(a: &Dense, b: &Dense) -> Dense {
-    assert_eq!(
-        a.cols(),
-        b.rows(),
-        "gemm dimension mismatch: {}x{} * {}x{}",
-        a.rows(),
-        a.cols(),
-        b.rows(),
-        b.cols()
-    );
-    let mut out = Dense::zeros(a.rows(), b.cols());
-    for i in 0..a.rows() {
-        let arow = a.row(i);
-        // Split the borrow: we mutate only row i of out.
-        let orow = out.row_mut(i);
-        for (k, &aik) in arow.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = b.row(k);
-            for (o, &bkj) in orow.iter_mut().zip(brow) {
-                *o += aik * bkj;
-            }
-        }
-    }
-    out
+    crate::par::gemm(a, b, 1)
 }
 
-/// Self-transpose product `m^T * m` exploiting symmetry (SystemML `t(X)%*%X` fused op).
+/// Self-transpose product `m^T * m` exploiting symmetry (SystemML `t(X)%*%X`
+/// fused op). Executes the fixed-block reduction of [`crate::par::crossprod`]
+/// at degree 1, so parallel runs reproduce these exact bits.
 pub fn crossprod(m: &Dense) -> Dense {
-    let d = m.cols();
-    let mut out = Dense::zeros(d, d);
-    for r in 0..m.rows() {
-        let row = m.row(r);
-        for (i, &vi) in row.iter().enumerate() {
-            if vi == 0.0 {
-                continue;
-            }
-            // Upper triangle only.
-            let orow = &mut out.data_mut()[i * d..(i + 1) * d];
-            for (j, &vj) in row.iter().enumerate().skip(i) {
-                orow[j] += vi * vj;
-            }
-        }
-    }
-    // Mirror to the lower triangle.
-    for i in 0..d {
-        for j in (i + 1)..d {
-            let v = out.get(i, j);
-            out.set(j, i, v);
-        }
-    }
-    out
+    crate::par::crossprod(m, 1)
 }
 
 /// Transpose-matrix-vector `m^T * v` without materializing the transpose
@@ -191,20 +133,16 @@ pub fn sum(a: &Dense) -> f64 {
     a.data().iter().sum()
 }
 
-/// Sum of squares of all elements (SystemML fused `sum(X^2)`).
+/// Sum of squares of all elements (SystemML fused `sum(X^2)`), as the
+/// degree-1 instance of the fixed-block reduction in [`crate::par::sum_sq`].
 pub fn sum_sq(a: &Dense) -> f64 {
-    a.data().iter().map(|v| v * v).sum()
+    crate::par::sum_sq(a, 1)
 }
 
-/// Column sums (length `cols`).
+/// Column sums (length `cols`), as the degree-1 instance of the fixed-block
+/// reduction in [`crate::par::col_sums`].
 pub fn col_sums(a: &Dense) -> Vec<f64> {
-    let mut out = vec![0.0; a.cols()];
-    for r in 0..a.rows() {
-        for (o, &v) in out.iter_mut().zip(a.row(r)) {
-            *o += v;
-        }
-    }
-    out
+    crate::par::col_sums(a, 1)
 }
 
 /// Row sums (length `rows`).

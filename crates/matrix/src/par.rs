@@ -1,0 +1,303 @@
+//! Multi-threaded dense kernels: row-partitioned products and fixed-block
+//! reductions over the `dm-par` scoped pool.
+//!
+//! Every kernel here is **bit-identical to its serial counterpart in
+//! [`crate::ops`] at every degree**, by one of two constructions:
+//!
+//! * *Row-partitioned* kernels ([`gemv`], [`gemm`]) assign disjoint output
+//!   rows to workers; each output element is computed by exactly the code the
+//!   serial kernel runs, so no floating-point operation is reordered.
+//! * *Reduction* kernels ([`gevm`], [`col_sums`], [`sum_sq`], [`crossprod`])
+//!   decompose into fixed-size blocks ([`ROW_BLOCK`] rows / [`ELEM_BLOCK`]
+//!   elements — never a function of the degree) and fold partials in block
+//!   order. The serial versions in `ops` execute the *same* decomposition at
+//!   degree 1, so the fold tree — and therefore every result bit — matches.
+
+use crate::dense::Dense;
+use crate::ops::dot;
+use dm_par::{for_each_slice_mut, reduce_blocks};
+use std::ops::Range;
+
+/// Fixed row-block size for reduction kernels (column sums, crossprod, gevm).
+///
+/// Block boundaries must not depend on the degree of parallelism, or
+/// reductions would associate differently per degree and results would drift
+/// bitwise. 1024 rows keeps per-block partials comfortably inside L1/L2
+/// while bounding the partial count for any realistic input.
+pub const ROW_BLOCK: usize = 1024;
+
+/// Fixed element-block size for flat reductions (sum of squares).
+pub const ELEM_BLOCK: usize = 16 * 1024;
+
+/// Cache tile width (columns of `B` / the output) for the blocked gemm
+/// micro-kernel.
+const TILE_J: usize = 128;
+
+/// Cache tile depth (rows of `B` / the inner dimension) for the blocked gemm
+/// micro-kernel. A `TILE_K x TILE_J` panel of `B` (128 KiB) is reused across
+/// every output row a worker owns.
+const TILE_K: usize = 128;
+
+/// The cache-blocked gemm tile: computes rows `rows` of `a * b` into `out`
+/// (a buffer of exactly `rows.len() * b.cols()` elements, assumed zeroed).
+///
+/// Loop order is `jb -> kb -> i -> k -> j`: for each output column tile, a
+/// `TILE_K x TILE_J` panel of `b` stays hot while every owned row streams
+/// through it. For any fixed output element the `k` accumulation order is
+/// still strictly increasing, so the result is bit-identical to the naive
+/// `ikj` kernel.
+pub(crate) fn gemm_rows(a: &Dense, b: &Dense, out: &mut [f64], rows: Range<usize>) {
+    let k_dim = a.cols();
+    let n_cols = b.cols();
+    debug_assert_eq!(out.len(), rows.len() * n_cols);
+    for j0 in (0..n_cols).step_by(TILE_J) {
+        let j1 = (j0 + TILE_J).min(n_cols);
+        for k0 in (0..k_dim).step_by(TILE_K) {
+            let k1 = (k0 + TILE_K).min(k_dim);
+            for (oi, i) in rows.clone().enumerate() {
+                let arow = &a.row(i)[k0..k1];
+                let orow = &mut out[oi * n_cols + j0..oi * n_cols + j1];
+                for (kk, &aik) in arow.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &b.row(k0 + kk)[j0..j1];
+                    for (o, &bkj) in orow.iter_mut().zip(brow) {
+                        *o += aik * bkj;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Row-partitioned matrix-vector product `m * v` at the given degree.
+///
+/// # Panics
+/// Panics if `v.len() != m.cols()`.
+pub fn gemv(m: &Dense, v: &[f64], degree: usize) -> Vec<f64> {
+    assert_eq!(
+        v.len(),
+        m.cols(),
+        "gemv dimension mismatch: vector {} vs cols {}",
+        v.len(),
+        m.cols()
+    );
+    let mut out = vec![0.0; m.rows()];
+    for_each_slice_mut(&mut out, 1, degree, |rows, chunk| {
+        for (o, r) in chunk.iter_mut().zip(rows) {
+            *o = dot(m.row(r), v);
+        }
+    });
+    out
+}
+
+/// Row-partitioned matrix-matrix product `a * b` at the given degree, with
+/// the cache-blocked tile of [`gemm_rows`] as the per-worker inner kernel.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn gemm(a: &Dense, b: &Dense, degree: usize) -> Dense {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm dimension mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut out = Dense::zeros(a.rows(), b.cols());
+    let n_cols = b.cols();
+    if a.rows() == 0 || n_cols == 0 {
+        return out;
+    }
+    for_each_slice_mut(out.data_mut(), n_cols, degree, |rows, chunk| {
+        gemm_rows(a, b, chunk, rows);
+    });
+    out
+}
+
+/// Vector-matrix product `v^T * m` as a fixed-block row reduction.
+///
+/// # Panics
+/// Panics if `v.len() != m.rows()`.
+pub fn gevm(v: &[f64], m: &Dense, degree: usize) -> Vec<f64> {
+    assert_eq!(
+        v.len(),
+        m.rows(),
+        "gevm dimension mismatch: vector {} vs rows {}",
+        v.len(),
+        m.rows()
+    );
+    reduce_blocks(
+        m.rows(),
+        ROW_BLOCK,
+        degree,
+        |rows| {
+            let mut part = vec![0.0; m.cols()];
+            for r in rows {
+                let s = v[r];
+                if s == 0.0 {
+                    continue;
+                }
+                for (o, &x) in part.iter_mut().zip(m.row(r)) {
+                    *o += s * x;
+                }
+            }
+            part
+        },
+        add_assign_vec,
+    )
+    .unwrap_or_else(|| vec![0.0; m.cols()])
+}
+
+/// Column sums as a fixed-block row reduction.
+pub fn col_sums(a: &Dense, degree: usize) -> Vec<f64> {
+    reduce_blocks(
+        a.rows(),
+        ROW_BLOCK,
+        degree,
+        |rows| {
+            let mut part = vec![0.0; a.cols()];
+            for r in rows {
+                for (o, &v) in part.iter_mut().zip(a.row(r)) {
+                    *o += v;
+                }
+            }
+            part
+        },
+        add_assign_vec,
+    )
+    .unwrap_or_else(|| vec![0.0; a.cols()])
+}
+
+/// Sum of squares as a fixed-block flat reduction.
+pub fn sum_sq(a: &Dense, degree: usize) -> f64 {
+    let data = a.data();
+    reduce_blocks(
+        data.len(),
+        ELEM_BLOCK,
+        degree,
+        |r| data[r].iter().map(|v| v * v).sum::<f64>(),
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
+}
+
+/// Self-transpose product `m^T * m` as a fixed-block row reduction over
+/// per-block upper-triangular partials, mirrored once at the end.
+pub fn crossprod(m: &Dense, degree: usize) -> Dense {
+    let d = m.cols();
+    let mut out = reduce_blocks(
+        m.rows(),
+        ROW_BLOCK,
+        degree,
+        |rows| {
+            let mut part = Dense::zeros(d, d);
+            for r in rows {
+                let row = m.row(r);
+                for (i, &vi) in row.iter().enumerate() {
+                    if vi == 0.0 {
+                        continue;
+                    }
+                    let prow = &mut part.data_mut()[i * d..(i + 1) * d];
+                    for (j, &vj) in row.iter().enumerate().skip(i) {
+                        prow[j] += vi * vj;
+                    }
+                }
+            }
+            part
+        },
+        |mut acc, part| {
+            for (o, &p) in acc.data_mut().iter_mut().zip(part.data()) {
+                *o += p;
+            }
+            acc
+        },
+    )
+    .unwrap_or_else(|| Dense::zeros(d, d));
+    // Mirror to the lower triangle.
+    for i in 0..d {
+        for j in (i + 1)..d {
+            let v = out.get(i, j);
+            out.set(j, i, v);
+        }
+    }
+    out
+}
+
+fn add_assign_vec(mut acc: Vec<f64>, part: Vec<f64>) -> Vec<f64> {
+    for (o, p) in acc.iter_mut().zip(part) {
+        *o += p;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    fn big(rows: usize, cols: usize) -> Dense {
+        Dense::from_fn(rows, cols, |r, c| ((r * 31 + c * 17) % 23) as f64 * 0.37 - 3.0)
+    }
+
+    const DEGREES: [usize; 4] = [1, 2, 3, 8];
+
+    #[test]
+    fn gemv_bit_identical_to_serial() {
+        let m = big(1500, 9);
+        let v: Vec<f64> = (0..9).map(|i| (i as f64) * 0.21 - 1.0).collect();
+        let serial = ops::gemv(&m, &v);
+        for deg in DEGREES {
+            assert_eq!(gemv(&m, &v, deg), serial, "degree {deg}");
+        }
+    }
+
+    #[test]
+    fn gemm_bit_identical_to_serial() {
+        let a = big(300, 150);
+        let b = big(150, 170);
+        let serial = ops::gemm(&a, &b);
+        for deg in DEGREES {
+            assert_eq!(gemm(&a, &b, deg), serial, "degree {deg}");
+        }
+    }
+
+    #[test]
+    fn reductions_bit_identical_to_serial() {
+        let m = big(3000, 7);
+        let v: Vec<f64> = (0..3000).map(|i| ((i % 29) as f64) * 0.11 - 1.5).collect();
+        for deg in DEGREES {
+            assert_eq!(col_sums(&m, deg), ops::col_sums(&m), "col_sums degree {deg}");
+            assert_eq!(sum_sq(&m, deg).to_bits(), ops::sum_sq(&m).to_bits(), "sum_sq {deg}");
+            assert_eq!(gevm(&v, &m, deg), ops::gevm(&v, &m), "gevm degree {deg}");
+            assert_eq!(crossprod(&m, deg), ops::crossprod(&m), "crossprod degree {deg}");
+        }
+    }
+
+    #[test]
+    fn edge_shapes() {
+        for (r, c) in [(0usize, 3usize), (1, 3), (3, 1), (0, 0), (1, 1)] {
+            let m = big(r, c);
+            let v = vec![0.5; c];
+            let u = vec![0.25; r];
+            for deg in DEGREES {
+                assert_eq!(gemv(&m, &v, deg), ops::gemv(&m, &v), "{r}x{c} deg {deg}");
+                assert_eq!(gevm(&u, &m, deg), ops::gevm(&u, &m), "{r}x{c} deg {deg}");
+                assert_eq!(col_sums(&m, deg), ops::col_sums(&m), "{r}x{c} deg {deg}");
+                assert_eq!(sum_sq(&m, deg), ops::sum_sq(&m), "{r}x{c} deg {deg}");
+                assert_eq!(crossprod(&m, deg), ops::crossprod(&m), "{r}x{c} deg {deg}");
+                let b = big(c, 2);
+                assert_eq!(gemm(&m, &b, deg), ops::gemm(&m, &b), "{r}x{c} deg {deg}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm dimension mismatch")]
+    fn gemm_shape_panics() {
+        gemm(&big(2, 3), &big(2, 3), 2);
+    }
+}

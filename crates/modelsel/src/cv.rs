@@ -55,6 +55,38 @@ pub fn cross_validate(
     Ok(CvResult { fold_scores })
 }
 
+/// [`cross_validate`] with folds trained concurrently on the `dm-par` scoped
+/// pool: one task per fold, scores collected in fold order, so the result is
+/// identical to the serial run (folds are independent by construction).
+///
+/// The fit/score closure must be `Fn + Sync` — it is shared read-only across
+/// workers, unlike the serial API's `FnMut`.
+///
+/// # Errors
+/// Propagates [`PipelineError::BadParam`] from fold construction.
+pub fn cross_validate_par(
+    x: &Dense,
+    y: &[f64],
+    k: usize,
+    seed: u64,
+    degree: usize,
+    fit_score: impl Fn(&Dense, &[f64], &Dense, &[f64]) -> f64 + Sync,
+) -> Result<CvResult, PipelineError> {
+    if x.rows() != y.len() {
+        return Err(PipelineError::Shape(format!("{} rows vs {} labels", x.rows(), y.len())));
+    }
+    let folds = k_fold(x.rows(), k, seed)?;
+    let fold_scores = dm_par::map_collect(folds.len(), degree, |i| {
+        let f = &folds[i];
+        let x_train = x.select_rows(&f.train);
+        let y_train: Vec<f64> = f.train.iter().map(|&i| y[i]).collect();
+        let x_val = x.select_rows(&f.test);
+        let y_val: Vec<f64> = f.test.iter().map(|&i| y[i]).collect();
+        fit_score(&x_train, &y_train, &x_val, &y_val)
+    });
+    Ok(CvResult { fold_scores })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +134,27 @@ mod tests {
         })
         .unwrap();
         assert_eq!(val_rows_total, 60);
+    }
+
+    #[test]
+    fn cv_par_matches_serial_at_every_degree() {
+        let (x, y) = data();
+        let score = |xt: &Dense, yt: &[f64], xv: &Dense, yv: &[f64]| {
+            let m = LinearRegression::fit(xt, yt, Solver::NormalEquations, 0.1).unwrap();
+            -m.mse(xv, yv)
+        };
+        let serial = cross_validate(&x, &y, 5, 42, score).unwrap();
+        for degree in [1, 2, 3, 8] {
+            let par = cross_validate_par(&x, &y, 5, 42, degree, score).unwrap();
+            assert_eq!(par, serial, "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn cv_par_validation_errors() {
+        let (x, y) = data();
+        assert!(cross_validate_par(&x, &y[..10], 5, 0, 2, |_, _, _, _| 0.0).is_err());
+        assert!(cross_validate_par(&x, &y, 1, 0, 2, |_, _, _, _| 0.0).is_err());
     }
 
     #[test]

@@ -180,6 +180,29 @@ pub fn grid_search(space: &ParamSpace, trainer: impl Fn(&Params, f64) -> f64) ->
     finish(evals)
 }
 
+/// [`grid_search`] with configurations trained concurrently on the `dm-par`
+/// scoped pool: one task per configuration, results collected in enumeration
+/// order so the evaluation history — and tie-breaks in [`finish`] — match the
+/// serial search exactly.
+///
+/// The trainer must be `Sync` (shared read-only across workers); wrap shared
+/// mutable state (e.g. a [`SearchTrace`](crate::trace::SearchTrace)) in its
+/// own lock, as `SearchTrace::wrap` already does.
+pub fn grid_search_par(
+    space: &ParamSpace,
+    degree: usize,
+    trainer: impl Fn(&Params, f64) -> f64 + Sync,
+) -> SearchResult {
+    let configs = space.enumerate_grid();
+    assert!(!configs.is_empty(), "grid search over an empty space");
+    let evals = dm_par::map_collect(configs.len(), degree, |i| {
+        let p = configs[i].clone();
+        let score = trainer(&p, 1.0);
+        Evaluation { params: p, score, budget: 1.0 }
+    });
+    finish(evals)
+}
+
 /// Random search: `n` full-budget samples.
 pub fn random_search(
     space: &ParamSpace,
@@ -277,6 +300,32 @@ mod tests {
         assert_eq!(r.best_params.get("lr"), 0.1);
         assert_eq!(r.best_params.get("l2"), 0.1);
         assert!((r.total_budget - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_search_par_matches_serial_at_every_degree() {
+        let serial = grid_search(&space(), objective);
+        for degree in [1, 2, 3, 8] {
+            let par = grid_search_par(&space(), degree, objective);
+            assert_eq!(par.best_params, serial.best_params, "degree {degree}");
+            assert_eq!(par.best_score, serial.best_score, "degree {degree}");
+            assert_eq!(par.evaluations, serial.evaluations, "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn grid_search_par_composes_with_trace() {
+        let trace = crate::trace::SearchTrace::new();
+        let r = grid_search_par(&space(), 4, trace.wrap(objective));
+        assert_eq!(trace.len(), r.evaluations.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "grid search over an empty space")]
+    fn grid_search_par_empty_space_panics() {
+        // An empty ParamSpace enumerates one empty Params; a grid dimension
+        // with no values enumerates zero.
+        grid_search_par(&ParamSpace::new().grid("x", &[]), 2, |_, _| 0.0);
     }
 
     #[test]

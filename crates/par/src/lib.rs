@@ -1,0 +1,32 @@
+//! # dm-par
+//!
+//! The workspace's multi-threaded execution substrate: a *scoped* worker pool
+//! over [`std::thread::scope`] (no crates.io dependencies, matching the
+//! offline build environment) with the two primitives every parallel kernel
+//! in the workspace is built from:
+//!
+//! * [`parallel_for`] / [`for_each_slice_mut`] — partition an index range (or
+//!   a mutable output buffer) into contiguous per-worker chunks. Used by the
+//!   row-partitioned dense kernels, where output elements are disjoint and
+//!   each element is computed exactly as the serial kernel would, so parallel
+//!   results are bit-identical to serial by construction.
+//! * [`map_collect`] / [`reduce_blocks`] — evaluate independent tasks and
+//!   combine their results **in task order**. Reductions over floating-point
+//!   data are not associative, so kernels that reduce (column sums, sum of
+//!   squares, crossprod) decompose into *fixed-size* blocks whose boundaries
+//!   never depend on the degree of parallelism; partial results are folded
+//!   left-to-right in block order. A serial caller (`degree == 1`) walks the
+//!   same blocks in the same order, which is what makes parallel and serial
+//!   results bit-identical at every degree.
+//!
+//! The default degree of parallelism comes from the `DMML_THREADS`
+//! environment variable when set (clamped to at least 1), otherwise from
+//! [`std::thread::available_parallelism`]. All primitives also accept an
+//! explicit degree so planners and benchmarks can pin it.
+
+pub mod pool;
+
+pub use pool::{
+    default_degree, for_each_slice_mut, map_collect, parallel_for, reduce_blocks, split_ranges,
+    THREADS_ENV,
+};

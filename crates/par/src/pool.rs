@@ -1,0 +1,297 @@
+//! Scoped worker pool primitives over [`std::thread::scope`].
+//!
+//! Every helper takes an explicit `degree` (number of workers). Workers are
+//! scoped: they borrow from the caller's stack and are joined before the
+//! primitive returns, so no `'static` bounds or channels are needed. The
+//! caller's own thread always executes the first chunk, which means
+//! `degree <= 1` (and tiny inputs) never spawn at all — the serial fallback
+//! is the same code path minus the spawns.
+
+use std::ops::Range;
+use std::thread;
+
+/// Environment variable controlling the default degree of parallelism.
+pub const THREADS_ENV: &str = "DMML_THREADS";
+
+/// The workspace-wide default degree of parallelism: `DMML_THREADS` when set
+/// to a positive integer, otherwise [`std::thread::available_parallelism`]
+/// (1 when even that is unavailable).
+///
+/// The environment is consulted on every call — it is a handful of
+/// nanoseconds against kernels that cross the parallelism threshold, and it
+/// keeps tests free to vary the variable per process.
+pub fn default_degree() -> usize {
+    if let Ok(s) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Split `0..n` into at most `parts` contiguous, non-empty, balanced ranges.
+///
+/// The first `n % parts` ranges are one element longer, so range lengths
+/// differ by at most one. Fewer than `parts` ranges are returned when
+/// `n < parts`; an empty vector when `n == 0`.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(n);
+    if parts == 0 {
+        return Vec::new();
+    }
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Run `f` over `0..n` split into at most `degree` contiguous ranges, one per
+/// worker. The caller's thread runs the first range; the rest run on scoped
+/// threads. With `degree <= 1` no thread is spawned.
+pub fn parallel_for<F>(n: usize, degree: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let ranges = split_ranges(n, degree);
+    match ranges.len() {
+        0 => {}
+        1 => f(0..n),
+        _ => thread::scope(|s| {
+            let f = &f;
+            let mut iter = ranges.into_iter();
+            let first = iter.next().expect("at least two ranges");
+            for r in iter {
+                s.spawn(move || f(r));
+            }
+            f(first);
+        }),
+    }
+}
+
+/// Partition a mutable buffer of `items * stride` elements into contiguous
+/// per-worker item ranges and run `f(item_range, chunk)` on each, where
+/// `chunk` is the sub-slice holding exactly those items.
+///
+/// This is the write side of the row-partitioned kernels: each worker owns a
+/// disjoint slice of the output, so no synchronization (and no change to
+/// per-element computation order) is involved.
+///
+/// # Panics
+/// Panics if `stride == 0` or `out.len()` is not a multiple of `stride`.
+pub fn for_each_slice_mut<T, F>(out: &mut [T], stride: usize, degree: usize, f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    assert!(stride > 0, "stride must be positive");
+    assert_eq!(
+        out.len() % stride,
+        0,
+        "buffer length {} not a multiple of stride {stride}",
+        out.len()
+    );
+    let items = out.len() / stride;
+    let ranges = split_ranges(items, degree);
+    match ranges.len() {
+        0 => {}
+        1 => f(0..items, out),
+        _ => thread::scope(|s| {
+            let f = &f;
+            let mut rest = out;
+            let mut first = None;
+            for (i, r) in ranges.into_iter().enumerate() {
+                let (chunk, tail) = rest.split_at_mut(r.len() * stride);
+                rest = tail;
+                if i == 0 {
+                    first = Some((r, chunk));
+                } else {
+                    s.spawn(move || f(r, chunk));
+                }
+            }
+            let (r, chunk) = first.expect("at least two ranges");
+            f(r, chunk);
+        }),
+    }
+}
+
+/// Evaluate `f(0), .., f(n-1)` across `degree` workers and return the results
+/// **in index order**. Each worker fills a disjoint contiguous slice of the
+/// result buffer, so ordering is positional, not completion-based.
+pub fn map_collect<T, F>(n: usize, degree: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    for_each_slice_mut(&mut slots, 1, degree, |range, chunk| {
+        for (slot, i) in chunk.iter_mut().zip(range) {
+            *slot = Some(f(i));
+        }
+    });
+    slots.into_iter().map(|s| s.expect("worker filled every slot")).collect()
+}
+
+/// Deterministic chunked map-reduce: split `0..n` into fixed-size blocks of
+/// `block` items (the last may be short), `map` each block on the pool, then
+/// left-fold the partials **in block order** on the caller's thread.
+///
+/// Because block boundaries depend only on `block` (never on `degree`) and
+/// the fold order is fixed, the result is bit-identical for every degree —
+/// including 1, which is how the serial kernels in `dm-matrix` execute the
+/// very same decomposition. Returns `None` when `n == 0`.
+///
+/// # Panics
+/// Panics if `block == 0`.
+pub fn reduce_blocks<T, M, F>(n: usize, block: usize, degree: usize, map: M, fold: F) -> Option<T>
+where
+    T: Send,
+    M: Fn(Range<usize>) -> T + Sync,
+    F: FnMut(T, T) -> T,
+{
+    assert!(block > 0, "block size must be positive");
+    if n == 0 {
+        return None;
+    }
+    let nblocks = n.div_ceil(block);
+    let partials = map_collect(nblocks, degree, |b| {
+        let start = b * block;
+        map(start..(start + block).min(n))
+    });
+    partials.into_iter().reduce(fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn default_degree_is_positive() {
+        assert!(default_degree() >= 1);
+    }
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 1000] {
+                let ranges = split_ranges(n, parts);
+                assert!(ranges.len() <= parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(!r.is_empty(), "non-empty");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "covers 0..{n} with {parts} parts");
+                if let (Some(min), Some(max)) =
+                    (ranges.iter().map(Range::len).min(), ranges.iter().map(Range::len).max())
+                {
+                    assert!(max - min <= 1, "balanced");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        for degree in [1usize, 2, 3, 8] {
+            let n = 1000;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            parallel_for(n, degree, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn parallel_for_empty_and_unit() {
+        parallel_for(0, 4, |_| panic!("no work for n == 0"));
+        let count = AtomicUsize::new(0);
+        parallel_for(1, 4, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn for_each_slice_mut_partitions_disjointly() {
+        for degree in [1usize, 2, 5] {
+            let mut buf = vec![0u64; 12 * 3];
+            for_each_slice_mut(&mut buf, 3, degree, |range, chunk| {
+                assert_eq!(chunk.len(), range.len() * 3);
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = (range.start * 3 + k) as u64;
+                }
+            });
+            let expect: Vec<u64> = (0..36).collect();
+            assert_eq!(buf, expect, "degree {degree}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of stride")]
+    fn for_each_slice_mut_checks_stride() {
+        for_each_slice_mut(&mut [0u8; 5], 2, 1, |_, _| {});
+    }
+
+    #[test]
+    fn map_collect_preserves_index_order() {
+        for degree in [1usize, 2, 4, 16] {
+            let got = map_collect(257, degree, |i| i * i);
+            let expect: Vec<usize> = (0..257).map(|i| i * i).collect();
+            assert_eq!(got, expect, "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn reduce_blocks_is_degree_invariant() {
+        // Floating-point sum: identical bits at every degree because the
+        // block decomposition and fold order are fixed.
+        let data: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.37).sin() * 1e3).collect();
+        let sum_at = |degree: usize| {
+            reduce_blocks(data.len(), 64, degree, |r| data[r].iter().sum::<f64>(), |a, b| a + b)
+                .unwrap()
+        };
+        let d1 = sum_at(1);
+        for degree in [2usize, 3, 8, 32] {
+            assert_eq!(d1.to_bits(), sum_at(degree).to_bits(), "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn reduce_blocks_empty_is_none() {
+        assert_eq!(reduce_blocks(0, 8, 4, |_| 1u32, |a, b| a + b), None);
+    }
+
+    #[test]
+    fn stress_concurrent_invocations() {
+        // Many threads each drive their own nested parallel_for over a shared
+        // accumulator: exercises heavy scoped-spawn churn under contention.
+        let total = AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        parallel_for(100, 4, |r| {
+                            let local: u64 = r.map(|i| i as u64).sum();
+                            total.fetch_add(local, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        let per_pass: u64 = (0..100u64).sum();
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 50 * per_pass);
+    }
+}

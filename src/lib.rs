@@ -18,7 +18,9 @@
 //!    exploration, model registry), with algorithms from [`ml`].
 //!
 //! [`data`] provides the deterministic synthetic generators used by every
-//! experiment.
+//! experiment; [`par`] is the scoped worker pool behind every parallel
+//! kernel (degree via `DMML_THREADS`, bit-identical to serial at any
+//! degree); [`obs`] is the stats/profiling layer.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@ pub use dm_matrix as matrix;
 pub use dm_ml as ml;
 pub use dm_modelsel as modelsel;
 pub use dm_obs as obs;
+pub use dm_par as par;
 pub use dm_pipeline as pipeline;
 pub use dm_rel as rel;
 
