@@ -1,6 +1,6 @@
 //! # dm-bench
 //!
-//! The benchmark harness regenerating experiments **E1..E12** from
+//! The benchmark harness regenerating experiments **E1..E14** from
 //! EXPERIMENTS.md. Each `benches/eNN_*.rs` target both prints the experiment's
 //! measured table (so the qualitative shape can be eyeballed straight from
 //! `cargo bench` output) and registers Criterion timings for the kernels

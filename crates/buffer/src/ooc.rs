@@ -1,0 +1,453 @@
+//! Blocked (out-of-core) kernels over [`BlockStore`] handles.
+//!
+//! Each kernel streams row panels through the pool — pin → compute → unpin —
+//! so the resident set stays under the pool's byte budget no matter how large
+//! the operands are. Every kernel is **bit-identical to its in-memory
+//! counterpart in `dm_matrix::ops`**, by the same two constructions the
+//! parallel kernels use:
+//!
+//! * [`gemv`] and [`gemm`] keep rows whole (panels are full-width) and
+//!   accumulate each output element in the same strictly-increasing-`k`
+//!   order as the serial kernels, including the `a[i][k] == 0` skip — no
+//!   floating-point operation is reordered.
+//! * [`col_sums`] and [`crossprod`] decompose into the *global* fixed row
+//!   blocks of [`dm_matrix::par::ROW_BLOCK`] — independent of the panel
+//!   height — and fold partials in block order, which is exactly the serial
+//!   reduction tree.
+//!
+//! Parallel workers (`degree > 1`) own disjoint panels or disjoint global
+//! blocks and hold at most one panel pin per operand at a time; the degree is
+//! clamped so the sum of per-worker pins always fits the budget, which is
+//! what rules out pin-wait deadlocks by construction.
+//!
+//! ```
+//! use dm_buffer::{ooc, BlockStore, BufferPool, SharedBufferPool};
+//! use dm_buffer::{policy::PolicyKind, storage::MemStore};
+//! use dm_matrix::{ops, Dense};
+//!
+//! let a = Dense::from_fn(64, 24, |r, c| (r * 7 + c) as f64 * 0.5 - 3.0);
+//! let b = Dense::from_fn(24, 16, |r, c| (r + c * 5) as f64 * 0.25 - 2.0);
+//! // A pool far smaller than the 64x24 * 24x16 working set: tiles spill.
+//! let pool = SharedBufferPool::new(BufferPool::new(4096, PolicyKind::Lru, MemStore::default()));
+//! let sa = BlockStore::from_dense(&pool, 1, &a, 8).unwrap();
+//! let sb = BlockStore::from_dense(&pool, 2, &b, 8).unwrap();
+//! let product = ooc::gemm(&sa, &sb, 3, 1).unwrap().to_dense().unwrap();
+//! assert_eq!(product, ops::gemm(&a, &b)); // bit-identical, not approximate
+//! assert!(pool.stats().evictions > 0, "it really ran out-of-core");
+//! pool.audit_quiescent().unwrap();
+//! ```
+
+use crate::pool::PoolError;
+use crate::storage::Storage;
+use crate::store::BlockStore;
+use dm_matrix::ops::dot;
+use dm_matrix::par::ROW_BLOCK;
+use dm_matrix::Dense;
+use dm_par::{map_collect, reduce_blocks};
+
+// Cap the worker count so that concurrent per-worker pins (plus one panel of
+// slack for the output `put`) always fit the budget: workers then never wait
+// on each other's pins, and `AllPinned` is reserved for budgets genuinely
+// too small for one worker's tiles.
+fn clamp_degree(degree: usize, capacity: usize, bytes_per_worker: usize) -> usize {
+    degree.clamp(1, (capacity / bytes_per_worker.max(1)).max(1))
+}
+
+fn panel_bytes<S: Storage>(s: &BlockStore<S>) -> usize {
+    s.panel_rows().min(s.rows().max(1)) * s.cols() * 8 + 16
+}
+
+fn join<T>(results: Vec<Result<T, PoolError>>) -> Result<Vec<T>, PoolError> {
+    results.into_iter().collect()
+}
+
+/// Out-of-core matrix-vector product `a * v`.
+///
+/// Workers own disjoint panels; each row is dotted whole (panels are
+/// full-width), so the bits match `dm_matrix::ops::gemv` exactly.
+///
+/// # Panics
+/// Panics if `v.len() != a.cols()`.
+pub fn gemv<S: Storage>(
+    a: &BlockStore<S>,
+    v: &[f64],
+    degree: usize,
+) -> Result<Vec<f64>, PoolError> {
+    assert_eq!(
+        v.len(),
+        a.cols(),
+        "gemv dimension mismatch: vector {} vs cols {}",
+        v.len(),
+        a.cols()
+    );
+    let degree = clamp_degree(degree, a.pool().capacity(), panel_bytes(a));
+    let parts = join(map_collect(a.num_panels(), degree, |p| {
+        let g = a.pin_panel(p)?;
+        let mut out = Vec::with_capacity(g.rows());
+        for r in 0..g.rows() {
+            out.push(dot(g.row(r), v));
+        }
+        Ok(out)
+    }))?;
+    Ok(parts.concat())
+}
+
+/// Out-of-core matrix-matrix product `a * b`, writing the result's panels
+/// into `a`'s pool under matrix id `out_matrix`.
+///
+/// Each worker owns one output panel: it pins the matching `a` panel, then
+/// streams `b`'s panels in increasing-`k` order, accumulating into a local
+/// buffer with the serial kernel's per-element order (strictly increasing
+/// `k`, skipping `a[i][k] == 0`) — bit-identical to `dm_matrix::ops::gemm`.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn gemm<S: Storage>(
+    a: &BlockStore<S>,
+    b: &BlockStore<S>,
+    out_matrix: u64,
+    degree: usize,
+) -> Result<BlockStore<S>, PoolError> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm dimension mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let n = b.cols();
+    let out = BlockStore::new_empty(a.pool(), out_matrix, a.rows(), n, a.panel_rows());
+    let per_worker = panel_bytes(a) + panel_bytes(b) + panel_bytes(&out);
+    let degree = clamp_degree(degree, a.pool().capacity(), per_worker);
+    join(map_collect(a.num_panels(), degree, |p| {
+        let rows = a.panel_range(p);
+        let mut acc = vec![0.0; rows.len() * n];
+        {
+            let ap = a.pin_panel(p)?;
+            for kb in 0..b.num_panels() {
+                let bp = b.pin_panel(kb)?;
+                let kr = b.panel_range(kb);
+                for oi in 0..rows.len() {
+                    let arow = &ap.row(oi)[kr.start..kr.end];
+                    let orow = &mut acc[oi * n..(oi + 1) * n];
+                    for (kk, &aik) in arow.iter().enumerate() {
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let brow = bp.row(kk);
+                        for (o, &bkj) in orow.iter_mut().zip(brow) {
+                            *o += aik * bkj;
+                        }
+                    }
+                }
+            }
+        }
+        // Both pins are released before the put, so the output panel can
+        // reclaim their frames under a tight budget.
+        out.put_panel(p, Dense::from_vec(rows.len(), n, acc).expect("panel shape"))
+    }))?;
+    Ok(out)
+}
+
+// Walk the panels overlapping global rows `rows` in order, handing each
+// (global row, row slice) to `f` — the pin-scope pattern shared by the
+// reduction kernels.
+fn for_rows<S: Storage>(
+    a: &BlockStore<S>,
+    rows: std::ops::Range<usize>,
+    mut f: impl FnMut(usize, &[f64]),
+) -> Result<(), PoolError> {
+    let mut p = rows.start / a.panel_rows();
+    while p < a.num_panels() && a.panel_range(p).start < rows.end {
+        let g = a.pin_panel(p)?;
+        let pr = a.panel_range(p);
+        for r in rows.start.max(pr.start)..rows.end.min(pr.end) {
+            f(r, g.row(r - pr.start));
+        }
+        p += 1;
+    }
+    Ok(())
+}
+
+/// Out-of-core column sums, as the same fixed-[`ROW_BLOCK`] reduction the
+/// in-memory kernel runs: partials are flushed at *global* block boundaries
+/// regardless of the panel height, so the fold tree — and every bit —
+/// matches `dm_matrix::ops::col_sums`.
+pub fn col_sums<S: Storage>(a: &BlockStore<S>, degree: usize) -> Result<Vec<f64>, PoolError> {
+    let degree = clamp_degree(degree, a.pool().capacity(), panel_bytes(a));
+    reduce_blocks(
+        a.rows(),
+        ROW_BLOCK,
+        degree,
+        |rows| {
+            let mut part = vec![0.0; a.cols()];
+            for_rows(a, rows, |_, row| {
+                for (o, &v) in part.iter_mut().zip(row) {
+                    *o += v;
+                }
+            })?;
+            Ok(part)
+        },
+        |acc, part| {
+            let (mut acc, part) = (acc?, part?);
+            for (o, p) in acc.iter_mut().zip(part) {
+                *o += p;
+            }
+            Ok(acc)
+        },
+    )
+    .unwrap_or_else(|| Ok(vec![0.0; a.cols()]))
+}
+
+/// Out-of-core self-transpose product `a^T * a` (the fused `t(X)%*%X`),
+/// as the fixed-[`ROW_BLOCK`] reduction of `dm_matrix::par::crossprod` with
+/// panels streamed through the pool; bit-identical to
+/// `dm_matrix::ops::crossprod`. The `d x d` result is returned in memory —
+/// physical selection only picks the blocked kernel when the *input* is the
+/// oversized operand.
+pub fn crossprod<S: Storage>(a: &BlockStore<S>, degree: usize) -> Result<Dense, PoolError> {
+    let d = a.cols();
+    let degree = clamp_degree(degree, a.pool().capacity(), panel_bytes(a));
+    let mut out = reduce_blocks(
+        a.rows(),
+        ROW_BLOCK,
+        degree,
+        |rows| {
+            let mut part = Dense::zeros(d, d);
+            for_rows(a, rows, |_, row| {
+                for (i, &vi) in row.iter().enumerate() {
+                    if vi == 0.0 {
+                        continue;
+                    }
+                    let prow = &mut part.data_mut()[i * d..(i + 1) * d];
+                    for (j, &vj) in row.iter().enumerate().skip(i) {
+                        prow[j] += vi * vj;
+                    }
+                }
+            })?;
+            Ok(part)
+        },
+        |acc, part| {
+            let (mut acc, part) = (acc?, part?);
+            for (o, &p) in acc.data_mut().iter_mut().zip(part.data()) {
+                *o += p;
+            }
+            Ok(acc)
+        },
+    )
+    .unwrap_or_else(|| Ok(Dense::zeros(d, d)))?;
+    for i in 0..d {
+        for j in (i + 1)..d {
+            let v = out.get(i, j);
+            out.set(j, i, v);
+        }
+    }
+    Ok(out)
+}
+
+/// Out-of-core elementwise combination `f(a, b)`, writing result panels under
+/// `out_matrix` in `a`'s pool. Trivially bit-identical — elementwise ops have
+/// no reduction order.
+///
+/// # Panics
+/// Panics if shapes differ or the stores use different panel heights.
+pub fn ewise<S: Storage>(
+    a: &BlockStore<S>,
+    b: &BlockStore<S>,
+    f: impl Fn(f64, f64) -> f64 + Sync,
+    out_matrix: u64,
+    degree: usize,
+) -> Result<BlockStore<S>, PoolError> {
+    assert_eq!(
+        (a.rows(), a.cols()),
+        (b.rows(), b.cols()),
+        "elementwise shape mismatch: {:?} vs {:?}",
+        (a.rows(), a.cols()),
+        (b.rows(), b.cols())
+    );
+    assert_eq!(a.panel_rows(), b.panel_rows(), "elementwise panel height mismatch");
+    let out = BlockStore::new_empty(a.pool(), out_matrix, a.rows(), a.cols(), a.panel_rows());
+    let per_worker = 3 * panel_bytes(a);
+    let degree = clamp_degree(degree, a.pool().capacity(), per_worker);
+    join(map_collect(a.num_panels(), degree, |p| {
+        let rows = a.panel_range(p);
+        let data = {
+            let (ga, gb) = (a.pin_panel(p)?, b.pin_panel(p)?);
+            ga.data().iter().zip(gb.data()).map(|(&x, &y)| f(x, y)).collect()
+        };
+        out.put_panel(p, Dense::from_vec(rows.len(), a.cols(), data).expect("panel shape"))
+    }))?;
+    Ok(out)
+}
+
+/// Out-of-core elementwise map `f(a)` (scalar broadcasts, unary ops),
+/// writing result panels under `out_matrix` in `a`'s pool.
+pub fn map<S: Storage>(
+    a: &BlockStore<S>,
+    f: impl Fn(f64) -> f64 + Sync,
+    out_matrix: u64,
+    degree: usize,
+) -> Result<BlockStore<S>, PoolError> {
+    let out = BlockStore::new_empty(a.pool(), out_matrix, a.rows(), a.cols(), a.panel_rows());
+    let degree = clamp_degree(degree, a.pool().capacity(), 2 * panel_bytes(a));
+    join(map_collect(a.num_panels(), degree, |p| {
+        let rows = a.panel_range(p);
+        let data = {
+            let g = a.pin_panel(p)?;
+            g.data().iter().map(|&x| f(x)).collect()
+        };
+        out.put_panel(p, Dense::from_vec(rows.len(), a.cols(), data).expect("panel shape"))
+    }))?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use crate::storage::MemStore;
+    use crate::{BufferPool, SharedBufferPool};
+    use dm_matrix::ops;
+
+    fn shared(capacity: usize) -> SharedBufferPool<MemStore> {
+        SharedBufferPool::new(BufferPool::new(capacity, PolicyKind::Lru, MemStore::default()))
+    }
+
+    fn sample(rows: usize, cols: usize) -> Dense {
+        // Includes exact zeros so the `aik == 0.0` skip paths are exercised.
+        Dense::from_fn(rows, cols, |r, c| {
+            let v = ((r * 31 + c * 17) % 23) as f64 * 0.37 - 3.0;
+            if (r + c) % 11 == 0 {
+                0.0
+            } else {
+                v
+            }
+        })
+    }
+
+    const DEGREES: [usize; 3] = [1, 2, 4];
+
+    #[test]
+    fn gemv_bit_identical_under_pressure() {
+        let m = sample(1500, 9);
+        let v: Vec<f64> = (0..9).map(|i| i as f64 * 0.21 - 1.0).collect();
+        let expect = ops::gemv(&m, &v);
+        // ~4 panels of 100 rows fit out of 15: constant spilling.
+        let pool = shared(4 * (100 * 9 * 8 + 16));
+        let store = BlockStore::from_dense(&pool, 1, &m, 100).unwrap();
+        for deg in DEGREES {
+            assert_eq!(gemv(&store, &v, deg).unwrap(), expect, "degree {deg}");
+        }
+        assert!(pool.stats().evictions > 0);
+        pool.audit_quiescent().unwrap();
+    }
+
+    #[test]
+    fn gemm_bit_identical_under_pressure() {
+        let a = sample(300, 150);
+        let b = sample(150, 170);
+        let expect = ops::gemm(&a, &b);
+        for deg in DEGREES {
+            let pool = shared((300 * 170 * 8) / 2); // ~half the output size
+            let sa = BlockStore::from_dense(&pool, 1, &a, 32).unwrap();
+            let sb = BlockStore::from_dense(&pool, 2, &b, 32).unwrap();
+            let got = gemm(&sa, &sb, 3, deg).unwrap();
+            assert_eq!(got.to_dense().unwrap(), expect, "degree {deg}");
+            assert!(pool.stats().evictions > 0, "degree {deg}");
+            pool.audit_quiescent().unwrap();
+        }
+    }
+
+    #[test]
+    fn reductions_bit_identical_across_panel_heights() {
+        // Panel heights that divide ROW_BLOCK, exceed it, and straddle it:
+        // partials must flush at the same global 1024-row boundaries in all
+        // three cases.
+        let m = sample(3000, 7);
+        for panel_rows in [128usize, 1024, 1500, 700] {
+            let pool = shared(6 * (panel_rows * 7 * 8 + 16));
+            let store = BlockStore::from_dense(&pool, 1, &m, panel_rows).unwrap();
+            for deg in DEGREES {
+                assert_eq!(
+                    col_sums(&store, deg).unwrap(),
+                    ops::col_sums(&m),
+                    "col_sums panel {panel_rows} degree {deg}"
+                );
+                assert_eq!(
+                    crossprod(&store, deg).unwrap(),
+                    ops::crossprod(&m),
+                    "crossprod panel {panel_rows} degree {deg}"
+                );
+            }
+            pool.audit_quiescent().unwrap();
+        }
+    }
+
+    #[test]
+    fn ewise_and_map_match_in_memory() {
+        let a = sample(500, 11);
+        let b = sample(500, 11);
+        let pool = shared(5 * (64 * 11 * 8 + 16));
+        let sa = BlockStore::from_dense(&pool, 1, &a, 64).unwrap();
+        let sb = BlockStore::from_dense(&pool, 2, &b, 64).unwrap();
+        for deg in DEGREES {
+            let sum = ewise(&sa, &sb, |x, y| x + y, 10 + deg as u64, deg).unwrap();
+            assert_eq!(sum.to_dense().unwrap(), ops::add(&a, &b), "degree {deg}");
+            sum.discard().unwrap();
+            let scaled = map(&sa, |x| x * 2.5, 20 + deg as u64, deg).unwrap();
+            assert_eq!(scaled.to_dense().unwrap(), ops::scale(&a, 2.5), "degree {deg}");
+            scaled.discard().unwrap();
+        }
+        pool.audit_quiescent().unwrap();
+    }
+
+    #[test]
+    fn edge_shapes() {
+        let pool = shared(1 << 16);
+        for (id, (r, c)) in
+            [(0usize, 3usize), (1, 3), (3, 1), (0, 0), (1, 1)].into_iter().enumerate()
+        {
+            let m = sample(r, c);
+            let v = vec![0.5; c];
+            let s = BlockStore::from_dense(&pool, id as u64 * 10, &m, 2).unwrap();
+            assert_eq!(gemv(&s, &v, 2).unwrap(), ops::gemv(&m, &v), "{r}x{c}");
+            assert_eq!(col_sums(&s, 2).unwrap(), ops::col_sums(&m), "{r}x{c}");
+            assert_eq!(crossprod(&s, 2).unwrap(), ops::crossprod(&m), "{r}x{c}");
+            let b = sample(c, 2);
+            let sb = BlockStore::from_dense(&pool, id as u64 * 10 + 1, &b, 2).unwrap();
+            let got = gemm(&s, &sb, id as u64 * 10 + 2, 2).unwrap();
+            assert_eq!(got.to_dense().unwrap(), ops::gemm(&m, &b), "{r}x{c}");
+        }
+        pool.audit_quiescent().unwrap();
+    }
+
+    #[test]
+    fn budget_smaller_than_one_panel_errors_cleanly() {
+        let pool = shared(100); // one 16x8 panel needs 16*8*8 + 16 = 1040 bytes
+        let m = sample(64, 8);
+        let err = BlockStore::from_dense(&pool, 1, &m, 16).err().expect("must fail");
+        assert!(
+            matches!(err, PoolError::BlockTooLarge { .. }),
+            "expected BlockTooLarge, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn special_values_survive_the_round_trip() {
+        // NaN / -0.0 / infinities must stream through spill-and-fault intact.
+        let mut m = sample(40, 4);
+        m.set(0, 0, f64::NAN);
+        m.set(1, 1, -0.0);
+        m.set(2, 2, f64::INFINITY);
+        m.set(3, 3, f64::NEG_INFINITY);
+        let pool = shared(2 * (8 * 4 * 8 + 16));
+        let store = BlockStore::from_dense(&pool, 1, &m, 8).unwrap();
+        assert!(pool.stats().evictions > 0, "blocks actually spilled");
+        let back = store.to_dense().unwrap();
+        for (a, b) in back.data().iter().zip(m.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bitwise round trip");
+        }
+    }
+}

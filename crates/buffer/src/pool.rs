@@ -47,6 +47,10 @@ pub enum PoolError {
     Io(String),
     /// A spilled block failed to deserialize (corrupt store).
     Corrupt(PageKey),
+    /// The page is pinned and cannot be discarded.
+    Pinned(PageKey),
+    /// The page is known to neither the pool nor the backing store.
+    Absent(PageKey),
 }
 
 impl fmt::Display for PoolError {
@@ -59,6 +63,8 @@ impl fmt::Display for PoolError {
             PoolError::NotPinned(k) => write!(f, "page {k:?} is not pinned"),
             PoolError::Io(msg) => write!(f, "storage io error: {msg}"),
             PoolError::Corrupt(k) => write!(f, "spilled page {k:?} failed to deserialize"),
+            PoolError::Pinned(k) => write!(f, "page {k:?} is pinned and cannot be discarded"),
+            PoolError::Absent(k) => write!(f, "page {k:?} is neither resident nor spilled"),
         }
     }
 }
@@ -80,6 +86,11 @@ pub struct PoolStats {
     pub pins: u64,
     /// High-water mark of resident bytes.
     pub peak_used: usize,
+    /// Serialized bytes written to storage (evictions of dirty blocks plus
+    /// explicit flushes).
+    pub spilled_bytes: u64,
+    /// Serialized bytes read back from storage on faults.
+    pub faulted_bytes: u64,
 }
 
 impl PoolStats {
@@ -110,6 +121,8 @@ struct RecorderSites {
     absent: String,
     pin: String,
     used: String,
+    spill_bytes: String,
+    fault_bytes: String,
 }
 
 impl RecorderSites {
@@ -122,6 +135,8 @@ impl RecorderSites {
             absent: format!("{p}.absent"),
             pin: format!("{p}.pin"),
             used: format!("{p}.used_bytes"),
+            spill_bytes: format!("{p}.spill_bytes"),
+            fault_bytes: format!("{p}.fault_bytes"),
         }
     }
 }
@@ -225,6 +240,10 @@ impl<S: Storage> BufferPool<S> {
         self.record(|s| &s.eviction);
         if frame.dirty {
             let data = codec::encode_dense(&frame.block);
+            self.stats.spilled_bytes += data.len() as u64;
+            if let Some((rec, sites)) = &self.recorder {
+                rec.add(&sites.spill_bytes, data.len() as u64);
+            }
             self.storage.write(victim, data).map_err(|e| PoolError::Io(e.to_string()))?;
         }
         Ok(())
@@ -270,6 +289,10 @@ impl<S: Storage> BufferPool<S> {
             Some(bytes) => {
                 self.stats.misses += 1;
                 self.record(|s| &s.miss);
+                self.stats.faulted_bytes += bytes.len() as u64;
+                if let Some((rec, sites)) = &self.recorder {
+                    rec.add(&sites.fault_bytes, bytes.len() as u64);
+                }
                 let block = codec::decode_dense(bytes).ok_or(PoolError::Corrupt(key))?;
                 let nbytes = block_bytes(&block);
                 self.make_room(nbytes)?;
@@ -322,11 +345,30 @@ impl<S: Storage> BufferPool<S> {
             let frame = self.frames.get_mut(&key).expect("key just listed");
             if frame.dirty {
                 let data = codec::encode_dense(&frame.block);
+                self.stats.spilled_bytes += data.len() as u64;
                 self.storage.write(key, data).map_err(|e| PoolError::Io(e.to_string()))?;
                 frame.dirty = false;
             }
         }
         Ok(())
+    }
+
+    /// Drop a page from the pool *and* the backing store, freeing its budget.
+    ///
+    /// Out-of-core kernels call this when an intermediate's tiles are dead, so
+    /// spill space does not grow with the number of executed operators.
+    /// Discarding an unknown key is a no-op; discarding a pinned page is an
+    /// error ([`PoolError::Pinned`]).
+    pub fn discard(&mut self, key: PageKey) -> Result<(), PoolError> {
+        if let Some(frame) = self.frames.get(&key) {
+            if frame.pins > 0 {
+                return Err(PoolError::Pinned(key));
+            }
+            let frame = self.frames.remove(&key).expect("frame just found");
+            self.policy.remove(key);
+            self.used -= frame.bytes;
+        }
+        self.storage.remove(key).map_err(|e| PoolError::Io(e.to_string()))
     }
 
     /// Borrow the backing store (tests and experiments).
@@ -409,9 +451,105 @@ impl<S: Storage> SharedBufferPool<S> {
         self.inner.lock().get(key)
     }
 
+    /// Pin a page and return an RAII guard that releases the pin on drop.
+    ///
+    /// The guard is how out-of-core kernels hold tiles: a worker pins the
+    /// tile it is computing on, dereferences the guard to the block, and the
+    /// pin is released when the guard leaves scope — even on early return or
+    /// panic, so pins can never leak across an operator. Returns
+    /// `Ok(None)` for unknown keys.
+    pub fn pin(&self, key: PageKey) -> Result<Option<PinGuard<S>>, PoolError> {
+        let block = self.inner.lock().pin(key)?;
+        Ok(block.map(|block| PinGuard { pool: self.clone(), key, block }))
+    }
+
+    /// Release one pin on a page (prefer letting a [`PinGuard`] drop).
+    pub fn unpin(&self, key: PageKey) -> Result<(), PoolError> {
+        self.inner.lock().unpin(key)
+    }
+
+    /// Drop a page from the pool and the backing store; see
+    /// [`BufferPool::discard`].
+    pub fn discard(&self, key: PageKey) -> Result<(), PoolError> {
+        self.inner.lock().discard(key)
+    }
+
+    /// Flush every dirty resident block to storage.
+    pub fn flush(&self) -> Result<(), PoolError> {
+        self.inner.lock().flush()
+    }
+
+    /// Pool capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity()
+    }
+
+    /// Bytes currently used by resident frames.
+    pub fn used(&self) -> usize {
+        self.inner.lock().used()
+    }
+
+    /// Number of resident frames.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().resident()
+    }
+
     /// Snapshot the counters.
     pub fn stats(&self) -> PoolStats {
         self.inner.lock().stats()
+    }
+
+    /// Reset the counters (between experiment phases).
+    pub fn reset_stats(&self) {
+        self.inner.lock().reset_stats()
+    }
+
+    /// Run the pool's consistency audit; see [`BufferPool::audit`].
+    pub fn audit(&self) -> Result<AuditReport, AuditError> {
+        self.inner.lock().audit()
+    }
+
+    /// [`audit`](Self::audit) plus the no-outstanding-pins requirement; see
+    /// [`BufferPool::audit_quiescent`].
+    pub fn audit_quiescent(&self) -> Result<AuditReport, AuditError> {
+        self.inner.lock().audit_quiescent()
+    }
+}
+
+/// An RAII pin on one page of a [`SharedBufferPool`]: dereferences to the
+/// pinned block and releases the pin when dropped.
+pub struct PinGuard<S: Storage> {
+    pool: SharedBufferPool<S>,
+    key: PageKey,
+    block: Arc<Dense>,
+}
+
+impl<S: Storage> PinGuard<S> {
+    /// The pinned page's key.
+    pub fn key(&self) -> PageKey {
+        self.key
+    }
+
+    /// The pinned block.
+    pub fn block(&self) -> &Dense {
+        &self.block
+    }
+}
+
+impl<S: Storage> std::ops::Deref for PinGuard<S> {
+    type Target = Dense;
+
+    fn deref(&self) -> &Dense {
+        &self.block
+    }
+}
+
+impl<S: Storage> Drop for PinGuard<S> {
+    fn drop(&mut self) {
+        // The pin was counted when the guard was created; releasing it cannot
+        // fail unless the pool was mutated behind our back, in which case the
+        // audit (not this destructor) is the place that reports it.
+        let _ = self.pool.unpin(self.key);
     }
 }
 
@@ -648,6 +786,53 @@ mod tests {
             p.audit(),
             Err(crate::audit::AuditError::ByteAccountingMismatch { recorded: 152, actual: 144 })
         );
+    }
+
+    #[test]
+    fn spill_and_fault_bytes_counted() {
+        let mut p = pool(2, PolicyKind::Lru);
+        p.put(key(1), block(1.0)).unwrap();
+        p.put(key(2), block(2.0)).unwrap();
+        p.put(key(3), block(3.0)).unwrap(); // evicts dirty key 1: one spill write
+        let encoded = codec::encode_dense(&block(1.0)).len() as u64;
+        assert_eq!(p.stats().spilled_bytes, encoded);
+        assert_eq!(p.stats().faulted_bytes, 0);
+        p.get(key(1)).unwrap(); // faults key 1 back, evicting another dirty block
+        assert_eq!(p.stats().faulted_bytes, encoded);
+        assert_eq!(p.stats().spilled_bytes, 2 * encoded);
+    }
+
+    #[test]
+    fn discard_frees_budget_and_storage() {
+        let mut p = pool(2, PolicyKind::Lru);
+        p.put(key(1), block(1.0)).unwrap();
+        p.put(key(2), block(2.0)).unwrap();
+        p.put(key(3), block(3.0)).unwrap(); // key 1 spilled
+        assert_eq!(p.storage().len(), 1);
+        p.discard(key(1)).unwrap(); // spilled-only page: storage entry dropped
+        assert_eq!(p.storage().len(), 0);
+        p.discard(key(2)).unwrap(); // resident page: frame dropped
+        assert_eq!(p.resident(), 1);
+        assert_eq!(p.used(), 144);
+        p.discard(key(42)).unwrap(); // unknown key: no-op
+        p.pin(key(3)).unwrap().unwrap();
+        assert_eq!(p.discard(key(3)), Err(PoolError::Pinned(key(3))));
+        p.unpin(key(3)).unwrap();
+        p.audit_quiescent().unwrap();
+    }
+
+    #[test]
+    fn pin_guard_releases_on_drop() {
+        let shared = SharedBufferPool::new(pool(4, PolicyKind::Lru));
+        shared.put(key(1), block(7.0)).unwrap();
+        {
+            let g = shared.pin(key(1)).unwrap().expect("present");
+            assert_eq!(g.get(0, 0), 7.0);
+            assert_eq!(g.key(), key(1));
+            assert_eq!(shared.audit().unwrap().total_pins(), 1);
+        }
+        shared.audit_quiescent().unwrap();
+        assert!(shared.pin(key(99)).unwrap().is_none(), "absent key pins nothing");
     }
 
     #[test]

@@ -22,6 +22,26 @@ pub trait Storage: Send {
     }
 }
 
+// A boxed store is itself a store, so callers that pick MemStore vs FileStore
+// at runtime (the executor's spill pool) can use `BufferPool<Box<dyn Storage>>`.
+impl Storage for Box<dyn Storage> {
+    fn read(&self, key: PageKey) -> io::Result<Option<Bytes>> {
+        (**self).read(key)
+    }
+
+    fn write(&mut self, key: PageKey, data: Bytes) -> io::Result<()> {
+        (**self).write(key, data)
+    }
+
+    fn remove(&mut self, key: PageKey) -> io::Result<()> {
+        (**self).remove(key)
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+}
+
 /// In-memory backing store (default for tests and benchmarks).
 #[derive(Debug, Default)]
 pub struct MemStore {

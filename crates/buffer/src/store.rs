@@ -1,0 +1,238 @@
+//! Out-of-core matrix handles: full-width row panels resident in a pool.
+//!
+//! A [`BlockStore`] names a matrix whose data lives in a [`SharedBufferPool`]
+//! rather than in an owned allocation. The matrix is tiled into **row
+//! panels** — `panel_rows` consecutive full-width rows per tile — because the
+//! serial kernels in `dm_matrix::ops` consume whole rows (the unrolled `dot`,
+//! the per-row accumulations), and keeping rows intact is what lets the
+//! blocked kernels in [`crate::ooc`] reproduce the in-memory results
+//! bit-for-bit. Tiles use `PageKey { matrix, block_row: panel, block_col: 0 }`.
+//!
+//! The access protocol per tile is pin → compute → unpin: kernels hold a
+//! [`PinGuard`] for the one or two panels they are reading, so the pool can
+//! spill everything else when the byte budget is tight.
+
+use crate::pool::{PageKey, PinGuard, PoolError, SharedBufferPool};
+use crate::storage::Storage;
+use dm_matrix::Dense;
+use std::ops::Range;
+
+/// A matrix handle whose row panels live in a [`SharedBufferPool`].
+pub struct BlockStore<S: Storage> {
+    pool: SharedBufferPool<S>,
+    matrix: u64,
+    rows: usize,
+    cols: usize,
+    panel_rows: usize,
+}
+
+impl<S: Storage> BlockStore<S> {
+    /// Tile `m` into row panels of `panel_rows` rows and insert them into
+    /// `pool` under matrix id `matrix`.
+    ///
+    /// Inserting a panel may evict (and spill) earlier panels — loading a
+    /// matrix larger than the pool budget is the normal case, not an error.
+    /// Fails with [`PoolError::BlockTooLarge`] when a single panel exceeds
+    /// the budget.
+    ///
+    /// # Panics
+    /// Panics if `panel_rows == 0`.
+    pub fn from_dense(
+        pool: &SharedBufferPool<S>,
+        matrix: u64,
+        m: &Dense,
+        panel_rows: usize,
+    ) -> Result<Self, PoolError> {
+        let store = Self::new_empty(pool, matrix, m.rows(), m.cols(), panel_rows);
+        for p in 0..store.num_panels() {
+            let r = store.panel_range(p);
+            store.put_panel(p, m.slice(r.start, r.end, 0, m.cols()))?;
+        }
+        Ok(store)
+    }
+
+    /// Describe a store without inserting any tiles; panels are written later
+    /// with [`put_panel`](Self::put_panel) (how blocked kernels produce their
+    /// outputs).
+    ///
+    /// # Panics
+    /// Panics if `panel_rows == 0`.
+    pub fn new_empty(
+        pool: &SharedBufferPool<S>,
+        matrix: u64,
+        rows: usize,
+        cols: usize,
+        panel_rows: usize,
+    ) -> Self {
+        assert!(panel_rows > 0, "panel_rows must be positive");
+        BlockStore { pool: pool.clone(), matrix, rows, cols, panel_rows }
+    }
+
+    /// Number of rows of the full matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the full matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Rows per panel (the last panel may be shorter).
+    pub fn panel_rows(&self) -> usize {
+        self.panel_rows
+    }
+
+    /// Number of row panels.
+    pub fn num_panels(&self) -> usize {
+        self.rows.div_ceil(self.panel_rows)
+    }
+
+    /// The global row range covered by panel `p`.
+    pub fn panel_range(&self, p: usize) -> Range<usize> {
+        let start = p * self.panel_rows;
+        start..(start + self.panel_rows).min(self.rows)
+    }
+
+    /// The pool key of panel `p`.
+    pub fn key(&self, p: usize) -> PageKey {
+        PageKey::new(self.matrix, p as u32, 0)
+    }
+
+    /// The pool this store's tiles live in.
+    pub fn pool(&self) -> &SharedBufferPool<S> {
+        &self.pool
+    }
+
+    /// Write (or replace) panel `p`.
+    ///
+    /// # Panics
+    /// Panics if the panel's shape does not match
+    /// [`panel_range`](Self::panel_range) × [`cols`](Self::cols).
+    pub fn put_panel(&self, p: usize, panel: Dense) -> Result<(), PoolError> {
+        let r = self.panel_range(p);
+        assert_eq!(
+            panel.shape(),
+            (r.len(), self.cols),
+            "panel {p} shape mismatch: expected {}x{}",
+            r.len(),
+            self.cols
+        );
+        self.pool.put(self.key(p), panel)
+    }
+
+    /// Pin panel `p` for reading; the pin is released when the guard drops.
+    ///
+    /// A missing panel (never written, or discarded) is
+    /// [`PoolError::Absent`].
+    pub fn pin_panel(&self, p: usize) -> Result<PinGuard<S>, PoolError> {
+        self.pool.pin(self.key(p))?.ok_or(PoolError::Absent(self.key(p)))
+    }
+
+    /// Materialize the full matrix (for results that fit in memory; streams
+    /// one panel at a time).
+    pub fn to_dense(&self) -> Result<Dense, PoolError> {
+        let mut data = Vec::with_capacity(self.rows * self.cols);
+        for p in 0..self.num_panels() {
+            let g = self.pin_panel(p)?;
+            data.extend_from_slice(g.data());
+        }
+        Ok(Dense::from_vec(self.rows, self.cols, data).expect("panels cover the matrix"))
+    }
+
+    /// Drop every tile from the pool and the backing store, freeing budget
+    /// and spill space. Fails with [`PoolError::Pinned`] if a tile is still
+    /// pinned.
+    pub fn discard(self) -> Result<(), PoolError> {
+        for p in 0..self.num_panels() {
+            self.pool.discard(self.key(p))?;
+        }
+        Ok(())
+    }
+}
+
+/// Pick a panel height so one panel is roughly `budget / denom` bytes: small
+/// enough that several panels (inputs, output, pins across workers) coexist
+/// under the budget, large enough to amortize per-tile pool traffic. Always
+/// at least one row.
+pub fn panel_rows_for(cols: usize, budget: usize, denom: usize) -> usize {
+    let row_bytes = cols.max(1) * 8;
+    (budget / denom.max(1) / row_bytes).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use crate::storage::MemStore;
+    use crate::BufferPool;
+
+    fn shared(capacity: usize) -> SharedBufferPool<MemStore> {
+        SharedBufferPool::new(BufferPool::new(capacity, PolicyKind::Lru, MemStore::default()))
+    }
+
+    fn sample(rows: usize, cols: usize) -> Dense {
+        Dense::from_fn(rows, cols, |r, c| (r * 31 + c * 7) as f64 * 0.25 - 3.0)
+    }
+
+    #[test]
+    fn round_trips_through_tight_pool() {
+        let m = sample(37, 5);
+        // Budget fits ~2 panels of 8 rows: loading spills earlier panels.
+        let pool = shared(2 * (8 * 5 * 8 + 16));
+        let store = BlockStore::from_dense(&pool, 1, &m, 8).unwrap();
+        assert_eq!(store.num_panels(), 5);
+        assert_eq!(store.panel_range(4), 32..37);
+        assert!(pool.stats().evictions > 0, "working set exceeds budget");
+        assert_eq!(store.to_dense().unwrap(), m);
+        pool.audit_quiescent().unwrap();
+    }
+
+    #[test]
+    fn pin_panel_guards_and_reports_absent() {
+        let m = sample(10, 3);
+        let pool = shared(1 << 16);
+        let store = BlockStore::from_dense(&pool, 2, &m, 4).unwrap();
+        {
+            let g = store.pin_panel(1).unwrap();
+            assert_eq!(g.row(0), m.row(4));
+        }
+        pool.audit_quiescent().unwrap();
+        let ghost = BlockStore::new_empty(&pool, 9, 4, 4, 2);
+        assert!(matches!(ghost.pin_panel(0), Err(PoolError::Absent(_))));
+    }
+
+    #[test]
+    fn discard_clears_pool_and_storage() {
+        let m = sample(32, 4);
+        let pool = shared(2 * (4 * 4 * 8 + 16));
+        let store = BlockStore::from_dense(&pool, 3, &m, 4).unwrap();
+        assert!(pool.resident() > 0);
+        store.discard().unwrap();
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.used(), 0);
+        let mut absent = 0;
+        let probe = BlockStore::new_empty(&pool, 3, 32, 4, 4);
+        for p in 0..probe.num_panels() {
+            if pool.get(probe.key(p)).unwrap().is_none() {
+                absent += 1;
+            }
+        }
+        assert_eq!(absent, 8, "no tile survives in pool or storage");
+    }
+
+    #[test]
+    fn panel_sizing_is_sane() {
+        assert_eq!(panel_rows_for(100, 8 * 100 * 8 * 8, 8), 8);
+        assert_eq!(panel_rows_for(1_000_000, 1024, 8), 1, "never below one row");
+        assert!(panel_rows_for(0, 1 << 20, 8) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "panel 0 shape mismatch")]
+    fn put_panel_checks_shape() {
+        let pool = shared(1 << 16);
+        let store = BlockStore::new_empty(&pool, 1, 10, 4, 5);
+        store.put_panel(0, Dense::zeros(3, 4)).unwrap();
+    }
+}

@@ -72,7 +72,7 @@ impl CompressedMatrix {
         CompressedMatrix { rows, cols, groups }
     }
 
-    /// Check every structural invariant; see [`crate::validate`].
+    /// Check every structural invariant; see [`crate::validate`](mod@crate::validate).
     pub fn validate(&self) -> Result<(), crate::validate::ValidationError> {
         crate::validate::validate(self)
     }

@@ -1,6 +1,6 @@
 //! Structural invariant checking for compressed matrices.
 //!
-//! A [`CompressedMatrix`](crate::CompressedMatrix) deserialized from bytes —
+//! A [`CompressedMatrix`] deserialized from bytes —
 //! or produced by a buggy planner — can violate invariants that the kernels
 //! assume without checking (they index dictionaries and output buffers
 //! directly on the hot path). [`validate`] makes those assumptions explicit

@@ -2,11 +2,18 @@
 //! physical-kernel dispatch and per-node memoization.
 
 use crate::expr::{AggOp, EwiseOp, Graph, NodeId, Op, UnaryOp};
+use crate::memory::MemoryBudget;
 use crate::physical::{Kernel, PhysicalPlan};
+use dm_buffer::policy::PolicyKind;
+use dm_buffer::storage::{FileStore, MemStore, Storage};
+use dm_buffer::{
+    ooc, panel_rows_for, BlockStore, BufferPool, PoolError, PoolStats, SharedBufferPool,
+};
 use dm_matrix::{ops, par, sparse, Csr, Dense, Matrix};
 use dm_obs::{elapsed_ns, Recorder};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// A runtime value: matrix (dense or sparse) or scalar.
@@ -49,6 +56,15 @@ pub enum ExecError {
         /// Description.
         message: String,
     },
+    /// The out-of-core spill pool failed while a blocked kernel streamed
+    /// tiles (e.g. the budget is smaller than a single tile, or spill I/O
+    /// failed).
+    OutOfCore {
+        /// Node where the error occurred.
+        node: NodeId,
+        /// Description of the pool failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -56,6 +72,9 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::UnboundInput(n) => write!(f, "unbound input: {n}"),
             ExecError::Type { node, message } => write!(f, "type error at node {node}: {message}"),
+            ExecError::OutOfCore { node, message } => {
+                write!(f, "out-of-core failure at node {node}: {message}")
+            }
         }
     }
 }
@@ -104,6 +123,8 @@ pub struct ExecStats {
     pub memo_hits: u64,
     /// Node evaluations dispatched to a multi-threaded kernel.
     pub par_nodes: u64,
+    /// Node evaluations dispatched to a blocked out-of-core kernel.
+    pub ooc_nodes: u64,
 }
 
 /// Which kernel family actually ran for one node, as observed at dispatch.
@@ -119,6 +140,9 @@ pub enum KernelChoice {
     Scalar,
     /// Multi-threaded dense kernel (`dm_matrix::par`).
     Parallel,
+    /// Blocked out-of-core kernel (`dm_buffer::ooc`), streaming tiles
+    /// through the executor's spill pool.
+    Blocked,
 }
 
 impl fmt::Display for KernelChoice {
@@ -129,6 +153,7 @@ impl fmt::Display for KernelChoice {
             KernelChoice::Fused => "fused",
             KernelChoice::Scalar => "scalar",
             KernelChoice::Parallel => "parallel",
+            KernelChoice::Blocked => "blocked",
         })
     }
 }
@@ -184,6 +209,11 @@ pub struct Executor<'g> {
     graph: &'g Graph,
     plan: Option<PhysicalPlan>,
     degree: usize,
+    mem_budget: Option<usize>,
+    // Spill pool shared by every blocked kernel of this executor, created
+    // lazily on the first out-of-core dispatch.
+    ooc_pool: Option<SharedBufferPool<Box<dyn Storage>>>,
+    next_ooc_matrix: u64,
     memo: HashMap<NodeId, Val>,
     stats: ExecStats,
     profile: Option<ExecProfile>,
@@ -199,6 +229,9 @@ impl<'g> Executor<'g> {
             graph,
             plan: None,
             degree: 1,
+            mem_budget: None,
+            ooc_pool: None,
+            next_ooc_matrix: 0,
             memo: HashMap::new(),
             stats: ExecStats::default(),
             profile: None,
@@ -209,10 +242,14 @@ impl<'g> Executor<'g> {
     /// New executor honoring a physical plan. Nodes the plan marked
     /// [`Kernel::Parallel`] run the multi-threaded kernels at the plan's
     /// degree (see [`plan_with_degree`](crate::physical::plan_with_degree));
-    /// everything else keeps the serial dispatch.
+    /// nodes marked [`Kernel::Blocked`] stream tiles through a spill pool
+    /// sized to the plan's memory budget (see
+    /// [`plan_with_memory`](crate::physical::plan_with_memory)); everything
+    /// else keeps the serial dispatch.
     pub fn with_plan(graph: &'g Graph, plan: PhysicalPlan) -> Self {
         let degree = plan.degree();
-        Executor { plan: Some(plan), degree, ..Executor::new(graph) }
+        let mem_budget = plan.mem_budget();
+        Executor { plan: Some(plan), degree, mem_budget, ..Executor::new(graph) }
     }
 
     /// Override the degree of parallelism used for [`Kernel::Parallel`]
@@ -226,6 +263,63 @@ impl<'g> Executor<'g> {
     /// The degree of parallelism in effect for parallel-planned nodes.
     pub fn degree(&self) -> usize {
         self.degree
+    }
+
+    /// Override the memory budget for [`Kernel::Blocked`] nodes. An
+    /// unbounded budget makes blocked-planned nodes fall back to the
+    /// in-memory dense kernels (which compute the identical bits — the
+    /// budget only bounds residency).
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.mem_budget = budget.get();
+        self
+    }
+
+    /// The memory budget (bytes) in effect for blocked-planned nodes.
+    pub fn mem_budget(&self) -> Option<usize> {
+        self.mem_budget
+    }
+
+    /// The spill pool backing blocked kernels, once one has run. Exposes
+    /// pool counters ([`SharedBufferPool::stats`]) and the audit hooks used
+    /// by tests and the profile report.
+    pub fn ooc_pool(&self) -> Option<&SharedBufferPool<Box<dyn Storage>>> {
+        self.ooc_pool.as_ref()
+    }
+
+    /// Spill-pool counters (spills, faults, evictions, pins), or `None`
+    /// until a blocked kernel has run.
+    pub fn ooc_pool_stats(&self) -> Option<PoolStats> {
+        self.ooc_pool.as_ref().map(|p| p.stats())
+    }
+
+    /// The executor's spill pool, created on first use: an LRU pool capped
+    /// at the memory budget over an on-disk store in a unique temp
+    /// directory (falling back to an in-memory store if the directory
+    /// cannot be created).
+    fn spill_pool(&mut self, budget: usize) -> SharedBufferPool<Box<dyn Storage>> {
+        if let Some(p) = &self.ooc_pool {
+            return p.clone();
+        }
+        static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dmml_spill_{}_{}",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let storage: Box<dyn Storage> = match FileStore::new(dir) {
+            Ok(fs) => Box::new(fs),
+            Err(_) => Box::new(MemStore::default()),
+        };
+        let pool = SharedBufferPool::new(BufferPool::new(budget, PolicyKind::Lru, storage));
+        self.ooc_pool = Some(pool.clone());
+        pool
+    }
+
+    /// Reserve `n` fresh matrix ids in the spill pool's key space.
+    fn ooc_ids(&mut self, n: u64) -> u64 {
+        let base = self.next_ooc_matrix;
+        self.next_ooc_matrix += n;
+        base
     }
 
     /// Enable per-node profiling (wall time, kernel dispatch, output shape
@@ -257,6 +351,19 @@ impl<'g> Executor<'g> {
         rec.add("lang.exec.flops", self.stats.flops);
         rec.add("lang.exec.par_nodes", self.stats.par_nodes);
         rec.gauge_set("lang.exec.par_degree", self.degree as u64);
+        rec.add("lang.exec.ooc_nodes", self.stats.ooc_nodes);
+        if let Some(budget) = self.mem_budget {
+            rec.gauge_set("lang.exec.mem_budget", budget as u64);
+        }
+        if let Some(pool) = &self.ooc_pool {
+            // Spill traffic of the blocked kernels: how many bytes left and
+            // re-entered memory to stay under the budget.
+            let ps = pool.stats();
+            rec.add("lang.exec.ooc.spilled_bytes", ps.spilled_bytes);
+            rec.add("lang.exec.ooc.faulted_bytes", ps.faulted_bytes);
+            rec.add("lang.exec.ooc.evictions", ps.evictions);
+            rec.add("lang.exec.ooc.pins", ps.pins);
+        }
         if let Some(p) = &self.profile {
             rec.record_duration_ns("lang.exec.eval_wall", p.total_self_ns());
             // Per-kernel-family self times: comparing `lang.exec.kernel.dense`
@@ -376,6 +483,9 @@ impl<'g> Executor<'g> {
     /// itself plus the (already memoized) representations of its operands and
     /// output.
     fn kernel_choice(&self, id: NodeId, out: &Val) -> KernelChoice {
+        if self.kernel(id) == Kernel::Blocked && self.mem_budget.is_some() {
+            return KernelChoice::Blocked;
+        }
         if self.kernel(id) == Kernel::Parallel && self.degree > 1 {
             return KernelChoice::Parallel;
         }
@@ -436,6 +546,9 @@ impl<'g> Executor<'g> {
                         ma.cols(),
                         mb.rows()
                     )));
+                }
+                if let Some(budget) = self.blocked_budget(id) {
+                    return self.blocked_matmul(id, &ma, &mb, budget);
                 }
                 // Vector shapes dispatch to mv/vm kernels.
                 if mb.cols() == 1 {
@@ -517,9 +630,12 @@ impl<'g> Executor<'g> {
                         Matrix::Sparse(s) => Val::Scalar(s.iter().map(|(_, _, v)| v).sum()),
                     },
                     AggOp::ColSums => {
-                        let cs = match &m {
-                            Matrix::Dense(d) => par::col_sums(d, self.node_degree(id)),
-                            Matrix::Sparse(s) => {
+                        let cs = match (&m, self.blocked_budget(id)) {
+                            (Matrix::Dense(d), Some(budget)) => {
+                                self.blocked_col_sums(id, d, budget)?
+                            }
+                            (Matrix::Dense(d), None) => par::col_sums(d, self.node_degree(id)),
+                            (Matrix::Sparse(s), _) => {
                                 let ones = vec![1.0; s.rows()];
                                 sparse::spvm(&ones, s)
                             }
@@ -545,11 +661,16 @@ impl<'g> Executor<'g> {
             Op::CrossProd(a) => {
                 let v = self.eval(a, env)?;
                 let m = v.as_dense().ok_or_else(|| type_err("crossprod needs a matrix".into()))?;
-                match self.kernel(id) {
-                    Kernel::Sparse => {
+                match (self.kernel(id), self.blocked_budget(id)) {
+                    (Kernel::Sparse, _) => {
                         let s = Csr::from_dense(&m);
                         self.stats.flops += 2 * (s.nnz() * m.cols()) as u64;
                         Ok(Val::Matrix(Matrix::Dense(sparse::sp_crossprod(&s))))
+                    }
+                    (_, Some(budget)) => {
+                        self.stats.flops += (m.rows() * m.cols() * m.cols()) as u64;
+                        let out = self.blocked_crossprod(id, &m, budget)?;
+                        Ok(Val::Matrix(Matrix::Dense(out)))
                     }
                     _ => {
                         self.stats.flops += (m.rows() * m.cols() * m.cols()) as u64;
@@ -608,11 +729,19 @@ impl<'g> Executor<'g> {
             (Val::Matrix(m), Val::Scalar(s)) => {
                 let d = m.to_dense();
                 self.stats.flops += (d.rows() * d.cols()) as u64;
+                if let Some(budget) = self.blocked_budget(id) {
+                    let out = self.blocked_map(id, &d, move |v| f(v, s), budget)?;
+                    return Ok(Val::Matrix(Matrix::Dense(out)));
+                }
                 Ok(Val::Matrix(Matrix::Dense(d.map(|v| f(v, s)))))
             }
             (Val::Scalar(s), Val::Matrix(m)) => {
                 let d = m.to_dense();
                 self.stats.flops += (d.rows() * d.cols()) as u64;
+                if let Some(budget) = self.blocked_budget(id) {
+                    let out = self.blocked_map(id, &d, move |v| f(s, v), budget)?;
+                    return Ok(Val::Matrix(Matrix::Dense(out)));
+                }
                 Ok(Val::Matrix(Matrix::Dense(d.map(|v| f(s, v)))))
             }
             (Val::Matrix(ma), Val::Matrix(mb)) => {
@@ -630,6 +759,10 @@ impl<'g> Executor<'g> {
                 }
                 let (da, db) = (ma.to_dense(), mb.to_dense());
                 self.stats.flops += (da.rows() * da.cols()) as u64;
+                if let Some(budget) = self.blocked_budget(id) {
+                    let out = self.blocked_ewise(id, &da, &db, f, budget)?;
+                    return Ok(Val::Matrix(Matrix::Dense(out)));
+                }
                 let out = match e {
                     EwiseOp::Add => ops::add(&da, &db),
                     EwiseOp::Sub => ops::sub(&da, &db),
@@ -640,6 +773,137 @@ impl<'g> Executor<'g> {
             }
         }
     }
+
+    /// Budget for node `id` when (and only when) the plan chose
+    /// [`Kernel::Blocked`] for it and a budget is in effect.
+    fn blocked_budget(&self, id: NodeId) -> Option<usize> {
+        if self.kernel(id) == Kernel::Blocked {
+            self.mem_budget
+        } else {
+            None
+        }
+    }
+
+    /// `a * b` through the blocked kernels: operands are tiled into the
+    /// spill pool and streamed panel-by-panel, bit-identical to the
+    /// in-memory dense path.
+    fn blocked_matmul(
+        &mut self,
+        id: NodeId,
+        ma: &Matrix,
+        mb: &Matrix,
+        budget: usize,
+    ) -> Result<Val, ExecError> {
+        self.stats.ooc_nodes += 1;
+        let da = ma.to_dense();
+        let pool = self.spill_pool(budget);
+        let err = |e: PoolError| ooc_err(id, e);
+        if mb.cols() == 1 {
+            let v: Vec<f64> = (0..mb.rows()).map(|r| mb.get(r, 0)).collect();
+            self.stats.flops += 2 * (da.rows() * da.cols()) as u64;
+            let pr = panel_rows_for(da.cols(), budget, 8);
+            let sa = BlockStore::from_dense(&pool, self.ooc_ids(1), &da, pr).map_err(err)?;
+            let out = ooc::gemv(&sa, &v, self.degree).map_err(err)?;
+            sa.discard().map_err(err)?;
+            return Ok(Val::Matrix(Matrix::Dense(Dense::column(&out))));
+        }
+        let db = mb.to_dense();
+        self.stats.flops += 2 * (da.rows() * da.cols() * db.cols()) as u64;
+        let base = self.ooc_ids(3);
+        let sa = BlockStore::from_dense(&pool, base, &da, panel_rows_for(da.cols(), budget, 8))
+            .map_err(err)?;
+        let sb = BlockStore::from_dense(&pool, base + 1, &db, panel_rows_for(db.cols(), budget, 8))
+            .map_err(err)?;
+        let sout = ooc::gemm(&sa, &sb, base + 2, self.degree).map_err(err)?;
+        let out = sout.to_dense().map_err(err)?;
+        for s in [sa, sb, sout] {
+            s.discard().map_err(err)?;
+        }
+        Ok(Val::Matrix(Matrix::Dense(out)))
+    }
+
+    /// `t(a) * a` through the blocked crossprod kernel.
+    fn blocked_crossprod(
+        &mut self,
+        id: NodeId,
+        m: &Dense,
+        budget: usize,
+    ) -> Result<Dense, ExecError> {
+        self.stats.ooc_nodes += 1;
+        let pool = self.spill_pool(budget);
+        let err = |e: PoolError| ooc_err(id, e);
+        let pr = panel_rows_for(m.cols(), budget, 8);
+        let sa = BlockStore::from_dense(&pool, self.ooc_ids(1), m, pr).map_err(err)?;
+        let out = ooc::crossprod(&sa, self.degree).map_err(err)?;
+        sa.discard().map_err(err)?;
+        Ok(out)
+    }
+
+    /// Column sums through the blocked reduction kernel.
+    fn blocked_col_sums(
+        &mut self,
+        id: NodeId,
+        m: &Dense,
+        budget: usize,
+    ) -> Result<Vec<f64>, ExecError> {
+        self.stats.ooc_nodes += 1;
+        let pool = self.spill_pool(budget);
+        let err = |e: PoolError| ooc_err(id, e);
+        let pr = panel_rows_for(m.cols(), budget, 8);
+        let sa = BlockStore::from_dense(&pool, self.ooc_ids(1), m, pr).map_err(err)?;
+        let out = ooc::col_sums(&sa, self.degree).map_err(err)?;
+        sa.discard().map_err(err)?;
+        Ok(out)
+    }
+
+    /// Matrix ⊕ matrix through the blocked elementwise kernel.
+    fn blocked_ewise(
+        &mut self,
+        id: NodeId,
+        da: &Dense,
+        db: &Dense,
+        f: impl Fn(f64, f64) -> f64 + Sync,
+        budget: usize,
+    ) -> Result<Dense, ExecError> {
+        self.stats.ooc_nodes += 1;
+        let pool = self.spill_pool(budget);
+        let err = |e: PoolError| ooc_err(id, e);
+        let pr = panel_rows_for(da.cols(), budget, 8);
+        let base = self.ooc_ids(3);
+        let sa = BlockStore::from_dense(&pool, base, da, pr).map_err(err)?;
+        let sb = BlockStore::from_dense(&pool, base + 1, db, pr).map_err(err)?;
+        let sout = ooc::ewise(&sa, &sb, f, base + 2, self.degree).map_err(err)?;
+        let out = sout.to_dense().map_err(err)?;
+        for s in [sa, sb, sout] {
+            s.discard().map_err(err)?;
+        }
+        Ok(out)
+    }
+
+    /// Matrix-scalar / unary broadcast through the blocked map kernel.
+    fn blocked_map(
+        &mut self,
+        id: NodeId,
+        m: &Dense,
+        f: impl Fn(f64) -> f64 + Sync,
+        budget: usize,
+    ) -> Result<Dense, ExecError> {
+        self.stats.ooc_nodes += 1;
+        let pool = self.spill_pool(budget);
+        let err = |e: PoolError| ooc_err(id, e);
+        let pr = panel_rows_for(m.cols(), budget, 8);
+        let base = self.ooc_ids(2);
+        let sa = BlockStore::from_dense(&pool, base, m, pr).map_err(err)?;
+        let sout = ooc::map(&sa, f, base + 1, self.degree).map_err(err)?;
+        let out = sout.to_dense().map_err(err)?;
+        sa.discard().map_err(err)?;
+        sout.discard().map_err(err)?;
+        Ok(out)
+    }
+}
+
+fn ooc_err(node: NodeId, e: PoolError) -> ExecError {
+    ExecError::OutOfCore { node, message: e.to_string() }
 }
 
 fn min_of(m: &Matrix) -> f64 {

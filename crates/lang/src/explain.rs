@@ -4,8 +4,10 @@
 
 use crate::exec::{ExecProfile, KernelChoice};
 use crate::expr::{AggOp, EwiseOp, Graph, NodeId, Op, UnaryOp};
-use crate::physical::{plan, plan_with_degree, PhysicalPlan};
+use crate::memory::MemoryBudget;
+use crate::physical::{plan, plan_with_degree, plan_with_memory, PhysicalPlan};
 use crate::size::{propagate, InputSizes, Shape, SizeInfo};
+use dm_buffer::PoolStats;
 use dm_obs::fmt_ns;
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
@@ -136,7 +138,7 @@ pub fn explain_with(graph: &Graph, root: NodeId, inputs: &InputSizes) -> String 
 /// [`explain_with`], but planning at the given degree of parallelism: nodes
 /// whose estimated flops clear the parallel threshold are annotated
 /// `parallel` instead of `dense` (see
-/// [`plan_with_degree`](crate::physical::plan_with_degree)).
+/// [`plan_with_degree`]).
 pub fn explain_with_degree(
     graph: &Graph,
     root: NodeId,
@@ -145,6 +147,26 @@ pub fn explain_with_degree(
 ) -> String {
     let sizes = propagate(graph, root, inputs).ok();
     let phys = sizes.as_ref().map(|s| plan_with_degree(graph, root, s, degree));
+    let mut out = String::new();
+    let mut seen = HashSet::new();
+    render_tree(graph, root, "", true, true, &mut seen, sizes.as_ref(), phys.as_ref(), &mut out);
+    out
+}
+
+/// [`explain_with_degree`], but also planning under a memory budget: nodes
+/// whose operands or output are estimated to exceed the budget are annotated
+/// `blocked` — they will stream tiles through the spill pool (see
+/// [`plan_with_memory`]). An unbounded
+/// budget renders exactly what [`explain_with_degree`] renders.
+pub fn explain_with_memory(
+    graph: &Graph,
+    root: NodeId,
+    inputs: &InputSizes,
+    degree: usize,
+    budget: MemoryBudget,
+) -> String {
+    let sizes = propagate(graph, root, inputs).ok();
+    let phys = sizes.as_ref().map(|s| plan_with_memory(graph, root, s, degree, budget));
     let mut out = String::new();
     let mut seen = HashSet::new();
     render_tree(graph, root, "", true, true, &mut seen, sizes.as_ref(), phys.as_ref(), &mut out);
@@ -161,6 +183,22 @@ pub fn profile_report(
     profile: &ExecProfile,
     inputs: &InputSizes,
     top_k: usize,
+) -> String {
+    profile_report_with_spill(graph, root, profile, inputs, top_k, None)
+}
+
+/// [`profile_report`] with a spill section: pass the executor's spill-pool
+/// counters ([`Executor::ooc_pool_stats`](crate::exec::Executor::ooc_pool_stats))
+/// to append blocked-kernel totals and the pool's spill / fault / eviction
+/// traffic. `None` (or a run with no blocked dispatch) renders the plain
+/// report.
+pub fn profile_report_with_spill(
+    graph: &Graph,
+    root: NodeId,
+    profile: &ExecProfile,
+    inputs: &InputSizes,
+    top_k: usize,
+    spill: Option<&PoolStats>,
 ) -> String {
     let mut out = String::new();
     let total_ns = profile.total_self_ns();
@@ -234,6 +272,27 @@ pub fn profile_report(
             out,
             "parallel kernels: {par_evals} evals, {} self time ({pct:.1}%)",
             fmt_ns(par_ns)
+        );
+    }
+
+    // Out-of-core dispatch summary + spill-pool traffic.
+    let (ooc_evals, ooc_ns) = profile
+        .nodes()
+        .filter(|(_, n)| n.kernel == Some(KernelChoice::Blocked))
+        .fold((0u64, 0u64), |(e, t), (_, n)| (e + n.evals, t + n.self_ns));
+    if ooc_evals > 0 {
+        let pct = if total_ns == 0 { 0.0 } else { 100.0 * ooc_ns as f64 / total_ns as f64 };
+        let _ = writeln!(
+            out,
+            "out-of-core kernels: {ooc_evals} evals, {} self time ({pct:.1}%)",
+            fmt_ns(ooc_ns)
+        );
+    }
+    if let Some(ps) = spill {
+        let _ = writeln!(
+            out,
+            "spill pool: {} B spilled, {} B faulted back, {} evictions, {} pins",
+            ps.spilled_bytes, ps.faulted_bytes, ps.evictions, ps.pins
         );
     }
 

@@ -28,6 +28,7 @@ pub mod analyze;
 pub mod exec;
 pub mod explain;
 pub mod expr;
+pub mod memory;
 pub mod parser;
 pub mod physical;
 pub mod rewrite;
@@ -38,7 +39,11 @@ pub use analyze::{
     Severity,
 };
 pub use exec::{Env, ExecError, ExecProfile, Executor, KernelChoice, NodeStats, Val};
-pub use explain::{explain, explain_with, explain_with_degree, profile_report};
+pub use explain::{
+    explain, explain_with, explain_with_degree, explain_with_memory, profile_report,
+    profile_report_with_spill,
+};
 pub use expr::{AggOp, EwiseOp, Graph, NodeId, Op, UnaryOp};
+pub use memory::{MemoryBudget, MEM_BUDGET_ENV};
 pub use rewrite::{estimated_cost, optimize, optimize_traced, RewriteStats, RewriteTrace};
 pub use size::{Shape, SizeInfo};

@@ -5,6 +5,7 @@
 //! calibrated by experiment E6.
 
 use crate::expr::{Graph, NodeId, Op};
+use crate::memory::MemoryBudget;
 use crate::size::{InputSizes, SizeInfo};
 use std::collections::HashMap;
 use std::fmt;
@@ -22,6 +23,11 @@ pub enum Kernel {
     /// estimated flop count clears [`PAR_FLOP_THRESHOLD`] and the plan was
     /// built with a degree above one.
     Parallel,
+    /// Blocked out-of-core kernel (`dm_buffer::ooc`), chosen by
+    /// [`plan_with_memory`] when an operand or the output is estimated to
+    /// exceed the memory budget: tiles stream through a buffer pool instead
+    /// of being held resident at once.
+    Blocked,
 }
 
 impl fmt::Display for Kernel {
@@ -31,6 +37,7 @@ impl fmt::Display for Kernel {
             Kernel::Sparse => "sparse",
             Kernel::Scalar => "scalar",
             Kernel::Parallel => "parallel",
+            Kernel::Blocked => "blocked",
         })
     }
 }
@@ -40,6 +47,7 @@ impl fmt::Display for Kernel {
 pub struct PhysicalPlan {
     kernels: HashMap<NodeId, Kernel>,
     degree: usize,
+    mem_budget: Option<usize>,
 }
 
 impl PhysicalPlan {
@@ -54,6 +62,13 @@ impl PhysicalPlan {
     /// the executor dispatches [`Kernel::Parallel`] nodes accordingly.
     pub fn degree(&self) -> usize {
         self.degree.max(1)
+    }
+
+    /// The memory budget (bytes) the plan was built under, when
+    /// [`plan_with_memory`] chose [`Kernel::Blocked`] nodes; `None` for
+    /// unbounded plans. The executor sizes its spill pool from this.
+    pub fn mem_budget(&self) -> Option<usize> {
+        self.mem_budget
     }
 
     /// Number of planned nodes.
@@ -95,7 +110,7 @@ pub fn plan(graph: &Graph, root: NodeId, sizes: &HashMap<NodeId, SizeInfo>) -> P
         };
         kernels.insert(id, k);
     }
-    PhysicalPlan { kernels, degree: 1 }
+    PhysicalPlan { kernels, degree: 1, mem_budget: None }
 }
 
 fn sparsity_kernel(info: Option<&SizeInfo>) -> Kernel {
@@ -196,6 +211,72 @@ pub fn plan_with_degree(
     p
 }
 
+/// True for ops with a blocked out-of-core kernel in `dm_buffer::ooc`.
+fn blockable(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::MatMul(..) | Op::CrossProd(_) | Op::Ewise(..) | Op::Agg(crate::expr::AggOp::ColSums, _)
+    )
+}
+
+/// Dense in-memory footprint of a node's value in bytes, per propagated
+/// shape. Sparsity is deliberately ignored: the blocked kernels stream dense
+/// row panels, and sparse-planned nodes are never upgraded anyway.
+fn dense_bytes(info: Option<&SizeInfo>) -> usize {
+    use crate::size::Shape;
+    match info {
+        Some(i) => match i.shape {
+            Shape::Scalar => 8,
+            Shape::Matrix { rows, cols } => rows.saturating_mul(cols).saturating_mul(8),
+        },
+        None => 0,
+    }
+}
+
+/// [`plan_with_degree`], then downgrade dense and parallel choices to
+/// [`Kernel::Blocked`] wherever an operand or the output of a blockable op
+/// (matmul, crossprod, colSums, elementwise) is estimated to exceed the
+/// memory budget. Sparse and scalar choices are never touched — the sparse
+/// kernels already hold only non-zeros — and an unbounded budget returns the
+/// degree plan unchanged.
+pub fn plan_with_memory(
+    graph: &Graph,
+    root: NodeId,
+    sizes: &HashMap<NodeId, SizeInfo>,
+    degree: usize,
+    budget: MemoryBudget,
+) -> PhysicalPlan {
+    let mut p = plan_with_degree(graph, root, sizes, degree);
+    let Some(limit) = budget.get() else {
+        return p;
+    };
+    p.mem_budget = Some(limit);
+    for id in graph.reachable(root) {
+        if !matches!(p.kernel(id), Kernel::Dense | Kernel::Parallel) || !blockable(graph.op(id)) {
+            continue;
+        }
+        let oversized = std::iter::once(id)
+            .chain(graph.op(id).children().iter().copied())
+            .any(|n| dense_bytes(sizes.get(&n)) > limit);
+        if oversized {
+            p.kernels.insert(id, Kernel::Blocked);
+        }
+    }
+    p
+}
+
+/// Convenience: propagate sizes then [`plan_with_memory`].
+pub fn plan_with_inputs_memory(
+    graph: &Graph,
+    root: NodeId,
+    inputs: &InputSizes,
+    degree: usize,
+    budget: MemoryBudget,
+) -> Result<PhysicalPlan, crate::size::SizeError> {
+    let sizes = crate::size::propagate(graph, root, inputs)?;
+    Ok(plan_with_memory(graph, root, &sizes, degree, budget))
+}
+
 /// Convenience: propagate sizes then plan.
 pub fn plan_with_inputs(
     graph: &Graph,
@@ -219,15 +300,18 @@ pub fn plan_with_inputs_degree(
     Ok(plan_with_degree(graph, root, &sizes, degree))
 }
 
-/// [`plan_with_inputs_degree`] at the machine default degree: `DMML_THREADS`
-/// when set, otherwise the available core count (see
-/// [`dm_par::default_degree`]).
+/// [`plan_with_inputs_memory`] at the machine defaults: degree from
+/// `DMML_THREADS` / the core count (see [`dm_par::default_degree`]), memory
+/// budget from `DMML_MEM_BUDGET` (see
+/// [`MemoryBudget::from_env`](crate::memory::MemoryBudget::from_env));
+/// unbounded — and therefore identical to [`plan_with_inputs_degree`] — when
+/// the variable is unset.
 pub fn plan_with_inputs_auto(
     graph: &Graph,
     root: NodeId,
     inputs: &InputSizes,
 ) -> Result<PhysicalPlan, crate::size::SizeError> {
-    plan_with_inputs_degree(graph, root, inputs, dm_par::default_degree())
+    plan_with_inputs_memory(graph, root, inputs, dm_par::default_degree(), MemoryBudget::from_env())
 }
 
 #[cfg(test)]
@@ -355,6 +439,67 @@ mod tests {
         let p = plan_with_inputs_degree(&g, cp, &s, 1).unwrap();
         assert_eq!(p.kernel(cp), Kernel::Dense);
         assert_eq!(p.degree(), 1);
+    }
+
+    #[test]
+    fn oversized_dense_ops_go_blocked() {
+        // 100_000 x 200 dense X is 160 MB; a 1 MB budget forces the
+        // crossprod out-of-core even though it also cleared the parallel
+        // flop threshold.
+        let mut s = InputSizes::new();
+        s.declare("X", 100_000, 200, 1.0);
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let cp = g.push(crate::expr::Op::CrossProd(x));
+        let p = plan_with_inputs_memory(&g, cp, &s, 4, MemoryBudget::bytes(1 << 20)).unwrap();
+        assert_eq!(p.kernel(cp), Kernel::Blocked);
+        assert_eq!(p.mem_budget(), Some(1 << 20));
+        // Inputs are not compute nodes; they are never blocked.
+        assert_eq!(p.kernel(x), Kernel::Dense);
+    }
+
+    #[test]
+    fn unbounded_budget_leaves_the_degree_plan_unchanged() {
+        let mut s = InputSizes::new();
+        s.declare("X", 100_000, 200, 1.0);
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let cp = g.push(crate::expr::Op::CrossProd(x));
+        let p = plan_with_inputs_memory(&g, cp, &s, 4, MemoryBudget::unbounded()).unwrap();
+        assert_eq!(p.kernel(cp), Kernel::Parallel);
+        assert_eq!(p.mem_budget(), None);
+    }
+
+    #[test]
+    fn sparse_and_small_nodes_never_go_blocked() {
+        let mut s = InputSizes::new();
+        s.declare("S", 1_000_000, 500, 0.01); // huge but sparse-planned
+        s.declare("D", 100, 50, 0.9); // dense but tiny
+        let mut g = Graph::new();
+        let sp = g.input("S");
+        let cp = g.push(crate::expr::Op::CrossProd(sp));
+        let p = plan_with_inputs_memory(&g, cp, &s, 4, MemoryBudget::bytes(1 << 20)).unwrap();
+        assert_eq!(p.kernel(cp), Kernel::Sparse, "sparse kernels already stream non-zeros");
+
+        let mut g = Graph::new();
+        let d = g.input("D");
+        let dd = g.ewise(crate::expr::EwiseOp::Add, d, d);
+        let p = plan_with_inputs_memory(&g, dd, &s, 4, MemoryBudget::bytes(1 << 20)).unwrap();
+        assert_eq!(p.kernel(dd), Kernel::Dense, "fits the budget, stays in memory");
+    }
+
+    #[test]
+    fn oversized_operand_blocks_the_consumer_not_the_producer_of_small_outputs() {
+        // colSums over an oversized dense matrix produces a tiny 1 x d row,
+        // but reading the operand is what must stream.
+        let mut s = InputSizes::new();
+        s.declare("X", 100_000, 200, 1.0);
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let cs = g.agg(AggOp::ColSums, x);
+        let p = plan_with_inputs_memory(&g, cs, &s, 1, MemoryBudget::bytes(1 << 20)).unwrap();
+        assert_eq!(p.kernel(cs), Kernel::Blocked);
+        assert_eq!(p.degree(), 1, "blocked selection is independent of degree");
     }
 
     #[test]

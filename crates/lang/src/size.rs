@@ -117,7 +117,7 @@ impl InputSizes {
 /// never observes `Ok(None)`.
 ///
 /// Both the fail-fast propagation and the accumulating linter in
-/// [`crate::analyze`] route through this function, so shape rules cannot
+/// [`crate::analyze`](mod@crate::analyze) route through this function, so shape rules cannot
 /// drift between the two.
 pub fn infer_node(
     graph: &Graph,

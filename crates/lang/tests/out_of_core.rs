@@ -1,0 +1,239 @@
+//! Out-of-core acceptance: programs whose working set is a multiple of the
+//! memory budget must execute through the blocked kernels **bit-identically**
+//! to the unbounded in-memory executor, leave the spill pool audit-clean, and
+//! honor the `DMML_MEM_BUDGET` environment variable.
+
+use dm_lang::exec::{Env, ExecError, Executor, KernelChoice, Val};
+use dm_lang::explain::{explain_with_memory, profile_report_with_spill};
+use dm_lang::expr::{AggOp, EwiseOp, Graph, NodeId};
+use dm_lang::memory::MemoryBudget;
+use dm_lang::physical::{plan_with_inputs_memory, Kernel};
+use dm_lang::size::InputSizes;
+use dm_matrix::{Dense, Matrix};
+use proptest::prelude::*;
+
+/// The LA program under test, exercising every blocked kernel family:
+/// `Y = X %*% B` (gemm), `Z = Y + Y` (ewise), `colSums(Z)` (reduction),
+/// `crossprod(Z)` (fused reduction), combined into one scalar root.
+struct Program {
+    graph: Graph,
+    y: NodeId,
+    z: NodeId,
+    cs: NodeId,
+    cp: NodeId,
+    root: NodeId,
+}
+
+fn program() -> Program {
+    let mut g = Graph::new();
+    let x = g.input("X");
+    let b = g.input("B");
+    let y = g.matmul(x, b);
+    let z = g.ewise(EwiseOp::Add, y, y);
+    let cs = g.agg(AggOp::ColSums, z);
+    let cp = g.push(dm_lang::expr::Op::CrossProd(z));
+    let s1 = g.agg(AggOp::Sum, cs);
+    let s2 = g.agg(AggOp::Sum, cp);
+    let root = g.ewise(EwiseOp::Add, s1, s2);
+    Program { graph: g, y, z, cs, cp, root }
+}
+
+fn dense_input(rows: usize, cols: usize, salt: u64) -> Dense {
+    Dense::from_fn(rows, cols, |r, c| {
+        let h = (r as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(c as u64)
+            .wrapping_add(salt)
+            .wrapping_mul(1442695040888963407);
+        let v = ((h >> 33) % 1000) as f64 * 0.013 - 6.5;
+        // Exact zeros exercise the kernels' zero-skip fast paths.
+        if h.is_multiple_of(13) {
+            0.0
+        } else {
+            v
+        }
+    })
+}
+
+fn bits(d: &Dense) -> Vec<u64> {
+    d.data().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The acceptance criterion: working set >= 4x budget, blocked execution
+    /// bit-identical to in-memory, spill pool audit-clean afterwards.
+    #[test]
+    fn blocked_execution_bit_identical_to_in_memory(
+        n in 96usize..160,
+        k in 16usize..32,
+        m in 40usize..64,
+        degree in 1usize..4,
+        salt in 0u64..1000,
+    ) {
+        let p = program();
+        let mut env = Env::new();
+        env.bind("X", Matrix::Dense(dense_input(n, k, salt)));
+        env.bind("B", Matrix::Dense(dense_input(k, m, salt.wrapping_add(7))));
+        let mut sizes = InputSizes::new();
+        sizes.declare("X", n, k, 1.0);
+        sizes.declare("B", k, m, 1.0);
+
+        // Budget = a quarter of the working set (X + B + Y + Z), so the
+        // blocked kernels must stream: nothing fits resident all at once.
+        let ws = 8 * (n * k + k * m + 2 * (n * m));
+        let budget = ws / 4;
+        prop_assert!(ws >= 4 * budget);
+
+        let mut in_mem = Executor::new(&p.graph);
+        let expect = in_mem.eval(p.root, &env).unwrap();
+
+        let plan =
+            plan_with_inputs_memory(&p.graph, p.root, &sizes, degree, MemoryBudget::bytes(budget))
+                .unwrap();
+        for id in [p.y, p.z, p.cs, p.cp] {
+            prop_assert_eq!(plan.kernel(id), Kernel::Blocked, "node {} must go out-of-core", id);
+        }
+        let mut ooc = Executor::with_plan(&p.graph, plan);
+        let got = ooc.eval(p.root, &env).unwrap();
+
+        match (&expect, &got) {
+            (Val::Scalar(a), Val::Scalar(b)) => {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "scalar root must be bit-identical");
+            }
+            _ => prop_assert!(false, "scalar root expected"),
+        }
+        // Intermediates are bit-identical too, not just the folded scalar.
+        let (zi, zo) = (in_mem.eval(p.z, &env).unwrap(), ooc.eval(p.z, &env).unwrap());
+        prop_assert_eq!(bits(&zi.as_dense().unwrap()), bits(&zo.as_dense().unwrap()));
+
+        prop_assert_eq!(ooc.stats().ooc_nodes, 4, "all four blocked nodes dispatched OOC");
+        prop_assert_eq!(in_mem.stats().ooc_nodes, 0);
+        prop_assert_eq!(in_mem.stats().flops, ooc.stats().flops, "same logical work");
+
+        let pool = ooc.ooc_pool().expect("spill pool exists after blocked dispatch");
+        let stats = pool.stats();
+        prop_assert!(stats.evictions > 0, "working set 4x budget must evict: {stats:?}");
+        prop_assert!(stats.spilled_bytes > 0, "dirty tiles must spill: {stats:?}");
+        let report = pool.audit_quiescent().expect("pool audit clean after the run");
+        prop_assert!(report.pinned.is_empty(), "no pins survive a completed program");
+        prop_assert_eq!(pool.used(), 0, "all per-node stores were discarded");
+    }
+}
+
+#[test]
+fn blocked_budget_smaller_than_one_tile_is_a_clean_error() {
+    // One full-width row of a 2^20-col matrix cannot fit an 8 KB budget:
+    // the executor must surface PoolError::BlockTooLarge as ExecError,
+    // not loop or panic.
+    let mut g = Graph::new();
+    let x = g.input("X");
+    let z = g.ewise(EwiseOp::Add, x, x);
+    let mut env = Env::new();
+    env.bind("X", Matrix::Dense(dense_input(2, 4096, 1)));
+    let mut sizes = InputSizes::new();
+    sizes.declare("X", 2, 4096, 1.0);
+    let plan = plan_with_inputs_memory(&g, z, &sizes, 1, MemoryBudget::bytes(8 << 10)).unwrap();
+    assert_eq!(plan.kernel(z), Kernel::Blocked);
+    let mut ex = Executor::with_plan(&g, plan);
+    match ex.eval(z, &env) {
+        Err(ExecError::OutOfCore { node, message }) => {
+            assert_eq!(node, z);
+            assert!(message.contains("bytes"), "names the oversized tile: {message}");
+        }
+        other => panic!("expected OutOfCore error, got {other:?}"),
+    }
+}
+
+#[test]
+fn explain_and_profile_show_out_of_core_nodes() {
+    let p = program();
+    let (n, k, m) = (128, 24, 48);
+    let mut sizes = InputSizes::new();
+    sizes.declare("X", n, k, 1.0);
+    sizes.declare("B", k, m, 1.0);
+    let budget = 8 * (n * k + k * m + 2 * n * m) / 4;
+
+    let txt = explain_with_memory(&p.graph, p.root, &sizes, 2, MemoryBudget::bytes(budget));
+    assert!(txt.contains("blocked"), "explain must annotate OOC nodes:\n{txt}");
+    // Unbounded budget renders the ordinary degree plan.
+    let unbounded = explain_with_memory(&p.graph, p.root, &sizes, 2, MemoryBudget::unbounded());
+    assert!(!unbounded.contains("blocked"), "{unbounded}");
+
+    let mut env = Env::new();
+    env.bind("X", Matrix::Dense(dense_input(n, k, 3)));
+    env.bind("B", Matrix::Dense(dense_input(k, m, 11)));
+    let plan =
+        plan_with_inputs_memory(&p.graph, p.root, &sizes, 2, MemoryBudget::bytes(budget)).unwrap();
+    let mut ex = Executor::with_plan(&p.graph, plan).profiled();
+    ex.eval(p.root, &env).unwrap();
+    assert_eq!(ex.profile().unwrap().node(p.y).unwrap().kernel, Some(KernelChoice::Blocked));
+
+    let spill = ex.ooc_pool_stats();
+    let report = profile_report_with_spill(
+        &p.graph,
+        p.root,
+        ex.profile().unwrap(),
+        &sizes,
+        5,
+        spill.as_ref(),
+    );
+    assert!(report.contains("out-of-core kernels: 4 evals"), "{report}");
+    assert!(report.contains("spill pool:"), "{report}");
+    assert!(report.contains("kernel blocked"), "{report}");
+}
+
+#[test]
+fn record_stats_forwards_spill_counters() {
+    use dm_obs::StatsRegistry;
+    let p = program();
+    let (n, k, m) = (128, 24, 48);
+    let mut env = Env::new();
+    env.bind("X", Matrix::Dense(dense_input(n, k, 5)));
+    env.bind("B", Matrix::Dense(dense_input(k, m, 9)));
+    let mut sizes = InputSizes::new();
+    sizes.declare("X", n, k, 1.0);
+    sizes.declare("B", k, m, 1.0);
+    let budget = 8 * (n * k + k * m + 2 * n * m) / 4;
+    let plan =
+        plan_with_inputs_memory(&p.graph, p.root, &sizes, 1, MemoryBudget::bytes(budget)).unwrap();
+    let mut ex = Executor::with_plan(&p.graph, plan);
+    ex.eval(p.root, &env).unwrap();
+    let reg = StatsRegistry::new();
+    ex.record_stats(&reg);
+    let rep = reg.report();
+    assert_eq!(rep.counter("lang.exec.ooc_nodes"), Some(4));
+    assert_eq!(rep.gauge("lang.exec.mem_budget").map(|(cur, _)| cur), Some(budget as u64));
+    assert!(rep.counter("lang.exec.ooc.spilled_bytes").unwrap_or(0) > 0);
+    assert!(rep.counter("lang.exec.ooc.evictions").unwrap_or(0) > 0);
+}
+
+/// `DMML_MEM_BUDGET` drives `plan_with_inputs_auto`, with the explicit API
+/// taking precedence. This test owns the env var: nothing else in this
+/// process reads it concurrently.
+#[test]
+fn mem_budget_env_var_drives_auto_planning() {
+    let p = program();
+    let mut sizes = InputSizes::new();
+    sizes.declare("X", 4096, 512, 1.0); // 16 MB
+    sizes.declare("B", 512, 1024, 1.0);
+    std::env::set_var(dm_lang::MEM_BUDGET_ENV, "1m");
+    let auto = dm_lang::physical::plan_with_inputs_auto(&p.graph, p.root, &sizes).unwrap();
+    std::env::remove_var(dm_lang::MEM_BUDGET_ENV);
+    assert_eq!(auto.kernel(p.y), Kernel::Blocked);
+    assert_eq!(auto.mem_budget(), Some(1 << 20));
+
+    // Unset: auto planning stays unbounded.
+    let auto = dm_lang::physical::plan_with_inputs_auto(&p.graph, p.root, &sizes).unwrap();
+    assert_eq!(auto.mem_budget(), None);
+    assert_ne!(auto.kernel(p.y), Kernel::Blocked);
+
+    // Explicit API beats whatever the environment says.
+    std::env::set_var(dm_lang::MEM_BUDGET_ENV, "1m");
+    let explicit =
+        plan_with_inputs_memory(&p.graph, p.root, &sizes, 1, MemoryBudget::unbounded()).unwrap();
+    std::env::remove_var(dm_lang::MEM_BUDGET_ENV);
+    assert_eq!(explicit.mem_budget(), None);
+    assert_ne!(explicit.kernel(p.y), Kernel::Blocked);
+}

@@ -93,7 +93,7 @@ pub fn gemv(m: &Dense, v: &[f64], degree: usize) -> Vec<f64> {
 }
 
 /// Row-partitioned matrix-matrix product `a * b` at the given degree, with
-/// the cache-blocked tile of [`gemm_rows`] as the per-worker inner kernel.
+/// the cache-blocked row tile (`gemm_rows`) as the per-worker inner kernel.
 ///
 /// # Panics
 /// Panics if `a.cols() != b.rows()`.

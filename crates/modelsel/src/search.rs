@@ -182,8 +182,8 @@ pub fn grid_search(space: &ParamSpace, trainer: impl Fn(&Params, f64) -> f64) ->
 
 /// [`grid_search`] with configurations trained concurrently on the `dm-par`
 /// scoped pool: one task per configuration, results collected in enumeration
-/// order so the evaluation history — and tie-breaks in [`finish`] — match the
-/// serial search exactly.
+/// order so the evaluation history — and the shared tie-breaking over it —
+/// match the serial search exactly.
 ///
 /// The trainer must be `Sync` (shared read-only across workers); wrap shared
 /// mutable state (e.g. a [`SearchTrace`](crate::trace::SearchTrace)) in its

@@ -23,6 +23,26 @@
 //! environment variable when set (clamped to at least 1), otherwise from
 //! [`std::thread::available_parallelism`]. All primitives also accept an
 //! explicit degree so planners and benchmarks can pin it.
+//!
+//! ```
+//! use dm_par::{for_each_slice_mut, reduce_blocks};
+//!
+//! // Disjoint output chunks: each worker fills its own slice of elements.
+//! let mut squares = vec![0u64; 100];
+//! for_each_slice_mut(&mut squares, 1, 4, |range, chunk| {
+//!     for (v, i) in chunk.iter_mut().zip(range) {
+//!         *v = (i as u64) * (i as u64);
+//!     }
+//! });
+//! assert_eq!(squares[9], 81);
+//!
+//! // Ordered block reduction: partials fold left-to-right in block order,
+//! // so the result is bit-identical at every degree.
+//! let sum = |b: std::ops::Range<usize>| squares[b].iter().sum::<u64>();
+//! let d1 = reduce_blocks(100, 10, 1, &sum, |a, b| a + b);
+//! let d4 = reduce_blocks(100, 10, 4, &sum, |a, b| a + b);
+//! assert_eq!(d1, d4);
+//! ```
 
 pub mod pool;
 

@@ -1,93 +1,94 @@
-//! Out-of-core linear algebra: a matrix larger than the buffer pool's byte
-//! budget, tiled into blocks, spilled to disk, and multiplied by streaming
-//! blocks through the pool — the block-management story of declarative ML
-//! systems.
+//! Out-of-core linear algebra, two layers deep.
+//!
+//! First the mechanism: a [`BlockStore`] keeps a matrix as row panels inside
+//! a budget-capped buffer pool, and the `ooc` kernels stream those panels —
+//! pin → compute → unpin — spilling cold tiles to disk, while staying
+//! **bit-identical** to the in-memory kernels.
+//!
+//! Then the policy: the `dm-lang` executor does the same thing automatically.
+//! Give the planner a [`MemoryBudget`] (or set `DMML_MEM_BUDGET`) and any
+//! operator whose operands or output exceed the budget is planned as a
+//! `blocked` kernel; `explain` shows which nodes went out-of-core and the
+//! profile report accounts for the spill traffic.
 //!
 //! Run with: `cargo run --release --example out_of_core`
 
-use dmml::buffer::{
-    policy::PolicyKind,
-    storage::{FileStore, Storage},
+use dmml::buffer::{ooc, panel_rows_for, BlockStore, BufferPool, SharedBufferPool};
+use dmml::buffer::{policy::PolicyKind, storage::FileStore};
+use dmml::lang::{
+    exec::Env, explain_with_memory, parser, physical::plan_with_inputs_memory,
+    profile_report_with_spill, size::InputSizes, Executor, MemoryBudget,
 };
-use dmml::prelude::*;
+use dmml::matrix::{ops, Matrix};
 
 fn main() {
-    // 2048 x 512 matrix in 128x128 tiles = 64 blocks of ~128 KiB.
-    let (rows, cols, tile) = (2048usize, 512usize, 128usize);
-    let x = dmml::data::matgen::dense_uniform(rows, cols, -1.0, 1.0, 33);
-    let bm = BlockMatrix::from_dense(&x, tile);
-    let block_bytes = tile * tile * 8 + 16;
+    // ---- Layer 1: blocked kernels through a spilling pool -----------------
+    let (rows, inner, cols) = (1536usize, 1024usize, 768usize);
+    let a = dmml::data::matgen::dense_uniform(rows, inner, -1.0, 1.0, 33);
+    let b = dmml::data::matgen::dense_uniform(inner, cols, -1.0, 1.0, 34);
+    let ws = 8 * (rows * inner + inner * cols + rows * cols);
+    let budget = ws / 4; // the pool holds a quarter of the working set
     println!(
-        "matrix: {rows}x{cols} = {:.1} MiB in {} tiles of {:.0} KiB",
-        (rows * cols * 8) as f64 / (1 << 20) as f64,
-        bm.num_blocks(),
-        block_bytes as f64 / 1024.0
+        "gemm {rows}x{inner} * {inner}x{cols}: working set {:.1} MiB, pool budget {:.1} MiB (25%)",
+        ws as f64 / (1 << 20) as f64,
+        budget as f64 / (1 << 20) as f64
     );
 
-    // The pool holds only 1/4 of the matrix; the rest spills to disk.
-    let spill_dir = std::env::temp_dir().join("dmml_ooc_spill");
+    let spill_dir = std::env::temp_dir().join(format!("dmml_ooc_{}", std::process::id()));
     let store = FileStore::new(&spill_dir).expect("spill dir");
-    let mut pool = BufferPool::new(bm.num_blocks() / 4 * block_bytes, PolicyKind::Lru, store);
-    println!(
-        "pool: {:.1} MiB budget ({} of {} blocks resident)",
-        pool.capacity() as f64 / (1 << 20) as f64,
-        bm.num_blocks() / 4,
-        bm.num_blocks()
-    );
+    let pool = SharedBufferPool::new(BufferPool::new(budget, PolicyKind::Lru, store));
 
-    // Load all tiles (evicting + spilling as the budget is exceeded).
-    for (id, b) in bm.iter_blocks() {
-        pool.put(PageKey::new(7, id.0 as u32, id.1 as u32), b.clone()).expect("block fits");
-    }
-    println!(
-        "after load: {} resident, {} spilled to {}",
-        pool.resident(),
-        pool.storage().len(),
-        spill_dir.display()
-    );
-    pool.reset_stats();
-
-    // Out-of-core gemv: stream tiles in block-row order, faulting from disk.
-    let v: Vec<f64> = (0..cols).map(|i| (i as f64 * 0.01).sin()).collect();
     let t0 = std::time::Instant::now();
-    let mut out = vec![0.0; rows];
-    for br in 0..bm.block_rows() {
-        for bc in 0..bm.block_cols() {
-            let blk = pool
-                .get(PageKey::new(7, br as u32, bc as u32))
-                .expect("no io errors")
-                .expect("block exists");
-            let r0 = br * tile;
-            let c0 = bc * tile;
-            let seg = &v[c0..c0 + blk.cols()];
-            let part = dmml::matrix::ops::gemv(&blk, seg);
-            for (o, p) in out[r0..r0 + blk.rows()].iter_mut().zip(part) {
-                *o += p;
-            }
-        }
-    }
+    let sa = BlockStore::from_dense(&pool, 1, &a, panel_rows_for(a.cols(), budget, 8)).unwrap();
+    let sb = BlockStore::from_dense(&pool, 2, &b, panel_rows_for(b.cols(), budget, 8)).unwrap();
+    let out = ooc::gemm(&sa, &sb, 3, 2).unwrap();
+    let product = out.to_dense().unwrap();
     let elapsed = t0.elapsed();
-    let stats = pool.stats();
+    let st = pool.stats();
     println!(
-        "out-of-core gemv in {elapsed:?}: {} hits, {} faults from disk, {} evictions (hit rate {:.2})",
-        stats.hits, stats.misses, stats.evictions, stats.hit_rate()
+        "blocked gemm in {elapsed:.2?}: {:.1} MiB spilled to {}, {:.1} MiB faulted back, {} evictions",
+        st.spilled_bytes as f64 / (1 << 20) as f64,
+        spill_dir.display(),
+        st.faulted_bytes as f64 / (1 << 20) as f64,
+        st.evictions
     );
 
-    // Verify against the in-memory result.
-    let expect = dmml::matrix::ops::gemv(&x, &v);
-    let max_diff = out.iter().zip(&expect).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
-    println!("max divergence from in-memory gemv: {max_diff:.2e}");
-    assert!(max_diff < 1e-9);
-
-    // Second pass with a hot pool: hit rate reflects LRU reuse under a scan.
-    pool.reset_stats();
-    for br in 0..bm.block_rows() {
-        for bc in 0..bm.block_cols() {
-            pool.get(PageKey::new(7, br as u32, bc as u32)).unwrap().unwrap();
-        }
+    // Bit-identical, not approximately equal: the blocked kernel performs the
+    // same floating-point operations in the same order as the in-memory one.
+    assert_eq!(product.data(), ops::gemm(&a, &b).data());
+    println!("bit-identical to the in-memory gemm ✓");
+    for s in [sa, sb, out] {
+        s.discard().unwrap();
     }
+    pool.audit_quiescent().unwrap();
+    println!("pool audit clean: no leaked pins, no leaked bytes\n");
+
+    // ---- Layer 2: the executor plans it for you ---------------------------
+    // t(X) %*% (X + X) with X far larger than the budget: the planner marks
+    // the ewise add and the crossprod-shaped matmul as blocked kernels.
+    let (graph, root) = parser::parse("sum(t(X) %*% (X + X))").unwrap();
+    let x = dmml::data::matgen::dense_uniform(2048, 256, -1.0, 1.0, 35);
+    let mut sizes = InputSizes::new();
+    sizes.declare("X", x.rows(), x.cols(), 1.0);
+    let budget = MemoryBudget::bytes(1 << 20); // 1 MiB; X alone is 4 MiB
+    println!("executor plan under a {budget} budget (set DMML_MEM_BUDGET for the same effect):");
+    println!("{}", explain_with_memory(&graph, root, &sizes, 2, budget));
+
+    let plan = plan_with_inputs_memory(&graph, root, &sizes, 2, budget).unwrap();
+    let mut env = Env::new();
+    env.bind("X", Matrix::Dense(x.clone()));
+    let mut exec = Executor::with_plan(&graph, plan).profiled();
+    let got = exec.eval(root, &env).unwrap().as_scalar().unwrap();
+
+    // Same scalar, to the last bit, as the fully in-memory run.
+    let mut inmem = Executor::new(&graph);
+    let expect = inmem.eval(root, &env).unwrap().as_scalar().unwrap();
+    assert_eq!(got.to_bits(), expect.to_bits());
+    println!("result {got:.6e} — bit-identical to the unbudgeted executor ✓\n");
+
+    let spill = exec.ooc_pool_stats();
     println!(
-        "second scan pass: hit rate {:.2} (sequential scans defeat LRU when the pool is too small — the E10 effect)",
-        pool.stats().hit_rate()
+        "{}",
+        profile_report_with_spill(&graph, root, exec.profile().unwrap(), &sizes, 5, spill.as_ref())
     );
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Snapshot the headline benchmarks (E2 compressed matrix-vector, E5 rewrite
-# wins, E10 buffer pool, E13 parallel scaling) into BENCH_<date>.json at the
-# repo root, so perf drift between PRs is visible in version control.
+# wins, E10 buffer pool, E13 parallel scaling, E14 out-of-core degradation)
+# into BENCH_<date>.json at the repo root, so perf drift between PRs is
+# visible in version control.
 #
 # E13 sweeps thread degrees 1/2/4/8; on single-core machines the parallel
 # numbers only measure scheduling overhead. DMML_BENCH_GEMM_N shrinks the
@@ -13,7 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_$(date +%Y%m%d).json}"
 
-benches=(e02_cla_mv e05_rewrites e10_bufferpool e13_parallel_scaling)
+benches=(e02_cla_mv e05_rewrites e10_bufferpool e13_parallel_scaling e14_out_of_core)
 
 {
     printf '{\n'

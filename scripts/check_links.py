@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Offline link checker for the repository's markdown files.
+
+Validates every inline markdown link in tracked *.md files:
+
+* relative file links must point at an existing file or directory;
+* `#anchor` fragments (standalone or after a .md path) must match a heading
+  in the target file, using GitHub's heading-to-anchor slug rules;
+* external links (http/https/mailto) are skipped — CI has no network, and
+  this checker's job is keeping the *internal* docs graph sound.
+
+Stdlib only. Exit code 0 when every link resolves, 1 otherwise.
+
+Usage: scripts/check_links.py [root-dir]
+"""
+
+import os
+import re
+import sys
+import unicodedata
+
+SKIP_DIRS = {".git", "target", "node_modules"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+# Inline links: [text](target). Images share the syntax ( ![alt](src) ) and
+# are checked the same way. Targets containing spaces or parens are rare in
+# this repo and out of scope.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's heading -> anchor transformation (close enough for ASCII docs):
+    strip markdown emphasis/code/link syntax, lowercase, drop punctuation,
+    spaces to hyphens."""
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # [text](url) -> text
+    text = text.replace("`", "").replace("*", "").replace("_", " ")
+    text = unicodedata.normalize("NFKD", text)
+    out = []
+    for ch in text.strip().lower():
+        if ch.isalnum():
+            out.append(ch)
+        elif ch in " -":
+            out.append("-" if ch == " " else ch)
+        # other punctuation is dropped
+    return "".join(out)
+
+
+def anchors_of(md_path: str) -> set:
+    """All anchors a markdown file exposes (heading slugs, deduplicated with
+    GitHub's -1, -2 suffixes)."""
+    seen = {}
+    anchors = set()
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for line in f:
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = slugify(m.group(2))
+            n = seen.get(slug, 0)
+            seen[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def md_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.lower().endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def links_of(md_path: str):
+    """(line_number, target) for every inline link outside code fences."""
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            # Drop inline code spans so `[x](y)` examples aren't checked.
+            stripped = re.sub(r"`[^`]*`", "", line)
+            for m in LINK_RE.finditer(stripped):
+                yield lineno, m.group(1)
+
+
+def check(root: str) -> int:
+    anchor_cache = {}
+    errors = []
+    for path in sorted(md_files(root)):
+        rel = os.path.relpath(path, root)
+        for lineno, target in links_of(path):
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            frag = None
+            if "#" in target:
+                target, frag = target.split("#", 1)
+            dest = path if target == "" else os.path.normpath(
+                os.path.join(os.path.dirname(path), target)
+            )
+            if target and not os.path.exists(dest):
+                errors.append(f"{rel}:{lineno}: broken path: {target}")
+                continue
+            if frag is not None and frag != "":
+                if not dest.lower().endswith(".md"):
+                    continue  # anchors into non-markdown files: not ours to judge
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = anchors_of(dest)
+                if frag.lower() not in anchor_cache[dest]:
+                    errors.append(f"{rel}:{lineno}: missing anchor: #{frag}")
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"check_links: {'FAIL' if errors else 'ok'} "
+          f"({len(errors)} broken link{'s' if len(errors) != 1 else ''})")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(os.path.dirname(os.path.abspath(__file__)))))
