@@ -91,6 +91,21 @@ fn bench(c: &mut Criterion) {
                 ex.eval(oroot, &env).expect("runs")
             })
         });
+        // Tracing overhead probe: the same optimized plan with per-node span
+        // collection enabled (in-memory only — `DMML_TRACE` export is a
+        // diagnosis mode and rewrites the trace file on every executor drop,
+        // so it must never wrap a benchmark loop). Compare `_traced` against
+        // `_optimized` to read the collection overhead directly.
+        if name == "mmchain" {
+            g.bench_function(format!("{name}_traced"), |b| {
+                b.iter(|| {
+                    let mut ex = Executor::new(&og).traced();
+                    ex.eval(oroot, &env).expect("runs")
+                });
+                dm_obs::trace::set_enabled(false);
+                dm_obs::trace::clear();
+            });
+        }
     }
     g.finish();
 }

@@ -5,7 +5,7 @@ use crate::codec;
 use crate::policy::{make_policy, Policy, PolicyKind};
 use crate::storage::Storage;
 use dm_matrix::Dense;
-use dm_obs::Recorder;
+use dm_obs::{trace, Recorder};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -187,6 +187,30 @@ impl<S: Storage> BufferPool<S> {
         self.kind
     }
 
+    // Point-in-time trace events for pool transitions, so spill/fault
+    // activity lines up with executor spans on the Chrome trace timeline.
+    // The enabled check gates the page-label formatting, not just the push.
+    fn trace_page(name: &str, key: PageKey) {
+        if trace::is_enabled() {
+            trace::instant(
+                name,
+                &[("page", format!("{}/{},{}", key.matrix, key.block_row, key.block_col))],
+            );
+        }
+    }
+
+    fn trace_page_bytes(name: &str, key: PageKey, bytes: usize) {
+        if trace::is_enabled() {
+            trace::instant(
+                name,
+                &[
+                    ("page", format!("{}/{},{}", key.matrix, key.block_row, key.block_col)),
+                    ("bytes", bytes.to_string()),
+                ],
+            );
+        }
+    }
+
     fn record(&self, site: impl Fn(&RecorderSites) -> &str) {
         if let Some((rec, sites)) = &self.recorder {
             rec.add(site(sites), 1);
@@ -238,12 +262,14 @@ impl<S: Storage> BufferPool<S> {
         self.used -= frame.bytes;
         self.stats.evictions += 1;
         self.record(|s| &s.eviction);
+        Self::trace_page("buffer.evict", victim);
         if frame.dirty {
             let data = codec::encode_dense(&frame.block);
             self.stats.spilled_bytes += data.len() as u64;
             if let Some((rec, sites)) = &self.recorder {
                 rec.add(&sites.spill_bytes, data.len() as u64);
             }
+            Self::trace_page_bytes("buffer.spill", victim, data.len());
             self.storage.write(victim, data).map_err(|e| PoolError::Io(e.to_string()))?;
         }
         Ok(())
@@ -293,6 +319,7 @@ impl<S: Storage> BufferPool<S> {
                 if let Some((rec, sites)) = &self.recorder {
                     rec.add(&sites.fault_bytes, bytes.len() as u64);
                 }
+                Self::trace_page_bytes("buffer.fault", key, bytes.len());
                 let block = codec::decode_dense(bytes).ok_or(PoolError::Corrupt(key))?;
                 let nbytes = block_bytes(&block);
                 self.make_room(nbytes)?;
@@ -323,6 +350,7 @@ impl<S: Storage> BufferPool<S> {
             self.frames.get_mut(&key).expect("resident after get").pins += 1;
             self.stats.pins += 1;
             self.record(|s| &s.pin);
+            Self::trace_page("buffer.pin", key);
         }
         Ok(block)
     }
@@ -332,6 +360,7 @@ impl<S: Storage> BufferPool<S> {
         match self.frames.get_mut(&key) {
             Some(f) if f.pins > 0 => {
                 f.pins -= 1;
+                Self::trace_page("buffer.unpin", key);
                 Ok(())
             }
             _ => Err(PoolError::NotPinned(key)),

@@ -118,10 +118,14 @@ pub fn plan(m: &Dense, cfg: &CompressionConfig) -> CompressionPlan {
 /// planner took along the way.
 pub fn plan_traced(m: &Dense, cfg: &CompressionConfig) -> (CompressionPlan, PlanTrace) {
     let t0 = Instant::now();
+    let mut span = dm_obs::trace::Span::enter("compress.plan", "compress");
+    span.arg("dims", format!("{}x{}", m.rows(), m.cols()));
     let mut trace = PlanTrace::default();
     let sample = sample_rows(m.rows(), cfg.sample_fraction, cfg.min_sample_rows, cfg.seed);
+    span.arg("sample_rows", sample.len().to_string());
 
     // Step 1: singleton groups.
+    let estimate = dm_obs::trace::Span::enter("compress.estimate", "compress");
     let mut groups: Vec<(Vec<usize>, Encoding, usize)> = (0..m.cols())
         .map(|c| {
             let cols = vec![c];
@@ -129,10 +133,12 @@ pub fn plan_traced(m: &Dense, cfg: &CompressionConfig) -> (CompressionPlan, Plan
             (cols, enc, sz)
         })
         .collect();
+    drop(estimate);
 
     // Step 2: greedy pairwise co-coding. Only dictionary encodings benefit
     // from co-coding; skip pairs whose best encoding is UC.
     if cfg.cocode {
+        let cocode = dm_obs::trace::Span::enter("compress.cocode", "compress");
         loop {
             let mut best: Option<(usize, usize, Encoding, usize, f64)> = None;
             for i in 0..groups.len() {
@@ -177,9 +183,11 @@ pub fn plan_traced(m: &Dense, cfg: &CompressionConfig) -> (CompressionPlan, Plan
                 None => break,
             }
         }
+        drop(cocode);
     }
 
     // Step 3: fallback demotion.
+    let demote = dm_obs::trace::Span::enter("compress.demote", "compress");
     let planned = groups
         .into_iter()
         .map(|(cols, enc, sz)| {
@@ -198,8 +206,10 @@ pub fn plan_traced(m: &Dense, cfg: &CompressionConfig) -> (CompressionPlan, Plan
             }
         })
         .collect();
+    drop(demote);
 
     trace.wall_ns = elapsed_ns(t0);
+    drop(span);
     (CompressionPlan { groups: planned, sample_size: sample.len() }, trace)
 }
 

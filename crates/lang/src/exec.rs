@@ -10,7 +10,7 @@ use dm_buffer::{
     ooc, panel_rows_for, BlockStore, BufferPool, PoolError, PoolStats, SharedBufferPool,
 };
 use dm_matrix::{ops, par, sparse, Csr, Dense, Matrix};
-use dm_obs::{elapsed_ns, Recorder};
+use dm_obs::{elapsed_ns, trace, Recorder};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -220,11 +220,24 @@ pub struct Executor<'g> {
     // Per-recursion-frame accumulator of children wall time, so self time
     // can be derived as total minus children. Only used while profiling.
     child_ns_stack: Vec<u64>,
+    // Emit one structured trace span per evaluated node (plus memo-hit
+    // instants). Set by `traced()` or implied by the DMML_TRACE env var.
+    tracing: bool,
+    // When DMML_TRACE named a file at construction, the executor writes the
+    // Chrome trace there on drop.
+    trace_to_env: bool,
 }
 
 impl<'g> Executor<'g> {
     /// New executor with default (dense) kernel choices.
     pub fn new(graph: &'g Graph) -> Self {
+        // DMML_TRACE=<path> turns tracing on for every executor in the
+        // process and writes the Chrome trace to <path> when this executor
+        // is dropped.
+        let trace_to_env = trace::env_trace_path().is_some();
+        if trace_to_env {
+            trace::set_enabled(true);
+        }
         Executor {
             graph,
             plan: None,
@@ -236,6 +249,8 @@ impl<'g> Executor<'g> {
             stats: ExecStats::default(),
             profile: None,
             child_ns_stack: Vec::new(),
+            tracing: trace_to_env,
+            trace_to_env,
         }
     }
 
@@ -247,9 +262,11 @@ impl<'g> Executor<'g> {
     /// [`plan_with_memory`](crate::physical::plan_with_memory)); everything
     /// else keeps the serial dispatch.
     pub fn with_plan(graph: &'g Graph, plan: PhysicalPlan) -> Self {
-        let degree = plan.degree();
-        let mem_budget = plan.mem_budget();
-        Executor { plan: Some(plan), degree, mem_budget, ..Executor::new(graph) }
+        let mut ex = Executor::new(graph);
+        ex.degree = plan.degree();
+        ex.mem_budget = plan.mem_budget();
+        ex.plan = Some(plan);
+        ex
     }
 
     /// Override the degree of parallelism used for [`Kernel::Parallel`]
@@ -335,6 +352,23 @@ impl<'g> Executor<'g> {
         self.profile.as_ref()
     }
 
+    /// Enable structured tracing: one [`dm_obs::trace`] span per evaluated
+    /// HOP node (op label, kernel family, output dims, subtree flops) and an
+    /// instant event per memo hit, on the same timeline as the `dm-par` task
+    /// spans and `dm-buffer` pool events those evaluations trigger. Turns
+    /// the process-global collector on; drain with
+    /// [`trace::take_events`] or export with [`trace::write_chrome_trace`].
+    pub fn traced(mut self) -> Self {
+        trace::set_enabled(true);
+        self.tracing = true;
+        self
+    }
+
+    /// True when this executor emits trace spans.
+    pub fn is_traced(&self) -> bool {
+        self.tracing
+    }
+
     /// Execution statistics so far.
     pub fn stats(&self) -> ExecStats {
         self.stats
@@ -373,6 +407,10 @@ impl<'g> Executor<'g> {
                 if let Some(k) = ns.kernel {
                     rec.record_duration_ns(&format!("lang.exec.kernel.{k}"), ns.self_ns);
                 }
+                // Latency distribution across nodes: the report's p50/p95/p99
+                // show whether wall time is spread evenly or dominated by a
+                // few heavy operators.
+                rec.record_histogram("lang.exec.node_self_ns", ns.self_ns);
             }
         }
     }
@@ -427,20 +465,55 @@ impl<'g> Executor<'g> {
 
     /// Evaluate the node, reusing memoized results for shared subtrees.
     pub fn eval(&mut self, id: NodeId, env: &Env) -> Result<Val, ExecError> {
+        let tracing = self.tracing && trace::is_enabled();
         if let Some(v) = self.memo.get(&id) {
             self.stats.memo_hits += 1;
             if let Some(p) = &mut self.profile {
                 p.nodes.entry(id).or_default().memo_hits += 1;
             }
+            if tracing {
+                trace::instant(
+                    "exec.memo_hit",
+                    &[("node", id.to_string()), ("op", crate::explain::op_label(self.graph, id))],
+                );
+            }
             return Ok(v.clone());
         }
         self.stats.nodes_evaluated += 1;
-        if self.profile.is_none() {
-            let val = self.eval_uncached(id, env)?;
-            self.memo.insert(id, val.clone());
-            return Ok(val);
+        let mut span = if tracing {
+            let mut s = trace::Span::enter(
+                &format!("exec.{}", crate::explain::op_label(self.graph, id)),
+                "exec",
+            );
+            s.arg("node", id.to_string());
+            Some(s)
+        } else {
+            None
+        };
+        let flops_before = self.stats.flops;
+        let result = if self.profile.is_none() {
+            match self.eval_uncached(id, env) {
+                Ok(val) => {
+                    self.memo.insert(id, val.clone());
+                    Ok(val)
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            self.eval_profiled(id, env)
+        };
+        if let (Some(s), Ok(val)) = (&mut span, &result) {
+            s.arg("kernel", self.kernel_choice(id, val).to_string());
+            let (rows, cols) = match val {
+                Val::Scalar(_) => (1, 1),
+                Val::Matrix(m) => (m.rows(), m.cols()),
+            };
+            s.arg("dims", format!("{rows}x{cols}"));
+            // Flops accumulated by this node *and* its children — the child
+            // spans nested under this one carry their own subtree counts.
+            s.arg("flops", (self.stats.flops - flops_before).to_string());
         }
-        self.eval_profiled(id, env)
+        result
     }
 
     /// The cache-miss path with timing: self time is derived as total wall
@@ -899,6 +972,19 @@ impl<'g> Executor<'g> {
         sa.discard().map_err(err)?;
         sout.discard().map_err(err)?;
         Ok(out)
+    }
+}
+
+impl Drop for Executor<'_> {
+    fn drop(&mut self) {
+        // Honor DMML_TRACE end-to-end: when the env var named a file at
+        // construction, flush the collected events there so a plain
+        // `DMML_TRACE=out.json cargo run ...` needs no explicit export call.
+        if self.trace_to_env {
+            if let Some(Err(e)) = trace::write_env_trace() {
+                eprintln!("DMML_TRACE export failed: {e}");
+            }
+        }
     }
 }
 

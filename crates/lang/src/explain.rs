@@ -226,6 +226,25 @@ pub fn profile_report_with_spill(
         );
     }
 
+    // Self-time distribution across all profiled nodes: a p99 far above the
+    // p50 means a few heavy operators dominate (see the heavy hitters above);
+    // close quantiles mean the time is spread evenly.
+    if by_self.len() > 1 {
+        let hist = dm_obs::LogHistogram::new();
+        for (_, ns) in &by_self {
+            hist.record(ns.self_ns);
+        }
+        let s = hist.snapshot();
+        let _ = writeln!(
+            out,
+            "node self time: p50 {} / p95 {} / p99 {} over {} nodes",
+            fmt_ns(s.p50()),
+            fmt_ns(s.p95()),
+            fmt_ns(s.p99()),
+            s.count,
+        );
+    }
+
     // Estimated vs actual sparsity drift.
     if let Ok(sizes) = propagate(graph, root, inputs) {
         let mut drifted: Vec<(NodeId, f64, f64)> = Vec::new();

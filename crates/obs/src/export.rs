@@ -1,0 +1,186 @@
+//! Machine-readable expositions of a [`StatsReport`]: Prometheus text
+//! format and a JSON document, for scraping or archiving alongside the
+//! Chrome trace export of [`trace`](crate::trace).
+
+use crate::histogram::HistogramSnapshot;
+use crate::json::escape_json;
+use crate::registry::StatsReport;
+use std::fmt::Write as _;
+
+/// Turn a dot-separated site path into a Prometheus metric name:
+/// `buffer.pool.lru.hit` → `dmml_buffer_pool_lru_hit`. Characters outside
+/// `[a-zA-Z0-9_]` become underscores.
+fn metric_name(site: &str) -> String {
+    let mut out = String::with_capacity(site.len() + 5);
+    out.push_str("dmml_");
+    for c in site.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+fn push_histogram_text(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} summary");
+    for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+        let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+    }
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Render the full report in the Prometheus text exposition format:
+/// counters as `counter`, gauges as `gauge` (with a `_peak` companion),
+/// duration accumulators as `_count` / `_sum_ns` / `_min_ns` / `_max_ns`
+/// series, histograms as `summary` metrics carrying p50/p95/p99 quantile
+/// labels.
+pub fn prometheus_text(report: &StatsReport) -> String {
+    let mut out = String::new();
+    for (site, v) in report.counters() {
+        let name = metric_name(site);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (site, (cur, peak)) in report.gauges() {
+        let name = metric_name(site);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {cur}");
+        let _ = writeln!(out, "# TYPE {name}_peak gauge");
+        let _ = writeln!(out, "{name}_peak {peak}");
+    }
+    for (site, d) in report.durations() {
+        let name = metric_name(site);
+        let _ = writeln!(out, "# TYPE {name}_count counter");
+        let _ = writeln!(out, "{name}_count {}", d.count);
+        let _ = writeln!(out, "# TYPE {name}_sum_ns counter");
+        let _ = writeln!(out, "{name}_sum_ns {}", d.total_ns);
+        let _ = writeln!(out, "# TYPE {name}_min_ns gauge");
+        let _ = writeln!(out, "{name}_min_ns {}", d.min_ns);
+        let _ = writeln!(out, "# TYPE {name}_max_ns gauge");
+        let _ = writeln!(out, "{name}_max_ns {}", d.max_ns);
+    }
+    for (site, h) in report.histograms() {
+        push_histogram_text(&mut out, &metric_name(site), h);
+    }
+    out
+}
+
+/// Render the full report as one JSON document:
+/// `{"counters":{...},"gauges":{site:{"current","peak"}},"durations":{site:
+/// {"count","total_ns","min_ns","max_ns"}},"histograms":{site:{"count",
+/// "sum","min","max","p50","p95","p99"}}}`. Parseable back with
+/// [`json::parse`](crate::json::parse).
+pub fn stats_json(report: &StatsReport) -> String {
+    let mut out = String::from("{");
+    out.push_str("\"counters\":{");
+    for (i, (site, v)) in report.counters().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{v}", escape_json(site));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (site, (cur, peak))) in report.gauges().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{{\"current\":{cur},\"peak\":{peak}}}", escape_json(site));
+    }
+    out.push_str("},\"durations\":{");
+    for (i, (site, d)) in report.durations().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+            escape_json(site),
+            d.count,
+            d.total_ns,
+            d.min_ns,
+            d.max_ns
+        );
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (site, h)) in report.histograms().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            escape_json(site),
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            h.p50(),
+            h.p95(),
+            h.p99()
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::StatsRegistry;
+
+    fn sample_report() -> StatsReport {
+        let reg = StatsRegistry::new();
+        reg.counter("pool.hit").add(42);
+        reg.gauge("mem.used").set(100);
+        reg.gauge("mem.used").set(64);
+        reg.duration("exec.eval").record_ns(1_500);
+        let h = reg.histogram("exec.node_self_ns");
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        reg.report()
+    }
+
+    #[test]
+    fn prometheus_text_covers_every_metric_kind() {
+        let text = prometheus_text(&sample_report());
+        assert!(text.contains("# TYPE dmml_pool_hit counter"), "{text}");
+        assert!(text.contains("dmml_pool_hit 42"), "{text}");
+        assert!(text.contains("dmml_mem_used 64"), "{text}");
+        assert!(text.contains("dmml_mem_used_peak 100"), "{text}");
+        assert!(text.contains("dmml_exec_eval_count 1"), "{text}");
+        assert!(text.contains("dmml_exec_eval_sum_ns 1500"), "{text}");
+        assert!(text.contains("# TYPE dmml_exec_node_self_ns summary"), "{text}");
+        assert!(text.contains("dmml_exec_node_self_ns{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("dmml_exec_node_self_ns_count 3"), "{text}");
+    }
+
+    #[test]
+    fn json_export_parses_back() {
+        let doc = stats_json(&sample_report());
+        let v = json::parse(&doc).expect("well-formed JSON");
+        assert_eq!(v.get("counters").unwrap().get("pool.hit").unwrap().as_f64(), Some(42.0));
+        let g = v.get("gauges").unwrap().get("mem.used").unwrap();
+        assert_eq!(g.get("current").unwrap().as_f64(), Some(64.0));
+        assert_eq!(g.get("peak").unwrap().as_f64(), Some(100.0));
+        let d = v.get("durations").unwrap().get("exec.eval").unwrap();
+        assert_eq!(d.get("total_ns").unwrap().as_f64(), Some(1500.0));
+        let h = v.get("histograms").unwrap().get("exec.node_self_ns").unwrap();
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(3.0));
+        assert!(h.get("p99").unwrap().as_f64().unwrap() >= h.get("p50").unwrap().as_f64().unwrap());
+    }
+
+    #[test]
+    fn empty_report_exports_cleanly() {
+        let rep = StatsRegistry::new().report();
+        assert_eq!(prometheus_text(&rep), "");
+        let v = json::parse(&stats_json(&rep)).unwrap();
+        assert_eq!(v.get("counters").unwrap().as_obj().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(metric_name("buffer.pool.lru.hit"), "dmml_buffer_pool_lru_hit");
+        assert_eq!(metric_name("a-b c"), "dmml_a_b_c");
+    }
+}

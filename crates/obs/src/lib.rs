@@ -1,12 +1,20 @@
 //! # dm-obs
 //!
 //! The workspace-wide observability layer, modeled on the introspection
-//! machinery of the surveyed declarative ML systems (`explain` plans and
-//! `-stats` runtime reports): a dependency-free stats registry of atomic
-//! counters, high-water-mark gauges, and histogram-free duration
-//! accumulators, plus a pluggable [`Recorder`] trait whose no-op default
-//! makes instrumented hot paths cost (nearly) nothing when observability is
-//! disabled.
+//! machinery of the surveyed declarative ML systems (`explain` plans,
+//! `-stats` runtime reports, and fine-grained lineage tracing): a
+//! dependency-free stats registry of atomic counters, high-water-mark
+//! gauges, duration accumulators, and log-linear latency histograms
+//! ([`LogHistogram`], p50/p95/p99 with ≤6.25% relative error), plus a
+//! pluggable [`Recorder`] trait whose no-op default makes instrumented hot
+//! paths cost (nearly) nothing when observability is disabled.
+//!
+//! The [`trace`] module adds structured tracing on top: RAII [`trace::Span`]s
+//! with trace/span/parent ids collected into sharded process-global buffers,
+//! explicit [`trace::SpanHandle`] propagation for cross-thread nesting, and
+//! a Chrome trace-event JSON exporter ([`trace::chrome_trace`]) loadable in
+//! Perfetto. [`export`] renders any [`StatsReport`] as Prometheus text or
+//! JSON ([`export::prometheus_text`], [`export::stats_json`]).
 //!
 //! Instrumented components come in two flavors:
 //!
@@ -35,10 +43,15 @@
 //! assert!(report.duration("exec.eval").is_some());
 //! ```
 
+pub mod export;
+pub mod histogram;
+pub mod json;
 pub mod recorder;
 pub mod registry;
 pub mod stats;
+pub mod trace;
 
+pub use histogram::{HistogramSnapshot, LogHistogram};
 pub use recorder::{timed, NoopRecorder, Recorder};
 pub use registry::{StatsRegistry, StatsReport};
 pub use stats::{elapsed_ns, fmt_ns, Counter, DurationSnapshot, DurationStat, Gauge, Timer};

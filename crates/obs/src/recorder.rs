@@ -35,6 +35,11 @@ pub trait Recorder: Send + Sync {
     fn gauge_set(&self, site: &str, value: u64) {
         let _ = (site, value);
     }
+
+    /// Record one sample into the latency histogram at `site`.
+    fn record_histogram(&self, site: &str, value: u64) {
+        let _ = (site, value);
+    }
 }
 
 /// The default sink: discards everything and reports itself disabled.
@@ -59,6 +64,10 @@ impl Recorder for StatsRegistry {
     fn gauge_set(&self, site: &str, value: u64) {
         self.gauge(site).set(value);
     }
+
+    fn record_histogram(&self, site: &str, value: u64) {
+        self.histogram(site).record(value);
+    }
 }
 
 // A shared sink records like the sink itself: components take a
@@ -79,6 +88,10 @@ impl<R: Recorder + ?Sized> Recorder for std::sync::Arc<R> {
 
     fn gauge_set(&self, site: &str, value: u64) {
         (**self).gauge_set(site, value);
+    }
+
+    fn record_histogram(&self, site: &str, value: u64) {
+        (**self).record_histogram(site, value);
     }
 }
 

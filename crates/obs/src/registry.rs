@@ -1,12 +1,14 @@
 //! The stats registry: named metrics created on demand, snapshotted into a
 //! sorted, renderable report.
 
+use crate::histogram::{HistogramSnapshot, LogHistogram};
 use crate::stats::{fmt_ns, Counter, DurationSnapshot, DurationStat, Gauge};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
-/// A registry of named [`Counter`]s, [`Gauge`]s, and [`DurationStat`]s.
+/// A registry of named [`Counter`]s, [`Gauge`]s, [`DurationStat`]s, and
+/// [`LogHistogram`]s.
 ///
 /// Metric handles are `Arc`s: a call site looks its handle up once (taking a
 /// short mutex) and afterwards updates it lock-free. Site names are
@@ -17,6 +19,7 @@ pub struct StatsRegistry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     durations: Mutex<BTreeMap<String, Arc<DurationStat>>>,
+    histograms: Mutex<BTreeMap<String, Arc<LogHistogram>>>,
 }
 
 impl StatsRegistry {
@@ -43,6 +46,14 @@ impl StatsRegistry {
         Arc::clone(map.entry(site.to_owned()).or_default())
     }
 
+    /// Get or create the latency histogram named `site`. Histograms are
+    /// log-linear ([`LogHistogram`]): p50/p95/p99 in the report are within
+    /// 6.25% of the true sample values at any magnitude.
+    pub fn histogram(&self, site: &str) -> Arc<LogHistogram> {
+        let mut map = self.histograms.lock().expect("stats registry poisoned");
+        Arc::clone(map.entry(site.to_owned()).or_default())
+    }
+
     /// Snapshot every metric into a sorted report.
     pub fn report(&self) -> StatsReport {
         let counters = self
@@ -66,10 +77,21 @@ impl StatsRegistry {
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
-        StatsReport { counters, gauges, durations }
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("stats registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        StatsReport { counters, gauges, durations, histograms }
     }
 
-    /// Reset every registered metric to its empty state (handles stay valid).
+    /// Reset every registered metric to its empty state (handles stay
+    /// valid), **including histograms**, and clear the process-global trace
+    /// buffers and per-worker busy counters
+    /// ([`trace::clear`](crate::trace::clear)) — so back-to-back profiled
+    /// runs do not bleed samples into each other.
     pub fn reset(&self) {
         for c in self.counters.lock().expect("stats registry poisoned").values() {
             c.reset();
@@ -80,6 +102,10 @@ impl StatsRegistry {
         for d in self.durations.lock().expect("stats registry poisoned").values() {
             d.reset();
         }
+        for h in self.histograms.lock().expect("stats registry poisoned").values() {
+            h.reset();
+        }
+        crate::trace::clear();
     }
 }
 
@@ -92,6 +118,7 @@ pub struct StatsReport {
     counters: Vec<(String, u64)>,
     gauges: Vec<(String, (u64, u64))>, // (current, peak)
     durations: Vec<(String, DurationSnapshot)>,
+    histograms: Vec<(String, HistogramSnapshot)>,
 }
 
 impl StatsReport {
@@ -110,15 +137,38 @@ impl StatsReport {
         self.durations.iter().find(|(k, _)| k == site).map(|(_, v)| *v)
     }
 
+    /// Snapshot of a latency histogram, if registered.
+    pub fn histogram(&self, site: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(k, _)| k == site).map(|(_, v)| v)
+    }
+
     /// All counters, sorted by site.
     pub fn counters(&self) -> &[(String, u64)] {
         &self.counters
     }
 
+    /// All gauges as `(site, (current, peak))`, sorted by site.
+    pub fn gauges(&self) -> &[(String, (u64, u64))] {
+        &self.gauges
+    }
+
+    /// All duration accumulators, sorted by site.
+    pub fn durations(&self) -> &[(String, DurationSnapshot)] {
+        &self.durations
+    }
+
+    /// All latency histograms, sorted by site.
+    pub fn histograms(&self) -> &[(String, HistogramSnapshot)] {
+        &self.histograms
+    }
+
     /// True when no metric was ever registered — the signature of a run under
     /// the no-op recorder.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.durations.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.durations.is_empty()
+            && self.histograms.is_empty()
     }
 }
 
@@ -150,6 +200,21 @@ impl fmt::Display for StatsReport {
                     fmt_ns(s.mean_ns()),
                     fmt_ns(s.min_ns),
                     fmt_ns(s.max_ns),
+                )?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "histograms (count, p50 / p95 / p99, min..max):")?;
+            for (site, h) in &self.histograms {
+                writeln!(
+                    f,
+                    "  {site:<40} {:>6}x {} / {} / {} {}..{}",
+                    h.count,
+                    fmt_ns(h.p50()),
+                    fmt_ns(h.p95()),
+                    fmt_ns(h.p99()),
+                    fmt_ns(h.min),
+                    fmt_ns(h.max),
                 )?;
             }
         }
@@ -202,10 +267,32 @@ mod tests {
         let c = r.counter("n");
         c.add(9);
         r.duration("d").record_ns(10);
+        let h = r.histogram("lat");
+        h.record(1_000);
         r.reset();
         assert_eq!(r.report().counter("n"), Some(0));
         assert_eq!(r.report().duration("d").unwrap().count, 0);
+        // Histograms reset too — back-to-back runs must not bleed samples.
+        assert_eq!(r.report().histogram("lat").unwrap().count, 0);
         c.incr();
+        h.record(5);
         assert_eq!(r.report().counter("n"), Some(1));
+        assert_eq!(r.report().histogram("lat").unwrap().count, 1);
+    }
+
+    #[test]
+    fn histogram_sites_render_quantiles() {
+        let r = StatsRegistry::new();
+        let h = r.histogram("exec.node_self_ns");
+        for v in [100u64, 200, 400, 800, 100_000] {
+            h.record(v);
+        }
+        let rep = r.report();
+        let snap = rep.histogram("exec.node_self_ns").unwrap();
+        assert_eq!(snap.count, 5);
+        assert!(snap.p99() > snap.p50());
+        let text = rep.to_string();
+        assert!(text.contains("histograms (count, p50 / p95 / p99"), "{text}");
+        assert!(text.contains("exec.node_self_ns"), "{text}");
     }
 }

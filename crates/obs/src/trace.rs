@@ -1,0 +1,645 @@
+//! Structured tracing: RAII spans with trace/span/parent ids, collected into
+//! mutex-sharded global buffers and exportable as Chrome trace-event JSON
+//! (loadable in Perfetto / `chrome://tracing`).
+//!
+//! The span model mirrors the introspection machinery of the surveyed
+//! systems' fine-grained lineage tracing: every interesting unit of work —
+//! one HOP-node evaluation, one `dm-par` worker task, one compression
+//! planning phase — opens a [`Span`] on entry and records a *complete* event
+//! (start + duration) when the span drops. Within one thread spans nest via
+//! an implicit thread-local stack; across threads the parent is propagated
+//! *explicitly*: the spawning side captures [`current`] (a [`SpanHandle`],
+//! `Copy` and `Send`) and the worker opens its span with
+//! [`Span::child_of`], so worker tasks nest under the executor node that
+//! spawned them even though they run on other threads.
+//!
+//! Tracing is globally gated by an atomic flag ([`set_enabled`]); when
+//! disabled, every entry point is a single relaxed atomic load and no
+//! allocation or clock read happens. Buffers are process-global so that
+//! leaf crates (`dm-par`, `dm-buffer`) need no handle threading; call
+//! [`clear`] (or [`StatsRegistry::reset`](crate::StatsRegistry::reset),
+//! which forwards to it) between profiled runs so samples do not bleed from
+//! one run into the next.
+//!
+//! ```
+//! use dm_obs::trace;
+//!
+//! trace::set_enabled(true);
+//! trace::clear();
+//! {
+//!     let mut root = trace::Span::enter("eval", "exec");
+//!     root.arg("op", "matmul");
+//!     let parent = trace::current(); // explicit handle for cross-thread work
+//!     std::thread::scope(|s| {
+//!         s.spawn(move || {
+//!             let _task = trace::Span::child_of(parent, "par.task", "par");
+//!         });
+//!     });
+//!     trace::instant("pool.spill", &[("bytes", "4096".into())]);
+//! }
+//! let events = trace::take_events();
+//! assert_eq!(events.len(), 3);
+//! let json = trace::chrome_trace(&events);
+//! assert!(json.contains("\"traceEvents\""));
+//! trace::set_enabled(false);
+//! ```
+
+use crate::json::escape_json;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Environment variable naming the file the Chrome trace should be written
+/// to. When set, [`env_trace_path`] returns the path, executors enable span
+/// emission automatically, and [`write_env_trace`] performs the export.
+pub const TRACE_ENV: &str = "DMML_TRACE";
+
+/// Number of mutex shards the global event buffer is split across. Threads
+/// hash to a shard by thread id, so concurrent workers rarely contend.
+const SHARDS: usize = 8;
+
+/// Worker slots tracked by the per-worker busy-time counters.
+const MAX_WORKERS: usize = 64;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+// Global open/close sequence: assigned when a span opens and again when it
+// closes, so sorting events by sequence reproduces the true nesting order
+// even when nanosecond timestamps tie.
+static SEQ: AtomicU64 = AtomicU64::new(1);
+
+static BUFFERS: [Mutex<Vec<TraceEvent>>; SHARDS] = [const { Mutex::new(Vec::new()) }; SHARDS];
+
+static WORKER_BUSY_NS: [AtomicU64; MAX_WORKERS] = [const { AtomicU64::new(0) }; MAX_WORKERS];
+
+thread_local! {
+    static STACK: RefCell<Vec<SpanHandle>> = const { RefCell::new(Vec::new()) };
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The clock origin shared by every event in the process, so timestamps from
+/// different threads land on one timeline.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// Turn span collection on or off process-wide. Disabled tracing costs one
+/// relaxed atomic load per instrumentation point.
+pub fn set_enabled(on: bool) {
+    // Pin the epoch before the first event so timestamps are small offsets.
+    if on {
+        epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether spans are currently collected.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The path named by the `DMML_TRACE` environment variable, if set and
+/// non-empty.
+pub fn env_trace_path() -> Option<String> {
+    match std::env::var(TRACE_ENV) {
+        Ok(p) if !p.trim().is_empty() => Some(p),
+        _ => None,
+    }
+}
+
+/// An identifier triple locating a span: the trace it belongs to, its own
+/// id, and its parent's id (0 for roots). `Copy` and `Send` so it can be
+/// captured by worker closures — this is the explicit parent propagation
+/// that makes cross-thread tasks nest under the span that spawned them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanHandle {
+    /// Trace (one per root span) this span belongs to.
+    pub trace: u64,
+    /// This span's unique id.
+    pub span: u64,
+}
+
+/// The span currently open on this thread, if any. Capture this before
+/// spawning workers and pass it to [`Span::child_of`] inside them.
+pub fn current() -> Option<SpanHandle> {
+    if !is_enabled() {
+        return None;
+    }
+    STACK.with(|s| s.borrow().last().copied())
+}
+
+/// What kind of event a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span: begin/end pair in the Chrome export.
+    Span {
+        /// Nanoseconds from the process trace epoch to span open.
+        start_ns: u64,
+        /// Span duration in nanoseconds.
+        dur_ns: u64,
+        /// Global sequence number at open.
+        seq_open: u64,
+        /// Global sequence number at close.
+        seq_close: u64,
+    },
+    /// A point-in-time instant event (`ph: "i"`).
+    Instant {
+        /// Nanoseconds from the process trace epoch.
+        ts_ns: u64,
+        /// Global sequence number.
+        seq: u64,
+    },
+}
+
+/// One collected event, as drained by [`take_events`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Small dense per-thread id (assigned in thread-creation order).
+    pub tid: u64,
+    /// Event name (op label, task label, event site).
+    pub name: String,
+    /// Category shown by trace viewers (`exec`, `par`, `buffer`, `compress`).
+    pub cat: &'static str,
+    /// Trace id of the owning trace (0 for instants outside any span).
+    pub trace: u64,
+    /// Span id (0 for instants).
+    pub span: u64,
+    /// Parent span id (0 for roots).
+    pub parent: u64,
+    /// Span or instant payload.
+    pub kind: EventKind,
+    /// Key/value arguments (op name, dims, flops, worker id, bytes, ...).
+    pub args: Vec<(&'static str, String)>,
+}
+
+impl TraceEvent {
+    /// Duration of a span event, 0 for instants. Never negative by
+    /// construction (computed from a monotonic clock).
+    pub fn dur_ns(&self) -> u64 {
+        match self.kind {
+            EventKind::Span { dur_ns, .. } => dur_ns,
+            EventKind::Instant { .. } => 0,
+        }
+    }
+
+    /// Value of an argument by key, if attached.
+    pub fn arg(&self, key: &str) -> Option<&str> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+fn push_event(ev: TraceEvent) {
+    let shard = (ev.tid as usize) % SHARDS;
+    BUFFERS[shard].lock().expect("trace buffer poisoned").push(ev);
+}
+
+/// Record a point-in-time instant event, attached to the current span when
+/// one is open. No-op when tracing is disabled.
+pub fn instant(name: &str, args: &[(&'static str, String)]) {
+    if !is_enabled() {
+        return;
+    }
+    let (trace, parent) = STACK.with(|s| s.borrow().last().map_or((0, 0), |h| (h.trace, h.span)));
+    push_event(TraceEvent {
+        tid: tid(),
+        name: name.to_owned(),
+        cat: "instant",
+        trace,
+        span: 0,
+        parent,
+        kind: EventKind::Instant { ts_ns: now_ns(), seq: SEQ.fetch_add(1, Ordering::Relaxed) },
+        args: args.to_vec(),
+    });
+}
+
+/// An open span. Records a complete event (with duration) when dropped.
+/// Inert (no allocation, no clock read, nothing recorded) when tracing was
+/// disabled at open time.
+#[derive(Debug)]
+pub struct Span {
+    live: Option<LiveSpan>,
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    handle: SpanHandle,
+    parent: u64,
+    name: String,
+    cat: &'static str,
+    start_ns: u64,
+    seq_open: u64,
+    args: Vec<(&'static str, String)>,
+}
+
+impl Span {
+    fn open(parent: Option<SpanHandle>, name: &str, cat: &'static str) -> Span {
+        if !is_enabled() {
+            return Span { live: None };
+        }
+        let (trace, parent_id) = match parent {
+            Some(p) => (p.trace, p.span),
+            None => (NEXT_TRACE.fetch_add(1, Ordering::Relaxed), 0),
+        };
+        let handle = SpanHandle { trace, span: NEXT_SPAN.fetch_add(1, Ordering::Relaxed) };
+        STACK.with(|s| s.borrow_mut().push(handle));
+        Span {
+            live: Some(LiveSpan {
+                handle,
+                parent: parent_id,
+                name: name.to_owned(),
+                cat,
+                start_ns: now_ns(),
+                seq_open: SEQ.fetch_add(1, Ordering::Relaxed),
+                args: Vec::new(),
+            }),
+        }
+    }
+
+    /// Open a span as a child of the span currently on this thread's stack
+    /// (a fresh root trace when the stack is empty).
+    pub fn enter(name: &str, cat: &'static str) -> Span {
+        if !is_enabled() {
+            return Span { live: None };
+        }
+        let parent = STACK.with(|s| s.borrow().last().copied());
+        Span::open(parent, name, cat)
+    }
+
+    /// Open a span under an explicitly propagated parent handle (`None`
+    /// starts a fresh root trace). This is how work shipped to another
+    /// thread stays attached to the span that spawned it.
+    pub fn child_of(parent: Option<SpanHandle>, name: &str, cat: &'static str) -> Span {
+        Span::open(parent, name, cat)
+    }
+
+    /// The handle identifying this span, for explicit propagation to
+    /// workers. `None` when the span is inert (tracing disabled).
+    pub fn handle(&self) -> Option<SpanHandle> {
+        self.live.as_ref().map(|l| l.handle)
+    }
+
+    /// Attach (or overwrite) a key/value argument carried into the export.
+    pub fn arg(&mut self, key: &'static str, value: impl Into<String>) {
+        if let Some(l) = &mut self.live {
+            if let Some(slot) = l.args.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = value.into();
+            } else {
+                l.args.push((key, value.into()));
+            }
+        }
+    }
+
+    /// True when the span actually records (tracing was enabled at open).
+    pub fn is_recording(&self) -> bool {
+        self.live.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(l) = self.live.take() else { return };
+        let end_ns = now_ns();
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // RAII guarantees LIFO on this thread; pop defensively anyway.
+            if stack.last() == Some(&l.handle) {
+                stack.pop();
+            } else if let Some(pos) = stack.iter().rposition(|h| *h == l.handle) {
+                stack.remove(pos);
+            }
+        });
+        push_event(TraceEvent {
+            tid: tid(),
+            name: l.name,
+            cat: l.cat,
+            trace: l.handle.trace,
+            span: l.handle.span,
+            parent: l.parent,
+            kind: EventKind::Span {
+                start_ns: l.start_ns,
+                dur_ns: end_ns.saturating_sub(l.start_ns),
+                seq_open: l.seq_open,
+                seq_close: SEQ.fetch_add(1, Ordering::Relaxed),
+            },
+            args: l.args,
+        });
+    }
+}
+
+/// Add `ns` nanoseconds of busy time to worker slot `worker` (clamped into
+/// the tracked range). `dm-par` calls this once per completed task.
+pub fn worker_busy_add(worker: usize, ns: u64) {
+    WORKER_BUSY_NS[worker.min(MAX_WORKERS - 1)].fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Snapshot of the non-zero per-worker busy-time counters as
+/// `(worker, busy_ns)` pairs.
+pub fn worker_busy_snapshot() -> Vec<(usize, u64)> {
+    WORKER_BUSY_NS
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| {
+            let v = c.load(Ordering::Relaxed);
+            (v > 0).then_some((i, v))
+        })
+        .collect()
+}
+
+/// Publish the per-worker busy-time counters into a recorder under
+/// `par.worker.<i>.busy_ns` sites.
+pub fn record_worker_busy(rec: &dyn crate::Recorder) {
+    if !rec.is_enabled() {
+        return;
+    }
+    for (i, ns) in worker_busy_snapshot() {
+        rec.add(&format!("par.worker.{i}.busy_ns"), ns);
+    }
+}
+
+/// Drain every buffered event (across all shards), ordered by open
+/// sequence. Open spans that have not dropped yet are not included.
+pub fn take_events() -> Vec<TraceEvent> {
+    let mut all = Vec::new();
+    for shard in &BUFFERS {
+        all.append(&mut *shard.lock().expect("trace buffer poisoned"));
+    }
+    all.sort_by_key(|e| match e.kind {
+        EventKind::Span { seq_open, .. } => seq_open,
+        EventKind::Instant { seq, .. } => seq,
+    });
+    all
+}
+
+/// Clone of the buffered events without draining them, ordered like
+/// [`take_events`].
+pub fn snapshot_events() -> Vec<TraceEvent> {
+    let mut all = Vec::new();
+    for shard in &BUFFERS {
+        all.extend(shard.lock().expect("trace buffer poisoned").iter().cloned());
+    }
+    all.sort_by_key(|e| match e.kind {
+        EventKind::Span { seq_open, .. } => seq_open,
+        EventKind::Instant { seq, .. } => seq,
+    });
+    all
+}
+
+/// Discard every buffered event and zero the per-worker busy counters.
+/// Call between back-to-back profiled runs so samples do not bleed across.
+pub fn clear() {
+    for shard in &BUFFERS {
+        shard.lock().expect("trace buffer poisoned").clear();
+    }
+    for c in &WORKER_BUSY_NS {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+fn write_args(out: &mut String, ev: &TraceEvent) {
+    let _ = write!(
+        out,
+        "\"args\":{{\"trace\":{},\"span\":{},\"parent\":{}",
+        ev.trace, ev.span, ev.parent
+    );
+    for (k, v) in &ev.args {
+        let _ = write!(out, ",\"{}\":\"{}\"", escape_json(k), escape_json(v));
+    }
+    out.push('}');
+}
+
+/// Render events as Chrome trace-event JSON (the `traceEvents` array form
+/// Perfetto and `chrome://tracing` load). Spans become matched `B`/`E`
+/// pairs on their thread's track, instants become `i` events; every event
+/// carries its trace/span/parent ids plus the span's own arguments in
+/// `args`. Events are emitted in true open/close order (the global
+/// sequence), so begin/end pairs are strictly nested per thread even when
+/// nanosecond timestamps tie.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    // (seq, entry) triples so B and E interleave in real order.
+    let mut entries: Vec<(u64, String)> = Vec::with_capacity(events.len() * 2);
+    for ev in events {
+        let name = escape_json(&ev.name);
+        let cat = escape_json(ev.cat);
+        match ev.kind {
+            EventKind::Span { start_ns, dur_ns, seq_open, seq_close } => {
+                let mut b = format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"B\",\"ts\":{},\"pid\":1,\"tid\":{},",
+                    fmt_us(start_ns),
+                    ev.tid
+                );
+                write_args(&mut b, ev);
+                b.push('}');
+                entries.push((seq_open, b));
+                let e = format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"E\",\"ts\":{},\"pid\":1,\"tid\":{}}}",
+                    fmt_us(start_ns + dur_ns),
+                    ev.tid
+                );
+                entries.push((seq_close, e));
+            }
+            EventKind::Instant { ts_ns, seq } => {
+                let mut i = format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{},",
+                    fmt_us(ts_ns),
+                    ev.tid
+                );
+                write_args(&mut i, ev);
+                i.push('}');
+                entries.push((seq, i));
+            }
+        }
+    }
+    entries.sort_by_key(|(seq, _)| *seq);
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, (_, e)) in entries.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Nanoseconds rendered as fractional microseconds (the Chrome trace `ts`
+/// unit), keeping full nanosecond precision.
+fn fmt_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Write the Chrome trace of all buffered events to `path` (buffers are
+/// left intact; callers that want a fresh start should [`clear`]).
+pub fn write_chrome_trace(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace(&snapshot_events()))
+}
+
+/// Write the Chrome trace to the path named by `DMML_TRACE`, when set.
+/// Returns the path written to.
+pub fn write_env_trace() -> Option<std::io::Result<String>> {
+    let path = env_trace_path()?;
+    Some(write_chrome_trace(&path).map(|()| path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    // The trace buffers are process-global; tests that assert on their
+    // contents serialize through this lock and clear first.
+    pub(crate) fn lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        let _g = lock();
+        set_enabled(false);
+        clear();
+        {
+            let mut s = Span::enter("noop", "test");
+            assert!(!s.is_recording());
+            assert!(s.handle().is_none());
+            s.arg("k", "v");
+            instant("nothing", &[]);
+        }
+        assert!(take_events().is_empty());
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let _g = lock();
+        set_enabled(true);
+        clear();
+        {
+            let outer = Span::enter("outer", "test");
+            let outer_h = outer.handle().unwrap();
+            {
+                let inner = Span::enter("inner", "test");
+                let inner_h = inner.handle().unwrap();
+                assert_eq!(inner_h.trace, outer_h.trace);
+                assert_eq!(current(), Some(inner_h));
+            }
+            assert_eq!(current(), Some(outer_h));
+        }
+        set_enabled(false);
+        let evs = take_events();
+        assert_eq!(evs.len(), 2);
+        // Inner closed first but events sort by open order.
+        assert_eq!(evs[0].name, "outer");
+        assert_eq!(evs[1].name, "inner");
+        assert_eq!(evs[1].parent, evs[0].span);
+        assert_eq!(evs[0].parent, 0);
+    }
+
+    #[test]
+    fn cross_thread_child_links_to_explicit_parent() {
+        let _g = lock();
+        set_enabled(true);
+        clear();
+        {
+            let root = Span::enter("spawn", "test");
+            let parent = root.handle();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let mut t = Span::child_of(parent, "task", "par");
+                    t.arg("worker", "1");
+                });
+            });
+        }
+        set_enabled(false);
+        let evs = take_events();
+        assert_eq!(evs.len(), 2);
+        let root = evs.iter().find(|e| e.name == "spawn").unwrap();
+        let task = evs.iter().find(|e| e.name == "task").unwrap();
+        assert_eq!(task.parent, root.span);
+        assert_eq!(task.trace, root.trace);
+        assert_ne!(task.tid, root.tid);
+        assert_eq!(task.arg("worker"), Some("1"));
+    }
+
+    #[test]
+    fn instants_attach_to_current_span() {
+        let _g = lock();
+        set_enabled(true);
+        clear();
+        {
+            let s = Span::enter("holder", "test");
+            let h = s.handle().unwrap();
+            instant("evt", &[("bytes", "12".into())]);
+            drop(s);
+            let evs = snapshot_events();
+            let i = evs.iter().find(|e| e.name == "evt").unwrap();
+            assert_eq!(i.parent, h.span);
+            assert_eq!(i.dur_ns(), 0);
+        }
+        set_enabled(false);
+        clear();
+    }
+
+    #[test]
+    fn chrome_export_pairs_begin_end() {
+        let _g = lock();
+        set_enabled(true);
+        clear();
+        {
+            let _a = Span::enter("a", "test");
+            let _b = Span::enter("b", "test");
+        }
+        instant("mark", &[]);
+        set_enabled(false);
+        let json = chrome_trace(&take_events());
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+        // b opened after a and closed before it: B a, B b, E b, E a.
+        let pos = |needle: &str| json.find(needle).unwrap();
+        assert!(
+            pos("\"name\":\"a\",\"cat\":\"test\",\"ph\":\"B\"")
+                < pos("\"name\":\"b\",\"cat\":\"test\",\"ph\":\"B\"")
+        );
+        assert!(
+            pos("\"name\":\"b\",\"cat\":\"test\",\"ph\":\"E\"")
+                < pos("\"name\":\"a\",\"cat\":\"test\",\"ph\":\"E\"")
+        );
+    }
+
+    #[test]
+    fn worker_busy_counters_accumulate_and_clear() {
+        let _g = lock();
+        clear();
+        worker_busy_add(0, 100);
+        worker_busy_add(0, 50);
+        worker_busy_add(3, 7);
+        let snap = worker_busy_snapshot();
+        assert_eq!(snap, vec![(0, 150), (3, 7)]);
+        let reg = crate::StatsRegistry::new();
+        record_worker_busy(&reg);
+        assert_eq!(reg.report().counter("par.worker.0.busy_ns"), Some(150));
+        clear();
+        assert!(worker_busy_snapshot().is_empty());
+    }
+
+    #[test]
+    fn fmt_us_keeps_ns_precision() {
+        assert_eq!(fmt_us(0), "0.000");
+        assert_eq!(fmt_us(1_234_567), "1234.567");
+        assert_eq!(fmt_us(999), "0.999");
+    }
+}

@@ -7,8 +7,32 @@
 //! `degree <= 1` (and tiny inputs) never spawn at all — the serial fallback
 //! is the same code path minus the spawns.
 
+use dm_obs::trace;
 use std::ops::Range;
 use std::thread;
+use std::time::Instant;
+
+/// Run one worker's chunk under a `par.task` span linked to the span that was
+/// current on the *spawning* thread, and charge the elapsed wall time to the
+/// worker's busy counter. When tracing is disabled this is a plain call.
+fn traced_chunk<R>(
+    parent: Option<trace::SpanHandle>,
+    worker: usize,
+    items: Range<usize>,
+    f: impl FnOnce() -> R,
+) -> R {
+    if !trace::is_enabled() {
+        return f();
+    }
+    let t0 = Instant::now();
+    let mut span = trace::Span::child_of(parent, "par.task", "par");
+    span.arg("worker", worker.to_string());
+    span.arg("items", format!("{}..{}", items.start, items.end));
+    let v = f();
+    drop(span);
+    trace::worker_busy_add(worker, t0.elapsed().as_nanos() as u64);
+    v
+}
 
 /// Environment variable controlling the default degree of parallelism.
 pub const THREADS_ENV: &str = "DMML_THREADS";
@@ -64,15 +88,18 @@ where
     match ranges.len() {
         0 => {}
         1 => f(0..n),
-        _ => thread::scope(|s| {
-            let f = &f;
-            let mut iter = ranges.into_iter();
-            let first = iter.next().expect("at least two ranges");
-            for r in iter {
-                s.spawn(move || f(r));
-            }
-            f(first);
-        }),
+        _ => {
+            let parent = trace::current();
+            thread::scope(|s| {
+                let f = &f;
+                let mut iter = ranges.into_iter();
+                let first = iter.next().expect("at least two ranges");
+                for (w, r) in iter.enumerate() {
+                    s.spawn(move || traced_chunk(parent, w + 1, r.clone(), || f(r)));
+                }
+                traced_chunk(parent, 0, first.clone(), || f(first));
+            });
+        }
     }
 }
 
@@ -103,22 +130,25 @@ where
     match ranges.len() {
         0 => {}
         1 => f(0..items, out),
-        _ => thread::scope(|s| {
-            let f = &f;
-            let mut rest = out;
-            let mut first = None;
-            for (i, r) in ranges.into_iter().enumerate() {
-                let (chunk, tail) = rest.split_at_mut(r.len() * stride);
-                rest = tail;
-                if i == 0 {
-                    first = Some((r, chunk));
-                } else {
-                    s.spawn(move || f(r, chunk));
+        _ => {
+            let parent = trace::current();
+            thread::scope(|s| {
+                let f = &f;
+                let mut rest = out;
+                let mut first = None;
+                for (i, r) in ranges.into_iter().enumerate() {
+                    let (chunk, tail) = rest.split_at_mut(r.len() * stride);
+                    rest = tail;
+                    if i == 0 {
+                        first = Some((r, chunk));
+                    } else {
+                        s.spawn(move || traced_chunk(parent, i, r.clone(), move || f(r, chunk)));
+                    }
                 }
-            }
-            let (r, chunk) = first.expect("at least two ranges");
-            f(r, chunk);
-        }),
+                let (r, chunk) = first.expect("at least two ranges");
+                traced_chunk(parent, 0, r.clone(), move || f(r, chunk));
+            });
+        }
     }
 }
 
@@ -272,6 +302,33 @@ mod tests {
     #[test]
     fn reduce_blocks_empty_is_none() {
         assert_eq!(reduce_blocks(0, 8, 4, |_| 1u32, |a, b| a + b), None);
+    }
+
+    #[test]
+    fn parallel_tasks_emit_linked_spans() {
+        trace::set_enabled(true);
+        let root_handle = {
+            let root = trace::Span::enter("test.par.root", "test");
+            let h = root.handle().expect("tracing enabled");
+            parallel_for(64, 4, |r| {
+                std::hint::black_box(r.len());
+            });
+            h
+        };
+        trace::set_enabled(false);
+        let events = trace::take_events();
+        // Other tests may trace concurrently; filter to our own trace id.
+        let tasks: Vec<_> = events
+            .iter()
+            .filter(|e| e.trace == root_handle.trace && e.name == "par.task")
+            .collect();
+        assert_eq!(tasks.len(), 4, "one task span per worker chunk");
+        assert!(tasks.iter().all(|e| e.parent == root_handle.span), "linked to spawning span");
+        let mut workers: Vec<usize> =
+            tasks.iter().map(|e| e.arg("worker").unwrap().parse().unwrap()).collect();
+        workers.sort_unstable();
+        assert_eq!(workers, vec![0, 1, 2, 3]);
+        assert!(!trace::worker_busy_snapshot().is_empty(), "busy time charged");
     }
 
     #[test]

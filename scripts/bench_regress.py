@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json snapshots and flag median-time regressions.
+
+Usage:
+    scripts/bench_regress.py BASELINE.json CANDIDATE.json
+        [--threshold 0.25] [--format text|markdown]
+
+Each snapshot is the output of scripts/bench_snapshot.sh:
+
+    {"date": ..., "git": ..., "benches": {
+        "<bench>": [{"id": "group/case", "min": "1.2 ms",
+                     "median": "1.3 ms", "mean": "1.4 ms"}, ...]}}
+
+Benchmarks present in both snapshots are matched by id. A benchmark whose
+candidate median exceeds the baseline median by more than the threshold
+(default 25%) is a regression; the script prints a summary and exits 1 if
+any regression was found, 0 otherwise. Ids present in only one snapshot are
+reported but never fail the run (benchmarks come and go between PRs).
+
+Stdlib only — runs anywhere CI has a python3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Duration strings are "<value> <unit>", as emitted by the criterion shim.
+UNIT_NS = {
+    "ns": 1.0,
+    "us": 1e3,
+    "ms": 1e6,
+    "s": 1e9,
+}
+
+
+def parse_duration_ns(text: str) -> float:
+    """Parse "604.239 us" / "2.757 s" into nanoseconds."""
+    parts = text.strip().split()
+    if len(parts) != 2 or parts[1] not in UNIT_NS:
+        raise ValueError(f"unparseable duration: {text!r}")
+    return float(parts[0]) * UNIT_NS[parts[1]]
+
+
+def fmt_ns(ns: float) -> str:
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3f} {unit}"
+    return f"{ns:.0f} ns"
+
+
+def load_medians(path: str) -> dict[str, float]:
+    with open(path, encoding="utf-8") as f:
+        snap = json.load(f)
+    medians: dict[str, float] = {}
+    for entries in snap.get("benches", {}).values():
+        for entry in entries:
+            medians[entry["id"]] = parse_duration_ns(entry["median"])
+    return medians
+
+
+def compare(
+    base: dict[str, float], cand: dict[str, float], threshold: float
+) -> tuple[list[tuple[str, float, float, float]], list[str], list[str]]:
+    """Return (rows, only_base, only_cand); rows are (id, base, cand, delta)."""
+    rows = []
+    for bench_id in sorted(base.keys() & cand.keys()):
+        b, c = base[bench_id], cand[bench_id]
+        delta = (c - b) / b if b > 0 else 0.0
+        rows.append((bench_id, b, c, delta))
+    only_base = sorted(base.keys() - cand.keys())
+    only_cand = sorted(cand.keys() - base.keys())
+    return rows, only_base, only_cand
+
+
+def render_text(rows, only_base, only_cand, threshold) -> str:
+    lines = []
+    for bench_id, b, c, delta in rows:
+        flag = " REGRESSION" if delta > threshold else ""
+        lines.append(
+            f"{bench_id:<40} {fmt_ns(b):>12} -> {fmt_ns(c):>12} "
+            f"({delta:+7.1%}){flag}"
+        )
+    for bench_id in only_base:
+        lines.append(f"{bench_id:<40} removed (baseline only)")
+    for bench_id in only_cand:
+        lines.append(f"{bench_id:<40} new (candidate only)")
+    return "\n".join(lines)
+
+
+def render_markdown(rows, only_base, only_cand, threshold) -> str:
+    lines = [
+        "| benchmark | baseline median | candidate median | delta | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for bench_id, b, c, delta in rows:
+        status = "**regression**" if delta > threshold else "ok"
+        lines.append(
+            f"| `{bench_id}` | {fmt_ns(b)} | {fmt_ns(c)} | {delta:+.1%} | {status} |"
+        )
+    for bench_id in only_base:
+        lines.append(f"| `{bench_id}` | {''} | removed | | ignored |")
+    for bench_id in only_cand:
+        lines.append(f"| `{bench_id}` | new | | | ignored |")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline BENCH_*.json")
+    ap.add_argument("candidate", help="candidate BENCH_*.json")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional median slowdown that counts as a regression "
+        "(default 0.25 = 25%%)",
+    )
+    ap.add_argument(
+        "--format",
+        choices=("text", "markdown"),
+        default="text",
+        help="summary format (default text)",
+    )
+    args = ap.parse_args(argv)
+
+    try:
+        base = load_medians(args.baseline)
+        cand = load_medians(args.candidate)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"bench_regress: {e}", file=sys.stderr)
+        return 2
+
+    rows, only_base, only_cand = compare(base, cand, args.threshold)
+    render = render_markdown if args.format == "markdown" else render_text
+    print(render(rows, only_base, only_cand, args.threshold))
+
+    regressions = [r for r in rows if r[3] > args.threshold]
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.threshold:.0%} median slowdown",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"\nno regressions beyond {args.threshold:.0%} "
+        f"({len(rows)} benchmarks compared)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
