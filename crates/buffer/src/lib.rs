@@ -40,4 +40,4 @@ pub mod store;
 
 pub use audit::{AuditError, AuditReport};
 pub use pool::{BufferPool, PageKey, PinGuard, PoolError, PoolStats, SharedBufferPool};
-pub use store::{panel_rows_for, BlockStore};
+pub use store::{panel_bytes, panel_rows_for, store_bytes, BlockStore, FRAME_OVERHEAD};

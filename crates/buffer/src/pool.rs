@@ -154,7 +154,7 @@ pub struct BufferPool<S: Storage> {
 }
 
 fn block_bytes(b: &Dense) -> usize {
-    b.rows() * b.cols() * 8 + 16
+    b.rows() * b.cols() * 8 + crate::store::FRAME_OVERHEAD
 }
 
 impl<S: Storage> BufferPool<S> {

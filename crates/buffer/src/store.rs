@@ -160,6 +160,34 @@ pub fn panel_rows_for(cols: usize, budget: usize, denom: usize) -> usize {
     (budget / denom.max(1) / row_bytes).max(1)
 }
 
+/// Per-frame bookkeeping bytes the pool charges on top of a panel's cell
+/// data (see `block_bytes` in the pool: `rows*cols*8 + FRAME_OVERHEAD`).
+pub const FRAME_OVERHEAD: usize = 16;
+
+/// Pool bytes of a single panel of `panel_rows` x `cols` cells, including
+/// the per-frame overhead. This is exactly what the pool charges for the
+/// frame, so static analyses summing it stay an upper bound on `used`.
+pub fn panel_bytes(panel_rows: usize, cols: usize) -> usize {
+    panel_rows.saturating_mul(cols).saturating_mul(8).saturating_add(FRAME_OVERHEAD)
+}
+
+/// Total pool footprint of a `rows` x `cols` matrix tiled into panels of
+/// `panel_rows` rows: the dense cell bytes plus [`FRAME_OVERHEAD`] for each
+/// of the `ceil(rows / panel_rows)` frames. Zero-row matrices have no
+/// panels and cost nothing.
+///
+/// Plan-time certifiers use this to bound what a [`BlockStore::from_dense`]
+/// of the same shape will charge the pool.
+pub fn store_bytes(rows: usize, cols: usize, panel_rows: usize) -> usize {
+    if rows == 0 {
+        return 0;
+    }
+    let num_panels = rows.div_ceil(panel_rows.max(1));
+    rows.saturating_mul(cols)
+        .saturating_mul(8)
+        .saturating_add(num_panels.saturating_mul(FRAME_OVERHEAD))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +254,20 @@ mod tests {
         assert_eq!(panel_rows_for(100, 8 * 100 * 8 * 8, 8), 8);
         assert_eq!(panel_rows_for(1_000_000, 1024, 8), 1, "never below one row");
         assert!(panel_rows_for(0, 1 << 20, 8) >= 1);
+    }
+
+    #[test]
+    fn store_bytes_matches_what_from_dense_charges() {
+        // Load a matrix into an ample pool and compare the static formula
+        // against the pool's own accounting.
+        let m = sample(37, 5);
+        let pool = shared(1 << 20);
+        let store = BlockStore::from_dense(&pool, 1, &m, 8).unwrap();
+        assert_eq!(store_bytes(37, 5, 8), pool.used());
+        assert_eq!(store_bytes(37, 5, 8), 37 * 5 * 8 + 5 * FRAME_OVERHEAD);
+        store.discard().unwrap();
+        assert_eq!(store_bytes(0, 5, 8), 0, "no rows, no panels");
+        assert_eq!(panel_bytes(8, 5), 8 * 5 * 8 + FRAME_OVERHEAD);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod serial;
 pub mod validate;
 
 pub use dict::Dict;
+pub use estimate::{static_matrix_bytes, GroupStats, SizeEstimates};
 pub use group::{ColGroup, Encoding};
 pub use matrix::CompressedMatrix;
 pub use validate::{validate, ValidationError};

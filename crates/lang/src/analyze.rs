@@ -14,8 +14,14 @@
 //! | `E003` | error | definite domain violation (`log`/`sqrt` of a certainly-negative value, division by the constant zero) |
 //! | `W101` | warning | possible domain violation (`log`/`sqrt` over a possibly-negative subexpression, division by a possibly-zero value) |
 //! | `W102` | warning | matrix-chain cost: the chain as written costs ≥ 2x the DP-optimal order |
+//! | `W103` | warning | certified peak live set exceeds the memory budget even after blocking (see [`analyze_with_memory`]) |
 //! | `H201` | hint | dead node: unreachable from the root |
 //! | `H202` | hint | missed fusion: a pattern the rewriter would fuse (`crossprod`, `tmv`, `sumSq`, double transpose) |
+//! | `H203` | hint | the budget forces spilling, but a peak-minimizing schedule fits in memory |
+//!
+//! Findings with the same code on the same node are merged into one
+//! diagnostic carrying a use count (rendered as `(x3)`), so a value
+//! implicated at many schedule steps reports once.
 //!
 //! Domain findings come from value-interval propagation: every node gets a
 //! conservative `[lo, hi]` bound on its elements, seeded by constants and
@@ -76,10 +82,16 @@ pub mod codes {
     pub const POSSIBLE_DOMAIN: &str = "W101";
     /// Matrix-chain order far from DP-optimal.
     pub const MMCHAIN_COST: &str = "W102";
+    /// Certified peak live set exceeds the memory budget even after the
+    /// planner blocked everything it could.
+    pub const PLAN_EXCEEDS_BUDGET: &str = "W103";
     /// Node unreachable from the analysis root.
     pub const DEAD_NODE: &str = "H201";
     /// Pattern the rewriter would fuse.
     pub const MISSED_FUSION: &str = "H202";
+    /// The budget forces spilling, but a peak-minimizing schedule fits the
+    /// whole computation in memory.
+    pub const REORDER_AVOIDS_SPILL: &str = "H203";
 }
 
 /// One analyzer finding, anchored to a node.
@@ -93,12 +105,32 @@ pub struct Diagnostic {
     pub code: &'static str,
     /// Human-readable description.
     pub message: String,
+    /// How many identical findings (same code, same node) were merged into
+    /// this one. Always at least 1.
+    pub count: usize,
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{}] at %{}: {}", self.severity, self.code, self.node, self.message)
+        write!(f, "{} [{}] at %{}: {}", self.severity, self.code, self.node, self.message)?;
+        if self.count > 1 {
+            write!(f, " (x{})", self.count)?;
+        }
+        Ok(())
     }
+}
+
+/// Merge diagnostics with identical (code, node) into one entry with a use
+/// count, keeping the first message.
+fn dedupe_diagnostics(diags: &mut Vec<Diagnostic>) {
+    let mut merged: Vec<Diagnostic> = Vec::with_capacity(diags.len());
+    for d in diags.drain(..) {
+        match merged.iter_mut().find(|p| p.code == d.code && p.node == d.node) {
+            Some(prev) => prev.count += d.count,
+            None => merged.push(d),
+        }
+    }
+    *diags = merged;
 }
 
 /// Everything [`analyze`] learned about a program.
@@ -282,12 +314,14 @@ pub fn analyze(graph: &Graph, root: NodeId, inputs: &InputSizes) -> AnalysisRepo
                 severity: Severity::Error,
                 node: id,
                 code: codes::UNBOUND_INPUT,
+                count: 1,
                 message: format!("input {name:?} has no declared shape"),
             }),
             Err(SizeError::Incompatible { message, .. }) => report.diagnostics.push(Diagnostic {
                 severity: Severity::Error,
                 node: id,
                 code: codes::SHAPE_MISMATCH,
+                count: 1,
                 message,
             }),
         }
@@ -314,11 +348,13 @@ pub fn analyze(graph: &Graph, root: NodeId, inputs: &InputSizes) -> AnalysisRepo
                 severity: Severity::Hint,
                 node: id,
                 code: codes::DEAD_NODE,
+                count: 1,
                 message: format!("node is unreachable from the root ({})", graph.render(id)),
             });
         }
     }
 
+    dedupe_diagnostics(&mut report.diagnostics);
     report.diagnostics.sort_by_key(|d| (d.severity, d.node));
     report.sizes = sizes;
     report
@@ -332,6 +368,99 @@ pub fn analyze_program(
     let (graph, root) = parser::parse(src)?;
     let report = analyze(&graph, root, inputs);
     Ok((report, graph, root))
+}
+
+/// [`analyze`], then plan under `budget`, certify the plan with the liveness
+/// analysis ([`crate::liveness`]), and extend the report with the
+/// admission-control findings:
+///
+/// * `W103` ([`codes::PLAN_EXCEEDS_BUDGET`]) — the certified live set
+///   exceeds the budget even after the planner blocked everything it could;
+///   one finding per offending step, anchored at the step's largest live
+///   value (merged by the dedup pass into a single counted diagnostic per
+///   node) — the exact step and node are in the message.
+/// * `H203` ([`codes::REORDER_AVOIDS_SPILL`]) — the plan had to spill
+///   (blocked nodes), but a peak-minimizing schedule
+///   ([`min_peak_order`](crate::liveness::min_peak_order)) certifiably fits
+///   the budget entirely in memory.
+///
+/// An unbounded budget, or a program whose sizes do not fully propagate
+/// (those errors are already reported), returns the plain [`analyze`]
+/// report.
+pub fn analyze_with_memory(
+    graph: &Graph,
+    root: NodeId,
+    inputs: &InputSizes,
+    degree: usize,
+    budget: crate::memory::MemoryBudget,
+) -> AnalysisReport {
+    use crate::liveness::{certify_plan, certify_schedule, min_peak_order, Schedule};
+    use crate::physical::{plan_with_degree, plan_with_memory, Kernel};
+
+    let mut report = analyze(graph, root, inputs);
+    let Some(limit) = budget.get() else {
+        return report;
+    };
+    let reachable = graph.reachable(root);
+    if reachable.iter().any(|id| !report.sizes.contains_key(id)) {
+        return report;
+    }
+    let plan = plan_with_memory(graph, root, &report.sizes, degree, budget);
+    let cert = certify_plan(graph, root, &plan, &report.sizes, budget);
+    if !cert.fits() {
+        for su in &cert.timeline {
+            if su.live_bytes <= limit {
+                continue;
+            }
+            // Anchor at the largest live value (the thing to shrink); when
+            // the step's cost is all pool term, anchor at the executing node.
+            let anchor = su
+                .live
+                .iter()
+                .max_by_key(|&&(v, b)| (b, std::cmp::Reverse(v)))
+                .map_or(su.node, |&(v, _)| v);
+            report.diagnostics.push(Diagnostic {
+                severity: Severity::Warning,
+                node: anchor,
+                code: codes::PLAN_EXCEEDS_BUDGET,
+                count: 1,
+                message: format!(
+                    "certified live set reaches {} B at step {} (%{} {}) but the budget is \
+                     {limit} B; even the blocked plan cannot fit — split the program or raise {}",
+                    su.live_bytes,
+                    su.step,
+                    su.node,
+                    crate::explain::op_label(graph, su.node),
+                    crate::memory::MEM_BUDGET_ENV,
+                ),
+            });
+        }
+    } else {
+        let spilled = plan.nodes_with(Kernel::Blocked).len();
+        if spilled > 0 {
+            let base = plan_with_degree(graph, root, &report.sizes, degree);
+            let order = min_peak_order(graph, root, &report.sizes, &base);
+            let sched = Schedule::from_order(graph, order);
+            let re = certify_schedule(graph, &sched, &base, &report.sizes, budget);
+            if re.fits() {
+                report.diagnostics.push(Diagnostic {
+                    severity: Severity::Hint,
+                    node: root,
+                    code: codes::REORDER_AVOIDS_SPILL,
+                    count: 1,
+                    message: format!(
+                        "the plan spills {spilled} node(s) under the {limit} B budget, but a \
+                         peak-minimizing schedule fits in memory (certified peak {} B); plan with \
+                         plan_with_memory_reordered and run it via eval_schedule",
+                        re.peak_bytes,
+                    ),
+                });
+            }
+        }
+    }
+    dedupe_diagnostics(&mut report.diagnostics);
+    report.diagnostics.sort_by_key(|d| (d.severity, d.node));
+    report
 }
 
 /// Per-node interval rules; pushes domain diagnostics as a side effect.
@@ -370,6 +499,7 @@ fn infer_interval(
                             severity: Severity::Error,
                             node: id,
                             code: codes::DOMAIN_VIOLATION,
+                            count: 1,
                             message: "division by the constant zero".into(),
                         });
                     } else if !ib.is_top() && ib.contains_zero() {
@@ -377,6 +507,7 @@ fn infer_interval(
                             severity: Severity::Warning,
                             node: id,
                             code: codes::POSSIBLE_DOMAIN,
+                            count: 1,
                             message: format!("divisor may be zero: its value is bounded by {ib}"),
                         });
                     }
@@ -396,6 +527,7 @@ fn infer_interval(
                             severity: Severity::Error,
                             node: id,
                             code: codes::DOMAIN_VIOLATION,
+                            count: 1,
                             message: format!(
                                 "{name} of a definitely-negative value (bounded by {ia})"
                             ),
@@ -407,6 +539,7 @@ fn infer_interval(
                             severity: Severity::Warning,
                             node: id,
                             code: codes::POSSIBLE_DOMAIN,
+                            count: 1,
                             message: format!(
                                 "{name} over a possibly-negative subexpression (bounded by {ia})"
                             ),
@@ -479,6 +612,7 @@ fn fusion_hint(
             severity: Severity::Hint,
             node: id,
             code: codes::MISSED_FUSION,
+            count: 1,
             message,
         });
     };
@@ -555,6 +689,7 @@ fn chain_cost_warning(
             severity: Severity::Warning,
             node: id,
             code: codes::MMCHAIN_COST,
+            count: 1,
             message: format!(
                 "chain of {} matrices costs {as_written} multiplies as written vs {optimal} \
                  in the optimal order ({:.1}x); the optimizer's chain reordering would fix this",
@@ -921,6 +1056,85 @@ mod tests {
         let s2 = bad.agg(AggOp::Sum, bad_mm);
         let err = verify_rewrite(&g, s, &bad, s2, &inputs()).unwrap_err();
         assert!(matches!(err, RewriteCheckError::SizeRegression { .. }), "{err}");
+    }
+
+    #[test]
+    fn budget_overflow_warns_with_step_provenance_and_merged_counts() {
+        // sum(exp(X)) has no blockable operator: the planner cannot help, so
+        // W103 fires. X is the largest live value at two over-budget steps;
+        // the dedup pass merges them into one counted diagnostic.
+        let mut i = InputSizes::new();
+        i.declare("X", 256, 256, 1.0); // 512 KB
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let u = g.unary(UnaryOp::Exp, x);
+        let root = g.agg(AggOp::Sum, u);
+        let r = analyze_with_memory(&g, root, &i, 1, crate::memory::MemoryBudget::bytes(400_000));
+        let w: Vec<_> =
+            r.diagnostics.iter().filter(|d| d.code == codes::PLAN_EXCEEDS_BUDGET).collect();
+        assert_eq!(w.len(), 2, "{}", r.render(&g));
+        let at_x = w.iter().find(|d| d.node == x).expect("anchored at X");
+        assert_eq!(at_x.count, 2, "X is the largest live value at two steps");
+        assert!(at_x.to_string().contains("(x2)"), "{at_x}");
+        assert!(at_x.message.contains("step 0"), "{}", at_x.message);
+        assert!(w.iter().any(|d| d.node == u && d.count == 1), "{}", r.render(&g));
+        // Hints never fire alongside an over-budget verdict.
+        assert!(r.diagnostics.iter().all(|d| d.code != codes::REORDER_AVOIDS_SPILL));
+    }
+
+    #[test]
+    fn reorder_hint_fires_when_a_schedule_avoids_the_spill() {
+        // root = X + (A %*% B) under 5 MB: the DFS plan must block the
+        // matmul, but evaluating the matmul subtree first fits in memory.
+        let mut i = InputSizes::new();
+        i.declare("X", 256, 256, 1.0);
+        i.declare("A", 256, 1024, 1.0);
+        i.declare("B", 1024, 256, 1.0);
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let a = g.input("A");
+        let b = g.input("B");
+        let r_mm = g.matmul(a, b);
+        let root = g.ewise(EwiseOp::Add, x, r_mm);
+        let r = analyze_with_memory(&g, root, &i, 1, crate::memory::MemoryBudget::bytes(5_000_000));
+        let hints: Vec<_> =
+            r.diagnostics.iter().filter(|d| d.code == codes::REORDER_AVOIDS_SPILL).collect();
+        assert_eq!(hints.len(), 1, "{}", r.render(&g));
+        assert_eq!(hints[0].node, root);
+        assert!(hints[0].message.contains("peak-minimizing"), "{}", hints[0].message);
+        assert!(r.diagnostics.iter().all(|d| d.code != codes::PLAN_EXCEEDS_BUDGET));
+    }
+
+    #[test]
+    fn unbounded_budget_adds_no_memory_findings() {
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let root = g.agg(AggOp::Sum, x);
+        let r =
+            analyze_with_memory(&g, root, &inputs(), 1, crate::memory::MemoryBudget::unbounded());
+        assert!(r.diagnostics.is_empty(), "{}", r.render(&g));
+    }
+
+    #[test]
+    fn fitting_plans_get_no_memory_findings() {
+        // The planner's blocked plan fits: no W103; a spill is required in
+        // *every* order (the operand simply doesn't fit), so no H203 either.
+        let mut i = InputSizes::new();
+        i.declare("X", 100_000, 200, 1.0); // 160 MB
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let cp = g.push(Op::CrossProd(x));
+        let r = analyze_with_memory(&g, cp, &i, 1, crate::memory::MemoryBudget::bytes(1 << 20));
+        assert!(
+            r.diagnostics.iter().all(|d| d.code != codes::PLAN_EXCEEDS_BUDGET),
+            "{}",
+            r.render(&g)
+        );
+        assert!(
+            r.diagnostics.iter().all(|d| d.code != codes::REORDER_AVOIDS_SPILL),
+            "{}",
+            r.render(&g)
+        );
     }
 
     #[test]

@@ -327,7 +327,12 @@ impl<'g> Executor<'g> {
             Ok(fs) => Box::new(fs),
             Err(_) => Box::new(MemStore::default()),
         };
-        let pool = SharedBufferPool::new(BufferPool::new(budget, PolicyKind::Lru, storage));
+        // The pool gets half the budget; the other half is headroom for the
+        // materialized operands/outputs the certifier keeps resident (see
+        // crate::liveness — the certifier caps its pool term with the same
+        // spill_pool_capacity, so certified plans and this pool agree).
+        let capacity = crate::memory::spill_pool_capacity(budget);
+        let pool = SharedBufferPool::new(BufferPool::new(capacity, PolicyKind::Lru, storage));
         self.ooc_pool = Some(pool.clone());
         pool
     }
@@ -461,6 +466,22 @@ impl<'g> Executor<'g> {
             }
         }
         Ok(val)
+    }
+
+    /// Evaluate the nodes of a topological `order` in sequence, returning
+    /// the final node's value. Each step primes the memo, so the recursive
+    /// evaluator inside follows the given schedule instead of its default
+    /// depth-first order — this is how a reordered schedule from
+    /// [`min_peak_order`](crate::liveness::min_peak_order) is realized.
+    /// The order must be topological (children before parents); a
+    /// non-topological order still computes correct values (children are
+    /// evaluated on demand) but loses the scheduling intent.
+    pub fn eval_schedule(&mut self, order: &[NodeId], env: &Env) -> Result<Val, ExecError> {
+        let mut last = None;
+        for &id in order {
+            last = Some(self.eval(id, env)?);
+        }
+        last.ok_or_else(|| ExecError::Type { node: 0, message: "empty schedule".into() })
     }
 
     /// Evaluate the node, reusing memoized results for shared subtrees.
@@ -874,7 +895,7 @@ impl<'g> Executor<'g> {
         if mb.cols() == 1 {
             let v: Vec<f64> = (0..mb.rows()).map(|r| mb.get(r, 0)).collect();
             self.stats.flops += 2 * (da.rows() * da.cols()) as u64;
-            let pr = panel_rows_for(da.cols(), budget, 8);
+            let pr = panel_rows_for(da.cols(), budget, crate::memory::OOC_PANEL_DENOM);
             let sa = BlockStore::from_dense(&pool, self.ooc_ids(1), &da, pr).map_err(err)?;
             let out = ooc::gemv(&sa, &v, self.degree).map_err(err)?;
             sa.discard().map_err(err)?;
@@ -883,10 +904,20 @@ impl<'g> Executor<'g> {
         let db = mb.to_dense();
         self.stats.flops += 2 * (da.rows() * da.cols() * db.cols()) as u64;
         let base = self.ooc_ids(3);
-        let sa = BlockStore::from_dense(&pool, base, &da, panel_rows_for(da.cols(), budget, 8))
-            .map_err(err)?;
-        let sb = BlockStore::from_dense(&pool, base + 1, &db, panel_rows_for(db.cols(), budget, 8))
-            .map_err(err)?;
+        let sa = BlockStore::from_dense(
+            &pool,
+            base,
+            &da,
+            panel_rows_for(da.cols(), budget, crate::memory::OOC_PANEL_DENOM),
+        )
+        .map_err(err)?;
+        let sb = BlockStore::from_dense(
+            &pool,
+            base + 1,
+            &db,
+            panel_rows_for(db.cols(), budget, crate::memory::OOC_PANEL_DENOM),
+        )
+        .map_err(err)?;
         let sout = ooc::gemm(&sa, &sb, base + 2, self.degree).map_err(err)?;
         let out = sout.to_dense().map_err(err)?;
         for s in [sa, sb, sout] {
@@ -905,7 +936,7 @@ impl<'g> Executor<'g> {
         self.stats.ooc_nodes += 1;
         let pool = self.spill_pool(budget);
         let err = |e: PoolError| ooc_err(id, e);
-        let pr = panel_rows_for(m.cols(), budget, 8);
+        let pr = panel_rows_for(m.cols(), budget, crate::memory::OOC_PANEL_DENOM);
         let sa = BlockStore::from_dense(&pool, self.ooc_ids(1), m, pr).map_err(err)?;
         let out = ooc::crossprod(&sa, self.degree).map_err(err)?;
         sa.discard().map_err(err)?;
@@ -922,7 +953,7 @@ impl<'g> Executor<'g> {
         self.stats.ooc_nodes += 1;
         let pool = self.spill_pool(budget);
         let err = |e: PoolError| ooc_err(id, e);
-        let pr = panel_rows_for(m.cols(), budget, 8);
+        let pr = panel_rows_for(m.cols(), budget, crate::memory::OOC_PANEL_DENOM);
         let sa = BlockStore::from_dense(&pool, self.ooc_ids(1), m, pr).map_err(err)?;
         let out = ooc::col_sums(&sa, self.degree).map_err(err)?;
         sa.discard().map_err(err)?;
@@ -941,7 +972,7 @@ impl<'g> Executor<'g> {
         self.stats.ooc_nodes += 1;
         let pool = self.spill_pool(budget);
         let err = |e: PoolError| ooc_err(id, e);
-        let pr = panel_rows_for(da.cols(), budget, 8);
+        let pr = panel_rows_for(da.cols(), budget, crate::memory::OOC_PANEL_DENOM);
         let base = self.ooc_ids(3);
         let sa = BlockStore::from_dense(&pool, base, da, pr).map_err(err)?;
         let sb = BlockStore::from_dense(&pool, base + 1, db, pr).map_err(err)?;
@@ -964,7 +995,7 @@ impl<'g> Executor<'g> {
         self.stats.ooc_nodes += 1;
         let pool = self.spill_pool(budget);
         let err = |e: PoolError| ooc_err(id, e);
-        let pr = panel_rows_for(m.cols(), budget, 8);
+        let pr = panel_rows_for(m.cols(), budget, crate::memory::OOC_PANEL_DENOM);
         let base = self.ooc_ids(2);
         let sa = BlockStore::from_dense(&pool, base, m, pr).map_err(err)?;
         let sout = ooc::map(&sa, f, base + 1, self.degree).map_err(err)?;

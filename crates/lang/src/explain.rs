@@ -154,10 +154,13 @@ pub fn explain_with_degree(
 }
 
 /// [`explain_with_degree`], but also planning under a memory budget: nodes
-/// whose operands or output are estimated to exceed the budget are annotated
-/// `blocked` — they will stream tiles through the spill pool (see
-/// [`plan_with_memory`]). An unbounded
-/// budget renders exactly what [`explain_with_degree`] renders.
+/// the liveness certifier forces out-of-core are annotated `blocked` — they
+/// will stream tiles through the spill pool (see [`plan_with_memory`]).
+/// When the budget is bounded and sizes propagate, the plan's
+/// [`PlanCertificate`](crate::liveness::PlanCertificate) is appended under
+/// the tree: the fits/exceeds verdict plus the step-by-step live-set
+/// timeline. An unbounded budget renders exactly what
+/// [`explain_with_degree`] renders.
 pub fn explain_with_memory(
     graph: &Graph,
     root: NodeId,
@@ -170,6 +173,13 @@ pub fn explain_with_memory(
     let mut out = String::new();
     let mut seen = HashSet::new();
     render_tree(graph, root, "", true, true, &mut seen, sizes.as_ref(), phys.as_ref(), &mut out);
+    if budget.get().is_some() {
+        if let (Some(sizes), Some(plan)) = (sizes.as_ref(), phys.as_ref()) {
+            let cert = crate::liveness::certify_plan(graph, root, plan, sizes, budget);
+            out.push('\n');
+            out.push_str(&cert.render(graph));
+        }
+    }
     out
 }
 
@@ -402,6 +412,21 @@ mod tests {
         let txt = profile_report(&og, root, ex.profile().unwrap(), &sizes, 5);
         assert!(txt.contains("parallel kernels: 1 evals"), "{txt}");
         assert!(txt.contains("kernel parallel"), "{txt}");
+    }
+
+    #[test]
+    fn explain_with_memory_appends_the_certificate() {
+        let (g, s) = glm_graph();
+        let mut sizes = InputSizes::new();
+        sizes.declare("X", 100_000, 200, 1.0);
+        let (og, root, _) = optimize(&g, s, &sizes).unwrap();
+        let txt = explain_with_memory(&og, root, &sizes, 1, MemoryBudget::bytes(1 << 20));
+        assert!(txt.contains("blocked"), "{txt}");
+        assert!(txt.contains("memory certificate: plan fits"), "{txt}");
+        assert!(txt.contains("live-set timeline:"), "{txt}");
+        // An unbounded budget renders the plain degree plan, no certificate.
+        let txt = explain_with_memory(&og, root, &sizes, 1, MemoryBudget::unbounded());
+        assert!(!txt.contains("memory certificate"), "{txt}");
     }
 
     #[test]

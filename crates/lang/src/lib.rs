@@ -28,6 +28,7 @@ pub mod analyze;
 pub mod exec;
 pub mod explain;
 pub mod expr;
+pub mod liveness;
 pub mod memory;
 pub mod parser;
 pub mod physical;
@@ -35,8 +36,8 @@ pub mod rewrite;
 pub mod size;
 
 pub use analyze::{
-    analyze, analyze_program, verify_rewrite, AnalysisReport, Diagnostic, RewriteCheckError,
-    Severity,
+    analyze, analyze_program, analyze_with_memory, verify_rewrite, AnalysisReport, Diagnostic,
+    RewriteCheckError, Severity,
 };
 pub use exec::{Env, ExecError, ExecProfile, Executor, KernelChoice, NodeStats, Val};
 pub use explain::{
@@ -44,6 +45,10 @@ pub use explain::{
     profile_report_with_spill,
 };
 pub use expr::{AggOp, EwiseOp, Graph, NodeId, Op, UnaryOp};
+pub use liveness::{
+    certify_plan, certify_schedule, footprint, min_peak_order, NodeFootprint, PlanCertificate,
+    Schedule, StepUsage, Verdict,
+};
 pub use memory::{MemoryBudget, MEM_BUDGET_ENV};
 pub use rewrite::{estimated_cost, optimize, optimize_traced, RewriteStats, RewriteTrace};
 pub use size::{Shape, SizeInfo};

@@ -37,6 +37,22 @@ use std::fmt;
 /// An explicit API budget always takes precedence over the variable.
 pub const MEM_BUDGET_ENV: &str = "DMML_MEM_BUDGET";
 
+/// Fraction of the budget (as a divisor) the executor grants its spill pool:
+/// the pool gets half, the other half is headroom for the materialized
+/// values the liveness certifier (see [`crate::liveness`]) proves must be
+/// resident alongside the streaming kernel. Keeping the split here, next to
+/// the budget type, ties the executor and the certifier to the same number.
+pub fn spill_pool_capacity(budget: usize) -> usize {
+    (budget / 2).max(1)
+}
+
+/// Panel-height divisor the executor passes to
+/// [`panel_rows_for`](dm_buffer::panel_rows_for) for blocked kernels: one
+/// panel is ~1/16 of the *budget*, i.e. 1/8 of the spill pool's capacity
+/// ([`spill_pool_capacity`]), so several panels (two operands, an output,
+/// and per-worker pins) coexist in the pool without thrashing.
+pub const OOC_PANEL_DENOM: usize = 16;
+
 /// A byte cap on the executor's resident working set per blocked kernel, or
 /// unbounded (the default: everything stays in memory).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

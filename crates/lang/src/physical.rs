@@ -80,6 +80,14 @@ impl PhysicalPlan {
     pub fn is_empty(&self) -> bool {
         self.kernels.is_empty()
     }
+
+    /// The planned nodes assigned kernel `k`, in ascending node order.
+    pub fn nodes_with(&self, k: Kernel) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> =
+            self.kernels.iter().filter(|&(_, &kk)| kk == k).map(|(&n, _)| n).collect();
+        v.sort_unstable();
+        v
+    }
 }
 
 /// Sparsity below which sparse kernels win for multiply-like ops.
@@ -233,12 +241,24 @@ fn dense_bytes(info: Option<&SizeInfo>) -> usize {
     }
 }
 
-/// [`plan_with_degree`], then downgrade dense and parallel choices to
-/// [`Kernel::Blocked`] wherever an operand or the output of a blockable op
-/// (matmul, crossprod, colSums, elementwise) is estimated to exceed the
-/// memory budget. Sparse and scalar choices are never touched — the sparse
-/// kernels already hold only non-zeros — and an unbounded budget returns the
-/// degree plan unchanged.
+/// [`plan_with_degree`], then use the liveness certifier
+/// ([`certify_schedule`](crate::liveness::certify_schedule)) to downgrade
+/// dense and parallel choices to [`Kernel::Blocked`] until the plan's
+/// certified peak live set fits the budget.
+///
+/// Unlike the earlier per-node check (kept as
+/// [`plan_with_memory_per_node`]), the certifier accounts for *composite*
+/// peaks — several individually-fitting values live at the same step — and
+/// blocks only as many nodes as the peak requires: each round it trial-blocks
+/// the blockable nodes implicated at the peak step and keeps the upgrade
+/// that shrinks the certified peak the most, stopping when the plan fits.
+/// When no upgrade helps — a certified fit is unreachable — it finishes with
+/// the per-node rule so oversized operands still stream, and the certificate
+/// honestly reports `Exceeds`.
+/// Sparse and scalar choices are never touched — the sparse kernels already
+/// hold only non-zeros — and an unbounded budget returns the degree plan
+/// unchanged. When any reachable node is missing from `sizes`, the certifier
+/// has nothing sound to add and the per-node fallback runs instead.
 pub fn plan_with_memory(
     graph: &Graph,
     root: NodeId,
@@ -251,7 +271,47 @@ pub fn plan_with_memory(
         return p;
     };
     p.mem_budget = Some(limit);
-    for id in graph.reachable(root) {
+    let reachable = graph.reachable(root);
+    if reachable.iter().any(|id| !sizes.contains_key(id)) {
+        apply_per_node_blocking(graph, &reachable, sizes, limit, &mut p);
+        return p;
+    }
+    let sched = crate::liveness::Schedule::from_order(graph, reachable);
+    fit_plan_to_schedule(graph, &sched, sizes, budget, &mut p);
+    p
+}
+
+/// The pre-certifier blocking rule: a blockable node goes
+/// [`Kernel::Blocked`] when its own output or any operand alone exceeds the
+/// budget. Kept as the fallback for incomplete size information (where the
+/// liveness certifier cannot run) and for callers wanting the cheap local
+/// check; it misses composite peaks — see
+/// `certifier_counts_composite_peaks_the_per_node_check_misses` in
+/// [`crate::liveness`].
+pub fn plan_with_memory_per_node(
+    graph: &Graph,
+    root: NodeId,
+    sizes: &HashMap<NodeId, SizeInfo>,
+    degree: usize,
+    budget: MemoryBudget,
+) -> PhysicalPlan {
+    let mut p = plan_with_degree(graph, root, sizes, degree);
+    let Some(limit) = budget.get() else {
+        return p;
+    };
+    p.mem_budget = Some(limit);
+    apply_per_node_blocking(graph, &graph.reachable(root), sizes, limit, &mut p);
+    p
+}
+
+fn apply_per_node_blocking(
+    graph: &Graph,
+    reachable: &[NodeId],
+    sizes: &HashMap<NodeId, SizeInfo>,
+    limit: usize,
+    p: &mut PhysicalPlan,
+) {
+    for &id in reachable {
         if !matches!(p.kernel(id), Kernel::Dense | Kernel::Parallel) || !blockable(graph.op(id)) {
             continue;
         }
@@ -262,7 +322,96 @@ pub fn plan_with_memory(
             p.kernels.insert(id, Kernel::Blocked);
         }
     }
-    p
+}
+
+/// Certifier-driven fixed point: upgrade blockable nodes to
+/// [`Kernel::Blocked`] one at a time — greedily, by largest certified-peak
+/// reduction — until the plan fits `budget` over `sched` or no candidate
+/// improves the peak. Candidates each round are the blockable dense/parallel
+/// nodes implicated at the peak step: the node executing there, or any
+/// consumer of a value live there (blocking a consumer turns its operands
+/// into streamed, pool-resident values).
+pub(crate) fn fit_plan_to_schedule(
+    graph: &Graph,
+    sched: &crate::liveness::Schedule,
+    sizes: &HashMap<NodeId, SizeInfo>,
+    budget: MemoryBudget,
+    p: &mut PhysicalPlan,
+) {
+    use crate::liveness::{certify_schedule, Verdict};
+    let Some(limit) = budget.get() else {
+        return;
+    };
+    loop {
+        let cert = certify_schedule(graph, sched, p, sizes, budget);
+        let Verdict::Exceeds { .. } = cert.verdict else {
+            return;
+        };
+        let peak = &cert.timeline[cert.peak_step];
+        let live_at_peak: std::collections::HashSet<NodeId> =
+            peak.live.iter().map(|&(v, _)| v).collect();
+        let exec_at_peak = peak.node;
+        let mut best: Option<(usize, NodeId)> = None;
+        for &c in sched.order() {
+            if !matches!(p.kernel(c), Kernel::Dense | Kernel::Parallel) || !blockable(graph.op(c)) {
+                continue;
+            }
+            let relevant = c == exec_at_peak
+                || graph.op(c).children().iter().any(|ch| live_at_peak.contains(ch));
+            if !relevant {
+                continue;
+            }
+            let mut trial = p.clone();
+            trial.kernels.insert(c, Kernel::Blocked);
+            let tc = certify_schedule(graph, sched, &trial, sizes, budget);
+            if best.is_none_or(|(bp, _)| tc.peak_bytes < bp) {
+                best = Some((tc.peak_bytes, c));
+            }
+        }
+        match best {
+            Some((new_peak, c)) if new_peak < cert.peak_bytes => {
+                p.kernels.insert(c, Kernel::Blocked);
+            }
+            // No single upgrade shrinks the peak any further: a certified
+            // fit is out of reach (the certificate will report Exceeds). So
+            // oversized operands still stream rather than being held whole,
+            // finish with the per-node rule — the pre-certifier behavior.
+            _ => {
+                apply_per_node_blocking(graph, sched.order(), sizes, limit, p);
+                return;
+            }
+        }
+    }
+}
+
+/// [`plan_with_memory`] over a peak-minimizing schedule instead of the
+/// default depth-first order: computes
+/// [`min_peak_order`](crate::liveness::min_peak_order), fits the plan to
+/// *that* schedule, and returns both. Run the result with
+/// [`Executor::eval_schedule`](crate::exec::Executor::eval_schedule) — the
+/// reordered schedule often fits a budget in memory that the default order
+/// could only meet by spilling.
+pub fn plan_with_memory_reordered(
+    graph: &Graph,
+    root: NodeId,
+    sizes: &HashMap<NodeId, SizeInfo>,
+    degree: usize,
+    budget: MemoryBudget,
+) -> (PhysicalPlan, Vec<NodeId>) {
+    let mut p = plan_with_degree(graph, root, sizes, degree);
+    let Some(limit) = budget.get() else {
+        return (p, graph.reachable(root));
+    };
+    p.mem_budget = Some(limit);
+    let reachable = graph.reachable(root);
+    if reachable.iter().any(|id| !sizes.contains_key(id)) {
+        apply_per_node_blocking(graph, &reachable, sizes, limit, &mut p);
+        return (p, reachable);
+    }
+    let order = crate::liveness::min_peak_order(graph, root, sizes, &p);
+    let sched = crate::liveness::Schedule::from_order(graph, order.clone());
+    fit_plan_to_schedule(graph, &sched, sizes, budget, &mut p);
+    (p, order)
 }
 
 /// Convenience: propagate sizes then [`plan_with_memory`].
@@ -500,6 +649,86 @@ mod tests {
         let p = plan_with_inputs_memory(&g, cs, &s, 1, MemoryBudget::bytes(1 << 20)).unwrap();
         assert_eq!(p.kernel(cs), Kernel::Blocked);
         assert_eq!(p.degree(), 1, "blocked selection is independent of degree");
+    }
+
+    #[test]
+    fn composite_peak_blocks_what_the_per_node_check_misses() {
+        // Z = X + Y with X, Y 256x256 dense (512 KB each) under a 1.3 MB
+        // budget: every node individually fits, so the per-node rule blocks
+        // nothing and execution would hold 1.5 MB live at the add. The
+        // certifier sees the composite peak and blocks the add, whose
+        // streamed form fits.
+        let mut s = InputSizes::new();
+        s.declare("X", 256, 256, 1.0);
+        s.declare("Y", 256, 256, 1.0);
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let y = g.input("Y");
+        let z = g.ewise(crate::expr::EwiseOp::Add, x, y);
+        let root = g.agg(AggOp::Sum, z);
+        let sizes = crate::size::propagate(&g, root, &s).unwrap();
+        let budget = MemoryBudget::bytes(1_300_000);
+
+        let old = plan_with_memory_per_node(&g, root, &sizes, 1, budget);
+        assert_eq!(
+            old.nodes_with(Kernel::Blocked),
+            Vec::<NodeId>::new(),
+            "per-node check is blind"
+        );
+        let old_cert = crate::liveness::certify_plan(&g, root, &old, &sizes, budget);
+        assert!(!old_cert.fits(), "3 x 512 KB live at the add > 1.3 MB");
+
+        let new = plan_with_memory(&g, root, &sizes, 1, budget);
+        assert_eq!(new.kernel(z), Kernel::Blocked, "the add streams its operands");
+        let cert = crate::liveness::certify_plan(&g, root, &new, &sizes, budget);
+        assert!(cert.fits(), "{}", cert.render(&g));
+    }
+
+    #[test]
+    fn planner_stops_when_no_upgrade_helps() {
+        // sum(X) has no blockable node; the plan is returned unchanged and
+        // the certificate honestly reports Exceeds.
+        let mut s = InputSizes::new();
+        s.declare("X", 256, 256, 1.0);
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let root = g.agg(AggOp::Sum, x);
+        let sizes = crate::size::propagate(&g, root, &s).unwrap();
+        let budget = MemoryBudget::bytes(100_000);
+        let p = plan_with_memory(&g, root, &sizes, 1, budget);
+        assert_eq!(p.nodes_with(Kernel::Blocked), Vec::<NodeId>::new());
+        let cert = crate::liveness::certify_plan(&g, root, &p, &sizes, budget);
+        assert!(!cert.fits());
+    }
+
+    #[test]
+    fn reordered_planner_avoids_blocking_where_the_schedule_suffices() {
+        // root = X + (A %*% B): the default DFS order holds X under the
+        // matmul's transient and exceeds a 5 MB budget, so plan_with_memory
+        // must spill; the peak-minimizing order drains the matmul first and
+        // fits without a single blocked node.
+        let mut s = InputSizes::new();
+        s.declare("X", 256, 256, 1.0);
+        s.declare("A", 256, 1024, 1.0);
+        s.declare("B", 1024, 256, 1.0);
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let a = g.input("A");
+        let b = g.input("B");
+        let r = g.matmul(a, b);
+        let root = g.ewise(crate::expr::EwiseOp::Add, x, r);
+        let sizes = crate::size::propagate(&g, root, &s).unwrap();
+        let budget = MemoryBudget::bytes(5_000_000);
+
+        let dfs = plan_with_memory(&g, root, &sizes, 1, budget);
+        assert!(!dfs.nodes_with(Kernel::Blocked).is_empty(), "DFS order must spill");
+
+        let (re, order) = plan_with_memory_reordered(&g, root, &sizes, 1, budget);
+        assert_eq!(order, vec![a, b, r, x, root]);
+        assert_eq!(re.nodes_with(Kernel::Blocked), Vec::<NodeId>::new(), "reorder fits in memory");
+        let sched = crate::liveness::Schedule::from_order(&g, order);
+        let cert = crate::liveness::certify_schedule(&g, &sched, &re, &sizes, budget);
+        assert!(cert.fits(), "{}", cert.render(&g));
     }
 
     #[test]

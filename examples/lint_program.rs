@@ -5,10 +5,10 @@
 //!
 //! Run with: `cargo run --release --example lint_program`
 
-use dmml::lang::analyze::{analyze, codes, verify_rewrite, Severity};
+use dmml::lang::analyze::{analyze, analyze_with_memory, codes, verify_rewrite, Severity};
 use dmml::lang::rewrite::optimize;
 use dmml::lang::size::InputSizes;
-use dmml::lang::{AggOp, EwiseOp, Graph, UnaryOp};
+use dmml::lang::{AggOp, EwiseOp, Graph, MemoryBudget, UnaryOp};
 
 fn main() {
     // A script with several independent mistakes, built through the Graph
@@ -73,6 +73,24 @@ fn main() {
     assert!(report.diagnostics.iter().any(|d| d.code == codes::DOMAIN_VIOLATION));
     assert!(report.diagnostics.iter().any(|d| d.code == codes::DEAD_NODE));
     assert!(report.codes().len() >= 5, "the demo exercises at least five codes");
+
+    // Under a memory budget the analyzer also certifies the plan's live-set
+    // peak: a program whose values all fit individually can still overflow
+    // when several are live at once, and W103 pins the step where it happens.
+    println!();
+    let mut big = Graph::new();
+    let bx = big.input("X");
+    let by = big.input("Y");
+    let bz = big.ewise(EwiseOp::Add, bx, by);
+    let broot = big.agg(AggOp::Sum, bz);
+    let mut big_inputs = InputSizes::new();
+    big_inputs.declare("X", 256, 256, 1.0); // 512 KiB each
+    big_inputs.declare("Y", 256, 256, 1.0);
+    let budget = MemoryBudget::bytes(700_000); // fits any one value, not three
+    let mem = analyze_with_memory(&big, broot, &big_inputs, 1, budget);
+    println!("memory lint of {} under a 700 KB budget:", big.render(broot));
+    println!("{}", mem.render(&big));
+    assert!(mem.diagnostics.iter().any(|d| d.code == codes::PLAN_EXCEEDS_BUDGET));
 
     // A clean subprogram passes the linter, survives the optimizer, and the
     // rewrite-safety differ signs off on the transformation.

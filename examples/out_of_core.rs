@@ -6,10 +6,11 @@
 //! **bit-identical** to the in-memory kernels.
 //!
 //! Then the policy: the `dm-lang` executor does the same thing automatically.
-//! Give the planner a [`MemoryBudget`] (or set `DMML_MEM_BUDGET`) and any
-//! operator whose operands or output exceed the budget is planned as a
-//! `blocked` kernel; `explain` shows which nodes went out-of-core and the
-//! profile report accounts for the spill traffic.
+//! Give the planner a [`MemoryBudget`] (or set `DMML_MEM_BUDGET`) and it
+//! certifies the plan's live-set peak against the budget, planning operators
+//! as `blocked` kernels until the plan fits (oversized operands always
+//! stream); `explain` shows which nodes went out-of-core plus the memory
+//! certificate, and the profile report accounts for the spill traffic.
 //!
 //! Run with: `cargo run --release --example out_of_core`
 

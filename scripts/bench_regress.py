@@ -4,6 +4,7 @@
 Usage:
     scripts/bench_regress.py BASELINE.json CANDIDATE.json
         [--threshold 0.25] [--format text|markdown]
+        [--gate ID_PREFIX[,ID_PREFIX...]] ...
 
 Each snapshot is the output of scripts/bench_snapshot.sh:
 
@@ -16,6 +17,11 @@ candidate median exceeds the baseline median by more than the threshold
 (default 25%) is a regression; the script prints a summary and exits 1 if
 any regression was found, 0 otherwise. Ids present in only one snapshot are
 reported but never fail the run (benchmarks come and go between PRs).
+
+With --gate, only benchmarks whose id starts with one of the given prefixes
+can fail the run; regressions elsewhere are reported as warnings. This lets
+CI hard-fail on a curated set of stable benchmarks while the noisier ones
+stay informational. --gate is repeatable and accepts comma-separated lists.
 
 Stdlib only — runs anywhere CI has a python3.
 """
@@ -123,7 +129,16 @@ def main(argv: list[str] | None = None) -> int:
         default="text",
         help="summary format (default text)",
     )
+    ap.add_argument(
+        "--gate",
+        action="append",
+        default=[],
+        metavar="ID_PREFIX[,ID_PREFIX...]",
+        help="only benchmarks whose id starts with one of these prefixes "
+        "fail the run; others warn (repeatable, comma-separated)",
+    )
     args = ap.parse_args(argv)
+    gates = [g.strip() for spec in args.gate for g in spec.split(",") if g.strip()]
 
     try:
         base = load_medians(args.baseline)
@@ -137,6 +152,27 @@ def main(argv: list[str] | None = None) -> int:
     print(render(rows, only_base, only_cand, args.threshold))
 
     regressions = [r for r in rows if r[3] > args.threshold]
+    if gates:
+        gated = [r for r in regressions if any(r[0].startswith(g) for g in gates)]
+        warned = [r for r in regressions if r not in gated]
+        for bench_id, _, _, delta in warned:
+            print(
+                f"warning: ungated regression {bench_id} ({delta:+.1%})",
+                file=sys.stderr,
+            )
+        if gated:
+            print(
+                f"\n{len(gated)} gated regression(s) beyond "
+                f"{args.threshold:.0%} median slowdown",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"\nno gated regressions beyond {args.threshold:.0%} "
+            f"({len(rows)} benchmarks compared, {len(gates)} gate prefixes)",
+            file=sys.stderr,
+        )
+        return 0
     if regressions:
         print(
             f"\n{len(regressions)} regression(s) beyond "
