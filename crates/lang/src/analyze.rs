@@ -18,6 +18,7 @@
 //! | `H201` | hint | dead node: unreachable from the root |
 //! | `H202` | hint | missed fusion: a pattern the rewriter would fuse (`crossprod`, `tmv`, `sumSq`, double transpose) |
 //! | `H203` | hint | the budget forces spilling, but a peak-minimizing schedule fits in memory |
+//! | `H204` | hint | stale cost model: the calibrated price disagrees with the static estimate by more than 4x (see [`analyze_with_cost`]) |
 //!
 //! Findings with the same code on the same node are merged into one
 //! diagnostic carrying a use count (rendered as `(x3)`), so a value
@@ -92,6 +93,10 @@ pub mod codes {
     /// The budget forces spilling, but a peak-minimizing schedule fits the
     /// whole computation in memory.
     pub const REORDER_AVOIDS_SPILL: &str = "H203";
+    /// The calibrated cost model disagrees with the static flop estimate by
+    /// more than [`DRIFT_FACTOR`](crate::cost::DRIFT_FACTOR) for a kernel —
+    /// the static model is stale for this machine.
+    pub const COST_MODEL_STALE: &str = "H204";
 }
 
 /// One analyzer finding, anchored to a node.
@@ -456,6 +461,66 @@ pub fn analyze_with_memory(
                     ),
                 });
             }
+        }
+    }
+    dedupe_diagnostics(&mut report.diagnostics);
+    report.diagnostics.sort_by_key(|d| (d.severity, d.node));
+    report
+}
+
+/// [`analyze`], then cross-check the static flop cost model against a loaded
+/// calibrated [`CostModel`](crate::cost::CostModel) and report where they
+/// disagree:
+///
+/// * `H204` ([`codes::COST_MODEL_STALE`]) — the calibrated price of a node
+///   (measured GFLOP/s for its op, kernel family, and size class) differs
+///   from the static estimate by more than
+///   [`DRIFT_FACTOR`](crate::cost::DRIFT_FACTOR) in either direction. The
+///   static model's threshold decisions
+///   ([`PAR_FLOP_THRESHOLD`](crate::physical::PAR_FLOP_THRESHOLD),
+///   rewrite cost ratios) are unreliable for that kernel on this machine;
+///   plan with [`plan_with_profile`](crate::physical::plan_with_profile).
+///
+/// An empty model, or a program whose sizes do not fully propagate (those
+/// errors are already reported), returns the plain [`analyze`] report.
+pub fn analyze_with_cost(
+    graph: &Graph,
+    root: NodeId,
+    inputs: &InputSizes,
+    degree: usize,
+    model: &crate::cost::CostModel,
+) -> AnalysisReport {
+    let mut report = analyze(graph, root, inputs);
+    if model.is_empty() {
+        return report;
+    }
+    let reachable = graph.reachable(root);
+    if reachable.iter().any(|id| !report.sizes.contains_key(id)) {
+        return report;
+    }
+    let plan = crate::physical::plan_with_profile(graph, root, &report.sizes, degree, model);
+    let costs = crate::cost::node_costs(graph, root, &report.sizes, &plan, model);
+    for id in reachable {
+        let Some(c) = costs.get(&id) else { continue };
+        if c.flops == 0 {
+            continue;
+        }
+        let op = crate::explain::op_label(graph, id);
+        if model.is_stale(&op, c.family, c.flops) {
+            let cal = c.calibrated_ns.unwrap_or(c.static_ns);
+            let ratio = cal as f64 / c.static_ns.max(1) as f64;
+            report.diagnostics.push(Diagnostic {
+                severity: Severity::Hint,
+                node: id,
+                code: codes::COST_MODEL_STALE,
+                count: 1,
+                message: format!(
+                    "calibrated cost of {op} on the {} kernel is {ratio:.2}x the static \
+                     estimate ({cal} ns vs {} ns for {} flops): the static cost model is \
+                     stale for this kernel on this machine; prefer plan_with_profile",
+                    c.family, c.static_ns, c.flops,
+                ),
+            });
         }
     }
     dedupe_diagnostics(&mut report.diagnostics);
@@ -1135,6 +1200,42 @@ mod tests {
             "{}",
             r.render(&g)
         );
+    }
+
+    #[test]
+    fn stale_cost_model_hint_fires_on_drift() {
+        // crossprod on 1000x20 = 8e5 flops. A model that measured the fused
+        // kernel at 8 GFLOP/s disagrees with the 1 GFLOP/s static assumption
+        // by 8x > DRIFT_FACTOR: H204 fires on the crossprod node only.
+        let mut i = InputSizes::new();
+        i.declare("X", 1000, 20, 1.0);
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let cp = g.push(Op::CrossProd(x));
+        let root = g.agg(AggOp::Sum, cp);
+        let mut store = dm_obs::ProfileStore::new();
+        for _ in 0..5 {
+            store.record("crossprod", "fused", 800_000, 100_000); // 8 GFLOP/s
+        }
+        let model = crate::cost::CostModel::new(store);
+        let r = analyze_with_cost(&g, root, &i, 1, &model);
+        let hints: Vec<_> =
+            r.diagnostics.iter().filter(|d| d.code == codes::COST_MODEL_STALE).collect();
+        assert_eq!(hints.len(), 1, "{}", r.render(&g));
+        assert_eq!(hints[0].node, cp);
+        assert!(hints[0].message.contains("stale"), "{}", hints[0].message);
+
+        // Within DRIFT_FACTOR (2 GFLOP/s): silent.
+        let mut store = dm_obs::ProfileStore::new();
+        for _ in 0..5 {
+            store.record("crossprod", "fused", 800_000, 400_000); // 2 GFLOP/s
+        }
+        let r = analyze_with_cost(&g, root, &i, 1, &crate::cost::CostModel::new(store));
+        assert!(r.diagnostics.iter().all(|d| d.code != codes::COST_MODEL_STALE));
+
+        // Empty model: the plain analyze report.
+        let r = analyze_with_cost(&g, root, &i, 1, &crate::cost::CostModel::default());
+        assert!(r.diagnostics.iter().all(|d| d.code != codes::COST_MODEL_STALE));
     }
 
     #[test]

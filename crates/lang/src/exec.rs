@@ -165,6 +165,11 @@ pub struct NodeStats {
     pub self_ns: u64,
     /// Wall time including children.
     pub total_ns: u64,
+    /// Flops executed by this node excluding children (summed over evals).
+    /// Paired with [`self_ns`](Self::self_ns) this is an observed
+    /// throughput sample, the raw material of
+    /// [`record_kernel_profiles`](Executor::record_kernel_profiles).
+    pub self_flops: u64,
     /// Cache-miss evaluations.
     pub evals: u64,
     /// Evaluations served from the memo table.
@@ -220,12 +225,18 @@ pub struct Executor<'g> {
     // Per-recursion-frame accumulator of children wall time, so self time
     // can be derived as total minus children. Only used while profiling.
     child_ns_stack: Vec<u64>,
+    // Same discipline for flops: children subtree flops, so self flops can
+    // be derived as subtree total minus children. Only used while profiling.
+    child_flops_stack: Vec<u64>,
     // Emit one structured trace span per evaluated node (plus memo-hit
     // instants). Set by `traced()` or implied by the DMML_TRACE env var.
     tracing: bool,
     // When DMML_TRACE named a file at construction, the executor writes the
     // Chrome trace there on drop.
     trace_to_env: bool,
+    // When DMML_PROFILE_DIR named a directory at construction, the executor
+    // merge-saves its kernel throughput profile there on drop.
+    profile_to_env: bool,
 }
 
 impl<'g> Executor<'g> {
@@ -238,6 +249,11 @@ impl<'g> Executor<'g> {
         if trace_to_env {
             trace::set_enabled(true);
         }
+        // DMML_PROFILE_DIR=<dir> turns per-node profiling on and persists
+        // (op, kernel, flops, ns) throughput samples there when this
+        // executor is dropped, feeding the calibrated cost model
+        // (crate::cost) on subsequent runs.
+        let profile_to_env = dm_obs::profile::env_profile_dir().is_some();
         Executor {
             graph,
             plan: None,
@@ -247,10 +263,12 @@ impl<'g> Executor<'g> {
             next_ooc_matrix: 0,
             memo: HashMap::new(),
             stats: ExecStats::default(),
-            profile: None,
+            profile: profile_to_env.then(ExecProfile::default),
             child_ns_stack: Vec::new(),
+            child_flops_stack: Vec::new(),
             tracing: trace_to_env,
             trace_to_env,
+            profile_to_env,
         }
     }
 
@@ -420,6 +438,26 @@ impl<'g> Executor<'g> {
         }
     }
 
+    /// Fold this execution's per-node throughput observations into a
+    /// [`ProfileStore`](dm_obs::profile::ProfileStore): one
+    /// `(op, kernel family, self flops, self ns)` sample per profiled node
+    /// that did real work. This is the observe edge of the
+    /// observe→calibrate→re-cost loop — persist the store and the
+    /// calibrated cost model ([`CostModel`](crate::cost::CostModel)) divides
+    /// future flop estimates by these measured GFLOP/s. No-op unless the
+    /// executor was [`profiled`](Self::profiled).
+    pub fn record_kernel_profiles(&self, store: &mut dm_obs::profile::ProfileStore) {
+        let Some(p) = &self.profile else { return };
+        for (id, ns) in p.nodes() {
+            let Some(kernel) = ns.kernel else { continue };
+            if ns.self_flops == 0 || ns.self_ns == 0 {
+                continue;
+            }
+            let op = crate::explain::op_label(self.graph, id);
+            store.record(&op, &kernel.to_string(), ns.self_flops, ns.self_ns);
+        }
+    }
+
     fn kernel(&self, id: NodeId) -> Kernel {
         self.plan.as_ref().map_or(Kernel::Dense, |p| p.kernel(id))
     }
@@ -542,12 +580,19 @@ impl<'g> Executor<'g> {
     /// per-frame accumulator stack.
     fn eval_profiled(&mut self, id: NodeId, env: &Env) -> Result<Val, ExecError> {
         let t0 = Instant::now();
+        let flops_before = self.stats.flops;
         self.child_ns_stack.push(0);
+        self.child_flops_stack.push(0);
         let result = self.eval_uncached(id, env);
         let children_ns = self.child_ns_stack.pop().unwrap_or(0);
+        let children_flops = self.child_flops_stack.pop().unwrap_or(0);
         let total_ns = elapsed_ns(t0);
+        let subtree_flops = self.stats.flops - flops_before;
         if let Some(parent) = self.child_ns_stack.last_mut() {
             *parent += total_ns;
+        }
+        if let Some(parent) = self.child_flops_stack.last_mut() {
+            *parent += subtree_flops;
         }
         let val = result?;
         let kernel = self.kernel_choice(id, &val);
@@ -564,6 +609,7 @@ impl<'g> Executor<'g> {
             ns.evals += 1;
             ns.total_ns += total_ns;
             ns.self_ns += total_ns.saturating_sub(children_ns);
+            ns.self_flops += subtree_flops.saturating_sub(children_flops);
             ns.kernel = Some(kernel);
             ns.out_rows = out_rows;
             ns.out_cols = out_cols;
@@ -1014,6 +1060,21 @@ impl Drop for Executor<'_> {
         if self.trace_to_env {
             if let Some(Err(e)) = trace::write_env_trace() {
                 eprintln!("DMML_TRACE export failed: {e}");
+            }
+        }
+        // Honor DMML_PROFILE_DIR end-to-end: merge-save this run's kernel
+        // throughput samples so the next process's calibrated cost model
+        // sees them. Failures warn and degrade — profiling must never take
+        // an execution down.
+        if self.profile_to_env {
+            if let Some(dir) = dm_obs::profile::env_profile_dir() {
+                let mut store = dm_obs::profile::ProfileStore::new();
+                self.record_kernel_profiles(&mut store);
+                if !store.is_empty() {
+                    if let Err(e) = store.save(&dir) {
+                        eprintln!("DMML_PROFILE_DIR save failed: {e}");
+                    }
+                }
             }
         }
     }

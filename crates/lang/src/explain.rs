@@ -183,6 +183,63 @@ pub fn explain_with_memory(
     out
 }
 
+/// [`explain_with_degree`] with a calibrated physical plan and an appended
+/// per-node cost table: the plan comes from
+/// [`plan_with_profile`](crate::physical::plan_with_profile) (measured
+/// serial-vs-parallel crossover), and each compute node's line in the table
+/// shows estimated flops, the static nanosecond price, the calibrated price
+/// where the model holds enough samples (`-` otherwise), and the priced
+/// kernel family. Nodes whose calibrated price disagrees with the static one
+/// by more than [`DRIFT_FACTOR`](crate::cost::DRIFT_FACTOR) are marked
+/// `<- drift` — the same condition the analyzer reports as H204.
+pub fn explain_with_profile(
+    graph: &Graph,
+    root: NodeId,
+    inputs: &InputSizes,
+    degree: usize,
+    model: &crate::cost::CostModel,
+) -> String {
+    let sizes = propagate(graph, root, inputs).ok();
+    let phys =
+        sizes.as_ref().map(|s| crate::physical::plan_with_profile(graph, root, s, degree, model));
+    let mut out = String::new();
+    let mut seen = HashSet::new();
+    render_tree(graph, root, "", true, true, &mut seen, sizes.as_ref(), phys.as_ref(), &mut out);
+    let (Some(sizes), Some(plan)) = (sizes.as_ref(), phys.as_ref()) else {
+        return out;
+    };
+    let costs = crate::cost::node_costs(graph, root, sizes, plan, model);
+    let mut ids: Vec<NodeId> = costs.keys().copied().collect();
+    ids.sort_unstable();
+    let _ = writeln!(out, "\ncost table (static {} GFLOP/s baseline):", crate::cost::STATIC_GFLOPS);
+    let _ = writeln!(
+        out,
+        "  {:<4} {:<12} {:>14} {:>12} {:>12}  family",
+        "node", "op", "flops", "static", "calibrated"
+    );
+    for id in ids {
+        let c = &costs[&id];
+        if c.flops == 0 {
+            continue; // inputs/constants carry no priced work
+        }
+        let cal =
+            c.calibrated_ns.map_or("-".to_string(), |ns| fmt_ns(ns.min(u64::MAX as u128) as u64));
+        let drift =
+            if model.is_stale(&op_label(graph, id), c.family, c.flops) { "  <- drift" } else { "" };
+        let _ = writeln!(
+            out,
+            "  %{:<3} {:<12} {:>14} {:>12} {:>12}  {}{drift}",
+            id,
+            op_label(graph, id),
+            c.flops,
+            fmt_ns(c.static_ns.min(u64::MAX as u128) as u64),
+            cal,
+            c.family,
+        );
+    }
+    out
+}
+
 /// Render a post-run `-stats`-style report from an execution profile: total
 /// wall time, the `top_k` heaviest operators by self time (with kernel choice
 /// and output shape), estimated-vs-actual sparsity drift beyond
@@ -331,6 +388,62 @@ pub fn profile_report_with_spill(
     out
 }
 
+/// [`profile_report`] plus a cost-model accuracy section: for every profiled
+/// compute node, the *estimated* ns (static flop price), the *calibrated* ns
+/// (the loaded [`CostModel`](crate::cost::CostModel)'s measured-throughput
+/// price, `-` below the sample threshold), and the *observed* ns this run
+/// actually spent — the three columns whose convergence is the whole point
+/// of the observe→calibrate→re-cost loop. Nodes where calibrated and static
+/// disagree by more than [`DRIFT_FACTOR`](crate::cost::DRIFT_FACTOR) are
+/// marked `<- drift (H204)`.
+pub fn profile_report_with_cost(
+    graph: &Graph,
+    root: NodeId,
+    profile: &ExecProfile,
+    inputs: &InputSizes,
+    top_k: usize,
+    plan: &PhysicalPlan,
+    model: &crate::cost::CostModel,
+) -> String {
+    let mut out = profile_report(graph, root, profile, inputs, top_k);
+    let Ok(infos) = propagate(graph, root, inputs) else {
+        return out;
+    };
+    let costs = crate::cost::node_costs(graph, root, &infos, plan, model);
+    let mut ids: Vec<NodeId> = profile
+        .nodes()
+        .filter(|(id, ns)| ns.evals > 0 && costs.get(id).is_some_and(|c| c.flops > 0))
+        .map(|(id, _)| id)
+        .collect();
+    ids.sort_unstable();
+    if ids.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "cost model (estimated vs calibrated vs observed):");
+    for id in ids {
+        let c = &costs[&id];
+        let observed = profile.node(id).map_or(0, |n| n.self_ns);
+        let cal =
+            c.calibrated_ns.map_or("-".to_string(), |ns| fmt_ns(ns.min(u64::MAX as u128) as u64));
+        let drift = if model.is_stale(&op_label(graph, id), c.family, c.flops) {
+            "  <- drift (H204)"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  %{:<3} {:<12} est {:>10}  cal {:>10}  obs {:>10}  {}{drift}",
+            id,
+            op_label(graph, id),
+            fmt_ns(c.static_ns.min(u64::MAX as u128) as u64),
+            cal,
+            fmt_ns(observed),
+            c.family,
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +540,65 @@ mod tests {
         // An unbounded budget renders the plain degree plan, no certificate.
         let txt = explain_with_memory(&og, root, &sizes, 1, MemoryBudget::unbounded());
         assert!(!txt.contains("memory certificate"), "{txt}");
+    }
+
+    #[test]
+    fn explain_with_profile_appends_the_cost_table() {
+        let (g, s) = glm_graph();
+        let mut sizes = InputSizes::new();
+        sizes.declare("X", 1000, 20, 1.0);
+        let (og, root, _) = optimize(&g, s, &sizes).unwrap();
+        // An 8x-fast measured fused kernel: calibrated column filled, drift
+        // flagged.
+        let mut store = dm_obs::ProfileStore::new();
+        for _ in 0..5 {
+            store.record("crossprod", "fused", 800_000, 100_000); // 8 GFLOP/s
+        }
+        let model = crate::cost::CostModel::new(store);
+        let txt = explain_with_profile(&og, root, &sizes, 1, &model);
+        assert!(txt.contains("cost table"), "{txt}");
+        assert!(txt.contains("crossprod"), "{txt}");
+        assert!(txt.contains("<- drift"), "{txt}");
+        // The empty model still renders the table, calibrated column dashed.
+        let txt = explain_with_profile(&og, root, &sizes, 1, &crate::cost::CostModel::default());
+        assert!(txt.contains("cost table"), "{txt}");
+        assert!(txt.contains(" -  "), "{txt}");
+        assert!(!txt.contains("<- drift"), "{txt}");
+    }
+
+    #[test]
+    fn profile_report_with_cost_shows_all_three_columns() {
+        let (g, s) = glm_graph();
+        let mut sizes = InputSizes::new();
+        sizes.declare("X", 1000, 20, 1.0);
+        let mut env = Env::new();
+        env.bind("X", Matrix::Dense(Dense::from_fn(1000, 20, |r, c| ((r + c) % 5) as f64)));
+        let (og, root, _) = optimize(&g, s, &sizes).unwrap();
+        let plan = crate::physical::plan_with_inputs(&og, root, &sizes).unwrap();
+
+        // Observe a real run, then price with the model it produced.
+        let mut store = dm_obs::ProfileStore::new();
+        for _ in 0..dm_obs::profile::MIN_SAMPLES {
+            let mut ex = Executor::with_plan(&og, plan.clone()).profiled();
+            ex.eval(root, &env).unwrap();
+            ex.record_kernel_profiles(&mut store);
+        }
+        let model = crate::cost::CostModel::new(store);
+        let mut ex = Executor::with_plan(&og, plan.clone()).profiled();
+        ex.eval(root, &env).unwrap();
+        let txt =
+            profile_report_with_cost(&og, root, ex.profile().unwrap(), &sizes, 5, &plan, &model);
+        assert!(txt.contains("cost model (estimated vs calibrated vs observed)"), "{txt}");
+        assert!(txt.contains("est "), "{txt}");
+        assert!(txt.contains("cal "), "{txt}");
+        assert!(txt.contains("obs "), "{txt}");
+        // The crossprod was observed MIN_SAMPLES times at its exact size
+        // class, so its calibrated column cannot be dashed.
+        let cp_line = txt
+            .lines()
+            .find(|l| l.contains("crossprod") && l.contains("est "))
+            .expect("crossprod cost line");
+        assert!(!cp_line.contains("cal          -"), "{cp_line}");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! ```
 
 pub mod analyze;
+pub mod cost;
 pub mod exec;
 pub mod explain;
 pub mod expr;
@@ -36,13 +37,14 @@ pub mod rewrite;
 pub mod size;
 
 pub use analyze::{
-    analyze, analyze_program, analyze_with_memory, verify_rewrite, AnalysisReport, Diagnostic,
-    RewriteCheckError, Severity,
+    analyze, analyze_program, analyze_with_cost, analyze_with_memory, verify_rewrite,
+    AnalysisReport, Diagnostic, RewriteCheckError, Severity,
 };
+pub use cost::{calibrated_cost, CostModel, NodeCost};
 pub use exec::{Env, ExecError, ExecProfile, Executor, KernelChoice, NodeStats, Val};
 pub use explain::{
-    explain, explain_with, explain_with_degree, explain_with_memory, profile_report,
-    profile_report_with_spill,
+    explain, explain_with, explain_with_degree, explain_with_memory, explain_with_profile,
+    profile_report, profile_report_with_cost, profile_report_with_spill,
 };
 pub use expr::{AggOp, EwiseOp, Graph, NodeId, Op, UnaryOp};
 pub use liveness::{
@@ -50,5 +52,8 @@ pub use liveness::{
     Schedule, StepUsage, Verdict,
 };
 pub use memory::{MemoryBudget, MEM_BUDGET_ENV};
-pub use rewrite::{estimated_cost, optimize, optimize_traced, RewriteStats, RewriteTrace};
+pub use rewrite::{
+    estimated_cost, optimize, optimize_traced, optimize_traced_calibrated, RewriteStats,
+    RewriteTrace,
+};
 pub use size::{Shape, SizeInfo};

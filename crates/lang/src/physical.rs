@@ -219,6 +219,63 @@ pub fn plan_with_degree(
     p
 }
 
+/// [`plan_with_degree`] with a *calibrated* serial-vs-parallel crossover:
+/// where the loaded [`CostModel`](crate::cost::CostModel) holds enough
+/// samples for both the serial family (dense/fused) and the parallel family
+/// of a candidate node at its size class, the upgrade decision compares the
+/// two measured prices directly — parallel wins iff its calibrated
+/// nanoseconds beat serial's — instead of trusting the fixed
+/// [`PAR_FLOP_THRESHOLD`]. Nodes the profile can't price on both sides keep
+/// the static threshold rule, so an empty model reproduces
+/// [`plan_with_degree`] exactly.
+pub fn plan_with_profile(
+    graph: &Graph,
+    root: NodeId,
+    sizes: &HashMap<NodeId, SizeInfo>,
+    degree: usize,
+    model: &crate::cost::CostModel,
+) -> PhysicalPlan {
+    let mut p = plan(graph, root, sizes);
+    p.degree = degree.max(1);
+    if p.degree == 1 {
+        return p;
+    }
+    for id in graph.reachable(root) {
+        if p.kernel(id) != Kernel::Dense || !parallelizable(graph.op(id)) {
+            continue;
+        }
+        let flops = node_flops(graph, id, sizes);
+        let op = crate::explain::op_label(graph, id);
+        // The serial price is what dispatch would classify this node as
+        // without the upgrade (fused for crossprod/tmv/sumSq, dense else).
+        let serial_family = crate::cost::node_family(graph, id, &p);
+        let serial = model.calibrated_ns(&op, serial_family, flops);
+        let parallel = model.calibrated_ns(&op, "parallel", flops);
+        let upgrade = match (serial, parallel) {
+            // Both families measured at this size: trust the observations.
+            (Some(s), Some(par)) => par < s,
+            // Not enough evidence: the static threshold stands.
+            _ => flops >= PAR_FLOP_THRESHOLD,
+        };
+        if upgrade {
+            p.kernels.insert(id, Kernel::Parallel);
+        }
+    }
+    p
+}
+
+/// Convenience: propagate sizes then [`plan_with_profile`].
+pub fn plan_with_inputs_profile(
+    graph: &Graph,
+    root: NodeId,
+    inputs: &InputSizes,
+    degree: usize,
+    model: &crate::cost::CostModel,
+) -> Result<PhysicalPlan, crate::size::SizeError> {
+    let sizes = crate::size::propagate(graph, root, inputs)?;
+    Ok(plan_with_profile(graph, root, &sizes, degree, model))
+}
+
 /// True for ops with a blocked out-of-core kernel in `dm_buffer::ooc`.
 fn blockable(op: &Op) -> bool {
     matches!(
@@ -729,6 +786,91 @@ mod tests {
         let sched = crate::liveness::Schedule::from_order(&g, order);
         let cert = crate::liveness::certify_schedule(&g, &sched, &re, &sizes, budget);
         assert!(cert.fits(), "{}", cert.render(&g));
+    }
+
+    /// A model with `n` samples of the given GFLOP/s for (op, family) at
+    /// `flops`' size class.
+    fn model_with(entries: &[(&str, &str, u64, f64)]) -> crate::cost::CostModel {
+        let mut s = dm_obs::ProfileStore::new();
+        for &(op, family, flops, gflops) in entries {
+            let ns = ((flops as f64 / gflops) as u64).max(1);
+            for _ in 0..5 {
+                s.record(op, family, flops, ns);
+            }
+        }
+        crate::cost::CostModel::new(s)
+    }
+
+    #[test]
+    fn empty_profile_reproduces_the_static_threshold_plan() {
+        let mut s = InputSizes::new();
+        s.declare("X", 100_000, 200, 1.0);
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let cp = g.push(crate::expr::Op::CrossProd(x));
+        let sizes = crate::size::propagate(&g, cp, &s).unwrap();
+        let model = crate::cost::CostModel::default();
+        for degree in [1, 4] {
+            let static_plan = plan_with_degree(&g, cp, &sizes, degree);
+            let profiled = plan_with_profile(&g, cp, &sizes, degree, &model);
+            for id in g.reachable(cp) {
+                assert_eq!(profiled.kernel(id), static_plan.kernel(id));
+            }
+            assert_eq!(profiled.degree(), static_plan.degree());
+        }
+    }
+
+    #[test]
+    fn calibrated_crossover_overrides_the_flop_threshold() {
+        // crossprod on 100_000 x 200: 8e9 flops, far above the static
+        // threshold — but measurements say serial (fused) is faster than
+        // parallel at this size, so the calibrated plan stays serial.
+        let mut s = InputSizes::new();
+        s.declare("X", 100_000, 200, 1.0);
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let cp = g.push(crate::expr::Op::CrossProd(x));
+        let sizes = crate::size::propagate(&g, cp, &s).unwrap();
+        let flops = node_flops(&g, cp, &sizes) as u64;
+
+        let serial_wins = model_with(&[
+            ("crossprod", "fused", flops, 4.0),
+            ("crossprod", "parallel", flops, 2.0),
+        ]);
+        let p = plan_with_profile(&g, cp, &sizes, 4, &serial_wins);
+        assert_eq!(p.kernel(cp), Kernel::Dense, "measured serial beats parallel");
+
+        let parallel_wins = model_with(&[
+            ("crossprod", "fused", flops, 2.0),
+            ("crossprod", "parallel", flops, 6.0),
+        ]);
+        let p = plan_with_profile(&g, cp, &sizes, 4, &parallel_wins);
+        assert_eq!(p.kernel(cp), Kernel::Parallel, "measured parallel beats serial");
+
+        // One-sided evidence keeps the static threshold decision (upgrade,
+        // since 8e9 >= PAR_FLOP_THRESHOLD).
+        let one_sided = model_with(&[("crossprod", "fused", flops, 4.0)]);
+        let p = plan_with_profile(&g, cp, &sizes, 4, &one_sided);
+        assert_eq!(p.kernel(cp), Kernel::Parallel);
+    }
+
+    #[test]
+    fn calibrated_crossover_can_parallelize_below_the_threshold() {
+        // 1000 x 20 crossprod is 8e5 flops — statically serial — but if the
+        // profile proves parallel faster at that size, the plan upgrades.
+        let mut s = InputSizes::new();
+        s.declare("X", 1000, 20, 1.0);
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let cp = g.push(crate::expr::Op::CrossProd(x));
+        let sizes = crate::size::propagate(&g, cp, &s).unwrap();
+        let flops = node_flops(&g, cp, &sizes) as u64;
+        let m = model_with(&[
+            ("crossprod", "fused", flops, 1.0),
+            ("crossprod", "parallel", flops, 3.0),
+        ]);
+        let p = plan_with_profile(&g, cp, &sizes, 4, &m);
+        assert_eq!(p.kernel(cp), Kernel::Parallel);
     }
 
     #[test]

@@ -281,6 +281,12 @@ pub struct RewriteTrace {
     pub cost_before: Option<u128>,
     /// Estimated flops after rewriting.
     pub cost_after: Option<u128>,
+    /// Calibrated cost (ns) of the DAG as written, when
+    /// [`optimize_traced_calibrated`] ran with a loaded
+    /// [`CostModel`](crate::cost::CostModel).
+    pub calibrated_before_ns: Option<u128>,
+    /// Calibrated cost (ns) after rewriting.
+    pub calibrated_after_ns: Option<u128>,
     /// Wall time spent inside the optimizer.
     pub wall_ns: u64,
 }
@@ -290,6 +296,17 @@ impl RewriteTrace {
     /// the rewrites bought nothing by this model).
     pub fn cost_ratio(&self) -> Option<f64> {
         match (self.cost_before, self.cost_after) {
+            (Some(b), Some(a)) if b > 0 => Some(a as f64 / b as f64),
+            _ => None,
+        }
+    }
+
+    /// Calibrated cost ratio `after / before` in observed nanoseconds, when
+    /// [`optimize_traced_calibrated`] priced both sides. Where this and
+    /// [`cost_ratio`](Self::cost_ratio) disagree, the machine disagrees with
+    /// the flop model about what the rewrites bought.
+    pub fn calibrated_ratio(&self) -> Option<f64> {
+        match (self.calibrated_before_ns, self.calibrated_after_ns) {
             (Some(b), Some(a)) if b > 0 => Some(a as f64 / b as f64),
             _ => None,
         }
@@ -314,6 +331,12 @@ impl RewriteTrace {
         if let Some(a) = self.cost_after {
             rec.gauge_set("lang.rewrite.est_cost_after", a.min(u64::MAX as u128) as u64);
         }
+        if let Some(b) = self.calibrated_before_ns {
+            rec.gauge_set("lang.rewrite.cal_cost_before_ns", b.min(u64::MAX as u128) as u64);
+        }
+        if let Some(a) = self.calibrated_after_ns {
+            rec.gauge_set("lang.rewrite.cal_cost_after_ns", a.min(u64::MAX as u128) as u64);
+        }
         rec.record_duration_ns("lang.rewrite.wall", self.wall_ns);
     }
 }
@@ -330,7 +353,36 @@ pub fn optimize_traced(
     let cost_before = estimated_cost(graph, root, sizes).ok();
     let (g, new_root, stats) = optimize(graph, root, sizes)?;
     let cost_after = estimated_cost(&g, new_root, sizes).ok();
-    let trace = RewriteTrace { stats, cost_before, cost_after, wall_ns: elapsed_ns(t0) };
+    let trace = RewriteTrace {
+        stats,
+        cost_before,
+        cost_after,
+        calibrated_before_ns: None,
+        calibrated_after_ns: None,
+        wall_ns: elapsed_ns(t0),
+    };
+    Ok((g, new_root, trace))
+}
+
+/// [`optimize_traced`], additionally pricing the before/after DAGs with a
+/// calibrated [`CostModel`](crate::cost::CostModel): the trace's
+/// `calibrated_before_ns`/`calibrated_after_ns` carry measured-throughput
+/// nanosecond estimates (serial plans at the model's observed GFLOP/s),
+/// alongside the static flop figures. Calibration failure degrades to `None`
+/// exactly as static cost estimation does.
+pub fn optimize_traced_calibrated(
+    graph: &Graph,
+    root: NodeId,
+    sizes: &InputSizes,
+    model: &crate::cost::CostModel,
+) -> Result<(Graph, NodeId, RewriteTrace), SizeError> {
+    let (g, new_root, mut trace) = optimize_traced(graph, root, sizes)?;
+    let price = |gr: &Graph, rt: NodeId| -> Option<u128> {
+        let plan = crate::physical::plan_with_inputs(gr, rt, sizes).ok()?;
+        crate::cost::calibrated_cost(gr, rt, sizes, &plan, model).ok()
+    };
+    trace.calibrated_before_ns = price(graph, root);
+    trace.calibrated_after_ns = price(&g, new_root);
     Ok((g, new_root, trace))
 }
 

@@ -5,11 +5,13 @@
 use crate::histogram::HistogramSnapshot;
 use crate::json::escape_json;
 use crate::registry::StatsReport;
+use std::collections::HashSet;
 use std::fmt::Write as _;
 
 /// Turn a dot-separated site path into a Prometheus metric name:
 /// `buffer.pool.lru.hit` → `dmml_buffer_pool_lru_hit`. Characters outside
-/// `[a-zA-Z0-9_]` become underscores.
+/// `[a-zA-Z0-9_]` become underscores (the `dmml_` prefix guarantees a legal
+/// leading character).
 fn metric_name(site: &str) -> String {
     let mut out = String::with_capacity(site.len() + 5);
     out.push_str("dmml_");
@@ -17,6 +19,32 @@ fn metric_name(site: &str) -> String {
         out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
     }
     out
+}
+
+/// Sanitization maps distinct sites onto one name (`exec.eval` and
+/// `exec-eval` both become `dmml_exec_eval`); a scraper rejects the
+/// duplicate `# TYPE` lines that would produce. The deduper suffixes
+/// repeats with `_2`, `_3`, … so every exported family name is unique.
+#[derive(Default)]
+struct NameDeduper {
+    seen: HashSet<String>,
+}
+
+impl NameDeduper {
+    fn claim(&mut self, site: &str) -> String {
+        let base = metric_name(site);
+        if self.seen.insert(base.clone()) {
+            return base;
+        }
+        let mut n = 2;
+        loop {
+            let candidate = format!("{base}_{n}");
+            if self.seen.insert(candidate.clone()) {
+                return candidate;
+            }
+            n += 1;
+        }
+    }
 }
 
 fn push_histogram_text(out: &mut String, name: &str, h: &HistogramSnapshot) {
@@ -35,20 +63,21 @@ fn push_histogram_text(out: &mut String, name: &str, h: &HistogramSnapshot) {
 /// labels.
 pub fn prometheus_text(report: &StatsReport) -> String {
     let mut out = String::new();
+    let mut names = NameDeduper::default();
     for (site, v) in report.counters() {
-        let name = metric_name(site);
+        let name = names.claim(site);
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {v}");
     }
     for (site, (cur, peak)) in report.gauges() {
-        let name = metric_name(site);
+        let name = names.claim(site);
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {cur}");
         let _ = writeln!(out, "# TYPE {name}_peak gauge");
         let _ = writeln!(out, "{name}_peak {peak}");
     }
     for (site, d) in report.durations() {
-        let name = metric_name(site);
+        let name = names.claim(site);
         let _ = writeln!(out, "# TYPE {name}_count counter");
         let _ = writeln!(out, "{name}_count {}", d.count);
         let _ = writeln!(out, "# TYPE {name}_sum_ns counter");
@@ -59,7 +88,8 @@ pub fn prometheus_text(report: &StatsReport) -> String {
         let _ = writeln!(out, "{name}_max_ns {}", d.max_ns);
     }
     for (site, h) in report.histograms() {
-        push_histogram_text(&mut out, &metric_name(site), h);
+        let name = names.claim(site);
+        push_histogram_text(&mut out, &name, h);
     }
     out
 }
@@ -182,5 +212,87 @@ mod tests {
     fn metric_names_are_sanitized() {
         assert_eq!(metric_name("buffer.pool.lru.hit"), "dmml_buffer_pool_lru_hit");
         assert_eq!(metric_name("a-b c"), "dmml_a_b_c");
+    }
+
+    #[test]
+    fn colliding_sites_export_unique_names() {
+        let reg = StatsRegistry::new();
+        // Three sites that all sanitize to dmml_exec_eval.
+        reg.counter("exec.eval").add(1);
+        reg.counter("exec-eval").add(2);
+        reg.counter("exec eval").add(3);
+        let text = prometheus_text(&reg.report());
+        let families: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        let unique: std::collections::HashSet<&&str> = families.iter().collect();
+        assert_eq!(families.len(), unique.len(), "duplicate TYPE families in:\n{text}");
+        assert!(text.contains("dmml_exec_eval "), "{text}");
+        assert!(text.contains("dmml_exec_eval_2 "), "{text}");
+        assert!(text.contains("dmml_exec_eval_3 "), "{text}");
+    }
+
+    /// A Prometheus metric name: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+    fn is_valid_metric_name(s: &str) -> bool {
+        let mut chars = s.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    /// Every line of the exposition must be a `# TYPE <name> <kind>`
+    /// comment or a `<name>[{label="value"}] <number>` sample, with legal
+    /// metric names throughout — the conformance contract real scrapers
+    /// hold us to.
+    #[test]
+    fn prometheus_text_conforms_to_exposition_format() {
+        let reg = StatsRegistry::new();
+        reg.counter("pool.hit").add(42);
+        reg.counter("weird site-name.0").add(1);
+        reg.gauge("mem.used").set(64);
+        reg.duration("exec.eval").record_ns(1_500);
+        let h = reg.histogram("lang.exec.node_self_ns");
+        for v in [100u64, 200, 300, 5_000] {
+            h.record(v);
+        }
+        let text = prometheus_text(&reg.report());
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().expect("TYPE line has a name");
+                let kind = parts.next().expect("TYPE line has a kind");
+                assert!(is_valid_metric_name(name), "bad metric name {name:?} in {line:?}");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "summary" | "histogram" | "untyped"),
+                    "bad metric kind {kind:?} in {line:?}"
+                );
+                assert!(parts.next().is_none(), "trailing tokens in {line:?}");
+                continue;
+            }
+            // Sample line: name, optional {labels}, one numeric value.
+            let (series, value) =
+                line.rsplit_once(' ').unwrap_or_else(|| panic!("no value in {line:?}"));
+            assert!(value.parse::<f64>().is_ok(), "non-numeric value {value:?} in {line:?}");
+            let name = series.split('{').next().unwrap();
+            assert!(is_valid_metric_name(name), "bad metric name {name:?} in {line:?}");
+            if let Some(labels) = series.strip_prefix(name) {
+                if !labels.is_empty() {
+                    assert!(
+                        labels.starts_with('{') && labels.ends_with('}'),
+                        "malformed labels {labels:?} in {line:?}"
+                    );
+                    for pair in labels[1..labels.len() - 1].split(',') {
+                        let (k, v) = pair.split_once('=').expect("label has =");
+                        assert!(is_valid_metric_name(k), "bad label name {k:?}");
+                        assert!(v.starts_with('"') && v.ends_with('"'), "unquoted label {v:?}");
+                    }
+                }
+            }
+        }
     }
 }

@@ -130,6 +130,30 @@ impl LogHistogram {
         }
     }
 
+    /// Fold every sample of `other` into `self` (bucket-wise addition).
+    ///
+    /// Merging is commutative and associative up to snapshot equality, and
+    /// the zero-sample histogram is its identity — the algebra cross-run
+    /// profile accumulation relies on: per-run histograms can be combined in
+    /// any order and the quantiles come out the same.
+    pub fn merge(&self, other: &LogHistogram) {
+        for (i, b) in other.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                self.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let count = other.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return;
+        }
+        self.count.fetch_add(count, Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        // An empty `other` holds min = u64::MAX; guarded by the early return.
+        self.min.fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Reset to empty (between profiled runs).
     pub fn reset(&self) {
         for b in self.buckets.iter() {
@@ -305,6 +329,59 @@ mod tests {
         assert_eq!(c.snapshot(), h.snapshot());
         c.record(789);
         assert_ne!(c.snapshot(), h.snapshot());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative_on_snapshots() {
+        let samples: [&[u64]; 3] = [&[1, 20, 300], &[4_000, 50_000], &[7, 7, 7, 600_000]];
+        let fill = |vals: &[u64]| {
+            let h = LogHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        // (a ⊕ b) ⊕ c
+        let left = fill(samples[0]);
+        left.merge(&fill(samples[1]));
+        left.merge(&fill(samples[2]));
+        // a ⊕ (b ⊕ c)
+        let bc = fill(samples[1]);
+        bc.merge(&fill(samples[2]));
+        let right = fill(samples[0]);
+        right.merge(&bc);
+        assert_eq!(left.snapshot(), right.snapshot());
+        // c ⊕ b ⊕ a (commuted)
+        let rev = fill(samples[2]);
+        rev.merge(&fill(samples[1]));
+        rev.merge(&fill(samples[0]));
+        assert_eq!(left.snapshot(), rev.snapshot());
+        // The merged result equals recording everything into one histogram.
+        let all = fill(&samples.concat());
+        assert_eq!(left.snapshot(), all.snapshot());
+    }
+
+    #[test]
+    fn zero_sample_histogram_is_the_merge_identity() {
+        let h = LogHistogram::new();
+        h.record(42);
+        h.record(1_000);
+        let before = h.snapshot();
+        h.merge(&LogHistogram::new()); // rhs identity
+        assert_eq!(h.snapshot(), before);
+        let empty = LogHistogram::new();
+        empty.merge(&h); // lhs identity
+        assert_eq!(empty.snapshot(), before);
+        // min/max/quantiles survive: the empty side's min sentinel (u64::MAX)
+        // must not leak through the merge.
+        let s = empty.snapshot();
+        assert_eq!((s.min, s.max), (42, 1_000));
+        assert!(s.p50() >= 42 && s.p99() <= 1_000);
+        // Merging two empties stays exactly empty (p50 of no samples is 0).
+        let a = LogHistogram::new();
+        a.merge(&LogHistogram::new());
+        let s = a.snapshot();
+        assert_eq!((s.count, s.min, s.max, s.p50()), (0, 0, 0, 0));
     }
 
     #[test]

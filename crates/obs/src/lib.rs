@@ -14,7 +14,13 @@
 //! explicit [`trace::SpanHandle`] propagation for cross-thread nesting, and
 //! a Chrome trace-event JSON exporter ([`trace::chrome_trace`]) loadable in
 //! Perfetto. [`export`] renders any [`StatsReport`] as Prometheus text or
-//! JSON ([`export::prometheus_text`], [`export::stats_json`]).
+//! JSON ([`export::prometheus_text`], [`export::stats_json`]); [`serve`]
+//! exposes both over a stdlib-only HTTP scrape endpoint
+//! ([`serve::MetricsServer`], `DMML_METRICS_ADDR`). The [`profile`] module
+//! closes the observe→calibrate loop: a versioned, checksummed on-disk
+//! store ([`profile::ProfileStore`], `DMML_PROFILE_DIR`) of per-(op, kernel,
+//! size-class) throughput profiles that downstream cost models divide flop
+//! counts by.
 //!
 //! Instrumented components come in two flavors:
 //!
@@ -46,12 +52,16 @@
 pub mod export;
 pub mod histogram;
 pub mod json;
+pub mod profile;
 pub mod recorder;
 pub mod registry;
+pub mod serve;
 pub mod stats;
 pub mod trace;
 
 pub use histogram::{HistogramSnapshot, LogHistogram};
+pub use profile::{ProfileError, ProfileStore};
 pub use recorder::{timed, NoopRecorder, Recorder};
 pub use registry::{StatsRegistry, StatsReport};
+pub use serve::MetricsServer;
 pub use stats::{elapsed_ns, fmt_ns, Counter, DurationSnapshot, DurationStat, Gauge, Timer};

@@ -4,19 +4,32 @@
 //! planner with the same stats registry attached and dump everything it saw.
 //!
 //! Run with: `cargo run --release --example profile_run`
+//!
+//! Adaptive-cost extras: set `DMML_PROFILE_DIR` to persist this run's kernel
+//! throughput profiles (and to price the plan with the calibrated cost model
+//! on the next run), and `DMML_METRICS_ADDR=127.0.0.1:0` to serve `/metrics`
+//! and `/stats.json` over HTTP while the process is alive
+//! (`DMML_METRICS_HOLD_MS` delays exit so a scraper can fetch).
 
 use dmml::buffer::{policy::PolicyKind, storage::MemStore};
 use dmml::compress::planner::{compression_report, plan_traced, CompressionConfig};
+use dmml::lang::cost::CostModel;
+use dmml::lang::physical::plan_with_inputs_profile;
 use dmml::lang::rewrite::optimize_traced;
 use dmml::lang::size::InputSizes;
 use dmml::lang::{explain_with, parser, profile_report};
 use dmml::modelsel::search::grid_search;
 use dmml::modelsel::SearchTrace;
+use dmml::obs::serve::MetricsServer;
 use dmml::prelude::*;
 use std::sync::Arc;
 
 fn main() {
     let reg = Arc::new(StatsRegistry::new());
+    let metrics = MetricsServer::from_env(Arc::clone(&reg)).map(|r| r.expect("bind metrics addr"));
+    if let Some(server) = &metrics {
+        println!("metrics listening on http://{}/metrics", server.addr());
+    }
 
     // ---- 1. Declarative layer: logistic-regression gradient ----
     // grad = t(X) %*% (sigmoid(X %*% w) - y), written out in the R-like
@@ -42,6 +55,18 @@ fn main() {
             )
         }
         _ => println!("estimated cost: unavailable"),
+    }
+    // With DMML_PROFILE_DIR set and profiles from a previous run on disk,
+    // price the same plan through the calibrated model for comparison.
+    if let Some(model) = CostModel::from_env() {
+        let plan = plan_with_inputs_profile(&g, r, &sizes, 1, &model).expect("plans");
+        let cal = dmml::lang::calibrated_cost(&g, r, &sizes, &plan, &model).expect("prices");
+        let est = dmml::lang::estimated_cost(&g, r, &sizes).expect("prices");
+        println!(
+            "calibrated cost: {} observed vs {} static (from persisted kernel profiles)",
+            dmml::obs::fmt_ns(cal as u64),
+            dmml::obs::fmt_ns(dmml::lang::cost::static_ns(est) as u64),
+        );
     }
 
     // Execute with per-node profiling.
@@ -120,4 +145,14 @@ fn main() {
     // ---- 5. Everything the registry saw ----
     println!("\n=== stats registry ===");
     print!("{}", reg.report());
+
+    // Stay scrapeable for a moment if asked (CI smoke test), then shut down.
+    if let Some(server) = metrics {
+        if let Some(ms) =
+            std::env::var("DMML_METRICS_HOLD_MS").ok().and_then(|v| v.parse::<u64>().ok())
+        {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        server.shutdown();
+    }
 }

@@ -10,18 +10,29 @@
 //!
 //! Run with: `cargo run --release --example trace_run [out.json]`
 //! (or set `DMML_TRACE=out.json` on any executor-driven program).
+//! Set `DMML_METRICS_ADDR=127.0.0.1:0` to also serve the stats registry over
+//! HTTP at `/metrics` (Prometheus) and `/stats.json` while the run is live;
+//! `DMML_METRICS_HOLD_MS` keeps the process alive that long after the run so
+//! a scraper can fetch.
 
 use dmml::lang::{
     exec::Env, explain_with_memory, parser, physical::plan_with_inputs_memory, size::InputSizes,
     Executor, MemoryBudget,
 };
 use dmml::matrix::Matrix;
-use dmml::obs::{export, trace, StatsRegistry};
+use dmml::obs::{export, serve::MetricsServer, trace, StatsRegistry};
 use std::sync::Arc;
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "trace_run.json".to_owned());
     trace::set_enabled(true);
+
+    // Registry first so the scrape endpoint (if enabled) serves live stats.
+    let reg = Arc::new(StatsRegistry::new());
+    let metrics = MetricsServer::from_env(Arc::clone(&reg)).map(|r| r.expect("bind metrics addr"));
+    if let Some(server) = &metrics {
+        println!("metrics listening on http://{}/metrics", server.addr());
+    }
 
     // ---- Phase 1: compression planning under a root span ------------------
     // plan_traced emits compress.plan > {estimate, cocode, demote} spans.
@@ -53,7 +64,6 @@ fn main() {
     drop(phase);
 
     // ---- Export: Chrome trace + machine-readable stats --------------------
-    let reg = Arc::new(StatsRegistry::new());
     exec.record_stats(&reg);
     trace::record_worker_busy(reg.as_ref());
     let report = reg.report();
@@ -64,4 +74,14 @@ fn main() {
     drop(exec); // flushes DMML_TRACE, if set
     trace::write_chrome_trace(&out_path).expect("write trace");
     println!("trace written to {out_path} ({spilled} B spilled) — open in ui.perfetto.dev");
+
+    // Stay scrapeable for a moment if asked (CI smoke test), then shut down.
+    if let Some(server) = metrics {
+        if let Some(ms) =
+            std::env::var("DMML_METRICS_HOLD_MS").ok().and_then(|v| v.parse::<u64>().ok())
+        {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        server.shutdown();
+    }
 }

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Smoke-test the live `/metrics` scrape endpoint.
+
+Two modes, both stdlib-only (CI has no network beyond localhost):
+
+* `--spawn CMD...` — run CMD with `DMML_METRICS_ADDR=127.0.0.1:0` and
+  `DMML_METRICS_HOLD_MS` set so the process stays scrapeable, parse the
+  `metrics listening on http://ADDR/metrics` line it prints, then fetch
+  and validate both endpoints while it is alive.
+* `ADDR` — validate an already-running endpoint at `host:port`.
+
+Validation: `/metrics` must return HTTP 200 with a Prometheus text
+exposition (`# TYPE` comments and `name[{labels}] value` samples, every
+value a parseable float, every name matching `[a-zA-Z_:][a-zA-Z0-9_:]*`);
+`/stats.json` must return HTTP 200 with a JSON object. Exit 0 on success.
+
+Usage:
+  scripts/check_metrics.py --spawn cargo run --release --example trace_run
+  scripts/check_metrics.py 127.0.0.1:9184
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+
+HOLD_MS = "20000"
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LISTEN_RE = re.compile(r"metrics listening on http://([^/\s]+)/metrics")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$")
+
+
+def fetch(addr: str, path: str) -> str:
+    with urllib.request.urlopen(f"http://{addr}{path}", timeout=10) as resp:
+        if resp.status != 200:
+            raise SystemExit(f"GET {path}: HTTP {resp.status}")
+        return resp.read().decode("utf-8")
+
+
+def check_prometheus(body: str) -> int:
+    """Validate exposition-format conformance; return the sample count."""
+    samples = 0
+    for line in body.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if parts[:2] == ["#", "TYPE"]:
+                if len(parts) != 4 or not NAME_RE.match(parts[2]):
+                    raise SystemExit(f"malformed TYPE comment: {line!r}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            raise SystemExit(f"malformed sample line: {line!r}")
+        try:
+            float(m.group(3))
+        except ValueError:
+            raise SystemExit(f"unparseable sample value: {line!r}")
+        samples += 1
+    return samples
+
+
+def validate(addr: str, wait_s: float = 0.0) -> None:
+    # Stats are recorded as the run progresses, so right after startup the
+    # registry may be empty; poll until samples appear (or wait_s elapses).
+    deadline = time.monotonic() + wait_s
+    while True:
+        n = check_prometheus(fetch(addr, "/metrics"))
+        if n > 0 or time.monotonic() >= deadline:
+            break
+        time.sleep(0.5)
+    if n == 0:
+        raise SystemExit("no samples in /metrics body")
+    stats = json.loads(fetch(addr, "/stats.json"))
+    if not isinstance(stats, dict):
+        raise SystemExit("/stats.json did not return a JSON object")
+    print(f"ok: {n} samples on /metrics, {len(stats)} top-level keys on /stats.json")
+
+
+def spawn_and_validate(cmd: list) -> None:
+    env = dict(os.environ, DMML_METRICS_ADDR="127.0.0.1:0", DMML_METRICS_HOLD_MS=HOLD_MS)
+    proc = subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE, text=True)
+    addr = None
+    try:
+        assert proc.stdout is not None
+        for line in proc.stdout:
+            sys.stdout.write(line)
+            m = LISTEN_RE.search(line)
+            if m:
+                addr = m.group(1)
+                break
+        if addr is None:
+            raise SystemExit(f"{cmd[0]} exited without printing the metrics address")
+        validate(addr, wait_s=15.0)
+    finally:
+        proc.terminate()
+        # Drain remaining output so the child never blocks on a full pipe.
+        try:
+            proc.communicate(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.communicate()
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    if not args:
+        raise SystemExit(__doc__)
+    if args[0] == "--spawn":
+        if len(args) < 2:
+            raise SystemExit("--spawn needs a command to run")
+        spawn_and_validate(args[1:])
+    else:
+        validate(args[0])
+
+
+if __name__ == "__main__":
+    main()
