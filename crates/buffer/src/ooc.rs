@@ -8,8 +8,12 @@
 //!
 //! * [`gemv`] and [`gemm`] keep rows whole (panels are full-width) and
 //!   accumulate each output element in the same strictly-increasing-`k`
-//!   order as the serial kernels, including the `a[i][k] == 0` skip — no
-//!   floating-point operation is reordered.
+//!   order as the serial kernels — no floating-point operation is
+//!   reordered. Gemm streams each pinned `B` panel through the packed
+//!   register-tiled kernel of [`dm_matrix::pack`] when the panel is finite
+//!   (where dropping the `a[i][k] == 0` skip is bit-exact — see that
+//!   module's equivalence argument), and falls back to the reference
+//!   skip-loop for panels holding `NaN`/`inf`.
 //! * [`col_sums`] and [`crossprod`] decompose into the *global* fixed row
 //!   blocks of [`dm_matrix::par::ROW_BLOCK`] — independent of the panel
 //!   height — and fold partials in block order, which is exactly the serial
@@ -41,6 +45,7 @@ use crate::pool::PoolError;
 use crate::storage::Storage;
 use crate::store::BlockStore;
 use dm_matrix::ops::dot;
+use dm_matrix::pack;
 use dm_matrix::par::ROW_BLOCK;
 use dm_matrix::Dense;
 use dm_par::{map_collect, reduce_blocks};
@@ -98,7 +103,11 @@ pub fn gemv<S: Storage>(
 /// Each worker owns one output panel: it pins the matching `a` panel, then
 /// streams `b`'s panels in increasing-`k` order, accumulating into a local
 /// buffer with the serial kernel's per-element order (strictly increasing
-/// `k`, skipping `a[i][k] == 0`) — bit-identical to `dm_matrix::ops::gemm`.
+/// `k`) — bit-identical to `dm_matrix::ops::gemm`. Finite `B` panels run
+/// the packed register-tiled kernel ([`dm_matrix::pack`]); panels with
+/// `NaN`/`inf` take the reference loop with the `a[i][k] == 0` skip, whose
+/// semantics are only observable there. The per-panel choice is safe
+/// because the two kernels agree bit-for-bit on finite panels.
 ///
 /// # Panics
 /// Panics if `a.cols() != b.rows()`.
@@ -126,19 +135,41 @@ pub fn gemm<S: Storage>(
         let mut acc = vec![0.0; rows.len() * n];
         {
             let ap = a.pin_panel(p)?;
+            let mut bpack = pack::PackedB::default();
+            let mut apack = Vec::new();
             for kb in 0..b.num_panels() {
                 let bp = b.pin_panel(kb)?;
                 let kr = b.panel_range(kb);
-                for oi in 0..rows.len() {
-                    let arow = &ap.row(oi)[kr.start..kr.end];
-                    let orow = &mut acc[oi * n..(oi + 1) * n];
-                    for (kk, &aik) in arow.iter().enumerate() {
-                        if aik == 0.0 {
-                            continue;
+                if pack::all_finite(bp.data()) {
+                    // Packed path: KC sub-slabs of the panel in increasing
+                    // k, so the per-element order across panels stays the
+                    // serial one.
+                    for jc in (0..n).step_by(pack::NC) {
+                        let j1 = (jc + pack::NC).min(n);
+                        for pc in (0..kr.len()).step_by(pack::KC) {
+                            let p1 = (pc + pack::KC).min(kr.len());
+                            bpack.pack(bp.data(), n, pc..p1, jc..j1);
+                            let view = pack::AView {
+                                data: ap.data(),
+                                stride: a.cols(),
+                                rows: 0..rows.len(),
+                                kcols: kr.start + pc..kr.start + p1,
+                            };
+                            pack::gemm_packed_rows(&view, &bpack, &mut acc, n, &mut apack);
                         }
-                        let brow = bp.row(kk);
-                        for (o, &bkj) in orow.iter_mut().zip(brow) {
-                            *o += aik * bkj;
+                    }
+                } else {
+                    for oi in 0..rows.len() {
+                        let arow = &ap.row(oi)[kr.start..kr.end];
+                        let orow = &mut acc[oi * n..(oi + 1) * n];
+                        for (kk, &aik) in arow.iter().enumerate() {
+                            if aik == 0.0 {
+                                continue;
+                            }
+                            let brow = bp.row(kk);
+                            for (o, &bkj) in orow.iter_mut().zip(brow) {
+                                *o += aik * bkj;
+                            }
                         }
                     }
                 }
@@ -221,9 +252,11 @@ pub fn crossprod<S: Storage>(a: &BlockStore<S>, degree: usize) -> Result<Dense, 
                     if vi == 0.0 {
                         continue;
                     }
-                    let prow = &mut part.data_mut()[i * d..(i + 1) * d];
-                    for (j, &vj) in row.iter().enumerate().skip(i) {
-                        prow[j] += vi * vj;
+                    // Same slice-zip restructure as dm_matrix::par::crossprod:
+                    // identical adds in identical order, unit-stride.
+                    let prow = &mut part.data_mut()[i * d + i..(i + 1) * d];
+                    for (o, &vj) in prow.iter_mut().zip(&row[i..]) {
+                        *o += vi * vj;
                     }
                 }
             })?;
@@ -432,6 +465,29 @@ mod tests {
             matches!(err, PoolError::BlockTooLarge { .. }),
             "expected BlockTooLarge, got {err:?}"
         );
+    }
+
+    #[test]
+    fn gemm_mixed_finite_and_non_finite_panels() {
+        // One B panel holds inf/NaN (reference skip-loop), the rest are
+        // finite (packed kernel): the per-panel dispatch must still match
+        // the in-memory product bit-for-bit.
+        let a = sample(60, 96); // exact zeros present -> skip is exercised
+        let mut b = sample(96, 40);
+        b.set(50, 7, f64::INFINITY); // lands in the second 32-row panel
+        b.set(52, 9, f64::NAN);
+        let expect = ops::gemm(&a, &b);
+        let pool = shared(60 * 96 * 8 * 4);
+        let sa = BlockStore::from_dense(&pool, 1, &a, 32).unwrap();
+        let sb = BlockStore::from_dense(&pool, 2, &b, 32).unwrap();
+        for deg in DEGREES {
+            let got = gemm(&sa, &sb, 100 + deg as u64, deg).unwrap().to_dense().unwrap();
+            assert_eq!(got.shape(), expect.shape(), "degree {deg}");
+            for (i, (g, w)) in got.data().iter().zip(expect.data()).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "degree {deg} elem {i}: {g} vs {w}");
+            }
+        }
+        pool.audit_quiescent().unwrap();
     }
 
     #[test]

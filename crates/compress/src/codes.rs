@@ -78,6 +78,38 @@ impl CodeArray {
     pub fn iter(&self) -> CodeIter<'_> {
         CodeIter { arr: self, pos: 0 }
     }
+
+    /// Dictionary-indexed gather-add: `out[i] += table[codes[rows.start + i]]`
+    /// for each `i` in `0..rows.len()`.
+    ///
+    /// This is the DDC gemv inner loop. Matching on the code width **once**
+    /// and walking a contiguous code slice (instead of calling [`get`] per
+    /// row, which re-matches on the enum every element) gives LLVM a
+    /// branch-free unit-stride gather it can unroll. Each output element
+    /// receives exactly one add, so accumulation order is untouched.
+    ///
+    /// [`get`]: CodeArray::get
+    #[inline]
+    pub fn gather_add(&self, table: &[f64], rows: std::ops::Range<usize>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), rows.len());
+        match self {
+            CodeArray::U8(v) => {
+                for (o, &c) in out.iter_mut().zip(&v[rows]) {
+                    *o += table[c as usize];
+                }
+            }
+            CodeArray::U16(v) => {
+                for (o, &c) in out.iter_mut().zip(&v[rows]) {
+                    *o += table[c as usize];
+                }
+            }
+            CodeArray::U32(v) => {
+                for (o, &c) in out.iter_mut().zip(&v[rows]) {
+                    *o += table[c as usize];
+                }
+            }
+        }
+    }
 }
 
 /// Iterator over a [`CodeArray`].

@@ -31,9 +31,9 @@ pub fn gemv_range_into(g: &ColGroup, v: &[f64], out: &mut [f64], rows: Range<usi
         ColGroup::Ddc { cols, dict, codes } => {
             let vc: Vec<f64> = cols.iter().map(|&c| v[c]).collect();
             let pre = dict.preaggregate(&vc);
-            for (o, r) in out.iter_mut().zip(rows) {
-                *o += pre[codes.get(r) as usize];
-            }
+            // Width-specialized gather: one enum match per call, unit-stride
+            // walk over the code slice (see CodeArray::gather_add).
+            codes.gather_add(&pre, rows, out);
         }
         ColGroup::Ole { cols, dict, offsets, .. } => {
             let vc: Vec<f64> = cols.iter().map(|&c| v[c]).collect();
@@ -44,11 +44,13 @@ pub fn gemv_range_into(g: &ColGroup, v: &[f64], out: &mut [f64], rows: Range<usi
                 if p == 0.0 {
                     continue;
                 }
+                // Both segment bounds found up front: the scatter loop body
+                // is branch-free, so it unrolls instead of testing `r < end`
+                // per element. Offsets within a tuple are distinct rows, so
+                // each output element still receives exactly one add.
                 let lo = offs.partition_point(|&r| r < start);
-                for &r in &offs[lo..] {
-                    if r >= end {
-                        break;
-                    }
+                let hi = lo + offs[lo..].partition_point(|&r| r < end);
+                for &r in &offs[lo..hi] {
                     out[(r - start) as usize] += p;
                 }
             }
@@ -72,6 +74,8 @@ pub fn gemv_range_into(g: &ColGroup, v: &[f64], out: &mut [f64], rows: Range<usi
                     }
                     let a = run.start.max(rows.start) - rows.start;
                     let b = run.end.min(rows.end) - rows.start;
+                    // Run splat: a contiguous slice-add (`slice::fill`
+                    // flavor) — unit stride, no per-element bounds test.
                     for o in &mut out[a..b] {
                         *o += p;
                     }
@@ -340,6 +344,47 @@ mod tests {
         }
         for (a, b) in out.iter().zip(&expect) {
             assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gemv_range_segments_bit_identical_to_full() {
+        // The restructured DDC gather / OLE two-bound scatter / RLE run
+        // splat must hand every row segment exactly the adds of the
+        // full-range kernel, in the same order.
+        let m = sample();
+        let v = [0.5, -1.0, 2.0];
+        for enc in ALL {
+            let g = encode(&m, &[0, 1, 2], enc);
+            let mut full = vec![0.0; m.rows()];
+            gemv_into(&g, &v, &mut full);
+            for seg in [1usize, 7, 13, 50] {
+                let mut out = vec![0.0; m.rows()];
+                let mut r = 0;
+                while r < m.rows() {
+                    let e = (r + seg).min(m.rows());
+                    gemv_range_into(&g, &v, &mut out[r..e], r..e);
+                    r = e;
+                }
+                for (i, (a, b)) in out.iter().zip(&full).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{enc:?} seg {seg} row {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ddc_wide_dictionary_gather_matches_dense() {
+        // >256 distinct tuples forces u16 codes: exercises the non-u8 arm
+        // of the width-specialized gather.
+        let m = Dense::from_fn(700, 2, |r, c| ((r * 7 + c) % 300) as f64 * 0.25 - 10.0);
+        let g = encode(&m, &[0, 1], Encoding::Ddc);
+        let v = [1.5, -0.5];
+        let expect = ops::gemv(&m, &v);
+        let mut out = vec![0.0; m.rows()];
+        gemv_into(&g, &v, &mut out);
+        for (i, (a, b)) in out.iter().zip(&expect).enumerate() {
+            assert!((a - b).abs() < 1e-9, "row {i}: {a} vs {b}");
         }
     }
 

@@ -471,6 +471,35 @@ pub fn plan_with_memory_reordered(
     (p, order)
 }
 
+/// [`plan_with_memory`] whose serial-vs-parallel upgrades come from
+/// [`plan_with_profile`]'s calibrated crossover instead of the static
+/// [`PAR_FLOP_THRESHOLD`], then the same certify-and-block fitting. An
+/// empty model reproduces [`plan_with_memory`] exactly; a model holding
+/// fresh measurements (e.g. after a kernel-speed change shifts where
+/// parallel stops paying) moves the upgrade decision with them.
+pub fn plan_with_memory_profile(
+    graph: &Graph,
+    root: NodeId,
+    sizes: &HashMap<NodeId, SizeInfo>,
+    degree: usize,
+    budget: MemoryBudget,
+    model: &crate::cost::CostModel,
+) -> PhysicalPlan {
+    let mut p = plan_with_profile(graph, root, sizes, degree, model);
+    let Some(limit) = budget.get() else {
+        return p;
+    };
+    p.mem_budget = Some(limit);
+    let reachable = graph.reachable(root);
+    if reachable.iter().any(|id| !sizes.contains_key(id)) {
+        apply_per_node_blocking(graph, &reachable, sizes, limit, &mut p);
+        return p;
+    }
+    let sched = crate::liveness::Schedule::from_order(graph, reachable);
+    fit_plan_to_schedule(graph, &sched, sizes, budget, &mut p);
+    p
+}
+
 /// Convenience: propagate sizes then [`plan_with_memory`].
 pub fn plan_with_inputs_memory(
     graph: &Graph,
@@ -506,18 +535,30 @@ pub fn plan_with_inputs_degree(
     Ok(plan_with_degree(graph, root, &sizes, degree))
 }
 
-/// [`plan_with_inputs_memory`] at the machine defaults: degree from
-/// `DMML_THREADS` / the core count (see [`dm_par::default_degree`]), memory
-/// budget from `DMML_MEM_BUDGET` (see
-/// [`MemoryBudget::from_env`](crate::memory::MemoryBudget::from_env));
-/// unbounded — and therefore identical to [`plan_with_inputs_degree`] — when
-/// the variable is unset.
+/// Plan at the machine defaults: degree from `DMML_THREADS` / the core
+/// count (see [`dm_par::default_degree`]), memory budget from
+/// `DMML_MEM_BUDGET` (see
+/// [`MemoryBudget::from_env`](crate::memory::MemoryBudget::from_env)), and
+/// — when `DMML_PROFILE_DIR` names a readable kernel profile — the
+/// calibrated serial-vs-parallel crossover of [`plan_with_profile`] in
+/// place of the static threshold, closing the adaptive loop: measured
+/// kernel throughput from earlier runs steers the next plan. With neither
+/// variable set this is identical to [`plan_with_inputs_degree`].
 pub fn plan_with_inputs_auto(
     graph: &Graph,
     root: NodeId,
     inputs: &InputSizes,
 ) -> Result<PhysicalPlan, crate::size::SizeError> {
-    plan_with_inputs_memory(graph, root, inputs, dm_par::default_degree(), MemoryBudget::from_env())
+    let sizes = crate::size::propagate(graph, root, inputs)?;
+    let model = crate::cost::CostModel::from_env().unwrap_or_default();
+    Ok(plan_with_memory_profile(
+        graph,
+        root,
+        &sizes,
+        dm_par::default_degree(),
+        MemoryBudget::from_env(),
+        &model,
+    ))
 }
 
 #[cfg(test)]
@@ -871,6 +912,42 @@ mod tests {
         ]);
         let p = plan_with_profile(&g, cp, &sizes, 4, &m);
         assert_eq!(p.kernel(cp), Kernel::Parallel);
+    }
+
+    #[test]
+    fn memory_profile_plan_composes_crossover_and_blocking() {
+        // crossprod far above the flop threshold, measurements saying serial
+        // wins, and an input too big for the budget: the composed planner
+        // must keep the node off Kernel::Parallel *and* still block it.
+        let mut s = InputSizes::new();
+        s.declare("X", 100_000, 200, 1.0); // 160 MB input
+        let mut g = Graph::new();
+        let x = g.input("X");
+        let cp = g.push(crate::expr::Op::CrossProd(x));
+        let sizes = crate::size::propagate(&g, cp, &s).unwrap();
+        let flops = node_flops(&g, cp, &sizes) as u64;
+        let serial_wins = model_with(&[
+            ("crossprod", "fused", flops, 4.0),
+            ("crossprod", "parallel", flops, 2.0),
+        ]);
+
+        let unbounded =
+            plan_with_memory_profile(&g, cp, &sizes, 4, MemoryBudget::unbounded(), &serial_wins);
+        assert_eq!(unbounded.kernel(cp), Kernel::Dense, "measured serial beats parallel");
+
+        let tight =
+            plan_with_memory_profile(&g, cp, &sizes, 4, MemoryBudget::bytes(1 << 20), &serial_wins);
+        assert_eq!(tight.kernel(cp), Kernel::Blocked, "oversized operand still streams");
+
+        // An empty model reproduces plan_with_memory exactly.
+        let empty = crate::cost::CostModel::default();
+        for budget in [MemoryBudget::unbounded(), MemoryBudget::bytes(1 << 20)] {
+            let composed = plan_with_memory_profile(&g, cp, &sizes, 4, budget, &empty);
+            let plain = plan_with_memory(&g, cp, &sizes, 4, budget);
+            for id in g.reachable(cp) {
+                assert_eq!(composed.kernel(id), plain.kernel(id));
+            }
+        }
     }
 
     #[test]

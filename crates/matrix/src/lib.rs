@@ -33,6 +33,7 @@ pub mod dense;
 pub mod error;
 pub mod lu;
 pub mod ops;
+pub mod pack;
 pub mod par;
 pub mod solve;
 pub mod sparse;

@@ -6,7 +6,9 @@
 //!
 //! * *Row-partitioned* kernels ([`gemv`], [`gemm`]) assign disjoint output
 //!   rows to workers; each output element is computed by exactly the code the
-//!   serial kernel runs, so no floating-point operation is reordered.
+//!   serial kernel runs, so no floating-point operation is reordered. For
+//!   gemm the workers additionally share one packed `B` slab per cache block
+//!   (see [`crate::pack`]) rather than each re-streaming `B` from memory.
 //! * *Reduction* kernels ([`gevm`], [`col_sums`], [`sum_sq`], [`crossprod`])
 //!   decompose into fixed-size blocks ([`ROW_BLOCK`] rows / [`ELEM_BLOCK`]
 //!   elements — never a function of the degree) and fold partials in block
@@ -14,7 +16,8 @@
 //!   degree 1, so the fold tree — and therefore every result bit — matches.
 
 use crate::dense::Dense;
-use crate::ops::dot;
+use crate::ops::{dot, dot2};
+use crate::pack;
 use dm_par::{for_each_slice_mut, reduce_blocks};
 use std::ops::Range;
 
@@ -29,24 +32,28 @@ pub const ROW_BLOCK: usize = 1024;
 /// Fixed element-block size for flat reductions (sum of squares).
 pub const ELEM_BLOCK: usize = 16 * 1024;
 
-/// Cache tile width (columns of `B` / the output) for the blocked gemm
-/// micro-kernel.
+/// Cache tile width (columns of `B` / the output) for the reference gemm
+/// tile kernel ([`gemm_rows_naive`]).
 const TILE_J: usize = 128;
 
-/// Cache tile depth (rows of `B` / the inner dimension) for the blocked gemm
-/// micro-kernel. A `TILE_K x TILE_J` panel of `B` (128 KiB) is reused across
-/// every output row a worker owns.
+/// Cache tile depth (rows of `B` / the inner dimension) for the reference
+/// gemm tile kernel. A `TILE_K x TILE_J` panel of `B` (128 KiB) is reused
+/// across every output row a worker owns.
 const TILE_K: usize = 128;
 
-/// The cache-blocked gemm tile: computes rows `rows` of `a * b` into `out`
-/// (a buffer of exactly `rows.len() * b.cols()` elements, assumed zeroed).
+/// The reference gemm tile kernel: computes rows `rows` of `a * b` into
+/// `out` (a buffer of exactly `rows.len() * b.cols()` elements, assumed
+/// zeroed), skipping `a[i][k] == 0.0` entries.
 ///
-/// Loop order is `jb -> kb -> i -> k -> j`: for each output column tile, a
-/// `TILE_K x TILE_J` panel of `b` stays hot while every owned row streams
-/// through it. For any fixed output element the `k` accumulation order is
-/// still strictly increasing, so the result is bit-identical to the naive
-/// `ikj` kernel.
-pub(crate) fn gemm_rows(a: &Dense, b: &Dense, out: &mut [f64], rows: Range<usize>) {
+/// This is the kernel every faster path is pinned against bit-for-bit. The
+/// packed path ([`crate::pack`]) replaces it whenever `B` is finite; this
+/// one remains as the dispatch target for non-finite `B`, where the zero
+/// skip is observable (`0.0 * inf == NaN`).
+///
+/// Loop order is `jb -> kb -> i -> k -> j`: for any fixed output element
+/// the `k` accumulation order is strictly increasing, so the result is
+/// bit-identical to the naive `ikj` loop.
+pub(crate) fn gemm_rows_naive(a: &Dense, b: &Dense, out: &mut [f64], rows: Range<usize>) {
     let k_dim = a.cols();
     let n_cols = b.cols();
     debug_assert_eq!(out.len(), rows.len() * n_cols);
@@ -85,15 +92,43 @@ pub fn gemv(m: &Dense, v: &[f64], degree: usize) -> Vec<f64> {
     );
     let mut out = vec![0.0; m.rows()];
     for_each_slice_mut(&mut out, 1, degree, |rows, chunk| {
-        for (o, r) in chunk.iter_mut().zip(rows) {
-            *o = dot(m.row(r), v);
-        }
+        gemv_rows(m, v, chunk, rows);
     });
     out
 }
 
-/// Row-partitioned matrix-matrix product `a * b` at the given degree, with
-/// the cache-blocked row tile (`gemm_rows`) as the per-worker inner kernel.
+/// Paired-row gemv tile: two output rows share one streaming pass over `v`,
+/// each accumulated with exactly the fold of [`dot`] (via [`dot2`]), so
+/// every element is bit-identical to the one-row-at-a-time loop.
+pub(crate) fn gemv_rows(m: &Dense, v: &[f64], out: &mut [f64], rows: Range<usize>) {
+    debug_assert_eq!(out.len(), rows.len());
+    let base = rows.start;
+    let mut r = rows.start;
+    while r + 1 < rows.end {
+        let (d0, d1) = dot2(m.row(r), m.row(r + 1), v);
+        out[r - base] = d0;
+        out[r + 1 - base] = d1;
+        r += 2;
+    }
+    if r < rows.end {
+        out[r - base] = dot(m.row(r), v);
+    }
+}
+
+/// Row-partitioned matrix-matrix product `a * b` at the given degree,
+/// through the packed register-tiled kernel of [`crate::pack`].
+///
+/// Each `KC x NC` slab of `B` is packed **once** and shared read-only by
+/// every worker, which then computes its owned output rows against the hot
+/// slab — instead of each thread re-streaming `B` from cold memory. Because
+/// workers own disjoint output rows and the microkernel preserves the
+/// per-element `k` order, results are bit-identical to serial at every
+/// degree.
+///
+/// When `B` contains non-finite values the product falls back to the
+/// reference tile kernel with the `a[i][k] == 0.0` skip
+/// (`gemm_rows_naive`), whose skip semantics are observable there — see
+/// [`crate::pack`] for the equivalence argument.
 ///
 /// # Panics
 /// Panics if `a.cols() != b.rows()`.
@@ -108,13 +143,30 @@ pub fn gemm(a: &Dense, b: &Dense, degree: usize) -> Dense {
         b.cols()
     );
     let mut out = Dense::zeros(a.rows(), b.cols());
-    let n_cols = b.cols();
+    let (n_cols, k_dim) = (b.cols(), a.cols());
     if a.rows() == 0 || n_cols == 0 {
         return out;
     }
-    for_each_slice_mut(out.data_mut(), n_cols, degree, |rows, chunk| {
-        gemm_rows(a, b, chunk, rows);
-    });
+    if !pack::all_finite(b.data()) {
+        for_each_slice_mut(out.data_mut(), n_cols, degree, |rows, chunk| {
+            gemm_rows_naive(a, b, chunk, rows);
+        });
+        return out;
+    }
+    let mut bpack = pack::PackedB::default();
+    for jc in (0..n_cols).step_by(pack::NC) {
+        let j1 = (jc + pack::NC).min(n_cols);
+        for pc in (0..k_dim).step_by(pack::KC) {
+            let p1 = (pc + pack::KC).min(k_dim);
+            bpack.pack(b.data(), n_cols, pc..p1, jc..j1);
+            let shared_b = &bpack;
+            for_each_slice_mut(out.data_mut(), n_cols, degree, |rows, chunk| {
+                let mut apack = Vec::new();
+                let view = pack::AView { data: a.data(), stride: k_dim, rows, kcols: pc..p1 };
+                pack::gemm_packed_rows(&view, shared_b, chunk, n_cols, &mut apack);
+            });
+        }
+    }
     out
 }
 
@@ -135,15 +187,31 @@ pub fn gevm(v: &[f64], m: &Dense, degree: usize) -> Vec<f64> {
         ROW_BLOCK,
         degree,
         |rows| {
+            // Paired rows: one pass over `part` applies two axpys. The two
+            // `+=` statements stay separate per element, so element j sees
+            // row r's product before row r+1's — exactly the one-row-at-a-
+            // time order. The per-row `s == 0.0` skip is preserved.
             let mut part = vec![0.0; m.cols()];
-            for r in rows {
-                let s = v[r];
-                if s == 0.0 {
-                    continue;
+            let mut r = rows.start;
+            while r + 1 < rows.end {
+                let (s0, s1) = (v[r], v[r + 1]);
+                if s0 != 0.0 && s1 != 0.0 {
+                    for ((o, &x0), &x1) in part.iter_mut().zip(m.row(r)).zip(m.row(r + 1)) {
+                        *o += s0 * x0;
+                        *o += s1 * x1;
+                    }
+                } else {
+                    if s0 != 0.0 {
+                        axpy_row(&mut part, s0, m.row(r));
+                    }
+                    if s1 != 0.0 {
+                        axpy_row(&mut part, s1, m.row(r + 1));
+                    }
                 }
-                for (o, &x) in part.iter_mut().zip(m.row(r)) {
-                    *o += s * x;
-                }
+                r += 2;
+            }
+            if r < rows.end && v[r] != 0.0 {
+                axpy_row(&mut part, v[r], m.row(r));
             }
             part
         },
@@ -201,9 +269,12 @@ pub fn crossprod(m: &Dense, degree: usize) -> Dense {
                     if vi == 0.0 {
                         continue;
                     }
-                    let prow = &mut part.data_mut()[i * d..(i + 1) * d];
-                    for (j, &vj) in row.iter().enumerate().skip(i) {
-                        prow[j] += vi * vj;
+                    // Slices instead of enumerate().skip(i): same adds in
+                    // the same order, but the zip over two contiguous
+                    // slices autovectorizes.
+                    let prow = &mut part.data_mut()[i * d + i..(i + 1) * d];
+                    for (o, &vj) in prow.iter_mut().zip(&row[i..]) {
+                        *o += vi * vj;
                     }
                 }
             }
@@ -225,6 +296,14 @@ pub fn crossprod(m: &Dense, degree: usize) -> Dense {
         }
     }
     out
+}
+
+/// Unit-stride `part += s * row` (one row of a gevm partial).
+#[inline]
+fn axpy_row(part: &mut [f64], s: f64, row: &[f64]) {
+    for (o, &x) in part.iter_mut().zip(row) {
+        *o += s * x;
+    }
 }
 
 fn add_assign_vec(mut acc: Vec<f64>, part: Vec<f64>) -> Vec<f64> {
@@ -299,5 +378,48 @@ mod tests {
     #[should_panic(expected = "gemm dimension mismatch")]
     fn gemm_shape_panics() {
         gemm(&big(2, 3), &big(2, 3), 2);
+    }
+
+    fn assert_bits(got: &Dense, want: &[f64], what: &str) {
+        assert_eq!(got.data().len(), want.len(), "{what}");
+        for (i, (g, w)) in got.data().iter().zip(want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "{what} at {i}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn gemm_zero_skip_equivalence_with_finite_b() {
+        // A with exact zeros: the packed path drops the a[i][k] == 0.0 skip,
+        // which is bit-exact for finite B (see crate::pack docs).
+        let mut a = big(40, 30);
+        for r in 0..40 {
+            a.set(r, (r * 3) % 30, 0.0);
+            a.set(r, (r * 7) % 30, -0.0);
+        }
+        let b = big(30, 25);
+        let mut reference = vec![0.0; 40 * 25];
+        gemm_rows_naive(&a, &b, &mut reference, 0..40);
+        for deg in DEGREES {
+            assert_bits(&gemm(&a, &b, deg), &reference, "degree");
+        }
+    }
+
+    #[test]
+    fn gemm_non_finite_b_routes_through_reference_kernel() {
+        // 0.0 * inf == NaN makes the zero skip observable, so non-finite B
+        // must reproduce the reference kernel's bits at every degree.
+        let mut a = big(24, 18);
+        for r in 0..24 {
+            a.set(r, r % 18, 0.0);
+        }
+        let mut b = big(18, 15);
+        b.set(5, 5, f64::INFINITY);
+        b.set(7, 3, f64::NAN);
+        b.set(2, 9, f64::NEG_INFINITY);
+        let mut reference = vec![0.0; 24 * 15];
+        gemm_rows_naive(&a, &b, &mut reference, 0..24);
+        for deg in DEGREES {
+            assert_bits(&gemm(&a, &b, deg), &reference, "degree");
+        }
     }
 }
