@@ -1,0 +1,135 @@
+//! E17 — multi-tenant serving: plan-cache hit rate and tail latency vs
+//! tenant count and micro-batch deadline.
+//!
+//! Each benchmark round drives a live [`ScoringServer`] over loopback TCP
+//! with K concurrent tenant connections, every tenant scoring the same
+//! program family so the plan cache carries the steady state. The sweep
+//! shows the two serving-side levers:
+//!
+//! * **tenant count** — request latency vs. concurrency under one shared
+//!   plan cache, memory ledger, and stats registry;
+//! * **micro-batch deadline** — vector scorings (`X %*% v`) marked
+//!   batchable coalesce into one gemm; the deadline trades p99 latency
+//!   (leaders wait for followers) against per-request planning/dispatch
+//!   amortization. Deadline 0 disables coalescing for the baseline.
+//!
+//! After the timed sweep the plan-cache hit rate and the server-side
+//! p50/p99 latency histograms print per configuration, mirroring what a
+//! production `/metrics` scrape would show.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dm_obs::StatsRegistry;
+use dm_serve::{Request, Response, ScoringClient, ScoringServer, ServeConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Concurrent tenants swept by the latency benchmark.
+const TENANTS: [usize; 3] = [1, 4, 8];
+/// Micro-batch deadlines (ms) swept by the batching benchmark; 0 disables.
+const DEADLINES_MS: [u64; 3] = [0, 1, 5];
+
+const N: usize = 96;
+const D: usize = 8;
+
+fn x_data(seq: usize) -> Vec<f64> {
+    (0..N * D).map(|i| ((i * 13 + seq * 7) % 23) as f64 * 0.31 - 2.0).collect()
+}
+
+fn v_data(seq: usize) -> Vec<f64> {
+    (0..D).map(|i| ((i * 5 + seq) % 11) as f64 * 0.17 - 0.6).collect()
+}
+
+fn score_round(addr: std::net::SocketAddr, tenants: usize, batch: bool) {
+    let handles: Vec<_> = (0..tenants)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = ScoringClient::connect(addr).expect("connect");
+                for seq in 0..4usize {
+                    let mut req = Request::score(&format!("tenant-{t}"), "X %*% v")
+                        .matrix("X", N, D, x_data(seq))
+                        .matrix("v", D, 1, v_data(seq));
+                    if batch {
+                        req = req.batched();
+                    }
+                    match c.request(&req).expect("request") {
+                        Response::Score { .. } => {}
+                        other => panic!("unexpected response: {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("tenant thread");
+    }
+}
+
+fn start(deadline_ms: u64) -> (ScoringServer, Arc<StatsRegistry>) {
+    let registry = Arc::new(StatsRegistry::new());
+    let mut cfg = ServeConfig::for_tests();
+    cfg.workers = 8;
+    cfg.batch_deadline = Duration::from_millis(deadline_ms);
+    cfg.batch_max = if deadline_ms == 0 { 1 } else { 8 };
+    let server = ScoringServer::start(cfg, Arc::clone(&registry)).expect("bind");
+    (server, registry)
+}
+
+fn report(tag: &str, server: &ScoringServer, registry: &StatsRegistry) {
+    let (hits, misses, _) = server.plan_cache_stats();
+    let rate = hits as f64 / (hits + misses).max(1) as f64;
+    let snap = registry.report();
+    let (p50, p99) = snap
+        .histogram("serve.latency_ns")
+        .map(|h| (h.quantile(0.5), h.quantile(0.99)))
+        .unwrap_or((0, 0));
+    println!(
+        "e17 {tag}: plan-cache hit rate {:.3} ({hits} hits / {misses} misses), \
+         server p50 {:.1} us, p99 {:.1} us",
+        rate,
+        p50 as f64 / 1e3,
+        p99 as f64 / 1e3
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E17: multi-tenant serving ({N}x{D} scoring, 4 requests/tenant/round) ===");
+
+    let mut g = c.benchmark_group("e17_serving");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(2));
+
+    // Tenant-count sweep, no batching: shared plan cache under concurrency.
+    for tenants in TENANTS {
+        let (server, registry) = start(0);
+        let addr = server.addr();
+        score_round(addr, tenants, false); // warm the plan cache
+        g.bench_function(format!("score_round_t{tenants}"), |b| {
+            b.iter(|| score_round(addr, tenants, false))
+        });
+        report(&format!("tenants={tenants}"), &server, &registry);
+        server.shutdown();
+    }
+
+    // Deadline sweep, 4 batchable tenants: latency cost of coalescing.
+    for ms in DEADLINES_MS {
+        let (server, registry) = start(ms);
+        let addr = server.addr();
+        score_round(addr, 4, true);
+        g.bench_function(format!("batched_round_d{ms}ms"), |b| {
+            b.iter(|| score_round(addr, 4, true))
+        });
+        let flushes = registry.report().counter("serve.batch.flushes").unwrap_or(0);
+        let coalesced = registry.report().counter("serve.batch.batched_requests").unwrap_or(0);
+        report(
+            &format!("deadline={ms}ms flushes={flushes} coalesced={coalesced}"),
+            &server,
+            &registry,
+        );
+        server.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

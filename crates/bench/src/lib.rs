@@ -8,6 +8,8 @@
 //!
 //! This library crate holds the small helpers shared across bench targets.
 
+#![warn(missing_docs)]
+
 use std::time::Instant;
 
 /// Time a closure once, returning seconds (for coarse table rows where

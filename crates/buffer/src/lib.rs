@@ -35,9 +35,11 @@ pub mod codec;
 pub mod ooc;
 pub mod policy;
 pub mod pool;
+pub mod session;
 pub mod storage;
 pub mod store;
 
 pub use audit::{AuditError, AuditReport};
 pub use pool::{BufferPool, PageKey, PinGuard, PoolError, PoolStats, SharedBufferPool};
+pub use session::{AdmitGuard, SessionLedger, SessionUsage};
 pub use store::{panel_bytes, panel_rows_for, store_bytes, BlockStore, FRAME_OVERHEAD};

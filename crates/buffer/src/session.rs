@@ -1,0 +1,318 @@
+//! Session-level memory admission over a shared budget.
+//!
+//! The buffer pool bounds what is *resident*; it cannot stop ten requests
+//! from each materializing a budget-sized working set at once. A server
+//! sharing one memory budget across tenants therefore needs admission
+//! control one level up: before a request executes, it charges its
+//! certified peak bytes (from `certify_plan`) against a [`SessionLedger`].
+//! If the charge fits alongside the requests already in flight it is
+//! admitted immediately; otherwise the caller **blocks** until enough
+//! in-flight work retires — requests queue rather than OOMing neighbors.
+//!
+//! Requests certified *larger than the whole capacity* are deliberately
+//! not rejected: the planner has already degraded them to blocked
+//! (out-of-core) kernels that stream through a spill pool, so the ledger
+//! admits them once they can run **alone** (no other in-flight work).
+//! That is the "queue or run blocked instead of OOMing" policy from the
+//! serving design.
+//!
+//! Admission returns an RAII [`AdmitGuard`]; dropping it releases the
+//! bytes and wakes queued waiters. Per-session usage (in-flight bytes,
+//! peak, counts) is tracked for the metrics endpoint.
+//!
+//! ```
+//! use dm_buffer::session::SessionLedger;
+//! use std::sync::Arc;
+//!
+//! let ledger = Arc::new(SessionLedger::new(1 << 20));
+//! let a = ledger.admit("tenant-a", 600 << 10); // fits
+//! assert_eq!(ledger.in_flight_bytes(), 600 << 10);
+//! drop(a); // releases, wakes waiters
+//! assert_eq!(ledger.in_flight_bytes(), 0);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Per-session (tenant) usage counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionUsage {
+    /// Bytes currently admitted for this session.
+    pub in_flight_bytes: usize,
+    /// High-water mark of `in_flight_bytes`.
+    pub peak_bytes: usize,
+    /// Requests admitted (immediately or after queueing).
+    pub admitted: u64,
+    /// Admissions that had to wait for capacity at least once.
+    pub queued: u64,
+}
+
+#[derive(Debug, Default)]
+struct LedgerState {
+    in_flight: usize,
+    active: usize,
+    waiting: usize,
+    sessions: HashMap<String, SessionUsage>,
+}
+
+/// A shared admission ledger over one byte capacity. See the
+/// [module docs](self) for the admission policy.
+#[derive(Debug)]
+pub struct SessionLedger {
+    capacity: usize,
+    state: Mutex<LedgerState>,
+    retired: Condvar,
+}
+
+impl SessionLedger {
+    /// A ledger admitting up to `capacity` certified bytes concurrently
+    /// (at least 1 byte, so a zero capacity degrades to run-alone).
+    pub fn new(capacity: usize) -> Self {
+        SessionLedger {
+            capacity: capacity.max(1),
+            state: Mutex::new(LedgerState::default()),
+            retired: Condvar::new(),
+        }
+    }
+
+    /// The ledger's byte capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admit `bytes` of certified peak memory for `session`, blocking
+    /// while the charge does not fit alongside in-flight work.
+    ///
+    /// An oversized request (`bytes > capacity`) is admitted once nothing
+    /// else is in flight — it was planned with blocked kernels and runs
+    /// alone under the spill pool rather than being rejected.
+    pub fn admit(self: &Arc<Self>, session: &str, bytes: usize) -> AdmitGuard {
+        let mut st = self.state.lock().expect("ledger poisoned");
+        let mut waited = false;
+        while !Self::fits(self.capacity, &st, bytes) {
+            if !waited {
+                waited = true;
+                st.waiting += 1;
+            }
+            st = self.retired.wait(st).expect("ledger poisoned");
+        }
+        if waited {
+            st.waiting -= 1;
+        }
+        st.in_flight += bytes;
+        st.active += 1;
+        let u = st.sessions.entry(session.to_owned()).or_default();
+        u.in_flight_bytes += bytes;
+        u.peak_bytes = u.peak_bytes.max(u.in_flight_bytes);
+        u.admitted += 1;
+        if waited {
+            u.queued += 1;
+        }
+        AdmitGuard { ledger: Arc::clone(self), session: session.to_owned(), bytes }
+    }
+
+    /// Try to admit without blocking; `None` when the request would queue.
+    pub fn try_admit(self: &Arc<Self>, session: &str, bytes: usize) -> Option<AdmitGuard> {
+        let mut st = self.state.lock().expect("ledger poisoned");
+        if !Self::fits(self.capacity, &st, bytes) {
+            return None;
+        }
+        st.in_flight += bytes;
+        st.active += 1;
+        let u = st.sessions.entry(session.to_owned()).or_default();
+        u.in_flight_bytes += bytes;
+        u.peak_bytes = u.peak_bytes.max(u.in_flight_bytes);
+        u.admitted += 1;
+        Some(AdmitGuard { ledger: Arc::clone(self), session: session.to_owned(), bytes })
+    }
+
+    fn fits(capacity: usize, st: &LedgerState, bytes: usize) -> bool {
+        if bytes > capacity {
+            // Oversized: certified peak exceeds the whole budget. The plan
+            // already degraded to blocked kernels; run it alone.
+            st.active == 0
+        } else {
+            st.in_flight + bytes <= capacity
+        }
+    }
+
+    /// Total certified bytes currently admitted.
+    pub fn in_flight_bytes(&self) -> usize {
+        self.state.lock().expect("ledger poisoned").in_flight
+    }
+
+    /// Number of admitted (executing) requests.
+    pub fn active(&self) -> usize {
+        self.state.lock().expect("ledger poisoned").active
+    }
+
+    /// Number of requests currently blocked waiting for capacity.
+    pub fn waiting(&self) -> usize {
+        self.state.lock().expect("ledger poisoned").waiting
+    }
+
+    /// Usage counters for one session, if it was ever admitted.
+    pub fn session_usage(&self, session: &str) -> Option<SessionUsage> {
+        self.state.lock().expect("ledger poisoned").sessions.get(session).cloned()
+    }
+
+    /// Snapshot of every session's usage, sorted by session name.
+    pub fn usage_snapshot(&self) -> Vec<(String, SessionUsage)> {
+        let st = self.state.lock().expect("ledger poisoned");
+        let mut v: Vec<_> = st.sessions.iter().map(|(k, u)| (k.clone(), u.clone())).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    fn release(&self, session: &str, bytes: usize) {
+        let mut st = self.state.lock().expect("ledger poisoned");
+        st.in_flight = st.in_flight.saturating_sub(bytes);
+        st.active = st.active.saturating_sub(1);
+        if let Some(u) = st.sessions.get_mut(session) {
+            u.in_flight_bytes = u.in_flight_bytes.saturating_sub(bytes);
+        }
+        drop(st);
+        self.retired.notify_all();
+    }
+}
+
+/// RAII admission: holds `bytes` charged against the ledger until dropped.
+#[derive(Debug)]
+pub struct AdmitGuard {
+    ledger: Arc<SessionLedger>,
+    session: String,
+    bytes: usize,
+}
+
+impl AdmitGuard {
+    /// The certified bytes this admission charged.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The session the admission was charged to.
+    pub fn session(&self) -> &str {
+        &self.session
+    }
+}
+
+impl Drop for AdmitGuard {
+    fn drop(&mut self) {
+        self.ledger.release(&self.session, self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn admits_within_capacity_without_queueing() {
+        let l = Arc::new(SessionLedger::new(100));
+        let a = l.admit("a", 40);
+        let b = l.admit("b", 60);
+        assert_eq!(l.in_flight_bytes(), 100);
+        assert_eq!(l.active(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(l.in_flight_bytes(), 0);
+        let ua = l.session_usage("a").unwrap();
+        assert_eq!(ua.admitted, 1);
+        assert_eq!(ua.queued, 0);
+        assert_eq!(ua.peak_bytes, 40);
+        assert_eq!(ua.in_flight_bytes, 0);
+    }
+
+    #[test]
+    fn over_capacity_request_queues_until_release() {
+        let l = Arc::new(SessionLedger::new(100));
+        let first = l.admit("a", 80);
+        assert!(l.try_admit("b", 40).is_none(), "would overflow: must queue");
+
+        let (tx, rx) = channel();
+        let l2 = Arc::clone(&l);
+        let t = std::thread::spawn(move || {
+            let g = l2.admit("b", 40); // blocks until `first` drops
+            tx.send(g.bytes()).unwrap();
+        });
+        // The waiter must actually be queued, not admitted.
+        while l.waiting() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(rx.try_recv().is_err());
+        drop(first);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 40);
+        t.join().unwrap();
+        assert_eq!(l.session_usage("b").unwrap().queued, 1);
+    }
+
+    #[test]
+    fn oversized_request_runs_alone_not_rejected() {
+        let l = Arc::new(SessionLedger::new(100));
+        // Alone, an oversized charge is admitted immediately.
+        let big = l.admit("big", 1000);
+        assert_eq!(l.in_flight_bytes(), 1000);
+        // And while it runs, nothing else gets in.
+        assert!(l.try_admit("small", 1).is_none());
+        drop(big);
+        assert!(l.try_admit("small", 1).is_some());
+    }
+
+    #[test]
+    fn oversized_waits_for_in_flight_work() {
+        let l = Arc::new(SessionLedger::new(100));
+        let small = l.admit("small", 10);
+        assert!(l.try_admit("big", 1000).is_none(), "oversized must wait to run alone");
+        let (tx, rx) = channel();
+        let l2 = Arc::clone(&l);
+        let t = std::thread::spawn(move || {
+            let _g = l2.admit("big", 1000);
+            tx.send(()).unwrap();
+        });
+        while l.waiting() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(small);
+        rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn ledger_never_overcommits_under_contention() {
+        let l = Arc::new(SessionLedger::new(50));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let l = Arc::clone(&l);
+            let peak = Arc::clone(&peak);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let _g = l.admit(&format!("t{i}"), 20);
+                    let now = l.in_flight_bytes();
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    assert!(now <= 50, "overcommitted: {now}");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 50);
+        assert_eq!(l.in_flight_bytes(), 0);
+        assert_eq!(l.active(), 0);
+    }
+
+    #[test]
+    fn usage_snapshot_is_sorted_by_session() {
+        let l = Arc::new(SessionLedger::new(100));
+        let _a = l.admit("zeta", 10);
+        let _b = l.admit("alpha", 10);
+        let snap = l.usage_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "alpha");
+        assert_eq!(snap[1].0, "zeta");
+    }
+}

@@ -32,6 +32,8 @@
 //! assert!(cm.compression_ratio() > 2.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod codes;
 pub mod dict;
 pub mod estimate;

@@ -10,6 +10,8 @@
 //! learning (E3/E4/E9), sparsity for kernel crossovers (E6), and access skew
 //! for buffer-pool traces (E10).
 
+#![warn(missing_docs)]
+
 pub mod labeled;
 pub mod matgen;
 pub mod star;

@@ -29,6 +29,8 @@
 //! assert_eq!(nm.gemv(&w), dm_matrix::ops::gemv(&nm.materialize(), &w));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod glm;
 pub mod hamlet;
 pub mod morpheus;

@@ -362,6 +362,38 @@ impl<'g> Executor<'g> {
         base
     }
 
+    /// Share a pre-built spill pool instead of lazily creating a private
+    /// one, reserving matrix ids starting at `first_matrix_id`.
+    ///
+    /// A server runs many executors against one bounded spill pool so that
+    /// blocked kernels from concurrent requests compete for the *same*
+    /// budgeted capacity instead of each opening an unbounded private
+    /// pool. [`PageKey`](dm_buffer::PageKey) matrix ids are allocated from
+    /// `self` starting at 0 by default, so concurrent executors sharing a
+    /// pool **must** be given disjoint id ranges here (e.g. a per-request
+    /// sequence number shifted into the high bits) or their pages would
+    /// alias.
+    pub fn with_spill_pool(
+        mut self,
+        pool: SharedBufferPool<Box<dyn Storage>>,
+        first_matrix_id: u64,
+    ) -> Self {
+        self.ooc_pool = Some(pool);
+        self.next_ooc_matrix = first_matrix_id;
+        self
+    }
+
+    /// Disable the `DMML_TRACE` / `DMML_PROFILE_DIR` drop-time exports for
+    /// this executor. Long-lived processes that construct an executor per
+    /// request (the scoring server) record stats and profiles through
+    /// their own registry instead; per-request file writes on drop would
+    /// be both slow and racy.
+    pub fn without_env_sinks(mut self) -> Self {
+        self.trace_to_env = false;
+        self.profile_to_env = false;
+        self
+    }
+
     /// Enable per-node profiling (wall time, kernel dispatch, output shape
     /// and sparsity). Profiling reads the clock and counts non-zeros per
     /// node, so enable it for diagnosis runs, not benchmark baselines.

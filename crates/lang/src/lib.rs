@@ -24,7 +24,10 @@
 //! assert_eq!(result.as_scalar().unwrap(), 58.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analyze;
+pub mod cache;
 pub mod cost;
 pub mod exec;
 pub mod explain;
@@ -39,6 +42,9 @@ pub mod size;
 pub use analyze::{
     analyze, analyze_program, analyze_with_cost, analyze_with_memory, verify_rewrite,
     AnalysisReport, Diagnostic, RewriteCheckError, Severity,
+};
+pub use cache::{
+    compile, program_hash, CompileError, CompiledProgram, InputClass, PlanCache, PlanKey,
 };
 pub use cost::{calibrated_cost, CostModel, NodeCost};
 pub use exec::{Env, ExecError, ExecProfile, Executor, KernelChoice, NodeStats, Val};

@@ -1,0 +1,150 @@
+//! Plan-cache correctness (ISSUE 9): serving a cached physical plan must
+//! be invisible in the results. For randomized programs and input shapes,
+//! an execution through a cache **hit** is bit-identical to a cold
+//! compile's execution; and a size-class change must **miss** the cache
+//! rather than serve a stale plan.
+
+use dm_lang::cache::{compile, program_hash, InputClass, PlanCache, PlanKey};
+use dm_lang::cost::CostModel;
+use dm_lang::exec::{Env, Executor, Val};
+use dm_lang::memory::MemoryBudget;
+use dm_lang::parser;
+use dm_lang::size::InputSizes;
+use dm_matrix::{Dense, Matrix};
+use dm_obs::profile::ProfileStore;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Program templates over X (n x d), v (d x 1), u (n x 1), alpha scalar.
+const PROGRAMS: &[&str] = &[
+    "X %*% v",
+    "sum(t(X) %*% X)",
+    "t(X) %*% u",
+    "sum(X * X)",
+    "colSums(X + X)",
+    "(X %*% v) + u",
+    "sum(sqrt(abs(X)))",
+    "(X + alpha) %*% v",
+];
+
+fn workload(n: usize, d: usize, seed: u64) -> (InputSizes, Env) {
+    let mut sizes = InputSizes::new();
+    sizes.declare("X", n, d, 1.0);
+    sizes.declare("v", d, 1, 1.0);
+    sizes.declare("u", n, 1, 1.0);
+    sizes.declare_scalar("alpha");
+    let mut env = Env::new();
+    let f = |r: usize, c: usize| ((r * 31 + c * 17 + seed as usize) % 23) as f64 * 0.37 - 3.1;
+    env.bind("X", Matrix::Dense(Dense::from_fn(n, d, f)));
+    env.bind("v", Matrix::Dense(Dense::from_fn(d, 1, f)));
+    env.bind("u", Matrix::Dense(Dense::from_fn(n, 1, f)));
+    env.bind_scalar("alpha", 0.25 + seed as f64);
+    (sizes, env)
+}
+
+fn key_for(program: &str, n: usize, d: usize) -> PlanKey {
+    let (g, root) = parser::parse(program).unwrap();
+    PlanKey::new(
+        program_hash(&g, root),
+        vec![
+            InputClass::new("X", n, d, 1.0),
+            InputClass::new("v", d, 1, 1.0),
+            InputClass::new("u", n, 1, 1.0),
+        ],
+    )
+}
+
+/// Bitwise comparison of results — `==` on f64 would let `-0.0 == 0.0`
+/// and NaN slip through.
+fn bits(v: &Val) -> Vec<u64> {
+    match v {
+        Val::Scalar(s) => vec![s.to_bits()],
+        Val::Matrix(m) => {
+            let d = m.to_dense();
+            let mut out = vec![d.rows() as u64, d.cols() as u64];
+            out.extend(d.data().iter().map(|x| x.to_bits()));
+            out
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Cold compile vs. cache hit: the hit's execution must be
+    /// bit-identical, across randomized programs, shapes, and data.
+    #[test]
+    fn cache_hit_execution_is_bit_identical(
+        (pi, n, d, seed) in (0usize..8, 2usize..40, 1usize..12, 0u64..1000)
+    ) {
+        let program = PROGRAMS[pi];
+        let (sizes, env) = workload(n, d, seed);
+        let model = CostModel::new(ProfileStore::new());
+
+        // Cold path: compile and execute.
+        let cold = compile(program, &sizes, 2, MemoryBudget::unbounded(), &model).unwrap();
+        let cold_val = Executor::with_plan(&cold.graph, cold.plan.clone())
+            .eval(cold.root, &env)
+            .unwrap();
+
+        // Serve path: insert, probe (must hit), execute the cached plan.
+        let mut cache = PlanCache::new(8);
+        let key = key_for(program, n, d);
+        cache.insert(key.clone(), Arc::new(cold.clone()));
+        let hit = cache.get(&key).expect("identical request must hit");
+        prop_assert_eq!(cache.hits(), 1);
+        let hit_val = Executor::with_plan(&hit.graph, hit.plan.clone())
+            .eval(hit.root, &env)
+            .unwrap();
+
+        prop_assert_eq!(
+            bits(&cold_val),
+            bits(&hit_val),
+            "cache hit changed the result for {} at {}x{}",
+            program, n, d
+        );
+    }
+
+    /// Same program, different size class: the probe must miss (re-plan),
+    /// never serve the stale entry.
+    #[test]
+    fn size_class_change_misses((pi, n, d) in (0usize..8, 2usize..40, 1usize..12)) {
+        let program = PROGRAMS[pi];
+        let (sizes, _) = workload(n, d, 0);
+        let model = CostModel::new(ProfileStore::new());
+        let prog = compile(program, &sizes, 1, MemoryBudget::unbounded(), &model).unwrap();
+
+        let mut cache = PlanCache::new(8);
+        cache.insert(key_for(program, n, d), Arc::new(prog));
+
+        // Grow X's rows past its power-of-two class boundary: different
+        // size class, so the key differs and the probe must miss.
+        let n2 = (n.max(2)).next_power_of_two() + 1;
+        prop_assert!(cache.get(&key_for(program, n2, d)).is_none(),
+            "stale plan served across a size-class change ({n} -> {n2})");
+        // The original class still hits.
+        prop_assert!(cache.get(&key_for(program, n, d)).is_some());
+    }
+}
+
+/// Eviction end-to-end: a size-class change not only misses, its compile
+/// result is a *different* plan entry — and LRU eviction never brings the
+/// stale entry back.
+#[test]
+fn eviction_never_resurrects_stale_plans() {
+    let model = CostModel::new(ProfileStore::new());
+    let program = "X %*% v";
+    let mut cache = PlanCache::new(2);
+
+    for (tag, n) in [(1usize, 8usize), (2, 64), (3, 1024)] {
+        let (sizes, _) = workload(n, 4, 0);
+        let prog = compile(program, &sizes, 1, MemoryBudget::unbounded(), &model).unwrap();
+        cache.insert(key_for(program, n, 4), Arc::new(prog));
+        let _ = tag;
+    }
+    // Capacity 2: the n=8 entry was evicted.
+    assert_eq!(cache.evictions(), 1);
+    assert!(cache.get(&key_for(program, 8, 4)).is_none(), "evicted entry must miss");
+    assert!(cache.get(&key_for(program, 64, 4)).is_some());
+    assert!(cache.get(&key_for(program, 1024, 4)).is_some());
+}

@@ -28,6 +28,8 @@
 //! assert_eq!(y, vec![3.0, 7.0]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod block;
 pub mod dense;
 pub mod error;

@@ -28,6 +28,8 @@
 //! assert!((model.predict_row(&[5.0]) - 10.0).abs() < 1e-6);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod forest;
 pub mod glm;
 pub mod kmeans;

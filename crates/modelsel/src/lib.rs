@@ -31,6 +31,8 @@
 //! assert_eq!(result.evaluations.len(), 6);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod columbus;
 pub mod cv;
 pub mod registry;

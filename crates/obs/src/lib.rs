@@ -49,6 +49,8 @@
 //! assert!(report.duration("exec.eval").is_some());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod export;
 pub mod histogram;
 pub mod json;

@@ -7,6 +7,7 @@
 //! - `GET /metrics` — Prometheus text exposition
 //!   ([`prometheus_text`])
 //! - `GET /stats.json` — JSON report ([`stats_json`])
+//! - `GET /healthz` — readiness probe (plain `ok`)
 //!
 //! Enable it from the environment with `DMML_METRICS_ADDR=host:port`
 //! (port `0` picks a free port; the bound address is available via
@@ -131,10 +132,12 @@ fn handle_conn(mut stream: TcpStream, registry: &StatsRegistry) -> std::io::Resu
             ("200 OK", PROMETHEUS_CONTENT_TYPE, prometheus_text(&report))
         }
         Some("/stats.json") => ("200 OK", "application/json", stats_json(&report)),
+        // Readiness probe: answering at all means the accept loop is up.
+        Some("/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try /metrics or /stats.json\n".to_owned(),
+            "not found; try /metrics, /stats.json or /healthz\n".to_owned(),
         ),
     };
     write!(

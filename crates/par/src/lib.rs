@@ -19,6 +19,11 @@
 //!   same blocks in the same order, which is what makes parallel and serial
 //!   results bit-identical at every degree.
 //!
+//! For workloads that must *not* fork-join — a server keeping requests in
+//! flight while accepting new ones — [`workers::WorkerPool`] provides
+//! long-lived named worker threads draining a shared FIFO of `'static`
+//! jobs, with graceful drain-and-join shutdown on drop.
+//!
 //! The default degree of parallelism comes from the `DMML_THREADS`
 //! environment variable when set (clamped to at least 1), otherwise from
 //! [`std::thread::available_parallelism`]. All primitives also accept an
@@ -44,9 +49,13 @@
 //! assert_eq!(d1, d4);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod pool;
+pub mod workers;
 
 pub use pool::{
     default_degree, for_each_slice_mut, map_collect, parallel_for, reduce_blocks, split_ranges,
     THREADS_ENV,
 };
+pub use workers::WorkerPool;

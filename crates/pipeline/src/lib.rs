@@ -26,6 +26,8 @@
 //! }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod encode;
 pub mod metrics;
 pub mod split;

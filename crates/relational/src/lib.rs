@@ -23,6 +23,8 @@
 //! assert_eq!(high.num_rows(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod column;
 pub mod csv;
 pub mod error;

@@ -1,0 +1,54 @@
+//! A minimal blocking client for the scoring protocol.
+//!
+//! One [`ScoringClient`] holds one TCP connection and can issue any
+//! number of requests over it (the server answers frames in order). It is
+//! the Rust counterpart of `scripts/loadgen.py` and the building block of
+//! the examples and end-to-end tests.
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response, ScoreResult,
+};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to a [`ScoringServer`](crate::server::ScoringServer).
+pub struct ScoringClient {
+    stream: TcpStream,
+}
+
+impl ScoringClient {
+    /// Connect to a server address.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        // Latency over throughput: frames are small and request/response.
+        let _ = stream.set_nodelay(true);
+        Ok(ScoringClient { stream })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, String> {
+        write_frame(&mut self.stream, &encode_request(req)).map_err(|e| format!("send: {e}"))?;
+        let raw = read_frame(&mut self.stream)
+            .map_err(|e| format!("recv: {e}"))?
+            .ok_or("server closed the connection")?;
+        decode_response(&raw)
+    }
+
+    /// Convenience: issue a `score` and unwrap the result value, turning
+    /// protocol- and server-side errors into `Err`.
+    pub fn score(&mut self, req: &Request) -> Result<ScoreResult, String> {
+        match self.request(req)? {
+            Response::Score { result, .. } => Ok(result),
+            Response::Error { error } => Err(error),
+            Response::Pong => Err("unexpected pong".to_owned()),
+        }
+    }
+
+    /// Liveness round-trip.
+    pub fn ping(&mut self, tenant: &str) -> Result<(), String> {
+        match self.request(&Request::ping(tenant))? {
+            Response::Pong => Ok(()),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+}

@@ -1,0 +1,673 @@
+//! The scoring server: accept loop, worker pool, and the request path.
+//!
+//! One process hosts every tenant. The shared state is deliberately the
+//! same set of objects a single-shot run uses — one
+//! [`PlanCache`], one [`StatsRegistry`], one [`ProfileStore`], one
+//! [`SessionLedger`], one spill pool — so multi-tenancy is resource
+//! *sharing*, not resource duplication:
+//!
+//! 1. **accept** — a dedicated thread accepts TCP connections and hands
+//!    each one to a [`dm_par::WorkerPool`] worker, which serves frames
+//!    off that connection until the client hangs up.
+//! 2. **parse** — the frame decodes to a [`Request`]; the program text
+//!    parses to an expression DAG (cheap, linear in the text).
+//! 3. **plan-cache probe** — the request's [`PlanKey`] (structural
+//!    program hash + per-input size classes and sparsity buckets) probes
+//!    the shared LRU. A hit skips rewriting, size propagation, physical
+//!    selection, and certification entirely; a miss compiles and inserts.
+//! 4. **certify / admit** — the plan's certified peak bytes are charged
+//!    against the [`SessionLedger`]. Requests that do not fit next to
+//!    in-flight work queue; requests certified over the whole budget were
+//!    already planned with [`Kernel::Blocked`](dm_lang::physical::Kernel)
+//!    kernels and are admitted to run alone, streaming through the shared
+//!    spill pool instead of OOMing neighbors.
+//! 5. **batch** — eligible vector-scoring requests (`... %*% x` against a
+//!    cached plan) may coalesce into one gemm under the configured
+//!    deadline (see [`crate::batch`]).
+//! 6. **execute / respond** — a fresh [`Executor`] runs the cached plan;
+//!    stats and kernel profiles flow into the shared registry and profile
+//!    store; the result frames back to the client bit-exactly.
+
+use crate::batch::{Batcher, Joined};
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, Cmd, InputValue, Request, Response,
+    ScoreResult,
+};
+use dm_buffer::policy::PolicyKind;
+use dm_buffer::session::SessionLedger;
+use dm_buffer::storage::{FileStore, MemStore, Storage};
+use dm_buffer::{BufferPool, SharedBufferPool};
+use dm_lang::cache::{compile, program_hash, CompiledProgram, InputClass, PlanCache, PlanKey};
+use dm_lang::cost::CostModel;
+use dm_lang::exec::{Env, Executor, Val};
+use dm_lang::expr::Op;
+use dm_lang::memory::MemoryBudget;
+use dm_lang::parser;
+use dm_lang::size::InputSizes;
+use dm_matrix::{Dense, Matrix};
+use dm_obs::profile::ProfileStore;
+use dm_obs::{Recorder, StatsRegistry};
+use dm_par::WorkerPool;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// `DMML_SERVE_ADDR` — listen address (default `127.0.0.1:7878`; port 0
+/// picks a free port).
+pub const SERVE_ADDR_ENV: &str = "DMML_SERVE_ADDR";
+/// `DMML_SERVE_WORKERS` — connection-worker threads; a connection is
+/// sticky to its worker, so this caps concurrent tenant connections
+/// (default: [`dm_par::default_degree`], floored at 8).
+pub const SERVE_WORKERS_ENV: &str = "DMML_SERVE_WORKERS";
+/// `DMML_SERVE_BATCH_DEADLINE_MS` — how long a micro-batch leader waits
+/// for followers, in milliseconds (default 2).
+pub const SERVE_BATCH_DEADLINE_ENV: &str = "DMML_SERVE_BATCH_DEADLINE_MS";
+/// `DMML_SERVE_BATCH_MAX` — max requests coalesced into one gemm
+/// (default 8; `1` disables micro-batching).
+pub const SERVE_BATCH_MAX_ENV: &str = "DMML_SERVE_BATCH_MAX";
+/// `DMML_SERVE_PLAN_CACHE` — plan-cache capacity in plans (default 64).
+pub const SERVE_PLAN_CACHE_ENV: &str = "DMML_SERVE_PLAN_CACHE";
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+/// Server configuration; build with [`from_env`](Self::from_env) in
+/// binaries and [`for_tests`](Self::for_tests) in tests.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 for ephemeral).
+    pub addr: String,
+    /// Connection-worker threads.
+    pub workers: usize,
+    /// Micro-batch leader deadline.
+    pub batch_deadline: Duration,
+    /// Max requests per micro-batch (`<= 1` disables batching).
+    pub batch_max: usize,
+    /// Plan-cache capacity in plans.
+    pub plan_cache: usize,
+    /// Shared memory budget for certification and admission.
+    pub budget: MemoryBudget,
+    /// Degree of parallelism plans are compiled for.
+    pub degree: usize,
+}
+
+impl ServeConfig {
+    /// Read every `DMML_SERVE_*` knob (plus `DMML_MEM_BUDGET` and
+    /// `DMML_THREADS`) from the environment.
+    pub fn from_env() -> Self {
+        ServeConfig {
+            addr: std::env::var(SERVE_ADDR_ENV)
+                .ok()
+                .filter(|a| !a.trim().is_empty())
+                .unwrap_or_else(|| "127.0.0.1:7878".to_owned()),
+            // A connection is sticky to its worker, so the worker count caps
+            // concurrent tenants. Handlers mostly block on socket reads, so
+            // the floor is well above the compute degree even on small boxes.
+            workers: env_usize(SERVE_WORKERS_ENV, dm_par::default_degree().max(8)).max(1),
+            batch_deadline: Duration::from_millis(env_usize(SERVE_BATCH_DEADLINE_ENV, 2) as u64),
+            batch_max: env_usize(SERVE_BATCH_MAX_ENV, 8),
+            plan_cache: env_usize(SERVE_PLAN_CACHE_ENV, 64).max(1),
+            budget: MemoryBudget::from_env(),
+            degree: dm_par::default_degree(),
+        }
+    }
+
+    /// An ephemeral-port config suitable for tests: 4 workers, 5 ms batch
+    /// deadline, unbounded budget, serial plans.
+    pub fn for_tests() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            batch_deadline: Duration::from_millis(5),
+            batch_max: 8,
+            plan_cache: 64,
+            budget: MemoryBudget::unbounded(),
+            degree: 1,
+        }
+    }
+}
+
+/// State shared by every connection worker.
+struct Shared {
+    cfg: ServeConfig,
+    registry: Arc<StatsRegistry>,
+    cache: Mutex<PlanCache>,
+    profiles: Mutex<ProfileStore>,
+    ledger: Arc<SessionLedger>,
+    spill: Option<SharedBufferPool<Box<dyn Storage>>>,
+    batcher: Batcher,
+    model: CostModel,
+    seq: AtomicU64,
+}
+
+/// The multi-tenant scoring server. Construct with [`start`](Self::start);
+/// dropping it (or calling [`shutdown`](Self::shutdown)) stops the accept
+/// loop, drains in-flight connections, and persists the kernel profile
+/// store when `DMML_PROFILE_DIR` is set.
+pub struct ScoringServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ScoringServer {
+    /// Bind the configured address and start serving in the background.
+    pub fn start(cfg: ServeConfig, registry: Arc<StatsRegistry>) -> io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        // One bounded spill pool for every blocked kernel in the process,
+        // sized off the shared budget. Unbounded budget ⇒ nothing is ever
+        // planned blocked ⇒ no pool needed.
+        let spill = cfg.budget.get().map(|budget| {
+            let dir = std::env::temp_dir().join(format!("dmml_serve_spill_{}", std::process::id()));
+            let storage: Box<dyn Storage> = match FileStore::new(dir) {
+                Ok(fs) => Box::new(fs),
+                Err(_) => Box::<MemStore>::default(),
+            };
+            SharedBufferPool::new(BufferPool::new(
+                dm_lang::memory::spill_pool_capacity(budget),
+                PolicyKind::Lru,
+                storage,
+            ))
+        });
+        // Seed the cost model from DMML_PROFILE_DIR when present so the
+        // first compiles already use calibrated crossovers.
+        let model = CostModel::from_env().unwrap_or_else(|| CostModel::new(ProfileStore::new()));
+        let shared = Arc::new(Shared {
+            ledger: Arc::new(SessionLedger::new(cfg.budget.get().unwrap_or(usize::MAX))),
+            cache: Mutex::new(PlanCache::new(cfg.plan_cache)),
+            profiles: Mutex::new(ProfileStore::new()),
+            batcher: Batcher::new(cfg.batch_deadline, cfg.batch_max),
+            registry,
+            spill,
+            model,
+            seq: AtomicU64::new(0),
+            cfg,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("serve-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &shared, &stop))?
+        };
+        Ok(ScoringServer { addr, stop, accept: Some(accept), shared })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The banner line binaries print so scripts (`loadgen.py`) can
+    /// discover the ephemeral port.
+    pub fn banner(&self) -> String {
+        format!("scoring listening on {}", self.addr)
+    }
+
+    /// The shared stats registry (for mounting a
+    /// [`MetricsServer`](dm_obs::serve::MetricsServer) or asserting in
+    /// tests).
+    pub fn registry(&self) -> &Arc<StatsRegistry> {
+        &self.shared.registry
+    }
+
+    /// Plan-cache counters: `(hits, misses, evictions)`.
+    pub fn plan_cache_stats(&self) -> (u64, u64, u64) {
+        let c = self.shared.cache.lock().expect("cache poisoned");
+        (c.hits(), c.misses(), c.evictions())
+    }
+
+    /// The shared admission ledger.
+    pub fn ledger(&self) -> &Arc<SessionLedger> {
+        &self.shared.ledger
+    }
+
+    /// Stop accepting, drain workers, and persist profiles. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(handle) = self.accept.take() else { return };
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+        // Profile-store lifecycle: merge this process's kernel throughput
+        // samples into DMML_PROFILE_DIR so the next start's cost model is
+        // calibrated by real serving traffic.
+        if let Some(dir) = dm_obs::profile::env_profile_dir() {
+            let ps = self.shared.profiles.lock().expect("profiles poisoned");
+            if !ps.is_empty() {
+                if let Err(e) = ps.save(&dir) {
+                    eprintln!("DMML_PROFILE_DIR save failed: {e}");
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ScoringServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, stop: &AtomicBool) {
+    let pool = WorkerPool::new(shared.cfg.workers, "serve");
+    loop {
+        let Ok((stream, _)) = listener.accept() else { break };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let shared = Arc::clone(shared);
+        pool.submit(move || handle_connection(stream, &shared));
+    }
+    // WorkerPool drop drains connections already handed to workers.
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    // An idle or wedged client must not pin a worker forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
+    // Scoring responses must not sit in Nagle's buffer waiting for ACKs.
+    let _ = stream.set_nodelay(true);
+    while let Ok(Some(raw)) = read_frame(&mut stream) {
+        let resp = handle_request(shared, &raw);
+        if write_frame(&mut stream, &encode_response(&resp)).is_err() {
+            break;
+        }
+    }
+}
+
+fn valid_tenant(t: &str) -> bool {
+    !t.is_empty()
+        && t.len() <= 64
+        && t.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+fn handle_request(shared: &Arc<Shared>, raw: &str) -> Response {
+    let started = Instant::now();
+    let reg = shared.registry.as_ref();
+    reg.add("serve.requests", 1);
+    let req = match decode_request(raw) {
+        Ok(r) => r,
+        Err(e) => {
+            reg.add("serve.errors", 1);
+            return Response::Error { error: format!("bad request: {e}") };
+        }
+    };
+    if !valid_tenant(&req.tenant) {
+        reg.add("serve.errors", 1);
+        return Response::Error { error: "invalid tenant name".to_owned() };
+    }
+    let resp = match req.cmd {
+        Cmd::Ping => Response::Pong,
+        Cmd::Score => handle_score(shared, &req),
+    };
+    if matches!(resp, Response::Error { .. }) {
+        reg.add("serve.errors", 1);
+    }
+    let ns = started.elapsed().as_nanos() as u64;
+    reg.record_histogram("serve.latency_ns", ns);
+    reg.record_histogram(&format!("serve.tenant.{}.latency_ns", req.tenant), ns);
+    resp
+}
+
+/// Measure a bound input's non-zero fraction for the sparsity bucket.
+fn measured_sparsity(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 1.0;
+    }
+    data.iter().filter(|v| **v != 0.0).count() as f64 / data.len() as f64
+}
+
+fn handle_score(shared: &Arc<Shared>, req: &Request) -> Response {
+    let reg = shared.registry.as_ref();
+    // Declared sizes + cache-key classes straight from the bound inputs.
+    let mut sizes = InputSizes::new();
+    let mut classes = Vec::with_capacity(req.inputs.len());
+    for (name, v) in &req.inputs {
+        match v {
+            InputValue::Matrix { rows, cols, data } => {
+                let sp = measured_sparsity(data);
+                sizes.declare(name, *rows, *cols, sp);
+                classes.push(InputClass::new(name, *rows, *cols, sp));
+            }
+            InputValue::Scalar(_) => {
+                sizes.declare_scalar(name);
+                // Sentinel classes keep a scalar binding from colliding
+                // with a 1x1 matrix binding of the same name.
+                classes.push(InputClass {
+                    name: name.clone(),
+                    rows_class: u32::MAX,
+                    cols_class: u32::MAX,
+                    sparsity: 0,
+                });
+            }
+        }
+    }
+    // Parse is cheap and gives the structural hash; everything after the
+    // probe is what a hit skips.
+    let (raw_graph, raw_root) = match parser::parse(&req.program) {
+        Ok(p) => p,
+        Err(e) => return Response::Error { error: format!("parse error: {e}") },
+    };
+    let key = PlanKey::new(program_hash(&raw_graph, raw_root), classes);
+
+    let (prog, cache_hit) = match probe_cache(shared, &key) {
+        Some(p) => (p, true),
+        None => {
+            let compiled = match compile(
+                &req.program,
+                &sizes,
+                shared.cfg.degree,
+                shared.cfg.budget,
+                &shared.model,
+            ) {
+                Ok(c) => Arc::new(c),
+                Err(e) => return Response::Error { error: e.to_string() },
+            };
+            insert_cache(shared, key.clone(), Arc::clone(&compiled));
+            (compiled, false)
+        }
+    };
+
+    // Admission: charge the certified peak against the shared ledger.
+    // Queue when it does not fit; oversized plans (already degraded to
+    // blocked kernels) run alone.
+    let peak = prog.certified_peak().unwrap_or(0);
+    let _admission = match shared.ledger.try_admit(&req.tenant, peak) {
+        Some(g) => g,
+        None => {
+            reg.add("serve.admission.queued", 1);
+            reg.gauge_set("serve.admission.waiting", shared.ledger.waiting() as u64 + 1);
+            shared.ledger.admit(&req.tenant, peak)
+        }
+    };
+    reg.gauge_set("serve.admission.waiting", shared.ledger.waiting() as u64);
+    reg.gauge_set("serve.admission.in_flight_bytes", shared.ledger.in_flight_bytes() as u64);
+
+    let (result, batched) = match try_batched(shared, req, &prog, &key) {
+        Some(r) => r,
+        None => match execute(shared, &prog, build_env(&req.inputs)) {
+            Ok(v) => (val_to_result(v), false),
+            Err(e) => return Response::Error { error: e },
+        },
+    };
+    match result {
+        Ok(result) => {
+            Response::Score { result, cache_hit, batched, blocked_nodes: prog.blocked_nodes }
+        }
+        Err(e) => Response::Error { error: e },
+    }
+}
+
+fn probe_cache(shared: &Arc<Shared>, key: &PlanKey) -> Option<Arc<CompiledProgram>> {
+    let mut cache = shared.cache.lock().expect("cache poisoned");
+    let hit = cache.get(key);
+    let reg = shared.registry.as_ref();
+    reg.add(if hit.is_some() { "serve.plan_cache.hit" } else { "serve.plan_cache.miss" }, 1);
+    reg.gauge_set("serve.plan_cache.size", cache.len() as u64);
+    hit
+}
+
+fn insert_cache(shared: &Arc<Shared>, key: PlanKey, prog: Arc<CompiledProgram>) {
+    let mut cache = shared.cache.lock().expect("cache poisoned");
+    let before = cache.evictions();
+    cache.insert(key, prog);
+    let evicted = cache.evictions() - before;
+    let reg = shared.registry.as_ref();
+    if evicted > 0 {
+        reg.add("serve.plan_cache.evictions", evicted);
+    }
+    reg.gauge_set("serve.plan_cache.size", cache.len() as u64);
+}
+
+fn build_env(inputs: &[(String, InputValue)]) -> Env {
+    let mut env = Env::new();
+    for (name, v) in inputs {
+        match v {
+            InputValue::Matrix { rows, cols, data } => {
+                let d = Dense::from_vec(*rows, *cols, data.clone())
+                    .expect("length validated at decode");
+                env.bind(name, Matrix::Dense(d));
+            }
+            InputValue::Scalar(x) => {
+                env.bind_scalar(name, *x);
+            }
+        }
+    }
+    env
+}
+
+/// Run the compiled plan against `env` with the shared resources: a fresh
+/// executor per request (hit and miss paths identical by construction),
+/// stats into the shared registry, kernel profiles into the shared store,
+/// and — when a budget is set — the process-wide spill pool with a
+/// per-request matrix-id range so concurrent blocked kernels cannot alias
+/// pages.
+fn execute(shared: &Arc<Shared>, prog: &CompiledProgram, env: Env) -> Result<Val, String> {
+    let mut ex = Executor::with_plan(&prog.graph, prog.plan.clone()).without_env_sinks().profiled();
+    if let Some(pool) = &shared.spill {
+        let seq = shared.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        ex = ex.with_spill_pool(pool.clone(), seq << 32);
+    }
+    let out = ex.eval(prog.root, &env).map_err(|e| e.to_string())?;
+    ex.record_stats(shared.registry.as_ref());
+    let mut profiles = shared.profiles.lock().expect("profiles poisoned");
+    ex.record_kernel_profiles(&mut profiles);
+    Ok(out)
+}
+
+fn val_to_result(v: Val) -> Result<ScoreResult, String> {
+    Ok(match v {
+        Val::Scalar(s) => ScoreResult::Scalar(s),
+        Val::Matrix(m) => {
+            let d = m.to_dense();
+            ScoreResult::Matrix { rows: d.rows(), cols: d.cols(), data: d.data().to_vec() }
+        }
+    })
+}
+
+/// The batched input of an eligible program: the root is
+/// `MatMul(_, Input(v))` and `v` is referenced exactly once (so stacking
+/// its columns affects nothing else). Plans with blocked kernels are
+/// excluded — batching multiplies the root's working set by the group
+/// size, which the admission charge did not cover.
+fn batchable_input(prog: &CompiledProgram) -> Option<String> {
+    if prog.blocked_nodes > 0 {
+        return None;
+    }
+    let Op::MatMul(_, rhs) = prog.graph.op(prog.root) else { return None };
+    let Op::Input(name) = prog.graph.op(*rhs) else { return None };
+    let uses: usize = prog
+        .graph
+        .reachable(prog.root)
+        .iter()
+        .map(|&id| prog.graph.op(id).children().iter().filter(|&&c| c == *rhs).count())
+        .sum();
+    (uses == 1).then(|| name.clone())
+}
+
+/// FNV-1a over the group guard bytes (the batcher verifies the full bytes
+/// on join, so a collision only costs a solo execution).
+fn guard_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Attempt the micro-batched path. `None` means "not eligible — execute
+/// individually"; `Some((result, batched))` is a finished outcome.
+#[allow(clippy::type_complexity)]
+fn try_batched(
+    shared: &Arc<Shared>,
+    req: &Request,
+    prog: &Arc<CompiledProgram>,
+    key: &PlanKey,
+) -> Option<(Result<ScoreResult, String>, bool)> {
+    if !req.batch || !shared.batcher.enabled() {
+        return None;
+    }
+    let bname = batchable_input(prog)?;
+    // The batched input must be bound as a column vector.
+    let (_, InputValue::Matrix { rows, cols: 1, data }) =
+        req.inputs.iter().find(|(n, _)| *n == bname)?
+    else {
+        return None;
+    };
+    if *rows == 0 {
+        return None;
+    }
+    // Guard bytes: plan identity + every shared (non-batch) input,
+    // bit-exact. Only requests whose entire context matches may share a
+    // gemm.
+    let mut guard = Vec::new();
+    guard.extend_from_slice(format!("{key}").as_bytes());
+    guard.push(0);
+    guard.extend_from_slice(bname.as_bytes());
+    guard.extend_from_slice(&rows.to_le_bytes());
+    let mut rest: Vec<&(String, InputValue)> =
+        req.inputs.iter().filter(|(n, _)| *n != bname).collect();
+    rest.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, v) in rest {
+        guard.push(0xfe);
+        guard.extend_from_slice(name.as_bytes());
+        guard.push(0);
+        match v {
+            InputValue::Matrix { rows, cols, data } => {
+                guard.extend_from_slice(&rows.to_le_bytes());
+                guard.extend_from_slice(&cols.to_le_bytes());
+                for x in data {
+                    guard.extend_from_slice(&x.to_bits().to_le_bytes());
+                }
+            }
+            InputValue::Scalar(x) => {
+                guard.extend_from_slice(&[0xfd]);
+                guard.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+        }
+    }
+    let gkey = guard_hash(&guard);
+    let m = *rows;
+    let reg = shared.registry.as_ref();
+    match shared.batcher.join(gkey, &guard, data.clone()) {
+        Joined::Solo(col) => {
+            // Group was full or guarded against us: run the same column
+            // individually.
+            let mut env = build_env(&req.inputs);
+            env.bind(&bname, Matrix::Dense(Dense::from_vec(m, 1, col).expect("shape")));
+            Some((execute(shared, prog, env).and_then(val_to_result), false))
+        }
+        Joined::Follower(rx) => {
+            let col = rx.recv().map_err(|_| "batch leader died".to_owned()).and_then(|r| r);
+            Some((
+                col.map(|c| {
+                    let rows = c.len();
+                    ScoreResult::Matrix { rows, cols: 1, data: c }
+                }),
+                true,
+            ))
+        }
+        Joined::Leader(token, rx) => {
+            let job = shared.batcher.collect(token);
+            let k = job.len();
+            reg.add("serve.batch.flushes", 1);
+            if k > 1 {
+                reg.add("serve.batch.batched_requests", k as u64);
+            }
+            // Stack the k column vectors into one m x k input and run the
+            // cached plan once.
+            let mut stacked = vec![0.0; m * k];
+            for (j, col) in job.columns.iter().enumerate() {
+                for (i, v) in col.iter().enumerate() {
+                    stacked[i * k + j] = *v;
+                }
+            }
+            let mut env = build_env(&req.inputs);
+            env.bind(&bname, Matrix::Dense(Dense::from_vec(m, k, stacked).expect("shape")));
+            let outcome = execute(shared, prog, env).and_then(|v| {
+                let Val::Matrix(mat) = v else {
+                    return Err("batched program did not yield a matrix".to_owned());
+                };
+                let d = mat.to_dense();
+                if d.cols() != k {
+                    return Err(format!("batched result has {} columns, expected {k}", d.cols()));
+                }
+                // Column j is participant j's result, bit-for-bit.
+                Ok((0..k)
+                    .map(|j| (0..d.rows()).map(|i| d.data()[i * k + j]).collect::<Vec<f64>>())
+                    .collect::<Vec<_>>())
+            });
+            job.complete(outcome);
+            let col = rx.recv().map_err(|_| "batch result lost".to_owned()).and_then(|r| r);
+            Some((
+                col.map(|c| {
+                    let rows = c.len();
+                    ScoreResult::Matrix { rows, cols: 1, data: c }
+                }),
+                k > 1,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_validation() {
+        assert!(valid_tenant("acme-1_B"));
+        assert!(!valid_tenant(""));
+        assert!(!valid_tenant("has space"));
+        assert!(!valid_tenant(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn config_from_env_defaults() {
+        // No DMML_SERVE_* set in the test environment by default.
+        let cfg = ServeConfig::for_tests();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.plan_cache >= 1);
+    }
+
+    #[test]
+    fn batchable_input_analysis() {
+        let model = CostModel::new(ProfileStore::new());
+        let mut sizes = InputSizes::new();
+        sizes.declare("W", 4, 4, 1.0);
+        sizes.declare("x", 4, 1, 1.0);
+        let p = compile("W %*% x", &sizes, 1, MemoryBudget::unbounded(), &model).unwrap();
+        assert_eq!(batchable_input(&p).as_deref(), Some("x"));
+
+        // Root is not a matmul: not batchable.
+        let p = compile("sum(W %*% x)", &sizes, 1, MemoryBudget::unbounded(), &model).unwrap();
+        assert_eq!(batchable_input(&p), None);
+
+        // The vector is used twice: stacking would change the other use.
+        let mut sizes2 = InputSizes::new();
+        sizes2.declare("W", 4, 4, 1.0);
+        sizes2.declare("x", 4, 4, 1.0);
+        let p = compile("(W %*% x) + x", &sizes2, 1, MemoryBudget::unbounded(), &model).unwrap();
+        assert_eq!(batchable_input(&p), None);
+    }
+
+    #[test]
+    fn measured_sparsity_counts_nonzeros() {
+        assert_eq!(measured_sparsity(&[0.0, 1.0, 0.0, 2.0]), 0.5);
+        assert_eq!(measured_sparsity(&[]), 1.0);
+    }
+}

@@ -7,6 +7,8 @@
 //! this subset: reads consume from the front, `len`/`Deref` reflect the
 //! remaining window, and `slice` shares storage without copying.
 
+#![warn(missing_docs)]
+
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 

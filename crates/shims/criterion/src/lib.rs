@@ -7,6 +7,8 @@
 //! persistence — the bench targets here exist to show qualitative shapes
 //! (which representation wins, how costs scale), not CI-grade regressions.
 
+#![warn(missing_docs)]
+
 use std::time::{Duration, Instant};
 
 /// Prevent the optimizer from deleting a computed value.

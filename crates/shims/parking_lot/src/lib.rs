@@ -4,6 +4,8 @@
 //! treated as still-consistent and re-entered, matching parking_lot's
 //! semantics of not tracking poisoning at all.
 
+#![warn(missing_docs)]
+
 use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock with parking_lot's infallible `lock`.

@@ -13,6 +13,9 @@
 //! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of returning
 //!   `Err`, which is equivalent under `#[test]`.
 
+#![warn(missing_docs)]
+
+/// Core [`Strategy`](strategy::Strategy) trait and combinators.
 pub mod strategy {
     use rand::rngs::StdRng;
     use rand::Rng;
@@ -209,6 +212,7 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D, E, F);
 }
 
+/// Strategies for collections (`vec`, sized containers).
 pub mod collection {
     use super::strategy::Strategy;
     use rand::rngs::StdRng;
@@ -265,6 +269,7 @@ pub mod collection {
     }
 }
 
+/// The runner driving case generation, and its configuration.
 pub mod test_runner {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -390,6 +395,7 @@ macro_rules! __proptest_fns {
     };
 }
 
+/// One-import surface mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::ProptestConfig;

@@ -8,6 +8,8 @@
 //! upstream ChaCha-based `StdRng`; callers only rely on statistical quality
 //! and reproducibility for a fixed seed, never on exact values.
 
+#![warn(missing_docs)]
+
 /// Seedable random number generators.
 pub trait SeedableRng: Sized {
     /// Construct from a 64-bit seed.

@@ -1,0 +1,48 @@
+//! Score a program against a running scoring server.
+//!
+//! ```text
+//! cargo run --release --example scoring_client -- 127.0.0.1:7878
+//! ```
+//!
+//! Connects, pings, then scores `sum(t(X) %*% (X %*% v))` twice with the
+//! same shapes — the second response must report a plan-cache hit. A tiny
+//! end-to-end demonstration of the protocol in `crates/serve/src/protocol.rs`;
+//! `scripts/loadgen.py` is the multi-tenant load version of this.
+
+use dmml::serve::{Request, Response, ScoreResult, ScoringClient};
+
+fn main() {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7878".to_owned());
+    let mut client = match ScoringClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e} (start examples/scoring_server.rs first)");
+            std::process::exit(1);
+        }
+    };
+    client.ping("demo").expect("ping");
+    println!("connected to {addr}");
+
+    let (n, d) = (200, 16);
+    let x: Vec<f64> = (0..n * d).map(|i| ((i % 23) as f64) * 0.17 - 1.9).collect();
+    let v: Vec<f64> = (0..d).map(|i| (i as f64) * 0.05 - 0.3).collect();
+    let req =
+        Request::score("demo", "sum(t(X) %*% (X %*% v))").matrix("X", n, d, x).matrix("v", d, 1, v);
+
+    for round in 1..=2 {
+        match client.request(&req).expect("request") {
+            Response::Score {
+                result: ScoreResult::Scalar(s), cache_hit, blocked_nodes, ..
+            } => {
+                println!(
+                    "round {round}: score = {s:.6} (plan cache {}, {blocked_nodes} blocked node(s))",
+                    if cache_hit { "hit" } else { "miss" }
+                );
+            }
+            other => {
+                eprintln!("unexpected response: {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

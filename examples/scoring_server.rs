@@ -1,0 +1,52 @@
+//! Run the multi-tenant scoring server until interrupted.
+//!
+//! ```text
+//! DMML_SERVE_ADDR=127.0.0.1:0 DMML_METRICS_ADDR=127.0.0.1:0 \
+//!     cargo run --release --example scoring_server
+//! ```
+//!
+//! Prints `scoring listening on <addr>` (and, when `DMML_METRICS_ADDR` is
+//! set, `metrics listening on http://<addr>/metrics`) so scripts like
+//! `scripts/loadgen.py` can discover ephemeral ports. Every knob is an
+//! environment variable — see `docs/OPERATIONS.md` for the full table.
+//! Stops after `DMML_SERVE_HOLD_MS` milliseconds when set (CI smoke runs);
+//! otherwise serves forever.
+
+use dmml::obs::serve::MetricsServer;
+use dmml::obs::StatsRegistry;
+use dmml::serve::{ScoringServer, ServeConfig};
+use std::sync::Arc;
+
+fn main() {
+    let registry = Arc::new(StatsRegistry::new());
+    let cfg = ServeConfig::from_env();
+    let server = match ScoringServer::start(cfg, Arc::clone(&registry)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", server.banner());
+    let metrics = MetricsServer::from_env(Arc::clone(&registry)).map(|r| match r {
+        Ok(m) => {
+            println!("metrics listening on http://{}/metrics", m.addr());
+            m
+        }
+        Err(e) => {
+            eprintln!("metrics bind failed: {e}");
+            std::process::exit(1);
+        }
+    });
+
+    match std::env::var("DMML_SERVE_HOLD_MS").ok().and_then(|v| v.parse::<u64>().ok()) {
+        Some(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    if let Some(m) = metrics {
+        m.shutdown();
+    }
+    server.shutdown();
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Snapshot the headline benchmarks (E2 compressed matrix-vector, E5 rewrite
 # wins, E10 buffer pool, E13 parallel scaling, E14 out-of-core degradation,
-# E16 kernel microbenchmarks)
+# E16 kernel microbenchmarks, E17 multi-tenant serving)
 # into BENCH_<date>.json at the repo root, so perf drift between PRs is
 # visible in version control.
 #
@@ -15,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_$(date +%Y%m%d).json}"
 
-benches=(e02_cla_mv e05_rewrites e10_bufferpool e13_parallel_scaling e14_out_of_core e16_kernels)
+benches=(e02_cla_mv e05_rewrites e10_bufferpool e13_parallel_scaling e14_out_of_core e16_kernels e17_serving)
 
 {
     printf '{\n'

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Multi-tenant load generator for the scoring server (`dm-serve`).
+
+Speaks the server's length-prefixed JSON protocol (4-byte big-endian
+frame length, then a UTF-8 JSON request — see
+`crates/serve/src/protocol.rs`) with N concurrent tenants, each on its own
+connection. Every tenant scores the same program family with
+tenant-specific data, alternating two input size classes so the run
+exercises plan-cache hits AND misses, and optionally marks requests
+batchable so concurrent vector scorings coalesce.
+
+Two ways to point it at a server, both stdlib-only:
+
+* `--spawn CMD...` — run CMD (typically
+  `cargo run --release --example scoring_server`) with
+  `DMML_SERVE_ADDR=127.0.0.1:0`, parse the `scoring listening on ADDR`
+  banner, run the load, then terminate it.
+* `--addr HOST:PORT` — load an already-running server.
+
+Exit code 0 iff every request got a well-formed, successful response
+(`protocol errors: 0`). Prints a one-line summary plus per-tenant p50/p99
+latency, suitable for the warn-only CI smoke job and for eyeballing E17.
+
+Usage:
+  scripts/loadgen.py --tenants 4 --requests 25 --spawn \\
+      cargo run --release --example scoring_server
+  scripts/loadgen.py --addr 127.0.0.1:7878 --tenants 8 --requests 50 --batch
+"""
+
+import argparse
+import json
+import os
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+BANNER = "scoring listening on "
+
+
+def send_frame(sock: socket.socket, payload: str) -> None:
+    raw = payload.encode("utf-8")
+    sock.sendall(struct.pack(">I", len(raw)) + raw)
+
+
+def recv_frame(sock: socket.socket) -> str:
+    header = b""
+    while len(header) < 4:
+        chunk = sock.recv(4 - len(header))
+        if not chunk:
+            raise ConnectionError("server closed mid-header")
+        header += chunk
+    (n,) = struct.unpack(">I", header)
+    body = b""
+    while len(body) < n:
+        chunk = sock.recv(min(65536, n - len(body)))
+        if not chunk:
+            raise ConnectionError("server closed mid-frame")
+        body += chunk
+    return body.decode("utf-8")
+
+
+def score_request(tenant: str, seq: int, batch: bool) -> dict:
+    """Alternate two size classes of the same program: even sequence
+    numbers share one plan-cache entry, odd ones another. In batch mode
+    the program is `X %*% v` — root matmul against the vector, which is
+    what the server's micro-batcher coalesces — and the model matrix X
+    depends only on the sequence number, so concurrent tenants at the
+    same sequence share bit-identical context and may land in one gemm.
+    """
+    n = 64 if seq % 2 == 0 else 192
+    d = 8
+    x = [((i * 13 + seq * 7) % 23) * 0.31 - 2.0 for i in range(n * d)]
+    v = [((i * 5 + seq) % 11) * 0.17 - 0.6 for i in range(d)]
+    req = {
+        "tenant": tenant,
+        "cmd": "score",
+        "program": "X %*% v" if batch else "t(X) %*% (X %*% v)",
+        "inputs": {
+            "X": {"rows": n, "cols": d, "data": x},
+            "v": {"rows": d, "cols": 1, "data": v},
+        },
+    }
+    if batch:
+        req["batch"] = True
+    return req
+
+
+class TenantStats:
+    def __init__(self):
+        self.latencies_ms = []
+        self.cache_hits = 0
+        self.batched = 0
+        self.errors = []
+
+
+def run_tenant(addr, tenant: str, requests: int, batch: bool, stats: TenantStats) -> None:
+    try:
+        with socket.create_connection(addr, timeout=30) as sock:
+            send_frame(sock, json.dumps({"tenant": tenant, "cmd": "ping"}))
+            pong = json.loads(recv_frame(sock))
+            if pong.get("kind") != "pong":
+                stats.errors.append(f"bad pong: {pong}")
+                return
+            for seq in range(requests):
+                t0 = time.monotonic()
+                send_frame(sock, json.dumps(score_request(tenant, seq, batch)))
+                resp = json.loads(recv_frame(sock))
+                stats.latencies_ms.append((time.monotonic() - t0) * 1e3)
+                if not resp.get("ok"):
+                    stats.errors.append(f"seq {seq}: {resp.get('error')}")
+                    continue
+                if resp.get("kind") != "matrix" or "data" not in resp:
+                    stats.errors.append(f"seq {seq}: malformed response {resp}")
+                    continue
+                stats.cache_hits += resp.get("cache") == "hit"
+                stats.batched += bool(resp.get("batched"))
+    except (OSError, ConnectionError, json.JSONDecodeError) as e:
+        stats.errors.append(f"{type(e).__name__}: {e}")
+
+
+def quantile(sorted_vals, q):
+    if not sorted_vals:
+        return float("nan")
+    idx = min(len(sorted_vals) - 1, int(q * len(sorted_vals)))
+    return sorted_vals[idx]
+
+
+def run_load(addr, tenants: int, requests: int, batch: bool) -> int:
+    per_tenant = {f"tenant-{i}": TenantStats() for i in range(tenants)}
+    threads = [
+        threading.Thread(target=run_tenant, args=(addr, name, requests, batch, st))
+        for name, st in per_tenant.items()
+    ]
+    t0 = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall_s = time.monotonic() - t0
+
+    all_lat, errors, hits, batched, done = [], [], 0, 0, 0
+    for name, st in sorted(per_tenant.items()):
+        lat = sorted(st.latencies_ms)
+        all_lat.extend(lat)
+        done += len(lat)
+        hits += st.cache_hits
+        batched += st.batched
+        errors.extend(f"{name}: {e}" for e in st.errors)
+        print(
+            f"{name}: {len(lat)} requests, p50 {quantile(lat, 0.50):.2f} ms, "
+            f"p99 {quantile(lat, 0.99):.2f} ms, {st.cache_hits} cache hits, "
+            f"{st.batched} batched"
+        )
+    all_lat.sort()
+    expected = tenants * requests
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    print(
+        f"loadgen: {done}/{expected} responses in {wall_s:.2f}s "
+        f"({done / wall_s:.0f} req/s), p50 {quantile(all_lat, 0.50):.2f} ms, "
+        f"p99 {quantile(all_lat, 0.99):.2f} ms, "
+        f"cache hits {hits}, batched {batched}, protocol errors: {len(errors)}"
+    )
+    return 0 if not errors and done == expected else 1
+
+
+def spawn_server(cmd):
+    env = dict(os.environ, DMML_SERVE_ADDR="127.0.0.1:0")
+    proc = subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE, text=True)
+    assert proc.stdout is not None
+    addr = None
+    for line in proc.stdout:
+        sys.stdout.write(line)
+        if line.startswith(BANNER):
+            host, _, port = line[len(BANNER):].strip().rpartition(":")
+            addr = (host, int(port))
+            break
+    if addr is None:
+        proc.terminate()
+        raise SystemExit(f"{cmd[0]} exited without printing the scoring banner")
+    return proc, addr
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--tenants", type=int, default=4)
+    ap.add_argument("--requests", type=int, default=25, help="requests per tenant")
+    ap.add_argument("--batch", action="store_true", help="mark requests batchable")
+    ap.add_argument("--addr", help="host:port of a running server")
+    ap.add_argument("--spawn", nargs=argparse.REMAINDER,
+                    help="command to start a server (everything after --spawn)")
+    args = ap.parse_args()
+
+    if args.spawn:
+        proc, addr = spawn_server(args.spawn)
+        try:
+            return run_load(addr, args.tenants, args.requests, args.batch)
+        finally:
+            proc.terminate()
+            try:
+                proc.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.communicate()
+    elif args.addr:
+        host, _, port = args.addr.rpartition(":")
+        return run_load((host, int(port)), args.tenants, args.requests, args.batch)
+    else:
+        ap.error("one of --addr or --spawn is required")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,10 @@
 //! [`data`] provides the deterministic synthetic generators used by every
 //! experiment; [`par`] is the scoped worker pool behind every parallel
 //! kernel (degree via `DMML_THREADS`, bit-identical to serial at any
-//! degree); [`obs`] is the stats/profiling layer.
+//! degree); [`obs`] is the stats/profiling layer; [`serve`] is the
+//! multi-tenant scoring server (plan cache, memory admission,
+//! micro-batching) that turns the single-shot pipeline into a long-lived
+//! service — see `docs/OPERATIONS.md` for running it.
 //!
 //! ## Quickstart
 //!
@@ -31,6 +34,8 @@
 //! let model = LinearRegression::fit(&d.x, &d.y, Solver::NormalEquations, 0.0).unwrap();
 //! assert!(model.r2(&d.x, &d.y) > 0.99);
 //! ```
+
+#![warn(missing_docs)]
 
 pub use dm_buffer as buffer;
 pub use dm_compress as compress;
@@ -44,6 +49,7 @@ pub use dm_obs as obs;
 pub use dm_par as par;
 pub use dm_pipeline as pipeline;
 pub use dm_rel as rel;
+pub use dm_serve as serve;
 
 /// The most commonly used types, importable with one `use`.
 pub mod prelude {
