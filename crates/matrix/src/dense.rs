@@ -36,12 +36,17 @@ impl Dense {
 
     /// Build from a flat row-major vector.
     ///
-    /// Returns [`MatrixError::ShapeMismatch`] when `data.len() != rows * cols`.
+    /// Returns [`MatrixError::ShapeMismatch`] when `data.len() != rows * cols`,
+    /// including when `rows * cols` overflows `usize` (a wrapped product must
+    /// not let absurd claimed dims pass validation with a short vector).
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, MatrixError> {
-        if data.len() != rows * cols {
-            return Err(MatrixError::ShapeMismatch { expected: rows * cols, actual: data.len() });
+        match rows.checked_mul(cols) {
+            Some(n) if n == data.len() => Ok(Dense { rows, cols, data }),
+            expected => Err(MatrixError::ShapeMismatch {
+                expected: expected.unwrap_or(usize::MAX),
+                actual: data.len(),
+            }),
         }
-        Ok(Dense { rows, cols, data })
     }
 
     /// Build from row slices.
@@ -326,6 +331,10 @@ mod tests {
         assert!(Dense::from_vec(2, 2, vec![1.0; 4]).is_ok());
         let err = Dense::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
         assert_eq!(err, MatrixError::ShapeMismatch { expected: 4, actual: 3 });
+        // rows*cols wrapping to 0 in release builds must not validate an
+        // empty vector against absurd claimed dims.
+        let huge = 1usize << 32;
+        assert!(Dense::from_vec(huge, huge, Vec::new()).is_err());
     }
 
     #[test]

@@ -324,11 +324,16 @@ pub fn decode_request(raw: &str) -> Result<Request, String> {
             let rows = json_usize(v.get("rows").ok_or("input missing rows")?, "rows")?;
             let cols = json_usize(v.get("cols").ok_or("input missing cols")?, "cols")?;
             let data = json_data(v.get("data").ok_or("input missing data")?)?;
-            if data.len() != rows * cols {
+            // checked_mul: claimed dims like 2^32 x 2^32 would wrap to 0 in
+            // release builds and let an empty `data` impersonate a matrix
+            // far larger than any frame could carry.
+            let expected = rows
+                .checked_mul(cols)
+                .ok_or_else(|| format!("input {name:?}: rows*cols overflows ({rows} x {cols})"))?;
+            if data.len() != expected {
                 return Err(format!(
-                    "input {name:?}: data length {} != rows*cols {}",
+                    "input {name:?}: data length {} != rows*cols {expected}",
                     data.len(),
-                    rows * cols
                 ));
             }
             inputs.push((name.clone(), InputValue::Matrix { rows, cols, data }));
@@ -380,11 +385,19 @@ pub fn decode_response(raw: &str) -> Result<Response, String> {
             let result = if kind == "scalar" {
                 ScoreResult::Scalar(json_f64(j.get("value").ok_or("missing value")?)?)
             } else {
-                ScoreResult::Matrix {
-                    rows: json_usize(j.get("rows").ok_or("missing rows")?, "rows")?,
-                    cols: json_usize(j.get("cols").ok_or("missing cols")?, "cols")?,
-                    data: json_data(j.get("data").ok_or("missing data")?)?,
+                let rows = json_usize(j.get("rows").ok_or("missing rows")?, "rows")?;
+                let cols = json_usize(j.get("cols").ok_or("missing cols")?, "cols")?;
+                let data = json_data(j.get("data").ok_or("missing data")?)?;
+                match rows.checked_mul(cols) {
+                    Some(n) if n == data.len() => {}
+                    _ => {
+                        return Err(format!(
+                            "result data length {} != rows*cols ({rows} x {cols})",
+                            data.len()
+                        ))
+                    }
                 }
+                ScoreResult::Matrix { rows, cols, data }
             };
             Ok(Response::Score {
                 result,
@@ -506,6 +519,28 @@ mod tests {
         assert!(decode_request("{\"tenant\":\"t\",\"cmd\":\"nope\"}").is_err());
         assert!(decode_request(
             "{\"tenant\":\"t\",\"inputs\":{\"X\":{\"rows\":2,\"cols\":2,\"data\":[1]}}}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn overflowing_dims_are_rejected() {
+        // 2^32 x 2^32 wraps to 0 in a release-build `rows * cols`; an empty
+        // data array must NOT pass validation on that wrapped product.
+        let raw = format!(
+            "{{\"tenant\":\"t\",\"program\":\"X\",\"inputs\":{{\"X\":{{\"rows\":{n},\"cols\":{n},\"data\":[]}}}}}}",
+            n = 1u64 << 32
+        );
+        assert!(decode_request(&raw).is_err());
+        // Same guard on the response path: a lying server must not hand the
+        // client a matrix whose claimed dims overflow or mismatch the data.
+        let resp = format!(
+            "{{\"ok\":true,\"kind\":\"matrix\",\"rows\":{n},\"cols\":{n},\"data\":[]}}",
+            n = 1u64 << 32
+        );
+        assert!(decode_response(&resp).is_err());
+        assert!(decode_response(
+            "{\"ok\":true,\"kind\":\"matrix\",\"rows\":2,\"cols\":2,\"data\":[1]}"
         )
         .is_err());
     }

@@ -48,6 +48,7 @@ use dm_matrix::{Dense, Matrix};
 use dm_obs::profile::ProfileStore;
 use dm_obs::{Recorder, StatsRegistry};
 use dm_par::WorkerPool;
+use std::collections::BTreeSet;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -70,6 +71,12 @@ pub const SERVE_BATCH_DEADLINE_ENV: &str = "DMML_SERVE_BATCH_DEADLINE_MS";
 pub const SERVE_BATCH_MAX_ENV: &str = "DMML_SERVE_BATCH_MAX";
 /// `DMML_SERVE_PLAN_CACHE` — plan-cache capacity in plans (default 64).
 pub const SERVE_PLAN_CACHE_ENV: &str = "DMML_SERVE_PLAN_CACHE";
+/// `DMML_SERVE_TENANT_SERIES` — max distinct tenants given their own
+/// `serve.tenant.<id>.latency_ns` histogram (default 64). Registry entries
+/// are never evicted, so without a cap any client minting fresh tenant
+/// names would grow the registry and `/metrics` output without bound;
+/// tenants past the cap share the `serve.tenant.other.latency_ns` bucket.
+pub const SERVE_TENANT_SERIES_ENV: &str = "DMML_SERVE_TENANT_SERIES";
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
@@ -89,6 +96,9 @@ pub struct ServeConfig {
     pub batch_max: usize,
     /// Plan-cache capacity in plans.
     pub plan_cache: usize,
+    /// Max distinct tenants with their own latency histogram; the rest
+    /// share the `other` bucket.
+    pub tenant_series: usize,
     /// Shared memory budget for certification and admission.
     pub budget: MemoryBudget,
     /// Degree of parallelism plans are compiled for.
@@ -111,6 +121,7 @@ impl ServeConfig {
             batch_deadline: Duration::from_millis(env_usize(SERVE_BATCH_DEADLINE_ENV, 2) as u64),
             batch_max: env_usize(SERVE_BATCH_MAX_ENV, 8),
             plan_cache: env_usize(SERVE_PLAN_CACHE_ENV, 64).max(1),
+            tenant_series: env_usize(SERVE_TENANT_SERIES_ENV, 64).max(1),
             budget: MemoryBudget::from_env(),
             degree: dm_par::default_degree(),
         }
@@ -125,6 +136,7 @@ impl ServeConfig {
             batch_deadline: Duration::from_millis(5),
             batch_max: 8,
             plan_cache: 64,
+            tenant_series: 64,
             budget: MemoryBudget::unbounded(),
             degree: 1,
         }
@@ -141,7 +153,72 @@ struct Shared {
     spill: Option<SharedBufferPool<Box<dyn Storage>>>,
     batcher: Batcher,
     model: CostModel,
-    seq: AtomicU64,
+    spill_slots: SpillSlots,
+    /// Tenants granted their own latency series, capped at
+    /// `cfg.tenant_series`; later tenants share the `other` bucket.
+    tenants: Mutex<BTreeSet<String>>,
+}
+
+/// Allocator of disjoint spill-pool matrix-id namespaces for concurrent
+/// executors sharing one pool (see [`Executor::with_spill_pool`]: ranges
+/// **must never** alias). Each slot owns the 2^32-id range
+/// `slot << 32 ..`, and slots return to a free list when their request
+/// finishes, so a long-lived server reuses the handful of slots its
+/// concurrency actually needs instead of marching a counter into wrap-
+/// around after 2^32 requests. Reuse is safe: blocked kernels write every
+/// panel they later read and discard their stores when done, so a slot's
+/// keys are dead by the time it is released.
+struct SpillSlots {
+    free: Mutex<Vec<u64>>,
+    next: AtomicU64,
+}
+
+impl SpillSlots {
+    fn new() -> Self {
+        SpillSlots { free: Mutex::new(Vec::new()), next: AtomicU64::new(0) }
+    }
+
+    /// Claim a slot; its id range is `slot << 32 .. (slot + 1) << 32`.
+    fn acquire(&self) -> u64 {
+        if let Some(slot) = self.free.lock().expect("slots poisoned").pop() {
+            return slot;
+        }
+        let slot = self.next.fetch_add(1, Ordering::Relaxed);
+        // Fresh slots are minted only up to peak concurrency (workers +
+        // batch followers), which is nowhere near 2^32; the shift below
+        // would silently alias ranges if that ever stopped being true.
+        assert!(slot < u32::MAX as u64, "spill slot allocator exhausted");
+        slot
+    }
+
+    fn release(&self, slot: u64) {
+        self.free.lock().expect("slots poisoned").push(slot);
+    }
+}
+
+/// RAII claim on a [`SpillSlots`] slot: releases on drop so error paths
+/// and panics in kernel code still return the namespace to the free list.
+struct SlotGuard<'a> {
+    slots: &'a SpillSlots,
+    slot: u64,
+}
+
+impl<'a> SlotGuard<'a> {
+    fn acquire(slots: &'a SpillSlots) -> Self {
+        let slot = slots.acquire();
+        SlotGuard { slots, slot }
+    }
+
+    /// First matrix id of this slot's disjoint range.
+    fn first_matrix_id(&self) -> u64 {
+        self.slot << 32
+    }
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.slots.release(self.slot);
+    }
 }
 
 /// The multi-tenant scoring server. Construct with [`start`](Self::start);
@@ -186,7 +263,8 @@ impl ScoringServer {
             registry,
             spill,
             model,
-            seq: AtomicU64::new(0),
+            spill_slots: SpillSlots::new(),
+            tenants: Mutex::new(BTreeSet::new()),
             cfg,
         });
         let stop = Arc::new(AtomicBool::new(false));
@@ -264,7 +342,23 @@ impl Drop for ScoringServer {
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, stop: &AtomicBool) {
     let pool = WorkerPool::new(shared.cfg.workers, "serve");
     loop {
-        let Ok((stream, _)) = listener.accept() else { break };
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) => {
+                // Transient errors (ECONNABORTED on a reset handshake,
+                // EMFILE/ENFILE under fd pressure) must not kill the accept
+                // thread while the process looks healthy: log, back off a
+                // beat so fd exhaustion doesn't spin, and keep accepting.
+                // Only the stop flag ends the loop.
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                shared.registry.add("serve.accept.errors", 1);
+                eprintln!("serve: accept error (retrying): {e}");
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
         if stop.load(Ordering::SeqCst) {
             break;
         }
@@ -318,8 +412,39 @@ fn handle_request(shared: &Arc<Shared>, raw: &str) -> Response {
     }
     let ns = started.elapsed().as_nanos() as u64;
     reg.record_histogram("serve.latency_ns", ns);
-    reg.record_histogram(&format!("serve.tenant.{}.latency_ns", req.tenant), ns);
+    reg.record_histogram(
+        &format!("serve.tenant.{}.latency_ns", tenant_series(shared, &req.tenant)),
+        ns,
+    );
     resp
+}
+
+/// The metric label a tenant's latency records under. The first
+/// `cfg.tenant_series` distinct tenants get their own series; anyone past
+/// the cap shares `other`, so a client minting fresh 64-char tenant names
+/// cannot grow the never-evicting registry (and `/metrics` output)
+/// without bound.
+fn tenant_series<'a>(shared: &Arc<Shared>, tenant: &'a str) -> &'a str {
+    let mut tracked = shared.tenants.lock().expect("tenants poisoned");
+    if admit_tenant_series(&mut tracked, shared.cfg.tenant_series, tenant) {
+        tenant
+    } else {
+        shared.registry.add("serve.tenant_overflow", 1);
+        "other"
+    }
+}
+
+/// Whether `tenant` gets (or already has) its own metric series under the
+/// cardinality cap; `false` means it records under the `other` bucket.
+fn admit_tenant_series(tracked: &mut BTreeSet<String>, cap: usize, tenant: &str) -> bool {
+    if tracked.contains(tenant) {
+        return true;
+    }
+    if tracked.len() < cap {
+        tracked.insert(tenant.to_owned());
+        return true;
+    }
+    false
 }
 
 /// Measure a bound input's non-zero fraction for the sparsity bucket.
@@ -457,10 +582,16 @@ fn build_env(inputs: &[(String, InputValue)]) -> Env {
 /// pages.
 fn execute(shared: &Arc<Shared>, prog: &CompiledProgram, env: Env) -> Result<Val, String> {
     let mut ex = Executor::with_plan(&prog.graph, prog.plan.clone()).without_env_sinks().profiled();
-    if let Some(pool) = &shared.spill {
-        let seq = shared.seq.fetch_add(1, Ordering::Relaxed) + 1;
-        ex = ex.with_spill_pool(pool.clone(), seq << 32);
-    }
+    // Held for the whole execution: the guard's id range is this request's
+    // private spill namespace, returned to the free list on drop.
+    let _slot = match &shared.spill {
+        Some(pool) => {
+            let guard = SlotGuard::acquire(&shared.spill_slots);
+            ex = ex.with_spill_pool(pool.clone(), guard.first_matrix_id());
+            Some(guard)
+        }
+        None => None,
+    };
     let out = ex.eval(prog.root, &env).map_err(|e| e.to_string())?;
     ex.record_stats(shared.registry.as_ref());
     let mut profiles = shared.profiles.lock().expect("profiles poisoned");
@@ -669,5 +800,36 @@ mod tests {
     fn measured_sparsity_counts_nonzeros() {
         assert_eq!(measured_sparsity(&[0.0, 1.0, 0.0, 2.0]), 0.5);
         assert_eq!(measured_sparsity(&[]), 1.0);
+    }
+
+    #[test]
+    fn tenant_series_cardinality_is_capped() {
+        let mut tracked = BTreeSet::new();
+        assert!(admit_tenant_series(&mut tracked, 2, "a"));
+        assert!(admit_tenant_series(&mut tracked, 2, "b"));
+        // Cap reached: a fresh tenant overflows to the shared bucket...
+        assert!(!admit_tenant_series(&mut tracked, 2, "c"));
+        // ...while already-tracked tenants keep their own series.
+        assert!(admit_tenant_series(&mut tracked, 2, "a"));
+        assert_eq!(tracked.len(), 2, "overflow tenants are not tracked");
+    }
+
+    #[test]
+    fn spill_slots_reuse_released_ranges() {
+        let slots = SpillSlots::new();
+        let a = SlotGuard::acquire(&slots);
+        let b = SlotGuard::acquire(&slots);
+        let (ida, idb) = (a.first_matrix_id(), b.first_matrix_id());
+        assert_ne!(ida, idb, "concurrent slots get disjoint ranges");
+        assert_eq!(idb - ida, 1 << 32, "each slot owns a 2^32-id range");
+        drop(a);
+        // A released slot is reused instead of minting a fresh range, so
+        // the namespace never marches toward wrap-around on a long-lived
+        // server.
+        let c = SlotGuard::acquire(&slots);
+        assert_eq!(c.first_matrix_id(), ida);
+        drop(b);
+        drop(c);
+        assert_eq!(slots.next.load(Ordering::Relaxed), 2, "only 2 slots ever minted");
     }
 }
