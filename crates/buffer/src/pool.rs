@@ -190,22 +190,22 @@ impl<S: Storage> BufferPool<S> {
     // Point-in-time trace events for pool transitions, so spill/fault
     // activity lines up with executor spans on the Chrome trace timeline.
     // The enabled check gates the page-label formatting, not just the push.
-    fn trace_page(name: &str, key: PageKey) {
+    fn trace_page(name: &'static str, key: PageKey) {
         if trace::is_enabled() {
             trace::instant(
                 name,
-                &[("page", format!("{}/{},{}", key.matrix, key.block_row, key.block_col))],
+                &[("page", format!("{}/{},{}", key.matrix, key.block_row, key.block_col).into())],
             );
         }
     }
 
-    fn trace_page_bytes(name: &str, key: PageKey, bytes: usize) {
+    fn trace_page_bytes(name: &'static str, key: PageKey, bytes: usize) {
         if trace::is_enabled() {
             trace::instant(
                 name,
                 &[
-                    ("page", format!("{}/{},{}", key.matrix, key.block_row, key.block_col)),
-                    ("bytes", bytes.to_string()),
+                    ("page", format!("{}/{},{}", key.matrix, key.block_row, key.block_col).into()),
+                    ("bytes", bytes.into()),
                 ],
             );
         }

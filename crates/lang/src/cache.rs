@@ -212,6 +212,11 @@ pub struct CompiledProgram {
     /// [`Kernel::Blocked`](crate::physical::Kernel::Blocked) — over-budget
     /// work that will stream through the spill pool instead of OOMing.
     pub blocked_nodes: usize,
+    /// Calibrated cost-model estimate of executing this plan, in
+    /// nanoseconds ([`calibrated_cost`](crate::cost::calibrated_cost) at
+    /// compile time). The serving layer compares this against observed
+    /// execute time to detect cost-model drift per plan-cache entry.
+    pub est_cost_ns: u64,
 }
 
 impl CompiledProgram {
@@ -219,6 +224,32 @@ impl CompiledProgram {
     /// Admission control charges this against the shared budget.
     pub fn certified_peak(&self) -> Option<usize> {
         self.certificate.as_ref().map(|c| c.peak_bytes)
+    }
+
+    /// Compact `op/kernel` summary of the plan's compute nodes (inputs and
+    /// scalar constants omitted), most frequent first, e.g.
+    /// `"matmul/parallel sum/dense x2"`. This is what the flight recorder
+    /// shows per request, so an operator can tell at a glance which kernels
+    /// a slow request ran without dumping the whole plan.
+    pub fn kernel_summary(&self) -> String {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for id in self.graph.reachable(self.root) {
+            if matches!(self.graph.op(id), crate::expr::Op::Input(_) | crate::expr::Op::Const(_)) {
+                continue;
+            }
+            let label =
+                format!("{}/{}", crate::explain::op_label(&self.graph, id), self.plan.kernel(id));
+            match counts.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((label, 1)),
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        counts
+            .iter()
+            .map(|(l, n)| if *n > 1 { format!("{l} x{n}") } else { l.clone() })
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 }
 
@@ -276,7 +307,12 @@ pub fn compile(
         None
     };
     let blocked_nodes = plan.nodes_with(crate::physical::Kernel::Blocked).len();
-    Ok(CompiledProgram { graph, root, plan, rewrites, certificate, blocked_nodes })
+    // Price the plan once at compile time; serving compares observed execute
+    // time against this to spot per-plan cost-model drift.
+    let est_cost_ns = crate::cost::calibrated_cost(&graph, root, inputs, &plan, model)
+        .map(|ns| u64::try_from(ns).unwrap_or(u64::MAX))
+        .unwrap_or(0);
+    Ok(CompiledProgram { graph, root, plan, rewrites, certificate, blocked_nodes, est_cost_ns })
 }
 
 #[derive(Debug)]
@@ -481,6 +517,10 @@ mod tests {
         assert!(p.certificate.is_some());
         assert_eq!(p.blocked_nodes, 0);
         assert!(p.certified_peak().unwrap() > 0);
+        assert!(p.est_cost_ns > 0, "calibrated estimate priced at compile time");
+        let summary = p.kernel_summary();
+        assert!(summary.contains("crossprod/"), "{summary}");
+        assert!(!summary.contains("input"), "{summary}");
     }
 
     #[test]

@@ -145,16 +145,23 @@ pub enum KernelChoice {
     Blocked,
 }
 
-impl fmt::Display for KernelChoice {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl KernelChoice {
+    /// Static lowercase name, used as a span argument and by `Display`.
+    pub fn name(self) -> &'static str {
+        match self {
             KernelChoice::Dense => "dense",
             KernelChoice::Sparse => "sparse",
             KernelChoice::Fused => "fused",
             KernelChoice::Scalar => "scalar",
             KernelChoice::Parallel => "parallel",
             KernelChoice::Blocked => "blocked",
-        })
+        }
+    }
+}
+
+impl fmt::Display for KernelChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -565,18 +572,15 @@ impl<'g> Executor<'g> {
             if tracing {
                 trace::instant(
                     "exec.memo_hit",
-                    &[("node", id.to_string()), ("op", crate::explain::op_label(self.graph, id))],
+                    &[("node", id.into()), ("op", crate::explain::op_site(self.graph, id).into())],
                 );
             }
             return Ok(v.clone());
         }
         self.stats.nodes_evaluated += 1;
         let mut span = if tracing {
-            let mut s = trace::Span::enter(
-                &format!("exec.{}", crate::explain::op_label(self.graph, id)),
-                "exec",
-            );
-            s.arg("node", id.to_string());
+            let mut s = trace::Span::enter(crate::explain::op_site(self.graph, id), "exec");
+            s.arg("node", id);
             Some(s)
         } else {
             None
@@ -594,15 +598,16 @@ impl<'g> Executor<'g> {
             self.eval_profiled(id, env)
         };
         if let (Some(s), Ok(val)) = (&mut span, &result) {
-            s.arg("kernel", self.kernel_choice(id, val).to_string());
+            s.arg("kernel", self.kernel_choice(id, val).name());
             let (rows, cols) = match val {
                 Val::Scalar(_) => (1, 1),
                 Val::Matrix(m) => (m.rows(), m.cols()),
             };
-            s.arg("dims", format!("{rows}x{cols}"));
+            s.arg("rows", rows);
+            s.arg("cols", cols);
             // Flops accumulated by this node *and* its children — the child
             // spans nested under this one carry their own subtree counts.
-            s.arg("flops", (self.stats.flops - flops_before).to_string());
+            s.arg("flops", self.stats.flops - flops_before);
         }
         result
     }

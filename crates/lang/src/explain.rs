@@ -17,34 +17,45 @@ pub const SPARSITY_DRIFT_THRESHOLD: f64 = 0.05;
 
 /// Short mnemonic for an operator, used in explain trees and profile tables.
 pub fn op_label(graph: &Graph, id: NodeId) -> String {
-    match graph.op(id) {
-        Op::Input(n) => format!("input {n}"),
-        Op::Const(v) => format!("const {v}"),
-        Op::MatMul(_, _) => "matmul".into(),
-        Op::Transpose(_) => "t".into(),
+    match op_site(graph, id) {
+        std::borrow::Cow::Borrowed(s) => s["exec.".len()..].to_owned(),
+        std::borrow::Cow::Owned(s) => s["exec.".len()..].to_owned(),
+    }
+}
+
+/// [`op_label`] prefixed with `exec.`, as the executor's per-node span-site
+/// name. Borrows a static string for every fixed-name op so the hot path
+/// (one span per evaluated node, on every served request) records without
+/// allocating; only `input`/`const` nodes format their label.
+pub fn op_site(graph: &Graph, id: NodeId) -> std::borrow::Cow<'static, str> {
+    std::borrow::Cow::Borrowed(match graph.op(id) {
+        Op::Input(n) => return format!("exec.input {n}").into(),
+        Op::Const(v) => return format!("exec.const {v}").into(),
+        Op::MatMul(_, _) => "exec.matmul",
+        Op::Transpose(_) => "exec.t",
         Op::Ewise(e, _, _) => match e {
-            EwiseOp::Add => "ewise +".into(),
-            EwiseOp::Sub => "ewise -".into(),
-            EwiseOp::Mul => "ewise *".into(),
-            EwiseOp::Div => "ewise /".into(),
+            EwiseOp::Add => "exec.ewise +",
+            EwiseOp::Sub => "exec.ewise -",
+            EwiseOp::Mul => "exec.ewise *",
+            EwiseOp::Div => "exec.ewise /",
         },
         Op::Unary(u, _) => match u {
-            UnaryOp::Exp => "exp".into(),
-            UnaryOp::Log => "log".into(),
-            UnaryOp::Sqrt => "sqrt".into(),
-            UnaryOp::Abs => "abs".into(),
+            UnaryOp::Exp => "exec.exp",
+            UnaryOp::Log => "exec.log",
+            UnaryOp::Sqrt => "exec.sqrt",
+            UnaryOp::Abs => "exec.abs",
         },
         Op::Agg(a, _) => match a {
-            AggOp::Sum => "sum".into(),
-            AggOp::ColSums => "colSums".into(),
-            AggOp::RowSums => "rowSums".into(),
-            AggOp::Min => "min".into(),
-            AggOp::Max => "max".into(),
+            AggOp::Sum => "exec.sum",
+            AggOp::ColSums => "exec.colSums",
+            AggOp::RowSums => "exec.rowSums",
+            AggOp::Min => "exec.min",
+            AggOp::Max => "exec.max",
         },
-        Op::CrossProd(_) => "crossprod".into(),
-        Op::Tmv(_, _) => "tmv".into(),
-        Op::SumSq(_) => "sumSq".into(),
-    }
+        Op::CrossProd(_) => "exec.crossprod",
+        Op::Tmv(_, _) => "exec.tmv",
+        Op::SumSq(_) => "exec.sumSq",
+    })
 }
 
 fn annotation(

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flightrec;
 pub mod histogram;
 pub mod json;
 pub mod profile;
@@ -61,6 +62,7 @@ pub mod serve;
 pub mod stats;
 pub mod trace;
 
+pub use flightrec::{FlightRecorder, Phase, RequestRecord};
 pub use histogram::{HistogramSnapshot, LogHistogram};
 pub use profile::{ProfileError, ProfileStore};
 pub use recorder::{timed, NoopRecorder, Recorder};

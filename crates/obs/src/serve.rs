@@ -43,6 +43,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::export::{prometheus_text, stats_json};
+use crate::flightrec::FlightRecorder;
 use crate::registry::StatsRegistry;
 
 /// Environment variable that, when set to `host:port`, enables the scrape
@@ -64,13 +65,25 @@ impl MetricsServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
     /// serving `registry` from a background thread.
     pub fn start<A: ToSocketAddrs>(addr: A, registry: Arc<StatsRegistry>) -> std::io::Result<Self> {
+        Self::start_with_flight(addr, registry, None)
+    }
+
+    /// Like [`start`](MetricsServer::start), additionally mounting a
+    /// [`FlightRecorder`] under the `/debug/*` endpoints (`/debug/requests`,
+    /// `/debug/slow`, `/debug/trace?id=`). Without a recorder those paths
+    /// answer 404.
+    pub fn start_with_flight<A: ToSocketAddrs>(
+        addr: A,
+        registry: Arc<StatsRegistry>,
+        flight: Option<Arc<FlightRecorder>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("dmml-metrics".to_owned())
-            .spawn(move || accept_loop(listener, registry, stop2))?;
+            .spawn(move || accept_loop(listener, registry, flight, stop2))?;
         Ok(MetricsServer { addr, stop, handle: Some(handle) })
     }
 
@@ -78,8 +91,19 @@ impl MetricsServer {
     /// `None` when the variable is unset or empty; `Some(Err(..))` when it
     /// is set but the bind fails — callers decide whether that is fatal.
     pub fn from_env(registry: Arc<StatsRegistry>) -> Option<std::io::Result<Self>> {
+        Self::from_env_with_flight(registry, None)
+    }
+
+    /// [`from_env`](MetricsServer::from_env) with a [`FlightRecorder`]
+    /// mounted under `/debug/*`.
+    pub fn from_env_with_flight(
+        registry: Arc<StatsRegistry>,
+        flight: Option<Arc<FlightRecorder>>,
+    ) -> Option<std::io::Result<Self>> {
         match std::env::var(METRICS_ADDR_ENV) {
-            Ok(a) if !a.trim().is_empty() => Some(Self::start(a.trim(), registry)),
+            Ok(a) if !a.trim().is_empty() => {
+                Some(Self::start_with_flight(a.trim(), registry, flight))
+            }
             _ => None,
         }
     }
@@ -111,7 +135,12 @@ impl Drop for MetricsServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, registry: Arc<StatsRegistry>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    registry: Arc<StatsRegistry>,
+    flight: Option<Arc<FlightRecorder>>,
+    stop: Arc<AtomicBool>,
+) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             return;
@@ -120,24 +149,77 @@ fn accept_loop(listener: TcpListener, registry: Arc<StatsRegistry>, stop: Arc<At
         // A stalled client must not wedge the scrape endpoint.
         let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-        let _ = handle_conn(stream, &registry);
+        let _ = handle_conn(stream, &registry, flight.as_deref());
     }
 }
 
-fn handle_conn(mut stream: TcpStream, registry: &StatsRegistry) -> std::io::Result<()> {
-    let path = read_request_path(&mut stream)?;
-    let report = registry.report();
-    let (status, content_type, body) = match path.as_deref() {
-        Some("/metrics") | Some("/") => {
-            ("200 OK", PROMETHEUS_CONTENT_TYPE, prometheus_text(&report))
+/// Value of query parameter `key` in `query` (`a=1&b=2` form, no decoding).
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').filter_map(|kv| kv.split_once('=')).find(|(k, _)| *k == key).map(|(_, v)| v)
+}
+
+/// Answer the `/debug/*` family from the mounted flight recorder.
+fn debug_response(
+    route: &str,
+    query: &str,
+    flight: Option<&FlightRecorder>,
+) -> (&'static str, &'static str, String) {
+    let Some(fr) = flight else {
+        return (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "no flight recorder mounted\n".to_owned(),
+        );
+    };
+    match route {
+        "/debug/requests" => {
+            let n = query_param(query, "n").and_then(|v| v.parse::<usize>().ok()).unwrap_or(32);
+            ("200 OK", "application/json", fr.requests_json(n))
         }
-        Some("/stats.json") => ("200 OK", "application/json", stats_json(&report)),
-        // Readiness probe: answering at all means the accept loop is up.
-        Some("/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
+        "/debug/slow" => ("200 OK", "application/json", fr.slow_json()),
+        "/debug/trace" => {
+            let id = query_param(query, "id").and_then(|v| v.parse::<u64>().ok());
+            match id.and_then(|id| fr.trace_json(id)) {
+                Some(body) => ("200 OK", "application/json", body),
+                None => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "unknown or evicted request id; try /debug/trace?id=<id> with an id from /debug/requests\n"
+                        .to_owned(),
+                ),
+            }
+        }
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try /metrics, /stats.json or /healthz\n".to_owned(),
+            "not found; try /debug/requests, /debug/slow or /debug/trace?id=<id>\n".to_owned(),
+        ),
+    }
+}
+
+fn handle_conn(
+    mut stream: TcpStream,
+    registry: &StatsRegistry,
+    flight: Option<&FlightRecorder>,
+) -> std::io::Result<()> {
+    let path = read_request_path(&mut stream)?;
+    let path = path.as_deref().unwrap_or("");
+    let (route, query) = match path.split_once('?') {
+        Some((r, q)) => (r, q),
+        None => (path, ""),
+    };
+    let (status, content_type, body) = match route {
+        "/metrics" | "/" => {
+            ("200 OK", PROMETHEUS_CONTENT_TYPE, prometheus_text(&registry.report()))
+        }
+        "/stats.json" => ("200 OK", "application/json", stats_json(&registry.report())),
+        // Readiness probe: answering at all means the accept loop is up.
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
+        r if r.starts_with("/debug/") => debug_response(r, query, flight),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics, /stats.json, /healthz or /debug/requests\n".to_owned(),
         ),
     };
     write!(
@@ -227,6 +309,56 @@ mod tests {
         reg.add("live.counter", 42);
         let after = fetch(server.addr(), "/metrics");
         assert!(after.contains("dmml_live_counter 42"), "{after}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn debug_endpoints_serve_flight_recorder() {
+        use crate::flightrec::{FlightRecorder, Phase, RequestRecord};
+
+        let reg = Arc::new(StatsRegistry::new());
+        let fr = Arc::new(FlightRecorder::new(16, Some(Duration::from_millis(1))));
+        let id = fr.next_id();
+        let mut rec = RequestRecord::new(id, "tenant-a");
+        rec.total_ns = 5_000_000; // over the 1 ms bar → slow
+        rec.phase_ns[Phase::Execute.index()] = 5_000_000;
+        fr.record(rec);
+        let server =
+            MetricsServer::start_with_flight("127.0.0.1:0", reg, Some(Arc::clone(&fr))).unwrap();
+        let addr = server.addr();
+
+        let reqs = fetch(addr, "/debug/requests?n=4");
+        assert!(reqs.starts_with("HTTP/1.1 200 OK"), "{reqs}");
+        assert!(reqs.contains("application/json"), "{reqs}");
+        let body = reqs.split("\r\n\r\n").nth(1).unwrap();
+        let parsed = crate::json::parse(body).expect("valid json");
+        let arr = parsed.get("requests").and_then(|j| j.as_arr()).unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("tenant").and_then(|j| j.as_str()), Some("tenant-a"));
+
+        let slow = fetch(addr, "/debug/slow");
+        assert!(slow.starts_with("HTTP/1.1 200 OK"), "{slow}");
+        let body = slow.split("\r\n\r\n").nth(1).unwrap();
+        let parsed = crate::json::parse(body).expect("valid json");
+        assert_eq!(parsed.get("slow").and_then(|j| j.as_arr()).map(<[_]>::len), Some(1));
+
+        // Captured id renders a (possibly empty) Chrome trace; unknown 404s.
+        let trace = fetch(addr, &format!("/debug/trace?id={id}"));
+        assert!(trace.starts_with("HTTP/1.1 200 OK"), "{trace}");
+        assert!(trace.contains("traceEvents"), "{trace}");
+        let missing = fetch(addr, "/debug/trace?id=999999");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let bad = fetch(addr, "/debug/nope");
+        assert!(bad.starts_with("HTTP/1.1 404"), "{bad}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn debug_endpoints_404_without_recorder() {
+        let reg = Arc::new(StatsRegistry::new());
+        let server = MetricsServer::start("127.0.0.1:0", reg).unwrap();
+        let resp = fetch(server.addr(), "/debug/requests");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
         server.shutdown();
     }
 

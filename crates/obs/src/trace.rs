@@ -45,7 +45,9 @@
 //! ```
 
 use crate::json::escape_json;
+use std::borrow::Cow;
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -55,6 +57,16 @@ use std::time::Instant;
 /// to. When set, [`env_trace_path`] returns the path, executors enable span
 /// emission automatically, and [`write_env_trace`] performs the export.
 pub const TRACE_ENV: &str = "DMML_TRACE";
+
+/// Environment variable bounding the process-global event buffers (total
+/// across shards). When the bound is hit the *oldest* events are evicted
+/// ring-style and counted in [`dropped_events`]. `0` means unbounded.
+pub const TRACE_MAX_EVENTS_ENV: &str = "DMML_TRACE_MAX_EVENTS";
+
+/// Default total event-buffer capacity when `DMML_TRACE_MAX_EVENTS` is not
+/// set: generous enough for any single profiled run, small enough that an
+/// always-on server cannot grow without bound (~100 MB worst case).
+pub const DEFAULT_MAX_EVENTS: usize = 262_144;
 
 /// Number of mutex shards the global event buffer is split across. Threads
 /// hash to a shard by thread id, so concurrent workers rarely contend.
@@ -72,7 +84,12 @@ static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 // even when nanosecond timestamps tie.
 static SEQ: AtomicU64 = AtomicU64::new(1);
 
-static BUFFERS: [Mutex<Vec<TraceEvent>>; SHARDS] = [const { Mutex::new(Vec::new()) }; SHARDS];
+static BUFFERS: [Mutex<VecDeque<TraceEvent>>; SHARDS] =
+    [const { Mutex::new(VecDeque::new()) }; SHARDS];
+
+/// Events evicted from the ring since process start (monotonic; not reset by
+/// [`clear`], so long-lived servers can export it as a counter).
+static DROPPED: AtomicU64 = AtomicU64::new(0);
 
 static WORKER_BUSY_NS: [AtomicU64; MAX_WORKERS] = [const { AtomicU64::new(0) }; MAX_WORKERS];
 
@@ -141,6 +158,57 @@ pub fn current() -> Option<SpanHandle> {
     STACK.with(|s| s.borrow().last().copied())
 }
 
+/// A span/instant argument value, stored unformatted until export so the
+/// hot path (node ids, flop counts, byte sizes) never touches the string
+/// formatting machinery. Rendered by [`chrome_trace`]: strings quoted,
+/// numbers as bare JSON numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgVal {
+    /// A string value, JSON-quoted in the export.
+    Str(Cow<'static, str>),
+    /// An unsigned integer, exported as a bare number.
+    U64(u64),
+}
+
+impl From<&'static str> for ArgVal {
+    fn from(s: &'static str) -> ArgVal {
+        ArgVal::Str(Cow::Borrowed(s))
+    }
+}
+
+impl From<String> for ArgVal {
+    fn from(s: String) -> ArgVal {
+        ArgVal::Str(Cow::Owned(s))
+    }
+}
+
+impl From<Cow<'static, str>> for ArgVal {
+    fn from(s: Cow<'static, str>) -> ArgVal {
+        ArgVal::Str(s)
+    }
+}
+
+impl From<u64> for ArgVal {
+    fn from(n: u64) -> ArgVal {
+        ArgVal::U64(n)
+    }
+}
+
+impl From<usize> for ArgVal {
+    fn from(n: usize) -> ArgVal {
+        ArgVal::U64(n as u64)
+    }
+}
+
+impl std::fmt::Display for ArgVal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgVal::Str(s) => f.write_str(s),
+            ArgVal::U64(n) => write!(f, "{n}"),
+        }
+    }
+}
+
 /// What kind of event a [`TraceEvent`] records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
@@ -169,8 +237,9 @@ pub enum EventKind {
 pub struct TraceEvent {
     /// Small dense per-thread id (assigned in thread-creation order).
     pub tid: u64,
-    /// Event name (op label, task label, event site).
-    pub name: String,
+    /// Event name (op label, task label, event site). `Cow` so the common
+    /// case — a static site name — records without a heap allocation.
+    pub name: Cow<'static, str>,
     /// Category shown by trace viewers (`exec`, `par`, `buffer`, `compress`).
     pub cat: &'static str,
     /// Trace id of the owning trace (0 for instants outside any span).
@@ -182,7 +251,7 @@ pub struct TraceEvent {
     /// Span or instant payload.
     pub kind: EventKind,
     /// Key/value arguments (op name, dims, flops, worker id, bytes, ...).
-    pub args: Vec<(&'static str, String)>,
+    pub args: Vec<(&'static str, ArgVal)>,
 }
 
 impl TraceEvent {
@@ -195,27 +264,82 @@ impl TraceEvent {
         }
     }
 
-    /// Value of an argument by key, if attached.
-    pub fn arg(&self, key: &str) -> Option<&str> {
-        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v.as_str())
+    /// Value of an argument by key rendered to a string, if attached.
+    pub fn arg(&self, key: &str) -> Option<String> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v.to_string())
+    }
+}
+
+/// Total event capacity across all shards. Initialized from
+/// `DMML_TRACE_MAX_EVENTS` on first use; overridable via [`set_max_events`].
+fn max_events() -> usize {
+    cap_cell().load(Ordering::Relaxed)
+}
+
+fn cap_cell() -> &'static std::sync::atomic::AtomicUsize {
+    static CAP: OnceLock<std::sync::atomic::AtomicUsize> = OnceLock::new();
+    CAP.get_or_init(|| {
+        let cap = std::env::var(TRACE_MAX_EVENTS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_MAX_EVENTS);
+        std::sync::atomic::AtomicUsize::new(cap)
+    })
+}
+
+/// Override the total event-buffer capacity (`0` = unbounded). Normally set
+/// through `DMML_TRACE_MAX_EVENTS`; exposed so embedders and tests can bound
+/// the ring without touching the process environment.
+pub fn set_max_events(cap: usize) {
+    cap_cell().store(cap, Ordering::Relaxed);
+}
+
+/// Events evicted because the ring was full, since process start. Monotonic
+/// (never reset by [`clear`]) so it can be exported as a counter.
+pub fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Publish the drop counter into a recorder as `obs.trace.dropped`. Safe to
+/// call repeatedly (e.g. once per served request): only the events dropped
+/// since the previous publish are added, so the recorder-side counter tracks
+/// the cumulative total instead of double-counting.
+pub fn record_dropped(rec: &dyn crate::Recorder) {
+    static PUBLISHED: AtomicU64 = AtomicU64::new(0);
+    if !rec.is_enabled() {
+        return;
+    }
+    let total = dropped_events();
+    let prev = PUBLISHED.swap(total, Ordering::Relaxed);
+    if total > prev {
+        rec.add("obs.trace.dropped", total - prev);
     }
 }
 
 fn push_event(ev: TraceEvent) {
     let shard = (ev.tid as usize) % SHARDS;
-    BUFFERS[shard].lock().expect("trace buffer poisoned").push(ev);
+    let cap = max_events();
+    // Per-shard slice of the total budget; ring-evict the oldest events so
+    // an always-on server keeps the most recent window.
+    let per_shard = if cap == 0 { usize::MAX } else { (cap / SHARDS).max(1) };
+    let mut buf = BUFFERS[shard].lock().expect("trace buffer poisoned");
+    while buf.len() >= per_shard {
+        buf.pop_front();
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+    buf.push_back(ev);
 }
 
 /// Record a point-in-time instant event, attached to the current span when
 /// one is open. No-op when tracing is disabled.
-pub fn instant(name: &str, args: &[(&'static str, String)]) {
+pub fn instant(name: impl Into<Cow<'static, str>>, args: &[(&'static str, ArgVal)]) {
     if !is_enabled() {
         return;
     }
     let (trace, parent) = STACK.with(|s| s.borrow().last().map_or((0, 0), |h| (h.trace, h.span)));
     push_event(TraceEvent {
         tid: tid(),
-        name: name.to_owned(),
+        name: name.into(),
         cat: "instant",
         trace,
         span: 0,
@@ -237,15 +361,15 @@ pub struct Span {
 struct LiveSpan {
     handle: SpanHandle,
     parent: u64,
-    name: String,
+    name: Cow<'static, str>,
     cat: &'static str,
     start_ns: u64,
     seq_open: u64,
-    args: Vec<(&'static str, String)>,
+    args: Vec<(&'static str, ArgVal)>,
 }
 
 impl Span {
-    fn open(parent: Option<SpanHandle>, name: &str, cat: &'static str) -> Span {
+    fn open(parent: Option<SpanHandle>, name: Cow<'static, str>, cat: &'static str) -> Span {
         if !is_enabled() {
             return Span { live: None };
         }
@@ -259,7 +383,7 @@ impl Span {
             live: Some(LiveSpan {
                 handle,
                 parent: parent_id,
-                name: name.to_owned(),
+                name,
                 cat,
                 start_ns: now_ns(),
                 seq_open: SEQ.fetch_add(1, Ordering::Relaxed),
@@ -270,19 +394,26 @@ impl Span {
 
     /// Open a span as a child of the span currently on this thread's stack
     /// (a fresh root trace when the stack is empty).
-    pub fn enter(name: &str, cat: &'static str) -> Span {
+    pub fn enter(name: impl Into<Cow<'static, str>>, cat: &'static str) -> Span {
         if !is_enabled() {
             return Span { live: None };
         }
         let parent = STACK.with(|s| s.borrow().last().copied());
-        Span::open(parent, name, cat)
+        Span::open(parent, name.into(), cat)
     }
 
     /// Open a span under an explicitly propagated parent handle (`None`
     /// starts a fresh root trace). This is how work shipped to another
     /// thread stays attached to the span that spawned it.
-    pub fn child_of(parent: Option<SpanHandle>, name: &str, cat: &'static str) -> Span {
-        Span::open(parent, name, cat)
+    pub fn child_of(
+        parent: Option<SpanHandle>,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+    ) -> Span {
+        if !is_enabled() {
+            return Span { live: None };
+        }
+        Span::open(parent, name.into(), cat)
     }
 
     /// The handle identifying this span, for explicit propagation to
@@ -292,7 +423,7 @@ impl Span {
     }
 
     /// Attach (or overwrite) a key/value argument carried into the export.
-    pub fn arg(&mut self, key: &'static str, value: impl Into<String>) {
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgVal>) {
         if let Some(l) = &mut self.live {
             if let Some(slot) = l.args.iter_mut().find(|(k, _)| *k == key) {
                 slot.1 = value.into();
@@ -339,6 +470,107 @@ impl Drop for Span {
     }
 }
 
+/// Scratch for completed spans recorded by one thread and flushed to the
+/// shared buffers with a single lock acquisition, instead of one per span.
+/// Built for the serving layer's per-phase timers: a request times 5–7
+/// phases, and paying a buffer lock (plus thread-local stack traffic) per
+/// phase is measurable at microsecond request latencies.
+///
+/// Pending spans do NOT join the thread-local span stack: spans opened
+/// while one is pending attach to the pending span's *parent* rather than
+/// the pending span itself. Sequence numbers are still drawn from the
+/// global counter at begin/end time, so batched events interleave in true
+/// open/close order with children recorded live in between.
+#[derive(Debug, Default)]
+pub struct LocalSpans {
+    events: Vec<TraceEvent>,
+}
+
+/// A span opened through [`LocalSpans::begin`] and not yet completed.
+#[derive(Debug)]
+pub struct PendingSpan {
+    handle: SpanHandle,
+    parent: u64,
+    name: Cow<'static, str>,
+    cat: &'static str,
+    start_ns: u64,
+    seq_open: u64,
+}
+
+impl LocalSpans {
+    /// An empty scratch buffer.
+    pub fn new() -> LocalSpans {
+        LocalSpans::default()
+    }
+
+    /// Open a pending span under `parent` (a fresh root trace when `None`).
+    /// Returns `None` when tracing is disabled.
+    pub fn begin(
+        &mut self,
+        parent: Option<SpanHandle>,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+    ) -> Option<PendingSpan> {
+        if !is_enabled() {
+            return None;
+        }
+        let (trace, parent_id) = match parent {
+            Some(p) => (p.trace, p.span),
+            None => (NEXT_TRACE.fetch_add(1, Ordering::Relaxed), 0),
+        };
+        Some(PendingSpan {
+            handle: SpanHandle { trace, span: NEXT_SPAN.fetch_add(1, Ordering::Relaxed) },
+            parent: parent_id,
+            name: name.into(),
+            cat,
+            start_ns: now_ns(),
+            seq_open: SEQ.fetch_add(1, Ordering::Relaxed),
+        })
+    }
+
+    /// Complete a pending span, buffering its event locally. Returns the
+    /// span's duration in nanoseconds (on the same clock as the timeline),
+    /// so callers timing a region need no extra clock reads.
+    pub fn end(&mut self, p: PendingSpan) -> u64 {
+        let dur_ns = now_ns().saturating_sub(p.start_ns);
+        self.events.push(TraceEvent {
+            tid: tid(),
+            name: p.name,
+            cat: p.cat,
+            trace: p.handle.trace,
+            span: p.handle.span,
+            parent: p.parent,
+            kind: EventKind::Span {
+                start_ns: p.start_ns,
+                dur_ns,
+                seq_open: p.seq_open,
+                seq_close: SEQ.fetch_add(1, Ordering::Relaxed),
+            },
+            args: Vec::new(),
+        });
+        dur_ns
+    }
+
+    /// Move every buffered event into the shared buffers. All events were
+    /// recorded by this thread, so they land in one shard: one lock.
+    pub fn flush(&mut self) {
+        if self.events.is_empty() {
+            return;
+        }
+        let shard = (tid() as usize) % SHARDS;
+        let cap = max_events();
+        let per_shard = if cap == 0 { usize::MAX } else { (cap / SHARDS).max(1) };
+        let mut buf = BUFFERS[shard].lock().expect("trace buffer poisoned");
+        for ev in self.events.drain(..) {
+            while buf.len() >= per_shard {
+                buf.pop_front();
+                DROPPED.fetch_add(1, Ordering::Relaxed);
+            }
+            buf.push_back(ev);
+        }
+    }
+}
+
 /// Add `ns` nanoseconds of busy time to worker slot `worker` (clamped into
 /// the tracked range). `dm-par` calls this once per completed task.
 pub fn worker_busy_add(worker: usize, ns: u64) {
@@ -374,13 +606,43 @@ pub fn record_worker_busy(rec: &dyn crate::Recorder) {
 pub fn take_events() -> Vec<TraceEvent> {
     let mut all = Vec::new();
     for shard in &BUFFERS {
-        all.append(&mut *shard.lock().expect("trace buffer poisoned"));
+        all.extend(shard.lock().expect("trace buffer poisoned").drain(..));
     }
     all.sort_by_key(|e| match e.kind {
         EventKind::Span { seq_open, .. } => seq_open,
         EventKind::Instant { seq, .. } => seq,
     });
     all
+}
+
+/// Drain only the events belonging to one trace id (across all shards),
+/// ordered by open sequence, leaving other traces buffered. This is how the
+/// serving layer extracts one request's span tree from the shared buffers
+/// without disturbing requests still in flight on other threads.
+pub fn extract_trace(trace: u64) -> Vec<TraceEvent> {
+    let mut out = Vec::new();
+    for shard in &BUFFERS {
+        let mut buf = shard.lock().expect("trace buffer poisoned");
+        // Most shards hold no events for this trace (events land in the
+        // serving thread's shard); skip the rebuild for those entirely.
+        if !buf.iter().any(|ev| ev.trace == trace) {
+            continue;
+        }
+        let mut kept = VecDeque::with_capacity(buf.len());
+        for ev in buf.drain(..) {
+            if ev.trace == trace {
+                out.push(ev);
+            } else {
+                kept.push_back(ev);
+            }
+        }
+        *buf = kept;
+    }
+    out.sort_by_key(|e| match e.kind {
+        EventKind::Span { seq_open, .. } => seq_open,
+        EventKind::Instant { seq, .. } => seq,
+    });
+    out
 }
 
 /// Clone of the buffered events without draining them, ordered like
@@ -415,7 +677,14 @@ fn write_args(out: &mut String, ev: &TraceEvent) {
         ev.trace, ev.span, ev.parent
     );
     for (k, v) in &ev.args {
-        let _ = write!(out, ",\"{}\":\"{}\"", escape_json(k), escape_json(v));
+        match v {
+            ArgVal::Str(s) => {
+                let _ = write!(out, ",\"{}\":\"{}\"", escape_json(k), escape_json(s));
+            }
+            ArgVal::U64(n) => {
+                let _ = write!(out, ",\"{}\":{}", escape_json(k), n);
+            }
+        }
     }
     out.push('}');
 }
@@ -571,7 +840,7 @@ mod tests {
         assert_eq!(task.parent, root.span);
         assert_eq!(task.trace, root.trace);
         assert_ne!(task.tid, root.tid);
-        assert_eq!(task.arg("worker"), Some("1"));
+        assert_eq!(task.arg("worker").as_deref(), Some("1"));
     }
 
     #[test]
@@ -634,6 +903,53 @@ mod tests {
         assert_eq!(reg.report().counter("par.worker.0.busy_ns"), Some(150));
         clear();
         assert!(worker_busy_snapshot().is_empty());
+    }
+
+    #[test]
+    fn ring_cap_evicts_oldest_and_counts_drops() {
+        let _g = lock();
+        set_enabled(true);
+        clear();
+        // Everything lands in one shard (single thread), so the effective
+        // bound here is cap / SHARDS.
+        set_max_events(4 * SHARDS);
+        let before = dropped_events();
+        for i in 0..10 {
+            let mut s = Span::enter("spin", "test");
+            s.arg("i", i.to_string());
+        }
+        set_enabled(false);
+        set_max_events(0);
+        let evs = take_events();
+        assert_eq!(evs.len(), 4, "ring holds exactly the per-shard cap");
+        // The survivors are the most recent spans.
+        assert_eq!(evs.last().unwrap().arg("i").as_deref(), Some("9"));
+        assert_eq!(dropped_events() - before, 6);
+        set_max_events(DEFAULT_MAX_EVENTS);
+    }
+
+    #[test]
+    fn extract_trace_takes_only_matching_events() {
+        let _g = lock();
+        set_enabled(true);
+        clear();
+        let a_trace = {
+            let a = Span::enter("req.a", "test");
+            let h = a.handle().unwrap();
+            let _child = Span::child_of(Some(h), "a.work", "test");
+            h.trace
+        };
+        {
+            let _b = Span::enter("req.b", "test");
+        }
+        set_enabled(false);
+        let a_events = extract_trace(a_trace);
+        assert_eq!(a_events.len(), 2);
+        assert!(a_events.iter().all(|e| e.trace == a_trace));
+        assert_eq!(a_events[0].name, "req.a");
+        let rest = take_events();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].name, "req.b");
     }
 
     #[test]

@@ -27,7 +27,7 @@ fn run_concurrent_spans(threads: usize, depth: usize) -> (trace::SpanHandle, Vec
                 let mut task = Span::child_of(Some(root_h), "task", "test");
                 task.arg("worker", t.to_string());
                 for d in 0..depth {
-                    let _inner = Span::enter(&format!("level{d}"), "test");
+                    let _inner = Span::enter(format!("level{d}"), "test");
                 }
             });
         }
@@ -130,7 +130,7 @@ fn chrome_export_is_well_formed_and_strictly_nested() {
         {
             let mut mid = Span::enter("mid", "test");
             mid.arg("k", "v with \"quotes\" and \\ backslash");
-            trace::instant("tick", &[("n", "1".to_owned())]);
+            trace::instant("tick", &[("n", "1".into())]);
             let _leaf = Span::enter("leaf", "test");
         }
         // A cross-thread child closes after sibling spans opened later on

@@ -26,7 +26,7 @@ fn traced_chunk<R>(
     }
     let t0 = Instant::now();
     let mut span = trace::Span::child_of(parent, "par.task", "par");
-    span.arg("worker", worker.to_string());
+    span.arg("worker", worker);
     span.arg("items", format!("{}..{}", items.start, items.end));
     let v = f();
     drop(span);

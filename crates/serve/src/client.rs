@@ -6,7 +6,8 @@
 //! the examples and end-to-end tests.
 
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, Request, Response, ScoreResult,
+    decode_response, encode_request, read_frame, response_rid, write_frame, Request, Response,
+    ScoreResult,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -27,11 +28,18 @@ impl ScoringClient {
 
     /// Send one request and wait for its response.
     pub fn request(&mut self, req: &Request) -> Result<Response, String> {
+        self.request_with_rid(req).map(|(resp, _)| resp)
+    }
+
+    /// Send one request and also surface the server-assigned request id —
+    /// the handle into the server's flight recorder (`/debug/requests`,
+    /// `/debug/trace?id=`). `None` when talking to a server predating ids.
+    pub fn request_with_rid(&mut self, req: &Request) -> Result<(Response, Option<u64>), String> {
         write_frame(&mut self.stream, &encode_request(req)).map_err(|e| format!("send: {e}"))?;
         let raw = read_frame(&mut self.stream)
             .map_err(|e| format!("recv: {e}"))?
             .ok_or("server closed the connection")?;
-        decode_response(&raw)
+        Ok((decode_response(&raw)?, response_rid(&raw)))
     }
 
     /// Convenience: issue a `score` and unwrap the result value, turning

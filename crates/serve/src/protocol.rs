@@ -368,6 +368,23 @@ pub fn encode_response(resp: &Response) -> String {
     }
 }
 
+/// Encode a response with the server-assigned request id appended as a
+/// top-level `rid` field. The id is the handle into the server's flight
+/// recorder (`/debug/requests`, `/debug/trace?id=`), so it rides on every
+/// response — errors included, which is exactly when an operator needs it.
+/// [`decode_response`] ignores the field; read it with [`response_rid`].
+pub fn encode_response_with_rid(resp: &Response, rid: u64) -> String {
+    let body = encode_response(resp);
+    debug_assert!(body.ends_with('}'));
+    format!("{},\"rid\":{rid}}}", &body[..body.len() - 1])
+}
+
+/// The server-assigned request id of a response frame payload, when present.
+pub fn response_rid(raw: &str) -> Option<u64> {
+    let n = parse(raw).ok()?.get("rid")?.as_f64()?;
+    (n >= 0.0 && n.fract() == 0.0).then_some(n as u64)
+}
+
 /// Decode a response frame payload.
 pub fn decode_response(raw: &str) -> Result<Response, String> {
     let j = parse(raw)?;
@@ -490,6 +507,26 @@ mod tests {
         ] {
             assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn rid_rides_on_responses_and_decodes_transparently() {
+        for resp in [
+            Response::Pong,
+            Response::Error { error: "nope".to_owned() },
+            Response::Score {
+                result: ScoreResult::Scalar(1.5),
+                cache_hit: false,
+                batched: false,
+                blocked_nodes: 0,
+            },
+        ] {
+            let raw = encode_response_with_rid(&resp, 42);
+            assert_eq!(response_rid(&raw), Some(42));
+            // The rid is transparent to the typed decode.
+            assert_eq!(decode_response(&raw).unwrap(), resp);
+        }
+        assert_eq!(response_rid(&encode_response(&Response::Pong)), None);
     }
 
     #[test]

@@ -30,22 +30,24 @@
 
 use crate::batch::{Batcher, Joined};
 use crate::protocol::{
-    decode_request, encode_response, read_frame, write_frame, Cmd, InputValue, Request, Response,
-    ScoreResult,
+    decode_request, encode_response_with_rid, read_frame, write_frame, Cmd, InputValue, Request,
+    Response, ScoreResult,
 };
 use dm_buffer::policy::PolicyKind;
 use dm_buffer::session::SessionLedger;
 use dm_buffer::storage::{FileStore, MemStore, Storage};
 use dm_buffer::{BufferPool, SharedBufferPool};
 use dm_lang::cache::{compile, program_hash, CompiledProgram, InputClass, PlanCache, PlanKey};
-use dm_lang::cost::CostModel;
+use dm_lang::cost::{CostModel, DRIFT_FACTOR};
 use dm_lang::exec::{Env, Executor, Val};
 use dm_lang::expr::Op;
 use dm_lang::memory::MemoryBudget;
 use dm_lang::parser;
 use dm_lang::size::InputSizes;
 use dm_matrix::{Dense, Matrix};
+use dm_obs::flightrec::{FlightRecorder, Phase, RequestRecord};
 use dm_obs::profile::ProfileStore;
+use dm_obs::trace::{self, SpanHandle};
 use dm_obs::{Recorder, StatsRegistry};
 use dm_par::WorkerPool;
 use std::collections::BTreeSet;
@@ -77,6 +79,18 @@ pub const SERVE_PLAN_CACHE_ENV: &str = "DMML_SERVE_PLAN_CACHE";
 /// names would grow the registry and `/metrics` output without bound;
 /// tenants past the cap share the `serve.tenant.other.latency_ns` bucket.
 pub const SERVE_TENANT_SERIES_ENV: &str = "DMML_SERVE_TENANT_SERIES";
+/// `DMML_SERVE_SLOW_MS` — explicit slow-request capture threshold in
+/// milliseconds; unset enables the flight recorder's self-tuning p99-based
+/// threshold (re-exported from [`dm_obs::flightrec::SLOW_MS_ENV`]).
+pub const SERVE_SLOW_MS_ENV: &str = dm_obs::flightrec::SLOW_MS_ENV;
+/// `DMML_SERVE_FLIGHT_CAP` — flight-recorder recent-ring capacity in
+/// records (default [`dm_obs::flightrec::DEFAULT_FLIGHT_CAP`]).
+pub const SERVE_FLIGHT_CAP_ENV: &str = dm_obs::flightrec::FLIGHT_CAP_ENV;
+
+/// High bit marking per-request trace ids, so the ids the flight recorder
+/// mints never collide with the trace ids auto-assigned to root spans
+/// opened elsewhere in the process (which count up from 1).
+const REQ_TRACE_BIT: u64 = 1 << 63;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
@@ -103,6 +117,11 @@ pub struct ServeConfig {
     pub budget: MemoryBudget,
     /// Degree of parallelism plans are compiled for.
     pub degree: usize,
+    /// Explicit slow-request capture threshold; `None` self-tunes to the
+    /// observed p99 once enough requests have completed.
+    pub slow_threshold: Option<Duration>,
+    /// Flight-recorder recent-ring capacity in records.
+    pub flight_capacity: usize,
 }
 
 impl ServeConfig {
@@ -124,6 +143,12 @@ impl ServeConfig {
             tenant_series: env_usize(SERVE_TENANT_SERIES_ENV, 64).max(1),
             budget: MemoryBudget::from_env(),
             degree: dm_par::default_degree(),
+            slow_threshold: std::env::var(SERVE_SLOW_MS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(Duration::from_millis),
+            flight_capacity: env_usize(SERVE_FLIGHT_CAP_ENV, dm_obs::flightrec::DEFAULT_FLIGHT_CAP)
+                .max(1),
         }
     }
 
@@ -139,6 +164,8 @@ impl ServeConfig {
             tenant_series: 64,
             budget: MemoryBudget::unbounded(),
             degree: 1,
+            slow_threshold: None,
+            flight_capacity: 64,
         }
     }
 }
@@ -157,6 +184,24 @@ struct Shared {
     /// Tenants granted their own latency series, capped at
     /// `cfg.tenant_series`; later tenants share the `other` bucket.
     tenants: Mutex<BTreeSet<String>>,
+    /// Per-request flight recorder: bounded ring of completed request
+    /// records, served by the metrics endpoint under `/debug/*`.
+    flight: Arc<FlightRecorder>,
+    /// Histogram handles resolved once at startup — the request path
+    /// records 8+ histogram samples, and a by-name registry lookup per
+    /// sample is measurable at microsecond request latencies.
+    phase_hists: [Arc<dm_obs::LogHistogram>; Phase::COUNT],
+    latency_hist: Arc<dm_obs::LogHistogram>,
+}
+
+/// Everything the request path threads through its phases: the record
+/// under construction, the span scratch (phase spans batch into one
+/// buffer-lock at request end), and the request's root span handle that
+/// phase spans parent under.
+struct ReqCtx {
+    rec: RequestRecord,
+    spans: trace::LocalSpans,
+    root: Option<SpanHandle>,
 }
 
 /// Allocator of disjoint spill-pool matrix-id namespaces for concurrent
@@ -255,7 +300,16 @@ impl ScoringServer {
         // Seed the cost model from DMML_PROFILE_DIR when present so the
         // first compiles already use calibrated crossovers.
         let model = CostModel::from_env().unwrap_or_else(|| CostModel::new(ProfileStore::new()));
+        // The flight recorder needs spans to exist to retain them, so
+        // tracing is always on in a server process. The trace ring is
+        // bounded (DMML_TRACE_MAX_EVENTS) and every completed request
+        // drains its own events out of it, so steady-state occupancy is
+        // just the requests currently in flight.
+        trace::set_enabled(true);
         let shared = Arc::new(Shared {
+            flight: Arc::new(FlightRecorder::new(cfg.flight_capacity, cfg.slow_threshold)),
+            phase_hists: Phase::ALL.map(|p| registry.histogram(p.site())),
+            latency_hist: registry.histogram("serve.latency_ns"),
             ledger: Arc::new(SessionLedger::new(cfg.budget.get().unwrap_or(usize::MAX))),
             cache: Mutex::new(PlanCache::new(cfg.plan_cache)),
             profiles: Mutex::new(ProfileStore::new()),
@@ -294,6 +348,13 @@ impl ScoringServer {
     /// tests).
     pub fn registry(&self) -> &Arc<StatsRegistry> {
         &self.shared.registry
+    }
+
+    /// The per-request flight recorder, for mounting on a
+    /// [`MetricsServer`](dm_obs::serve::MetricsServer) (`/debug/*`) or
+    /// asserting in tests.
+    pub fn flight(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.shared.flight)
     }
 
     /// Plan-cache counters: `(hits, misses, evictions)`.
@@ -375,11 +436,98 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     // Scoring responses must not sit in Nagle's buffer waiting for ACKs.
     let _ = stream.set_nodelay(true);
     while let Ok(Some(raw)) = read_frame(&mut stream) {
-        let resp = handle_request(shared, &raw);
-        if write_frame(&mut stream, &encode_response(&resp)).is_err() {
+        if serve_frame(shared, &mut stream, &raw).is_err() {
             break;
         }
     }
+}
+
+/// Run `f` as phase `p` of the request: its wall time accumulates into the
+/// record's phase slot and a `serve.phase.<name>` span lands in the
+/// request's trace. The span is batched in the context's scratch (one
+/// buffer lock per request, not per phase) and its own clock reads supply
+/// the phase duration.
+fn time_phase<T>(ctx: &mut ReqCtx, p: Phase, f: impl FnOnce() -> T) -> T {
+    let pending = ctx.spans.begin(ctx.root, p.site(), "serve");
+    let t0 = if pending.is_none() { Some(Instant::now()) } else { None };
+    let out = f();
+    let ns = match pending {
+        Some(pd) => ctx.spans.end(pd),
+        None => t0.expect("timer set when span inert").elapsed().as_nanos() as u64,
+    };
+    ctx.rec.phase_ns[p.index()] += ns;
+    out
+}
+
+/// Serve one framed request end to end: assign its id, open its root span,
+/// handle it, encode + write the response (rid included), and deposit the
+/// completed [`RequestRecord`] — phase breakdown, byte counts, and its
+/// extracted span tree — into the flight recorder. The returned error is
+/// the socket write failing (connection torn down); the request is recorded
+/// either way, so even a request whose client vanished stays diagnosable.
+fn serve_frame(shared: &Arc<Shared>, stream: &mut TcpStream, raw: &str) -> io::Result<()> {
+    let started = Instant::now();
+    let reg = shared.registry.as_ref();
+    let rid = shared.flight.next_id();
+    let trace_id = rid | REQ_TRACE_BIT;
+    let mut ctx =
+        ReqCtx { rec: RequestRecord::new(rid, ""), spans: trace::LocalSpans::new(), root: None };
+    ctx.rec.bytes_in = raw.len() as u64;
+    let write_res;
+    {
+        // Root span of this request's trace: opening as a child of the
+        // synthetic handle (trace = rid | bit, parent span = 0) pins the
+        // trace id to the request id, so the whole tree — including spans
+        // opened by the executor and instants from leaf crates on this
+        // thread — is extractable by rid when the request completes.
+        let mut root = trace::Span::child_of(
+            Some(SpanHandle { trace: trace_id, span: 0 }),
+            "serve.request",
+            "serve",
+        );
+        root.arg("rid", rid);
+        ctx.root = root.handle();
+        let resp = handle_request(shared, raw, &mut ctx);
+        // `serve.latency_ns` keeps its pre-flight-recorder boundaries —
+        // decode through scoring, excluding response encode and the socket
+        // write — so dashboards and E17 stay comparable across versions.
+        // The record's `total_ns` below is the full end-to-end time.
+        let handling_ns = started.elapsed().as_nanos() as u64;
+        shared.latency_hist.record(handling_ns);
+        if !ctx.rec.tenant.is_empty() {
+            reg.record_histogram(
+                &format!("serve.tenant.{}.latency_ns", tenant_series(shared, &ctx.rec.tenant)),
+                handling_ns,
+            );
+        }
+        if let Response::Error { error } = &resp {
+            ctx.rec.error = Some(error.clone());
+        }
+        root.arg("tenant", ctx.rec.tenant.clone());
+        let payload = time_phase(&mut ctx, Phase::Encode, || encode_response_with_rid(&resp, rid));
+        ctx.rec.bytes_out = payload.len() as u64;
+        // The frame write counts as encode time too: a response stuck in a
+        // slow client's socket shows up attributed, not as mystery gap.
+        let t0 = Instant::now();
+        write_res = write_frame(stream, &payload);
+        ctx.rec.phase_ns[Phase::Encode.index()] += t0.elapsed().as_nanos() as u64;
+    }
+    let ReqCtx { mut rec, mut spans, .. } = ctx;
+    spans.flush();
+    rec.total_ns = started.elapsed().as_nanos() as u64;
+    for p in Phase::ALL {
+        let ns = rec.phase_ns[p.index()];
+        if ns > 0 {
+            shared.phase_hists[p.index()].record(ns);
+        }
+    }
+    trace::record_dropped(reg);
+    // The root span has dropped and the phase batch is flushed, so the full
+    // tree is in the buffers; drain this request's slice into its record
+    // (keeping the global ring lean).
+    rec.events = trace::extract_trace(trace_id);
+    shared.flight.record(rec);
+    write_res
 }
 
 fn valid_tenant(t: &str) -> bool {
@@ -388,11 +536,10 @@ fn valid_tenant(t: &str) -> bool {
         && t.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
 }
 
-fn handle_request(shared: &Arc<Shared>, raw: &str) -> Response {
-    let started = Instant::now();
+fn handle_request(shared: &Arc<Shared>, raw: &str, ctx: &mut ReqCtx) -> Response {
     let reg = shared.registry.as_ref();
     reg.add("serve.requests", 1);
-    let req = match decode_request(raw) {
+    let req = match time_phase(ctx, Phase::Decode, || decode_request(raw)) {
         Ok(r) => r,
         Err(e) => {
             reg.add("serve.errors", 1);
@@ -403,19 +550,14 @@ fn handle_request(shared: &Arc<Shared>, raw: &str) -> Response {
         reg.add("serve.errors", 1);
         return Response::Error { error: "invalid tenant name".to_owned() };
     }
+    ctx.rec.tenant = req.tenant.clone();
     let resp = match req.cmd {
         Cmd::Ping => Response::Pong,
-        Cmd::Score => handle_score(shared, &req),
+        Cmd::Score => handle_score(shared, &req, ctx),
     };
     if matches!(resp, Response::Error { .. }) {
         reg.add("serve.errors", 1);
     }
-    let ns = started.elapsed().as_nanos() as u64;
-    reg.record_histogram("serve.latency_ns", ns);
-    reg.record_histogram(
-        &format!("serve.tenant.{}.latency_ns", tenant_series(shared, &req.tenant)),
-        ns,
-    );
     resp
 }
 
@@ -455,84 +597,131 @@ fn measured_sparsity(data: &[f64]) -> f64 {
     data.iter().filter(|v| **v != 0.0).count() as f64 / data.len() as f64
 }
 
-fn handle_score(shared: &Arc<Shared>, req: &Request) -> Response {
+fn handle_score(shared: &Arc<Shared>, req: &Request, ctx: &mut ReqCtx) -> Response {
     let reg = shared.registry.as_ref();
-    // Declared sizes + cache-key classes straight from the bound inputs.
+    // Plan-cache lookup phase: classify the bound inputs, parse for the
+    // structural hash (cheap, linear in the text), and probe the LRU —
+    // everything a request pays whether it hits or misses.
     let mut sizes = InputSizes::new();
-    let mut classes = Vec::with_capacity(req.inputs.len());
-    for (name, v) in &req.inputs {
-        match v {
-            InputValue::Matrix { rows, cols, data } => {
-                let sp = measured_sparsity(data);
-                sizes.declare(name, *rows, *cols, sp);
-                classes.push(InputClass::new(name, *rows, *cols, sp));
-            }
-            InputValue::Scalar(_) => {
-                sizes.declare_scalar(name);
-                // Sentinel classes keep a scalar binding from colliding
-                // with a 1x1 matrix binding of the same name.
-                classes.push(InputClass {
-                    name: name.clone(),
-                    rows_class: u32::MAX,
-                    cols_class: u32::MAX,
-                    sparsity: 0,
-                });
+    let lookup = time_phase(ctx, Phase::CacheLookup, || {
+        let mut classes = Vec::with_capacity(req.inputs.len());
+        for (name, v) in &req.inputs {
+            match v {
+                InputValue::Matrix { rows, cols, data } => {
+                    let sp = measured_sparsity(data);
+                    sizes.declare(name, *rows, *cols, sp);
+                    classes.push(InputClass::new(name, *rows, *cols, sp));
+                }
+                InputValue::Scalar(_) => {
+                    sizes.declare_scalar(name);
+                    // Sentinel classes keep a scalar binding from colliding
+                    // with a 1x1 matrix binding of the same name.
+                    classes.push(InputClass {
+                        name: name.clone(),
+                        rows_class: u32::MAX,
+                        cols_class: u32::MAX,
+                        sparsity: 0,
+                    });
+                }
             }
         }
-    }
-    // Parse is cheap and gives the structural hash; everything after the
-    // probe is what a hit skips.
-    let (raw_graph, raw_root) = match parser::parse(&req.program) {
-        Ok(p) => p,
-        Err(e) => return Response::Error { error: format!("parse error: {e}") },
+        let (raw_graph, raw_root) = match parser::parse(&req.program) {
+            Ok(p) => p,
+            Err(e) => return Err(format!("parse error: {e}")),
+        };
+        let key = PlanKey::new(program_hash(&raw_graph, raw_root), classes);
+        let cached = probe_cache(shared, &key);
+        Ok((key, cached))
+    });
+    let (key, cached) = match lookup {
+        Ok(k) => k,
+        Err(error) => return Response::Error { error },
     };
-    let key = PlanKey::new(program_hash(&raw_graph, raw_root), classes);
 
-    let (prog, cache_hit) = match probe_cache(shared, &key) {
+    let (prog, cache_hit) = match cached {
         Some(p) => (p, true),
         None => {
-            let compiled = match compile(
-                &req.program,
-                &sizes,
-                shared.cfg.degree,
-                shared.cfg.budget,
-                &shared.model,
-            ) {
-                Ok(c) => Arc::new(c),
+            let compiled = time_phase(ctx, Phase::Compile, || {
+                compile(&req.program, &sizes, shared.cfg.degree, shared.cfg.budget, &shared.model)
+                    .map(Arc::new)
+            });
+            let compiled = match compiled {
+                Ok(c) => c,
                 Err(e) => return Response::Error { error: e.to_string() },
             };
             insert_cache(shared, key.clone(), Arc::clone(&compiled));
             (compiled, false)
         }
     };
+    ctx.rec.plan_key = key.to_string();
+    ctx.rec.cache_hit = cache_hit;
+    ctx.rec.kernel_summary = prog.kernel_summary();
+    ctx.rec.est_cost_ns = prog.est_cost_ns;
+    ctx.rec.certified_peak = prog.certified_peak().unwrap_or(0) as u64;
 
-    // Admission: charge the certified peak against the shared ledger.
+    // Admission phase: charge the certified peak against the shared ledger.
     // Queue when it does not fit; oversized plans (already degraded to
-    // blocked kernels) run alone.
+    // blocked kernels) run alone. Time spent here is queueing behind other
+    // tenants' in-flight work — the classic noisy-neighbor signature.
     let peak = prog.certified_peak().unwrap_or(0);
-    let _admission = match shared.ledger.try_admit(&req.tenant, peak) {
-        Some(g) => g,
-        None => {
-            reg.add("serve.admission.queued", 1);
-            reg.gauge_set("serve.admission.waiting", shared.ledger.waiting() as u64 + 1);
-            shared.ledger.admit(&req.tenant, peak)
-        }
-    };
+    let _admission =
+        time_phase(ctx, Phase::Admission, || match shared.ledger.try_admit(&req.tenant, peak) {
+            Some(g) => g,
+            None => {
+                reg.add("serve.admission.queued", 1);
+                reg.gauge_set("serve.admission.waiting", shared.ledger.waiting() as u64 + 1);
+                shared.ledger.admit(&req.tenant, peak)
+            }
+        });
     reg.gauge_set("serve.admission.waiting", shared.ledger.waiting() as u64);
     reg.gauge_set("serve.admission.in_flight_bytes", shared.ledger.in_flight_bytes() as u64);
 
-    let (result, batched) = match try_batched(shared, req, &prog, &key) {
+    let (result, batched) = match try_batched(shared, req, &prog, &key, ctx) {
         Some(r) => r,
-        None => match execute(shared, &prog, build_env(&req.inputs)) {
-            Ok(v) => (val_to_result(v), false),
-            Err(e) => return Response::Error { error: e },
-        },
+        None => {
+            let out =
+                time_phase(ctx, Phase::Execute, || execute(shared, &prog, build_env(&req.inputs)));
+            match out {
+                Ok(v) => (val_to_result(v), false),
+                Err(e) => return Response::Error { error: e },
+            }
+        }
     };
+    ctx.rec.batched = batched;
+    record_cost_drift(reg, &ctx.rec, &prog);
     match result {
         Ok(result) => {
             Response::Score { result, cache_hit, batched, blocked_nodes: prog.blocked_nodes }
         }
         Err(e) => Response::Error { error: e },
+    }
+}
+
+/// Compare this request's observed execute time against the plan's
+/// compile-time calibrated estimate. Beyond [`DRIFT_FACTOR`] in either
+/// direction counts as cost-model drift: bump `serve.cost_model.drift` and
+/// drop an instant into the request's trace. The kernel-profile samples the
+/// executor already feeds into the shared [`ProfileStore`] are what
+/// re-calibrate the model (and drive the analyzer's H204 staleness hint) —
+/// this counter is the per-request, per-plan-cache-entry visibility of the
+/// same gap. Skipped for followers (their execute ns is the leader's) and
+/// unpriced plans.
+fn record_cost_drift(reg: &StatsRegistry, rec: &RequestRecord, prog: &CompiledProgram) {
+    let exec_ns = rec.phase_ns[Phase::Execute.index()];
+    if exec_ns == 0 || prog.est_cost_ns == 0 {
+        return;
+    }
+    let ratio = exec_ns as f64 / prog.est_cost_ns as f64;
+    if !(1.0 / DRIFT_FACTOR..=DRIFT_FACTOR).contains(&ratio) {
+        reg.add("serve.cost_model.drift", 1);
+        trace::instant(
+            "serve.cost_drift",
+            &[
+                ("plan", rec.plan_key.clone().into()),
+                ("est_ns", prog.est_cost_ns.into()),
+                ("observed_ns", exec_ns.into()),
+            ],
+        );
     }
 }
 
@@ -581,7 +770,11 @@ fn build_env(inputs: &[(String, InputValue)]) -> Env {
 /// per-request matrix-id range so concurrent blocked kernels cannot alias
 /// pages.
 fn execute(shared: &Arc<Shared>, prog: &CompiledProgram, env: Env) -> Result<Val, String> {
-    let mut ex = Executor::with_plan(&prog.graph, prog.plan.clone()).without_env_sinks().profiled();
+    // `.traced()`: per-node `exec.<op>` spans (kernel, dims, flops) nest
+    // under the request's execute-phase span, so `/debug/trace?id=` shows
+    // which kernel the time went to.
+    let mut ex =
+        Executor::with_plan(&prog.graph, prog.plan.clone()).without_env_sinks().profiled().traced();
     // Held for the whole execution: the guard's id range is this request's
     // private spill namespace, returned to the free list on drop.
     let _slot = match &shared.spill {
@@ -642,12 +835,19 @@ fn guard_hash(bytes: &[u8]) -> u64 {
 
 /// Attempt the micro-batched path. `None` means "not eligible — execute
 /// individually"; `Some((result, batched))` is a finished outcome.
+///
+/// Phase attribution: a follower's wait on the leader counts as
+/// [`Phase::BatchWait`] even though it *contains* the leader's execution of
+/// the fused gemm — from the follower's seat that time is indistinguishable
+/// from waiting, and the leader's own record carries the execute time. The
+/// leader's deadline wait ([`Batcher::collect`]) is its batch-wait.
 #[allow(clippy::type_complexity)]
 fn try_batched(
     shared: &Arc<Shared>,
     req: &Request,
     prog: &Arc<CompiledProgram>,
     key: &PlanKey,
+    ctx: &mut ReqCtx,
 ) -> Option<(Result<ScoreResult, String>, bool)> {
     if !req.batch || !shared.batcher.enabled() {
         return None;
@@ -698,12 +898,17 @@ fn try_batched(
         Joined::Solo(col) => {
             // Group was full or guarded against us: run the same column
             // individually.
-            let mut env = build_env(&req.inputs);
-            env.bind(&bname, Matrix::Dense(Dense::from_vec(m, 1, col).expect("shape")));
-            Some((execute(shared, prog, env).and_then(val_to_result), false))
+            let out = time_phase(ctx, Phase::Execute, || {
+                let mut env = build_env(&req.inputs);
+                env.bind(&bname, Matrix::Dense(Dense::from_vec(m, 1, col).expect("shape")));
+                execute(shared, prog, env).and_then(val_to_result)
+            });
+            Some((out, false))
         }
         Joined::Follower(rx) => {
-            let col = rx.recv().map_err(|_| "batch leader died".to_owned()).and_then(|r| r);
+            let col = time_phase(ctx, Phase::BatchWait, || {
+                rx.recv().map_err(|_| "batch leader died".to_owned()).and_then(|r| r)
+            });
             Some((
                 col.map(|c| {
                     let rows = c.len();
@@ -713,34 +918,40 @@ fn try_batched(
             ))
         }
         Joined::Leader(token, rx) => {
-            let job = shared.batcher.collect(token);
+            // The deadline wait for followers is the leader's batch-wait.
+            let job = time_phase(ctx, Phase::BatchWait, || shared.batcher.collect(token));
             let k = job.len();
             reg.add("serve.batch.flushes", 1);
             if k > 1 {
                 reg.add("serve.batch.batched_requests", k as u64);
             }
-            // Stack the k column vectors into one m x k input and run the
-            // cached plan once.
-            let mut stacked = vec![0.0; m * k];
-            for (j, col) in job.columns.iter().enumerate() {
-                for (i, v) in col.iter().enumerate() {
-                    stacked[i * k + j] = *v;
+            let outcome = time_phase(ctx, Phase::Execute, || {
+                // Stack the k column vectors into one m x k input and run
+                // the cached plan once.
+                let mut stacked = vec![0.0; m * k];
+                for (j, col) in job.columns.iter().enumerate() {
+                    for (i, v) in col.iter().enumerate() {
+                        stacked[i * k + j] = *v;
+                    }
                 }
-            }
-            let mut env = build_env(&req.inputs);
-            env.bind(&bname, Matrix::Dense(Dense::from_vec(m, k, stacked).expect("shape")));
-            let outcome = execute(shared, prog, env).and_then(|v| {
-                let Val::Matrix(mat) = v else {
-                    return Err("batched program did not yield a matrix".to_owned());
-                };
-                let d = mat.to_dense();
-                if d.cols() != k {
-                    return Err(format!("batched result has {} columns, expected {k}", d.cols()));
-                }
-                // Column j is participant j's result, bit-for-bit.
-                Ok((0..k)
-                    .map(|j| (0..d.rows()).map(|i| d.data()[i * k + j]).collect::<Vec<f64>>())
-                    .collect::<Vec<_>>())
+                let mut env = build_env(&req.inputs);
+                env.bind(&bname, Matrix::Dense(Dense::from_vec(m, k, stacked).expect("shape")));
+                execute(shared, prog, env).and_then(|v| {
+                    let Val::Matrix(mat) = v else {
+                        return Err("batched program did not yield a matrix".to_owned());
+                    };
+                    let d = mat.to_dense();
+                    if d.cols() != k {
+                        return Err(format!(
+                            "batched result has {} columns, expected {k}",
+                            d.cols()
+                        ));
+                    }
+                    // Column j is participant j's result, bit-for-bit.
+                    Ok((0..k)
+                        .map(|j| (0..d.rows()).map(|i| d.data()[i * k + j]).collect::<Vec<f64>>())
+                        .collect::<Vec<_>>())
+                })
             });
             job.complete(outcome);
             let col = rx.recv().map_err(|_| "batch result lost".to_owned()).and_then(|r| r);

@@ -28,16 +28,19 @@ fn main() {
         }
     };
     println!("{}", server.banner());
-    let metrics = MetricsServer::from_env(Arc::clone(&registry)).map(|r| match r {
-        Ok(m) => {
-            println!("metrics listening on http://{}/metrics", m.addr());
-            m
-        }
-        Err(e) => {
-            eprintln!("metrics bind failed: {e}");
-            std::process::exit(1);
-        }
-    });
+    // Mount the server's flight recorder so /debug/requests, /debug/slow
+    // and /debug/trace?id= serve live request records.
+    let metrics = MetricsServer::from_env_with_flight(Arc::clone(&registry), Some(server.flight()))
+        .map(|r| match r {
+            Ok(m) => {
+                println!("metrics listening on http://{}/metrics", m.addr());
+                m
+            }
+            Err(e) => {
+                eprintln!("metrics bind failed: {e}");
+                std::process::exit(1);
+            }
+        });
 
     match std::env::var("DMML_SERVE_HOLD_MS").ok().and_then(|v| v.parse::<u64>().ok()) {
         Some(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),

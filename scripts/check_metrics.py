@@ -14,9 +14,17 @@ exposition (`# TYPE` comments and `name[{labels}] value` samples, every
 value a parseable float, every name matching `[a-zA-Z_:][a-zA-Z0-9_:]*`);
 `/stats.json` must return HTTP 200 with a JSON object. Exit 0 on success.
 
+With `--debug` the flight-recorder endpoints are validated too:
+`/debug/requests` and `/debug/slow` must be HTTP 200 `application/json`
+with their required fields, and `/debug/trace?id=` must serve a Chrome
+trace for a recorded id (404 for an unknown one). Only meaningful
+against a server that mounts a flight recorder (the scoring server);
+plain `trace_run` invocations must not pass `--debug`.
+
 Usage:
   scripts/check_metrics.py --spawn cargo run --release --example trace_run
   scripts/check_metrics.py 127.0.0.1:9184
+  scripts/check_metrics.py --debug 127.0.0.1:9184
 """
 
 import json
@@ -25,6 +33,7 @@ import re
 import subprocess
 import sys
 import time
+import urllib.error
 import urllib.request
 
 HOLD_MS = "20000"
@@ -38,6 +47,62 @@ def fetch(addr: str, path: str) -> str:
         if resp.status != 200:
             raise SystemExit(f"GET {path}: HTTP {resp.status}")
         return resp.read().decode("utf-8")
+
+
+def fetch_json(addr: str, path: str):
+    """Fetch a /debug endpoint: require 200, application/json, parseable."""
+    with urllib.request.urlopen(f"http://{addr}{path}", timeout=10) as resp:
+        if resp.status != 200:
+            raise SystemExit(f"GET {path}: HTTP {resp.status}")
+        ctype = resp.headers.get("Content-Type", "")
+        if "application/json" not in ctype:
+            raise SystemExit(f"GET {path}: content type {ctype!r}, want application/json")
+        body = resp.read().decode("utf-8")
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"GET {path}: body is not valid JSON: {e}")
+
+
+def require_fields(path: str, obj: dict, fields) -> None:
+    missing = [f for f in fields if f not in obj]
+    if missing:
+        raise SystemExit(f"GET {path}: missing required fields {missing}")
+
+
+def check_debug(addr: str) -> None:
+    """Validate the three flight-recorder endpoints."""
+    reqs = fetch_json(addr, "/debug/requests?n=16")
+    require_fields("/debug/requests", reqs, ["requests", "capacity"])
+    if not isinstance(reqs["requests"], list):
+        raise SystemExit("/debug/requests: 'requests' is not a list")
+    for rec in reqs["requests"]:
+        require_fields("/debug/requests", rec,
+                       ["id", "tenant", "total_ns", "phases", "cache_hit"])
+        if not isinstance(rec["phases"], dict):
+            raise SystemExit("/debug/requests: record 'phases' is not an object")
+
+    slow = fetch_json(addr, "/debug/slow")
+    require_fields("/debug/slow", slow,
+                   ["threshold_ns", "self_tuned", "samples", "slow"])
+    if not isinstance(slow["slow"], list):
+        raise SystemExit("/debug/slow: 'slow' is not a list")
+
+    traced = 0
+    if reqs["requests"]:
+        trace = fetch_json(addr, f"/debug/trace?id={reqs['requests'][0]['id']}")
+        require_fields("/debug/trace", trace, ["traceEvents"])
+        traced = len(trace["traceEvents"])
+    # An id the recorder cannot know must 404, not 200-with-garbage.
+    try:
+        urllib.request.urlopen(f"http://{addr}/debug/trace?id=999999999999", timeout=10)
+        raise SystemExit("/debug/trace with unknown id did not return 404")
+    except urllib.error.HTTPError as e:
+        if e.code != 404:
+            raise SystemExit(f"/debug/trace with unknown id: HTTP {e.code}, want 404")
+    print(f"ok: /debug/requests ({len(reqs['requests'])} records), "
+          f"/debug/slow ({len(slow['slow'])} slow), "
+          f"/debug/trace ({traced} events)")
 
 
 def check_prometheus(body: str) -> int:
@@ -63,7 +128,7 @@ def check_prometheus(body: str) -> int:
     return samples
 
 
-def validate(addr: str, wait_s: float = 0.0) -> None:
+def validate(addr: str, wait_s: float = 0.0, debug: bool = False) -> None:
     # Stats are recorded as the run progresses, so right after startup the
     # registry may be empty; poll until samples appear (or wait_s elapses).
     deadline = time.monotonic() + wait_s
@@ -78,6 +143,8 @@ def validate(addr: str, wait_s: float = 0.0) -> None:
     if not isinstance(stats, dict):
         raise SystemExit("/stats.json did not return a JSON object")
     print(f"ok: {n} samples on /metrics, {len(stats)} top-level keys on /stats.json")
+    if debug:
+        check_debug(addr)
 
 
 def spawn_and_validate(cmd: list) -> None:
@@ -107,14 +174,19 @@ def spawn_and_validate(cmd: list) -> None:
 
 def main() -> None:
     args = sys.argv[1:]
+    debug = "--debug" in args
+    if debug:
+        args.remove("--debug")
     if not args:
         raise SystemExit(__doc__)
     if args[0] == "--spawn":
         if len(args) < 2:
             raise SystemExit("--spawn needs a command to run")
+        if debug:
+            raise SystemExit("--debug requires a running server (ADDR mode)")
         spawn_and_validate(args[1:])
     else:
-        validate(args[0])
+        validate(args[0], debug=debug)
 
 
 if __name__ == "__main__":

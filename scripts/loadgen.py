@@ -21,10 +21,18 @@ Exit code 0 iff every request got a well-formed, successful response
 (`protocol errors: 0`). Prints a one-line summary plus per-tenant p50/p99
 latency, suitable for the warn-only CI smoke job and for eyeballing E17.
 
+Error lines include the server-assigned request id (`rid`) so a failed
+request can be looked up in the server's flight recorder
+(`/debug/requests`, `/debug/trace?id=<rid>`). With `--slow MS` (plus
+`--metrics HOST:PORT` pointing at the server's metrics endpoint), any
+request slower than MS milliseconds gets its server-side per-phase
+breakdown printed after the run, fetched from `/debug/requests`.
+
 Usage:
   scripts/loadgen.py --tenants 4 --requests 25 --spawn \\
       cargo run --release --example scoring_server
   scripts/loadgen.py --addr 127.0.0.1:7878 --tenants 8 --requests 50 --batch
+  scripts/loadgen.py --addr 127.0.0.1:7878 --metrics 127.0.0.1:9100 --slow 50
 """
 
 import argparse
@@ -36,6 +44,7 @@ import subprocess
 import sys
 import threading
 import time
+import urllib.request
 
 BANNER = "scoring listening on "
 
@@ -94,9 +103,12 @@ class TenantStats:
         self.cache_hits = 0
         self.batched = 0
         self.errors = []
+        # (rid, seq, latency_ms) for requests over the --slow threshold.
+        self.slow = []
 
 
-def run_tenant(addr, tenant: str, requests: int, batch: bool, stats: TenantStats) -> None:
+def run_tenant(addr, tenant: str, requests: int, batch: bool, stats: TenantStats,
+               slow_ms=None) -> None:
     try:
         with socket.create_connection(addr, timeout=30) as sock:
             send_frame(sock, json.dumps({"tenant": tenant, "cmd": "ping"}))
@@ -108,12 +120,16 @@ def run_tenant(addr, tenant: str, requests: int, batch: bool, stats: TenantStats
                 t0 = time.monotonic()
                 send_frame(sock, json.dumps(score_request(tenant, seq, batch)))
                 resp = json.loads(recv_frame(sock))
-                stats.latencies_ms.append((time.monotonic() - t0) * 1e3)
+                lat_ms = (time.monotonic() - t0) * 1e3
+                stats.latencies_ms.append(lat_ms)
+                rid = resp.get("rid")  # server-assigned flight-recorder id
+                if slow_ms is not None and lat_ms > slow_ms:
+                    stats.slow.append((rid, seq, lat_ms))
                 if not resp.get("ok"):
-                    stats.errors.append(f"seq {seq}: {resp.get('error')}")
+                    stats.errors.append(f"seq {seq} rid {rid}: {resp.get('error')}")
                     continue
                 if resp.get("kind") != "matrix" or "data" not in resp:
-                    stats.errors.append(f"seq {seq}: malformed response {resp}")
+                    stats.errors.append(f"seq {seq} rid {rid}: malformed response {resp}")
                     continue
                 stats.cache_hits += resp.get("cache") == "hit"
                 stats.batched += bool(resp.get("batched"))
@@ -128,10 +144,47 @@ def quantile(sorted_vals, q):
     return sorted_vals[idx]
 
 
-def run_load(addr, tenants: int, requests: int, batch: bool) -> int:
+def fetch_debug_requests(metrics_addr: str, n: int):
+    """Fetch recent flight-recorder records and index them by request id."""
+    url = f"http://{metrics_addr}/debug/requests?n={n}"
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        body = json.loads(resp.read().decode("utf-8"))
+    return {rec["id"]: rec for rec in body.get("requests", [])}
+
+
+def print_slow_breakdown(metrics_addr: str, slow, total_requests: int) -> None:
+    """For each client-side slow request, print the server's per-phase
+    latency attribution from /debug/requests so queue-, compile- and
+    batch-wait-dominated requests are distinguishable at a glance."""
+    try:
+        # Over-fetch: pings and other tenants' traffic consume rids too.
+        records = fetch_debug_requests(metrics_addr, total_requests * 2 + 32)
+    except (OSError, ValueError) as e:
+        print(f"slow: could not fetch /debug/requests from {metrics_addr}: {e}",
+              file=sys.stderr)
+        return
+    for tenant, rid, seq, lat_ms in slow:
+        rec = records.get(rid)
+        if rec is None:
+            print(f"slow: {tenant} seq {seq} rid {rid} {lat_ms:.2f} ms "
+                  f"(not in flight recorder — evicted or rid missing)")
+            continue
+        phases = rec.get("phases", {})
+        parts = ", ".join(
+            f"{name} {ns / 1e6:.2f}ms"
+            for name, ns in sorted(phases.items(), key=lambda kv: -kv[1])
+            if ns
+        )
+        cache = "hit" if rec.get("cache_hit") else "miss"
+        print(f"slow: {tenant} seq {seq} rid {rid} {lat_ms:.2f} ms client / "
+              f"{rec.get('total_ns', 0) / 1e6:.2f} ms server (cache {cache}): {parts}")
+
+
+def run_load(addr, tenants: int, requests: int, batch: bool,
+             slow_ms=None, metrics_addr=None) -> int:
     per_tenant = {f"tenant-{i}": TenantStats() for i in range(tenants)}
     threads = [
-        threading.Thread(target=run_tenant, args=(addr, name, requests, batch, st))
+        threading.Thread(target=run_tenant, args=(addr, name, requests, batch, st, slow_ms))
         for name, st in per_tenant.items()
     ]
     t0 = time.monotonic()
@@ -164,6 +217,16 @@ def run_load(addr, tenants: int, requests: int, batch: bool) -> int:
         f"p99 {quantile(all_lat, 0.99):.2f} ms, "
         f"cache hits {hits}, batched {batched}, protocol errors: {len(errors)}"
     )
+    if slow_ms is not None:
+        slow = [(name, rid, seq, lat)
+                for name, st in sorted(per_tenant.items())
+                for rid, seq, lat in st.slow]
+        print(f"slow: {len(slow)} request(s) over {slow_ms} ms")
+        if slow and metrics_addr:
+            print_slow_breakdown(metrics_addr, slow, expected)
+        elif slow:
+            print("slow: pass --metrics HOST:PORT to fetch per-phase breakdowns "
+                  "from /debug/requests", file=sys.stderr)
     return 0 if not errors and done == expected else 1
 
 
@@ -190,6 +253,12 @@ def main() -> int:
     ap.add_argument("--requests", type=int, default=25, help="requests per tenant")
     ap.add_argument("--batch", action="store_true", help="mark requests batchable")
     ap.add_argument("--addr", help="host:port of a running server")
+    ap.add_argument("--slow", type=float, metavar="MS",
+                    help="report requests slower than MS milliseconds; with "
+                         "--metrics, print their per-phase breakdown from "
+                         "/debug/requests")
+    ap.add_argument("--metrics", metavar="HOST:PORT",
+                    help="the server's metrics/debug endpoint address")
     ap.add_argument("--spawn", nargs=argparse.REMAINDER,
                     help="command to start a server (everything after --spawn)")
     args = ap.parse_args()
@@ -197,7 +266,8 @@ def main() -> int:
     if args.spawn:
         proc, addr = spawn_server(args.spawn)
         try:
-            return run_load(addr, args.tenants, args.requests, args.batch)
+            return run_load(addr, args.tenants, args.requests, args.batch,
+                            args.slow, args.metrics)
         finally:
             proc.terminate()
             try:
@@ -207,7 +277,8 @@ def main() -> int:
                 proc.communicate()
     elif args.addr:
         host, _, port = args.addr.rpartition(":")
-        return run_load((host, int(port)), args.tenants, args.requests, args.batch)
+        return run_load((host, int(port)), args.tenants, args.requests, args.batch,
+                        args.slow, args.metrics)
     else:
         ap.error("one of --addr or --spawn is required")
     return 2

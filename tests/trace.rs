@@ -50,8 +50,9 @@ fn traced_run_covers_exec_par_and_buffer_on_one_timeline() {
         exec_spans.iter().map(|e| &e.name).collect::<Vec<_>>()
     );
     let mm = exec_spans.iter().find(|e| e.name == "exec.matmul").unwrap();
-    assert_eq!(mm.arg("kernel"), Some("blocked"), "planned blocked under the tight budget");
-    assert_eq!(mm.arg("dims"), Some("96x96"));
+    assert_eq!(mm.arg("kernel").as_deref(), Some("blocked"), "planned blocked");
+    assert_eq!(mm.arg("rows").as_deref(), Some("96"));
+    assert_eq!(mm.arg("cols").as_deref(), Some("96"));
     assert!(mm.arg("flops").is_some());
 
     // dm-par task spans carrying worker ids, parented into the run.
